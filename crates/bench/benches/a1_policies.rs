@@ -1,0 +1,68 @@
+//! Ablation A1 bench: the Sec. 4 policy comparison. Prints the
+//! area/clock table for all four policies and measures both the
+//! generation pipeline and the behavioural arbiters' simulation speed
+//! under saturation (with fairness reported).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcarb_bench::figures::policy_ablation_rows;
+use rcarb_core::policy::{self, PolicyKind};
+use rcarb_sim::stats::jain_index;
+use std::hint::black_box;
+
+fn fairness_under_saturation(kind: PolicyKind, n: usize, cycles: u32) -> f64 {
+    let mut arb = policy::build(kind, n);
+    let mut counts = vec![0u64; n];
+    let mut pending = (1u64 << n) - 1;
+    let mut cooldown = vec![0u8; n];
+    for _ in 0..cycles {
+        for (t, c) in cooldown.iter_mut().enumerate() {
+            if *c > 0 {
+                *c -= 1;
+                if *c == 0 {
+                    pending |= 1 << t;
+                }
+            }
+        }
+        let g = arb.step(pending);
+        if g != 0 {
+            let w = g.trailing_zeros() as usize;
+            counts[w] += 1;
+            pending &= !g; // hold one access, then release (Fig. 8, M=1)
+            cooldown[w] = 2;
+        }
+    }
+    jain_index(&counts)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("--- A1: policy comparison (reproduced) ---");
+    println!("{:<4} {:<16} {:>6} {:>6} {:>8} {:>9}", "N", "policy", "CLBs", "FFs", "MHz", "fairness");
+    for row in policy_ablation_rows([2, 4, 6, 8, 10]) {
+        let fair = fairness_under_saturation(row.policy, row.n, 5000);
+        println!(
+            "{:<4} {:<16} {:>6} {:>6} {:>8.1} {:>9.3}",
+            row.n,
+            row.policy.to_string(),
+            row.clbs,
+            row.ffs,
+            row.fmax_mhz,
+            fair
+        );
+    }
+
+    let mut group = c.benchmark_group("a1_policies");
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("saturated_step", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                let mut arb = policy::build(kind, 8);
+                b.iter(|| black_box(arb.step(black_box(0xff))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

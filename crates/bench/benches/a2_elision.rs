@@ -1,0 +1,45 @@
+//! Ablation A2 bench: the Sec. 5 dependency-aware elision improvement,
+//! printed (arbiter shrinkage and per-block cycles) and measured at the
+//! insertion-pass level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcarb_bench::figures::elision_rows;
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+use rcarb_core::memmap::bind_segments;
+use rcarb_fft::taskgraph::build_fft_taskgraph;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("--- A2: elision ablation (reproduced) ---");
+    for r in elision_rows() {
+        println!(
+            "elision={:<5} arbiters {:?}, total {} CLBs, {} cycles/block",
+            r.elision, r.arbiter_sizes, r.total_clbs, r.block_cycles
+        );
+    }
+
+    // Measure insertion itself on the full (unpartitioned) FFT graph.
+    let (graph, _) = build_fft_taskgraph();
+    let board = rcarb_board::presets::wildforce();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+    let mut group = c.benchmark_group("a2_elision");
+    for (label, elide) in [("baseline", false), ("elided", true)] {
+        group.bench_with_input(BenchmarkId::new("insertion", label), &elide, |b, &e| {
+            let config = InsertionConfig::paper().with_elision(e);
+            b.iter(|| {
+                let plan = insert_arbiters(
+                    black_box(&graph),
+                    &binding,
+                    &ChannelMergePlan::default(),
+                    &config,
+                );
+                black_box(plan.arbiter_sizes())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

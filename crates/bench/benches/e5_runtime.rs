@@ -1,0 +1,34 @@
+//! Sec. 5 runtime regeneration bench: prints the reproduced
+//! hardware-vs-software comparison and measures the cycle-accurate
+//! simulation of one 4x4 block through all three temporal partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcarb_bench::figures::e5_report;
+use rcarb_fft::flow::{run_fft_flow, simulate_block};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = e5_report();
+    println!("--- Sec. 5 runtime (reproduced) ---");
+    println!(
+        "hardware {:.2}s (paper 4.4s) vs software {:.2}s (paper 6.8s): speedup {:.2}x (paper 1.55x)",
+        report.hw_total_s,
+        report.sw_total_s,
+        report.speedup()
+    );
+
+    let flow = run_fft_flow().expect("flow");
+    let tile = [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]];
+    let mut group = c.benchmark_group("e5_runtime");
+    group.sample_size(20);
+    group.bench_function("simulate_block_3_partitions", |b| {
+        b.iter(|| {
+            let sim = simulate_block(&flow, black_box(tile));
+            black_box(sim.total_cycles())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

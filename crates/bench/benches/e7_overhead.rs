@@ -1,0 +1,31 @@
+//! E7 regeneration bench: the Fig. 8 protocol overhead (two extra cycles
+//! per batch) across burst bounds M, printed and measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcarb_bench::figures::protocol_overhead_rows;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("--- E7: protocol overhead (reproduced) ---");
+    for row in protocol_overhead_rows(8, &[1, 2, 4, 8]) {
+        println!(
+            "M={:<2} plain {:>4} cy, arbitrated {:>4} cy, overhead {:>3} cy",
+            row.m,
+            row.plain_cycles,
+            row.arbitrated_cycles,
+            row.overhead()
+        );
+    }
+
+    let mut group = c.benchmark_group("e7_overhead");
+    group.sample_size(20);
+    for m in [1u32, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("measure", m), &m, |b, &m| {
+            b.iter(|| black_box(protocol_overhead_rows(8, &[m])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

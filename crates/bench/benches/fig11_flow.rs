@@ -1,0 +1,33 @@
+//! Fig. 11 regeneration bench: prints the reproduced partition/arbiter
+//! structure and measures the full SPARCS-like flow (temporal + spatial
+//! partitioning, binding, merging, arbiter insertion) on the FFT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcarb_bench::figures::fig11_rows;
+use rcarb_fft::flow::run_fft_flow;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("--- Figure 11 (reproduced) ---");
+    for row in fig11_rows() {
+        println!(
+            "partition #{}: [{}] arbiters [{}]",
+            row.partition,
+            row.tasks.join(", "),
+            row.arbiters.join(", ")
+        );
+    }
+
+    let mut group = c.benchmark_group("fig11_flow");
+    group.sample_size(20);
+    group.bench_function("fft_full_flow", |b| {
+        b.iter(|| {
+            let flow = run_fft_flow().expect("flow partitions cleanly");
+            black_box(flow.result.num_stages())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

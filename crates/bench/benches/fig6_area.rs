@@ -1,0 +1,53 @@
+//! Fig. 6 regeneration bench: sweeps the arbiter generator and synthesis
+//! pipeline over N in [2, 10] for all three tool/encoding series, printing
+//! the reproduced area table and measuring the pipeline's runtime (the
+//! paper notes Synplify's "tool execution time was very small compared to
+//! FPGA express"; the effort gap between the two models shows up here
+//! inverted, since our high-effort minimizer does the extra work the real
+//! Synplify spent on better algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcarb_bench::figures::fig6_rows;
+use rcarb_board::device::SpeedGrade;
+use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec};
+use rcarb_logic::encode::EncodingStyle;
+use rcarb_logic::tools::ToolModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced figure once.
+    println!("--- Figure 6 (reproduced) ---");
+    for row in fig6_rows() {
+        println!("N={:<3} {:<24} {:>5} CLBs", row.n, row.series, row.clbs);
+    }
+
+    let generator = ArbiterGenerator::new();
+    let mut group = c.benchmark_group("fig6_area");
+    group.sample_size(10);
+    for n in [2usize, 6, 10] {
+        for (tool, enc, label) in [
+            (ToolModel::fpga_express(), EncodingStyle::OneHot, "express-onehot"),
+            (ToolModel::fpga_express(), EncodingStyle::Compact, "express-compact"),
+            (ToolModel::synplify(), EncodingStyle::OneHot, "synplify-onehot"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let spec = ArbiterSpec::round_robin(n).with_encoding(enc);
+                    b.iter(|| {
+                        let arb = generator.generate(black_box(&spec));
+                        let report = arb.synthesize(&tool);
+                        black_box(report.clbs());
+                        debug_assert!(report.timing.period_ns > 0.0);
+                        let _ = SpeedGrade::Minus3;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

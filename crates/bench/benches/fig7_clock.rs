@@ -1,0 +1,36 @@
+//! Fig. 7 regeneration bench: prints the reproduced clock-speed series
+//! and measures static timing analysis on the mapped arbiter netlists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcarb_bench::figures::fig7_rows;
+use rcarb_board::device::SpeedGrade;
+use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec};
+use rcarb_logic::timing;
+use rcarb_logic::tools::ToolModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("--- Figure 7 (reproduced) ---");
+    for row in fig7_rows() {
+        println!("N={:<3} {:<24} {:>6.1} MHz", row.n, row.series, row.fmax_mhz);
+    }
+
+    let generator = ArbiterGenerator::new();
+    let tool = ToolModel::synplify();
+    let mut group = c.benchmark_group("fig7_clock");
+    for n in [2usize, 6, 10] {
+        let netlist = generator
+            .generate(&ArbiterSpec::round_robin(n))
+            .netlist(&tool);
+        group.bench_with_input(BenchmarkId::new("static_timing", n), &n, |b, _| {
+            b.iter(|| {
+                let report = timing::analyze(black_box(&netlist), SpeedGrade::Minus3);
+                black_box(report.fmax_mhz)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

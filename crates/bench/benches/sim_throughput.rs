@@ -1,0 +1,64 @@
+//! Simulator throughput bench: cycles per second of the full system
+//! simulator under saturated four-way contention, with and without
+//! gate-level arbiter co-simulation. Not a paper figure — it bounds how
+//! large an experiment the harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+use rcarb_core::memmap::bind_segments;
+use rcarb_sim::engine::SystemBuilder;
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::program::{Expr, Program};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut b = TaskGraphBuilder::new("throughput");
+    let segs: Vec<_> = (0..4).map(|i| b.segment(format!("M{i}"), 64, 16)).collect();
+    for (i, &s) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(64, |p| {
+                    p.mem_write(s, Expr::lit(0), Expr::lit(1));
+                });
+            }),
+        );
+    }
+    let graph = b.finish().expect("valid");
+    let board = rcarb_board::presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+
+    let mut group = c.benchmark_group("sim_throughput");
+    for (label, cosim) in [("behavioural", false), ("with_cosim", true)] {
+        // Cycle count is deterministic; measure it once for throughput.
+        let cycles = {
+            let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+                .with_cosim(cosim)
+                .build(&board);
+            sys.run(1_000_000).cycles
+        };
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::new("saturated_4way", label), &cosim, |b, &cs| {
+            b.iter(|| {
+                let mut sys =
+                    SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+                        .with_cosim(cs)
+                        .build(&board);
+                let report = sys.run(1_000_000);
+                debug_assert!(report.clean());
+                black_box(report.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Prints the paper's tables and figures as text series.
+//!
+//! ```text
+//! cargo run -p rcarb-bench --bin figures -- fig6
+//! cargo run -p rcarb-bench --bin figures -- all
+//! ```
+//!
+//! Subcommands: `fig6`, `fig7`, `fig11`, `table1`, `e5`, `e7`, `a1`,
+//! `a2`, `all`.
+
+use rcarb_bench::figures::{
+    contention_scaling_rows, e5_report, elision_rows, fig11_rows, fig6_rows, fig7_rows,
+    policy_ablation_rows, protocol_overhead_rows,
+};
+
+fn print_fig6() {
+    println!("== Figure 6: N-input arbiter sizes (CLBs), XC4000E-3 ==");
+    println!("{:<4} {:<24} {:>6}", "N", "series", "CLBs");
+    for row in fig6_rows() {
+        println!("{:<4} {:<24} {:>6}", row.n, row.series, row.clbs);
+    }
+}
+
+fn print_fig7() {
+    println!("== Figure 7: N-input arbiter clock speed (MHz), XC4000E-3 ==");
+    println!("{:<4} {:<24} {:>8}", "N", "series", "MHz");
+    for row in fig7_rows() {
+        println!("{:<4} {:<24} {:>8.1}", row.n, row.series, row.fmax_mhz);
+    }
+}
+
+fn print_fig11() {
+    println!("== Figure 11 / Sec. 5: FFT temporal partitions and arbiters ==");
+    for row in fig11_rows() {
+        println!(
+            "partition #{}: tasks [{}], arbiters [{}] ({} CLBs)",
+            row.partition,
+            row.tasks.join(", "),
+            row.arbiters.join(", "),
+            row.arbiter_clbs
+        );
+    }
+}
+
+fn print_table1() {
+    use rcarb_sim::channel::{RegisterPlacement, RouteSend, RouteState};
+    use rcarb_taskgraph::id::{ChannelId, TaskId};
+    println!("== Table 1: shared-channel schedule (c1 and c4 merged onto c1_4) ==");
+    println!("step  Task1      Task2      Task3  Task4");
+    println!("1     c1 := 10   ...        ...    ...");
+    println!("2     ...        ...        ...    c4 := 102");
+    println!("3     ...        x := c1    ...    ...");
+    println!();
+    let c1 = ChannelId::new(0);
+    let c4 = ChannelId::new(1);
+    for placement in [RegisterPlacement::Receiver, RegisterPlacement::Source] {
+        let mut route = RouteState::new(vec![c1, c4], placement);
+        // step 1: Task 1 drives c1 := 10; step 2: Task 4 drives c4 := 102.
+        route.cycle(&[RouteSend { task: TaskId::new(0), channel: c1, value: 10 }]);
+        route.cycle(&[RouteSend { task: TaskId::new(3), channel: c4, value: 102 }]);
+        // step 3: Task 2 reads c1.
+        let x = route.read(c1);
+        println!(
+            "{placement:?} registers: step 3 reads x = {}",
+            x.map_or("<lost>".to_owned(), |v| v.to_string())
+        );
+    }
+    println!("(full-pipeline version: tests/table1_channel.rs)");
+}
+
+fn print_a4() {
+    println!("== Extension A4: contention scaling on one shared bank ==");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>10}",
+        "tasks", "cycles", "overhead", "fairness", "worstwait"
+    );
+    for r in contention_scaling_rows(&[1, 2, 3, 4, 6, 8], 16) {
+        println!(
+            "{:<6} {:>8} {:>9.1}% {:>10.3} {:>10}",
+            r.tasks,
+            r.cycles,
+            100.0 * r.overhead_fraction,
+            r.stall_fairness,
+            r.worst_wait
+        );
+    }
+}
+
+fn print_e5() {
+    let r = e5_report();
+    println!("== Sec. 5 runtime: 512x512 image, 2-D FFT ==");
+    println!("blocks                 {:>10}", r.blocks);
+    println!("cycles/block per TP    {:>10?}", r.stage_cycles);
+    println!("hardware compute       {:>9.2}s", r.hw_compute_s);
+    println!("hardware host I/O      {:>9.2}s", r.hw_io_s);
+    println!("hardware reconfig      {:>9.2}s", r.hw_reconfig_s);
+    println!("hardware total         {:>9.2}s   (paper: 4.4s)", r.hw_total_s);
+    println!("software (P150 model)  {:>9.2}s   (paper: 6.8s)", r.sw_total_s);
+    println!("speedup                {:>9.2}x   (paper: 1.55x)", r.speedup());
+}
+
+fn print_e7() {
+    println!("== E7: protocol overhead vs burst bound M (8 accesses) ==");
+    println!("{:<4} {:>12} {:>12} {:>10}", "M", "plain", "arbitrated", "overhead");
+    for r in protocol_overhead_rows(8, &[1, 2, 4, 8]) {
+        println!(
+            "{:<4} {:>12} {:>12} {:>10}",
+            r.m,
+            r.plain_cycles,
+            r.arbitrated_cycles,
+            r.overhead()
+        );
+    }
+}
+
+fn print_a1() {
+    println!("== Ablation A1: policy cost comparison (Synplify model) ==");
+    println!(
+        "{:<4} {:<16} {:>6} {:>6} {:>8}",
+        "N", "policy", "CLBs", "FFs", "MHz"
+    );
+    for row in policy_ablation_rows([2, 4, 6, 8, 10]) {
+        println!(
+            "{:<4} {:<16} {:>6} {:>6} {:>8.1}",
+            row.n,
+            row.policy.to_string(),
+            row.clbs,
+            row.ffs,
+            row.fmax_mhz
+        );
+    }
+}
+
+fn print_a2() {
+    println!("== Ablation A2: dependency-aware arbiter elision (Sec. 5) ==");
+    for r in elision_rows() {
+        println!(
+            "elision={:<5} arbiters {:?}, total {} CLBs, {} cycles/block",
+            r.elision, r.arbiter_sizes, r.total_clbs, r.block_cycles
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let all = [
+        ("fig6", print_fig6 as fn()),
+        ("fig7", print_fig7),
+        ("fig11", print_fig11),
+        ("table1", print_table1),
+        ("e5", print_e5),
+        ("e7", print_e7),
+        ("a1", print_a1),
+        ("a2", print_a2),
+        ("a4", print_a4),
+    ];
+    match which.as_str() {
+        "all" => {
+            for (i, (_, f)) in all.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                f();
+            }
+        }
+        name => match all.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!("unknown figure {name:?}; try one of fig6, fig7, fig11, table1, e5, e7, a1, a2, a4, all");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,355 @@
+//! The assembled board: processing elements, banks, channels, crossbar.
+
+use crate::channel::{PhysChannelId, PhysicalChannel};
+use crate::crossbar::Crossbar;
+use crate::device::FpgaDevice;
+use crate::memory::{BankAttachment, BankId, MemoryBank};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a processing element (one FPGA) on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId(u32);
+
+impl PeId {
+    /// Creates a PE id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Raw index of the PE.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// A processing element: one FPGA device instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessingElement {
+    id: PeId,
+    name: String,
+    device: FpgaDevice,
+}
+
+impl ProcessingElement {
+    /// Creates a processing element hosting `device`.
+    pub fn new(id: PeId, name: impl Into<String>, device: FpgaDevice) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            device,
+        }
+    }
+
+    /// The PE identifier.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// The board-facing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The FPGA device on this PE.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+}
+
+/// A complete reconfigurable-computer board.
+///
+/// Assemble one with [`BoardBuilder`] or take a preset from
+/// [`crate::presets`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Board {
+    name: String,
+    pes: Vec<ProcessingElement>,
+    banks: Vec<MemoryBank>,
+    channels: Vec<PhysicalChannel>,
+    crossbar: Option<Crossbar>,
+}
+
+impl Board {
+    /// The board name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All processing elements, indexed by [`PeId::index`].
+    pub fn pes(&self) -> &[ProcessingElement] {
+        &self.pes
+    }
+
+    /// All physical memory banks, indexed by [`BankId::index`].
+    pub fn banks(&self) -> &[MemoryBank] {
+        &self.banks
+    }
+
+    /// All fixed physical channels, indexed by [`PhysChannelId::index`].
+    pub fn channels(&self) -> &[PhysicalChannel] {
+        &self.channels
+    }
+
+    /// The programmable crossbar, if the board has one.
+    pub fn crossbar(&self) -> Option<&Crossbar> {
+        self.crossbar.as_ref()
+    }
+
+    /// Looks up a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this board.
+    pub fn pe(&self, id: PeId) -> &ProcessingElement {
+        &self.pes[id.index()]
+    }
+
+    /// Looks up a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this board.
+    pub fn bank(&self, id: BankId) -> &MemoryBank {
+        &self.banks[id.index()]
+    }
+
+    /// Looks up a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this board.
+    pub fn channel(&self, id: PhysChannelId) -> &PhysicalChannel {
+        &self.channels[id.index()]
+    }
+
+    /// Banks local to `pe`, in id order.
+    pub fn local_banks(&self, pe: PeId) -> Vec<BankId> {
+        self.banks
+            .iter()
+            .filter(|b| b.local_pe() == Some(pe))
+            .map(|b| b.id())
+            .collect()
+    }
+
+    /// Shared banks, in id order.
+    pub fn shared_banks(&self) -> Vec<BankId> {
+        self.banks
+            .iter()
+            .filter(|b| b.local_pe().is_none())
+            .map(|b| b.id())
+            .collect()
+    }
+
+    /// Fixed channels between `a` and `b`, in id order.
+    pub fn channels_between(&self, a: PeId, b: PeId) -> Vec<PhysChannelId> {
+        self.channels
+            .iter()
+            .filter(|c| c.connects(a, b))
+            .map(|c| c.id())
+            .collect()
+    }
+
+    /// Total memory capacity on the board, in bits.
+    pub fn total_memory_bits(&self) -> u64 {
+        self.banks.iter().map(|b| b.capacity_bits()).sum()
+    }
+
+    /// Total CLB capacity on the board.
+    pub fn total_clbs(&self) -> u32 {
+        self.pes.iter().map(|p| p.device().clbs()).sum()
+    }
+
+    /// Returns true if `a` and `b` can communicate: directly over fixed
+    /// pins, or both through the crossbar.
+    pub fn pes_connected(&self, a: PeId, b: PeId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.channels_between(a, b).is_empty() {
+            return true;
+        }
+        self.crossbar
+            .as_ref()
+            .is_some_and(|xb| xb.reaches(a) && xb.reaches(b))
+    }
+}
+
+/// Builds a [`Board`].
+#[derive(Debug, Default)]
+pub struct BoardBuilder {
+    name: String,
+    pes: Vec<ProcessingElement>,
+    banks: Vec<MemoryBank>,
+    channels: Vec<PhysicalChannel>,
+    crossbar: Option<Crossbar>,
+}
+
+impl BoardBuilder {
+    /// Starts a new board description.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a processing element hosting `device`, returning its id.
+    pub fn pe(&mut self, name: impl Into<String>, device: FpgaDevice) -> PeId {
+        let id = PeId::new(self.pes.len() as u32);
+        self.pes.push(ProcessingElement::new(id, name, device));
+        id
+    }
+
+    /// Adds a memory bank local to `pe`.
+    pub fn local_bank(
+        &mut self,
+        name: impl Into<String>,
+        pe: PeId,
+        words: u32,
+        width_bits: u32,
+    ) -> BankId {
+        let id = BankId::new(self.banks.len() as u32);
+        self.banks.push(MemoryBank::new(
+            id,
+            name,
+            words,
+            width_bits,
+            BankAttachment::Local(pe),
+        ));
+        id
+    }
+
+    /// Adds a shared memory bank.
+    pub fn shared_bank(&mut self, name: impl Into<String>, words: u32, width_bits: u32) -> BankId {
+        let id = BankId::new(self.banks.len() as u32);
+        self.banks.push(MemoryBank::new(
+            id,
+            name,
+            words,
+            width_bits,
+            BankAttachment::Shared,
+        ));
+        id
+    }
+
+    /// Adds a fixed pin bundle between two PEs.
+    pub fn fixed_channel(
+        &mut self,
+        name: impl Into<String>,
+        width_bits: u32,
+        a: PeId,
+        b: PeId,
+    ) -> PhysChannelId {
+        let id = PhysChannelId::new(self.channels.len() as u32);
+        self.channels
+            .push(PhysicalChannel::new(id, name, width_bits, a, b));
+        id
+    }
+
+    /// Installs a programmable crossbar reaching `ports`.
+    pub fn crossbar(&mut self, port_width_bits: u32, ports: Vec<PeId>) {
+        self.crossbar = Some(Crossbar::new(port_width_bits, ports));
+    }
+
+    /// Finalizes the board.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the board has no processing elements, or if a bank or
+    /// channel references a PE that was never added.
+    pub fn finish(self) -> Board {
+        assert!(!self.pes.is_empty(), "board needs at least one PE");
+        let n = self.pes.len();
+        for b in &self.banks {
+            if let Some(pe) = b.local_pe() {
+                assert!(pe.index() < n, "bank {} references unknown PE", b.name());
+            }
+        }
+        for c in &self.channels {
+            let (a, b) = c.endpoints();
+            assert!(
+                a.index() < n && b.index() < n,
+                "channel {} references unknown PE",
+                c.name()
+            );
+        }
+        if let Some(xb) = &self.crossbar {
+            for pe in xb.ports() {
+                assert!(pe.index() < n, "crossbar references unknown PE");
+            }
+        }
+        Board {
+            name: self.name,
+            pes: self.pes,
+            banks: self.banks,
+            channels: self.channels,
+            crossbar: self.crossbar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{xc4013e, SpeedGrade};
+
+    fn two_pe_board() -> Board {
+        let mut b = BoardBuilder::new("test");
+        let p0 = b.pe("PE0", xc4013e(SpeedGrade::Minus3));
+        let p1 = b.pe("PE1", xc4013e(SpeedGrade::Minus3));
+        b.local_bank("M0", p0, 16384, 16);
+        b.shared_bank("SH", 4096, 32);
+        b.fixed_channel("pp", 36, p0, p1);
+        b.finish()
+    }
+
+    #[test]
+    fn bank_queries() {
+        let board = two_pe_board();
+        assert_eq!(board.local_banks(PeId::new(0)).len(), 1);
+        assert_eq!(board.local_banks(PeId::new(1)).len(), 0);
+        assert_eq!(board.shared_banks().len(), 1);
+    }
+
+    #[test]
+    fn connectivity_via_fixed_pins() {
+        let board = two_pe_board();
+        assert!(board.pes_connected(PeId::new(0), PeId::new(1)));
+        assert_eq!(board.channels_between(PeId::new(0), PeId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn connectivity_via_crossbar() {
+        let mut b = BoardBuilder::new("xb");
+        let p0 = b.pe("PE0", xc4013e(SpeedGrade::Minus3));
+        let p1 = b.pe("PE1", xc4013e(SpeedGrade::Minus3));
+        let p2 = b.pe("PE2", xc4013e(SpeedGrade::Minus3));
+        b.crossbar(36, vec![p0, p1]);
+        let board = b.finish();
+        assert!(board.pes_connected(p0, p1));
+        assert!(!board.pes_connected(p0, p2));
+    }
+
+    #[test]
+    fn capacity_totals() {
+        let board = two_pe_board();
+        assert_eq!(board.total_clbs(), 1152);
+        assert_eq!(board.total_memory_bits(), 16384 * 16 + 4096 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown PE")]
+    fn dangling_bank_rejected() {
+        let mut b = BoardBuilder::new("bad");
+        b.pe("PE0", xc4013e(SpeedGrade::Minus3));
+        b.local_bank("M", PeId::new(5), 4, 8);
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,129 @@
+//! Physical pin bundles between processing elements.
+
+use crate::board::PeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a physical channel on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysChannelId(u32);
+
+impl PhysChannelId {
+    /// Creates a channel id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Raw index of the channel.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A fixed bundle of `width_bits` pins connecting two processing elements
+/// (the Wildforce's "36 fixed pins" between neighbours).
+///
+/// When a design needs more logical channels between two PEs than physical
+/// channels exist, the channel-merging pass of `rcarb-core` time-multiplexes
+/// several logical channels onto one physical channel (the paper's Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysicalChannel {
+    id: PhysChannelId,
+    name: String,
+    width_bits: u32,
+    a: PeId,
+    b: PeId,
+}
+
+impl PhysicalChannel {
+    /// Creates a bidirectional pin bundle between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero or `a == b`.
+    pub fn new(
+        id: PhysChannelId,
+        name: impl Into<String>,
+        width_bits: u32,
+        a: PeId,
+        b: PeId,
+    ) -> Self {
+        assert!(width_bits > 0, "channel must be at least one bit wide");
+        assert_ne!(a, b, "channel endpoints must be distinct PEs");
+        Self {
+            id,
+            name: name.into(),
+            width_bits,
+            a,
+            b,
+        }
+    }
+
+    /// The channel identifier.
+    pub fn id(&self) -> PhysChannelId {
+        self.id
+    }
+
+    /// The board-facing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pin-bundle width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Both endpoints.
+    pub fn endpoints(&self) -> (PeId, PeId) {
+        (self.a, self.b)
+    }
+
+    /// Returns true if `pe` is one of the endpoints.
+    pub fn touches(&self, pe: PeId) -> bool {
+        self.a == pe || self.b == pe
+    }
+
+    /// Returns true if the channel connects exactly `x` and `y` (order
+    /// independent).
+    pub fn connects(&self, x: PeId, y: PeId) -> bool {
+        (self.a == x && self.b == y) || (self.a == y && self.b == x)
+    }
+}
+
+impl fmt::Display for PhysicalChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: {} <-> {}, {}b)",
+            self.name, self.id, self.a, self.b, self.width_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_predicates() {
+        let c = PhysicalChannel::new(PhysChannelId::new(0), "pp01", 36, PeId::new(0), PeId::new(1));
+        assert!(c.connects(PeId::new(0), PeId::new(1)));
+        assert!(c.connects(PeId::new(1), PeId::new(0)));
+        assert!(!c.connects(PeId::new(1), PeId::new(2)));
+        assert!(c.touches(PeId::new(1)));
+        assert!(!c.touches(PeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct PEs")]
+    fn self_loop_rejected() {
+        let _ = PhysicalChannel::new(PhysChannelId::new(0), "x", 8, PeId::new(0), PeId::new(0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Programmable crossbar interconnect.
+
+use crate::board::PeId;
+use serde::{Deserialize, Serialize};
+
+/// A programmable crossbar reachable from several processing elements.
+///
+/// Each listed PE owns a dedicated `port_width_bits`-wide connection into
+/// the crossbar (36 bits on the Wildforce); the crossbar can be programmed
+/// to connect any two or more of its ports. Shared memory banks and merged
+/// channels between non-neighbour PEs route through here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Crossbar {
+    port_width_bits: u32,
+    ports: Vec<PeId>,
+}
+
+impl Crossbar {
+    /// Creates a crossbar with one `port_width_bits`-wide port per PE in
+    /// `ports`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port_width_bits` is zero or fewer than two ports are
+    /// given (a one-port crossbar connects nothing).
+    pub fn new(port_width_bits: u32, ports: Vec<PeId>) -> Self {
+        assert!(port_width_bits > 0, "crossbar ports must be at least one bit wide");
+        assert!(ports.len() >= 2, "crossbar needs at least two ports");
+        Self {
+            port_width_bits,
+            ports,
+        }
+    }
+
+    /// Width of each PE's port into the crossbar.
+    pub fn port_width_bits(&self) -> u32 {
+        self.port_width_bits
+    }
+
+    /// PEs with a port on this crossbar.
+    pub fn ports(&self) -> &[PeId] {
+        &self.ports
+    }
+
+    /// Returns true if `pe` has a port here.
+    pub fn reaches(&self, pe: PeId) -> bool {
+        self.ports.contains(&pe)
+    }
+
+    /// Maximum width of a single programmed connection between two ports.
+    pub fn connection_width_bits(&self) -> u32 {
+        self.port_width_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_listed_ports() {
+        let xb = Crossbar::new(36, vec![PeId::new(0), PeId::new(1), PeId::new(2)]);
+        assert!(xb.reaches(PeId::new(1)));
+        assert!(!xb.reaches(PeId::new(3)));
+        assert_eq!(xb.connection_width_bits(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "two ports")]
+    fn single_port_rejected() {
+        let _ = Crossbar::new(36, vec![PeId::new(0)]);
+    }
+}

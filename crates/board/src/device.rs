@@ -1,0 +1,174 @@
+//! FPGA device descriptions and the XC4000E catalogue.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Speed grade of an XC4000E-class part (lower is faster silicon).
+///
+/// The paper characterizes arbiters on a `-3` speed grade; the grade scales
+/// the logic/routing delays used by the `rcarb-logic` timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpeedGrade {
+    /// Fastest grade shipped for the XC4000E family.
+    Minus1,
+    /// Mid grade.
+    Minus2,
+    /// The grade used throughout the paper's evaluation.
+    Minus3,
+    /// Slowest grade.
+    Minus4,
+}
+
+impl SpeedGrade {
+    /// Multiplier applied to base delays (−3 is the 1.0 reference so the
+    /// reproduction's timing numbers align with the paper's plots).
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            SpeedGrade::Minus1 => 0.75,
+            SpeedGrade::Minus2 => 0.85,
+            SpeedGrade::Minus3 => 1.0,
+            SpeedGrade::Minus4 => 1.2,
+        }
+    }
+}
+
+impl fmt::Display for SpeedGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpeedGrade::Minus1 => "-1",
+            SpeedGrade::Minus2 => "-2",
+            SpeedGrade::Minus3 => "-3",
+            SpeedGrade::Minus4 => "-4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An FPGA part: programmable area and I/O capacity.
+///
+/// The CLB is the XC4000-series *configurable logic block*: two 4-input
+/// function generators, one 3-input function generator and two flip-flops.
+/// Area in the paper's Fig. 6 is reported in CLBs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    name: String,
+    clbs: u32,
+    user_pins: u32,
+    speed_grade: SpeedGrade,
+}
+
+impl FpgaDevice {
+    /// Creates a device description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clbs` or `user_pins` is zero.
+    pub fn new(name: impl Into<String>, clbs: u32, user_pins: u32, speed_grade: SpeedGrade) -> Self {
+        assert!(clbs > 0, "device must have at least one CLB");
+        assert!(user_pins > 0, "device must have at least one user pin");
+        Self {
+            name: name.into(),
+            clbs,
+            user_pins,
+            speed_grade,
+        }
+    }
+
+    /// Part name, e.g. `"XC4013E"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of CLBs.
+    pub fn clbs(&self) -> u32 {
+        self.clbs
+    }
+
+    /// Number of user I/O pins.
+    pub fn user_pins(&self) -> u32 {
+        self.user_pins
+    }
+
+    /// Silicon speed grade.
+    pub fn speed_grade(&self) -> SpeedGrade {
+        self.speed_grade
+    }
+
+    /// Number of flip-flops available in the CLB array (2 per CLB on the
+    /// XC4000E; IOB flip-flops are not modelled).
+    pub fn flip_flops(&self) -> u32 {
+        self.clbs * 2
+    }
+
+    /// Number of 4-input function generators (2 per CLB).
+    pub fn function_generators(&self) -> u32 {
+        self.clbs * 2
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} ({} CLBs)", self.name, self.speed_grade, self.clbs)
+    }
+}
+
+/// The XC4005E: 14x14 CLB array.
+pub fn xc4005e(grade: SpeedGrade) -> FpgaDevice {
+    FpgaDevice::new("XC4005E", 196, 112, grade)
+}
+
+/// The XC4010E: 20x20 CLB array.
+pub fn xc4010e(grade: SpeedGrade) -> FpgaDevice {
+    FpgaDevice::new("XC4010E", 400, 160, grade)
+}
+
+/// The XC4013E: 24x24 CLB array — the Wildforce processing element used in
+/// the paper's FFT experiment.
+pub fn xc4013e(grade: SpeedGrade) -> FpgaDevice {
+    FpgaDevice::new("XC4013E", 576, 192, grade)
+}
+
+/// The XC4025E: 32x32 CLB array.
+pub fn xc4025e(grade: SpeedGrade) -> FpgaDevice {
+    FpgaDevice::new("XC4025E", 1024, 256, grade)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_clb_counts_match_datasheet() {
+        assert_eq!(xc4005e(SpeedGrade::Minus3).clbs(), 196);
+        assert_eq!(xc4010e(SpeedGrade::Minus3).clbs(), 400);
+        assert_eq!(xc4013e(SpeedGrade::Minus3).clbs(), 576);
+        assert_eq!(xc4025e(SpeedGrade::Minus3).clbs(), 1024);
+    }
+
+    #[test]
+    fn derived_resources() {
+        let d = xc4013e(SpeedGrade::Minus3);
+        assert_eq!(d.flip_flops(), 1152);
+        assert_eq!(d.function_generators(), 1152);
+    }
+
+    #[test]
+    fn speed_grades_are_monotone() {
+        assert!(SpeedGrade::Minus1.delay_factor() < SpeedGrade::Minus2.delay_factor());
+        assert!(SpeedGrade::Minus2.delay_factor() < SpeedGrade::Minus3.delay_factor());
+        assert!(SpeedGrade::Minus3.delay_factor() < SpeedGrade::Minus4.delay_factor());
+        assert_eq!(SpeedGrade::Minus3.delay_factor(), 1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = xc4013e(SpeedGrade::Minus3);
+        assert_eq!(d.to_string(), "XC4013E-3 (576 CLBs)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CLB")]
+    fn zero_clbs_rejected() {
+        let _ = FpgaDevice::new("X", 0, 1, SpeedGrade::Minus3);
+    }
+}

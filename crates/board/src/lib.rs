@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Reconfigurable-computer board architecture model.
+//!
+//! The paper's arbitration mechanism exists to let a design stay *abstract*
+//! with respect to the target board: the number of physical memory banks,
+//! the number of pins between FPGAs and the interconnect topology are all
+//! properties of the board, not the design. This crate models those
+//! properties declaratively:
+//!
+//! - [`device::FpgaDevice`] — an FPGA part (CLB count, user pins, speed
+//!   grade) plus a catalogue of Xilinx XC4000E-family parts;
+//! - [`memory::MemoryBank`] — a physical memory bank, local to a processing
+//!   element or shared;
+//! - [`channel::PhysicalChannel`] — a fixed pin bundle between two
+//!   processing elements;
+//! - [`crossbar::Crossbar`] — a programmable interconnect reachable from
+//!   several processing elements;
+//! - [`board::Board`] — the assembled architecture, with resource
+//!   accounting in [`resources`];
+//! - [`presets`] — ready-made boards, including the Annapolis Wildforce
+//!   used in the paper's Sec. 5 (4 x XC4013E-3, 32 KB local SRAM per PE,
+//!   36 pins between neighbours, 36-bit crossbar connections).
+//!
+//! # Example
+//!
+//! ```
+//! use rcarb_board::presets;
+//!
+//! let board = presets::wildforce();
+//! assert_eq!(board.pes().len(), 4);
+//! assert_eq!(board.banks().len(), 4);
+//! assert!(board.crossbar().is_some());
+//! ```
+
+pub mod board;
+pub mod channel;
+pub mod crossbar;
+pub mod device;
+pub mod memory;
+pub mod presets;
+pub mod resources;
+
+pub use board::{Board, PeId, ProcessingElement};
+pub use channel::{PhysChannelId, PhysicalChannel};
+pub use crossbar::Crossbar;
+pub use device::{FpgaDevice, SpeedGrade};
+pub use memory::{BankId, MemoryBank};

@@ -1,0 +1,165 @@
+//! Physical memory banks.
+
+use crate::board::PeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a physical memory bank on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId(u32);
+
+impl BankId {
+    /// Creates a bank id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Raw index of the bank.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Who can reach a bank directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankAttachment {
+    /// Local to one processing element (the Wildforce style).
+    Local(PeId),
+    /// Shared: reachable from every processing element through the board's
+    /// interconnect.
+    Shared,
+}
+
+/// A physical memory bank (single-ported SRAM, as on the Wildforce board).
+///
+/// A bank exposes one set of address/data lines and one read/write select
+/// line; when several logical segments with concurrent accessor tasks are
+/// bound here, the arbitration pass must insert an arbiter (Fig. 2 of the
+/// paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryBank {
+    id: BankId,
+    name: String,
+    words: u32,
+    width_bits: u32,
+    attachment: BankAttachment,
+}
+
+impl MemoryBank {
+    /// Creates a bank of `words` entries, each `width_bits` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `width_bits` is zero.
+    pub fn new(
+        id: BankId,
+        name: impl Into<String>,
+        words: u32,
+        width_bits: u32,
+        attachment: BankAttachment,
+    ) -> Self {
+        assert!(words > 0, "bank must contain at least one word");
+        assert!(width_bits > 0, "bank words must be at least one bit wide");
+        Self {
+            id,
+            name: name.into(),
+            words,
+            width_bits,
+            attachment,
+        }
+    }
+
+    /// The bank identifier.
+    pub fn id(&self) -> BankId {
+        self.id
+    }
+
+    /// The board-facing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Width of each word in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Where the bank attaches.
+    pub fn attachment(&self) -> BankAttachment {
+        self.attachment
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        u64::from(self.words) * u64::from(self.width_bits)
+    }
+
+    /// Total capacity in bytes, rounded down (banks are byte-multiples in
+    /// practice).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bits() / 8
+    }
+
+    /// Returns the owning PE for a local bank.
+    pub fn local_pe(&self) -> Option<PeId> {
+        match self.attachment {
+            BankAttachment::Local(pe) => Some(pe),
+            BankAttachment::Shared => None,
+        }
+    }
+}
+
+impl fmt::Display for MemoryBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: {}x{}b, {})",
+            self.name,
+            self.id,
+            self.words,
+            self.width_bits,
+            match self.attachment {
+                BankAttachment::Local(pe) => format!("local to {pe}"),
+                BankAttachment::Shared => "shared".to_owned(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_accounting() {
+        let b = MemoryBank::new(BankId::new(0), "M0", 16384, 16, BankAttachment::Shared);
+        assert_eq!(b.capacity_bits(), 262_144);
+        assert_eq!(b.capacity_bytes(), 32_768); // the Wildforce 32 KB bank
+    }
+
+    #[test]
+    fn local_pe_lookup() {
+        let pe = PeId::new(2);
+        let b = MemoryBank::new(BankId::new(1), "M1", 4, 8, BankAttachment::Local(pe));
+        assert_eq!(b.local_pe(), Some(pe));
+        let s = MemoryBank::new(BankId::new(2), "M2", 4, 8, BankAttachment::Shared);
+        assert_eq!(s.local_pe(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_words_rejected() {
+        let _ = MemoryBank::new(BankId::new(0), "M", 0, 8, BankAttachment::Shared);
+    }
+}

@@ -1,0 +1,115 @@
+//! Ready-made board descriptions.
+
+use crate::board::{Board, BoardBuilder};
+use crate::device::{xc4005e, xc4013e, xc4025e, SpeedGrade};
+
+/// The Annapolis Micro Systems Wildforce board as configured in the paper's
+/// Sec. 5:
+///
+/// - four processing elements, each a Xilinx XC4013E-3;
+/// - one 32 KB local memory (16K x 16 bit) attached to each PE;
+/// - 36 fixed pins between neighbouring PEs (PE0-PE1, PE1-PE2, PE2-PE3);
+/// - a programmable crossbar with a 36-bit port per PE.
+///
+/// ```
+/// let board = rcarb_board::presets::wildforce();
+/// assert_eq!(board.total_clbs(), 4 * 576);
+/// assert_eq!(board.banks()[0].capacity_bytes(), 32 * 1024);
+/// ```
+pub fn wildforce() -> Board {
+    let mut b = BoardBuilder::new("Wildforce");
+    let pes: Vec<_> = (0..4)
+        .map(|i| b.pe(format!("PE{i}"), xc4013e(SpeedGrade::Minus3)))
+        .collect();
+    for (i, &pe) in pes.iter().enumerate() {
+        b.local_bank(format!("MEM{i}"), pe, 16 * 1024, 16);
+    }
+    for w in pes.windows(2) {
+        b.fixed_channel(format!("pp{}{}", w[0].index(), w[1].index()), 36, w[0], w[1]);
+    }
+    b.crossbar(36, pes);
+    b.finish()
+}
+
+/// A deliberately small board: two XC4005E-3 PEs, one shared bank, a single
+/// 16-pin channel. Useful for forcing memory conflicts and channel merging
+/// in tests and examples.
+pub fn duo_small() -> Board {
+    let mut b = BoardBuilder::new("DuoSmall");
+    let p0 = b.pe("PE0", xc4005e(SpeedGrade::Minus3));
+    let p1 = b.pe("PE1", xc4005e(SpeedGrade::Minus3));
+    b.shared_bank("SH0", 4096, 16);
+    b.fixed_channel("pp01", 16, p0, p1);
+    b.finish()
+}
+
+/// A roomy research board: four XC4025E-2 PEs, local plus shared banks and
+/// a wide crossbar. Demonstrates retargeting a design to a different
+/// architecture without touching the taskgraph (the paper's Sec. 6 claim).
+pub fn quad_large() -> Board {
+    let mut b = BoardBuilder::new("QuadLarge");
+    let pes: Vec<_> = (0..4)
+        .map(|i| b.pe(format!("PE{i}"), xc4025e(SpeedGrade::Minus2)))
+        .collect();
+    for (i, &pe) in pes.iter().enumerate() {
+        b.local_bank(format!("LOC{i}"), pe, 64 * 1024, 32);
+    }
+    b.shared_bank("SH0", 64 * 1024, 32);
+    b.shared_bank("SH1", 64 * 1024, 32);
+    for w in pes.windows(2) {
+        b.fixed_channel(format!("pp{}{}", w[0].index(), w[1].index()), 64, w[0], w[1]);
+    }
+    b.crossbar(64, pes);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::PeId;
+
+    #[test]
+    fn wildforce_matches_paper_description() {
+        let board = wildforce();
+        assert_eq!(board.pes().len(), 4);
+        assert!(board
+            .pes()
+            .iter()
+            .all(|p| p.device().name() == "XC4013E" && p.device().clbs() == 576));
+        // One 32 KB local memory per PE.
+        for i in 0..4 {
+            let banks = board.local_banks(PeId::new(i));
+            assert_eq!(banks.len(), 1);
+            assert_eq!(board.bank(banks[0]).capacity_bytes(), 32 * 1024);
+        }
+        // 36 fixed pins between neighbours only.
+        assert_eq!(board.channels_between(PeId::new(0), PeId::new(1)).len(), 1);
+        assert_eq!(board.channels_between(PeId::new(0), PeId::new(2)).len(), 0);
+        assert_eq!(
+            board
+                .channel(board.channels_between(PeId::new(1), PeId::new(2))[0])
+                .width_bits(),
+            36
+        );
+        // The crossbar connects any two PEs.
+        assert!(board.pes_connected(PeId::new(0), PeId::new(3)));
+        let xb = board.crossbar().expect("wildforce has a crossbar");
+        assert_eq!(xb.port_width_bits(), 36);
+        assert_eq!(xb.ports().len(), 4);
+    }
+
+    #[test]
+    fn duo_small_has_one_shared_bank() {
+        let board = duo_small();
+        assert_eq!(board.shared_banks().len(), 1);
+        assert_eq!(board.pes().len(), 2);
+    }
+
+    #[test]
+    fn quad_large_has_more_of_everything() {
+        let board = quad_large();
+        assert!(board.total_clbs() > wildforce().total_clbs());
+        assert!(board.total_memory_bits() > wildforce().total_memory_bits());
+        assert_eq!(board.shared_banks().len(), 2);
+    }
+}

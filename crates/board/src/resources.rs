@@ -1,0 +1,210 @@
+//! Resource accounting: tracks what a mapping has consumed on a board.
+
+use crate::board::{Board, PeId};
+use crate::memory::BankId;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A resource request that does not fit the board.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceError {
+    /// A PE has fewer free CLBs than requested.
+    ClbsExhausted {
+        /// The PE.
+        pe: PeId,
+        /// CLBs requested.
+        requested: u32,
+        /// CLBs still free.
+        free: u32,
+    },
+    /// A bank has fewer free words than requested.
+    BankExhausted {
+        /// The bank.
+        bank: BankId,
+        /// Words requested.
+        requested: u32,
+        /// Words still free.
+        free: u32,
+    },
+    /// A PE has fewer free pins than requested.
+    PinsExhausted {
+        /// The PE.
+        pe: PeId,
+        /// Pins requested.
+        requested: u32,
+        /// Pins still free.
+        free: u32,
+    },
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::ClbsExhausted { pe, requested, free } => {
+                write!(f, "{pe} has {free} CLBs free but {requested} were requested")
+            }
+            ResourceError::BankExhausted {
+                bank,
+                requested,
+                free,
+            } => {
+                write!(f, "{bank} has {free} words free but {requested} were requested")
+            }
+            ResourceError::PinsExhausted { pe, requested, free } => {
+                write!(f, "{pe} has {free} pins free but {requested} were requested")
+            }
+        }
+    }
+}
+
+impl Error for ResourceError {}
+
+/// Mutable ledger of free CLBs, bank words and pins for one board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceLedger {
+    free_clbs: Vec<u32>,
+    free_bank_words: Vec<u32>,
+    free_pins: Vec<u32>,
+}
+
+impl ResourceLedger {
+    /// Creates a ledger with everything free.
+    pub fn new(board: &Board) -> Self {
+        Self {
+            free_clbs: board.pes().iter().map(|p| p.device().clbs()).collect(),
+            free_bank_words: board.banks().iter().map(|b| b.words()).collect(),
+            free_pins: board.pes().iter().map(|p| p.device().user_pins()).collect(),
+        }
+    }
+
+    /// Free CLBs on `pe`.
+    pub fn free_clbs(&self, pe: PeId) -> u32 {
+        self.free_clbs[pe.index()]
+    }
+
+    /// Free words in `bank`.
+    pub fn free_bank_words(&self, bank: BankId) -> u32 {
+        self.free_bank_words[bank.index()]
+    }
+
+    /// Free pins on `pe`.
+    pub fn free_pins(&self, pe: PeId) -> u32 {
+        self.free_pins[pe.index()]
+    }
+
+    /// Reserves `clbs` CLBs on `pe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResourceError::ClbsExhausted`] when the PE lacks capacity;
+    /// the ledger is unchanged on error.
+    pub fn take_clbs(&mut self, pe: PeId, clbs: u32) -> Result<(), ResourceError> {
+        let free = &mut self.free_clbs[pe.index()];
+        if *free < clbs {
+            return Err(ResourceError::ClbsExhausted {
+                pe,
+                requested: clbs,
+                free: *free,
+            });
+        }
+        *free -= clbs;
+        Ok(())
+    }
+
+    /// Reserves `words` words in `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResourceError::BankExhausted`] when the bank lacks space;
+    /// the ledger is unchanged on error.
+    pub fn take_bank_words(&mut self, bank: BankId, words: u32) -> Result<(), ResourceError> {
+        let free = &mut self.free_bank_words[bank.index()];
+        if *free < words {
+            return Err(ResourceError::BankExhausted {
+                bank,
+                requested: words,
+                free: *free,
+            });
+        }
+        *free -= words;
+        Ok(())
+    }
+
+    /// Reserves `pins` pins on `pe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResourceError::PinsExhausted`] when the PE lacks pins; the
+    /// ledger is unchanged on error.
+    pub fn take_pins(&mut self, pe: PeId, pins: u32) -> Result<(), ResourceError> {
+        let free = &mut self.free_pins[pe.index()];
+        if *free < pins {
+            return Err(ResourceError::PinsExhausted {
+                pe,
+                requested: pins,
+                free: *free,
+            });
+        }
+        *free -= pins;
+        Ok(())
+    }
+
+    /// Releases previously reserved CLBs.
+    pub fn release_clbs(&mut self, pe: PeId, clbs: u32) {
+        self.free_clbs[pe.index()] += clbs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::wildforce;
+
+    #[test]
+    fn take_and_release_clbs() {
+        let board = wildforce();
+        let mut ledger = ResourceLedger::new(&board);
+        let pe = PeId::new(0);
+        assert_eq!(ledger.free_clbs(pe), 576);
+        ledger.take_clbs(pe, 500).unwrap();
+        assert_eq!(ledger.free_clbs(pe), 76);
+        let err = ledger.take_clbs(pe, 100).unwrap_err();
+        assert!(matches!(err, ResourceError::ClbsExhausted { free: 76, .. }));
+        // Ledger unchanged on error.
+        assert_eq!(ledger.free_clbs(pe), 76);
+        ledger.release_clbs(pe, 500);
+        assert_eq!(ledger.free_clbs(pe), 576);
+    }
+
+    #[test]
+    fn bank_words_accounting() {
+        let board = wildforce();
+        let mut ledger = ResourceLedger::new(&board);
+        let bank = BankId::new(2);
+        assert_eq!(ledger.free_bank_words(bank), 16 * 1024);
+        ledger.take_bank_words(bank, 16 * 1024).unwrap();
+        assert!(ledger.take_bank_words(bank, 1).is_err());
+    }
+
+    #[test]
+    fn pins_accounting() {
+        let board = wildforce();
+        let mut ledger = ResourceLedger::new(&board);
+        let pe = PeId::new(1);
+        assert_eq!(ledger.free_pins(pe), 192);
+        ledger.take_pins(pe, 36).unwrap();
+        ledger.take_pins(pe, 36).unwrap();
+        assert_eq!(ledger.free_pins(pe), 120);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ResourceError::PinsExhausted {
+            pe: PeId::new(0),
+            requested: 40,
+            free: 12,
+        };
+        assert_eq!(e.to_string(), "PE0 has 12 pins free but 40 were requested");
+    }
+}

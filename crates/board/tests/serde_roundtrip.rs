@@ -1,0 +1,30 @@
+//! Boards are data: serde round-trips preserve every preset bit for bit
+//! (the basis of the `board_from_json` portability example).
+
+use rcarb_board::board::Board;
+use rcarb_board::presets;
+
+#[test]
+fn presets_round_trip_through_json() {
+    for board in [presets::wildforce(), presets::duo_small(), presets::quad_large()] {
+        let json = serde_json::to_string(&board).expect("serializes");
+        let back: Board = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(board, back);
+    }
+}
+
+#[test]
+fn malformed_board_json_is_rejected() {
+    let garbage = r#"{"name": 7}"#;
+    assert!(serde_json::from_str::<Board>(garbage).is_err());
+}
+
+#[test]
+fn json_shape_is_stable_enough_to_edit() {
+    // The board_from_json example edits these paths; keep them stable.
+    let doc = serde_json::to_value(presets::wildforce()).expect("serializes");
+    assert!(doc["pes"][0]["device"]["clbs"].is_u64());
+    assert!(doc["banks"][0]["words"].is_u64());
+    assert_eq!(doc["name"], "Wildforce");
+    assert!(doc["crossbar"]["port_width_bits"].is_u64());
+}

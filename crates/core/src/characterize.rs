@@ -1,0 +1,163 @@
+//! Arbiter pre-characterization.
+//!
+//! Sec. 4.3: "Since arbiters are pre-characterized for the number of inputs
+//! and outputs, their area, and their delay, a precise estimation can be
+//! performed by the partitioners to ensure the fitness and speed of the
+//! contemplated design." This module builds those tables by sweeping the
+//! generator through the synthesis pipeline — the same sweep that
+//! regenerates the paper's Figs. 6 and 7.
+
+use crate::generator::{ArbiterGenerator, ArbiterSpec};
+use rcarb_board::device::SpeedGrade;
+use rcarb_logic::encode::EncodingStyle;
+use rcarb_logic::tools::ToolModel;
+
+/// One characterization row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharRow {
+    /// Arbiter size (number of tasks).
+    pub n: usize,
+    /// Synthesis tool name.
+    pub tool: &'static str,
+    /// Encoding actually used.
+    pub encoding: EncodingStyle,
+    /// Area in CLBs (Fig. 6 metric).
+    pub clbs: u32,
+    /// Maximum clock in MHz (Fig. 7 metric).
+    pub fmax_mhz: f64,
+    /// 4-input LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Critical-path LUT levels.
+    pub levels: u32,
+}
+
+/// The pre-characterization table consulted by the partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct Characterization {
+    rows: Vec<CharRow>,
+}
+
+impl Characterization {
+    /// Sweeps round-robin arbiters over `ns` for every (tool, encoding)
+    /// combination in the paper's evaluation: FPGA Express with one-hot
+    /// and compact, Synplify (which forces one-hot).
+    pub fn sweep_round_robin(ns: impl IntoIterator<Item = usize>, grade: SpeedGrade) -> Self {
+        let generator = ArbiterGenerator::new().with_grade(grade);
+        let express = ToolModel::fpga_express();
+        let synplify = ToolModel::synplify();
+        let mut rows = Vec::new();
+        for n in ns {
+            for (tool, encoding) in [
+                (&express, EncodingStyle::OneHot),
+                (&express, EncodingStyle::Compact),
+                (&synplify, EncodingStyle::OneHot),
+            ] {
+                let spec = ArbiterSpec::round_robin(n).with_encoding(encoding);
+                let report = generator.generate(&spec).synthesize(tool);
+                rows.push(CharRow {
+                    n,
+                    tool: report.tool,
+                    encoding: report.encoding_used,
+                    clbs: report.clbs(),
+                    fmax_mhz: report.fmax_mhz(),
+                    luts: report.clb.luts,
+                    ffs: report.clb.ffs,
+                    levels: report.timing.levels,
+                });
+            }
+        }
+        Self { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[CharRow] {
+        &self.rows
+    }
+
+    /// Looks up one row.
+    pub fn lookup(&self, n: usize, tool: &str, encoding: EncodingStyle) -> Option<&CharRow> {
+        self.rows
+            .iter()
+            .find(|r| r.n == n && r.tool == tool && r.encoding == encoding)
+    }
+
+    /// Rows for one (tool, encoding) series, ascending in `n` — one curve
+    /// of Fig. 6 / Fig. 7.
+    pub fn series(&self, tool: &str, encoding: EncodingStyle) -> Vec<&CharRow> {
+        let mut rows: Vec<&CharRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.tool == tool && r.encoding == encoding)
+            .collect();
+        rows.sort_by_key(|r| r.n);
+        rows
+    }
+}
+
+/// Quick estimate used by the partitioner when no full table is at hand:
+/// synthesizes a single round-robin arbiter with the Synplify model and
+/// returns `(clbs, fmax_mhz)`.
+pub fn estimate_round_robin(n: usize, grade: SpeedGrade) -> (u32, f64) {
+    let spec = ArbiterSpec::round_robin(n);
+    let report = ArbiterGenerator::new()
+        .with_grade(grade)
+        .generate(&spec)
+        .synthesize(&ToolModel::synplify());
+    (report.clbs(), report.fmax_mhz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_three_series() {
+        let c = Characterization::sweep_round_robin(2..=4, SpeedGrade::Minus3);
+        assert_eq!(c.rows().len(), 9);
+        assert_eq!(c.series("fpga_express", EncodingStyle::OneHot).len(), 3);
+        assert_eq!(c.series("fpga_express", EncodingStyle::Compact).len(), 3);
+        assert_eq!(c.series("synplify", EncodingStyle::OneHot).len(), 3);
+        // Synplify forced one-hot, so no compact series exists for it.
+        assert!(c.series("synplify", EncodingStyle::Compact).is_empty());
+    }
+
+    #[test]
+    fn area_series_grow_with_n() {
+        let c = Characterization::sweep_round_robin([2, 6, 10], SpeedGrade::Minus3);
+        for (tool, enc) in [
+            ("fpga_express", EncodingStyle::OneHot),
+            ("fpga_express", EncodingStyle::Compact),
+            ("synplify", EncodingStyle::OneHot),
+        ] {
+            let s = c.series(tool, enc);
+            assert!(
+                s.windows(2).all(|w| w[0].clbs <= w[1].clbs),
+                "{tool}/{enc}: area not monotone"
+            );
+            assert!(
+                s.windows(2).all(|w| w[0].fmax_mhz >= w[1].fmax_mhz),
+                "{tool}/{enc}: clock not monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_uses_more_ffs_than_compact() {
+        let c = Characterization::sweep_round_robin([8], SpeedGrade::Minus3);
+        let oh = c.lookup(8, "fpga_express", EncodingStyle::OneHot).unwrap();
+        let cp = c.lookup(8, "fpga_express", EncodingStyle::Compact).unwrap();
+        assert_eq!(oh.ffs, 16); // 2N one-hot states
+        assert_eq!(cp.ffs, 4); // ceil(log2 16)
+    }
+
+    #[test]
+    fn estimate_matches_full_sweep() {
+        let c = Characterization::sweep_round_robin([5], SpeedGrade::Minus3);
+        let row = c.lookup(5, "synplify", EncodingStyle::OneHot).unwrap();
+        let (clbs, fmax) = estimate_round_robin(5, SpeedGrade::Minus3);
+        assert_eq!(clbs, row.clbs);
+        assert!((fmax - row.fmax_mhz).abs() < 1e-9);
+    }
+}

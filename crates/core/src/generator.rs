@@ -1,0 +1,302 @@
+//! The parameterized arbiter generator.
+//!
+//! Mirrors the paper's Sec. 4.2 tool: given the number of tasks `N` (and an
+//! FSM encoding request), produce the round-robin arbiter as a symbolic
+//! FSM, a VHDL file, an executable hardware netlist and synthesis reports
+//! from both tool models. Baseline policies generate their structural
+//! netlists through the same interface so the Sec. 4 comparison can be run
+//! uniformly.
+
+use crate::fifo::FifoArbiter;
+use crate::policy::PolicyKind;
+use crate::priority::StaticPriorityArbiter;
+use crate::random::RandomArbiter;
+use crate::rr;
+use crate::vhdl;
+use rcarb_board::device::SpeedGrade;
+use rcarb_logic::encode::EncodingStyle;
+use rcarb_logic::fsm::Fsm;
+use rcarb_logic::netlist::Netlist;
+use rcarb_logic::tools::{SynthReport, ToolModel};
+
+/// What to generate: task count, FSM encoding, policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbiterSpec {
+    n: usize,
+    encoding: EncodingStyle,
+    policy: PolicyKind,
+}
+
+impl ArbiterSpec {
+    /// A round-robin arbiter for `n` tasks (the paper's default), one-hot
+    /// encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than 32.
+    pub fn round_robin(n: usize) -> Self {
+        assert!((1..=32).contains(&n), "arbiters support 1..=32 tasks");
+        Self {
+            n,
+            encoding: EncodingStyle::OneHot,
+            policy: PolicyKind::RoundRobin,
+        }
+    }
+
+    /// Selects the FSM encoding (meaningful for round-robin).
+    pub fn with_encoding(mut self, encoding: EncodingStyle) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Selects the arbitration policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of arbitrated tasks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The requested encoding.
+    pub fn encoding(&self) -> EncodingStyle {
+        self.encoding
+    }
+
+    /// The requested policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+}
+
+/// Generates arbiters from specs.
+#[derive(Debug, Clone)]
+pub struct ArbiterGenerator {
+    grade: SpeedGrade,
+}
+
+impl ArbiterGenerator {
+    /// A generator targeting the paper's `-3` speed grade.
+    pub fn new() -> Self {
+        Self {
+            grade: SpeedGrade::Minus3,
+        }
+    }
+
+    /// Overrides the target speed grade.
+    pub fn with_grade(mut self, grade: SpeedGrade) -> Self {
+        self.grade = grade;
+        self
+    }
+
+    /// Generates the arbiter described by `spec`.
+    pub fn generate(&self, spec: &ArbiterSpec) -> GeneratedArbiter {
+        let (fsm, structural, vhdl_text) = match spec.policy {
+            PolicyKind::RoundRobin => {
+                let fsm = rr::round_robin_fsm(spec.n);
+                let v = vhdl::round_robin_vhdl(spec.n, spec.encoding);
+                (Some(fsm), None, v)
+            }
+            PolicyKind::PreemptiveRoundRobin => {
+                let fsm = crate::preempt::preemptive_round_robin_fsm(
+                    spec.n,
+                    crate::policy::DEFAULT_PREEMPT_QUANTUM,
+                );
+                // No hand-written behavioural template exists for the
+                // quantum machine; emit the synthesized netlist instead.
+                let nl = ToolModel::synplify()
+                    .synthesize_fsm(&fsm, spec.encoding, self.grade)
+                    .netlist;
+                let v = vhdl::netlist_vhdl(&format!("prr_arbiter_n{}", spec.n), &nl);
+                (Some(fsm), None, v)
+            }
+            PolicyKind::Random => {
+                let nl = RandomArbiter::structural_netlist(spec.n);
+                let v = vhdl::netlist_vhdl(&format!("random_arbiter_n{}", spec.n), &nl);
+                (None, Some(nl), v)
+            }
+            PolicyKind::Fifo => {
+                let nl = FifoArbiter::structural_netlist(spec.n);
+                let v = vhdl::netlist_vhdl(&format!("fifo_arbiter_n{}", spec.n), &nl);
+                (None, Some(nl), v)
+            }
+            PolicyKind::StaticPriority => {
+                let nl = StaticPriorityArbiter::structural_netlist(spec.n);
+                let v = vhdl::netlist_vhdl(&format!("priority_arbiter_n{}", spec.n), &nl);
+                (None, Some(nl), v)
+            }
+        };
+        GeneratedArbiter {
+            spec: *spec,
+            grade: self.grade,
+            fsm,
+            structural,
+            vhdl: vhdl_text,
+        }
+    }
+}
+
+impl Default for ArbiterGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A generated arbiter: symbolic FSM (round-robin), structural netlist
+/// (baselines), VHDL text, plus on-demand synthesis.
+#[derive(Debug, Clone)]
+pub struct GeneratedArbiter {
+    spec: ArbiterSpec,
+    grade: SpeedGrade,
+    fsm: Option<Fsm>,
+    structural: Option<Netlist>,
+    vhdl: String,
+}
+
+impl GeneratedArbiter {
+    /// The generating spec.
+    pub fn spec(&self) -> &ArbiterSpec {
+        &self.spec
+    }
+
+    /// The symbolic Fig. 5 FSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-round-robin policies, which are generated
+    /// structurally; use [`netlist`](Self::netlist) instead.
+    pub fn fsm(&self) -> &Fsm {
+        self.fsm
+            .as_ref()
+            .expect("only round-robin arbiters have a symbolic FSM")
+    }
+
+    /// The generated VHDL source.
+    pub fn vhdl(&self) -> &str {
+        &self.vhdl
+    }
+
+    /// The arbiter in KISS2 format (FSM-based policies only), consumable
+    /// by SIS/ABC for cross-checking the characterization.
+    pub fn kiss2(&self) -> Option<String> {
+        self.fsm.as_ref().map(rcarb_logic::export::fsm_to_kiss2)
+    }
+
+    /// The `tool`-synthesized netlist in BLIF format.
+    pub fn blif(&self, tool: &ToolModel) -> String {
+        let nl = self.netlist(tool);
+        rcarb_logic::export::netlist_to_blif(
+            &format!("{}_arbiter_n{}", self.spec.policy, self.spec.n).replace('-', "_"),
+            &nl,
+        )
+    }
+
+    /// An executable hardware netlist: the structural one for baselines,
+    /// or the `tool`-synthesized one for round-robin.
+    pub fn netlist(&self, tool: &ToolModel) -> Netlist {
+        match (&self.fsm, &self.structural) {
+            (Some(fsm), _) => tool
+                .synthesize_fsm(fsm, self.spec.encoding, self.grade)
+                .netlist,
+            (None, Some(nl)) => nl.clone(),
+            (None, None) => unreachable!("generator always fills one representation"),
+        }
+    }
+
+    /// Synthesizes with `tool` and reports area/timing.
+    ///
+    /// Round-robin arbiters run the full FSM pipeline (encoding,
+    /// minimization, mapping); baselines pack/time their structural
+    /// netlists through the same back end.
+    pub fn synthesize(&self, tool: &ToolModel) -> SynthReport {
+        match &self.fsm {
+            Some(fsm) => tool.synthesize_fsm(fsm, self.spec.encoding, self.grade),
+            None => {
+                let nl = self.structural.clone().expect("structural netlist");
+                let clb = rcarb_logic::clb::pack(&nl, 0.85);
+                let timing = rcarb_logic::timing::analyze(&nl, self.grade);
+                SynthReport {
+                    tool: tool.name(),
+                    encoding_used: self.spec.encoding,
+                    clb,
+                    timing,
+                    netlist: nl,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_generation_produces_fsm_and_vhdl() {
+        let spec = ArbiterSpec::round_robin(6).with_encoding(EncodingStyle::OneHot);
+        let arb = ArbiterGenerator::new().generate(&spec);
+        assert_eq!(arb.fsm().num_states(), 12);
+        assert!(arb.vhdl().contains("entity rr_arbiter_n6"));
+    }
+
+    #[test]
+    fn baseline_generation_produces_netlist_vhdl() {
+        let spec = ArbiterSpec::round_robin(4).with_policy(PolicyKind::Fifo);
+        let arb = ArbiterGenerator::new().generate(&spec);
+        assert!(arb.vhdl().contains("entity fifo_arbiter_n4"));
+        let report = arb.synthesize(&ToolModel::synplify());
+        assert!(report.clbs() > 0);
+    }
+
+    #[test]
+    fn synthesized_rr_netlist_grants_like_behavioural_model() {
+        use crate::policy::Policy;
+        let spec = ArbiterSpec::round_robin(4);
+        let arb = ArbiterGenerator::new().generate(&spec);
+        let nl = arb.netlist(&ToolModel::synplify());
+        let mut beh = crate::rr::RoundRobinArbiter::new(4);
+        let mut state = nl.reset_state();
+        let mut x = 77u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let req = x & 0b1111;
+            let bits: Vec<bool> = (0..4).map(|i| req >> i & 1 != 0).collect();
+            let hw = nl.step(&mut state, &bits);
+            let hw_word = hw
+                .iter()
+                .enumerate()
+                .fold(0u64, |w, (i, &g)| if g { w | 1 << i } else { w });
+            assert_eq!(hw_word, beh.step(req));
+        }
+    }
+
+    #[test]
+    fn kiss2_and_blif_exports_are_generated() {
+        let arb = ArbiterGenerator::new().generate(&ArbiterSpec::round_robin(3));
+        let kiss2 = arb.kiss2().expect("round-robin has an FSM");
+        assert!(kiss2.starts_with(".i 3\n.o 3\n"));
+        assert!(kiss2.contains(".r F1"));
+        let blif = arb.blif(&ToolModel::synplify());
+        assert!(blif.starts_with(".model round_robin_arbiter_n3"));
+        assert!(blif.contains(".latch"));
+        // Structural policies have no FSM to export.
+        let fifo = ArbiterGenerator::new()
+            .generate(&ArbiterSpec::round_robin(3).with_policy(PolicyKind::Fifo));
+        assert!(fifo.kiss2().is_none());
+        assert!(fifo.blif(&ToolModel::synplify()).contains(".latch"));
+    }
+
+    #[test]
+    fn area_grows_with_n_for_round_robin() {
+        let g = ArbiterGenerator::new();
+        let tool = ToolModel::fpga_express();
+        let a2 = g.generate(&ArbiterSpec::round_robin(2)).synthesize(&tool);
+        let a10 = g.generate(&ArbiterSpec::round_robin(10)).synthesize(&tool);
+        assert!(a10.clbs() > a2.clbs());
+        assert!(a10.fmax_mhz() < a2.fmax_mhz());
+    }
+}

@@ -1,0 +1,364 @@
+//! Interconnect synthesis reporting (the paper's Fig. 9 "Interconnect
+//! Synthesis" stage and the wire labels of Fig. 11).
+//!
+//! After placement, binding, merging and arbiter insertion, each
+//! processing element needs a known number of lines through the board's
+//! interconnect: data/address/select lines to every remote bank it
+//! touches, the merged channels it drives or reads, and — the Fig. 11
+//! "+2" annotations — one Request/Grant pair per remote arbiter client.
+//! This module computes those totals so the flow can check them against
+//! the crossbar port width (36 bits on the Wildforce).
+
+use crate::channel::ChannelMergePlan;
+use crate::insertion::{ArbitratedResource, ArbitrationPlan};
+use crate::memmap::MemoryBinding;
+use rcarb_board::board::{Board, PeId};
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::TaskId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One task's off-chip connection, in Fig. 11's `data+reqgrant` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// The task.
+    pub task: TaskId,
+    /// The task's PE.
+    pub from: PeId,
+    /// What it connects to.
+    pub target: EdgeTarget,
+    /// Data/address/select lines.
+    pub data_lines: u32,
+    /// Request/Grant pairs riding along (2 wires each).
+    pub req_grant_pairs: u32,
+}
+
+/// What an [`Edge`] connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeTarget {
+    /// A memory bank on another PE.
+    RemoteBank(rcarb_board::memory::BankId),
+    /// A merged channel route (index into the merge plan).
+    MergedChannel(usize),
+}
+
+impl Edge {
+    /// The Fig. 11 label, e.g. `"25+2+2"` for 25 data lines and two
+    /// Request/Grant pairs.
+    pub fn label(&self) -> String {
+        let mut s = self.data_lines.to_string();
+        for _ in 0..self.req_grant_pairs {
+            s.push_str("+2");
+        }
+        s
+    }
+
+    /// Total wires consumed.
+    pub fn total_wires(&self) -> u32 {
+        self.data_lines + 2 * self.req_grant_pairs
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.target {
+            EdgeTarget::RemoteBank(b) => {
+                write!(f, "{} ({}) -> bank {}: {}", self.task, self.from, b, self.label())
+            }
+            EdgeTarget::MergedChannel(i) => {
+                write!(f, "{} ({}) -> route #{}: {}", self.task, self.from, i, self.label())
+            }
+        }
+    }
+}
+
+/// The interconnect summary of one placed, arbitrated stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterconnectReport {
+    /// Every off-chip connection.
+    pub edges: Vec<Edge>,
+    /// Wires through each PE's interconnect port, indexed by PE.
+    pub pe_wires: Vec<u32>,
+}
+
+impl InterconnectReport {
+    /// PEs whose wire demand exceeds `port_width` (e.g. the 36-bit
+    /// Wildforce crossbar port), as `(pe, demand)`.
+    pub fn over_budget(&self, port_width: u32) -> Vec<(PeId, u32)> {
+        self.pe_wires
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > port_width)
+            .map(|(i, &w)| (PeId::new(i as u32), w))
+            .collect()
+    }
+
+    /// PEs whose wire demand exceeds their total off-chip connectivity on
+    /// `board` (crossbar port plus fixed neighbour pins, capped by the
+    /// device's user-pin count), as `(pe, demand, budget)`.
+    pub fn over_board_budget(&self, board: &Board) -> Vec<(PeId, u32, u32)> {
+        self.pe_wires
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &w)| {
+                let pe = PeId::new(i as u32);
+                let budget = pe_connectivity(board, pe);
+                (w > budget).then_some((pe, w, budget))
+            })
+            .collect()
+    }
+}
+
+/// A PE's total off-chip wire budget: its crossbar port (if any) plus
+/// every fixed pin bundle it touches, capped by the device's user pins.
+pub fn pe_connectivity(board: &Board, pe: PeId) -> u32 {
+    let crossbar = board
+        .crossbar()
+        .filter(|xb| xb.reaches(pe))
+        .map(|xb| xb.port_width_bits())
+        .unwrap_or(0);
+    let fixed: u32 = board
+        .channels()
+        .iter()
+        .filter(|c| c.touches(pe))
+        .map(|c| c.width_bits())
+        .sum();
+    (crossbar + fixed).min(board.pe(pe).device().user_pins())
+}
+
+/// Computes the interconnect report for a placed stage.
+///
+/// A task on PE `p` accessing a bank local to PE `q != p` consumes the
+/// bank's address lines, data lines and one select line through the
+/// interconnect, plus one Request/Grant pair if the bank is arbitrated
+/// and the task is one of its protocol clients. Channel routes charge
+/// their full width to the writer and the reader, plus the writer's
+/// Request/Grant pair when the route is arbitrated. Shared banks (local
+/// to no PE) charge every accessor.
+///
+/// Per-PE wire totals apply the paper's pin-reuse principle (Sec. 1.2):
+/// all of a PE's remote-bank connections time-share one tri-stated bus —
+/// the arbitration protocol already serializes them — so the data-line
+/// contribution is the *maximum* connection width, while every
+/// Request/Grant pair needs its own two wires and every channel route its
+/// own pins.
+pub fn report(
+    graph: &TaskGraph,
+    board: &Board,
+    binding: &MemoryBinding,
+    merges: &ChannelMergePlan,
+    plan: &ArbitrationPlan,
+    placement: &dyn Fn(TaskId) -> PeId,
+) -> InterconnectReport {
+    let mut edges = Vec::new();
+    let num_pes = board.pes().len();
+    let mut bank_bus_max = vec![0u32; num_pes];
+    let mut rg_pairs = vec![0u32; num_pes];
+    let mut route_touched: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+
+    // Bank accesses. Group a task's segments by bank so one port serves
+    // all its segments in that bank.
+    for task in graph.tasks() {
+        let pe = placement(task.id());
+        let mut banks: BTreeMap<rcarb_board::memory::BankId, ()> = BTreeMap::new();
+        for s in task.program().segments_accessed() {
+            if let Some(b) = binding.bank_of(s) {
+                banks.insert(b, ());
+            }
+        }
+        for (&bank, ()) in &banks {
+            let model = board.bank(bank);
+            if model.local_pe() == Some(pe) {
+                continue; // local access: no interconnect lines
+            }
+            let addr_bits = if model.words() <= 1 {
+                1
+            } else {
+                32 - (model.words() - 1).leading_zeros()
+            };
+            let data_lines = addr_bits + model.width_bits() + 1;
+            let req_grant_pairs = plan
+                .arbiter_for(ArbitratedResource::Bank(bank))
+                .and_then(|a| a.port_of(task.id()))
+                .map(|_| 1)
+                .unwrap_or(0);
+            let edge = Edge {
+                task: task.id(),
+                from: pe,
+                target: EdgeTarget::RemoteBank(bank),
+                data_lines,
+                req_grant_pairs,
+            };
+            bank_bus_max[pe.index()] = bank_bus_max[pe.index()].max(edge.data_lines);
+            rg_pairs[pe.index()] += edge.req_grant_pairs;
+            edges.push(edge);
+        }
+    }
+
+    // Merged channel routes.
+    for (mi, merge) in merges.merges().iter().enumerate() {
+        let arbiter = plan.arbiter_for(ArbitratedResource::MergedChannel(mi));
+        let mut endpoints: BTreeMap<TaskId, bool> = BTreeMap::new(); // task -> is_writer
+        for &c in &merge.logicals {
+            let ch = graph.channel(c);
+            endpoints.insert(ch.writer(), true);
+            endpoints.entry(ch.reader()).or_insert(false);
+        }
+        for (&task, &is_writer) in &endpoints {
+            let pe = placement(task);
+            let req_grant_pairs = if is_writer {
+                arbiter
+                    .and_then(|a| a.port_of(task))
+                    .map(|_| 1)
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let edge = Edge {
+                task,
+                from: pe,
+                target: EdgeTarget::MergedChannel(mi),
+                data_lines: merge.width_bits,
+                req_grant_pairs,
+            };
+            // A route's pins land on a PE once, however many endpoints
+            // sit there; Request/Grant pairs are per client.
+            route_touched.insert((mi, pe.index()), merge.width_bits);
+            rg_pairs[pe.index()] += edge.req_grant_pairs;
+            edges.push(edge);
+        }
+    }
+
+    let mut pe_wires = vec![0u32; num_pes];
+    for pe in 0..num_pes {
+        pe_wires[pe] = bank_bus_max[pe] + 2 * rg_pairs[pe];
+    }
+    for (&(_, pe), &width) in &route_touched {
+        pe_wires[pe] += width;
+    }
+
+    InterconnectReport { edges, pe_wires }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::{insert_arbiters, InsertionConfig};
+    use crate::memmap::bind_segments;
+    use rcarb_board::presets;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    #[test]
+    fn remote_arbitrated_bank_gets_the_plus_two() {
+        // Two tasks on PE0/PE3 share a bank local to PE1: both edges are
+        // remote and arbitrated.
+        let mut b = TaskGraphBuilder::new("x");
+        let m1 = b.segment("M1", 1024, 16);
+        let m2 = b.segment("M2", 1024, 16);
+        let t0 = b.task(
+            "T0",
+            Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))),
+        );
+        let t1 = b.task(
+            "T1",
+            Program::build(|p| p.mem_write(m2, Expr::lit(0), Expr::lit(2))),
+        );
+        let graph = b.finish().unwrap();
+        let board = presets::wildforce();
+        let pe1 = PeId::new(1);
+        let binding = bind_segments(graph.segments(), &board, &|_| Some(pe1)).unwrap();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper(),
+        );
+        assert_eq!(plan.arbiter_sizes(), vec![2]);
+        let place = |t: TaskId| if t == t0 { PeId::new(0) } else { PeId::new(3) };
+        let rep = report(&graph, &board, &binding, &ChannelMergePlan::default(), &plan, &place);
+        assert_eq!(rep.edges.len(), 2);
+        for e in &rep.edges {
+            // 14 addr + 16 data + 1 select = 31 lines, plus one R/G pair.
+            assert_eq!(e.data_lines, 31);
+            assert_eq!(e.req_grant_pairs, 1);
+            assert_eq!(e.label(), "31+2");
+            assert_eq!(e.total_wires(), 33);
+        }
+        assert_eq!(rep.pe_wires[0], 33);
+        assert_eq!(rep.pe_wires[3], 33);
+        assert_eq!(rep.pe_wires[1], 0); // bank-local side is on-chip
+        let _ = t1;
+    }
+
+    #[test]
+    fn local_access_consumes_no_wires() {
+        let mut b = TaskGraphBuilder::new("x");
+        let m1 = b.segment("M1", 64, 16);
+        let t0 = b.task(
+            "T0",
+            Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))),
+        );
+        let graph = b.finish().unwrap();
+        let board = presets::wildforce();
+        let pe0 = PeId::new(0);
+        let binding = bind_segments(graph.segments(), &board, &|_| Some(pe0)).unwrap();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper(),
+        );
+        let rep = report(&graph, &board, &binding, &ChannelMergePlan::default(), &plan, &|_| pe0);
+        assert!(rep.edges.is_empty());
+        assert!(rep.over_budget(36).is_empty());
+        let _ = t0;
+    }
+
+    #[test]
+    fn merged_channel_charges_writer_and_reader() {
+        use crate::channel::plan_merges;
+        let mut b = TaskGraphBuilder::new("chan");
+        let w0 = b.task("w0", Program::empty());
+        let w1 = b.task("w1", Program::empty());
+        let r0 = b.task("r0", Program::empty());
+        let r1 = b.task("r1", Program::empty());
+        let c0 = b.channel("c0", 8, w0, r0);
+        let c1 = b.channel("c1", 8, w1, r1);
+        let mut graph = b.finish().unwrap();
+        graph.task_mut(w0).set_program(Program::build(|p| p.send(c0, Expr::lit(1))));
+        graph.task_mut(w1).set_program(Program::build(|p| p.send(c1, Expr::lit(2))));
+        let board = presets::duo_small();
+        let place = |t: TaskId| PeId::new(u32::from(t.index() >= 2));
+        let merges = plan_merges(&graph, &board, &place).unwrap();
+        let binding = MemoryBinding::default();
+        let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        let rep = report(&graph, &board, &binding, &merges, &plan, &place);
+        // Four endpoints on the 16-bit merged route.
+        assert_eq!(rep.edges.len(), 4);
+        let writers: Vec<&Edge> = rep
+            .edges
+            .iter()
+            .filter(|e| e.req_grant_pairs == 1)
+            .collect();
+        assert_eq!(writers.len(), 2, "both writers are arbitrated");
+        assert!(rep
+            .edges
+            .iter()
+            .all(|e| e.data_lines == 16));
+        // PE0 hosts both writers: the route's 16 pins land once, plus two
+        // Request/Grant pairs.
+        assert_eq!(rep.pe_wires[0], 16 + 4);
+        // PE1 hosts the two readers: just the route pins.
+        assert_eq!(rep.pe_wires[1], 16);
+    }
+
+    #[test]
+    fn over_budget_detects_port_overflow() {
+        let rep = InterconnectReport {
+            edges: Vec::new(),
+            pe_wires: vec![12, 40, 36],
+        };
+        assert_eq!(rep.over_budget(36), vec![(PeId::new(1), 40)]);
+    }
+}

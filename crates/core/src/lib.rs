@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: automatic resource arbitration for
+//! reconfigurable computing.
+//!
+//! This crate implements every mechanism of Ouaiss & Vemuri (DATE 2000):
+//!
+//! - [`rr`] — the round-robin arbiter of Fig. 5: a Mealy FSM with states
+//!   `C1..CN` (task i holds the resource) and `F1..FN` (resource free, task
+//!   i has top priority), plus an exact behavioural model;
+//! - [`policy`] — the arbitration-policy abstraction, with the baseline
+//!   policies the paper examined and rejected ([`random`], [`fifo`],
+//!   [`priority`]) implemented both behaviourally and as structural
+//!   netlists so their area/delay cost can be compared (Sec. 4);
+//! - [`generator`]/[`vhdl`] — the parameterized arbiter generator,
+//!   emitting synthesizable VHDL and synthesized reports for N in any
+//!   range (the paper sweeps N in [2, 10] for Figs. 6–7);
+//! - [`characterize`] — pre-characterization tables (area, clock) that the
+//!   partitioners consult, as Sec. 4.3 requires;
+//! - [`mod@line`] — shared-line driving policies: tri-state for address/data,
+//!   OR-resolution for active-high controls, AND-resolution for active-low
+//!   (Fig. 4);
+//! - [`memmap`] — binding of logical memory segments onto physical banks
+//!   (Sec. 1.1, Fig. 2);
+//! - [`channel`] — merging of logical channels onto scarce physical
+//!   channels, with receiving-end registers and source tri-states (Fig. 3,
+//!   Table 1);
+//! - [`transform`] — the task-modification process of Fig. 8: wrap
+//!   resource accesses in Request/Grant protocol ops, releasing the
+//!   request after every `M` accesses;
+//! - [`elision`] — dependency-aware arbiter elision (Sec. 5: ordered tasks
+//!   need no arbiter, only correct default line driving);
+//! - [`insertion`] — the post-spatial-partitioning pass that decides where
+//!   arbiters go, sizes them and rewrites the affected tasks (reproducing
+//!   Fig. 11's arbiter inventory);
+//! - [`interconnect`] — interconnect-synthesis reporting: per-PE wire
+//!   totals in Fig. 11's `data+2+2` notation, checked against crossbar
+//!   port budgets;
+//! - [`preempt`] — the preemptive round-robin variant sketched as future
+//!   work in Sec. 6.
+
+pub mod channel;
+pub mod characterize;
+pub mod elision;
+pub mod fifo;
+pub mod generator;
+pub mod insertion;
+pub mod interconnect;
+pub mod line;
+pub mod memmap;
+pub mod policy;
+pub mod preempt;
+pub mod priority;
+pub mod random;
+pub mod rr;
+pub mod transform;
+pub mod vhdl;
+
+pub use generator::{ArbiterGenerator, ArbiterSpec, GeneratedArbiter};
+pub use insertion::{ArbitrationPlan, InsertionConfig};
+pub use policy::{Policy, PolicyKind};
+pub use rr::RoundRobinArbiter;

@@ -1,0 +1,262 @@
+//! Memory mapping: logical segments onto physical banks (Sec. 1.1).
+//!
+//! When the design declares more logical data segments than the board has
+//! banks (`L > P`), several segments share a bank. The binding below packs
+//! segments first-fit-decreasing by size, optionally honouring a placement
+//! preference (segments accessed by tasks on PE *p* prefer banks local to
+//! *p*). Banks that end up hosting segments with more than one accessor
+//! task are the arbitration sites of Fig. 2.
+
+use rcarb_board::board::{Board, PeId};
+use rcarb_board::memory::BankId;
+use rcarb_taskgraph::id::SegmentId;
+use rcarb_taskgraph::segment::MemorySegment;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A failed binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// A single segment does not fit in any bank (too many words or too
+    /// wide).
+    SegmentUnplaceable {
+        /// The offending segment.
+        segment: SegmentId,
+    },
+    /// The segments collectively exceed the board's memory.
+    CapacityExceeded {
+        /// Words requested across all segments.
+        requested_words: u64,
+        /// Words available across all banks.
+        available_words: u64,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::SegmentUnplaceable { segment } => {
+                write!(f, "segment {segment} fits no bank on this board")
+            }
+            BindError::CapacityExceeded {
+                requested_words,
+                available_words,
+            } => write!(
+                f,
+                "design needs {requested_words} memory words but the board offers {available_words}"
+            ),
+        }
+    }
+}
+
+impl Error for BindError {}
+
+/// One placed segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The physical bank.
+    pub bank: BankId,
+    /// Word offset of the segment's base inside the bank.
+    pub offset: u32,
+}
+
+/// A complete binding of logical segments to physical banks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryBinding {
+    placements: BTreeMap<SegmentId, Placement>,
+}
+
+impl MemoryBinding {
+    /// The bank hosting `segment`, if bound.
+    pub fn bank_of(&self, segment: SegmentId) -> Option<BankId> {
+        self.placements.get(&segment).map(|p| p.bank)
+    }
+
+    /// The placement of `segment`, if bound.
+    pub fn placement(&self, segment: SegmentId) -> Option<Placement> {
+        self.placements.get(&segment).copied()
+    }
+
+    /// All segments bound to `bank`, in id order.
+    pub fn segments_in(&self, bank: BankId) -> Vec<SegmentId> {
+        self.placements
+            .iter()
+            .filter(|(_, p)| p.bank == bank)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Banks that host at least one segment, in id order.
+    pub fn used_banks(&self) -> Vec<BankId> {
+        let mut banks: Vec<BankId> = self.placements.values().map(|p| p.bank).collect();
+        banks.sort();
+        banks.dedup();
+        banks
+    }
+
+    /// Number of bound segments.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+/// Binds `segments` onto the banks of `board` first-fit-decreasing.
+///
+/// `prefer` may return the PE whose local banks should be tried first for
+/// a given segment (pass `|_| None` for no preference). Banks are tried in
+/// preference order, then remaining banks in id order.
+///
+/// # Errors
+///
+/// Returns [`BindError`] when a segment fits nowhere or aggregate capacity
+/// is exceeded.
+pub fn bind_segments(
+    segments: &[MemorySegment],
+    board: &Board,
+    prefer: &dyn Fn(SegmentId) -> Option<PeId>,
+) -> Result<MemoryBinding, BindError> {
+    let requested: u64 = segments.iter().map(|s| u64::from(s.words())).sum();
+    let available: u64 = board.banks().iter().map(|b| u64::from(b.words())).sum();
+    if requested > available {
+        return Err(BindError::CapacityExceeded {
+            requested_words: requested,
+            available_words: available,
+        });
+    }
+
+    let mut free_words: Vec<u32> = board.banks().iter().map(|b| b.words()).collect();
+    let mut next_offset: Vec<u32> = vec![0; board.banks().len()];
+    let mut order: Vec<&MemorySegment> = segments.iter().collect();
+    order.sort_by_key(|s| std::cmp::Reverse((s.words(), s.id())));
+
+    let mut binding = MemoryBinding::default();
+    for seg in order {
+        let preferred_pe = prefer(seg.id());
+        // Candidate order implements the paper's L <= P rule (each segment
+        // on its own bank when possible): preferred-PE banks first, then
+        // still-empty banks, then already-occupied banks.
+        let mut candidates: Vec<BankId> = Vec::new();
+        if let Some(pe) = preferred_pe {
+            candidates.extend(board.local_banks(pe));
+        }
+        let occupied: Vec<BankId> = binding.used_banks();
+        for bank in board.banks() {
+            if !candidates.contains(&bank.id()) && !occupied.contains(&bank.id()) {
+                candidates.push(bank.id());
+            }
+        }
+        for bank in board.banks() {
+            if !candidates.contains(&bank.id()) {
+                candidates.push(bank.id());
+            }
+        }
+        let slot = candidates.into_iter().find(|&b| {
+            let bank = board.bank(b);
+            bank.width_bits() >= seg.width_bits() && free_words[b.index()] >= seg.words()
+        });
+        match slot {
+            Some(b) => {
+                binding.placements.insert(
+                    seg.id(),
+                    Placement {
+                        bank: b,
+                        offset: next_offset[b.index()],
+                    },
+                );
+                free_words[b.index()] -= seg.words();
+                next_offset[b.index()] += seg.words();
+            }
+            None => return Err(BindError::SegmentUnplaceable { segment: seg.id() }),
+        }
+    }
+    Ok(binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_taskgraph::segment::MemorySegment;
+
+    fn seg(i: u32, name: &str, words: u32) -> MemorySegment {
+        MemorySegment::new(SegmentId::new(i), name, words, 16)
+    }
+
+    #[test]
+    fn few_segments_map_one_per_bank() {
+        // L <= P: "the mapping is straightforward".
+        let board = presets::wildforce();
+        let segs = vec![seg(0, "A", 1024), seg(1, "B", 1024), seg(2, "C", 1024)];
+        let binding = bind_segments(&segs, &board, &|_| None).unwrap();
+        assert_eq!(binding.len(), 3);
+    }
+
+    #[test]
+    fn overflow_forces_sharing() {
+        // L > P with big segments: two 12K segments cannot share a 16K
+        // bank, but a 12K and a 4K can.
+        let board = presets::duo_small(); // one 4096-word shared bank
+        let segs = vec![seg(0, "A", 3000), seg(1, "B", 1000)];
+        let binding = bind_segments(&segs, &board, &|_| None).unwrap();
+        assert_eq!(
+            binding.bank_of(SegmentId::new(0)),
+            binding.bank_of(SegmentId::new(1))
+        );
+        let bank = binding.bank_of(SegmentId::new(0)).unwrap();
+        assert_eq!(binding.segments_in(bank).len(), 2);
+        // Offsets do not overlap: larger segment placed first at 0.
+        assert_eq!(binding.placement(SegmentId::new(0)).unwrap().offset, 0);
+        assert_eq!(binding.placement(SegmentId::new(1)).unwrap().offset, 3000);
+    }
+
+    #[test]
+    fn capacity_violation_reported() {
+        let board = presets::duo_small();
+        let segs = vec![seg(0, "A", 4000), seg(1, "B", 4000)];
+        let err = bind_segments(&segs, &board, &|_| None).unwrap_err();
+        assert!(matches!(err, BindError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn unplaceable_segment_reported() {
+        // Fits aggregate capacity but no single bank.
+        let board = presets::wildforce(); // 4 banks of 16K
+        let segs = [
+            seg(0, "A", 1),
+            seg(1, "huge", 17 * 1024),
+            seg(2, "C", 16 * 1024),
+        ];
+        let err = bind_segments(&segs, &board, &|_| None).unwrap_err();
+        assert_eq!(
+            err,
+            BindError::SegmentUnplaceable {
+                segment: SegmentId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn preference_steers_to_local_bank() {
+        let board = presets::wildforce();
+        let segs = vec![seg(0, "A", 128)];
+        let pe3 = rcarb_board::board::PeId::new(3);
+        let binding = bind_segments(&segs, &board, &|_| Some(pe3)).unwrap();
+        let bank = binding.bank_of(SegmentId::new(0)).unwrap();
+        assert_eq!(board.bank(bank).local_pe(), Some(pe3));
+    }
+
+    #[test]
+    fn width_mismatch_skips_narrow_banks() {
+        // duo_small's bank is 16 bits wide; a 32-bit segment fits nowhere.
+        let board = presets::duo_small();
+        let wide = MemorySegment::new(SegmentId::new(0), "W", 4, 32);
+        let err = bind_segments(&[wide], &board, &|_| None).unwrap_err();
+        assert!(matches!(err, BindError::SegmentUnplaceable { .. }));
+    }
+}

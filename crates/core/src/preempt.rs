@@ -1,0 +1,352 @@
+//! Preemptive round-robin (the paper's Sec. 6 future work).
+//!
+//! The plain Fig. 5 arbiter lets a task that never deasserts its request
+//! hold the resource forever — the paper relies on the automated task
+//! modification to bound holds, and suggests preemption "to ensure that no
+//! task is granted access to a shared resource and never relinquishes its
+//! request". This variant adds a quantum counter: after `quantum`
+//! consecutive granted cycles, a holder loses the grant to the next
+//! requester (if any), restoring starvation freedom even against
+//! non-cooperative tasks.
+
+use crate::policy::{Policy, PolicyKind};
+use rcarb_logic::cube::Cube;
+use rcarb_logic::fsm::{Fsm, Transition};
+
+/// State index of `C_{i,k}` ("task i has held for k cycles", `k` in
+/// `1..=quantum`) in [`preemptive_round_robin_fsm`].
+pub fn held_state(quantum: u32, i: usize, k: u32) -> usize {
+    i * quantum as usize + (k as usize - 1)
+}
+
+/// State index of `F_i` in [`preemptive_round_robin_fsm`].
+pub fn free_state(n: usize, quantum: u32, i: usize) -> usize {
+    n * quantum as usize + i
+}
+
+/// Builds the preemptive round-robin arbiter as a synthesizable FSM:
+/// the Fig. 5 machine extended with a per-holder quantum counter, so the
+/// state count grows from `2N` to `N(quantum + 1)` — the hardware price
+/// of the paper's Sec. 6 suggestion, measurable through the same
+/// synthesis pipeline as the plain arbiter.
+///
+/// # Panics
+///
+/// Panics if `n` is outside `1..=32` or `quantum` is zero.
+pub fn preemptive_round_robin_fsm(n: usize, quantum: u32) -> Fsm {
+    assert!((1..=32).contains(&n), "preemptive FSM supports 1..=32 tasks");
+    assert!(quantum > 0, "quantum must be at least one cycle");
+    let q = quantum;
+    let mut fsm = Fsm::new(format!("prr_arbiter_n{n}_q{q}"), n, n);
+    for i in 0..n {
+        for k in 1..=q {
+            fsm.add_state(format!("C{}_{k}", i + 1));
+        }
+    }
+    for i in 0..n {
+        fsm.add_state(format!("F{}", i + 1));
+    }
+    fsm.set_reset(free_state(n, q, 0));
+
+    // Guard: tasks at cyclic offsets `order[..pos]` idle, `order[pos]`
+    // requesting.
+    let first_in = |order: &[usize], pos: usize| {
+        let mut guard = Cube::universe();
+        for &m in &order[..pos] {
+            guard = guard.with_lit(m, false);
+        }
+        guard.with_lit(order[pos], true)
+    };
+    let zeroes = (0..n).fold(Cube::universe(), |c, v| c.with_lit(v, false));
+
+    for i in 0..n {
+        // F_i: scan from i, winners start a fresh quantum.
+        let order: Vec<usize> = (0..n).map(|k| (i + k) % n).collect();
+        fsm.add_transition(Transition {
+            from: free_state(n, q, i),
+            guard: zeroes,
+            to: free_state(n, q, i),
+            outputs: 0,
+        });
+        for (pos, &j) in order.iter().enumerate() {
+            fsm.add_transition(Transition {
+                from: free_state(n, q, i),
+                guard: first_in(&order, pos),
+                to: held_state(q, j, 1),
+                outputs: 1 << j,
+            });
+        }
+        for k in 1..=q {
+            let from = held_state(q, i, k);
+            fsm.add_transition(Transition {
+                from,
+                guard: zeroes,
+                to: free_state(n, q, (i + 1) % n),
+                outputs: 0,
+            });
+            if k < q {
+                // Inside the quantum: the holder is honoured first.
+                let order: Vec<usize> = (0..n).map(|m| (i + m) % n).collect();
+                for (pos, &j) in order.iter().enumerate() {
+                    let to = if j == i {
+                        held_state(q, i, k + 1)
+                    } else {
+                        held_state(q, j, 1)
+                    };
+                    fsm.add_transition(Transition {
+                        from,
+                        guard: first_in(&order, pos),
+                        to,
+                        outputs: 1 << j,
+                    });
+                }
+            } else {
+                // Quantum expired: everyone else outranks the holder, who
+                // may only continue (with a fresh quantum) when alone.
+                let order: Vec<usize> = (1..=n).map(|m| (i + m) % n).collect();
+                for (pos, &j) in order.iter().enumerate() {
+                    fsm.add_transition(Transition {
+                        from,
+                        guard: first_in(&order, pos),
+                        to: held_state(q, j, 1),
+                        outputs: 1 << j,
+                    });
+                }
+            }
+        }
+    }
+    fsm
+}
+
+/// Round-robin with a preemption quantum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreemptiveRoundRobin {
+    n: usize,
+    quantum: u32,
+    holder: Option<usize>,
+    held_cycles: u32,
+    pointer: usize,
+}
+
+impl PreemptiveRoundRobin {
+    /// Creates an arbiter for `n` tasks preempting after `quantum`
+    /// consecutive granted cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is outside `1..=32` or `quantum` is zero.
+    pub fn new(n: usize, quantum: u32) -> Self {
+        assert!((1..=32).contains(&n), "preemptive arbiter supports 1..=32 tasks");
+        assert!(quantum > 0, "quantum must be at least one cycle");
+        Self {
+            n,
+            quantum,
+            holder: None,
+            held_cycles: 0,
+            pointer: 0,
+        }
+    }
+
+    /// The preemption quantum.
+    pub fn quantum(&self) -> u32 {
+        self.quantum
+    }
+
+    fn scan(&self, start: usize, requests: u64, skip: Option<usize>) -> Option<usize> {
+        (0..self.n)
+            .map(|k| (start + k) % self.n)
+            .find(|&j| Some(j) != skip && requests >> j & 1 != 0)
+    }
+}
+
+impl Policy for PreemptiveRoundRobin {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PreemptiveRoundRobin
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, requests: u64) -> u64 {
+        let mask = if self.n >= 64 { u64::MAX } else { (1 << self.n) - 1 };
+        let requests = requests & mask;
+        // A still-requesting holder keeps the grant inside its quantum.
+        if let Some(h) = self.holder {
+            if requests >> h & 1 != 0 && self.held_cycles < self.quantum {
+                self.held_cycles += 1;
+                return 1 << h;
+            }
+            // Quantum expired or holder released: rotate past it. The
+            // preempted holder may win again only if nobody else waits.
+            let next = self.scan((h + 1) % self.n, requests, None);
+            let next = match next {
+                Some(j) if j == h => {
+                    // Only the holder still requests; let it continue with
+                    // a fresh quantum.
+                    Some(h)
+                }
+                other => other,
+            };
+            self.pointer = (h + 1) % self.n;
+            match next {
+                Some(j) => {
+                    self.holder = Some(j);
+                    self.held_cycles = 1;
+                    return 1 << j;
+                }
+                None => {
+                    self.holder = None;
+                    self.held_cycles = 0;
+                    return 0;
+                }
+            }
+        }
+        match self.scan(self.pointer, requests, None) {
+            Some(j) => {
+                self.holder = Some(j);
+                self.held_cycles = 1;
+                1 << j
+            }
+            None => 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.holder = None;
+        self.held_cycles = 0;
+        self.pointer = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_holder_is_preempted() {
+        // Task 0 never releases; task 1 must still be served.
+        let mut a = PreemptiveRoundRobin::new(2, 4);
+        let mut grants_to_1 = 0;
+        for _ in 0..100 {
+            if a.step(0b11) == 0b10 {
+                grants_to_1 += 1;
+            }
+        }
+        assert!(grants_to_1 >= 20, "task 1 starved: {grants_to_1} grants");
+    }
+
+    #[test]
+    fn plain_round_robin_starves_in_the_same_scenario() {
+        use crate::rr::RoundRobinArbiter;
+        let mut a = RoundRobinArbiter::new(2);
+        let mut grants_to_1 = 0;
+        for _ in 0..100 {
+            if a.step(0b11) == 0b10 {
+                grants_to_1 += 1;
+            }
+        }
+        assert_eq!(grants_to_1, 0, "Fig. 5 arbiter cannot preempt");
+    }
+
+    #[test]
+    fn holder_keeps_within_quantum() {
+        let mut a = PreemptiveRoundRobin::new(3, 5);
+        assert_eq!(a.step(0b001), 0b001);
+        for _ in 0..4 {
+            assert_eq!(a.step(0b011), 0b001);
+        }
+        // Quantum exhausted: task 1 takes over.
+        assert_eq!(a.step(0b011), 0b010);
+    }
+
+    #[test]
+    fn lone_requester_renews_its_quantum() {
+        let mut a = PreemptiveRoundRobin::new(2, 3);
+        for _ in 0..20 {
+            assert_eq!(a.step(0b01), 0b01);
+        }
+    }
+
+    #[test]
+    fn bandwidth_splits_fairly_between_greedy_tasks() {
+        let mut a = PreemptiveRoundRobin::new(4, 2);
+        let mut counts = [0u32; 4];
+        for _ in 0..800 {
+            let g = a.step(0b1111);
+            counts[g.trailing_zeros() as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 2, "unfair split: {counts:?}");
+    }
+
+    #[test]
+    fn idle_cycles_grant_nothing() {
+        let mut a = PreemptiveRoundRobin::new(2, 2);
+        assert_eq!(a.step(0), 0);
+        assert_eq!(a.step(0b01), 0b01);
+        assert_eq!(a.step(0), 0);
+        assert_eq!(a.step(0), 0);
+    }
+
+    #[test]
+    fn fsm_is_deterministic_and_complete() {
+        for (n, q) in [(1usize, 1u32), (2, 3), (3, 2), (4, 4)] {
+            let fsm = preemptive_round_robin_fsm(n, q);
+            assert_eq!(fsm.num_states(), n * (q as usize + 1));
+            fsm.validate()
+                .unwrap_or_else(|e| panic!("n={n} q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fsm_matches_behavioural_model() {
+        for (n, q) in [(2usize, 2u32), (3, 4), (4, 3), (5, 1)] {
+            let fsm = preemptive_round_robin_fsm(n, q);
+            let mut beh = PreemptiveRoundRobin::new(n, q);
+            let mut state = fsm.reset_state();
+            let mask = (1u64 << n) - 1;
+            let mut x = 0x9e3779b97f4a7c15u64 ^ ((n as u64) << 8 | u64::from(q));
+            for step in 0..3000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let req = x & mask;
+                let (next, fsm_grant) = fsm.step(state, req);
+                state = next;
+                assert_eq!(
+                    beh.step(req),
+                    fsm_grant,
+                    "n={n} q={q} step={step} req={req:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantum_costs_area() {
+        // The hardware price of preemption: more quantum states, more
+        // CLBs — quantified through the same synthesis pipeline.
+        use rcarb_logic::encode::{Encoding, EncodingStyle};
+        use rcarb_logic::minimize::Effort;
+        use rcarb_logic::synth::FsmNetwork;
+        use rcarb_logic::techmap::map_fsm_network;
+        let size = |q: u32| {
+            let fsm = preemptive_round_robin_fsm(4, q);
+            let enc = Encoding::assign(&fsm, EncodingStyle::OneHot);
+            let net = FsmNetwork::synthesize(&fsm, enc, Effort::Medium);
+            map_fsm_network(&net, true).num_luts()
+        };
+        let plain = {
+            let fsm = crate::rr::round_robin_fsm(4);
+            let enc = Encoding::assign(&fsm, EncodingStyle::OneHot);
+            let net = FsmNetwork::synthesize(&fsm, enc, Effort::Medium);
+            map_fsm_network(&net, true).num_luts()
+        };
+        let q2 = size(2);
+        let q4 = size(4);
+        assert!(q2 > plain, "preemption must cost logic: {q2} vs {plain}");
+        assert!(q4 > q2, "longer quanta cost more states: {q4} vs {q2}");
+    }
+}

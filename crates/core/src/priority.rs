@@ -1,0 +1,177 @@
+//! Static-priority arbitration (baseline).
+//!
+//! Requests are served in a statically determined order: the
+//! lowest-indexed requester wins. The hardware is a priority encoder plus
+//! a one-hot holder register (the lock that keeps a multi-cycle access
+//! granted while its request stays up). Cheap — but a persistent
+//! high-priority task starves everyone below it, which is why the paper's
+//! Sec. 3 fairness requirement rules it out.
+
+use crate::policy::{Policy, PolicyKind};
+use rcarb_logic::netlist::Netlist;
+use rcarb_logic::structural::CircuitBuilder;
+
+/// Behavioural static-priority arbiter with a holder lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPriorityArbiter {
+    n: usize,
+    holder: Option<usize>,
+}
+
+impl StaticPriorityArbiter {
+    /// Creates an arbiter for `n` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than 32.
+    pub fn new(n: usize) -> Self {
+        assert!((1..=32).contains(&n), "static-priority arbiter supports 1..=32 tasks");
+        Self { n, holder: None }
+    }
+
+    /// Builds the equivalent gate-level netlist: inputs `R0..R(n-1)`,
+    /// outputs `G0..G(n-1)`.
+    pub fn structural_netlist(n: usize) -> Netlist {
+        assert!((1..=32).contains(&n), "static-priority arbiter supports 1..=32 tasks");
+        let mut b = CircuitBuilder::new(n);
+        let reqs: Vec<_> = (0..n).map(|i| b.input(i)).collect();
+        // Holder register, one-hot.
+        let holders: Vec<_> = (0..n).map(|_| b.reg(false)).collect();
+        // locked = OR_i (H_i & R_i)
+        let held: Vec<_> = (0..n).map(|i| b.and2(holders[i], reqs[i])).collect();
+        let locked = b.or_many(&held);
+        let not_locked = b.not(locked);
+        for i in 0..n {
+            // Priority-encoder select: R_i and nobody above.
+            let mut terms = vec![reqs[i]];
+            for &r in reqs.iter().take(i) {
+                let nr = b.not(r);
+                terms.push(nr);
+            }
+            let sel = b.and_many(&terms);
+            let fresh = b.and2(not_locked, sel);
+            let grant = b.or2(held[i], fresh);
+            b.output(grant);
+            b.connect_reg(holders[i], grant);
+        }
+        b.finish()
+    }
+}
+
+impl Policy for StaticPriorityArbiter {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::StaticPriority
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, requests: u64) -> u64 {
+        let requests = requests & mask(self.n);
+        if let Some(h) = self.holder {
+            if requests >> h & 1 != 0 {
+                return 1 << h;
+            }
+        }
+        if requests == 0 {
+            self.holder = None;
+            return 0;
+        }
+        let winner = requests.trailing_zeros() as usize;
+        self.holder = Some(winner);
+        1 << winner
+    }
+
+    fn reset(&mut self) {
+        self.holder = None;
+    }
+}
+
+fn mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_index_wins() {
+        let mut a = StaticPriorityArbiter::new(4);
+        assert_eq!(a.step(0b1100), 0b0100);
+    }
+
+    #[test]
+    fn holder_is_sticky_until_release() {
+        let mut a = StaticPriorityArbiter::new(4);
+        assert_eq!(a.step(0b1000), 0b1000);
+        // Task 0 (highest priority) arrives but cannot steal mid-access.
+        assert_eq!(a.step(0b1001), 0b1000);
+        // Task 3 releases: task 0 wins immediately.
+        assert_eq!(a.step(0b0001), 0b0001);
+    }
+
+    #[test]
+    fn starvation_happens_by_design() {
+        // Task 0 requests forever with one-cycle releases; task 1 waits
+        // forever: the demonstration of why the paper rejects this policy.
+        let mut a = StaticPriorityArbiter::new(2);
+        let mut task1_granted = false;
+        for cycle in 0..100 {
+            let req0 = u64::from(cycle % 2 == 0); // hold, release, hold...
+            let grant = a.step(req0 | 0b10);
+            task1_granted |= grant == 0b10;
+        }
+        // Task 1 sneaks in only on release cycles; make them disappear:
+        let mut b = StaticPriorityArbiter::new(2);
+        let mut ever = false;
+        for _ in 0..100 {
+            ever |= b.step(0b11) == 0b10;
+        }
+        assert!(!ever, "task 1 must starve under continuous priority-0 load");
+        // (with gaps, task 1 does get the released cycles)
+        assert!(task1_granted);
+    }
+
+    #[test]
+    fn structural_matches_behavioural() {
+        for n in [2usize, 3, 5, 8] {
+            let nl = StaticPriorityArbiter::structural_netlist(n);
+            let mut beh = StaticPriorityArbiter::new(n);
+            let mut state = nl.reset_state();
+            let mut x = 0xdeadbeefcafef00du64 ^ n as u64;
+            for step in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let req = x & mask(n);
+                let req_bits: Vec<bool> = (0..n).map(|i| req >> i & 1 != 0).collect();
+                let hw = nl.step(&mut state, &req_bits);
+                let hw_word = hw
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |w, (i, &g)| if g { w | 1 << i } else { w });
+                assert_eq!(
+                    hw_word,
+                    beh.step(req),
+                    "n={n} step={step} req={req:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_is_small() {
+        // The priority encoder is the cheapest policy in gates; its LUT
+        // count grows roughly linearly.
+        let small = StaticPriorityArbiter::structural_netlist(2).num_luts();
+        let big = StaticPriorityArbiter::structural_netlist(8).num_luts();
+        assert!(big > small);
+        assert!(big < 64, "priority encoder should stay small, got {big}");
+    }
+}

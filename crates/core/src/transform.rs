@@ -1,0 +1,395 @@
+//! The task-modification process (Sec. 4.3, Fig. 8).
+//!
+//! For each access to an arbitrated resource, the task must request access
+//! from the arbiter, wait until granted, perform the access, then deassert
+//! its request. To bound other tasks' waiting, a task performing a burst
+//! deasserts after every `M` consecutive accesses. With an immediate grant
+//! each batch costs exactly **two extra clock cycles** (one for the
+//! request assert, one for the deassert; the grant wait itself is free
+//! when uncontended) — the paper's fixed, pre-synthesis-known overhead.
+
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId};
+use rcarb_taskgraph::program::{Op, Program};
+use std::collections::BTreeMap;
+
+/// Which arbiter (if any) guards each resource a task touches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceMap {
+    segments: BTreeMap<SegmentId, ArbiterId>,
+    channels: BTreeMap<ChannelId, ArbiterId>,
+}
+
+impl ResourceMap {
+    /// An empty map (no arbitrated resources).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks every access to `segment` as guarded by `arbiter`.
+    pub fn guard_segment(&mut self, segment: SegmentId, arbiter: ArbiterId) {
+        self.segments.insert(segment, arbiter);
+    }
+
+    /// Marks every send on `channel` as guarded by `arbiter`.
+    ///
+    /// Only the *writing* side of a shared channel arbitrates; readers
+    /// latch from their receiving-end registers.
+    pub fn guard_channel(&mut self, channel: ChannelId, arbiter: ArbiterId) {
+        self.channels.insert(channel, arbiter);
+    }
+
+    /// The arbiter guarding an op, if any.
+    pub fn arbiter_for(&self, op: &Op) -> Option<ArbiterId> {
+        match op {
+            Op::MemRead { segment, .. } | Op::MemWrite { segment, .. } => {
+                self.segments.get(segment).copied()
+            }
+            Op::Send { channel, .. } => self.channels.get(channel).copied(),
+            _ => None,
+        }
+    }
+
+    /// True when the map guards nothing.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty() && self.channels.is_empty()
+    }
+}
+
+/// Configuration of the rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// Maximum consecutive accesses per request hold (the paper's `M`;
+    /// Fig. 8 illustrates `M = 2`).
+    pub max_burst: u32,
+    /// Re-check the Grant line before *every* access of a burst, not only
+    /// the first. Free when the grant is stable (an already-satisfied
+    /// `AwaitGrant` costs no cycle), but mandatory when the arbiter may
+    /// preempt mid-burst ([`crate::policy::PolicyKind::PreemptiveRoundRobin`],
+    /// the paper's Sec. 6 extension) — a preempted task then blocks until
+    /// re-granted instead of corrupting the bank.
+    pub await_each_access: bool,
+}
+
+impl TransformConfig {
+    /// The paper's illustrated configuration, `M = 2`, grant checked once
+    /// per burst (the non-preemptive Fig. 5 arbiter never revokes).
+    pub fn new() -> Self {
+        Self {
+            max_burst: 2,
+            await_each_access: false,
+        }
+    }
+
+    /// Sets `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn with_max_burst(mut self, m: u32) -> Self {
+        assert!(m > 0, "burst length must be at least one access");
+        self.max_burst = m;
+        self
+    }
+
+    /// Enables the per-access grant re-check (preemption-safe protocol).
+    pub fn with_await_each_access(mut self, enabled: bool) -> Self {
+        self.await_each_access = enabled;
+        self
+    }
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Statistics of one rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformStats {
+    /// Request/grant/deassert batches inserted.
+    pub batches: u64,
+    /// Accesses now running under arbitration.
+    pub guarded_accesses: u64,
+}
+
+impl TransformStats {
+    /// Extra cycles per full execution assuming immediate grants: two per
+    /// batch (Fig. 8 accounting). Loop bodies count once here; dynamic
+    /// counts come from the simulator.
+    pub fn extra_cycles_uncontended(&self) -> u64 {
+        self.batches * 2
+    }
+}
+
+/// Rewrites `program` so every guarded access follows the Fig. 8 protocol.
+///
+/// Bursts of up to `config.max_burst` consecutive accesses to the *same*
+/// arbiter share one request hold. Any intervening op — including an
+/// access to a different arbiter — releases the hold first, so a task
+/// never camps on a resource while doing unrelated work. Loop and branch
+/// bodies are transformed independently (a hold never spans a control-flow
+/// boundary).
+pub fn transform_program(
+    program: &Program,
+    map: &ResourceMap,
+    config: TransformConfig,
+) -> (Program, TransformStats) {
+    let mut stats = TransformStats::default();
+    let ops = rewrite_block(program.ops(), map, config, &mut stats);
+    (Program::from_ops(ops), stats)
+}
+
+fn rewrite_block(
+    ops: &[Op],
+    map: &ResourceMap,
+    config: TransformConfig,
+    stats: &mut TransformStats,
+) -> Vec<Op> {
+    let mut out = Vec::with_capacity(ops.len());
+    // (arbiter currently held, accesses used in this hold)
+    let mut hold: Option<(ArbiterId, u32)> = None;
+    let release = |out: &mut Vec<Op>, hold: &mut Option<(ArbiterId, u32)>| {
+        if let Some((arb, _)) = hold.take() {
+            out.push(Op::ReqDeassert { arbiter: arb });
+        }
+    };
+    for op in ops {
+        match op {
+            Op::Repeat { times, body } => {
+                release(&mut out, &mut hold);
+                out.push(Op::Repeat {
+                    times: *times,
+                    body: rewrite_block(body, map, config, stats),
+                });
+            }
+            Op::IfNonZero {
+                cond,
+                then_ops,
+                else_ops,
+            } => {
+                release(&mut out, &mut hold);
+                out.push(Op::IfNonZero {
+                    cond: cond.clone(),
+                    then_ops: rewrite_block(then_ops, map, config, stats),
+                    else_ops: rewrite_block(else_ops, map, config, stats),
+                });
+            }
+            other => match map.arbiter_for(other) {
+                Some(arb) => {
+                    match hold {
+                        Some((held, used)) if held == arb && used < config.max_burst => {
+                            hold = Some((held, used + 1));
+                            if config.await_each_access {
+                                out.push(Op::AwaitGrant { arbiter: arb });
+                            }
+                        }
+                        _ => {
+                            release(&mut out, &mut hold);
+                            out.push(Op::ReqAssert { arbiter: arb });
+                            out.push(Op::AwaitGrant { arbiter: arb });
+                            stats.batches += 1;
+                            hold = Some((arb, 1));
+                        }
+                    }
+                    stats.guarded_accesses += 1;
+                    out.push(other.clone());
+                }
+                None => {
+                    release(&mut out, &mut hold);
+                    out.push(other.clone());
+                }
+            },
+        }
+    }
+    release(&mut out, &mut hold);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_taskgraph::program::Expr;
+
+    fn seg(i: u32) -> SegmentId {
+        SegmentId::new(i)
+    }
+
+    fn arb(i: u32) -> ArbiterId {
+        ArbiterId::new(i)
+    }
+
+    fn guarded_map() -> ResourceMap {
+        let mut m = ResourceMap::new();
+        m.guard_segment(seg(0), arb(0));
+        m
+    }
+
+    fn op_kinds(p: &Program) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        p.visit(&mut |op| {
+            v.push(match op {
+                Op::Set { .. } => "set",
+                Op::Compute { .. } => "compute",
+                Op::MemRead { .. } => "read",
+                Op::MemWrite { .. } => "write",
+                Op::Send { .. } => "send",
+                Op::Recv { .. } => "recv",
+                Op::Repeat { .. } => "repeat",
+                Op::IfNonZero { .. } => "if",
+                Op::ReqAssert { .. } => "req",
+                Op::AwaitGrant { .. } => "wait",
+                Op::ReqDeassert { .. } => "rel",
+            });
+        });
+        v
+    }
+
+    #[test]
+    fn fig8_example_m2() {
+        // Fig. 8: c := 13; mem[1] := ...; mem[2] := ...  with M = 2 becomes
+        // c := 13; Req := 1; wait Grant; two writes; Req := 0.
+        let p = Program::build(|p| {
+            let c = p.let_(Expr::lit(13));
+            p.mem_write(seg(0), Expr::lit(1), Expr::var(c));
+            p.mem_write(seg(0), Expr::lit(2), Expr::var(c));
+        });
+        let (out, stats) = transform_program(&p, &guarded_map(), TransformConfig::new());
+        assert_eq!(
+            op_kinds(&out),
+            vec!["set", "req", "wait", "write", "write", "rel"]
+        );
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.guarded_accesses, 2);
+        assert_eq!(stats.extra_cycles_uncontended(), 2);
+    }
+
+    #[test]
+    fn burst_longer_than_m_re_requests() {
+        let p = Program::build(|p| {
+            for i in 0..5 {
+                p.mem_write(seg(0), Expr::lit(i), Expr::lit(0));
+            }
+        });
+        let (out, stats) =
+            transform_program(&p, &guarded_map(), TransformConfig::new().with_max_burst(2));
+        assert_eq!(
+            op_kinds(&out),
+            vec![
+                "req", "wait", "write", "write", "rel", //
+                "req", "wait", "write", "write", "rel", //
+                "req", "wait", "write", "rel",
+            ]
+        );
+        assert_eq!(stats.batches, 3);
+    }
+
+    #[test]
+    fn m1_releases_after_every_access() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+            p.mem_write(seg(0), Expr::lit(1), Expr::lit(0));
+        });
+        let (out, stats) =
+            transform_program(&p, &guarded_map(), TransformConfig::new().with_max_burst(1));
+        assert_eq!(
+            op_kinds(&out),
+            vec!["req", "wait", "write", "rel", "req", "wait", "write", "rel"]
+        );
+        assert_eq!(stats.extra_cycles_uncontended(), 4);
+    }
+
+    #[test]
+    fn unrelated_op_breaks_the_hold() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+            p.compute(5);
+            p.mem_write(seg(0), Expr::lit(1), Expr::lit(0));
+        });
+        let (out, _) = transform_program(&p, &guarded_map(), TransformConfig::new());
+        assert_eq!(
+            op_kinds(&out),
+            vec!["req", "wait", "write", "rel", "compute", "req", "wait", "write", "rel"]
+        );
+    }
+
+    #[test]
+    fn unguarded_accesses_pass_through() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(1), Expr::lit(0), Expr::lit(0)); // different segment
+        });
+        let (out, stats) = transform_program(&p, &guarded_map(), TransformConfig::new());
+        assert_eq!(op_kinds(&out), vec!["write"]);
+        assert_eq!(stats.batches, 0);
+    }
+
+    #[test]
+    fn different_arbiters_never_share_a_hold() {
+        let mut map = ResourceMap::new();
+        map.guard_segment(seg(0), arb(0));
+        map.guard_segment(seg(1), arb(1));
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+            p.mem_write(seg(1), Expr::lit(0), Expr::lit(0));
+        });
+        let (out, stats) = transform_program(&p, &map, TransformConfig::new());
+        assert_eq!(
+            op_kinds(&out),
+            vec!["req", "wait", "write", "rel", "req", "wait", "write", "rel"]
+        );
+        assert_eq!(stats.batches, 2);
+        // Holding two arbiters at once would risk deadlock; the rewrite
+        // must never emit nested holds.
+        let arbs = out.arbiters_referenced();
+        assert_eq!(arbs.len(), 2);
+    }
+
+    #[test]
+    fn loop_bodies_transform_independently() {
+        let p = Program::build(|p| {
+            p.repeat(4, |p| {
+                p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+                p.mem_write(seg(0), Expr::lit(1), Expr::lit(0));
+            });
+        });
+        let (out, stats) = transform_program(&p, &guarded_map(), TransformConfig::new());
+        assert_eq!(
+            op_kinds(&out),
+            vec!["repeat", "req", "wait", "write", "write", "rel"]
+        );
+        // One batch statically; dynamically it runs 4 times.
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn channel_sends_are_guarded_recvs_are_not() {
+        let ch = ChannelId::new(0);
+        let mut map = ResourceMap::new();
+        map.guard_channel(ch, arb(2));
+        let p = Program::from_ops(vec![
+            Op::Send {
+                channel: ch,
+                value: Expr::lit(10),
+            },
+            Op::Recv {
+                channel: ch,
+                dst: rcarb_taskgraph::id::VarId::new(0),
+            },
+        ]);
+        let (out, _) = transform_program(&p, &map, TransformConfig::new());
+        assert_eq!(op_kinds(&out), vec!["req", "wait", "send", "rel", "recv"]);
+    }
+
+    #[test]
+    fn empty_map_is_identity() {
+        let p = Program::build(|p| {
+            p.repeat(2, |p| {
+                p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+            });
+            p.compute(3);
+        });
+        let (out, stats) = transform_program(&p, &ResourceMap::new(), TransformConfig::new());
+        assert_eq!(out, p);
+        assert_eq!(stats, TransformStats::default());
+    }
+}

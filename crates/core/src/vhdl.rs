@@ -1,0 +1,262 @@
+//! VHDL emission.
+//!
+//! The paper's arbiter generator "takes the number of tasks to be
+//! arbitrated (N) as input and it generates a corresponding VHDL file",
+//! optionally forcing an FSM encoding attribute. [`round_robin_vhdl`]
+//! reproduces that output: a two-process FSM architecture whose case
+//! statement mirrors Fig. 5 literally. [`netlist_vhdl`] emits any mapped
+//! netlist (used for the baseline policies) as a structural architecture.
+
+use rcarb_logic::encode::EncodingStyle;
+use rcarb_logic::netlist::{NetRef, Netlist};
+use std::fmt::Write as _;
+
+/// Emits the Fig. 5 round-robin arbiter as synthesizable VHDL.
+///
+/// The entity is named `rr_arbiter_n<N>` with `Clock`, `Reset`, an N-bit
+/// `Req` input vector and an N-bit `Grant` output vector. The requested
+/// encoding becomes a `enum_encoding` attribute (honoured by tools that
+/// support it; the paper notes Synplify ignored it).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or larger than 32.
+pub fn round_robin_vhdl(n: usize, encoding: EncodingStyle) -> String {
+    assert!((1..=32).contains(&n), "round-robin VHDL supports 1..=32 tasks");
+    let mut s = String::new();
+    let _ = writeln!(s, "-- Generated round-robin arbiter, N = {n}");
+    let _ = writeln!(s, "-- Encoding request: {encoding}");
+    let _ = writeln!(s, "library IEEE;");
+    let _ = writeln!(s, "use IEEE.std_logic_1164.all;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "entity rr_arbiter_n{n} is");
+    let _ = writeln!(s, "  port (");
+    let _ = writeln!(s, "    Clock : in  std_logic;");
+    let _ = writeln!(s, "    Reset : in  std_logic;");
+    let _ = writeln!(s, "    Req   : in  std_logic_vector({} downto 0);", n - 1);
+    let _ = writeln!(s, "    Grant : out std_logic_vector({} downto 0)", n - 1);
+    let _ = writeln!(s, "  );");
+    let _ = writeln!(s, "end entity rr_arbiter_n{n};");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "architecture fig5 of rr_arbiter_n{n} is");
+    let states: Vec<String> = (1..=n)
+        .map(|i| format!("C{i}"))
+        .chain((1..=n).map(|i| format!("F{i}")))
+        .collect();
+    let _ = writeln!(s, "  type state_t is ({});", states.join(", "));
+    let attr = match encoding {
+        EncodingStyle::OneHot => "one-hot",
+        EncodingStyle::Compact => "compact",
+        EncodingStyle::Gray => "gray",
+    };
+    let _ = writeln!(s, "  attribute enum_encoding : string;");
+    let _ = writeln!(
+        s,
+        "  attribute enum_encoding of state_t : type is \"{attr}\";"
+    );
+    let _ = writeln!(s, "  signal state, next_state : state_t;");
+    let _ = writeln!(s, "begin");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  sync : process (Clock, Reset)");
+    let _ = writeln!(s, "  begin");
+    let _ = writeln!(s, "    if Reset = '1' then");
+    let _ = writeln!(s, "      state <= F1;");
+    let _ = writeln!(s, "    elsif rising_edge(Clock) then");
+    let _ = writeln!(s, "      state <= next_state;");
+    let _ = writeln!(s, "    end if;");
+    let _ = writeln!(s, "  end process sync;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "  comb : process (state, Req)");
+    let _ = writeln!(s, "  begin");
+    let _ = writeln!(s, "    Grant <= (others => '0');");
+    let _ = writeln!(s, "    case state is");
+    // Emit, for every state, the cyclic scan of Fig. 5.
+    for i in 0..n {
+        for (is_claimed, name) in [(true, format!("C{}", i + 1)), (false, format!("F{}", i + 1))] {
+            let _ = writeln!(s, "      when {name} =>");
+            let idle_target = if is_claimed {
+                format!("F{}", (i + 1) % n + 1)
+            } else {
+                format!("F{}", i + 1)
+            };
+            let _ = writeln!(s, "        if Req = (Req'range => '0') then");
+            let _ = writeln!(s, "          next_state <= {idle_target};");
+            let mut keyword = "elsif";
+            for k in 0..n {
+                let j = (i + k) % n;
+                let mut cond: Vec<String> = (0..k)
+                    .map(|m| format!("Req({}) = '0'", (i + m) % n))
+                    .collect();
+                cond.push(format!("Req({j}) = '1'"));
+                let _ = writeln!(s, "        {keyword} {} then", cond.join(" and "));
+                let _ = writeln!(s, "          next_state <= C{};", j + 1);
+                let _ = writeln!(s, "          Grant({j}) <= '1';");
+                keyword = "elsif";
+            }
+            let _ = writeln!(s, "        end if;");
+        }
+    }
+    let _ = writeln!(s, "    end case;");
+    let _ = writeln!(s, "  end process comb;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "end architecture fig5;");
+    s
+}
+
+fn net_name(r: NetRef) -> String {
+    match r {
+        NetRef::Const(false) => "'0'".to_owned(),
+        NetRef::Const(true) => "'1'".to_owned(),
+        NetRef::Input(i) => format!("Req({i})"),
+        NetRef::Reg(i) => format!("q({i})"),
+        NetRef::Node(i) => format!("w({i})"),
+    }
+}
+
+/// Emits a mapped netlist as a structural VHDL architecture (one concurrent
+/// assignment per LUT, one clocked process for the registers).
+pub fn netlist_vhdl(name: &str, netlist: &Netlist) -> String {
+    let n_in = netlist.num_inputs();
+    let n_out = netlist.outputs().len();
+    let mut s = String::new();
+    let _ = writeln!(s, "-- Generated structural netlist: {name}");
+    let _ = writeln!(s, "library IEEE;");
+    let _ = writeln!(s, "use IEEE.std_logic_1164.all;");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "entity {name} is");
+    let _ = writeln!(s, "  port (");
+    let _ = writeln!(s, "    Clock : in  std_logic;");
+    let _ = writeln!(s, "    Reset : in  std_logic;");
+    let _ = writeln!(s, "    Req   : in  std_logic_vector({} downto 0);", n_in.max(1) - 1);
+    let _ = writeln!(
+        s,
+        "    Grant : out std_logic_vector({} downto 0)",
+        n_out.max(1) - 1
+    );
+    let _ = writeln!(s, "  );");
+    let _ = writeln!(s, "end entity {name};");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "architecture mapped of {name} is");
+    if !netlist.nodes().is_empty() {
+        let _ = writeln!(
+            s,
+            "  signal w : std_logic_vector({} downto 0);",
+            netlist.num_luts() - 1
+        );
+    }
+    if netlist.num_regs() > 0 {
+        let _ = writeln!(
+            s,
+            "  signal q : std_logic_vector({} downto 0);",
+            netlist.num_regs() - 1
+        );
+    }
+    let _ = writeln!(s, "begin");
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        // A LUT is a minterm expansion of its truth table.
+        let k = node.inputs.len();
+        let mut terms = Vec::new();
+        for idx in 0..(1usize << k) {
+            if node.truth >> idx & 1 == 0 {
+                continue;
+            }
+            let factors: Vec<String> = node
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(j, &r)| {
+                    if idx >> j & 1 != 0 {
+                        net_name(r)
+                    } else {
+                        format!("not {}", net_name(r))
+                    }
+                })
+                .collect();
+            terms.push(format!("({})", factors.join(" and ")));
+        }
+        let rhs = if terms.is_empty() {
+            "'0'".to_owned()
+        } else {
+            terms.join(" or ")
+        };
+        let _ = writeln!(s, "  w({i}) <= {rhs};");
+    }
+    if netlist.num_regs() > 0 {
+        let _ = writeln!(s, "  regs : process (Clock, Reset)");
+        let _ = writeln!(s, "  begin");
+        let _ = writeln!(s, "    if Reset = '1' then");
+        for (i, r) in netlist.regs().iter().enumerate() {
+            let _ = writeln!(s, "      q({i}) <= '{}';", u8::from(r.init));
+        }
+        let _ = writeln!(s, "    elsif rising_edge(Clock) then");
+        for (i, r) in netlist.regs().iter().enumerate() {
+            let _ = writeln!(s, "      q({i}) <= {};", net_name(r.next));
+        }
+        let _ = writeln!(s, "    end if;");
+        let _ = writeln!(s, "  end process regs;");
+    }
+    for (i, &o) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  Grant({i}) <= {};", net_name(o));
+    }
+    let _ = writeln!(s, "end architecture mapped;");
+    s
+}
+
+/// The entity name [`round_robin_vhdl`] emits for a given `n`.
+pub fn round_robin_entity_name(n: usize) -> String {
+    format!("rr_arbiter_n{n}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priority::StaticPriorityArbiter;
+
+    #[test]
+    fn rr_vhdl_has_expected_structure() {
+        let v = round_robin_vhdl(6, EncodingStyle::OneHot);
+        assert!(v.contains("entity rr_arbiter_n6"));
+        assert!(v.contains("C1, C2, C3, C4, C5, C6, F1, F2, F3, F4, F5, F6"));
+        assert!(v.contains("enum_encoding of state_t : type is \"one-hot\""));
+        assert!(v.contains("when C3 =>"));
+        assert!(v.contains("when F6 =>"));
+        // Idle in C6 advances the pointer to F1 (wrap).
+        let c6 = v.split("when C6 =>").nth(1).unwrap();
+        assert!(c6.contains("next_state <= F1;"));
+    }
+
+    #[test]
+    fn rr_vhdl_first_elsif_honours_holder() {
+        let v = round_robin_vhdl(3, EncodingStyle::Compact);
+        // In C2, the first scan test must be Req(1).
+        let c2 = v.split("when C2 =>").nth(1).unwrap();
+        let first = c2.split("elsif").nth(1).unwrap();
+        assert!(first.trim_start().starts_with("Req(1) = '1'"));
+        assert!(v.contains("\"compact\""));
+    }
+
+    #[test]
+    fn rr_vhdl_is_deterministic() {
+        assert_eq!(
+            round_robin_vhdl(4, EncodingStyle::OneHot),
+            round_robin_vhdl(4, EncodingStyle::OneHot)
+        );
+    }
+
+    #[test]
+    fn netlist_vhdl_emits_all_nodes_and_regs() {
+        let nl = StaticPriorityArbiter::structural_netlist(3);
+        let v = netlist_vhdl("prio3", &nl);
+        assert!(v.contains("entity prio3"));
+        assert!(v.contains(&format!("w : std_logic_vector({} downto 0)", nl.num_luts() - 1)));
+        assert!(v.contains(&format!("q : std_logic_vector({} downto 0)", nl.num_regs() - 1)));
+        assert!(v.contains("Grant(2) <="));
+        assert!(v.contains("rising_edge(Clock)"));
+    }
+
+    #[test]
+    fn entity_name_helper_matches_emitter() {
+        let v = round_robin_vhdl(9, EncodingStyle::OneHot);
+        assert!(v.contains(&format!("entity {}", round_robin_entity_name(9))));
+    }
+}

@@ -1,0 +1,113 @@
+//! Synthetic input imagery (the paper processes a 512x512 image).
+
+/// A deterministic grey-scale image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Generates a deterministic synthetic image from `seed` (xorshift
+    /// noise over a smooth gradient — enough spectral content to exercise
+    /// every FFT path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut pixels = Vec::with_capacity(width * height);
+        for r in 0..height {
+            for c in 0..width {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let noise = (x >> 56) as u8;
+                let gradient = ((r * 131 + c * 17) % 256) as u8;
+                pixels.push(noise.wrapping_add(gradient) >> 1);
+            }
+        }
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pixel(&self, row: usize, col: usize) -> u8 {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.pixels[row * self.width + col]
+    }
+
+    /// The 4x4 tile whose top-left corner is `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile overruns the image.
+    pub fn tile4(&self, row: usize, col: usize) -> [[i64; 4]; 4] {
+        std::array::from_fn(|r| std::array::from_fn(|c| i64::from(self.pixel(row + r, col + c))))
+    }
+
+    /// Number of non-overlapping 4x4 tiles.
+    pub fn num_tiles4(&self) -> usize {
+        (self.width / 4) * (self.height / 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Image::synthetic(64, 64, 42);
+        let b = Image::synthetic(64, 64, 42);
+        assert_eq!(a.pixels, b.pixels);
+        let c = Image::synthetic(64, 64, 43);
+        assert_ne!(a.pixels, c.pixels);
+    }
+
+    #[test]
+    fn tiles_cover_the_paper_image() {
+        let img = Image::synthetic(512, 512, 7);
+        assert_eq!(img.num_tiles4(), 128 * 128);
+        let t = img.tile4(508, 508);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn tile_reads_the_right_pixels() {
+        let img = Image::synthetic(8, 8, 9);
+        let t = img.tile4(4, 0);
+        for (r, row) in t.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v, i64::from(img.pixel(4 + r, c)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_pixel_panics() {
+        let img = Image::synthetic(8, 8, 9);
+        let _ = img.pixel(8, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Exact integer complex FFT, the numerical ground truth.
+//!
+//! For power-of-two sizes whose twiddle factors are exact Gaussian
+//! integers (N = 1, 2, 4), the DFT is computed exactly over `i64`; those
+//! are the sizes the hardware tasks implement (the paper's 4x4 blocks).
+//! Larger sizes use the naive exact DFT only in tests (float FFTs would
+//! blur the hardware-vs-reference comparison).
+
+/// A Gaussian integer (exact complex number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: i64,
+    /// Imaginary part.
+    pub im: i64,
+}
+
+impl Complex {
+    /// Creates `re + i*im`.
+    pub const fn new(re: i64, im: i64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub const fn real(re: i64) -> Self {
+        Self { re, im: 0 }
+    }
+
+    /// Wrapping addition (matches the task datapaths' wrapping u64
+    /// arithmetic bit for bit).
+    #[allow(clippy::should_implement_trait)] // wrapping semantics, deliberately not std::ops::Add
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re.wrapping_add(o.re), self.im.wrapping_add(o.im))
+    }
+
+    /// Wrapping subtraction.
+    #[allow(clippy::should_implement_trait)] // wrapping semantics, deliberately not std::ops::Sub
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re.wrapping_sub(o.re), self.im.wrapping_sub(o.im))
+    }
+
+    /// Multiplication by `-i` (a quarter turn clockwise).
+    pub fn mul_neg_i(self) -> Complex {
+        Complex::new(self.im, self.re.wrapping_neg())
+    }
+
+    /// Multiplication by `i`.
+    pub fn mul_i(self) -> Complex {
+        Complex::new(self.im.wrapping_neg(), self.re)
+    }
+}
+
+/// Exact 4-point DFT: `X[k] = sum_n x[n] * (-i)^(nk)`.
+///
+/// All twiddles lie in `{1, -1, i, -i}`, so the result is exact — and
+/// implementable with adders alone, which is what the hardware tasks do.
+pub fn dft4(x: [Complex; 4]) -> [Complex; 4] {
+    let x0 = x[0];
+    let x1 = x[1];
+    let x2 = x[2];
+    let x3 = x[3];
+    [
+        x0.add(x1).add(x2).add(x3),
+        x0.add(x1.mul_neg_i()).sub(x2).add(x3.mul_i()),
+        x0.sub(x1).add(x2).sub(x3),
+        x0.add(x1.mul_i()).sub(x2).add(x3.mul_neg_i()),
+    ]
+}
+
+/// Exact 4x4 2-D DFT: rows first, then columns (the paper's two
+/// dimensions, performed by the `F` and `g` task groups respectively).
+pub fn dft4x4(tile: [[Complex; 4]; 4]) -> [[Complex; 4]; 4] {
+    let mut rows = [[Complex::default(); 4]; 4];
+    for (r, row) in tile.iter().enumerate() {
+        rows[r] = dft4(*row);
+    }
+    let mut out = [[Complex::default(); 4]; 4];
+    for c in 0..4 {
+        let col = dft4([rows[0][c], rows[1][c], rows[2][c], rows[3][c]]);
+        for r in 0..4 {
+            out[r][c] = col[r];
+        }
+    }
+    out
+}
+
+/// Naive exact N-point DFT over Gaussian-rational twiddles is impossible
+/// in general; for testing the 4-point kernels we instead cross-check
+/// against this explicitly unrolled definition with `(-i)^(nk)` powers.
+pub fn dft4_naive(x: [Complex; 4]) -> [Complex; 4] {
+    let tw = |p: usize, v: Complex| match p % 4 {
+        0 => v,
+        1 => v.mul_neg_i(),
+        2 => Complex::new(v.re.wrapping_neg(), v.im.wrapping_neg()),
+        _ => v.mul_i(),
+    };
+    let mut out = [Complex::default(); 4];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (n, &v) in x.iter().enumerate() {
+            acc = acc.add(tw(n * k, v));
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: i64, im: i64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn dft4_matches_naive_definition() {
+        let xs = [
+            [c(1, 0), c(2, 0), c(3, 0), c(4, 0)],
+            [c(5, -3), c(0, 7), c(-2, 2), c(9, 9)],
+            [c(0, 0), c(0, 0), c(0, 0), c(0, 0)],
+            [c(i64::MAX, 1), c(1, i64::MIN), c(-1, -1), c(7, 7)],
+        ];
+        for x in xs {
+            assert_eq!(dft4(x), dft4_naive(x));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let x = [c(1, 0), c(0, 0), c(0, 0), c(0, 0)];
+        assert_eq!(dft4(x), [c(1, 0); 4]);
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let x = [c(3, 0); 4];
+        let out = dft4(x);
+        assert_eq!(out[0], c(12, 0));
+        assert_eq!(&out[1..], &[c(0, 0); 3]);
+    }
+
+    #[test]
+    fn dc_term_is_the_sum() {
+        let x = [c(1, 2), c(3, 4), c(5, 6), c(7, 8)];
+        assert_eq!(dft4(x)[0], c(16, 20));
+    }
+
+    #[test]
+    fn linearity_over_real_and_imag_planes() {
+        // FFT(a + ib) = FFT(a) + i*FFT(b) — the identity the g-task split
+        // relies on.
+        let a = [c(4, 0), c(-1, 0), c(7, 0), c(2, 0)];
+        let b = [c(3, 0), c(5, 0), c(-9, 0), c(1, 0)];
+        let combined = [
+            c(4, 3),
+            c(-1, 5),
+            c(7, -9),
+            c(2, 1),
+        ];
+        let fa = dft4(a);
+        let fb = dft4(b);
+        let fc = dft4(combined);
+        for k in 0..4 {
+            assert_eq!(fc[k], fa[k].add(fb[k].mul_i()));
+        }
+    }
+
+    #[test]
+    fn dft4x4_row_column_separability() {
+        let mut tile = [[Complex::default(); 4]; 4];
+        for (r, row) in tile.iter_mut().enumerate() {
+            for (cc, v) in row.iter_mut().enumerate() {
+                *v = c((r * 4 + cc) as i64, ((r as i64) - (cc as i64)) * 3);
+            }
+        }
+        let out = dft4x4(tile);
+        // DC term is the sum of all entries.
+        let mut sum = Complex::default();
+        for row in &tile {
+            for &v in row {
+                sum = sum.add(v);
+            }
+        }
+        assert_eq!(out[0][0], sum);
+        // Transposing the input transposes the output (symmetry of the
+        // separable transform).
+        let mut tr = [[Complex::default(); 4]; 4];
+        for r in 0..4 {
+            for cc in 0..4 {
+                tr[r][cc] = tile[cc][r];
+            }
+        }
+        let out_tr = dft4x4(tr);
+        for r in 0..4 {
+            for cc in 0..4 {
+                assert_eq!(out_tr[r][cc], out[cc][r]);
+            }
+        }
+    }
+}

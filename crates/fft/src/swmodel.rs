@@ -1,0 +1,79 @@
+//! The Pentium-150 software execution model (the paper's baseline).
+//!
+//! Sec. 5 compares the Wildforce implementation against "a software
+//! execution on a Pentium system running at 150 MHz, with 48 MB of RAM
+//! (6.8 sec execution time)" for a 512x512 image. No such machine exists
+//! here, so the baseline is a cost model of a radix-2 2-D FFT:
+//!
+//! ```text
+//! butterflies = 2 * N * (N/2 * log2 N)       (row pass + column pass)
+//! accesses    = 4 * butterflies              (two loads, two stores)
+//! cycles      = butterflies * CPB + accesses * CPA
+//! ```
+//!
+//! ## Calibration
+//!
+//! `CPB = 40` cycles per butterfly (double-precision complex multiply-add
+//! chains on a non-pipelined FPU) and `CPA = 98` cycles per memory access
+//! (column-pass strides of 4 KB thrash a 1996 memory system) reproduce
+//! the paper's measured 6.8 s at 150 MHz. Both constants are calibration
+//! against that single published measurement; the *structure* (compute
+//! term + memory term, N^2 log N growth) is the standard FFT cost model.
+
+/// Cycles per radix-2 butterfly (compute term).
+pub const CYCLES_PER_BUTTERFLY: f64 = 40.0;
+/// Cycles per operand access (memory term).
+pub const CYCLES_PER_ACCESS: f64 = 98.0;
+/// The baseline machine's clock, Hz.
+pub const PENTIUM_CLOCK_HZ: f64 = 150.0e6;
+
+/// Number of radix-2 butterflies in a full NxN 2-D FFT.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two greater than 1.
+pub fn butterflies_2d(n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n > 1, "N must be a power of two > 1");
+    let log2n = n.trailing_zeros() as u64;
+    2 * n as u64 * (n as u64 / 2 * log2n)
+}
+
+/// Modelled software execution time for an NxN 2-D FFT, in seconds.
+pub fn fft2d_seconds(n: usize) -> f64 {
+    let b = butterflies_2d(n) as f64;
+    let accesses = 4.0 * b;
+    (b * CYCLES_PER_BUTTERFLY + accesses * CYCLES_PER_ACCESS) / PENTIUM_CLOCK_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_count_formula() {
+        // 512-point rows: 512 rows x 256 x 9 butterflies, twice.
+        assert_eq!(butterflies_2d(512), 2 * 512 * 256 * 9);
+        assert_eq!(butterflies_2d(4), 2 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn calibration_reproduces_the_papers_measurement() {
+        // The paper: 6.8 s for a 512x512 image on the Pentium-150.
+        let t = fft2d_seconds(512);
+        assert!(
+            (6.3..=7.3).contains(&t),
+            "software model drifted from calibration: {t:.2} s"
+        );
+    }
+
+    #[test]
+    fn cost_grows_superlinearly() {
+        assert!(fft2d_seconds(512) > 4.0 * fft2d_seconds(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = butterflies_2d(100);
+    }
+}

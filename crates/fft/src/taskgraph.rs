@@ -1,0 +1,219 @@
+//! The Fig. 10 FFT taskgraph.
+//!
+//! For one 4x4 pixel tile:
+//!
+//! - `F1..F4` each read their input row from `MI1..MI4`, compute an exact
+//!   4-point row FFT (twiddles in `{1, -1, i, -i}`: adders only) and
+//!   scatter the result by column: the real part of output element `j`
+//!   goes to `ML{j}` and the imaginary part to `MLI{j}`;
+//! - `g{j}r` column-transforms the *real* plane column `ML{j}` into
+//!   `MO{j}` (complex, interleaved re/im), `g{j}i` the *imaginary* plane
+//!   `MLI{j}` into `MOI{j}`. By FFT linearity the host combines the final
+//!   answer as `Out = Gr + i*Gi`;
+//! - dashed control dependencies order every `g` after every `F`
+//!   (Fig. 10).
+//!
+//! Values are 16-bit two's complement in hardware; the simulator carries
+//! them as wrapping 64-bit words, which is bit-compatible with the
+//! wrapping `i64` reference because all the arithmetic is adds and
+//! subtracts on inputs bounded well under 2^15.
+
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::{SegmentId, TaskId};
+use rcarb_taskgraph::program::{BinOp, Expr, Program};
+
+/// Designer area hint for an `F` task, in CLBs (calibrated so the greedy
+/// temporal partitioner reproduces the paper's three partitions).
+pub const F_TASK_CLBS: u32 = 150;
+/// Designer area hint for a `g` task, in CLBs.
+pub const G_TASK_CLBS: u32 = 220;
+
+/// Name lookups for the generated graph.
+#[derive(Debug, Clone)]
+pub struct FftNames {
+    /// `MI1..MI4` (input rows).
+    pub mi: [SegmentId; 4],
+    /// `ML1..ML4` (real-plane columns).
+    pub ml: [SegmentId; 4],
+    /// `MLI1..MLI4` (imaginary-plane columns).
+    pub mli: [SegmentId; 4],
+    /// `MO1..MO4` (real-plane column transforms, interleaved re/im).
+    pub mo: [SegmentId; 4],
+    /// `MOI1..MOI4` (imaginary-plane column transforms).
+    pub moi: [SegmentId; 4],
+    /// `F1..F4`.
+    pub f: [TaskId; 4],
+    /// `g1r..g4r`.
+    pub gr: [TaskId; 4],
+    /// `g1i..g4i`.
+    pub gi: [TaskId; 4],
+}
+
+fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Sub, a, b)
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Add, a, b)
+}
+
+/// The exact 4-point FFT of a *real* input `[x0..x3]`, as (re, im)
+/// expression pairs:
+///
+/// `X0 = x0+x1+x2+x3`, `X1 = (x0-x2) + i(x3-x1)`,
+/// `X2 = x0-x1+x2-x3`, `X3 = (x0-x2) + i(x1-x3)`.
+fn fft4_real_exprs(x: [Expr; 4]) -> [(Expr, Expr); 4] {
+    let [x0, x1, x2, x3] = x;
+    let zero = || Expr::lit(0);
+    let re0 = add(add(x0.clone(), x1.clone()), add(x2.clone(), x3.clone()));
+    let re1 = sub(x0.clone(), x2.clone());
+    let im1 = sub(x3.clone(), x1.clone());
+    let re2 = sub(add(x0.clone(), x2.clone()), add(x1.clone(), x3.clone()));
+    let re3 = sub(x0, x2);
+    let im3 = sub(x1, x3);
+    [
+        (re0, zero()),
+        (re1, im1),
+        (re2, zero()),
+        (re3, im3),
+    ]
+}
+
+/// Builds the Fig. 10 taskgraph.
+pub fn build_fft_taskgraph() -> (TaskGraph, FftNames) {
+    let mut b = TaskGraphBuilder::new("fft4x4");
+    let mi = std::array::from_fn(|i| b.segment(format!("MI{}", i + 1), 4, 16));
+    let ml = std::array::from_fn(|j| b.segment(format!("ML{}", j + 1), 4, 16));
+    let mli = std::array::from_fn(|j| b.segment(format!("MLI{}", j + 1), 4, 16));
+    let mo = std::array::from_fn(|j| b.segment(format!("MO{}", j + 1), 8, 16));
+    let moi = std::array::from_fn(|j| b.segment(format!("MOI{}", j + 1), 8, 16));
+
+    // F_i: row FFT of MI_i, scattered by column into the two planes.
+    let f: [TaskId; 4] = std::array::from_fn(|i| {
+        b.task_with_area(
+            format!("F{}", i + 1),
+            Program::build(|p| {
+                let xs: [Expr; 4] = std::array::from_fn(|j| {
+                    Expr::var(p.mem_read(mi[i], Expr::lit(j as u64)))
+                });
+                p.compute(4); // row-FFT datapath latency
+                let outs = fft4_real_exprs(xs);
+                for (j, (re, im)) in outs.into_iter().enumerate() {
+                    p.mem_write(ml[j], Expr::lit(i as u64), re);
+                    p.mem_write(mli[j], Expr::lit(i as u64), im);
+                }
+            }),
+            F_TASK_CLBS,
+        )
+    });
+
+    // g_jr / g_ji: column FFT of one plane column into interleaved
+    // complex output.
+    let mut mk_g = |name: String, src: SegmentId, dst: SegmentId| -> TaskId {
+        b.task_with_area(
+            name,
+            Program::build(|p| {
+                let ys: [Expr; 4] = std::array::from_fn(|i| {
+                    Expr::var(p.mem_read(src, Expr::lit(i as u64)))
+                });
+                p.compute(4);
+                let outs = fft4_real_exprs(ys);
+                for (k, (re, im)) in outs.into_iter().enumerate() {
+                    p.mem_write(dst, Expr::lit(2 * k as u64), re);
+                    p.mem_write(dst, Expr::lit(2 * k as u64 + 1), im);
+                }
+            }),
+            G_TASK_CLBS,
+        )
+    };
+    // Declaration order matters: the greedy temporal partitioner takes
+    // ready tasks in id order, and the paper's partition #0 contains g1r
+    // and g2r.
+    let g1r = mk_g("g1r".into(), ml[0], mo[0]);
+    let g2r = mk_g("g2r".into(), ml[1], mo[1]);
+    let g1i = mk_g("g1i".into(), mli[0], moi[0]);
+    let g2i = mk_g("g2i".into(), mli[1], moi[1]);
+    let g3r = mk_g("g3r".into(), ml[2], mo[2]);
+    let g3i = mk_g("g3i".into(), mli[2], moi[2]);
+    let g4r = mk_g("g4r".into(), ml[3], mo[3]);
+    let g4i = mk_g("g4i".into(), mli[3], moi[3]);
+    let gr = [g1r, g2r, g3r, g4r];
+    let gi = [g1i, g2i, g3i, g4i];
+
+    // Every second-dimension task starts after every first-dimension task
+    // (the dashed arrows of Fig. 10).
+    for &fi in &f {
+        for &g in gr.iter().chain(gi.iter()) {
+            b.control_dep(fi, g);
+        }
+    }
+    let graph = b.finish().expect("FFT taskgraph is structurally valid");
+    (
+        graph,
+        FftNames {
+            mi,
+            ml,
+            mli,
+            mo,
+            moi,
+            f,
+            gr,
+            gi,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_fig10() {
+        let (g, names) = build_fft_taskgraph();
+        assert_eq!(g.tasks().len(), 12); // 4 F + 8 g
+        assert_eq!(g.segments().len(), 20);
+        assert_eq!(g.channels().len(), 0); // all communication via memory
+        assert_eq!(g.control_deps().len(), 32);
+        // F tasks write every plane segment; g tasks read exactly one.
+        for &fi in &names.f {
+            let segs = g.task(fi).program().segments_accessed();
+            assert_eq!(segs.len(), 9); // MI_i + 4 ML + 4 MLI
+        }
+        for (j, &gj) in names.gr.iter().enumerate() {
+            let segs = g.task(gj).program().segments_accessed();
+            assert!(segs.contains(&names.ml[j]));
+            assert!(segs.contains(&names.mo[j]));
+            assert_eq!(segs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn g_tasks_depend_on_every_f_task() {
+        let (g, names) = build_fft_taskgraph();
+        for &fi in &names.f {
+            for &gj in names.gr.iter().chain(names.gi.iter()) {
+                assert!(g.are_ordered(fi, gj));
+            }
+        }
+        // F tasks are mutually concurrent, as are g tasks.
+        assert!(!g.are_ordered(names.f[0], names.f[3]));
+        assert!(!g.are_ordered(names.gr[0], names.gi[2]));
+    }
+
+    #[test]
+    fn fft4_expressions_match_reference() {
+        use crate::reference::{dft4, Complex};
+        // Evaluate the expression forms against the exact kernel.
+        let inputs = [3i64, -7, 20, 5];
+        let vars: Vec<u64> = inputs.iter().map(|&v| v as u64).collect();
+        let xs: [Expr; 4] =
+            std::array::from_fn(|i| Expr::var(rcarb_taskgraph::id::VarId::new(i as u32)));
+        let exprs = fft4_real_exprs(xs);
+        let expected = dft4(std::array::from_fn(|i| Complex::real(inputs[i])));
+        for (k, (re, im)) in exprs.iter().enumerate() {
+            assert_eq!(re.eval(&vars) as i64, expected[k].re, "re[{k}]");
+            assert_eq!(im.eval(&vars) as i64, expected[k].im, "im[{k}]");
+        }
+    }
+}

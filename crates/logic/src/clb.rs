@@ -1,0 +1,135 @@
+//! XC4000E CLB packing model.
+//!
+//! An XC4000E configurable logic block offers two 4-input function
+//! generators (F and G), a third 3-input function generator (H) that can
+//! combine F, G and one extra signal, and two flip-flops. Packing therefore
+//! fits roughly two LUTs plus two FFs per CLB, with small combiner nodes
+//! riding the H generator for free.
+//!
+//! ## Calibration
+//!
+//! `packing_efficiency` models how well a tool's placer fills both function
+//! generators of each CLB: 1.0 is the theoretical two-LUTs-per-CLB bound;
+//! commercial flows on control-dominated logic land around 0.75–0.95. The
+//! per-tool values live in [`crate::tools`] and were chosen so the
+//! reproduction's Fig. 6 curves land in the paper's plotted range (a 10-bit
+//! one-hot arbiter around 40–65 CLBs depending on the tool).
+
+use crate::netlist::{NetRef, Netlist};
+
+/// Result of packing a netlist into CLBs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClbEstimate {
+    /// CLBs consumed.
+    pub clbs: u32,
+    /// 4-input LUTs before H-merging.
+    pub luts: u32,
+    /// LUTs absorbed into H function generators.
+    pub h_merged: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+}
+
+/// Packs `netlist` into CLBs.
+///
+/// `packing_efficiency` must be in `(0, 1]`; lower values waste function
+/// generators and yield more CLBs.
+///
+/// # Panics
+///
+/// Panics if `packing_efficiency` is outside `(0, 1]`.
+pub fn pack(netlist: &Netlist, packing_efficiency: f64) -> ClbEstimate {
+    assert!(
+        packing_efficiency > 0.0 && packing_efficiency <= 1.0,
+        "packing efficiency must be in (0, 1]"
+    );
+    let luts = netlist.num_luts() as u32;
+    let ffs = netlist.num_regs() as u32;
+
+    // Nodes with <= 3 inputs, all of which are other LUT outputs, are
+    // candidates for the H generator (it combines F, G and one more
+    // signal). At most one H per CLB, and an H needs its F/G present, so
+    // cap the merge at a third of the LUT population.
+    let h_candidates = netlist
+        .nodes()
+        .iter()
+        .filter(|n| n.inputs.len() <= 3 && n.inputs.iter().all(|r| matches!(r, NetRef::Node(_))))
+        .count() as u32;
+    let h_merged = h_candidates.min(luts / 3);
+
+    let effective_luts = luts - h_merged;
+    let logic_clbs = ((effective_luts as f64 / 2.0) / packing_efficiency).ceil() as u32;
+    let ff_clbs = ffs.div_ceil(2);
+    ClbEstimate {
+        clbs: logic_clbs.max(ff_clbs),
+        luts,
+        h_merged,
+        ffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{NetRef, Netlist};
+
+    fn chain_netlist(luts: usize, regs: usize) -> Netlist {
+        let mut nl = Netlist::new(2);
+        let mut prev = NetRef::Input(0);
+        for _ in 0..luts {
+            prev = nl.add_node(vec![prev, NetRef::Input(1)], 0b1000);
+        }
+        for _ in 0..regs {
+            let r = nl.add_reg(false);
+            nl.set_reg_next(r, prev);
+        }
+        nl.push_output(prev);
+        nl
+    }
+
+    #[test]
+    fn two_luts_per_clb_at_perfect_packing() {
+        let nl = chain_netlist(8, 0);
+        let est = pack(&nl, 1.0);
+        assert_eq!(est.luts, 8);
+        // The 7 downstream AND nodes read one input pin, so no H-merge.
+        assert_eq!(est.h_merged, 0);
+        assert_eq!(est.clbs, 4);
+    }
+
+    #[test]
+    fn lower_efficiency_costs_more_clbs() {
+        let nl = chain_netlist(8, 0);
+        assert!(pack(&nl, 0.8).clbs > pack(&nl, 1.0).clbs);
+    }
+
+    #[test]
+    fn ff_bound_dominates_register_heavy_designs() {
+        let nl = chain_netlist(1, 10);
+        let est = pack(&nl, 1.0);
+        assert_eq!(est.ffs, 10);
+        assert_eq!(est.clbs, 5); // 2 FFs per CLB
+    }
+
+    #[test]
+    fn h_merging_discounts_small_combiners() {
+        // Three 2-input first-level ANDs feeding a 3-input OR whose inputs
+        // are all node outputs: the OR can ride an H generator.
+        let mut nl = Netlist::new(6);
+        let a = nl.add_node(vec![NetRef::Input(0), NetRef::Input(1)], 0b1000);
+        let b = nl.add_node(vec![NetRef::Input(2), NetRef::Input(3)], 0b1000);
+        let c = nl.add_node(vec![NetRef::Input(4), NetRef::Input(5)], 0b1000);
+        let o = nl.add_node(vec![a, b, c], 0b1111_1110);
+        nl.push_output(o);
+        let est = pack(&nl, 1.0);
+        assert_eq!(est.h_merged, 1);
+        assert_eq!(est.clbs, 2); // (4-1)/2 rounded up
+    }
+
+    #[test]
+    #[should_panic(expected = "packing efficiency")]
+    fn zero_efficiency_rejected() {
+        let nl = chain_netlist(2, 0);
+        let _ = pack(&nl, 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Cubes: product terms over up to 64 boolean variables.
+
+use std::fmt;
+
+/// A product term (cube) over at most 64 variables.
+///
+/// Variable `i` is *bound* when bit `i` of `mask` is set; its required
+/// polarity is then bit `i` of `value`. Unbound variables are don't-cares.
+/// The canonical invariant `value & !mask == 0` is maintained by every
+/// constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    mask: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// The universal cube (no bound literals): covers every minterm.
+    pub const fn universe() -> Self {
+        Self { mask: 0, value: 0 }
+    }
+
+    /// Creates a cube from raw mask/value words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` sets a bit outside `mask`.
+    pub fn from_raw(mask: u64, value: u64) -> Self {
+        assert_eq!(value & !mask, 0, "cube value bits must lie inside the mask");
+        Self { mask, value }
+    }
+
+    /// Returns this cube extended with the literal `var = polarity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= 64` or the variable is already bound with the
+    /// opposite polarity (which would make the cube empty).
+    pub fn with_lit(self, var: usize, polarity: bool) -> Self {
+        assert!(var < 64, "cube variables are limited to 64");
+        let bit = 1u64 << var;
+        if self.mask & bit != 0 {
+            assert_eq!(
+                self.value & bit != 0,
+                polarity,
+                "conflicting polarities for variable {var}"
+            );
+            return self;
+        }
+        Self {
+            mask: self.mask | bit,
+            value: if polarity { self.value | bit } else { self.value },
+        }
+    }
+
+    /// The bound-variable mask.
+    pub fn mask(self) -> u64 {
+        self.mask
+    }
+
+    /// The polarity word (valid only on mask bits).
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Number of bound literals.
+    pub fn num_lits(self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Returns the polarity of `var` if bound.
+    pub fn lit(self, var: usize) -> Option<bool> {
+        let bit = 1u64 << var;
+        (self.mask & bit != 0).then_some(self.value & bit != 0)
+    }
+
+    /// Returns true when the minterm `assignment` (one bit per variable)
+    /// satisfies this cube.
+    pub fn eval(self, assignment: u64) -> bool {
+        assignment & self.mask == self.value
+    }
+
+    /// Returns true when `self` covers every minterm of `other`
+    /// (`other ⊆ self`).
+    pub fn contains(self, other: Cube) -> bool {
+        self.mask & !other.mask == 0 && other.value & self.mask == self.value
+    }
+
+    /// Returns true when the two cubes share at least one minterm.
+    pub fn intersects(self, other: Cube) -> bool {
+        let common = self.mask & other.mask;
+        self.value & common == other.value & common
+    }
+
+    /// Attempts the adjacency merge: two cubes bound on the same variables
+    /// that differ in exactly one polarity merge into one cube with that
+    /// variable freed.
+    pub fn try_merge(self, other: Cube) -> Option<Cube> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        Some(Cube {
+            mask: self.mask & !diff,
+            value: self.value & !diff,
+        })
+    }
+
+    /// Returns the cube with variable `var` freed (literal removed).
+    pub fn without_var(self, var: usize) -> Cube {
+        let bit = 1u64 << var;
+        Cube {
+            mask: self.mask & !bit,
+            value: self.value & !bit,
+        }
+    }
+
+    /// The cofactor of this cube with respect to `var = polarity`:
+    /// `None` if the cube requires the opposite polarity (empty cofactor),
+    /// otherwise the cube with the variable freed.
+    pub fn cofactor(self, var: usize, polarity: bool) -> Option<Cube> {
+        match self.lit(var) {
+            Some(p) if p != polarity => None,
+            _ => Some(self.without_var(var)),
+        }
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mask == 0 {
+            return f.write_str("1");
+        }
+        let mut first = true;
+        for var in 0..64 {
+            if let Some(p) = self.lit(var) {
+                if !first {
+                    f.write_str("&")?;
+                }
+                first = false;
+                if !p {
+                    f.write_str("!")?;
+                }
+                write!(f, "x{var}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_covers_everything() {
+        let u = Cube::universe();
+        assert!(u.eval(0));
+        assert!(u.eval(u64::MAX));
+        assert_eq!(u.num_lits(), 0);
+    }
+
+    #[test]
+    fn literals_and_eval() {
+        let c = Cube::universe().with_lit(0, true).with_lit(2, false);
+        assert!(c.eval(0b001));
+        assert!(!c.eval(0b101)); // x2 must be 0
+        assert!(!c.eval(0b000)); // x0 must be 1
+        assert_eq!(c.lit(0), Some(true));
+        assert_eq!(c.lit(2), Some(false));
+        assert_eq!(c.lit(1), None);
+    }
+
+    #[test]
+    fn idempotent_same_polarity() {
+        let c = Cube::universe().with_lit(3, true).with_lit(3, true);
+        assert_eq!(c.num_lits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting polarities")]
+    fn conflicting_literal_panics() {
+        let _ = Cube::universe().with_lit(3, true).with_lit(3, false);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::universe().with_lit(0, true);
+        let small = Cube::universe().with_lit(0, true).with_lit(1, false);
+        assert!(big.contains(small));
+        assert!(!small.contains(big));
+        assert!(big.contains(big));
+        assert!(Cube::universe().contains(big));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Cube::universe().with_lit(0, true);
+        let b = Cube::universe().with_lit(0, false);
+        let c = Cube::universe().with_lit(1, true);
+        assert!(!a.intersects(b));
+        assert!(a.intersects(c));
+    }
+
+    #[test]
+    fn adjacency_merge() {
+        let a = Cube::universe().with_lit(0, true).with_lit(1, true);
+        let b = Cube::universe().with_lit(0, true).with_lit(1, false);
+        let m = a.try_merge(b).expect("adjacent cubes merge");
+        assert_eq!(m, Cube::universe().with_lit(0, true));
+        // Non-adjacent pairs do not merge.
+        let c = Cube::universe().with_lit(0, false).with_lit(1, false);
+        assert!(a.try_merge(c).is_none());
+        // Different masks do not merge.
+        let d = Cube::universe().with_lit(0, true);
+        assert!(a.try_merge(d).is_none());
+    }
+
+    #[test]
+    fn cofactors() {
+        let c = Cube::universe().with_lit(0, true).with_lit(1, false);
+        assert_eq!(
+            c.cofactor(0, true),
+            Some(Cube::universe().with_lit(1, false))
+        );
+        assert_eq!(c.cofactor(0, false), None);
+        // Cofactor on an unbound variable just returns the cube.
+        assert_eq!(c.cofactor(5, true), Some(c));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Cube::universe().with_lit(0, true).with_lit(3, false);
+        assert_eq!(c.to_string(), "x0&!x3");
+        assert_eq!(Cube::universe().to_string(), "1");
+    }
+}

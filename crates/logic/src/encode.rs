@@ -1,0 +1,172 @@
+//! State encoding: one-hot, compact (binary) and Gray assignments.
+
+use crate::fsm::Fsm;
+use std::fmt;
+
+/// A state-assignment style.
+///
+/// The paper's arbiter generator "has the option to produce different
+/// encoding schemes for the FSM (e.g. one-hot encoding, compact encoding,
+/// or synthesis tool's default encoding)"; Fig. 6 plots one-hot and compact
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingStyle {
+    /// One flip-flop per state; exactly one bit set at a time.
+    OneHot,
+    /// `ceil(log2(states))` flip-flops, binary-counted codes.
+    Compact,
+    /// `ceil(log2(states))` flip-flops, Gray-counted codes (adjacent state
+    /// indices differ in one bit).
+    Gray,
+}
+
+impl fmt::Display for EncodingStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EncodingStyle::OneHot => "one-hot",
+            EncodingStyle::Compact => "compact",
+            EncodingStyle::Gray => "gray",
+        })
+    }
+}
+
+/// A concrete state assignment: one code word per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoding {
+    style: EncodingStyle,
+    bits: usize,
+    codes: Vec<u64>,
+}
+
+impl Encoding {
+    /// Assigns codes to the states of `fsm` in the given style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FSM has no states, or if a one-hot encoding would need
+    /// more than 64 bits.
+    pub fn assign(fsm: &Fsm, style: EncodingStyle) -> Self {
+        let n = fsm.num_states();
+        assert!(n > 0, "cannot encode an FSM with no states");
+        match style {
+            EncodingStyle::OneHot => {
+                assert!(n <= 64, "one-hot encoding limited to 64 states");
+                Self {
+                    style,
+                    bits: n,
+                    codes: (0..n).map(|i| 1u64 << i).collect(),
+                }
+            }
+            EncodingStyle::Compact => {
+                let bits = bits_for(n);
+                Self {
+                    style,
+                    bits,
+                    codes: (0..n as u64).collect(),
+                }
+            }
+            EncodingStyle::Gray => {
+                let bits = bits_for(n);
+                Self {
+                    style,
+                    bits,
+                    codes: (0..n as u64).map(|i| i ^ (i >> 1)).collect(),
+                }
+            }
+        }
+    }
+
+    /// The style this assignment used.
+    pub fn style(&self) -> EncodingStyle {
+        self.style
+    }
+
+    /// Number of state register bits (flip-flops).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The code of state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn code(&self, state: usize) -> u64 {
+        self.codes[state]
+    }
+
+    /// All codes, indexed by state.
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Finds the state whose code is `code`, if any.
+    pub fn decode(&self, code: u64) -> Option<usize> {
+        self.codes.iter().position(|&c| c == code)
+    }
+}
+
+fn bits_for(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::Fsm;
+
+    fn fsm_with_states(n: usize) -> Fsm {
+        let mut fsm = Fsm::new("t", 0, 0);
+        for i in 0..n {
+            fsm.add_state(format!("S{i}"));
+        }
+        fsm
+    }
+
+    #[test]
+    fn one_hot_codes_are_single_bits() {
+        let e = Encoding::assign(&fsm_with_states(12), EncodingStyle::OneHot);
+        assert_eq!(e.bits(), 12);
+        for (i, &c) in e.codes().iter().enumerate() {
+            assert_eq!(c.count_ones(), 1);
+            assert_eq!(e.decode(c), Some(i));
+        }
+    }
+
+    #[test]
+    fn compact_uses_ceil_log2_bits() {
+        assert_eq!(Encoding::assign(&fsm_with_states(2), EncodingStyle::Compact).bits(), 1);
+        assert_eq!(Encoding::assign(&fsm_with_states(4), EncodingStyle::Compact).bits(), 2);
+        assert_eq!(Encoding::assign(&fsm_with_states(5), EncodingStyle::Compact).bits(), 3);
+        assert_eq!(Encoding::assign(&fsm_with_states(12), EncodingStyle::Compact).bits(), 4);
+    }
+
+    #[test]
+    fn gray_codes_differ_in_one_bit() {
+        let e = Encoding::assign(&fsm_with_states(8), EncodingStyle::Gray);
+        for w in e.codes().windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        for style in [EncodingStyle::OneHot, EncodingStyle::Compact, EncodingStyle::Gray] {
+            let e = Encoding::assign(&fsm_with_states(10), style);
+            let mut codes = e.codes().to_vec();
+            codes.sort_unstable();
+            codes.dedup();
+            assert_eq!(codes.len(), 10, "{style} produced duplicate codes");
+        }
+    }
+
+    #[test]
+    fn decode_unknown_code_is_none() {
+        let e = Encoding::assign(&fsm_with_states(3), EncodingStyle::OneHot);
+        assert_eq!(e.decode(0b11), None);
+    }
+}

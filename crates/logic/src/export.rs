@@ -1,0 +1,215 @@
+//! Interchange with the academic logic-synthesis ecosystem.
+//!
+//! The paper's arbiters went through commercial tools; the closest open
+//! equivalents (SIS, ABC, MVSIS) speak **KISS2** for FSMs and **BLIF**
+//! for mapped netlists. These emitters make every generated arbiter
+//! consumable by those tools, so the characterization here can be
+//! cross-checked against a real multi-level synthesizer.
+
+use crate::fsm::Fsm;
+use crate::netlist::{NetRef, Netlist};
+use std::fmt::Write as _;
+
+/// Emits an FSM in KISS2 format (`.i/.o/.p/.s/.r` header plus one line
+/// per transition: `input-cube current-state next-state output-bits`).
+///
+/// Mealy outputs are attached to each transition line, matching the KISS2
+/// convention. Don't-care input positions print as `-`.
+pub fn fsm_to_kiss2(fsm: &Fsm) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".i {}", fsm.num_inputs());
+    let _ = writeln!(s, ".o {}", fsm.num_outputs());
+    let _ = writeln!(s, ".p {}", fsm.transitions().len());
+    let _ = writeln!(s, ".s {}", fsm.num_states());
+    let _ = writeln!(s, ".r {}", fsm.state_names()[fsm.reset_state()]);
+    for t in fsm.transitions() {
+        let mut input = String::with_capacity(fsm.num_inputs());
+        for v in 0..fsm.num_inputs() {
+            input.push(match t.guard.lit(v) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            });
+        }
+        let mut output = String::with_capacity(fsm.num_outputs());
+        for o in 0..fsm.num_outputs() {
+            output.push(if t.outputs >> o & 1 != 0 { '1' } else { '0' });
+        }
+        let _ = writeln!(
+            s,
+            "{} {} {} {}",
+            if input.is_empty() { "-".to_owned() } else { input },
+            fsm.state_names()[t.from],
+            fsm.state_names()[t.to],
+            if output.is_empty() { "0".to_owned() } else { output },
+        );
+    }
+    let _ = writeln!(s, ".e");
+    s
+}
+
+fn blif_name(r: NetRef) -> String {
+    match r {
+        NetRef::Const(false) => "gnd".to_owned(),
+        NetRef::Const(true) => "vdd".to_owned(),
+        NetRef::Input(i) => format!("in{i}"),
+        NetRef::Reg(i) => format!("q{i}"),
+        NetRef::Node(i) => format!("n{i}"),
+    }
+}
+
+/// Emits a mapped netlist in BLIF: `.names` per LUT (one cover line per
+/// on-set minterm), `.latch` per flip-flop, constants as one-line covers.
+pub fn netlist_to_blif(model: &str, nl: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {model}");
+    let inputs: Vec<String> = (0..nl.num_inputs()).map(|i| format!("in{i}")).collect();
+    let _ = writeln!(s, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..nl.outputs().len()).map(|i| format!("out{i}")).collect();
+    let _ = writeln!(s, ".outputs {}", outputs.join(" "));
+
+    let mut used_gnd = false;
+    let mut used_vdd = false;
+    let note_const = |r: NetRef, used_gnd: &mut bool, used_vdd: &mut bool| match r {
+        NetRef::Const(false) => *used_gnd = true,
+        NetRef::Const(true) => *used_vdd = true,
+        _ => {}
+    };
+    for node in nl.nodes() {
+        for &r in &node.inputs {
+            note_const(r, &mut used_gnd, &mut used_vdd);
+        }
+    }
+    for reg in nl.regs() {
+        note_const(reg.next, &mut used_gnd, &mut used_vdd);
+    }
+    for &o in nl.outputs() {
+        note_const(o, &mut used_gnd, &mut used_vdd);
+    }
+    if used_gnd {
+        let _ = writeln!(s, ".names gnd");
+    }
+    if used_vdd {
+        let _ = writeln!(s, ".names vdd\n1");
+    }
+
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let ins: Vec<String> = node.inputs.iter().map(|&r| blif_name(r)).collect();
+        let _ = writeln!(s, ".names {} n{i}", ins.join(" "));
+        let k = node.inputs.len();
+        for idx in 0..(1usize << k) {
+            if node.truth >> idx & 1 != 0 {
+                let row: String = (0..k)
+                    .map(|j| if idx >> j & 1 != 0 { '1' } else { '0' })
+                    .collect();
+                let _ = writeln!(s, "{row} 1");
+            }
+        }
+    }
+    for (i, reg) in nl.regs().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            ".latch {} q{} re clk {}",
+            blif_name(reg.next),
+            i,
+            u8::from(reg.init)
+        );
+    }
+    for (i, &o) in nl.outputs().iter().enumerate() {
+        // BLIF outputs are nets; alias through a buffer cover.
+        let _ = writeln!(s, ".names {} out{i}\n1 1", blif_name(o));
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+    use crate::fsm::Transition;
+    use crate::netlist::Netlist;
+
+    fn toggle_fsm() -> Fsm {
+        let mut fsm = Fsm::new("toggle", 1, 1);
+        let s0 = fsm.add_state("S0");
+        let s1 = fsm.add_state("S1");
+        fsm.set_reset(s0);
+        let hi = Cube::universe().with_lit(0, true);
+        let lo = Cube::universe().with_lit(0, false);
+        fsm.add_transition(Transition { from: s0, guard: hi, to: s1, outputs: 1 });
+        fsm.add_transition(Transition { from: s0, guard: lo, to: s0, outputs: 0 });
+        fsm.add_transition(Transition { from: s1, guard: hi, to: s0, outputs: 0 });
+        fsm.add_transition(Transition { from: s1, guard: lo, to: s1, outputs: 1 });
+        fsm
+    }
+
+    #[test]
+    fn kiss2_header_and_rows() {
+        let k = fsm_to_kiss2(&toggle_fsm());
+        assert!(k.starts_with(".i 1\n.o 1\n.p 4\n.s 2\n.r S0\n"));
+        assert!(k.contains("1 S0 S1 1\n"));
+        assert!(k.contains("0 S1 S1 1\n"));
+        assert!(k.trim_end().ends_with(".e"));
+    }
+
+    #[test]
+    fn kiss2_emits_dont_cares() {
+        let mut fsm = Fsm::new("dc", 2, 0);
+        let s0 = fsm.add_state("A");
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: Cube::universe().with_lit(1, true),
+            to: s0,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: Cube::universe().with_lit(1, false),
+            to: s0,
+            outputs: 0,
+        });
+        let k = fsm_to_kiss2(&fsm);
+        assert!(k.contains("-1 A A 0\n"), "{k}");
+    }
+
+    #[test]
+    fn kiss2_multi_bit_io_formats_as_bit_strings() {
+        let n = 4;
+        let mut f = Fsm::new("mini", n, n);
+        for i in 0..2 * n {
+            f.add_state(format!("s{i}"));
+        }
+        let zero = (0..n).fold(Cube::universe(), |c, v| c.with_lit(v, false));
+        f.add_transition(Transition { from: 0, guard: zero, to: 1, outputs: 0 });
+        let k = fsm_to_kiss2(&f);
+        assert!(k.contains(&format!(".s {}", 2 * n)));
+        assert!(k.contains("0000 s0 s1 0000"));
+    }
+
+    #[test]
+    fn blif_names_latches_and_buffers() {
+        let mut nl = Netlist::new(2);
+        let q = nl.add_reg(true);
+        let x = nl.add_node(vec![q, NetRef::Input(0)], 0b0110); // XOR
+        nl.set_reg_next(q, x);
+        let a = nl.add_node(vec![x, NetRef::Input(1)], 0b1000); // AND
+        nl.push_output(a);
+        let blif = netlist_to_blif("demo", &nl);
+        assert!(blif.starts_with(".model demo\n.inputs in0 in1\n.outputs out0\n"));
+        assert!(blif.contains(".names q0 in0 n0\n10 1\n01 1\n"));
+        assert!(blif.contains(".latch n0 q0 re clk 1\n"));
+        assert!(blif.contains(".names n1 out0\n1 1\n"));
+        assert!(blif.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn blif_declares_used_constants_only() {
+        let mut nl = Netlist::new(1);
+        let n = nl.add_node(vec![NetRef::Input(0), NetRef::Const(false)], 0b1110);
+        nl.push_output(n);
+        let blif = netlist_to_blif("c", &nl);
+        assert!(blif.contains(".names gnd\n"));
+        assert!(!blif.contains("vdd"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Espresso-style two-level minimization.
+//!
+//! Three effort levels model the optimization strength of the synthesis
+//! tools in the paper's evaluation (Sec. 4.2): FPGA Express behaves like
+//! [`Effort::Medium`], Synplify like [`Effort::High`]. All transformations
+//! are function-preserving; the unit tests check semantic equivalence
+//! before/after.
+
+use crate::cube::Cube;
+use crate::sop::Sop;
+
+/// Optimization effort for two-level minimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Effort {
+    /// Duplicate and single-cube-containment removal only.
+    Low,
+    /// Low, plus iterated adjacency merging (`ab | a!b -> a`) and one
+    /// literal-expansion sweep validated by tautology checking.
+    Medium,
+    /// Medium, plus expansion to a fixpoint and an irredundant-cover pass.
+    High,
+}
+
+/// Minimizes a cover at the given effort, preserving the function.
+pub fn minimize(sop: &Sop, effort: Effort) -> Sop {
+    minimize_with_dc(sop, &Sop::zero(sop.num_vars()), effort)
+}
+
+/// Minimizes a cover against a don't-care set: the result may differ from
+/// `sop` only on minterms covered by `dc` (e.g. unreachable state codes of
+/// a densely encoded FSM).
+///
+/// # Panics
+///
+/// Panics if the two covers disagree on variable count.
+pub fn minimize_with_dc(sop: &Sop, dc: &Sop, effort: Effort) -> Sop {
+    assert_eq!(
+        sop.num_vars(),
+        dc.num_vars(),
+        "cover and don't-care set must share a variable space"
+    );
+    let mut cubes = sop.cubes().to_vec();
+    dedupe_and_contain(&mut cubes);
+    if effort >= Effort::Medium {
+        merge_adjacent(&mut cubes);
+        expand(sop.num_vars(), &mut cubes, dc, effort >= Effort::High);
+        dedupe_and_contain(&mut cubes);
+    }
+    if effort >= Effort::High {
+        irredundant(sop.num_vars(), &mut cubes, dc);
+    }
+    if effort >= Effort::Medium {
+        merge_adjacent(&mut cubes);
+    }
+    Sop::from_cubes(sop.num_vars(), cubes)
+}
+
+fn dedupe_and_contain(cubes: &mut Vec<Cube>) {
+    cubes.sort();
+    cubes.dedup();
+    // Remove cubes contained in another cube.
+    let snapshot = cubes.clone();
+    cubes.retain(|c| {
+        !snapshot
+            .iter()
+            .any(|other| other != c && other.contains(*c))
+    });
+}
+
+fn merge_adjacent(cubes: &mut Vec<Cube>) {
+    loop {
+        let mut merged = None;
+        'outer: for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if let Some(m) = cubes[i].try_merge(cubes[j]) {
+                    merged = Some((i, j, m));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, m)) => {
+                cubes.remove(j);
+                cubes.remove(i);
+                cubes.push(m);
+                dedupe_and_contain(cubes);
+            }
+            None => break,
+        }
+    }
+}
+
+fn expand(num_vars: usize, cubes: &mut [Cube], dc: &Sop, fixpoint: bool) {
+    for i in 0..cubes.len() {
+        let mut cube = cubes[i];
+        let mut first = true;
+        let mut changed = true;
+        while changed && (fixpoint || first) {
+            first = false;
+            changed = false;
+            let mut m = cube.mask();
+            while m != 0 {
+                let v = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let candidate = cube.without_var(v);
+                // Valid iff cover + don't-cares swallow the expanded cube.
+                let mut all = cubes.to_vec();
+                all.extend_from_slice(dc.cubes());
+                let cover = Sop::from_cubes(num_vars, all);
+                if cover.covers_cube(candidate) {
+                    cube = candidate;
+                    cubes[i] = cube;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Removes cubes whose minterms are already covered by the rest of the
+/// cover plus the don't-care set.
+fn irredundant(num_vars: usize, cubes: &mut Vec<Cube>, dc: &Sop) {
+    let mut i = 0;
+    while i < cubes.len() {
+        let mut rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &c)| c)
+            .collect();
+        rest.extend_from_slice(dc.cubes());
+        if Sop::from_cubes(num_vars, rest).covers_cube(cubes[i]) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, pol: bool) -> Cube {
+        Cube::universe().with_lit(var, pol)
+    }
+
+    fn check_equiv(before: &Sop, effort: Effort) -> Sop {
+        let after = minimize(before, effort);
+        assert!(
+            before.equivalent(&after),
+            "minimization changed the function: {before} vs {after}"
+        );
+        after
+    }
+
+    #[test]
+    fn low_removes_contained_cubes() {
+        let s = Sop::from_cubes(
+            2,
+            vec![lit(0, true), lit(0, true).with_lit(1, false), lit(0, true)],
+        );
+        let m = check_equiv(&s, Effort::Low);
+        assert_eq!(m.cubes().len(), 1);
+    }
+
+    #[test]
+    fn medium_merges_adjacent_pairs() {
+        // ab | a!b -> a
+        let s = Sop::from_cubes(
+            2,
+            vec![
+                lit(0, true).with_lit(1, true),
+                lit(0, true).with_lit(1, false),
+            ],
+        );
+        let m = check_equiv(&s, Effort::Medium);
+        assert_eq!(m.cubes().len(), 1);
+        assert_eq!(m.cubes()[0], lit(0, true));
+    }
+
+    #[test]
+    fn medium_merges_cascades() {
+        // Four minterms of two variables merge all the way to the universe.
+        let s = Sop::from_cubes(
+            2,
+            vec![
+                lit(0, false).with_lit(1, false),
+                lit(0, false).with_lit(1, true),
+                lit(0, true).with_lit(1, false),
+                lit(0, true).with_lit(1, true),
+            ],
+        );
+        let m = check_equiv(&s, Effort::Medium);
+        assert_eq!(m.cubes().len(), 1);
+        assert_eq!(m.cubes()[0], Cube::universe());
+    }
+
+    #[test]
+    fn high_expands_redundant_literals() {
+        // x0 | !x0&x1: the second cube's !x0 literal is redundant.
+        let s = Sop::from_cubes(2, vec![lit(0, true), lit(0, false).with_lit(1, true)]);
+        let m = check_equiv(&s, Effort::High);
+        assert_eq!(m.num_lits(), 2); // x0 | x1
+    }
+
+    #[test]
+    fn efforts_are_monotone_in_cost() {
+        // A messy cover: cost must not increase with effort.
+        let s = Sop::from_cubes(
+            3,
+            vec![
+                lit(0, true).with_lit(1, true).with_lit(2, true),
+                lit(0, true).with_lit(1, true).with_lit(2, false),
+                lit(0, false).with_lit(1, true).with_lit(2, true),
+                lit(0, true).with_lit(1, false).with_lit(2, true),
+            ],
+        );
+        let low = check_equiv(&s, Effort::Low).num_lits();
+        let med = check_equiv(&s, Effort::Medium).num_lits();
+        let high = check_equiv(&s, Effort::High).num_lits();
+        assert!(med <= low);
+        assert!(high <= med);
+    }
+
+    #[test]
+    fn constants_are_fixed_points() {
+        assert!(minimize(&Sop::zero(4), Effort::High).is_zero());
+        assert!(minimize(&Sop::one(4), Effort::High).is_tautology());
+    }
+
+    #[test]
+    fn dont_cares_enable_further_expansion() {
+        // f = x0&x1, dc = x0&!x1: with the don't-care the cover shrinks to
+        // x0 alone.
+        let f = Sop::from_cubes(2, vec![lit(0, true).with_lit(1, true)]);
+        let dc = Sop::from_cubes(2, vec![lit(0, true).with_lit(1, false)]);
+        let m = minimize_with_dc(&f, &dc, Effort::High);
+        assert_eq!(m.cubes(), &[lit(0, true)]);
+        // The result agrees with f everywhere outside the DC set.
+        for minterm in 0..4u64 {
+            if !dc.eval(minterm) {
+                assert_eq!(m.eval(minterm), f.eval(minterm), "minterm {minterm}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_makes_cover_fully_redundant() {
+        // Everything f covers is don't-care... the cover may collapse, but
+        // must stay correct outside DC (where f is 0 anyway).
+        let f = Sop::from_cubes(2, vec![lit(0, true).with_lit(1, true)]);
+        let dc = f.clone();
+        let m = minimize_with_dc(&f, &dc, Effort::High);
+        for minterm in 0..4u64 {
+            if !dc.eval(minterm) {
+                assert_eq!(m.eval(minterm), f.eval(minterm));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dc_behaves_like_plain_minimize() {
+        let s = Sop::from_cubes(2, vec![lit(0, true), lit(0, false).with_lit(1, true)]);
+        assert_eq!(
+            minimize(&s, Effort::High),
+            minimize_with_dc(&s, &Sop::zero(2), Effort::High)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "variable space")]
+    fn mismatched_dc_space_rejected() {
+        let _ = minimize_with_dc(&Sop::zero(2), &Sop::zero(3), Effort::Low);
+    }
+}

@@ -1,0 +1,406 @@
+//! Mapped gate-level netlists: 4-input LUTs plus flip-flops.
+//!
+//! This is the common target of both FSM synthesis ([`crate::techmap`])
+//! and structural circuit construction ([`crate::structural`]). A netlist
+//! is executable (cycle-accurate [`Netlist::step`]), measurable
+//! ([`Netlist::logic_depth`], [`Netlist::num_luts`]) and packable
+//! ([`crate::clb`]).
+
+use std::fmt;
+
+/// A reference to a signal inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NetRef {
+    /// A constant 0 or 1.
+    Const(bool),
+    /// Primary input `i`.
+    Input(usize),
+    /// The current value of register `i`.
+    Reg(usize),
+    /// The output of LUT node `i`.
+    Node(usize),
+}
+
+/// A k-input lookup table, `k <= 4`.
+///
+/// Bit `i` of `truth` is the output value for the input combination whose
+/// j-th input equals bit `j` of `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LutNode {
+    /// The LUT's input signals (1 to 4).
+    pub inputs: Vec<NetRef>,
+    /// The 2^k-entry truth table, packed little-endian.
+    pub truth: u16,
+}
+
+/// A flip-flop: samples `next` on every clock edge, starts at `init`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegSpec {
+    /// The D input.
+    pub next: NetRef,
+    /// Power-on value.
+    pub init: bool,
+}
+
+/// A mapped netlist over 4-input LUTs and flip-flops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    num_inputs: usize,
+    nodes: Vec<LutNode>,
+    regs: Vec<RegSpec>,
+    outputs: Vec<NetRef>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        Self {
+            num_inputs,
+            nodes: Vec::new(),
+            regs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// All LUT nodes.
+    pub fn nodes(&self) -> &[LutNode] {
+        &self.nodes
+    }
+
+    /// All registers.
+    pub fn regs(&self) -> &[RegSpec] {
+        &self.regs
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[NetRef] {
+        &self.outputs
+    }
+
+    /// Number of LUTs (function generators consumed).
+    pub fn num_luts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Adds a LUT node; inputs must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or longer than 4, or references a node
+    /// that does not exist yet (netlists are built in topological order).
+    pub fn add_node(&mut self, inputs: Vec<NetRef>, truth: u16) -> NetRef {
+        assert!(
+            (1..=4).contains(&inputs.len()),
+            "LUTs take between 1 and 4 inputs"
+        );
+        for r in &inputs {
+            self.check_ref(*r);
+        }
+        self.nodes.push(LutNode { inputs, truth });
+        NetRef::Node(self.nodes.len() - 1)
+    }
+
+    /// Adds a register with power-on value `init` and a placeholder D
+    /// input; wire it later with [`set_reg_next`](Self::set_reg_next).
+    pub fn add_reg(&mut self, init: bool) -> NetRef {
+        self.regs.push(RegSpec {
+            next: NetRef::Const(init),
+            init,
+        });
+        NetRef::Reg(self.regs.len() - 1)
+    }
+
+    /// Wires register `reg`'s D input to `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a [`NetRef::Reg`] of this netlist or `next`
+    /// does not exist.
+    pub fn set_reg_next(&mut self, reg: NetRef, next: NetRef) {
+        self.check_ref(next);
+        match reg {
+            NetRef::Reg(i) if i < self.regs.len() => self.regs[i].next = next,
+            _ => panic!("set_reg_next target must be a register of this netlist"),
+        }
+    }
+
+    /// Declares a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not exist.
+    pub fn push_output(&mut self, net: NetRef) {
+        self.check_ref(net);
+        self.outputs.push(net);
+    }
+
+    fn check_ref(&self, r: NetRef) {
+        match r {
+            NetRef::Const(_) => {}
+            NetRef::Input(i) => assert!(i < self.num_inputs, "input {i} out of range"),
+            NetRef::Reg(i) => assert!(i < self.regs.len(), "register {i} out of range"),
+            NetRef::Node(i) => assert!(i < self.nodes.len(), "node {i} out of range"),
+        }
+    }
+
+    /// The power-on register state.
+    pub fn reset_state(&self) -> Vec<bool> {
+        self.regs.iter().map(|r| r.init).collect()
+    }
+
+    /// Evaluates all combinational nodes for the given input/register
+    /// values, returning per-node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have the wrong lengths.
+    pub fn eval_comb(&self, inputs: &[bool], regs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input width mismatch");
+        assert_eq!(regs.len(), self.regs.len(), "register width mismatch");
+        let mut values = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut idx = 0usize;
+            for (j, r) in node.inputs.iter().enumerate() {
+                let v = match *r {
+                    NetRef::Const(b) => b,
+                    NetRef::Input(i) => inputs[i],
+                    NetRef::Reg(i) => regs[i],
+                    NetRef::Node(i) => values[i],
+                };
+                if v {
+                    idx |= 1 << j;
+                }
+            }
+            values.push(node.truth >> idx & 1 != 0);
+        }
+        values
+    }
+
+    fn resolve(&self, r: NetRef, inputs: &[bool], regs: &[bool], nodes: &[bool]) -> bool {
+        match r {
+            NetRef::Const(b) => b,
+            NetRef::Input(i) => inputs[i],
+            NetRef::Reg(i) => regs[i],
+            NetRef::Node(i) => nodes[i],
+        }
+    }
+
+    /// Combinational outputs for the given state and inputs (no clock
+    /// edge).
+    pub fn outputs_for(&self, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        let nodes = self.eval_comb(inputs, state);
+        self.outputs
+            .iter()
+            .map(|&o| self.resolve(o, inputs, state, &nodes))
+            .collect()
+    }
+
+    /// One clock cycle: computes the outputs for (`state`, `inputs`), then
+    /// advances `state` through every register's D input.
+    pub fn step(&self, state: &mut [bool], inputs: &[bool]) -> Vec<bool> {
+        let nodes = self.eval_comb(inputs, state);
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|&o| self.resolve(o, inputs, state, &nodes))
+            .collect();
+        let next: Vec<bool> = self
+            .regs
+            .iter()
+            .map(|r| self.resolve(r.next, inputs, state, &nodes))
+            .collect();
+        state.copy_from_slice(&next);
+        outputs
+    }
+
+    /// Per-node logic depth (inputs/registers/constants are depth 0).
+    pub fn node_depths(&self) -> Vec<u32> {
+        let mut depths = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let d = node
+                .inputs
+                .iter()
+                .map(|r| match *r {
+                    NetRef::Node(i) => depths[i] + 1,
+                    _ => 1,
+                })
+                .max()
+                .unwrap_or(1);
+            depths.push(d);
+        }
+        depths
+    }
+
+    /// The critical combinational depth in LUT levels, considering both
+    /// primary outputs and register D inputs.
+    pub fn logic_depth(&self) -> u32 {
+        let depths = self.node_depths();
+        let of = |r: &NetRef| match *r {
+            NetRef::Node(i) => depths[i],
+            NetRef::Const(_) => 0,
+            _ => 0,
+        };
+        let out_max = self.outputs.iter().map(of).max().unwrap_or(0);
+        let reg_max = self.regs.iter().map(|r| of(&r.next)).max().unwrap_or(0);
+        out_max.max(reg_max)
+    }
+
+    /// The maximum fanout of any net (inputs, registers or nodes).
+    pub fn max_fanout(&self) -> u32 {
+        use std::collections::HashMap;
+        let mut counts: HashMap<NetRef, u32> = HashMap::new();
+        let mut bump = |r: NetRef| {
+            if !matches!(r, NetRef::Const(_)) {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        };
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                bump(i);
+            }
+        }
+        for r in &self.regs {
+            bump(r.next);
+        }
+        for &o in &self.outputs {
+            bump(o);
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} LUTs, {} FFs, {} outputs, depth {}",
+            self.num_inputs,
+            self.num_luts(),
+            self.num_regs(),
+            self.outputs.len(),
+            self.logic_depth()
+        )
+    }
+}
+
+/// Truth table of the k-input AND with per-input polarities
+/// (`polarity[j] == false` inverts input `j`).
+pub fn and_truth(polarities: &[bool]) -> u16 {
+    let k = polarities.len();
+    assert!((1..=4).contains(&k));
+    let mut t = 0u16;
+    for idx in 0..(1usize << k) {
+        let all = (0..k).all(|j| (idx >> j & 1 != 0) == polarities[j]);
+        if all {
+            t |= 1 << idx;
+        }
+    }
+    t
+}
+
+/// Truth table of the k-input OR (positive polarity).
+pub fn or_truth(k: usize) -> u16 {
+    assert!((1..=4).contains(&k));
+    let mut t = 0u16;
+    for idx in 1..(1usize << k) {
+        t |= 1 << idx;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_or_truth_tables() {
+        assert_eq!(and_truth(&[true, true]), 0b1000);
+        assert_eq!(and_truth(&[true]), 0b10);
+        assert_eq!(and_truth(&[false]), 0b01); // NOT gate
+        assert_eq!(or_truth(2), 0b1110);
+    }
+
+    /// A 1-bit toggle counter with an AND output.
+    fn toggle_netlist() -> Netlist {
+        let mut nl = Netlist::new(1);
+        let q = nl.add_reg(false);
+        // next = q XOR in
+        let x = nl.add_node(vec![q, NetRef::Input(0)], 0b0110);
+        nl.set_reg_next(q, x);
+        // out = q AND in
+        let a = nl.add_node(vec![q, NetRef::Input(0)], 0b1000);
+        nl.push_output(a);
+        nl
+    }
+
+    #[test]
+    fn step_executes_sequential_logic() {
+        let nl = toggle_netlist();
+        let mut state = nl.reset_state();
+        assert_eq!(state, vec![false]);
+        // in=1: out = 0 AND 1 = 0; q toggles to 1.
+        assert_eq!(nl.step(&mut state, &[true]), vec![false]);
+        assert_eq!(state, vec![true]);
+        // in=1: out = 1 AND 1 = 1; q toggles back.
+        assert_eq!(nl.step(&mut state, &[true]), vec![true]);
+        assert_eq!(state, vec![false]);
+        // in=0: q holds.
+        assert_eq!(nl.step(&mut state, &[false]), vec![false]);
+        assert_eq!(state, vec![false]);
+    }
+
+    #[test]
+    fn outputs_for_is_combinational() {
+        let nl = toggle_netlist();
+        let state = vec![true];
+        assert_eq!(nl.outputs_for(&state, &[true]), vec![true]);
+        assert_eq!(nl.outputs_for(&state, &[false]), vec![false]);
+    }
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        let mut nl = Netlist::new(5);
+        let a = nl.add_node(vec![NetRef::Input(0), NetRef::Input(1)], 0b1000);
+        let b = nl.add_node(vec![NetRef::Input(2), NetRef::Input(3)], 0b1000);
+        let c = nl.add_node(vec![a, b], 0b1110);
+        nl.push_output(c);
+        assert_eq!(nl.logic_depth(), 2);
+        assert_eq!(nl.num_luts(), 3);
+    }
+
+    #[test]
+    fn fanout_counts_all_consumers() {
+        let mut nl = Netlist::new(1);
+        let a = nl.add_node(vec![NetRef::Input(0)], 0b10);
+        let _ = nl.add_node(vec![a, NetRef::Input(0)], 0b1000);
+        let _ = nl.add_node(vec![a, NetRef::Input(0)], 0b1110);
+        nl.push_output(a);
+        // `a` feeds two LUTs and one output; input 0 feeds three LUTs.
+        assert_eq!(nl.max_fanout(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 4")]
+    fn oversized_lut_rejected() {
+        let mut nl = Netlist::new(5);
+        let ins: Vec<NetRef> = (0..5).map(NetRef::Input).collect();
+        let _ = nl.add_node(ins, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_reference_rejected() {
+        let mut nl = Netlist::new(1);
+        let _ = nl.add_node(vec![NetRef::Node(3)], 0b10);
+    }
+}

@@ -1,0 +1,305 @@
+//! Structural circuit construction.
+//!
+//! The baseline arbitration policies the paper rejected (random, FIFO,
+//! priority-based; Sec. 4) are not naturally FSMs with small state counts —
+//! a FIFO arbiter's state space is factorial in N. Their hardware cost is
+//! therefore modelled by building the datapaths structurally: comparators,
+//! mux trees, shift registers, LFSRs. This builder produces the same
+//! executable [`Netlist`] the FSM flow targets, so packing and timing apply
+//! uniformly.
+
+use crate::netlist::{NetRef, Netlist};
+use std::collections::HashMap;
+
+/// A gate-level circuit builder with structural hashing.
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    nl: Netlist,
+    cache: HashMap<(Vec<NetRef>, u16), NetRef>,
+}
+
+impl CircuitBuilder {
+    /// Starts a circuit with `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        Self {
+            nl: Netlist::new(num_inputs),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Primary input `i`.
+    pub fn input(&self, i: usize) -> NetRef {
+        assert!(i < self.nl.num_inputs(), "input {i} out of range");
+        NetRef::Input(i)
+    }
+
+    /// A constant signal.
+    pub fn constant(&self, value: bool) -> NetRef {
+        NetRef::Const(value)
+    }
+
+    fn emit(&mut self, mut inputs: Vec<NetRef>, truth: u16) -> NetRef {
+        // Constant folding keeps downstream truth tables honest.
+        if inputs.iter().all(|r| matches!(r, NetRef::Const(_))) {
+            let mut idx = 0usize;
+            for (j, r) in inputs.iter().enumerate() {
+                if matches!(r, NetRef::Const(true)) {
+                    idx |= 1 << j;
+                }
+            }
+            return NetRef::Const(truth >> idx & 1 != 0);
+        }
+        // Fold constants out of mixed-input nodes by specializing the
+        // truth table.
+        if inputs.iter().any(|r| matches!(r, NetRef::Const(_))) {
+            let mut new_inputs = Vec::new();
+            let mut new_truth = 0u16;
+            let kept: Vec<usize> = (0..inputs.len())
+                .filter(|&j| !matches!(inputs[j], NetRef::Const(_)))
+                .collect();
+            for new_idx in 0..(1usize << kept.len()) {
+                let mut idx = 0usize;
+                for (nj, &j) in kept.iter().enumerate() {
+                    if new_idx >> nj & 1 != 0 {
+                        idx |= 1 << j;
+                    }
+                }
+                for (j, r) in inputs.iter().enumerate() {
+                    if matches!(r, NetRef::Const(true)) {
+                        idx |= 1 << j;
+                    }
+                }
+                if truth >> idx & 1 != 0 {
+                    new_truth |= 1 << new_idx;
+                }
+            }
+            new_inputs.extend(kept.iter().map(|&j| inputs[j]));
+            if new_inputs.is_empty() {
+                return NetRef::Const(new_truth & 1 != 0);
+            }
+            let full: u16 = ((1u32 << (1 << new_inputs.len())) - 1) as u16;
+            if new_truth == 0 {
+                return NetRef::Const(false);
+            }
+            if new_truth == full {
+                return NetRef::Const(true);
+            }
+            inputs = new_inputs;
+            return self.emit_hashed(inputs, new_truth);
+        }
+        self.emit_hashed(inputs, truth)
+    }
+
+    fn emit_hashed(&mut self, inputs: Vec<NetRef>, truth: u16) -> NetRef {
+        if let Some(&hit) = self.cache.get(&(inputs.clone(), truth)) {
+            return hit;
+        }
+        let r = self.nl.add_node(inputs.clone(), truth);
+        self.cache.insert((inputs, truth), r);
+        r
+    }
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: NetRef) -> NetRef {
+        self.emit(vec![a], 0b01)
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetRef, b: NetRef) -> NetRef {
+        self.emit(vec![a, b], 0b1000)
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetRef, b: NetRef) -> NetRef {
+        self.emit(vec![a, b], 0b1110)
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetRef, b: NetRef) -> NetRef {
+        self.emit(vec![a, b], 0b0110)
+    }
+
+    /// `a AND NOT b`.
+    pub fn and_not(&mut self, a: NetRef, b: NetRef) -> NetRef {
+        self.emit(vec![a, b], 0b0010)
+    }
+
+    /// Wide AND via a 4-ary tree.
+    pub fn and_many(&mut self, terms: &[NetRef]) -> NetRef {
+        self.tree(terms, |n| match n {
+            2 => 0b1000,
+            3 => 0b1000_0000,
+            _ => 0b1000_0000_0000_0000,
+        })
+    }
+
+    /// Wide OR via a 4-ary tree.
+    pub fn or_many(&mut self, terms: &[NetRef]) -> NetRef {
+        self.tree(terms, |n| match n {
+            2 => 0b1110,
+            3 => 0b1111_1110,
+            _ => 0b1111_1111_1111_1110,
+        })
+    }
+
+    fn tree(&mut self, terms: &[NetRef], truth_for: fn(usize) -> u16) -> NetRef {
+        assert!(!terms.is_empty(), "tree over no terms");
+        let mut layer = terms.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+            for chunk in layer.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(self.emit(chunk.to_vec(), truth_for(chunk.len())));
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// 2:1 multiplexer: `sel ? a : b`.
+    pub fn mux(&mut self, sel: NetRef, a: NetRef, b: NetRef) -> NetRef {
+        // inputs: [sel, a, b]; output = sel ? a : b.
+        let mut truth = 0u16;
+        for idx in 0..8usize {
+            let s = idx & 1 != 0;
+            let av = idx & 2 != 0;
+            let bv = idx & 4 != 0;
+            if if s { av } else { bv } {
+                truth |= 1 << idx;
+            }
+        }
+        self.emit(vec![sel, a, b], truth)
+    }
+
+    /// Adds a flip-flop with power-on value `init`.
+    pub fn reg(&mut self, init: bool) -> NetRef {
+        self.nl.add_reg(init)
+    }
+
+    /// Wires a flip-flop's D input.
+    pub fn connect_reg(&mut self, reg: NetRef, next: NetRef) {
+        self.nl.set_reg_next(reg, next);
+    }
+
+    /// Declares a primary output.
+    pub fn output(&mut self, net: NetRef) {
+        self.nl.push_output(net);
+    }
+
+    /// Finishes the circuit.
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_compute_correctly() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let and = b.and2(x, y);
+        let or = b.or2(x, y);
+        let xor = b.xor2(x, y);
+        let not = b.not(x);
+        for o in [and, or, xor, not] {
+            b.output(o);
+        }
+        let nl = b.finish();
+        for (xv, yv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let outs = nl.outputs_for(&[], &[xv, yv]);
+            assert_eq!(outs, vec![xv && yv, xv || yv, xv ^ yv, !xv]);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = CircuitBuilder::new(3);
+        let sel = b.input(0);
+        let a = b.input(1);
+        let c = b.input(2);
+        let m = b.mux(sel, a, c);
+        b.output(m);
+        let nl = b.finish();
+        assert!(nl.outputs_for(&[], &[true, true, false])[0]); // sel -> a
+        assert!(!nl.outputs_for(&[], &[true, false, true])[0]);
+        assert!(nl.outputs_for(&[], &[false, false, true])[0]); // !sel -> b
+    }
+
+    #[test]
+    fn wide_gates_work_beyond_four_inputs() {
+        let mut b = CircuitBuilder::new(9);
+        let terms: Vec<NetRef> = (0..9).map(|i| b.input(i)).collect();
+        let all = b.and_many(&terms);
+        let any = b.or_many(&terms);
+        b.output(all);
+        b.output(any);
+        let nl = b.finish();
+        let all_true = vec![true; 9];
+        assert_eq!(nl.outputs_for(&[], &all_true), vec![true, true]);
+        let mut one_false = vec![true; 9];
+        one_false[4] = false;
+        assert_eq!(nl.outputs_for(&[], &one_false), vec![false, true]);
+        let all_false = vec![false; 9];
+        assert_eq!(nl.outputs_for(&[], &all_false), vec![false, false]);
+    }
+
+    #[test]
+    fn constant_folding_elides_nodes() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.input(0);
+        let t = b.constant(true);
+        let f = b.constant(false);
+        assert_eq!(b.and2(x, f), NetRef::Const(false));
+        assert_eq!(b.or2(t, f), NetRef::Const(true));
+        // AND with constant true folds to the signal itself via truth
+        // specialization (a 1-input buffer LUT).
+        let buf = b.and2(x, t);
+        b.output(buf);
+        let nl = b.finish();
+        assert!(nl.outputs_for(&[], &[true])[0]);
+        assert!(!nl.outputs_for(&[], &[false])[0]);
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let a1 = b.and2(x, y);
+        let a2 = b.and2(x, y);
+        assert_eq!(a1, a2);
+        b.output(a1);
+        assert_eq!(b.finish().num_luts(), 1);
+    }
+
+    #[test]
+    fn registers_hold_state() {
+        // 2-bit LFSR-ish toggle: q0' = q1, q1' = q0 xor q1.
+        let mut b = CircuitBuilder::new(0);
+        let q0 = b.reg(true);
+        let q1 = b.reg(false);
+        let x = b.xor2(q0, q1);
+        b.connect_reg(q0, q1);
+        b.connect_reg(q1, x);
+        b.output(q0);
+        b.output(q1);
+        let nl = b.finish();
+        let mut state = nl.reset_state();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let o = nl.step(&mut state, &[]);
+            seen.push((o[0], o[1]));
+        }
+        assert_eq!(
+            seen,
+            vec![(true, false), (false, true), (true, true), (true, false)]
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! FSM synthesis: symbolic machine + state encoding -> boolean network.
+
+use crate::encode::{Encoding, EncodingStyle};
+use crate::fsm::Fsm;
+use crate::minimize::{self, Effort};
+use crate::sop::Sop;
+
+/// A synthesized (but not yet technology-mapped) FSM: one SOP per
+/// next-state bit and per output, over the variable space
+/// `state bits (0..bits) || inputs (bits..bits+num_inputs)`.
+#[derive(Debug, Clone)]
+pub struct FsmNetwork {
+    encoding: Encoding,
+    num_inputs: usize,
+    next_state: Vec<Sop>,
+    outputs: Vec<Sop>,
+    reset_code: u64,
+}
+
+impl FsmNetwork {
+    /// Synthesizes `fsm` under `encoding`, minimizing every SOP at
+    /// `effort`.
+    ///
+    /// One-hot encodings use the standard single-literal state condition
+    /// (valid because exactly one state bit is ever set); dense encodings
+    /// use the full code as the condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined variable count (state bits + inputs) exceeds
+    /// 64.
+    pub fn synthesize(fsm: &Fsm, encoding: Encoding, effort: Effort) -> Self {
+        let bits = encoding.bits();
+        let num_inputs = fsm.num_inputs();
+        let num_vars = bits + num_inputs;
+        assert!(num_vars <= 64, "state bits + inputs exceed 64 variables");
+
+        let state_cube = |state: usize| {
+            let mut c = crate::cube::Cube::universe();
+            match encoding.style() {
+                EncodingStyle::OneHot => {
+                    c = c.with_lit(state, true);
+                }
+                EncodingStyle::Compact | EncodingStyle::Gray => {
+                    let code = encoding.code(state);
+                    for b in 0..bits {
+                        c = c.with_lit(b, code >> b & 1 != 0);
+                    }
+                }
+            }
+            c
+        };
+
+        let mut next_state = vec![Sop::zero(num_vars); bits];
+        let mut outputs = vec![Sop::zero(num_vars); fsm.num_outputs()];
+
+        for t in fsm.transitions() {
+            // Shift the guard's input variables above the state bits.
+            let mut term = state_cube(t.from);
+            for v in 0..num_inputs {
+                if let Some(p) = t.guard.lit(v) {
+                    term = term.with_lit(bits + v, p);
+                }
+            }
+            let to_code = encoding.code(t.to);
+            for (b, sop) in next_state.iter_mut().enumerate() {
+                if to_code >> b & 1 != 0 {
+                    sop.add_cube(term);
+                }
+            }
+            for (o, sop) in outputs.iter_mut().enumerate() {
+                if t.outputs >> o & 1 != 0 {
+                    sop.add_cube(term);
+                }
+            }
+        }
+
+        // Unused codes of dense encodings are don't-cares (the machine can
+        // never reach them), which espresso-style expansion exploits.
+        // One-hot's invalid-code set is quadratic in states and its
+        // single-literal state conditions rarely expand, so it is skipped.
+        let dc = match encoding.style() {
+            EncodingStyle::OneHot => Sop::zero(num_vars),
+            EncodingStyle::Compact | EncodingStyle::Gray => {
+                let mut dc = Sop::zero(num_vars);
+                for code in 0..(1u64 << bits) {
+                    if encoding.decode(code).is_none() {
+                        let mut c = crate::cube::Cube::universe();
+                        for b in 0..bits {
+                            c = c.with_lit(b, code >> b & 1 != 0);
+                        }
+                        dc.add_cube(c);
+                    }
+                }
+                minimize::minimize(&dc, Effort::Medium)
+            }
+        };
+        let next_state = next_state
+            .iter()
+            .map(|s| minimize::minimize_with_dc(s, &dc, effort))
+            .collect();
+        let outputs = outputs
+            .iter()
+            .map(|s| minimize::minimize_with_dc(s, &dc, effort))
+            .collect();
+
+        Self {
+            encoding: encoding.clone(),
+            num_inputs,
+            next_state,
+            outputs,
+            reset_code: encoding.code(fsm.reset_state()),
+        }
+    }
+
+    /// The state encoding in force.
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+
+    /// Number of FSM input bits.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Next-state SOPs, one per state bit.
+    pub fn next_state(&self) -> &[Sop] {
+        &self.next_state
+    }
+
+    /// Output SOPs, one per FSM output.
+    pub fn outputs(&self) -> &[Sop] {
+        &self.outputs
+    }
+
+    /// The encoded reset state.
+    pub fn reset_code(&self) -> u64 {
+        self.reset_code
+    }
+
+    /// Evaluates one clock cycle at the encoded level: returns
+    /// `(next_state_code, output_word)`.
+    pub fn step_encoded(&self, state_code: u64, inputs: u64) -> (u64, u64) {
+        let bits = self.encoding.bits();
+        let assignment = state_code | inputs << bits;
+        let mut next = 0u64;
+        for (b, sop) in self.next_state.iter().enumerate() {
+            if sop.eval(assignment) {
+                next |= 1 << b;
+            }
+        }
+        let mut out = 0u64;
+        for (o, sop) in self.outputs.iter().enumerate() {
+            if sop.eval(assignment) {
+                out |= 1 << o;
+            }
+        }
+        (next, out)
+    }
+
+    /// Total literal cost across all SOPs (a pre-mapping area proxy).
+    pub fn total_lits(&self) -> u32 {
+        self.next_state
+            .iter()
+            .chain(self.outputs.iter())
+            .map(|s| s.num_lits())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+    use crate::fsm::Transition;
+
+    /// A 2-input, 2-output, 3-state rotator used as a synthesis fixture.
+    fn rotator() -> Fsm {
+        let mut fsm = Fsm::new("rot", 2, 2);
+        let s: Vec<usize> = (0..3).map(|i| fsm.add_state(format!("S{i}"))).collect();
+        fsm.set_reset(s[0]);
+        for i in 0..3 {
+            let go = Cube::universe().with_lit(0, true);
+            let stay = Cube::universe().with_lit(0, false);
+            fsm.add_transition(Transition {
+                from: s[i],
+                guard: go,
+                to: s[(i + 1) % 3],
+                outputs: (i as u64) & 0b11,
+            });
+            fsm.add_transition(Transition {
+                from: s[i],
+                guard: stay,
+                to: s[i],
+                outputs: 0,
+            });
+        }
+        fsm
+    }
+
+    fn check_encoded_matches_symbolic(style: EncodingStyle) {
+        let fsm = rotator();
+        fsm.validate().unwrap();
+        let enc = Encoding::assign(&fsm, style);
+        let net = FsmNetwork::synthesize(&fsm, enc.clone(), Effort::High);
+        // Walk every state and input combination; the encoded step must
+        // agree with the symbolic machine.
+        for state in 0..fsm.num_states() {
+            for inputs in 0..4u64 {
+                let (sym_next, sym_out) = fsm.step(state, inputs);
+                let (enc_next, enc_out) = net.step_encoded(enc.code(state), inputs);
+                assert_eq!(
+                    enc_next,
+                    enc.code(sym_next),
+                    "next-state mismatch in {style} for state {state} inputs {inputs:#b}"
+                );
+                assert_eq!(enc_out, sym_out, "output mismatch in {style}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_network_matches_fsm() {
+        check_encoded_matches_symbolic(EncodingStyle::OneHot);
+    }
+
+    #[test]
+    fn compact_network_matches_fsm() {
+        check_encoded_matches_symbolic(EncodingStyle::Compact);
+    }
+
+    #[test]
+    fn gray_network_matches_fsm() {
+        check_encoded_matches_symbolic(EncodingStyle::Gray);
+    }
+
+    #[test]
+    fn one_hot_has_more_ffs_fewer_lits_per_function() {
+        let fsm = rotator();
+        let oh = FsmNetwork::synthesize(
+            &fsm,
+            Encoding::assign(&fsm, EncodingStyle::OneHot),
+            Effort::Medium,
+        );
+        let cp = FsmNetwork::synthesize(
+            &fsm,
+            Encoding::assign(&fsm, EncodingStyle::Compact),
+            Effort::Medium,
+        );
+        assert_eq!(oh.encoding().bits(), 3);
+        assert_eq!(cp.encoding().bits(), 2);
+        // One-hot state conditions are single literals, so the average
+        // cube in a one-hot SOP is no wider than the compact one.
+        let avg = |n: &FsmNetwork| {
+            let (lits, cubes): (u32, usize) = n
+                .next_state()
+                .iter()
+                .fold((0, 0), |(l, c), s| (l + s.num_lits(), c + s.cubes().len()));
+            lits as f64 / cubes.max(1) as f64
+        };
+        assert!(avg(&oh) <= avg(&cp) + 1e-9);
+    }
+
+    #[test]
+    fn reset_code_matches_encoding() {
+        let fsm = rotator();
+        let enc = Encoding::assign(&fsm, EncodingStyle::OneHot);
+        let net = FsmNetwork::synthesize(&fsm, enc.clone(), Effort::Low);
+        assert_eq!(net.reset_code(), enc.code(fsm.reset_state()));
+    }
+}

@@ -1,0 +1,382 @@
+//! Technology mapping: SOPs onto 4-input LUTs.
+//!
+//! Functions whose support fits a single LUT are mapped directly (truth
+//! table enumeration); wider functions decompose into AND trees per cube
+//! followed by an OR tree, the classic two-level-to-LUT covering. An
+//! optional structural-hashing cache shares identical LUTs between
+//! functions — the lever that distinguishes the higher-effort tool model.
+
+use crate::netlist::{and_truth, or_truth, NetRef, Netlist};
+use crate::sop::Sop;
+use crate::synth::FsmNetwork;
+use std::collections::HashMap;
+
+/// A cube as an ordered literal list over mapped nets.
+type LitList = Vec<(NetRef, bool)>;
+/// Bucket members: (cube index, removed literal).
+type BucketMembers = Vec<(usize, (NetRef, bool))>;
+
+/// Maps synthesized FSM networks (and standalone SOPs) onto a [`Netlist`].
+#[derive(Debug)]
+pub struct Mapper {
+    sharing: bool,
+    cache: HashMap<(Vec<NetRef>, u16), NetRef>,
+}
+
+impl Mapper {
+    /// Creates a mapper; `sharing` enables structural hashing.
+    pub fn new(sharing: bool) -> Self {
+        Self {
+            sharing,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn emit(&mut self, nl: &mut Netlist, inputs: Vec<NetRef>, truth: u16) -> NetRef {
+        if self.sharing {
+            if let Some(&hit) = self.cache.get(&(inputs.clone(), truth)) {
+                return hit;
+            }
+        }
+        let r = nl.add_node(inputs.clone(), truth);
+        if self.sharing {
+            self.cache.insert((inputs, truth), r);
+        }
+        r
+    }
+
+    /// Maps one SOP whose variable `v` resolves to `var_map(v)`.
+    pub fn map_sop(
+        &mut self,
+        nl: &mut Netlist,
+        sop: &Sop,
+        var_map: &dyn Fn(usize) -> NetRef,
+    ) -> NetRef {
+        if sop.is_zero() {
+            return NetRef::Const(false);
+        }
+        if sop.cubes().iter().any(|c| c.num_lits() == 0) {
+            return NetRef::Const(true);
+        }
+        let support = sop.support();
+        if support.len() <= 4 {
+            // Direct truth-table enumeration over the support.
+            let refs: Vec<NetRef> = support.iter().map(|&v| var_map(v)).collect();
+            let mut truth = 0u16;
+            for idx in 0..(1usize << support.len()) {
+                let mut assignment = 0u64;
+                for (j, &v) in support.iter().enumerate() {
+                    if idx >> j & 1 != 0 {
+                        assignment |= 1 << v;
+                    }
+                }
+                if sop.eval(assignment) {
+                    truth |= 1 << idx;
+                }
+            }
+            return self.emit(nl, refs, truth);
+        }
+        // Two-level decomposition: AND per cube, OR across cubes. Literals
+        // are ordered highest-variable-first, which puts the FSM *inputs*
+        // (mapped above the state bits) ahead of the state literals; the
+        // request scan chains `!R_i & !R_(i+1) & ...` of an arbiter then
+        // align across states and the structural-hashing cache shares
+        // their AND prefixes — the sharing a real technology mapper finds.
+        let mut cube_lits: Vec<Vec<(NetRef, bool)>> = Vec::with_capacity(sop.cubes().len());
+        for cube in sop.cubes() {
+            let mut lits: Vec<(NetRef, bool)> = Vec::new();
+            let mut m = cube.mask();
+            while m != 0 {
+                let v = 63 - m.leading_zeros() as usize;
+                m &= !(1u64 << v);
+                lits.push((var_map(v), cube.lit(v).expect("bound literal")));
+            }
+            cube_lits.push(lits);
+        }
+        self.extract_divisors(nl, &mut cube_lits);
+        let mut cube_outs = Vec::with_capacity(cube_lits.len());
+        for lits in cube_lits {
+            cube_outs.push(self.map_and(nl, lits));
+        }
+        self.map_or(nl, cube_outs)
+    }
+
+    /// Single-literal divisor extraction (the simplest fast_extract case):
+    /// rewrite `d&x | d&y | d&z` as `d & (x|y|z)`, turning the variant
+    /// literals into one shared OR node. For arbiter FSMs this pairs the
+    /// `C_s`/`F_s` state literals that guard identical scan chains — the
+    /// dominant factoring a multi-level synthesizer finds in this logic.
+    fn extract_divisors(&mut self, nl: &mut Netlist, cube_lits: &mut Vec<Vec<(NetRef, bool)>>) {
+        loop {
+            // Bucket cubes by "cube minus one literal".
+            let mut buckets: HashMap<LitList, BucketMembers> = HashMap::new();
+            for (idx, lits) in cube_lits.iter().enumerate() {
+                if lits.len() < 2 {
+                    continue;
+                }
+                for drop in 0..lits.len() {
+                    let mut sig = lits.clone();
+                    let removed = sig.remove(drop);
+                    buckets.entry(sig).or_default().push((idx, removed));
+                }
+            }
+            // Pick the bucket covering the most distinct cubes.
+            let mut best: Option<(&LitList, &BucketMembers)> = None;
+            for (sig, members) in &buckets {
+                let mut seen = std::collections::BTreeSet::new();
+                let distinct = members.iter().filter(|(i, _)| seen.insert(*i)).count();
+                if distinct < 2 {
+                    continue;
+                }
+                match best {
+                    Some((bsig, bmembers)) => {
+                        let mut bseen = std::collections::BTreeSet::new();
+                        let bdistinct = bmembers.iter().filter(|(i, _)| bseen.insert(*i)).count();
+                        if distinct > bdistinct || (distinct == bdistinct && sig < bsig) {
+                            best = Some((sig, members));
+                        }
+                    }
+                    None => best = Some((sig, members)),
+                }
+            }
+            let Some((sig, members)) = best else { break };
+            let sig = sig.clone();
+            // One entry per cube (a cube could match the signature through
+            // two different removals only if it had duplicate literals,
+            // which cube canonicalization precludes).
+            let mut chosen: Vec<(usize, (NetRef, bool))> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for &(idx, lit) in members {
+                if seen.insert(idx) {
+                    chosen.push((idx, lit));
+                }
+            }
+            // Build the OR of the variant literals.
+            let mut terms: Vec<NetRef> = Vec::with_capacity(chosen.len());
+            for &(_, (r, pol)) in &chosen {
+                if pol {
+                    terms.push(r);
+                } else {
+                    terms.push(self.emit(nl, vec![r], 0b01));
+                }
+            }
+            terms.sort();
+            terms.dedup();
+            let or_node = self.map_or(nl, terms);
+            // Replace the matched cubes with one factored cube.
+            let mut remove: Vec<usize> = chosen.iter().map(|&(i, _)| i).collect();
+            remove.sort_unstable_by(|a, b| b.cmp(a));
+            for i in remove {
+                cube_lits.swap_remove(i);
+            }
+            let mut new_cube = sig;
+            new_cube.push((or_node, true));
+            cube_lits.push(new_cube);
+        }
+    }
+
+    fn map_and(&mut self, nl: &mut Netlist, mut lits: Vec<(NetRef, bool)>) -> NetRef {
+        loop {
+            if lits.len() == 1 {
+                let (r, pol) = lits[0];
+                if pol {
+                    return r;
+                }
+                return self.emit(nl, vec![r], 0b01); // NOT
+            }
+            let mut next = Vec::with_capacity(lits.len().div_ceil(4));
+            for chunk in lits.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let refs: Vec<NetRef> = chunk.iter().map(|&(r, _)| r).collect();
+                    let pols: Vec<bool> = chunk.iter().map(|&(_, p)| p).collect();
+                    let node = self.emit(nl, refs, and_truth(&pols));
+                    next.push((node, true));
+                }
+            }
+            lits = next;
+        }
+    }
+
+    fn map_or(&mut self, nl: &mut Netlist, mut terms: Vec<NetRef>) -> NetRef {
+        loop {
+            if terms.len() == 1 {
+                return terms[0];
+            }
+            let mut next = Vec::with_capacity(terms.len().div_ceil(4));
+            for chunk in terms.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let node = self.emit(nl, chunk.to_vec(), or_truth(chunk.len()));
+                    next.push(node);
+                }
+            }
+            terms = next;
+        }
+    }
+}
+
+/// Maps a synthesized FSM network onto a complete sequential netlist.
+///
+/// The resulting netlist has one register per state bit (initialized to the
+/// reset code), the FSM's inputs as primary inputs and the FSM's outputs as
+/// primary outputs.
+pub fn map_fsm_network(net: &FsmNetwork, sharing: bool) -> Netlist {
+    let bits = net.encoding().bits();
+    let mut nl = Netlist::new(net.num_inputs());
+    let regs: Vec<NetRef> = (0..bits)
+        .map(|b| nl.add_reg(net.reset_code() >> b & 1 != 0))
+        .collect();
+    let var_map = move |v: usize| {
+        if v < bits {
+            NetRef::Reg(v)
+        } else {
+            NetRef::Input(v - bits)
+        }
+    };
+    let mut mapper = Mapper::new(sharing);
+    let next_refs: Vec<NetRef> = net
+        .next_state()
+        .iter()
+        .map(|sop| mapper.map_sop(&mut nl, sop, &var_map))
+        .collect();
+    for (b, r) in next_refs.into_iter().enumerate() {
+        nl.set_reg_next(regs[b], r);
+    }
+    for sop in net.outputs() {
+        let r = mapper.map_sop(&mut nl, sop, &var_map);
+        nl.push_output(r);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+    use crate::encode::{Encoding, EncodingStyle};
+    use crate::fsm::{Fsm, Transition};
+    use crate::minimize::Effort;
+
+    fn lit(v: usize, p: bool) -> Cube {
+        Cube::universe().with_lit(v, p)
+    }
+
+    #[test]
+    fn small_sop_maps_to_single_lut() {
+        let sop = Sop::from_cubes(
+            8,
+            vec![lit(1, true).with_lit(6, false), lit(3, true)],
+        );
+        let mut nl = Netlist::new(8);
+        let mut mapper = Mapper::new(false);
+        let r = mapper.map_sop(&mut nl, &sop, &NetRef::Input);
+        assert_eq!(nl.num_luts(), 1);
+        // Verify the single LUT computes the SOP on a few minterms.
+        nl.push_output(r);
+        for m in 0..256u64 {
+            let inputs: Vec<bool> = (0..8).map(|b| m >> b & 1 != 0).collect();
+            assert_eq!(nl.outputs_for(&[], &inputs)[0], sop.eval(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn wide_sop_decomposes_and_stays_correct() {
+        // 6-literal cube OR 5-literal cube: needs decomposition.
+        let c1 = (0..6).fold(Cube::universe(), |c, v| c.with_lit(v, v % 2 == 0));
+        let c2 = (3..8).fold(Cube::universe(), |c, v| c.with_lit(v, true));
+        let sop = Sop::from_cubes(8, vec![c1, c2]);
+        let mut nl = Netlist::new(8);
+        let mut mapper = Mapper::new(false);
+        let r = mapper.map_sop(&mut nl, &sop, &NetRef::Input);
+        nl.push_output(r);
+        assert!(nl.num_luts() > 1);
+        for m in 0..256u64 {
+            let inputs: Vec<bool> = (0..8).map(|b| m >> b & 1 != 0).collect();
+            assert_eq!(nl.outputs_for(&[], &inputs)[0], sop.eval(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn constants_map_to_consts() {
+        let mut nl = Netlist::new(2);
+        let mut mapper = Mapper::new(false);
+        assert_eq!(
+            mapper.map_sop(&mut nl, &Sop::zero(2), &NetRef::Input),
+            NetRef::Const(false)
+        );
+        assert_eq!(
+            mapper.map_sop(&mut nl, &Sop::one(2), &NetRef::Input),
+            NetRef::Const(true)
+        );
+        assert_eq!(nl.num_luts(), 0);
+    }
+
+    #[test]
+    fn sharing_reduces_lut_count() {
+        let sop = Sop::from_cubes(8, vec![lit(0, true).with_lit(1, true)]);
+        let build = |sharing: bool| {
+            let mut nl = Netlist::new(8);
+            let mut mapper = Mapper::new(sharing);
+            let a = mapper.map_sop(&mut nl, &sop, &NetRef::Input);
+            let b = mapper.map_sop(&mut nl, &sop, &NetRef::Input);
+            (nl.num_luts(), a, b)
+        };
+        let (unshared, _, _) = build(false);
+        let (shared, a, b) = build(true);
+        assert_eq!(unshared, 2);
+        assert_eq!(shared, 1);
+        assert_eq!(a, b);
+    }
+
+    /// Maps a small FSM and checks the netlist agrees with the encoded
+    /// network cycle by cycle over a pseudo-random input walk.
+    #[test]
+    fn mapped_fsm_matches_encoded_network() {
+        let mut fsm = Fsm::new("walk", 2, 2);
+        for i in 0..4 {
+            fsm.add_state(format!("S{i}"));
+        }
+        fsm.set_reset(0);
+        for s in 0..4 {
+            for inp in 0..4u64 {
+                let guard = lit(0, inp & 1 != 0).with_lit(1, inp & 2 != 0);
+                fsm.add_transition(Transition {
+                    from: s,
+                    guard,
+                    to: ((s as u64 + inp) % 4) as usize,
+                    outputs: inp ^ s as u64 & 0b11,
+                });
+            }
+        }
+        fsm.validate().unwrap();
+        for style in [EncodingStyle::OneHot, EncodingStyle::Compact, EncodingStyle::Gray] {
+            let enc = Encoding::assign(&fsm, style);
+            let net = FsmNetwork::synthesize(&fsm, enc, Effort::Medium);
+            let nl = map_fsm_network(&net, true);
+            let mut code = net.reset_code();
+            let mut state = nl.reset_state();
+            let mut x = 0x9e3779b9u64;
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let inputs = x >> 33 & 0b11;
+                let (next_code, out_word) = net.step_encoded(code, inputs);
+                let in_bits: Vec<bool> = (0..2).map(|b| inputs >> b & 1 != 0).collect();
+                let outs = nl.step(&mut state, &in_bits);
+                let nl_out = outs
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |w, (i, &b)| if b { w | 1 << i } else { w });
+                assert_eq!(nl_out, out_word, "{style}: output mismatch");
+                code = next_code;
+                let nl_code = state
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |w, (i, &b)| if b { w | 1 << i } else { w });
+                assert_eq!(nl_code, code, "{style}: state mismatch");
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Static timing analysis with a wire-load model.
+//!
+//! The paper's Fig. 7 reports Xilinx M1.5 post-layout clock estimates. Our
+//! substitute computes the register-to-register critical path as
+//!
+//! ```text
+//! period = Tcko + levels * Tilo + levels * Troute + Tsetup
+//! Troute = R_BASE + R_FANOUT * ln(1 + max_fanout) + R_SIZE * sqrt(num_luts)
+//! ```
+//!
+//! scaled by the device speed grade. The structural quantities (`levels`,
+//! `max_fanout`, `num_luts`) come from the real mapped netlist; only the
+//! four delay constants are calibrated.
+//!
+//! ## Calibration
+//!
+//! Constants target the XC4000E-3 numbers visible in the paper: small
+//! (N=2) arbiters in the 70–90 MHz range, 10-input arbiters around
+//! 26–35 MHz ("10-bit arbiters clocked at 26 MHz", Sec. 4.2).
+
+use crate::netlist::Netlist;
+use rcarb_board::device::SpeedGrade;
+
+/// Flip-flop clock-to-out, ns (XC4000E-3 class).
+pub const T_CKO_NS: f64 = 2.0;
+/// LUT (function-generator) propagation delay, ns.
+pub const T_ILO_NS: f64 = 1.6;
+/// Flip-flop setup time, ns.
+pub const T_SETUP_NS: f64 = 2.0;
+/// Base routing delay per logic level, ns.
+pub const R_BASE_NS: f64 = 1.9;
+/// Fanout-dependent routing delay coefficient, ns.
+pub const R_FANOUT_NS: f64 = 0.55;
+/// Congestion (netlist-size) routing coefficient, ns.
+pub const R_SIZE_NS: f64 = 0.18;
+
+/// A static-timing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Critical-path period in nanoseconds.
+    pub period_ns: f64,
+    /// Maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// LUT levels on the critical path.
+    pub levels: u32,
+    /// Maximum net fanout observed.
+    pub max_fanout: u32,
+}
+
+/// Analyzes `netlist` on silicon of the given speed grade.
+pub fn analyze(netlist: &Netlist, grade: SpeedGrade) -> TimingReport {
+    let levels = netlist.logic_depth().max(1);
+    let max_fanout = netlist.max_fanout().max(1);
+    let luts = netlist.num_luts() as f64;
+    let route =
+        R_BASE_NS + R_FANOUT_NS * (1.0 + f64::from(max_fanout)).ln() + R_SIZE_NS * luts.sqrt();
+    let period = (T_CKO_NS + f64::from(levels) * (T_ILO_NS + route) + T_SETUP_NS)
+        * grade.delay_factor();
+    TimingReport {
+        period_ns: period,
+        fmax_mhz: 1000.0 / period,
+        levels,
+        max_fanout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{NetRef, Netlist};
+
+    fn chain(levels: usize, width: usize) -> Netlist {
+        let mut nl = Netlist::new(2);
+        let mut prev = NetRef::Input(0);
+        for _ in 0..levels {
+            prev = nl.add_node(vec![prev, NetRef::Input(1)], 0b1000);
+        }
+        // Extra parallel nodes inflate size without extending the path.
+        for _ in 0..width {
+            let _ = nl.add_node(vec![NetRef::Input(0), NetRef::Input(1)], 0b0110);
+        }
+        let r = nl.add_reg(false);
+        nl.set_reg_next(r, prev);
+        nl.push_output(prev);
+        nl
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let shallow = analyze(&chain(1, 0), SpeedGrade::Minus3);
+        let deep = analyze(&chain(6, 0), SpeedGrade::Minus3);
+        assert!(deep.period_ns > shallow.period_ns);
+        assert!(deep.fmax_mhz < shallow.fmax_mhz);
+        assert_eq!(deep.levels, 6);
+    }
+
+    #[test]
+    fn bigger_netlists_route_slower() {
+        let small = analyze(&chain(3, 0), SpeedGrade::Minus3);
+        let big = analyze(&chain(3, 200), SpeedGrade::Minus3);
+        assert!(big.period_ns > small.period_ns);
+    }
+
+    #[test]
+    fn speed_grade_scales_delay() {
+        let nl = chain(3, 10);
+        let fast = analyze(&nl, SpeedGrade::Minus1);
+        let slow = analyze(&nl, SpeedGrade::Minus4);
+        assert!(fast.fmax_mhz > slow.fmax_mhz);
+    }
+
+    #[test]
+    fn fmax_is_reciprocal_of_period() {
+        let r = analyze(&chain(2, 5), SpeedGrade::Minus3);
+        assert!((r.fmax_mhz - 1000.0 / r.period_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_netlist_lands_in_xc4000e_range() {
+        // A 2-level, low-fanout netlist should clock in the tens of MHz,
+        // matching the family's plotted envelope (20-90 MHz).
+        let r = analyze(&chain(2, 0), SpeedGrade::Minus3);
+        assert!(r.fmax_mhz > 20.0 && r.fmax_mhz < 120.0, "{}", r.fmax_mhz);
+    }
+}

@@ -1,0 +1,157 @@
+//! Inter-FPGA wire accounting.
+//!
+//! The paper's Sec. 1.2 motivation: "cutsets between the different
+//! partitions typically govern the amount of logic that can go in each
+//! FPGA". This module computes, for a placed stage, the wire widths
+//! crossing each PE pair (channels) and each PE's pin demand (channels
+//! plus remote-memory access lines) against the device pin budgets.
+
+use rcarb_board::board::{Board, PeId};
+use rcarb_core::memmap::MemoryBinding;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::TaskId;
+use std::collections::BTreeMap;
+
+/// Wire widths between unordered PE pairs, in bits.
+pub fn wires_between(
+    graph: &TaskGraph,
+    placement: &dyn Fn(TaskId) -> PeId,
+) -> BTreeMap<(PeId, PeId), u32> {
+    let mut out: BTreeMap<(PeId, PeId), u32> = BTreeMap::new();
+    for c in graph.channels() {
+        let a = placement(c.writer());
+        let b = placement(c.reader());
+        if a == b {
+            continue;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        *out.entry(key).or_insert(0) += c.width_bits();
+    }
+    out
+}
+
+/// Total channel cut width (the spatial partitioner's objective).
+pub fn total_cut(graph: &TaskGraph, placement: &dyn Fn(TaskId) -> PeId) -> u32 {
+    wires_between(graph, placement).values().sum()
+}
+
+/// The pin demand of one memory access port: address, data and the
+/// read/write select line.
+pub fn memory_port_bits(graph: &TaskGraph, segment: rcarb_taskgraph::id::SegmentId) -> u32 {
+    let s = graph.segment(segment);
+    s.addr_bits() + s.width_bits() + 1
+}
+
+/// Per-PE pin demand: crossing channels plus lines to banks that are not
+/// local to the task's PE (those route over the crossbar or fixed pins).
+pub fn pe_pin_demand(
+    graph: &TaskGraph,
+    board: &Board,
+    binding: &MemoryBinding,
+    placement: &dyn Fn(TaskId) -> PeId,
+) -> Vec<u32> {
+    let mut pins = vec![0u32; board.pes().len()];
+    for c in graph.channels() {
+        let a = placement(c.writer());
+        let b = placement(c.reader());
+        if a != b {
+            pins[a.index()] += c.width_bits();
+            pins[b.index()] += c.width_bits();
+        }
+    }
+    for task in graph.tasks() {
+        let pe = placement(task.id());
+        for seg in task.program().segments_accessed() {
+            let Some(bank) = binding.bank_of(seg) else {
+                continue;
+            };
+            if board.bank(bank).local_pe() != Some(pe) {
+                pins[pe.index()] += memory_port_bits(graph, seg);
+            }
+        }
+    }
+    pins
+}
+
+/// Checks every PE's pin demand against its device budget, returning the
+/// overcommitted PEs as `(pe, demand, budget)`.
+pub fn pin_violations(
+    graph: &TaskGraph,
+    board: &Board,
+    binding: &MemoryBinding,
+    placement: &dyn Fn(TaskId) -> PeId,
+) -> Vec<(PeId, u32, u32)> {
+    pe_pin_demand(graph, board, binding, placement)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, demand)| {
+            let pe = PeId::new(i as u32);
+            let budget = board.pe(pe).device().user_pins();
+            (demand > budget).then_some((pe, demand, budget))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_core::memmap::bind_segments;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    #[test]
+    fn channel_cut_counts_crossing_only() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a", Program::empty());
+        let t1 = b.task("b", Program::empty());
+        let t2 = b.task("c", Program::empty());
+        b.channel("x", 8, t0, t1);
+        b.channel("y", 4, t0, t2);
+        let g = b.finish().unwrap();
+        // t0, t1 together on PE0; t2 on PE1.
+        let place = |t: TaskId| PeId::new(u32::from(t.index() == 2));
+        assert_eq!(total_cut(&g, &place), 4);
+        let wires = wires_between(&g, &place);
+        assert_eq!(wires[&(PeId::new(0), PeId::new(1))], 4);
+    }
+
+    #[test]
+    fn remote_memory_costs_pins() {
+        let mut b = TaskGraphBuilder::new("g");
+        let m = b.segment("M", 256, 16); // 8 addr + 16 data + 1 sel = 25
+        b.task(
+            "T",
+            Program::build(|p| {
+                p.mem_write(m, Expr::lit(0), Expr::lit(1));
+            }),
+        );
+        let g = b.finish().unwrap();
+        let board = presets::wildforce();
+        // Bind to PE0's local bank; place the task on PE1.
+        let binding = bind_segments(g.segments(), &board, &|_| Some(PeId::new(0))).unwrap();
+        let remote = pe_pin_demand(&g, &board, &binding, &|_| PeId::new(1));
+        assert_eq!(remote[1], 25);
+        // On its home PE the access is local and free of pins.
+        let local = pe_pin_demand(&g, &board, &binding, &|_| PeId::new(0));
+        assert_eq!(local[0], 0);
+    }
+
+    #[test]
+    fn pin_violations_flag_overcommit() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t0 = b.task("a", Program::empty());
+        let t1 = b.task("b", Program::empty());
+        // 5 channels of 48 bits = 240 > 192 user pins of an XC4013E.
+        for i in 0..5 {
+            b.channel(format!("c{i}"), 48, t0, t1);
+        }
+        let g = b.finish().unwrap();
+        let board = presets::wildforce();
+        let binding = MemoryBinding::default();
+        let place = |t: TaskId| PeId::new(t.index() as u32);
+        let v = pin_violations(&g, &board, &binding, &place);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].1, 240);
+    }
+}

@@ -1,0 +1,109 @@
+//! Task area estimation.
+//!
+//! Stands in for SPARCS' "light-weight high-level synthesis" estimator:
+//! a deterministic CLB estimate derived from program structure. Designer
+//! hints ([`rcarb_taskgraph::task::Task::area_hint_clbs`]) override the
+//! heuristic, exactly as a designer-supplied constraint would.
+
+use rcarb_taskgraph::program::Op;
+use rcarb_taskgraph::task::Task;
+
+/// Base controller cost of any synthesized task, in CLBs.
+pub const BASE_CLBS: u32 = 12;
+/// Cost per 16-bit task-local register (datapath + steering).
+pub const CLBS_PER_VAR: u32 = 4;
+/// Cost per distinct memory segment interface (address generation plus
+/// tri-state drivers).
+pub const CLBS_PER_SEGMENT: u32 = 6;
+/// Cost per distinct channel endpoint.
+pub const CLBS_PER_CHANNEL: u32 = 3;
+/// Controller cost per static op (state in the task's sequencer).
+pub const CLBS_PER_OP: u32 = 1;
+/// Compute datapath cost per 8 cycles of compute (functional units).
+pub const CLBS_PER_8_COMPUTE: u32 = 2;
+
+/// Estimates the synthesized area of `task` in CLBs.
+pub fn task_clbs(task: &Task) -> u32 {
+    if let Some(hint) = task.area_hint_clbs() {
+        return hint;
+    }
+    let p = task.program();
+    let mut static_ops = 0u32;
+    p.visit(&mut |op| {
+        if !matches!(op, Op::Repeat { .. }) {
+            static_ops += 1;
+        }
+    });
+    let counts = p.access_counts();
+    BASE_CLBS
+        + CLBS_PER_VAR * p.num_vars()
+        + CLBS_PER_SEGMENT * p.segments_accessed().len() as u32
+        + CLBS_PER_CHANNEL * (p.channels_read().len() + p.channels_written().len()) as u32
+        + CLBS_PER_OP * static_ops
+        + CLBS_PER_8_COMPUTE * (counts.compute_cycles / 8) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_taskgraph::id::{SegmentId, TaskId};
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    #[test]
+    fn hint_overrides_heuristic() {
+        let t = Task::new(TaskId::new(0), "T", Program::empty()).with_area_hint(99);
+        assert_eq!(task_clbs(&t), 99);
+    }
+
+    #[test]
+    fn empty_task_costs_the_base() {
+        let t = Task::new(TaskId::new(0), "T", Program::empty());
+        assert_eq!(task_clbs(&t), BASE_CLBS);
+    }
+
+    #[test]
+    fn bigger_programs_cost_more() {
+        let seg = SegmentId::new(0);
+        let small = Task::new(
+            TaskId::new(0),
+            "S",
+            Program::build(|p| {
+                p.mem_write(seg, Expr::lit(0), Expr::lit(1));
+            }),
+        );
+        let big = Task::new(
+            TaskId::new(1),
+            "B",
+            Program::build(|p| {
+                for i in 0..10 {
+                    let v = p.mem_read(seg, Expr::lit(i));
+                    p.mem_write(seg, Expr::lit(i + 1), Expr::var(v));
+                }
+                p.compute(64);
+            }),
+        );
+        assert!(task_clbs(&big) > task_clbs(&small));
+    }
+
+    #[test]
+    fn loops_do_not_multiply_controller_cost() {
+        // A loop reuses its controller states; the static op count (not
+        // the dynamic trip count) drives the estimate.
+        let seg = SegmentId::new(0);
+        let once = Task::new(
+            TaskId::new(0),
+            "once",
+            Program::build(|p| {
+                p.repeat(1, |p| p.mem_write(seg, Expr::lit(0), Expr::lit(1)));
+            }),
+        );
+        let thousand = Task::new(
+            TaskId::new(1),
+            "thousand",
+            Program::build(|p| {
+                p.repeat(1000, |p| p.mem_write(seg, Expr::lit(0), Expr::lit(1)));
+            }),
+        );
+        assert_eq!(task_clbs(&once), task_clbs(&thousand));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Temporal and spatial partitioning with arbiter-aware estimation.
+//!
+//! SPARCS (the paper's host system) contains "1) a temporal partitioning
+//! tool to temporally divide and schedule the tasks on the reconfigurable
+//! architecture; 2) a spatial partitioning tool to map the tasks to
+//! individual FPGAs; and 3) a high-level synthesis tool". This crate
+//! implements the first two and the estimation glue:
+//!
+//! - [`estimate`] — task area estimation from program structure (standing
+//!   in for SPARCS' light-weight high-level synthesis estimator);
+//! - [`temporal`] — greedy staged scheduling under a board-wide area
+//!   budget, respecting control dependencies;
+//! - [`spatial`] — per-stage task-to-FPGA binding: largest-first packing
+//!   followed by Fiduccia–Mattheyses-style refinement of the cutset;
+//! - [`cutset`] — inter-FPGA wire accounting against pin budgets;
+//! - [`flow`] — the end-to-end SPARCS-like pipeline: temporal → spatial →
+//!   memory binding → channel merging → arbiter insertion, producing the
+//!   per-partition reports that Fig. 11 visualizes.
+
+pub mod cutset;
+pub mod estimate;
+pub mod flow;
+pub mod spatial;
+pub mod temporal;
+
+pub use flow::{run_flow, FlowConfig, FlowResult, StageResult};
+pub use spatial::SpatialPartition;
+pub use temporal::TemporalPartition;

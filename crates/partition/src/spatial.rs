@@ -1,0 +1,285 @@
+//! Spatial partitioning: task-to-FPGA binding within one temporal stage.
+
+use crate::cutset;
+use crate::estimate;
+use rcarb_board::board::{Board, PeId};
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::TaskId;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A task-to-PE assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpatialPartition {
+    assignment: BTreeMap<TaskId, PeId>,
+}
+
+impl SpatialPartition {
+    /// The PE hosting `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was not part of the partitioned stage.
+    pub fn pe_of(&self, task: TaskId) -> PeId {
+        self.assignment[&task]
+    }
+
+    /// The full assignment map.
+    pub fn assignment(&self) -> &BTreeMap<TaskId, PeId> {
+        &self.assignment
+    }
+
+    /// Tasks on `pe`, in id order.
+    pub fn tasks_on(&self, pe: PeId) -> Vec<TaskId> {
+        self.assignment
+            .iter()
+            .filter(|(_, &p)| p == pe)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// A placement closure view of the assignment.
+    pub fn placement(&self) -> impl Fn(TaskId) -> PeId + '_ {
+        move |t| self.pe_of(t)
+    }
+}
+
+/// Spatial partitioning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpatialError {
+    /// A task fits no PE (alone!).
+    TaskTooLarge {
+        /// The task.
+        task: TaskId,
+        /// Its estimated CLBs.
+        clbs: u32,
+    },
+    /// The stage's tasks collectively overflow the board.
+    DoesNotFit,
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::TaskTooLarge { task, clbs } => {
+                write!(f, "task {task} ({clbs} CLBs) fits no FPGA on this board")
+            }
+            SpatialError::DoesNotFit => write!(f, "stage does not fit the board"),
+        }
+    }
+}
+
+impl Error for SpatialError {}
+
+/// Partitions `tasks` (one temporal stage of `graph`) across the PEs of
+/// `board`: largest-first packing onto the emptiest PE, then greedy
+/// FM-style single-task moves that reduce the channel cut while
+/// respecting CLB capacity.
+///
+/// # Errors
+///
+/// Returns a [`SpatialError`] when capacity is insufficient.
+pub fn partition(
+    graph: &TaskGraph,
+    board: &Board,
+    tasks: &[TaskId],
+) -> Result<SpatialPartition, SpatialError> {
+    let mut free: Vec<i64> = board
+        .pes()
+        .iter()
+        .map(|p| i64::from(p.device().clbs()))
+        .collect();
+    let mut order: Vec<TaskId> = tasks.to_vec();
+    order.sort_by_key(|&t| std::cmp::Reverse((estimate::task_clbs(graph.task(t)), t)));
+    let mut sp = SpatialPartition::default();
+    for t in order {
+        let clbs = i64::from(estimate::task_clbs(graph.task(t)));
+        if board.pes().iter().all(|p| i64::from(p.device().clbs()) < clbs) {
+            return Err(SpatialError::TaskTooLarge {
+                task: t,
+                clbs: clbs as u32,
+            });
+        }
+        // Emptiest PE that fits.
+        let best = (0..free.len())
+            .filter(|&i| free[i] >= clbs)
+            .max_by_key(|&i| (free[i], std::cmp::Reverse(i)));
+        match best {
+            Some(i) => {
+                free[i] -= clbs;
+                sp.assignment.insert(t, PeId::new(i as u32));
+            }
+            None => return Err(SpatialError::DoesNotFit),
+        }
+    }
+    refine(graph, &mut sp, &mut free, 8);
+    Ok(sp)
+}
+
+/// Memory-aware refinement: once a memory binding exists, move single
+/// tasks between PEs while the total interconnect demand — channel cut
+/// plus remote-memory port bits — improves, respecting CLB capacity.
+///
+/// The paper's Fig. 11 placement has this character: each `F` task sits
+/// on the PE owning its input bank, so only the shared plane bank is
+/// reached through the crossbar. Run after [`partition`] and an initial
+/// binding; callers typically re-bind afterwards (accessor majorities may
+/// have moved).
+pub fn refine_with_memory(
+    graph: &TaskGraph,
+    board: &Board,
+    binding: &rcarb_core::memmap::MemoryBinding,
+    sp: &mut SpatialPartition,
+    max_passes: u32,
+) {
+    let mut free: Vec<i64> = board
+        .pes()
+        .iter()
+        .map(|p| i64::from(p.device().clbs()))
+        .collect();
+    for (&t, &pe) in sp.assignment() {
+        free[pe.index()] -= i64::from(estimate::task_clbs(graph.task(t)));
+    }
+    let objective = |sp: &SpatialPartition| -> u32 {
+        cutset::pe_pin_demand(graph, board, binding, &|t| sp.pe_of(t))
+            .iter()
+            .sum()
+    };
+    for _ in 0..max_passes {
+        let mut improved = false;
+        let tasks: Vec<TaskId> = sp.assignment.keys().copied().collect();
+        for t in tasks {
+            let clbs = i64::from(estimate::task_clbs(graph.task(t)));
+            let home = sp.pe_of(t);
+            let current = objective(sp);
+            let mut best: Option<(PeId, u32)> = None;
+            for (pe_idx, &pe_free) in free.iter().enumerate() {
+                let pe = PeId::new(pe_idx as u32);
+                if pe == home || pe_free < clbs {
+                    continue;
+                }
+                sp.assignment.insert(t, pe);
+                let cost = objective(sp);
+                sp.assignment.insert(t, home);
+                if cost < current && best.is_none_or(|(_, b)| cost < b) {
+                    best = Some((pe, cost));
+                }
+            }
+            if let Some((pe, _)) = best {
+                free[home.index()] += clbs;
+                free[pe.index()] -= clbs;
+                sp.assignment.insert(t, pe);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Greedy refinement: move single tasks between PEs while the channel cut
+/// improves, up to `max_passes` sweeps.
+fn refine(graph: &TaskGraph, sp: &mut SpatialPartition, free: &mut [i64], max_passes: u32) {
+    let num_pes = free.len();
+    for _ in 0..max_passes {
+        let mut improved = false;
+        let tasks: Vec<TaskId> = sp.assignment.keys().copied().collect();
+        for t in tasks {
+            let clbs = i64::from(estimate::task_clbs(graph.task(t)));
+            let home = sp.pe_of(t);
+            let current_cut = cutset::total_cut(graph, &|x| {
+                sp.assignment.get(&x).copied().unwrap_or(home)
+            });
+            let mut best: Option<(PeId, u32)> = None;
+            for (pe_idx, &pe_free) in free.iter().enumerate().take(num_pes) {
+                let pe = PeId::new(pe_idx as u32);
+                if pe == home || pe_free < clbs {
+                    continue;
+                }
+                let cut = cutset::total_cut(graph, &|x| {
+                    if x == t {
+                        pe
+                    } else {
+                        sp.assignment.get(&x).copied().unwrap_or(home)
+                    }
+                });
+                if cut < current_cut && best.is_none_or(|(_, b)| cut < b) {
+                    best = Some((pe, cut));
+                }
+            }
+            if let Some((pe, _)) = best {
+                free[home.index()] += clbs;
+                free[pe.index()] -= clbs;
+                sp.assignment.insert(t, pe);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::Program;
+
+    #[test]
+    fn balanced_packing_without_channels() {
+        let mut b = TaskGraphBuilder::new("g");
+        let ids: Vec<TaskId> = (0..4)
+            .map(|i| b.task_with_area(format!("T{i}"), Program::empty(), 500))
+            .collect();
+        let g = b.finish().unwrap();
+        let board = presets::wildforce(); // 4 x 576 CLBs
+        let sp = partition(&g, &board, &ids).unwrap();
+        // 500-CLB tasks cannot share a 576-CLB device: one per PE.
+        let mut pes: Vec<PeId> = ids.iter().map(|&t| sp.pe_of(t)).collect();
+        pes.sort();
+        pes.dedup();
+        assert_eq!(pes.len(), 4);
+    }
+
+    #[test]
+    fn refinement_pulls_channel_partners_together() {
+        let mut b = TaskGraphBuilder::new("g");
+        let ids: Vec<TaskId> = (0..4)
+            .map(|i| b.task_with_area(format!("T{i}"), Program::empty(), 40))
+            .collect();
+        // Heavy channel pairs (0,1) and (2,3).
+        b.channel("c01", 32, ids[0], ids[1]);
+        b.channel("c23", 32, ids[2], ids[3]);
+        let g = b.finish().unwrap();
+        let board = presets::wildforce();
+        let sp = partition(&g, &board, &ids).unwrap();
+        let place = sp.placement();
+        assert_eq!(cutset::total_cut(&g, &place), 0, "{:?}", sp.assignment());
+    }
+
+    #[test]
+    fn oversized_task_is_an_error() {
+        let mut b = TaskGraphBuilder::new("g");
+        let t = b.task_with_area("huge", Program::empty(), 1000);
+        let g = b.finish().unwrap();
+        let board = presets::wildforce(); // largest device 576
+        let err = partition(&g, &board, &[t]).unwrap_err();
+        assert!(matches!(err, SpatialError::TaskTooLarge { .. }));
+    }
+
+    #[test]
+    fn overfull_stage_is_an_error() {
+        let mut b = TaskGraphBuilder::new("g");
+        let ids: Vec<TaskId> = (0..6)
+            .map(|i| b.task_with_area(format!("T{i}"), Program::empty(), 500))
+            .collect();
+        let g = b.finish().unwrap();
+        let board = presets::wildforce(); // 4 PEs, one 500 each max
+        let err = partition(&g, &board, &ids).unwrap_err();
+        assert_eq!(err, SpatialError::DoesNotFit);
+    }
+}

@@ -1,0 +1,219 @@
+//! Temporal partitioning: divide the taskgraph into reconfiguration
+//! stages that each fit the whole board.
+
+use crate::estimate;
+use rcarb_board::board::Board;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::TaskId;
+use std::error::Error;
+use std::fmt;
+
+/// Temporal-partitioning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Fraction of the board's CLBs a stage may fill (headroom for
+    /// arbiters, interconnect logic and routing slack). The paper notes
+    /// designs above ~50% utilization clock poorly; partitioners
+    /// typically keep stages below this knee.
+    pub utilization: f64,
+}
+
+impl TemporalConfig {
+    /// The default 50% utilization knee.
+    pub fn new() -> Self {
+        Self { utilization: 0.5 }
+    }
+
+    /// Overrides the utilization bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization <= 1`.
+    pub fn with_utilization(mut self, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        self.utilization = utilization;
+        self
+    }
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A temporal partitioning result: stages in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalPartition {
+    stages: Vec<Vec<TaskId>>,
+}
+
+impl TemporalPartition {
+    /// The stages, each a set of tasks configured together.
+    pub fn stages(&self) -> &[Vec<TaskId>] {
+        &self.stages
+    }
+
+    /// The stage index hosting `task`.
+    pub fn stage_of(&self, task: TaskId) -> Option<usize> {
+        self.stages.iter().position(|s| s.contains(&task))
+    }
+
+    /// Number of stages (reconfigurations = stages - 1).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Temporal partitioning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// One task alone exceeds the stage budget.
+    TaskTooLarge {
+        /// The task.
+        task: TaskId,
+        /// Its estimated CLBs.
+        clbs: u32,
+        /// The per-stage budget.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::TaskTooLarge { task, clbs, budget } => {
+                write!(f, "task {task} needs {clbs} CLBs but a stage offers {budget}")
+            }
+        }
+    }
+}
+
+impl Error for TemporalError {}
+
+/// Greedy staged scheduling: tasks are taken in topological order and
+/// appended to the current stage until the area budget would overflow;
+/// control dependencies always point into the same or an earlier stage.
+///
+/// # Errors
+///
+/// Returns [`TemporalError::TaskTooLarge`] when a single task exceeds the
+/// stage budget.
+pub fn partition(
+    graph: &TaskGraph,
+    board: &Board,
+    config: TemporalConfig,
+) -> Result<TemporalPartition, TemporalError> {
+    let budget = (f64::from(board.total_clbs()) * config.utilization) as u32;
+    // Deterministic topological order: repeatedly take the smallest-id
+    // ready task (Kahn with a sorted frontier).
+    let n = graph.tasks().len();
+    let mut indegree = vec![0usize; n];
+    for (_, to) in graph.control_deps() {
+        indegree[to.index()] += 1;
+    }
+    let mut ready: Vec<TaskId> = (0..n as u32)
+        .map(TaskId::new)
+        .filter(|t| indegree[t.index()] == 0)
+        .collect();
+    let mut stages: Vec<Vec<TaskId>> = Vec::new();
+    let mut current: Vec<TaskId> = Vec::new();
+    let mut used = 0u32;
+    while !ready.is_empty() {
+        ready.sort();
+        let t = ready.remove(0);
+        let clbs = estimate::task_clbs(graph.task(t));
+        if clbs > budget {
+            return Err(TemporalError::TaskTooLarge {
+                task: t,
+                clbs,
+                budget,
+            });
+        }
+        if used + clbs > budget && !current.is_empty() {
+            stages.push(std::mem::take(&mut current));
+            used = 0;
+        }
+        current.push(t);
+        used += clbs;
+        for s in graph.successors(t) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if !current.is_empty() {
+        stages.push(current);
+    }
+    Ok(TemporalPartition { stages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::Program;
+
+    fn graph_with_areas(areas: &[u32], deps: &[(usize, usize)]) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("g");
+        let ids: Vec<TaskId> = areas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| b.task_with_area(format!("T{i}"), Program::empty(), a))
+            .collect();
+        for &(x, y) in deps {
+            b.control_dep(ids[x], ids[y]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn everything_fits_one_stage() {
+        let g = graph_with_areas(&[100, 100, 100], &[]);
+        let board = presets::wildforce(); // 2304 CLBs, 50% = 1152
+        let tp = partition(&g, &board, TemporalConfig::new()).unwrap();
+        assert_eq!(tp.num_stages(), 1);
+        assert_eq!(tp.stages()[0].len(), 3);
+    }
+
+    #[test]
+    fn budget_splits_stages() {
+        let g = graph_with_areas(&[700, 700, 700], &[]);
+        let board = presets::wildforce(); // budget 1152
+        let tp = partition(&g, &board, TemporalConfig::new()).unwrap();
+        assert_eq!(tp.num_stages(), 3);
+    }
+
+    #[test]
+    fn dependencies_never_point_backwards() {
+        let g = graph_with_areas(&[600, 600, 600, 600], &[(0, 2), (1, 3), (2, 3)]);
+        let board = presets::wildforce();
+        let tp = partition(&g, &board, TemporalConfig::new()).unwrap();
+        for (from, to) in g.control_deps() {
+            assert!(tp.stage_of(*from).unwrap() <= tp.stage_of(*to).unwrap());
+        }
+    }
+
+    #[test]
+    fn oversized_task_is_an_error() {
+        let g = graph_with_areas(&[5000], &[]);
+        let board = presets::wildforce();
+        let err = partition(&g, &board, TemporalConfig::new()).unwrap_err();
+        assert!(matches!(err, TemporalError::TaskTooLarge { .. }));
+    }
+
+    #[test]
+    fn utilization_knob_changes_stage_count() {
+        let g = graph_with_areas(&[400, 400, 400, 400], &[]);
+        let board = presets::wildforce();
+        let tight = partition(&g, &board, TemporalConfig::new().with_utilization(0.2)).unwrap();
+        let loose = partition(&g, &board, TemporalConfig::new().with_utilization(1.0)).unwrap();
+        assert!(tight.num_stages() > loose.num_stages());
+        assert_eq!(loose.num_stages(), 1);
+    }
+}

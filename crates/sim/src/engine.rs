@@ -1,0 +1,1005 @@
+//! The system simulator: tasks, arbiters, banks and channels in lock
+//! step.
+//!
+//! # Cycle semantics
+//!
+//! 1. Tasks whose control-dependency predecessors have all terminated
+//!    become runnable.
+//! 2. Every arbiter computes its grant word from the request lines as
+//!    left at the end of the previous cycle (there is a register between
+//!    task and arbiter).
+//! 3. Every runnable task issues at most one *costed* instruction.
+//!    `LoopInit`/`LoopBack`/`Jump` are free (hardware loop bookkeeping),
+//!    and `AwaitGrant` falls through for free on a cycle whose grant is
+//!    already visible — which is what makes an uncontended batch cost
+//!    exactly two extra cycles (the paper's Fig. 8 accounting).
+//! 4. Banks and shared routes resolve the cycle's accesses, detecting
+//!    simultaneous-drive conflicts.
+
+use crate::arbiter::ArbiterSim;
+use crate::channel::{RegisterPlacement, RouteOutcome, RouteSend, RouteState};
+use crate::compile::{FlatProgram, Instr};
+use crate::memory::{BankAccess, BankModel, BankOutcome};
+use crate::monitor::{StarvationTracker, Violation};
+use rcarb_board::board::Board;
+use rcarb_board::memory::BankId;
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::insertion::{ArbitratedResource, ArbitrationPlan};
+use rcarb_core::memmap::MemoryBinding;
+use rcarb_core::policy::PolicyKind;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId};
+use std::collections::BTreeMap;
+
+/// Builds a [`System`] from a (possibly arbitrated) design.
+#[derive(Debug)]
+pub struct SystemBuilder {
+    graph: TaskGraph,
+    binding: MemoryBinding,
+    merges: ChannelMergePlan,
+    arbiters: Vec<rcarb_core::insertion::ArbiterInstance>,
+    policy: PolicyKind,
+    cosim: bool,
+    trace: bool,
+    register_placement: RegisterPlacement,
+    select_line: rcarb_core::line::SharedLineKind,
+    starvation_bound: u64,
+}
+
+impl SystemBuilder {
+    /// Starts from an arbitration plan (the normal flow).
+    pub fn from_plan(
+        plan: &ArbitrationPlan,
+        binding: &MemoryBinding,
+        merges: &ChannelMergePlan,
+    ) -> Self {
+        Self {
+            graph: plan.graph.clone(),
+            binding: binding.clone(),
+            merges: merges.clone(),
+            arbiters: plan.arbiters.clone(),
+            policy: PolicyKind::RoundRobin,
+            cosim: false,
+            trace: false,
+            register_placement: RegisterPlacement::Receiver,
+            select_line: rcarb_core::line::MemoryLinePlan::sram_write_high().write_select,
+            starvation_bound: u64::MAX,
+        }
+    }
+
+    /// Starts from an *unarbitrated* graph — used to demonstrate the
+    /// conflicts arbitration prevents.
+    pub fn unarbitrated(
+        graph: &TaskGraph,
+        binding: &MemoryBinding,
+        merges: &ChannelMergePlan,
+    ) -> Self {
+        Self {
+            graph: graph.clone(),
+            binding: binding.clone(),
+            merges: merges.clone(),
+            arbiters: Vec::new(),
+            policy: PolicyKind::RoundRobin,
+            cosim: false,
+            trace: false,
+            register_placement: RegisterPlacement::Receiver,
+            select_line: rcarb_core::line::MemoryLinePlan::sram_write_high().write_select,
+            starvation_bound: u64::MAX,
+        }
+    }
+
+    /// Records every arbiter's per-port Request/Grant lines into a VCD
+    /// waveform, retrievable after the run with [`System::vcd`].
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Selects the arbitration policy simulated behaviourally.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables gate-level co-simulation of every round-robin arbiter.
+    pub fn with_cosim(mut self, enabled: bool) -> Self {
+        self.cosim = enabled;
+        self
+    }
+
+    /// Selects where shared-channel registers sit (Table 1 ablation).
+    pub fn with_register_placement(mut self, placement: RegisterPlacement) -> Self {
+        self.register_placement = placement;
+        self
+    }
+
+    /// Selects the discipline of every shared bank's write-select line
+    /// (the paper's Fig. 4 ablation): the correct
+    /// [`SharedLineKind::ActiveHighOr`] keeps an idle bank in read mode;
+    /// the naive [`SharedLineKind::TriState`] lets the select float, which
+    /// the simulator reports as a [`Violation::FloatingSelectLine`].
+    ///
+    /// [`SharedLineKind::ActiveHighOr`]: rcarb_core::line::SharedLineKind::ActiveHighOr
+    /// [`SharedLineKind::TriState`]: rcarb_core::line::SharedLineKind::TriState
+    pub fn with_select_line(mut self, kind: rcarb_core::line::SharedLineKind) -> Self {
+        self.select_line = kind;
+        self
+    }
+
+    /// Flags any wait longer than `bound` cycles as starvation.
+    pub fn with_starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Builds the system against `board` (bank shapes come from it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program accesses a segment the binding did not place.
+    pub fn build(self, board: &Board) -> System {
+        let tasks: Vec<TaskExec> = self
+            .graph
+            .tasks()
+            .iter()
+            .map(|t| TaskExec::new(t.id(), FlatProgram::compile(t.program())))
+            .collect();
+        // Validate that every accessed segment is bound.
+        for t in self.graph.tasks() {
+            for s in t.program().segments_accessed() {
+                assert!(
+                    self.binding.bank_of(s).is_some(),
+                    "segment {s} accessed by {} is not bound to a bank",
+                    t.name()
+                );
+            }
+        }
+        let banks: BTreeMap<BankId, BankModel> = self
+            .binding
+            .used_banks()
+            .into_iter()
+            .map(|b| (b, BankModel::new(b, board.bank(b).words())))
+            .collect();
+        // Routes: one per merged channel, plus a private route per
+        // unmerged logical channel.
+        let mut routes = Vec::new();
+        let mut route_of_channel: BTreeMap<ChannelId, usize> = BTreeMap::new();
+        let mut shared_route_count = 0usize;
+        for merge in self.merges.merges() {
+            let idx = routes.len();
+            routes.push(RouteState::new(
+                merge.logicals.clone(),
+                self.register_placement,
+            ));
+            for &c in &merge.logicals {
+                route_of_channel.insert(c, idx);
+            }
+            shared_route_count += 1;
+        }
+        for c in self.graph.channels() {
+            route_of_channel.entry(c.id()).or_insert_with(|| {
+                let idx = routes.len();
+                routes.push(RouteState::new(vec![c.id()], RegisterPlacement::Receiver));
+                idx
+            });
+        }
+        // Arbiters and guard maps.
+        let mut arbiters = Vec::new();
+        let mut segment_guards: BTreeMap<(TaskId, SegmentId), ArbiterId> = BTreeMap::new();
+        let mut channel_guards: BTreeMap<(TaskId, ChannelId), ArbiterId> = BTreeMap::new();
+        for inst in &self.arbiters {
+            let mut sim = ArbiterSim::new(inst.id, inst.ports.clone(), self.policy);
+            if self.cosim
+                && matches!(
+                    self.policy,
+                    PolicyKind::RoundRobin | PolicyKind::PreemptiveRoundRobin
+                )
+            {
+                sim = sim.with_cosim();
+            }
+            match inst.resource {
+                ArbitratedResource::Bank(bank) => {
+                    for task in inst.arbitrated_tasks() {
+                        for s in self.binding.segments_in(bank) {
+                            if self
+                                .graph
+                                .task(task)
+                                .program()
+                                .segments_accessed()
+                                .contains(&s)
+                            {
+                                segment_guards.insert((task, s), inst.id);
+                            }
+                        }
+                    }
+                }
+                ArbitratedResource::MergedChannel(mi) => {
+                    let merge = &self.merges.merges()[mi];
+                    for task in inst.arbitrated_tasks() {
+                        for &c in &merge.logicals {
+                            if self.graph.channel(c).writer() == task {
+                                channel_guards.insert((task, c), inst.id);
+                            }
+                        }
+                    }
+                }
+            }
+            arbiters.push(sim);
+        }
+        let mut bank_clients: BTreeMap<BankId, Vec<TaskId>> = BTreeMap::new();
+        for inst in &self.arbiters {
+            if let ArbitratedResource::Bank(bank) = inst.resource {
+                bank_clients.insert(bank, inst.arbitrated_tasks());
+            }
+        }
+        let trace = self.trace.then(|| {
+            let mut vcd = crate::vcd::VcdWriter::new();
+            let signals = arbiters
+                .iter()
+                .map(|a| {
+                    (0..a.num_ports())
+                        .map(|p| {
+                            let req = vcd.signal(format!("{}_req{p}", a.id()));
+                            let grant = vcd.signal(format!("{}_grant{p}", a.id()));
+                            (req, grant)
+                        })
+                        .collect()
+                })
+                .collect();
+            Trace { vcd, signals }
+        });
+        System {
+            graph: self.graph,
+            binding: self.binding,
+            tasks,
+            banks,
+            routes,
+            route_of_channel,
+            shared_route_count,
+            arbiters,
+            segment_guards,
+            channel_guards,
+            starvation_bound: self.starvation_bound,
+            select_line: self.select_line,
+            bank_clients,
+            floated_banks: std::collections::BTreeSet::new(),
+            cycle: 0,
+            violations: Vec::new(),
+            starvation: StarvationTracker::new(),
+            trace,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    NotStarted,
+    Running,
+    Done,
+}
+
+#[derive(Debug)]
+struct TaskExec {
+    id: TaskId,
+    prog: FlatProgram,
+    pc: usize,
+    vars: Vec<u64>,
+    loops: Vec<u32>,
+    compute_left: u32,
+    status: Status,
+    req_lines: BTreeMap<ArbiterId, bool>,
+    started_at: Option<u64>,
+    finished_at: Option<u64>,
+    stall_cycles: u64,
+    busy_cycles: u64,
+}
+
+impl TaskExec {
+    fn new(id: TaskId, prog: FlatProgram) -> Self {
+        let vars = vec![0; prog.num_vars() as usize];
+        let loops = vec![0; prog.num_loop_slots()];
+        Self {
+            id,
+            prog,
+            pc: 0,
+            vars,
+            loops,
+            compute_left: 0,
+            status: Status::NotStarted,
+            req_lines: BTreeMap::new(),
+            started_at: None,
+            finished_at: None,
+            stall_cycles: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    fn requesting(&self, arbiter: ArbiterId) -> bool {
+        self.req_lines.get(&arbiter).copied().unwrap_or(false)
+    }
+}
+
+/// Per-task summary in a [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskStats {
+    /// The task.
+    pub task: TaskId,
+    /// First running cycle.
+    pub started_at: Option<u64>,
+    /// Cycle the task completed.
+    pub finished_at: Option<u64>,
+    /// Cycles spent blocked (grant or data waits).
+    pub stall_cycles: u64,
+    /// Cycles spent issuing instructions.
+    pub busy_cycles: u64,
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// True when every task terminated.
+    pub completed: bool,
+    /// Every property violation observed.
+    pub violations: Vec<Violation>,
+    /// Per-task statistics.
+    pub task_stats: Vec<TaskStats>,
+    /// Grants issued per arbiter.
+    pub arbiter_grants: Vec<(ArbiterId, u64)>,
+    /// Per-port grant counts per arbiter (delivered bandwidth split).
+    pub arbiter_port_grants: Vec<(ArbiterId, Vec<u64>)>,
+    /// Worst grant wait observed anywhere.
+    pub worst_wait: u64,
+}
+
+impl RunReport {
+    /// True when the run completed with no violations.
+    pub fn clean(&self) -> bool {
+        self.completed && self.violations.is_empty()
+    }
+
+    /// Stats for one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is unknown.
+    pub fn task(&self, task: TaskId) -> &TaskStats {
+        self.task_stats
+            .iter()
+            .find(|s| s.task == task)
+            .expect("unknown task")
+    }
+}
+
+/// A ready-to-run simulated system.
+#[derive(Debug)]
+pub struct System {
+    graph: TaskGraph,
+    binding: MemoryBinding,
+    tasks: Vec<TaskExec>,
+    banks: BTreeMap<BankId, BankModel>,
+    routes: Vec<RouteState>,
+    route_of_channel: BTreeMap<ChannelId, usize>,
+    shared_route_count: usize,
+    arbiters: Vec<ArbiterSim>,
+    segment_guards: BTreeMap<(TaskId, SegmentId), ArbiterId>,
+    channel_guards: BTreeMap<(TaskId, ChannelId), ArbiterId>,
+    starvation_bound: u64,
+    select_line: rcarb_core::line::SharedLineKind,
+    /// Protocol clients of each shared (arbitrated) bank.
+    bank_clients: BTreeMap<BankId, Vec<TaskId>>,
+    /// Shared banks whose select line has already been flagged.
+    floated_banks: std::collections::BTreeSet<BankId>,
+    cycle: u64,
+    violations: Vec<Violation>,
+    starvation: StarvationTracker,
+    trace: Option<Trace>,
+}
+
+#[derive(Debug)]
+struct Trace {
+    vcd: crate::vcd::VcdWriter,
+    /// Per arbiter: per port, (request signal, grant signal).
+    signals: Vec<Vec<(crate::vcd::SignalId, crate::vcd::SignalId)>>,
+}
+
+impl System {
+    /// Loads `data` into a segment (via its bank placement) before a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is unbound or the data overruns it.
+    pub fn load_segment(&mut self, segment: SegmentId, data: &[u64]) {
+        let place = self
+            .binding
+            .placement(segment)
+            .expect("segment not bound to a bank");
+        let seg = self.graph.segment(segment);
+        assert!(
+            data.len() <= seg.words() as usize,
+            "data overruns segment {segment}"
+        );
+        let bank = self.banks.get_mut(&place.bank).expect("bank exists");
+        for (i, &v) in data.iter().enumerate() {
+            bank.set_word(place.offset + i as u32, v);
+        }
+    }
+
+    /// Reads `len` words back out of a segment after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is unbound or the range overruns it.
+    pub fn read_segment(&self, segment: SegmentId, len: usize) -> Vec<u64> {
+        let place = self
+            .binding
+            .placement(segment)
+            .expect("segment not bound to a bank");
+        let seg = self.graph.segment(segment);
+        assert!(len <= seg.words() as usize, "range overruns segment {segment}");
+        let bank = &self.banks[&place.bank];
+        (0..len)
+            .map(|i| bank.word(place.offset + i as u32))
+            .collect()
+    }
+
+    /// Runs until every task completes or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        while self.cycle < max_cycles && !self.all_done() {
+            self.step_cycle();
+        }
+        let completed = self.all_done();
+        let mut violations = self.violations.clone();
+        violations.extend(self.starvation.violations(self.starvation_bound));
+        for a in &self.arbiters {
+            if a.cosim_mismatches() > 0 {
+                violations.push(Violation::CosimMismatch {
+                    arbiter: a.id(),
+                    cycles: a.cosim_mismatches(),
+                });
+            }
+        }
+        RunReport {
+            cycles: self.cycle,
+            completed,
+            violations,
+            task_stats: self
+                .tasks
+                .iter()
+                .map(|t| TaskStats {
+                    task: t.id,
+                    started_at: t.started_at,
+                    finished_at: t.finished_at,
+                    stall_cycles: t.stall_cycles,
+                    busy_cycles: t.busy_cycles,
+                })
+                .collect(),
+            arbiter_grants: self
+                .arbiters
+                .iter()
+                .map(|a| (a.id(), a.grants_issued()))
+                .collect(),
+            arbiter_port_grants: self
+                .arbiters
+                .iter()
+                .map(|a| (a.id(), a.port_grants().to_vec()))
+                .collect(),
+            worst_wait: self.starvation.global_worst(),
+        }
+    }
+
+    /// The VCD waveform recorded so far (if tracing was enabled), at the
+    /// paper's ~6 MHz design clock (167 ns per cycle).
+    pub fn vcd(&self) -> Option<String> {
+        self.trace
+            .as_ref()
+            .map(|t| t.vcd.clone().finish(167))
+    }
+
+    fn all_done(&self) -> bool {
+        self.tasks.iter().all(|t| t.status == Status::Done)
+    }
+
+    fn step_cycle(&mut self) {
+        let cycle = self.cycle;
+        // 1. Release newly runnable tasks.
+        for i in 0..self.tasks.len() {
+            if self.tasks[i].status == Status::NotStarted {
+                let id = self.tasks[i].id;
+                let ready = self
+                    .graph
+                    .predecessors(id)
+                    .iter()
+                    .all(|p| self.tasks[p.index()].status == Status::Done);
+                if ready {
+                    self.tasks[i].status = Status::Running;
+                    self.tasks[i].started_at = Some(cycle);
+                    if self.tasks[i].prog.instrs().is_empty() {
+                        self.tasks[i].status = Status::Done;
+                        self.tasks[i].finished_at = Some(cycle);
+                    }
+                }
+            }
+        }
+        // 2. Arbiters sample the request lines.
+        let mut grants: BTreeMap<ArbiterId, u64> = BTreeMap::new();
+        for a in &mut self.arbiters {
+            let id = a.id();
+            let tasks = &self.tasks;
+            let word = a.step(&|task: TaskId| tasks[task.index()].requesting(id));
+            if word.count_ones() > 1 {
+                self.violations.push(Violation::MultipleGrants {
+                    cycle,
+                    arbiter: a.id(),
+                    grants: word,
+                });
+            }
+            grants.insert(a.id(), word);
+        }
+        if let Some(trace) = &mut self.trace {
+            for (ai, a) in self.arbiters.iter().enumerate() {
+                let id = a.id();
+                let grant_word = grants[&id];
+                for (p, &(req_sig, grant_sig)) in trace.signals[ai].iter().enumerate() {
+                    // A port's request is the OR of its tasks' lines.
+                    let req = self
+                        .tasks
+                        .iter()
+                        .any(|t| a.port_of(t.id) == Some(p) && t.requesting(id));
+                    trace.vcd.sample(cycle, req_sig, req);
+                    trace.vcd.sample(cycle, grant_sig, grant_word >> p & 1 != 0);
+                }
+            }
+        }
+        // 3. Tasks execute.
+        let mut bank_accesses: BTreeMap<BankId, Vec<BankAccess>> = BTreeMap::new();
+        let mut pending_reads: Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)> = Vec::new();
+        let mut route_sends: BTreeMap<usize, Vec<RouteSend>> = BTreeMap::new();
+        for i in 0..self.tasks.len() {
+            if self.tasks[i].status != Status::Running {
+                continue;
+            }
+            self.exec_task(
+                i,
+                cycle,
+                &grants,
+                &mut bank_accesses,
+                &mut pending_reads,
+                &mut route_sends,
+            );
+        }
+        // 4. Banks resolve.
+        for (bank, accesses) in &bank_accesses {
+            let outcome = self
+                .banks
+                .get_mut(bank)
+                .expect("bank exists")
+                .cycle(accesses);
+            match outcome {
+                BankOutcome::Conflict { tasks } => {
+                    self.violations.push(Violation::BankConflict {
+                        cycle,
+                        bank: *bank,
+                        tasks,
+                    });
+                }
+                BankOutcome::Ok {
+                    task,
+                    read_value: Some(v),
+                } => {
+                    if let Some(&(_, _, dst)) = pending_reads
+                        .iter()
+                        .find(|(b, t, _)| b == bank && *t == task)
+                    {
+                        self.tasks[task.index()].vars[dst.index()] = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // 4b. Fig. 4 select-line discipline on every shared bank: collect
+        // each client's drive (write -> 1, read -> 0, idle -> per
+        // discipline) and resolve. A float is the paper's unwanted-write
+        // hazard; report it once per bank.
+        for (&bank, clients) in &self.bank_clients {
+            if self.floated_banks.contains(&bank) {
+                continue;
+            }
+            let drivers: Vec<Option<bool>> = clients
+                .iter()
+                .map(|&t| {
+                    bank_accesses
+                        .get(&bank)
+                        .and_then(|accs| accs.iter().find(|a| a.task == t))
+                        .map(|a| a.write.is_some())
+                        .or(match self.select_line.idle_drive() {
+                            rcarb_core::line::IdleDrive::HighZ => None,
+                            rcarb_core::line::IdleDrive::Low => Some(false),
+                            rcarb_core::line::IdleDrive::High => Some(true),
+                        })
+                })
+                .collect();
+            let resolved = crate::value::resolve_line(self.select_line, &drivers);
+            if resolved.to_bool().is_none() {
+                self.floated_banks.insert(bank);
+                self.violations
+                    .push(Violation::FloatingSelectLine { cycle, bank });
+            }
+        }
+        // 5. Routes resolve.
+        for (route, sends) in &route_sends {
+            let outcome = self.routes[*route].cycle(sends);
+            if let RouteOutcome::Conflict { tasks } = outcome {
+                if *route < self.shared_route_count {
+                    self.violations.push(Violation::RouteConflict {
+                        cycle,
+                        route: *route,
+                        tasks,
+                    });
+                }
+            }
+        }
+        self.cycle += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_task(
+        &mut self,
+        i: usize,
+        cycle: u64,
+        grants: &BTreeMap<ArbiterId, u64>,
+        bank_accesses: &mut BTreeMap<BankId, Vec<BankAccess>>,
+        pending_reads: &mut Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)>,
+        route_sends: &mut BTreeMap<usize, Vec<RouteSend>>,
+    ) {
+        self.exec_task_inner(i, cycle, grants, bank_accesses, pending_reads, route_sends);
+        // A task whose program counter ran off the end this cycle is done
+        // *this* cycle (its controller's done signal fires with the last
+        // instruction, not a cycle later).
+        if self.tasks[i].status == Status::Running
+            && self.tasks[i].pc >= self.tasks[i].prog.instrs().len()
+        {
+            self.tasks[i].status = Status::Done;
+            self.tasks[i].finished_at = Some(cycle);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_task_inner(
+        &mut self,
+        i: usize,
+        cycle: u64,
+        grants: &BTreeMap<ArbiterId, u64>,
+        bank_accesses: &mut BTreeMap<BankId, Vec<BankAccess>>,
+        pending_reads: &mut Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)>,
+        route_sends: &mut BTreeMap<usize, Vec<RouteSend>>,
+    ) {
+        // Consume free loop bookkeeping, at most one costed instruction,
+        // then drain any trailing bookkeeping so a program whose last
+        // costed instruction issues this cycle also *finishes* this cycle.
+        let mut issued = false;
+        loop {
+            let task_id = self.tasks[i].id;
+            if self.tasks[i].pc >= self.tasks[i].prog.instrs().len() {
+                self.tasks[i].status = Status::Done;
+                self.tasks[i].finished_at = Some(cycle);
+                return;
+            }
+            let instr = self.tasks[i].prog.instrs()[self.tasks[i].pc].clone();
+            if issued
+                && !matches!(
+                    instr,
+                    Instr::LoopInit { .. } | Instr::LoopBack { .. } | Instr::Jump { .. }
+                )
+            {
+                // The cycle's one costed instruction already ran; stop at
+                // the next real instruction (including AwaitGrant, whose
+                // grant must be sampled in its own cycle).
+                return;
+            }
+            match instr {
+                Instr::LoopInit { slot, times } => {
+                    self.tasks[i].loops[slot] = times;
+                    self.tasks[i].pc += 1;
+                }
+                Instr::LoopBack { slot, target } => {
+                    self.tasks[i].loops[slot] -= 1;
+                    if self.tasks[i].loops[slot] > 0 {
+                        self.tasks[i].pc = target;
+                    } else {
+                        self.tasks[i].pc += 1;
+                    }
+                }
+                Instr::Jump { target } => {
+                    self.tasks[i].pc = target;
+                }
+                Instr::AwaitGrant { arbiter } => {
+                    let granted = self.task_granted(grants, arbiter, task_id);
+                    if granted {
+                        self.starvation.granted(task_id, arbiter);
+                        self.tasks[i].pc += 1;
+                        // Free fall-through: keep executing this cycle.
+                    } else {
+                        self.tasks[i].stall_cycles += 1;
+                        self.starvation.tick_waiting(task_id, arbiter);
+                        return;
+                    }
+                }
+                Instr::Compute { cycles } => {
+                    if cycles == 0 {
+                        self.tasks[i].pc += 1;
+                        continue;
+                    }
+                    if self.tasks[i].compute_left == 0 {
+                        self.tasks[i].compute_left = cycles;
+                    }
+                    self.tasks[i].compute_left -= 1;
+                    self.tasks[i].busy_cycles += 1;
+                    if self.tasks[i].compute_left == 0 {
+                        self.tasks[i].pc += 1;
+                        issued = true;
+                        continue;
+                    }
+                    return;
+                }
+                Instr::Set { dst, value } => {
+                    let v = value.eval(&self.tasks[i].vars);
+                    self.tasks[i].vars[dst.index()] = v;
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::BranchIfZero { cond, target } => {
+                    let v = cond.eval(&self.tasks[i].vars);
+                    self.tasks[i].pc = if v == 0 { target } else { self.tasks[i].pc + 1 };
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::MemRead { segment, addr, dst } => {
+                    self.check_segment_grant(grants, task_id, segment, cycle);
+                    let a = addr.eval(&self.tasks[i].vars) as u32;
+                    let place = self.binding.placement(segment).expect("bound segment");
+                    bank_accesses.entry(place.bank).or_default().push(BankAccess {
+                        task: task_id,
+                        addr: place.offset + a,
+                        write: None,
+                    });
+                    pending_reads.push((place.bank, task_id, dst));
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::MemWrite {
+                    segment,
+                    addr,
+                    value,
+                } => {
+                    self.check_segment_grant(grants, task_id, segment, cycle);
+                    let a = addr.eval(&self.tasks[i].vars) as u32;
+                    let v = value.eval(&self.tasks[i].vars);
+                    let place = self.binding.placement(segment).expect("bound segment");
+                    bank_accesses.entry(place.bank).or_default().push(BankAccess {
+                        task: task_id,
+                        addr: place.offset + a,
+                        write: Some(v),
+                    });
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::Send { channel, value } => {
+                    if let Some(&arb) = self.channel_guards.get(&(task_id, channel)) {
+                        if !self.task_granted(grants, arb, task_id) {
+                            self.violations.push(Violation::AccessWithoutGrant {
+                                cycle,
+                                task: task_id,
+                                arbiter: arb,
+                            });
+                        }
+                    }
+                    let v = value.eval(&self.tasks[i].vars);
+                    let route = self.route_of_channel[&channel];
+                    route_sends.entry(route).or_default().push(RouteSend {
+                        task: task_id,
+                        channel,
+                        value: v,
+                    });
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::Recv { channel, dst } => {
+                    let route = self.route_of_channel[&channel];
+                    match self.routes[route].read(channel) {
+                        Some(v) => {
+                            self.tasks[i].vars[dst.index()] = v;
+                            self.tasks[i].pc += 1;
+                            self.tasks[i].busy_cycles += 1;
+                            issued = true;
+                        }
+                        None => {
+                            self.tasks[i].stall_cycles += 1;
+                            return;
+                        }
+                    }
+                }
+                Instr::ReqAssert { arbiter } => {
+                    self.tasks[i].req_lines.insert(arbiter, true);
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::ReqDeassert { arbiter } => {
+                    self.tasks[i].req_lines.insert(arbiter, false);
+                    self.tasks[i].pc += 1;
+                    self.tasks[i].busy_cycles += 1;
+                    issued = true;
+                }
+            }
+        }
+    }
+
+    fn task_granted(&self, grants: &BTreeMap<ArbiterId, u64>, arbiter: ArbiterId, task: TaskId) -> bool {
+        let word = grants.get(&arbiter).copied().unwrap_or(0);
+        self.arbiters[arbiter.index()].task_granted(word, task)
+    }
+
+    fn check_segment_grant(
+        &mut self,
+        grants: &BTreeMap<ArbiterId, u64>,
+        task: TaskId,
+        segment: SegmentId,
+        cycle: u64,
+    ) {
+        if let Some(&arb) = self.segment_guards.get(&(task, segment)) {
+            if !self.task_granted(grants, arb, task) {
+                self.violations.push(Violation::AccessWithoutGrant {
+                    cycle,
+                    task,
+                    arbiter: arb,
+                });
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_core::memmap::bind_segments;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    fn one_task_system(program: Program) -> (System, TaskId) {
+        let mut b = TaskGraphBuilder::new("unit");
+        let seg = b.segment("M", 32, 16);
+        let _ = seg;
+        let t = b.task("T", program);
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+            .build(&board);
+        (sys, t)
+    }
+
+    #[test]
+    fn empty_program_finishes_on_cycle_zero() {
+        let (mut sys, t) = one_task_system(Program::empty());
+        let report = sys.run(10);
+        assert!(report.clean());
+        let stats = report.task(t);
+        assert_eq!(stats.started_at, Some(0));
+        assert_eq!(stats.finished_at, Some(0));
+        assert_eq!(stats.busy_cycles, 0);
+    }
+
+    #[test]
+    fn memory_read_delivers_the_written_value() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let (mut sys, _) = one_task_system(Program::build(|p| {
+            p.mem_write(seg, Expr::lit(5), Expr::lit(1234));
+            let v = p.mem_read(seg, Expr::lit(5));
+            p.mem_write(seg, Expr::lit(6), Expr::add(Expr::var(v), Expr::lit(1)));
+        }));
+        let report = sys.run(100);
+        assert!(report.clean());
+        assert_eq!(sys.read_segment(seg, 7)[5], 1234);
+        assert_eq!(sys.read_segment(seg, 7)[6], 1235);
+    }
+
+    #[test]
+    fn successors_start_the_cycle_after_predecessors_finish() {
+        let mut b = TaskGraphBuilder::new("deps");
+        let first = b.task("first", Program::build(|p| p.compute(5)));
+        let second = b.task("second", Program::build(|p| p.compute(1)));
+        b.control_dep(first, second);
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        let binding = MemoryBinding::default();
+        let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+            .build(&board);
+        let report = sys.run(100);
+        assert!(report.clean());
+        let f = report.task(first);
+        let s = report.task(second);
+        // `first` runs cycles 0..4, finishing at 4 (its 5th busy cycle);
+        // `second` becomes runnable the next cycle.
+        assert_eq!(f.finished_at, Some(4));
+        assert_eq!(s.started_at, Some(5));
+        assert_eq!(s.finished_at, Some(5));
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        let (mut sys, t) = one_task_system(Program::build(|p| p.compute(1000)));
+        let report = sys.run(10);
+        assert!(!report.completed);
+        assert_eq!(report.cycles, 10);
+        assert_eq!(report.task(t).finished_at, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn loading_unbound_segment_panics() {
+        let mut b = TaskGraphBuilder::new("unbound");
+        let seg = b.segment("M", 8, 16);
+        b.task("T", Program::empty());
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        // Empty binding: the program never accesses the segment so build
+        // succeeds, but loading must fail loudly.
+        let mut sys = SystemBuilder::unarbitrated(
+            &graph,
+            &MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .build(&board);
+        sys.load_segment(seg, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns segment")]
+    fn oversized_load_panics() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let (mut sys, _) = one_task_system(Program::build(|p| {
+            p.mem_write(seg, Expr::lit(0), Expr::lit(1));
+        }));
+        sys.load_segment(seg, &vec![0; 33]); // segment is 32 words
+    }
+
+    #[test]
+    fn conditional_takes_the_right_branch() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let (mut sys, _) = one_task_system(Program::build(|p| {
+            let c = p.let_(Expr::lit(0));
+            p.if_else(
+                Expr::var(c),
+                |p| p.mem_write(seg, Expr::lit(0), Expr::lit(111)),
+                |p| p.mem_write(seg, Expr::lit(0), Expr::lit(222)),
+            );
+        }));
+        let report = sys.run(100);
+        assert!(report.clean());
+        assert_eq!(sys.read_segment(seg, 1)[0], 222);
+    }
+
+    #[test]
+    fn nested_loops_execute_the_product_of_trips() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let (mut sys, _) = one_task_system(Program::build(|p| {
+            let acc = p.let_(Expr::lit(0));
+            p.repeat(3, |p| {
+                p.repeat(4, |p| {
+                    p.set(acc, Expr::add(Expr::var(acc), Expr::lit(1)));
+                });
+            });
+            p.mem_write(seg, Expr::lit(0), Expr::var(acc));
+        }));
+        let report = sys.run(1000);
+        assert!(report.clean());
+        assert_eq!(sys.read_segment(seg, 1)[0], 12);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Cycle-accurate simulation of arbitrated multi-FPGA designs.
+//!
+//! The paper validates its arbitration mechanism on real hardware (the
+//! Wildforce board). This crate substitutes a discrete, cycle-accurate
+//! simulator that makes the same phenomena observable:
+//!
+//! - [`value`] — four-valued logic (`0/1/Z/X`) and tri-state/wired-OR/
+//!   wired-AND bus resolution (the paper's Fig. 4 line disciplines);
+//! - [`compile`] — flattening of taskgraph programs into an executable
+//!   instruction stream (loops and branches become jumps);
+//! - [`memory`] — single-ported bank models that detect simultaneous-
+//!   access conflicts (the hazard of Fig. 2);
+//! - [`channel`] — receiving-end channel registers (Fig. 3 / Table 1),
+//!   with a deliberately wrong source-register mode to demonstrate *why*
+//!   the registers must sit at the receivers;
+//! - [`arbiter`] — behavioural arbiters with optional synthesized-netlist
+//!   co-simulation (every grant cross-checked against the mapped
+//!   hardware);
+//! - [`monitor`] — mutual-exclusion, protocol and starvation monitors;
+//! - [`engine`] — the system simulator: tasks, arbiters, banks and
+//!   channels advancing in lock step under control dependencies;
+//! - [`stats`] — fairness and utilization summaries;
+//! - [`vcd`] — a small VCD waveform writer for request/grant traces.
+//!
+//! # Protocol timing
+//!
+//! One instruction issues per task per cycle, except `AwaitGrant`, which
+//! falls through for free on the cycle its grant is visible. A request
+//! asserted in cycle `t` reaches the arbiter in cycle `t+1` (the
+//! register between task and arbiter). An uncontended arbitrated batch of
+//! `M` accesses therefore costs `M + 2` cycles — the paper's "two extra
+//! clock cycles due to the arbitration protocol".
+
+pub mod arbiter;
+pub mod channel;
+pub mod compile;
+pub mod engine;
+pub mod memory;
+pub mod monitor;
+pub mod stats;
+pub mod value;
+pub mod vcd;
+
+pub use engine::{RunReport, System, SystemBuilder};
+pub use monitor::Violation;

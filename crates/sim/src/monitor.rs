@@ -1,0 +1,204 @@
+//! Runtime monitors: the properties the arbitration mechanism must
+//! guarantee, checked on every cycle.
+
+use rcarb_board::memory::BankId;
+use rcarb_taskgraph::id::{ArbiterId, TaskId};
+use std::fmt;
+
+/// A property violation observed during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two or more tasks drove one memory bank in the same cycle.
+    BankConflict {
+        /// Cycle of the conflict.
+        cycle: u64,
+        /// The bank.
+        bank: BankId,
+        /// Involved tasks.
+        tasks: Vec<TaskId>,
+    },
+    /// Two or more distinct tasks drove one shared route simultaneously.
+    RouteConflict {
+        /// Cycle of the conflict.
+        cycle: u64,
+        /// Merged-route index.
+        route: usize,
+        /// Involved tasks.
+        tasks: Vec<TaskId>,
+    },
+    /// A task accessed an arbitrated resource without holding the grant.
+    AccessWithoutGrant {
+        /// Cycle of the access.
+        cycle: u64,
+        /// The offending task.
+        task: TaskId,
+        /// The arbiter that should have been consulted.
+        arbiter: ArbiterId,
+    },
+    /// An arbiter granted more than one port in a cycle (mutual exclusion
+    /// broken — must never happen).
+    MultipleGrants {
+        /// Cycle of the grant.
+        cycle: u64,
+        /// The arbiter.
+        arbiter: ArbiterId,
+        /// The grant word.
+        grants: u64,
+    },
+    /// The synthesized netlist disagreed with the behavioural arbiter.
+    CosimMismatch {
+        /// The arbiter.
+        arbiter: ArbiterId,
+        /// Number of mismatching cycles.
+        cycles: u64,
+    },
+    /// A shared bank's write-select line floated (high impedance) while
+    /// the bank was idle — the Fig. 4 hazard: an undefined select can
+    /// cause unwanted writes. Only possible under the (wrong) tri-state
+    /// select discipline; the paper's OR discipline precludes it.
+    FloatingSelectLine {
+        /// First cycle the float was observed.
+        cycle: u64,
+        /// The bank whose select floated.
+        bank: BankId,
+    },
+    /// A continuously requesting task waited longer than the configured
+    /// starvation bound.
+    Starvation {
+        /// The starving task.
+        task: TaskId,
+        /// The arbiter it waited on.
+        arbiter: ArbiterId,
+        /// Cycles waited.
+        waited: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BankConflict { cycle, bank, tasks } => {
+                write!(f, "cycle {cycle}: bank {bank} driven by {} tasks", tasks.len())
+            }
+            Violation::RouteConflict { cycle, route, tasks } => {
+                write!(f, "cycle {cycle}: route #{route} driven by {} tasks", tasks.len())
+            }
+            Violation::AccessWithoutGrant { cycle, task, arbiter } => {
+                write!(f, "cycle {cycle}: task {task} accessed {arbiter}'s resource without grant")
+            }
+            Violation::MultipleGrants { cycle, arbiter, grants } => {
+                write!(f, "cycle {cycle}: {arbiter} granted word {grants:#b}")
+            }
+            Violation::CosimMismatch { arbiter, cycles } => {
+                write!(f, "{arbiter}: netlist disagreed on {cycles} cycles")
+            }
+            Violation::FloatingSelectLine { cycle, bank } => {
+                write!(f, "cycle {cycle}: bank {bank}'s write select floated")
+            }
+            Violation::Starvation { task, arbiter, waited } => {
+                write!(f, "task {task} starved {waited} cycles at {arbiter}")
+            }
+        }
+    }
+}
+
+/// Tracks per-(task, arbiter) wait times to detect starvation.
+#[derive(Debug, Clone, Default)]
+pub struct StarvationTracker {
+    /// `(task, arbiter) -> cycles waited so far` for live waits.
+    waiting: std::collections::BTreeMap<(TaskId, ArbiterId), u64>,
+    /// Longest completed or ongoing wait per (task, arbiter).
+    worst: std::collections::BTreeMap<(TaskId, ArbiterId), u64>,
+}
+
+impl StarvationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `task` spent this cycle blocked on `arbiter`.
+    pub fn tick_waiting(&mut self, task: TaskId, arbiter: ArbiterId) {
+        let w = self.waiting.entry((task, arbiter)).or_insert(0);
+        *w += 1;
+        let best = self.worst.entry((task, arbiter)).or_insert(0);
+        *best = (*best).max(*w);
+    }
+
+    /// Records that `task`'s wait on `arbiter` ended (granted).
+    pub fn granted(&mut self, task: TaskId, arbiter: ArbiterId) {
+        self.waiting.remove(&(task, arbiter));
+    }
+
+    /// The worst wait observed for `(task, arbiter)`.
+    pub fn worst_wait(&self, task: TaskId, arbiter: ArbiterId) -> u64 {
+        self.worst.get(&(task, arbiter)).copied().unwrap_or(0)
+    }
+
+    /// The worst wait observed anywhere.
+    pub fn global_worst(&self) -> u64 {
+        self.worst.values().copied().max().unwrap_or(0)
+    }
+
+    /// Emits a [`Violation::Starvation`] for every wait exceeding `bound`.
+    pub fn violations(&self, bound: u64) -> Vec<Violation> {
+        self.worst
+            .iter()
+            .filter(|(_, &w)| w > bound)
+            .map(|(&(task, arbiter), &waited)| Violation::Starvation {
+                task,
+                arbiter,
+                waited,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TaskId {
+        TaskId::new(i)
+    }
+
+    fn a(i: u32) -> ArbiterId {
+        ArbiterId::new(i)
+    }
+
+    #[test]
+    fn waits_accumulate_and_reset_on_grant() {
+        let mut s = StarvationTracker::new();
+        for _ in 0..5 {
+            s.tick_waiting(t(0), a(0));
+        }
+        assert_eq!(s.worst_wait(t(0), a(0)), 5);
+        s.granted(t(0), a(0));
+        s.tick_waiting(t(0), a(0));
+        // Worst is retained even after a shorter second wait.
+        assert_eq!(s.worst_wait(t(0), a(0)), 5);
+        assert_eq!(s.global_worst(), 5);
+    }
+
+    #[test]
+    fn violations_respect_bound() {
+        let mut s = StarvationTracker::new();
+        for _ in 0..10 {
+            s.tick_waiting(t(1), a(0));
+        }
+        assert!(s.violations(10).is_empty());
+        let v = s.violations(9);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Starvation { waited: 10, .. }));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::BankConflict {
+            cycle: 7,
+            bank: BankId::new(2),
+            tasks: vec![t(0), t(1)],
+        };
+        assert_eq!(v.to_string(), "cycle 7: bank B2 driven by 2 tasks");
+    }
+}

@@ -1,0 +1,155 @@
+//! Four-valued logic and shared-line resolution.
+
+use rcarb_core::line::SharedLineKind;
+use std::fmt;
+
+/// A four-valued signal sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V4 {
+    /// Driven low.
+    Zero,
+    /// Driven high.
+    One,
+    /// Released (high impedance).
+    Z,
+    /// Unknown / conflict.
+    X,
+}
+
+impl V4 {
+    /// Converts a boolean drive.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V4::One
+        } else {
+            V4::Zero
+        }
+    }
+
+    /// The boolean value, if cleanly driven.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V4::Zero => Some(false),
+            V4::One => Some(true),
+            V4::Z | V4::X => None,
+        }
+    }
+
+    /// Wired resolution of two simultaneous drivers on a tri-state line.
+    pub fn resolve_tristate(self, other: V4) -> V4 {
+        match (self, other) {
+            (V4::Z, v) | (v, V4::Z) => v,
+            (a, b) if a == b => a,
+            _ => V4::X,
+        }
+    }
+}
+
+impl fmt::Display for V4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            V4::Zero => "0",
+            V4::One => "1",
+            V4::Z => "Z",
+            V4::X => "X",
+        })
+    }
+}
+
+/// Resolves a cycle's drivers on one shared line of the given kind.
+///
+/// `drivers` holds each potential driver's contribution: `None` for a
+/// released tri-state output, `Some(bit)` for an actively driven value.
+/// For OR/AND lines a `None` is treated as the mandated idle drive (0 for
+/// active-high, 1 for active-low) — the paper's Fig. 4b/4c circuits
+/// hard-wire that contribution, so a task cannot actually float them.
+pub fn resolve_line(kind: SharedLineKind, drivers: &[Option<bool>]) -> V4 {
+    match kind {
+        SharedLineKind::TriState => {
+            let mut v = V4::Z;
+            for d in drivers {
+                let contribution = match d {
+                    None => V4::Z,
+                    Some(b) => V4::from_bool(*b),
+                };
+                v = v.resolve_tristate(contribution);
+            }
+            v
+        }
+        SharedLineKind::ActiveHighOr => {
+            V4::from_bool(drivers.iter().any(|d| d.unwrap_or(false)))
+        }
+        SharedLineKind::ActiveLowAnd => {
+            V4::from_bool(drivers.iter().all(|d| d.unwrap_or(true)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tristate_single_driver_wins() {
+        assert_eq!(
+            resolve_line(SharedLineKind::TriState, &[None, Some(true), None]),
+            V4::One
+        );
+        assert_eq!(
+            resolve_line(SharedLineKind::TriState, &[Some(false)]),
+            V4::Zero
+        );
+    }
+
+    #[test]
+    fn tristate_no_driver_floats() {
+        assert_eq!(resolve_line(SharedLineKind::TriState, &[None, None]), V4::Z);
+    }
+
+    #[test]
+    fn tristate_conflict_is_x() {
+        assert_eq!(
+            resolve_line(SharedLineKind::TriState, &[Some(true), Some(false)]),
+            V4::X
+        );
+        // Agreeing drivers do not conflict electrically.
+        assert_eq!(
+            resolve_line(SharedLineKind::TriState, &[Some(true), Some(true)]),
+            V4::One
+        );
+    }
+
+    #[test]
+    fn or_line_never_floats() {
+        // The Fig. 4b hazard fix: with nobody driving, the memory's write
+        // select reads 0 (read mode) instead of floating.
+        assert_eq!(
+            resolve_line(SharedLineKind::ActiveHighOr, &[None, None]),
+            V4::Zero
+        );
+        assert_eq!(
+            resolve_line(SharedLineKind::ActiveHighOr, &[None, Some(true)]),
+            V4::One
+        );
+    }
+
+    #[test]
+    fn and_line_idles_high() {
+        assert_eq!(
+            resolve_line(SharedLineKind::ActiveLowAnd, &[None, None]),
+            V4::One
+        );
+        assert_eq!(
+            resolve_line(SharedLineKind::ActiveLowAnd, &[Some(false), None]),
+            V4::Zero
+        );
+    }
+
+    #[test]
+    fn v4_bool_round_trip() {
+        assert_eq!(V4::from_bool(true).to_bool(), Some(true));
+        assert_eq!(V4::X.to_bool(), None);
+        assert_eq!(V4::Z.to_bool(), None);
+        assert_eq!(V4::X.to_string(), "X");
+    }
+}

@@ -1,0 +1,104 @@
+//! Cycle-accounting properties: for uncontended, branch-free programs the
+//! simulator's measured runtime equals the static estimate the
+//! partitioner uses — the agreement that makes pre-characterized
+//! estimation trustworthy (the paper's Sec. 4.3 argument).
+
+use proptest::prelude::*;
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::memmap::bind_segments;
+use rcarb_sim::engine::SystemBuilder;
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::id::TaskId;
+use rcarb_taskgraph::program::{Expr, Program, ProgramBuilder};
+
+/// One random straight-line-with-loops op; returns expected no-op flag.
+fn emit_op(p: &mut ProgramBuilder, seg: rcarb_taskgraph::id::SegmentId, op: u8, val: u64) {
+    match op % 5 {
+        0 => p.mem_write(seg, Expr::lit(val % 32), Expr::lit(val)),
+        1 => {
+            let _ = p.mem_read(seg, Expr::lit(val % 32));
+        }
+        2 => p.compute((val % 7) as u32 + 1),
+        3 => {
+            let v = p.let_(Expr::lit(val));
+            p.set(v, Expr::add(Expr::var(v), Expr::lit(3)));
+        }
+        _ => p.compute(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Measured cycles == static estimate for branch-free programs, with
+    /// and without (possibly nested) loops.
+    #[test]
+    fn runtime_matches_static_estimate(
+        prefix in proptest::collection::vec((0u8..5, 0u64..100), 0..10),
+        body in proptest::collection::vec((0u8..5, 0u64..100), 1..6),
+        trips in 1u32..6,
+        inner_trips in 1u32..4,
+    ) {
+        let mut b = TaskGraphBuilder::new("est");
+        let seg = b.segment("M", 32, 16);
+        let prefix2 = prefix.clone();
+        let body2 = body.clone();
+        b.task("T", Program::build(move |p| {
+            for &(op, val) in &prefix2 {
+                emit_op(p, seg, op, val);
+            }
+            p.repeat(trips, |p| {
+                for &(op, val) in &body2 {
+                    emit_op(p, seg, op, val);
+                }
+                p.repeat(inner_trips, |p| p.compute(2));
+            });
+        }));
+        let graph = b.finish().expect("valid");
+        let estimate = graph.task(TaskId::new(0)).program().access_counts().estimated_cycles();
+        let board = rcarb_board::presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+        let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+            .build(&board);
+        let report = sys.run(1_000_000);
+        prop_assert!(report.clean());
+        let t = report.task(TaskId::new(0));
+        // A task spans [started, finished] inclusive: k costed
+        // instructions occupy exactly k cycles.
+        let measured = t.finished_at.expect("done") - t.started_at.expect("started") + 1;
+        prop_assert_eq!(measured, estimate);
+    }
+
+    /// Branches cost one cycle plus the *taken* side; the static estimate
+    /// (worst branch) is always an upper bound and exact when the worst
+    /// branch is taken.
+    #[test]
+    fn branch_estimate_is_an_upper_bound(
+        cond in any::<bool>(),
+        then_cycles in 1u32..20,
+        else_cycles in 1u32..20,
+    ) {
+        let mut b = TaskGraphBuilder::new("br");
+        b.task("T", Program::build(move |p| {
+            let c = p.let_(Expr::lit(u64::from(cond)));
+            p.if_else(
+                Expr::var(c),
+                |p| p.compute(then_cycles),
+                |p| p.compute(else_cycles),
+            );
+        }));
+        let graph = b.finish().expect("valid");
+        let estimate = graph.task(TaskId::new(0)).program().access_counts().estimated_cycles();
+        let board = rcarb_board::presets::duo_small();
+        let binding = rcarb_core::memmap::MemoryBinding::default();
+        let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+            .build(&board);
+        let report = sys.run(10_000);
+        let t = report.task(TaskId::new(0));
+        let measured = t.finished_at.expect("done") - t.started_at.expect("started") + 1;
+        prop_assert!(measured <= estimate, "{measured} > {estimate}");
+        let taken = if cond { then_cycles } else { else_cycles };
+        // let + branch + taken compute.
+        prop_assert_eq!(measured, 2 + u64::from(taken));
+    }
+}

@@ -1,0 +1,476 @@
+//! End-to-end protocol tests: the paper's claims, observed in simulation.
+
+use rcarb_board::presets;
+use rcarb_core::channel::{plan_merges, ChannelMergePlan};
+use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+use rcarb_core::memmap::bind_segments;
+use rcarb_core::policy::PolicyKind;
+use rcarb_sim::channel::RegisterPlacement;
+use rcarb_sim::engine::SystemBuilder;
+use rcarb_sim::monitor::Violation;
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::id::TaskId;
+use rcarb_taskgraph::program::{Expr, Program};
+use rcarb_taskgraph::TaskGraph;
+
+/// Fig. 2 shape: two tasks whose segments collide in one shared bank.
+fn contended_design(writes_per_task: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("contended");
+    let m1 = b.segment("M1", 64, 16);
+    let m2 = b.segment("M2", 64, 16);
+    b.task(
+        "T1",
+        Program::build(|p| {
+            p.repeat(writes_per_task, |p| {
+                p.mem_write(m1, Expr::lit(0), Expr::lit(1));
+            });
+        }),
+    );
+    b.task(
+        "T2",
+        Program::build(|p| {
+            p.repeat(writes_per_task, |p| {
+                p.mem_write(m2, Expr::lit(0), Expr::lit(2));
+            });
+        }),
+    );
+    b.finish().unwrap()
+}
+
+#[test]
+fn unarbitrated_sharing_conflicts() {
+    // Without arbitration, simultaneous accesses to the shared bank are
+    // detected as conflicts — the hazard of Sec. 2.1.
+    let graph = contended_design(4);
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+        .build(&board);
+    let report = sys.run(1000);
+    assert!(report.completed);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BankConflict { .. })),
+        "expected bank conflicts, got {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn arbitrated_sharing_is_clean() {
+    let graph = contended_design(4);
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    assert_eq!(plan.arbiter_sizes(), vec![2]);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .with_cosim(true)
+        .build(&board);
+    let report = sys.run(10_000);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn every_policy_serializes_the_bank() {
+    let graph = contended_design(6);
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    for policy in PolicyKind::ALL {
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+            .with_policy(policy)
+            .build(&board);
+        let report = sys.run(10_000);
+        assert!(report.clean(), "{policy}: {:?}", report.violations);
+    }
+}
+
+/// Sec. 4.3: "each arbitered access incurs two extra clock cycles due to
+/// the arbitration protocol" (uncontended, M = 1).
+#[test]
+fn uncontended_batch_costs_exactly_two_extra_cycles() {
+    // Single task, shared bank, arbitrated against a second task that
+    // never accesses (so the arbiter exists but there is no contention).
+    for (m, accesses) in [(1u32, 1u32), (1, 4), (2, 4), (4, 4)] {
+        let build = |arbitrated: bool| -> u64 {
+            let mut b = TaskGraphBuilder::new("solo");
+            let m1 = b.segment("M1", 64, 16);
+            let m2 = b.segment("M2", 64, 16);
+            b.task(
+                "T1",
+                Program::build(|p| {
+                    for i in 0..accesses {
+                        p.mem_write(m1, Expr::lit(u64::from(i)), Expr::lit(7));
+                    }
+                }),
+            );
+            // A contending task must exist for the arbiter to be
+            // inserted, but it is control-ordered after T1 so the two
+            // never overlap: the paper's fixed protocol cost is then
+            // observable in isolation (elision stays off in the paper
+            // configuration, so the arbiter is still there).
+            let t2 = b.task(
+                "T2",
+                Program::build(|p| {
+                    p.mem_write(m2, Expr::lit(0), Expr::lit(9));
+                }),
+            );
+            b.control_dep(TaskId::new(0), t2);
+            let board = presets::duo_small();
+            let graph = b.finish().unwrap();
+            let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+            let report = if arbitrated {
+                let plan = insert_arbiters(
+                    &graph,
+                    &binding,
+                    &ChannelMergePlan::default(),
+                    &InsertionConfig::paper().with_max_burst(m),
+                );
+                let mut sys =
+                    SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+                        .build(&board);
+                sys.run(10_000)
+            } else {
+                let mut sys =
+                    SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+                        .build(&board);
+                sys.run(10_000)
+            };
+            assert!(report.completed);
+            let t1_stats = report.task(TaskId::new(0));
+            t1_stats.finished_at.unwrap() - t1_stats.started_at.unwrap()
+        };
+        let plain = build(false);
+        let arbitrated = build(true);
+        let batches = accesses.div_ceil(m) as u64;
+        assert_eq!(
+            arbitrated,
+            plain + 2 * batches,
+            "M={m}, accesses={accesses}: expected exactly 2 cycles per batch"
+        );
+    }
+}
+
+/// Saturated contention: the round-robin arbiter serves every task and
+/// bounds the wait (no starvation, no deadlock — Sec. 4.1).
+#[test]
+fn round_robin_is_starvation_free_under_saturation() {
+    let mut b = TaskGraphBuilder::new("sat");
+    let segs: Vec<_> = (0..4).map(|i| b.segment(format!("M{i}"), 64, 16)).collect();
+    for (i, &s) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(16, |p| {
+                    p.mem_write(s, Expr::lit(0), Expr::lit(1));
+                });
+            }),
+        );
+    }
+    let graph = b.finish().unwrap();
+    let board = presets::duo_small(); // everything lands in one bank
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    assert_eq!(plan.arbiter_sizes(), vec![4]);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        // Generous bound: (N-1) competitors x (M accesses + protocol).
+        .with_starvation_bound(3 * (2 + 2) * 4)
+        .build(&board);
+    let report = sys.run(100_000);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    // All four tasks made progress and the arbiter granted many times.
+    assert!(report.arbiter_grants[0].1 > 50);
+}
+
+#[test]
+fn delivered_bandwidth_splits_evenly_under_round_robin() {
+    // Four identical workloads through one Arb4: the per-port grant
+    // counts must come out equal — the system-level face of Sec. 4.1's
+    // fairness claim.
+    let mut b = TaskGraphBuilder::new("even");
+    let segs: Vec<_> = (0..4).map(|i| b.segment(format!("M{i}"), 64, 16)).collect();
+    for (i, &s) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(16, |p| {
+                    p.mem_write(s, Expr::lit(0), Expr::lit(1));
+                });
+            }),
+        );
+    }
+    let graph = b.finish().unwrap();
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .build(&board);
+    let report = sys.run(100_000);
+    assert!(report.clean());
+    let (_, ports) = &report.arbiter_port_grants[0];
+    assert_eq!(ports.len(), 4);
+    let min = *ports.iter().min().unwrap();
+    let max = *ports.iter().max().unwrap();
+    assert!(max - min <= 2, "uneven split: {ports:?}");
+    assert!(rcarb_sim::stats::jain_index(ports) > 0.99);
+}
+
+#[test]
+fn static_priority_starves_under_saturation() {
+    // The same saturated scenario under static priority: the paper's
+    // fairness requirement (Sec. 3) fails — low-priority tasks wait
+    // enormously longer.
+    let mut b = TaskGraphBuilder::new("sat");
+    let segs: Vec<_> = (0..3).map(|i| b.segment(format!("M{i}"), 64, 16)).collect();
+    for (i, &s) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(32, |p| {
+                    p.mem_write(s, Expr::lit(0), Expr::lit(1));
+                });
+            }),
+        );
+    }
+    let graph = b.finish().unwrap();
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    let run = |policy: PolicyKind| {
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+            .with_policy(policy)
+            .build(&board);
+        sys.run(100_000)
+    };
+    let rr = run(PolicyKind::RoundRobin);
+    let sp = run(PolicyKind::StaticPriority);
+    assert!(rr.clean() && sp.clean());
+    // Under static priority the lowest-priority task's worst wait blows
+    // past round-robin's.
+    assert!(
+        sp.worst_wait > 2 * rr.worst_wait,
+        "static priority worst wait {} vs round-robin {}",
+        sp.worst_wait,
+        rr.worst_wait
+    );
+}
+
+/// Fig. 4, end to end: under the correct OR discipline an idle shared
+/// bank's write select reads 0 (read mode); under the naive tri-state
+/// discipline it floats — the unwanted-write hazard the paper's Sec. 2.2
+/// construction exists to prevent.
+#[test]
+fn fig4_select_line_discipline_matters() {
+    use rcarb_core::line::SharedLineKind;
+    let graph = contended_design(2);
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    // Correct construction (the default): clean run.
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .build(&board);
+    let good = sys.run(10_000);
+    assert!(good.clean(), "{:?}", good.violations);
+
+    // Naive tri-stated select: the very first protocol cycle (requests
+    // asserted, nobody granted yet) leaves the select floating.
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .with_select_line(SharedLineKind::TriState)
+        .build(&board);
+    let bad = sys.run(10_000);
+    assert!(
+        bad.violations
+            .iter()
+            .any(|v| matches!(v, Violation::FloatingSelectLine { .. })),
+        "tri-stated select must float: {:?}",
+        bad.violations
+    );
+}
+
+/// The Sec. 6 preemption extension, end to end: long bursts under a
+/// preemptive arbiter are revoked mid-burst; the preemption-safe protocol
+/// (grant re-checked before every access) keeps the run clean, while the
+/// paper's plain protocol would access without the grant.
+#[test]
+fn preemption_requires_the_per_access_grant_check() {
+    // Straight-line bursts of 8 accesses (one batch under M = 8) exceed
+    // the default quantum of 4 under contention. A loop would not do:
+    // each iteration is its own batch and re-arbitrates anyway.
+    let graph = {
+        let mut b = TaskGraphBuilder::new("bursty");
+        let m1 = b.segment("M1", 64, 16);
+        let m2 = b.segment("M2", 64, 16);
+        for (name, seg) in [("T1", m1), ("T2", m2)] {
+            b.task(
+                name,
+                Program::build(|p| {
+                    for i in 0..8 {
+                        p.mem_write(seg, Expr::lit(i), Expr::lit(1));
+                    }
+                }),
+            );
+        }
+        b.finish().unwrap()
+    };
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let run = |await_each: bool| {
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper()
+                .with_max_burst(8)
+                .with_await_each_access(await_each),
+        );
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+            .with_policy(PolicyKind::PreemptiveRoundRobin)
+            .build(&board);
+        sys.run(100_000)
+    };
+    let unsafe_run = run(false);
+    assert!(
+        unsafe_run
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AccessWithoutGrant { .. })),
+        "mid-burst preemption must be caught: {:?}",
+        unsafe_run.violations
+    );
+    let safe_run = run(true);
+    assert!(safe_run.clean(), "violations: {:?}", safe_run.violations);
+
+    // And the extension delivers its promise: even a task that never
+    // releases cannot starve the other (checked behaviourally in
+    // rcarb-core; here the system-level wait stays bounded).
+    assert!(safe_run.worst_wait <= 64, "wait {} cycles", safe_run.worst_wait);
+}
+
+#[test]
+fn tracing_records_request_grant_waveforms() {
+    let graph = contended_design(3);
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &ChannelMergePlan::default(),
+        &InsertionConfig::paper(),
+    );
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .with_trace(true)
+        .build(&board);
+    let report = sys.run(10_000);
+    assert!(report.clean());
+    let vcd = sys.vcd().expect("tracing was enabled");
+    // Both ports' request and grant lines appear and toggle.
+    assert!(vcd.contains("$var wire 1 ! Arb0_req0 $end"));
+    assert!(vcd.contains("Arb0_grant1"));
+    assert!(vcd.contains("$timescale 167ns $end"));
+    let toggles = vcd.lines().filter(|l| l.starts_with('1')).count();
+    assert!(toggles >= 4, "expected request/grant activity, got:\n{vcd}");
+    // Without tracing there is no waveform.
+    let mut plain = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .build(&board);
+    plain.run(10_000);
+    assert!(plain.vcd().is_none());
+}
+
+/// Table 1: two logical channels merged onto one physical channel; the
+/// receiving-end register preserves the early transfer.
+fn table1_design() -> (TaskGraph, Vec<TaskId>) {
+    let mut b = TaskGraphBuilder::new("table1");
+    let t1 = b.task("Task1", Program::empty());
+    let t4 = b.task("Task4", Program::empty());
+    let t2 = b.task("Task2", Program::empty());
+    let t3 = b.task("Task3", Program::empty());
+    let c1 = b.channel("c1", 16, t1, t2);
+    let c4 = b.channel("c4", 16, t4, t3);
+    let mut graph = b.finish().unwrap();
+    // Task 1 sends 10 at step 1; Task 4 sends 102 at step 2; Task 2 reads
+    // c1 at step 3 (Table 1's schedule).
+    graph.task_mut(t1).set_program(Program::build(|p| {
+        p.send(c1, Expr::lit(10));
+    }));
+    graph.task_mut(t4).set_program(Program::build(|p| {
+        p.compute(1); // arrive one step later
+        p.send(c4, Expr::lit(102));
+    }));
+    graph.task_mut(t2).set_program(Program::build(|p| {
+        // Consume well after Task 4's transfer has landed on the shared
+        // route (Table 1 reads at a later time step; the arbitration
+        // protocol adds a few cycles on top).
+        p.compute(8);
+        let x = p.recv(c1);
+        // Park the received value in segment-free space: store to a var
+        // only; the test reads task stats instead. Keep x alive.
+        p.set(x, Expr::var(x));
+    }));
+    (graph, vec![t1, t4, t2, t3])
+}
+
+#[test]
+fn table1_receiver_registers_preserve_the_early_transfer() {
+    let (graph, ids) = table1_design();
+    let board = presets::duo_small();
+    // Writers on PE0, readers on PE1: both channels cross and merge onto
+    // the single 16-bit physical channel.
+    let place = |t: TaskId| {
+        rcarb_board::board::PeId::new(u32::from(t == ids[2] || t == ids[3]))
+    };
+    let merges = plan_merges(&graph, &board, &place).unwrap();
+    assert_eq!(merges.merges().len(), 1);
+    assert!(merges.merges()[0].needs_arbiter());
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+    assert_eq!(plan.arbiter_sizes(), vec![2]);
+
+    // Correct construction: clean run (Task 2 receives and terminates).
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let ok = sys.run(1000);
+    assert!(ok.clean(), "violations: {:?}", ok.violations);
+
+    // Naive source-side register: Task 4's later transfer can overwrite
+    // c1's value before Task 2 consumes it; Task 2 then blocks forever on
+    // data that no longer exists.
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .with_register_placement(RegisterPlacement::Source)
+        .build(&board);
+    let bad = sys.run(1000);
+    assert!(
+        !bad.completed,
+        "source-register construction should lose the transfer"
+    );
+}

@@ -1,0 +1,156 @@
+//! Fluent construction of validated taskgraphs.
+
+use crate::channel::Channel;
+use crate::graph::TaskGraph;
+use crate::id::{ChannelId, SegmentId, TaskId};
+use crate::program::Program;
+use crate::segment::MemorySegment;
+use crate::task::Task;
+use crate::validate::{self, ValidateError};
+
+/// Builds a [`TaskGraph`] incrementally and validates it on
+/// [`finish`](TaskGraphBuilder::finish).
+///
+/// ```
+/// use rcarb_taskgraph::builder::TaskGraphBuilder;
+/// use rcarb_taskgraph::program::{Expr, Program};
+///
+/// # fn main() -> Result<(), rcarb_taskgraph::validate::ValidateError> {
+/// let mut b = TaskGraphBuilder::new("pair");
+/// let m = b.segment("M1", 256, 16);
+/// let t1 = b.task("T1", Program::build(|p| p.mem_write(m, Expr::lit(0), Expr::lit(7))));
+/// let t2 = b.task("T2", Program::build(|p| { let _ = p.mem_read(m, Expr::lit(0)); }));
+/// let c = b.channel("c1", 16, t1, t2);
+/// let graph = b.finish()?;
+/// assert_eq!(graph.channel(c).name(), "c1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TaskGraphBuilder {
+    name: String,
+    tasks: Vec<Task>,
+    segments: Vec<MemorySegment>,
+    channels: Vec<Channel>,
+    control_deps: Vec<(TaskId, TaskId)>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            segments: Vec::new(),
+            channels: Vec::new(),
+            control_deps: Vec::new(),
+        }
+    }
+
+    /// Declares a logical memory segment.
+    pub fn segment(&mut self, name: impl Into<String>, words: u32, width_bits: u32) -> SegmentId {
+        let id = SegmentId::new(self.segments.len() as u32);
+        self.segments
+            .push(MemorySegment::new(id, name, words, width_bits));
+        id
+    }
+
+    /// Declares a task with its behavioural program.
+    pub fn task(&mut self, name: impl Into<String>, program: Program) -> TaskId {
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, name, program));
+        id
+    }
+
+    /// Declares a task with a designer-provided area hint in CLBs.
+    pub fn task_with_area(
+        &mut self,
+        name: impl Into<String>,
+        program: Program,
+        area_clbs: u32,
+    ) -> TaskId {
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks
+            .push(Task::new(id, name, program).with_area_hint(area_clbs));
+        id
+    }
+
+    /// Declares a logical channel from `writer` to `reader`.
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        width_bits: u32,
+        writer: TaskId,
+        reader: TaskId,
+    ) -> ChannelId {
+        let id = ChannelId::new(self.channels.len() as u32);
+        self.channels
+            .push(Channel::new(id, name, width_bits, writer, reader));
+        id
+    }
+
+    /// Adds a control dependency: `after` starts only once `before` ends.
+    pub fn control_dep(&mut self, before: TaskId, after: TaskId) {
+        self.control_deps.push((before, after));
+    }
+
+    /// Validates and returns the finished graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] describing the first structural problem
+    /// found (dangling ids, duplicate names, cyclic control dependencies,
+    /// programs referencing undeclared segments or channels, channel ops on
+    /// the wrong endpoint).
+    pub fn finish(self) -> Result<TaskGraph, ValidateError> {
+        let graph = TaskGraph::from_parts(
+            self.name,
+            self.tasks,
+            self.segments,
+            self.channels,
+            self.control_deps,
+        );
+        validate::validate(&graph)?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Expr;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut b = TaskGraphBuilder::new("d");
+        let s0 = b.segment("A", 1, 1);
+        let s1 = b.segment("B", 1, 1);
+        assert_eq!(s0.index(), 0);
+        assert_eq!(s1.index(), 1);
+        let t0 = b.task("T", Program::empty());
+        assert_eq!(t0.index(), 0);
+    }
+
+    #[test]
+    fn finish_rejects_cycles() {
+        let mut b = TaskGraphBuilder::new("cyc");
+        let t0 = b.task("a", Program::empty());
+        let t1 = b.task("b", Program::empty());
+        b.control_dep(t0, t1);
+        b.control_dep(t1, t0);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn finish_accepts_valid_graph() {
+        let mut b = TaskGraphBuilder::new("ok");
+        let m = b.segment("M", 4, 8);
+        let t = b.task(
+            "T",
+            Program::build(|p| p.mem_write(m, Expr::lit(0), Expr::lit(1))),
+        );
+        let t2 = b.task("U", Program::empty());
+        b.channel("c", 8, t, t2);
+        assert!(b.finish().is_ok());
+    }
+}

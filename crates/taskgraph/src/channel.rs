@@ -1,0 +1,113 @@
+//! Logical inter-task channels.
+
+use crate::id::{ChannelId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical point-to-point channel between a writer task and a reader task.
+///
+/// Logical channels are what the designer declares; when the target board
+/// offers fewer physical channels (pins) than the design needs, the channel
+/// merging pass of `rcarb-core` folds several logical channels onto one
+/// physical channel, inserting receiving-end registers and source tri-states
+/// (the paper's Fig. 3 and Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    id: ChannelId,
+    name: String,
+    width_bits: u32,
+    writer: TaskId,
+    reader: TaskId,
+}
+
+impl Channel {
+    /// Creates a channel `width_bits` wide from `writer` to `reader`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero or `writer == reader` (a task does not
+    /// need a board-level channel to talk to itself).
+    pub fn new(
+        id: ChannelId,
+        name: impl Into<String>,
+        width_bits: u32,
+        writer: TaskId,
+        reader: TaskId,
+    ) -> Self {
+        assert!(width_bits > 0, "channel must be at least one bit wide");
+        assert_ne!(writer, reader, "channel endpoints must be distinct tasks");
+        Self {
+            id,
+            name: name.into(),
+            width_bits,
+            writer,
+            reader,
+        }
+    }
+
+    /// The channel identifier.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The designer-facing name (e.g. `"c1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Channel width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// The producing task.
+    pub fn writer(&self) -> TaskId {
+        self.writer
+    }
+
+    /// The consuming task.
+    pub fn reader(&self) -> TaskId {
+        self.reader
+    }
+
+    /// Returns true if `task` is one of the endpoints.
+    pub fn touches(&self, task: TaskId) -> bool {
+        self.writer == task || self.reader == task
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: {} -> {}, {}b)",
+            self.name, self.id, self.writer, self.reader, self.width_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_touch() {
+        let c = Channel::new(ChannelId::new(0), "c1", 8, TaskId::new(0), TaskId::new(1));
+        assert!(c.touches(TaskId::new(0)));
+        assert!(c.touches(TaskId::new(1)));
+        assert!(!c.touches(TaskId::new(2)));
+        assert_eq!(c.width_bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tasks")]
+    fn self_loop_rejected() {
+        let _ = Channel::new(ChannelId::new(0), "c1", 8, TaskId::new(0), TaskId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit wide")]
+    fn zero_width_rejected() {
+        let _ = Channel::new(ChannelId::new(0), "c1", 0, TaskId::new(0), TaskId::new(1));
+    }
+}

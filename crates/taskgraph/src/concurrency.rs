@@ -1,0 +1,195 @@
+//! Concurrency analysis over control dependencies.
+//!
+//! Two tasks *may run concurrently* iff neither reaches the other through
+//! control-dependency arcs. The arbitration pass uses this relation twice:
+//! to size arbiters (only concurrent accessors contend) and to elide
+//! arbiters entirely when every pair of accessors is ordered (the paper's
+//! Sec. 5 observation about the "F" and "g" task groups).
+
+use crate::graph::TaskGraph;
+use crate::id::TaskId;
+
+/// Precomputed pairwise may-run-concurrently relation.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyRelation {
+    n: usize,
+    /// Row-major boolean matrix: `ordered[a * n + b]` is true when control
+    /// dependencies order tasks `a` and `b` (either direction, or `a == b`).
+    ordered: Vec<bool>,
+}
+
+impl ConcurrencyRelation {
+    /// Computes the relation for a graph.
+    pub fn compute(graph: &TaskGraph) -> Self {
+        let n = graph.tasks().len();
+        let mut ordered = vec![false; n * n];
+        for a in 0..n {
+            let reach = graph.reachable_from(TaskId::new(a as u32));
+            ordered[a * n + a] = true;
+            for b in reach {
+                ordered[a * n + b.index()] = true;
+                ordered[b.index() * n + a] = true;
+            }
+        }
+        Self { n, ordered }
+    }
+
+    /// Number of tasks the relation covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if the relation covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns true if `a` and `b` may execute at the same time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the graph the relation was computed
+    /// from.
+    pub fn may_run_concurrently(&self, a: TaskId, b: TaskId) -> bool {
+        assert!(a.index() < self.n && b.index() < self.n, "task id out of range");
+        !self.ordered[a.index() * self.n + b.index()]
+    }
+
+    /// Partitions `tasks` into groups such that tasks in different groups
+    /// are ordered with respect to *every* task of the other group, while
+    /// tasks inside a group may contend. Groups are returned in id order of
+    /// their smallest member.
+    ///
+    /// The arbitration pass sizes one arbiter per group that has more than
+    /// one member.
+    pub fn contention_groups(&self, tasks: &[TaskId]) -> Vec<Vec<TaskId>> {
+        let mut groups: Vec<Vec<TaskId>> = Vec::new();
+        let mut sorted: Vec<TaskId> = tasks.to_vec();
+        sorted.sort();
+        for &t in &sorted {
+            // Union-find style: merge t into any group containing a task it
+            // may contend with.
+            let mut target: Option<usize> = None;
+            for (gi, g) in groups.iter().enumerate() {
+                if g.iter().any(|&o| self.may_run_concurrently(t, o)) {
+                    target = Some(gi);
+                    break;
+                }
+            }
+            match target {
+                Some(gi) => {
+                    groups[gi].push(t);
+                    // Merging may connect previously separate groups.
+                    let mut gi = gi;
+                    loop {
+                        let mut merged = false;
+                        for other in (0..groups.len()).rev() {
+                            if other == gi {
+                                continue;
+                            }
+                            let connects = groups[other].iter().any(|&o| {
+                                groups[gi].iter().any(|&x| self.may_run_concurrently(o, x))
+                            });
+                            if connects {
+                                let moved = groups.remove(other);
+                                if other < gi {
+                                    gi -= 1;
+                                }
+                                groups[gi].extend(moved);
+                                merged = true;
+                            }
+                        }
+                        if !merged {
+                            break;
+                        }
+                    }
+                }
+                None => groups.push(vec![t]),
+            }
+        }
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use crate::program::Program;
+
+    /// F1,F2 (parallel) -> g1,g2 (parallel): mirrors the paper's FFT shape.
+    fn two_phase() -> (TaskGraph, [TaskId; 4]) {
+        let mut b = TaskGraphBuilder::new("p");
+        let f1 = b.task("F1", Program::empty());
+        let f2 = b.task("F2", Program::empty());
+        let g1 = b.task("g1", Program::empty());
+        let g2 = b.task("g2", Program::empty());
+        b.control_dep(f1, g1);
+        b.control_dep(f1, g2);
+        b.control_dep(f2, g1);
+        b.control_dep(f2, g2);
+        (b.finish().unwrap(), [f1, f2, g1, g2])
+    }
+
+    #[test]
+    fn phases_are_ordered_siblings_are_not() {
+        let (g, [f1, f2, g1, g2]) = two_phase();
+        let rel = ConcurrencyRelation::compute(&g);
+        assert!(rel.may_run_concurrently(f1, f2));
+        assert!(rel.may_run_concurrently(g1, g2));
+        assert!(!rel.may_run_concurrently(f1, g1));
+        assert!(!rel.may_run_concurrently(f2, g2));
+        assert!(!rel.may_run_concurrently(f1, f1));
+    }
+
+    #[test]
+    fn contention_groups_split_phases() {
+        let (g, [f1, f2, g1, g2]) = two_phase();
+        let rel = ConcurrencyRelation::compute(&g);
+        let groups = rel.contention_groups(&[f1, f2, g1, g2]);
+        assert_eq!(groups, vec![vec![f1, f2], vec![g1, g2]]);
+    }
+
+    #[test]
+    fn contention_groups_chain_is_all_singletons() {
+        let mut b = TaskGraphBuilder::new("chain");
+        let a = b.task("a", Program::empty());
+        let t_b = b.task("b", Program::empty());
+        let c = b.task("c", Program::empty());
+        b.control_dep(a, t_b);
+        b.control_dep(t_b, c);
+        let g = b.finish().unwrap();
+        let rel = ConcurrencyRelation::compute(&g);
+        let groups = rel.contention_groups(&[a, t_b, c]);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn contention_groups_merge_transitively() {
+        // a || b, b || c, but a -> c: the group must still merge all three
+        // because b bridges them.
+        let mut bld = TaskGraphBuilder::new("bridge");
+        let a = bld.task("a", Program::empty());
+        let b = bld.task("b", Program::empty());
+        let c = bld.task("c", Program::empty());
+        bld.control_dep(a, c);
+        let g = bld.finish().unwrap();
+        let rel = ConcurrencyRelation::compute(&g);
+        let groups = rel.contention_groups(&[a, b, c]);
+        assert_eq!(groups, vec![vec![a, b, c]]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let b = TaskGraphBuilder::new("empty");
+        let g = b.finish().unwrap();
+        let rel = ConcurrencyRelation::compute(&g);
+        assert!(rel.is_empty());
+        assert_eq!(rel.contention_groups(&[]).len(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed identifiers for taskgraph objects.
+//!
+//! Newtypes keep task, segment, channel and variable indices statically
+//! distinct (the paper's objects live in different namespaces, and mixing
+//! them up is the classic source of binding bugs in partitioning code).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a [`crate::task::Task`] within one [`crate::graph::TaskGraph`].
+    TaskId,
+    "T"
+);
+define_id!(
+    /// Identifies a logical [`crate::segment::MemorySegment`].
+    SegmentId,
+    "M"
+);
+define_id!(
+    /// Identifies a logical [`crate::channel::Channel`].
+    ChannelId,
+    "c"
+);
+define_id!(
+    /// Identifies a task-local variable inside a [`crate::program::Program`].
+    VarId,
+    "v"
+);
+define_id!(
+    /// Identifies an arbiter instance created by the arbitration-insertion
+    /// pass (`rcarb-core`). Programs authored by hand never reference one.
+    ArbiterId,
+    "Arb"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_paper_prefixes() {
+        assert_eq!(TaskId::new(1).to_string(), "T1");
+        assert_eq!(SegmentId::new(3).to_string(), "M3");
+        assert_eq!(ChannelId::new(4).to_string(), "c4");
+        assert_eq!(ArbiterId::new(6).to_string(), "Arb6");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TaskId::new(0) < TaskId::new(1));
+        assert_eq!(TaskId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property: TaskId and SegmentId are different types.
+        fn takes_task(_: TaskId) {}
+        takes_task(TaskId::new(0));
+        let _seg = SegmentId::new(0);
+    }
+}

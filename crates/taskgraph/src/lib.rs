@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! USM-style taskgraph model for reconfigurable-computing synthesis.
+//!
+//! This crate implements the design representation assumed by Ouaiss &
+//! Vemuri (DATE 2000): a *taskgraph* whose nodes are **tasks** (synthesizable
+//! elements of computation) and **memory segments** (elements of data
+//! storage), connected by **channels** (inter-task communication) and
+//! task-to-memory access edges. Dashed control-dependency arcs order task
+//! execution; tasks without an ordering relation execute concurrently.
+//!
+//! Each task carries a small behavioural program ([`program::Program`]) made
+//! of typed micro-operations: memory reads/writes, channel sends/receives,
+//! pure compute delays, loops and conditionals. The arbitration pass of the
+//! `rcarb-core` crate rewrites these programs to speak the Request/Grant
+//! protocol (the paper's Fig. 8), which is why the IR also contains
+//! [`program::Op::ReqAssert`] / [`program::Op::AwaitGrant`] /
+//! [`program::Op::ReqDeassert`] operations referencing an [`id::ArbiterId`].
+//! Hand-written designs normally never contain those ops.
+//!
+//! # Example
+//!
+//! ```
+//! use rcarb_taskgraph::builder::TaskGraphBuilder;
+//! use rcarb_taskgraph::program::{Expr, Program};
+//!
+//! # fn main() -> Result<(), rcarb_taskgraph::validate::ValidateError> {
+//! let mut b = TaskGraphBuilder::new("demo");
+//! let m1 = b.segment("M1", 1024, 16);
+//! let t1 = b.task(
+//!     "T1",
+//!     Program::build(|p| {
+//!         p.mem_write(m1, Expr::lit(0), Expr::lit(42));
+//!         p.compute(3);
+//!     }),
+//! );
+//! let t2 = b.task(
+//!     "T2",
+//!     Program::build(|p| {
+//!         let _v = p.mem_read(m1, Expr::lit(0));
+//!     }),
+//! );
+//! b.control_dep(t1, t2); // T2 starts only after T1 terminates
+//! let graph = b.finish()?;
+//! assert_eq!(graph.tasks().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod channel;
+pub mod concurrency;
+pub mod graph;
+pub mod id;
+pub mod program;
+pub mod segment;
+pub mod task;
+pub mod validate;
+
+pub use builder::TaskGraphBuilder;
+pub use channel::Channel;
+pub use graph::TaskGraph;
+pub use id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
+pub use program::{Expr, Op, Program};
+pub use segment::MemorySegment;
+pub use task::Task;

@@ -1,0 +1,694 @@
+//! Behavioural task programs: a small typed micro-operation IR.
+//!
+//! The arbitration mechanism only needs to observe *resource accesses*
+//! (memory reads/writes and channel transfers), so the IR models exactly
+//! those plus enough control flow (loops, conditionals, compute delays) to
+//! express data-dominated kernels like the paper's FFT tasks. The
+//! arbitration-insertion pass rewrites programs by wrapping accesses in the
+//! Request/Grant protocol ops (the paper's Fig. 8).
+
+use crate::id::{ArbiterId, ChannelId, SegmentId, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A binary operator usable inside [`Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to two 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Xor => a ^ b,
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+        }
+    }
+}
+
+/// A side-effect-free expression over task-local variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(u64),
+    /// The current value of a task-local variable.
+    Var(VarId),
+    /// A binary operation on two sub-expressions.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a literal constant.
+    pub fn lit(value: u64) -> Self {
+        Expr::Lit(value)
+    }
+
+    /// Shorthand for a variable reference.
+    pub fn var(id: VarId) -> Self {
+        Expr::Var(id)
+    }
+
+    /// Builds `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Shorthand for `lhs + rhs` (wrapping).
+    #[allow(clippy::should_implement_trait)] // static constructor, not an operator
+    pub fn add(lhs: Expr, rhs: Expr) -> Self {
+        Expr::bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// Evaluates the expression against a variable store.
+    ///
+    /// Variables outside the store evaluate to 0, mirroring registers that
+    /// power up cleared.
+    pub fn eval(&self, vars: &[u64]) -> u64 {
+        match self {
+            Expr::Lit(v) => *v,
+            Expr::Var(id) => vars.get(id.index()).copied().unwrap_or(0),
+            Expr::Bin(op, a, b) => op.apply(a.eval(vars), b.eval(vars)),
+        }
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(id) => {
+                out.insert(*id);
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// One micro-operation of a task program.
+///
+/// Every non-control op takes exactly one clock cycle to issue in the
+/// cycle-accurate simulator (`rcarb-sim`); `Compute` takes `cycles` cycles.
+/// `AwaitGrant` blocks for zero or more cycles until the arbiter grant is
+/// observed, which is how the paper's "two extra clock cycles per arbitered
+/// access" accounting arises (one for `ReqAssert`, one for `ReqDeassert`,
+/// zero for an immediately satisfied `AwaitGrant`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `dst := value`.
+    Set {
+        /// Destination variable.
+        dst: VarId,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Pure computation consuming `cycles` clock cycles.
+    Compute {
+        /// Number of cycles the computation occupies.
+        cycles: u32,
+    },
+    /// `dst := segment[addr]`.
+    MemRead {
+        /// Segment being read.
+        segment: SegmentId,
+        /// Word address.
+        addr: Expr,
+        /// Destination variable.
+        dst: VarId,
+    },
+    /// `segment[addr] := value`.
+    MemWrite {
+        /// Segment being written.
+        segment: SegmentId,
+        /// Word address.
+        addr: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Drive `value` onto a channel (registered at the receiving end).
+    Send {
+        /// Channel being written.
+        channel: ChannelId,
+        /// Value transferred.
+        value: Expr,
+    },
+    /// `dst :=` last value latched from a channel.
+    Recv {
+        /// Channel being read.
+        channel: ChannelId,
+        /// Destination variable.
+        dst: VarId,
+    },
+    /// Execute `body` exactly `times` times.
+    Repeat {
+        /// Iteration count (static, as in data-dominated kernels).
+        times: u32,
+        /// Loop body.
+        body: Vec<Op>,
+    },
+    /// Execute `then_ops` if `cond != 0`, else `else_ops`.
+    IfNonZero {
+        /// Condition expression.
+        cond: Expr,
+        /// Taken branch.
+        then_ops: Vec<Op>,
+        /// Fallthrough branch.
+        else_ops: Vec<Op>,
+    },
+    /// Assert the Request line of an arbiter (inserted by `rcarb-core`).
+    ReqAssert {
+        /// Arbiter guarding the shared resource.
+        arbiter: ArbiterId,
+    },
+    /// Block until the arbiter's Grant line is observed asserted.
+    AwaitGrant {
+        /// Arbiter guarding the shared resource.
+        arbiter: ArbiterId,
+    },
+    /// Deassert the Request line, releasing the shared resource.
+    ReqDeassert {
+        /// Arbiter guarding the shared resource.
+        arbiter: ArbiterId,
+    },
+}
+
+/// Static access counts of a program (loop bodies multiplied out; both
+/// branches of a conditional counted at the maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// Memory read issues.
+    pub mem_reads: u64,
+    /// Memory write issues.
+    pub mem_writes: u64,
+    /// Channel send issues.
+    pub sends: u64,
+    /// Channel receive issues.
+    pub recvs: u64,
+    /// Cycles spent in `Compute` ops.
+    pub compute_cycles: u64,
+    /// All other single-cycle ops (`Set`, protocol ops).
+    pub other_ops: u64,
+}
+
+impl AccessCounts {
+    /// A straight-line cycle estimate: every access and bookkeeping op costs
+    /// one cycle, plus the compute cycles.
+    pub fn estimated_cycles(&self) -> u64 {
+        self.mem_reads
+            + self.mem_writes
+            + self.sends
+            + self.recvs
+            + self.compute_cycles
+            + self.other_ops
+    }
+}
+
+/// A task's behavioural program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Program {
+    ops: Vec<Op>,
+    num_vars: u32,
+}
+
+impl Program {
+    /// Creates a program from raw ops, inferring the variable count.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        let mut vars = BTreeSet::new();
+        collect_vars_ops(&ops, &mut vars);
+        let num_vars = vars.iter().map(|v| v.index() as u32 + 1).max().unwrap_or(0);
+        Self { ops, num_vars }
+    }
+
+    /// Builds a program with the fluent [`ProgramBuilder`] API.
+    ///
+    /// ```
+    /// use rcarb_taskgraph::program::{Expr, Program};
+    /// use rcarb_taskgraph::id::SegmentId;
+    ///
+    /// let seg = SegmentId::new(0);
+    /// let p = Program::build(|p| {
+    ///     let v = p.mem_read(seg, Expr::lit(4));
+    ///     p.mem_write(seg, Expr::lit(5), Expr::var(v));
+    /// });
+    /// assert_eq!(p.access_counts().mem_reads, 1);
+    /// ```
+    pub fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Self {
+        let mut b = ProgramBuilder::new();
+        f(&mut b);
+        b.finish()
+    }
+
+    /// The empty program.
+    pub fn empty() -> Self {
+        Self {
+            ops: Vec::new(),
+            num_vars: 0,
+        }
+    }
+
+    /// The top-level op sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of task-local variables (registers) the program uses.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// All memory segments the program reads or writes.
+    pub fn segments_accessed(&self) -> BTreeSet<SegmentId> {
+        let mut out = BTreeSet::new();
+        visit_ops(&self.ops, &mut |op| match op {
+            Op::MemRead { segment, .. } | Op::MemWrite { segment, .. } => {
+                out.insert(*segment);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// All channels the program sends on.
+    pub fn channels_written(&self) -> BTreeSet<ChannelId> {
+        let mut out = BTreeSet::new();
+        visit_ops(&self.ops, &mut |op| {
+            if let Op::Send { channel, .. } = op {
+                out.insert(*channel);
+            }
+        });
+        out
+    }
+
+    /// All channels the program receives from.
+    pub fn channels_read(&self) -> BTreeSet<ChannelId> {
+        let mut out = BTreeSet::new();
+        visit_ops(&self.ops, &mut |op| {
+            if let Op::Recv { channel, .. } = op {
+                out.insert(*channel);
+            }
+        });
+        out
+    }
+
+    /// All arbiters referenced by protocol ops (empty before insertion).
+    pub fn arbiters_referenced(&self) -> BTreeSet<ArbiterId> {
+        let mut out = BTreeSet::new();
+        visit_ops(&self.ops, &mut |op| match op {
+            Op::ReqAssert { arbiter }
+            | Op::AwaitGrant { arbiter }
+            | Op::ReqDeassert { arbiter } => {
+                out.insert(*arbiter);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Static access counts with loop multipliers applied.
+    pub fn access_counts(&self) -> AccessCounts {
+        count_ops(&self.ops, 1)
+    }
+
+    /// Visits every op (including nested loop/branch bodies) in source order.
+    pub fn visit(&self, f: &mut impl FnMut(&Op)) {
+        visit_ops(&self.ops, f);
+    }
+}
+
+fn visit_ops(ops: &[Op], f: &mut impl FnMut(&Op)) {
+    for op in ops {
+        f(op);
+        match op {
+            Op::Repeat { body, .. } => visit_ops(body, f),
+            Op::IfNonZero {
+                then_ops, else_ops, ..
+            } => {
+                visit_ops(then_ops, f);
+                visit_ops(else_ops, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_vars_ops(ops: &[Op], out: &mut BTreeSet<VarId>) {
+    visit_ops(ops, &mut |op| match op {
+        Op::Set { dst, value } => {
+            out.insert(*dst);
+            value.collect_vars(out);
+        }
+        Op::MemRead { addr, dst, .. } => {
+            out.insert(*dst);
+            addr.collect_vars(out);
+        }
+        Op::MemWrite { addr, value, .. } => {
+            addr.collect_vars(out);
+            value.collect_vars(out);
+        }
+        Op::Send { value, .. } => value.collect_vars(out),
+        Op::Recv { dst, .. } => {
+            out.insert(*dst);
+        }
+        Op::IfNonZero { cond, .. } => cond.collect_vars(out),
+        _ => {}
+    });
+}
+
+fn count_ops(ops: &[Op], mult: u64) -> AccessCounts {
+    let mut c = AccessCounts::default();
+    for op in ops {
+        match op {
+            Op::MemRead { .. } => c.mem_reads += mult,
+            Op::MemWrite { .. } => c.mem_writes += mult,
+            Op::Send { .. } => c.sends += mult,
+            Op::Recv { .. } => c.recvs += mult,
+            Op::Compute { cycles } => c.compute_cycles += mult * u64::from(*cycles),
+            Op::Repeat { times, body } => {
+                let inner = count_ops(body, mult * u64::from(*times));
+                c = c.merge(inner);
+                // The loop header itself is free in our model.
+            }
+            Op::IfNonZero {
+                then_ops, else_ops, ..
+            } => {
+                let a = count_ops(then_ops, mult);
+                let b = count_ops(else_ops, mult);
+                c = c.merge(a.max_branch(b));
+                c.other_ops += mult; // the condition evaluation cycle
+            }
+            Op::Set { .. } | Op::ReqAssert { .. } | Op::ReqDeassert { .. } => {
+                c.other_ops += mult;
+            }
+            // AwaitGrant costs zero cycles when uncontended; count nothing
+            // statically (dynamic wait is measured by the simulator).
+            Op::AwaitGrant { .. } => {}
+        }
+    }
+    c
+}
+
+impl AccessCounts {
+    fn merge(mut self, other: AccessCounts) -> AccessCounts {
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.sends += other.sends;
+        self.recvs += other.recvs;
+        self.compute_cycles += other.compute_cycles;
+        self.other_ops += other.other_ops;
+        self
+    }
+
+    fn max_branch(self, other: AccessCounts) -> AccessCounts {
+        if self.estimated_cycles() >= other.estimated_cycles() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Fluent builder used by [`Program::build`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_var: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh task-local variable (initially 0).
+    pub fn var(&mut self) -> VarId {
+        let id = VarId::new(self.next_var);
+        self.next_var += 1;
+        id
+    }
+
+    /// Emits `dst := value`.
+    pub fn set(&mut self, dst: VarId, value: Expr) {
+        self.ops.push(Op::Set { dst, value });
+    }
+
+    /// Allocates a variable and initializes it to `value`.
+    pub fn let_(&mut self, value: Expr) -> VarId {
+        let v = self.var();
+        self.set(v, value);
+        v
+    }
+
+    /// Emits a pure compute delay.
+    pub fn compute(&mut self, cycles: u32) {
+        self.ops.push(Op::Compute { cycles });
+    }
+
+    /// Emits a memory read into a fresh variable, returning the variable.
+    pub fn mem_read(&mut self, segment: SegmentId, addr: Expr) -> VarId {
+        let dst = self.var();
+        self.ops.push(Op::MemRead { segment, addr, dst });
+        dst
+    }
+
+    /// Emits a memory read into an existing variable.
+    pub fn mem_read_into(&mut self, dst: VarId, segment: SegmentId, addr: Expr) {
+        self.ops.push(Op::MemRead { segment, addr, dst });
+    }
+
+    /// Emits a memory write.
+    pub fn mem_write(&mut self, segment: SegmentId, addr: Expr, value: Expr) {
+        self.ops.push(Op::MemWrite {
+            segment,
+            addr,
+            value,
+        });
+    }
+
+    /// Emits a channel send.
+    pub fn send(&mut self, channel: ChannelId, value: Expr) {
+        self.ops.push(Op::Send { channel, value });
+    }
+
+    /// Emits a channel receive into a fresh variable, returning the variable.
+    pub fn recv(&mut self, channel: ChannelId) -> VarId {
+        let dst = self.var();
+        self.ops.push(Op::Recv { channel, dst });
+        dst
+    }
+
+    /// Emits a counted loop whose body is built by `f`.
+    pub fn repeat(&mut self, times: u32, f: impl FnOnce(&mut ProgramBuilder)) {
+        let mut inner = ProgramBuilder {
+            ops: Vec::new(),
+            next_var: self.next_var,
+        };
+        f(&mut inner);
+        self.next_var = inner.next_var;
+        self.ops.push(Op::Repeat {
+            times,
+            body: inner.ops,
+        });
+    }
+
+    /// Emits an if/else whose branches are built by `then_f` / `else_f`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut ProgramBuilder),
+        else_f: impl FnOnce(&mut ProgramBuilder),
+    ) {
+        let mut t = ProgramBuilder {
+            ops: Vec::new(),
+            next_var: self.next_var,
+        };
+        then_f(&mut t);
+        let mut e = ProgramBuilder {
+            ops: Vec::new(),
+            next_var: t.next_var,
+        };
+        else_f(&mut e);
+        self.next_var = e.next_var;
+        self.ops.push(Op::IfNonZero {
+            cond,
+            then_ops: t.ops,
+            else_ops: e.ops,
+        });
+    }
+
+    /// Emits a raw op (used by the arbitration-insertion pass).
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Finalizes the program.
+    pub fn finish(self) -> Program {
+        let num_inferred = {
+            let mut vars = BTreeSet::new();
+            collect_vars_ops(&self.ops, &mut vars);
+            vars.iter().map(|v| v.index() as u32 + 1).max().unwrap_or(0)
+        };
+        Program {
+            ops: self.ops,
+            num_vars: self.next_var.max(num_inferred),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: u32) -> SegmentId {
+        SegmentId::new(i)
+    }
+
+    #[test]
+    fn expr_eval_arithmetic() {
+        let vars = vec![7, 3];
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::add(Expr::var(VarId::new(0)), Expr::lit(1)),
+            Expr::var(VarId::new(1)),
+        );
+        assert_eq!(e.eval(&vars), 24);
+    }
+
+    #[test]
+    fn expr_eval_missing_var_is_zero() {
+        assert_eq!(Expr::var(VarId::new(9)).eval(&[]), 0);
+    }
+
+    #[test]
+    fn expr_eval_wrapping() {
+        let e = Expr::add(Expr::lit(u64::MAX), Expr::lit(2));
+        assert_eq!(e.eval(&[]), 1);
+    }
+
+    #[test]
+    fn binop_apply_all() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(BinOp::Mul.apply(4, 4), 16);
+        assert_eq!(BinOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.apply(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn builder_allocates_distinct_vars() {
+        let p = Program::build(|p| {
+            let a = p.mem_read(seg(0), Expr::lit(0));
+            let b = p.mem_read(seg(0), Expr::lit(1));
+            assert_ne!(a, b);
+            p.mem_write(seg(1), Expr::lit(0), Expr::add(Expr::var(a), Expr::var(b)));
+        });
+        assert_eq!(p.num_vars(), 2);
+    }
+
+    #[test]
+    fn access_counts_multiply_loops() {
+        let p = Program::build(|p| {
+            p.repeat(4, |p| {
+                let v = p.mem_read(seg(0), Expr::lit(0));
+                p.repeat(2, |p| {
+                    p.mem_write(seg(1), Expr::lit(0), Expr::var(v));
+                });
+            });
+            p.compute(10);
+        });
+        let c = p.access_counts();
+        assert_eq!(c.mem_reads, 4);
+        assert_eq!(c.mem_writes, 8);
+        assert_eq!(c.compute_cycles, 10);
+        assert_eq!(c.estimated_cycles(), 4 + 8 + 10);
+    }
+
+    #[test]
+    fn access_counts_take_worst_branch() {
+        let p = Program::build(|p| {
+            let v = p.let_(Expr::lit(1));
+            p.if_else(
+                Expr::var(v),
+                |p| {
+                    p.compute(100);
+                },
+                |p| {
+                    p.compute(1);
+                },
+            );
+        });
+        let c = p.access_counts();
+        assert_eq!(c.compute_cycles, 100);
+    }
+
+    #[test]
+    fn segments_and_channels_collected() {
+        let ch = ChannelId::new(3);
+        let p = Program::build(|p| {
+            let v = p.mem_read(seg(0), Expr::lit(0));
+            p.send(ch, Expr::var(v));
+            p.repeat(2, |p| {
+                p.mem_write(seg(5), Expr::lit(1), Expr::lit(9));
+            });
+        });
+        assert!(p.segments_accessed().contains(&seg(0)));
+        assert!(p.segments_accessed().contains(&seg(5)));
+        assert!(p.channels_written().contains(&ch));
+        assert!(p.channels_read().is_empty());
+    }
+
+    #[test]
+    fn arbiters_empty_before_insertion() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(1));
+        });
+        assert!(p.arbiters_referenced().is_empty());
+    }
+
+    #[test]
+    fn from_ops_infers_var_count() {
+        let ops = vec![Op::Set {
+            dst: VarId::new(4),
+            value: Expr::lit(1),
+        }];
+        let p = Program::from_ops(ops);
+        assert_eq!(p.num_vars(), 5);
+    }
+
+    #[test]
+    fn visit_reaches_nested_ops() {
+        let p = Program::build(|p| {
+            p.repeat(2, |p| {
+                p.if_else(
+                    Expr::lit(1),
+                    |p| p.compute(1),
+                    |p| p.compute(2),
+                );
+            });
+        });
+        let mut computes = 0;
+        p.visit(&mut |op| {
+            if matches!(op, Op::Compute { .. }) {
+                computes += 1;
+            }
+        });
+        assert_eq!(computes, 2);
+    }
+}

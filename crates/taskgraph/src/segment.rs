@@ -1,0 +1,136 @@
+//! Logical memory segments (the paper's "elements of data storage").
+
+use crate::id::SegmentId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical data segment declared by the design.
+///
+/// Logical segments are unconstrained by the target board; the memory-mapping
+/// pass of `rcarb-core` later binds them onto physical banks, inserting
+/// arbiters when several segments with concurrent accessors share one bank
+/// (the paper's Sec. 1.1 / Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemorySegment {
+    id: SegmentId,
+    name: String,
+    words: u32,
+    width_bits: u32,
+}
+
+impl MemorySegment {
+    /// Creates a segment of `words` entries, each `width_bits` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `width_bits` is zero — a zero-sized segment can
+    /// never be bound to a physical bank.
+    pub fn new(id: SegmentId, name: impl Into<String>, words: u32, width_bits: u32) -> Self {
+        assert!(words > 0, "segment must contain at least one word");
+        assert!(width_bits > 0, "segment words must be at least one bit wide");
+        Self {
+            id,
+            name: name.into(),
+            words,
+            width_bits,
+        }
+    }
+
+    /// The segment identifier.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// The designer-facing name (e.g. `"ML1"` in the paper's FFT example).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Width of each word in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Total storage footprint in bits.
+    pub fn size_bits(&self) -> u64 {
+        u64::from(self.words) * u64::from(self.width_bits)
+    }
+
+    /// Total storage footprint in bytes, rounded up.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// Number of address lines needed to index this segment.
+    pub fn addr_bits(&self) -> u32 {
+        if self.words <= 1 {
+            1
+        } else {
+            32 - (self.words - 1).leading_zeros()
+        }
+    }
+}
+
+impl fmt::Display for MemorySegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}: {}x{}b)",
+            self.name, self.id, self.words, self.width_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(words: u32, width: u32) -> MemorySegment {
+        MemorySegment::new(SegmentId::new(0), "S", words, width)
+    }
+
+    #[test]
+    fn size_accounting() {
+        let s = seg(1024, 16);
+        assert_eq!(s.size_bits(), 16384);
+        assert_eq!(s.size_bytes(), 2048);
+    }
+
+    #[test]
+    fn size_bytes_rounds_up() {
+        let s = seg(3, 3); // 9 bits -> 2 bytes
+        assert_eq!(s.size_bytes(), 2);
+    }
+
+    #[test]
+    fn addr_bits_is_ceil_log2() {
+        assert_eq!(seg(1, 8).addr_bits(), 1);
+        assert_eq!(seg(2, 8).addr_bits(), 1);
+        assert_eq!(seg(3, 8).addr_bits(), 2);
+        assert_eq!(seg(1024, 8).addr_bits(), 10);
+        assert_eq!(seg(1025, 8).addr_bits(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_words_rejected() {
+        let _ = seg(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit wide")]
+    fn zero_width_rejected() {
+        let _ = seg(8, 0);
+    }
+
+    #[test]
+    fn display_includes_name_and_shape() {
+        let s = MemorySegment::new(SegmentId::new(2), "ML3", 64, 8);
+        assert_eq!(s.to_string(), "ML3 (M2: 64x8b)");
+    }
+}

@@ -1,0 +1,108 @@
+//! Tasks: the synthesizable elements of computation.
+
+use crate::id::TaskId;
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A task in the taskgraph.
+///
+/// Tasks model concurrently executing VHDL processes in the paper's USM
+/// specification: every task runs simultaneously unless ordered by a control
+/// dependency. Each task carries a behavioural [`Program`] and an optional
+/// designer-provided area hint used by the spatial partitioner before
+/// high-level synthesis estimates exist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    program: Program,
+    area_hint_clbs: Option<u32>,
+}
+
+impl Task {
+    /// Creates a task with the given behavioural program.
+    pub fn new(id: TaskId, name: impl Into<String>, program: Program) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            program,
+            area_hint_clbs: None,
+        }
+    }
+
+    /// Attaches a designer-provided area estimate in CLBs.
+    pub fn with_area_hint(mut self, clbs: u32) -> Self {
+        self.area_hint_clbs = Some(clbs);
+        self
+    }
+
+    /// The task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The designer-facing name (e.g. `"F1"`, `"g2r"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The behavioural program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Replaces the behavioural program (used by the arbitration pass).
+    pub fn set_program(&mut self, program: Program) {
+        self.program = program;
+    }
+
+    /// The designer-provided area estimate, if any.
+    pub fn area_hint_clbs(&self) -> Option<u32> {
+        self.area_hint_clbs
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Expr;
+    use crate::SegmentId;
+
+    #[test]
+    fn task_exposes_program_analysis() {
+        let seg = SegmentId::new(0);
+        let t = Task::new(
+            TaskId::new(0),
+            "F1",
+            Program::build(|p| {
+                p.mem_write(seg, Expr::lit(0), Expr::lit(1));
+            }),
+        );
+        assert!(t.program().segments_accessed().contains(&seg));
+        assert_eq!(t.name(), "F1");
+        assert_eq!(t.area_hint_clbs(), None);
+    }
+
+    #[test]
+    fn area_hint_round_trips() {
+        let t = Task::new(TaskId::new(1), "g1r", Program::empty()).with_area_hint(120);
+        assert_eq!(t.area_hint_clbs(), Some(120));
+    }
+
+    #[test]
+    fn set_program_replaces_behaviour() {
+        let seg = SegmentId::new(2);
+        let mut t = Task::new(TaskId::new(0), "T", Program::empty());
+        t.set_program(Program::build(|p| {
+            let _ = p.mem_read(seg, Expr::lit(0));
+        }));
+        assert_eq!(t.program().access_counts().mem_reads, 1);
+    }
+}

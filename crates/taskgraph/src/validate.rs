@@ -1,0 +1,316 @@
+//! Structural validation of taskgraphs.
+
+use crate::graph::TaskGraph;
+use crate::id::{ChannelId, SegmentId, TaskId};
+use crate::program::Op;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem found while validating a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Two objects of the same kind share a name.
+    DuplicateName {
+        /// Object kind ("task", "segment" or "channel").
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A control dependency references a task id outside the graph.
+    DanglingControlDep {
+        /// The offending id.
+        task: TaskId,
+    },
+    /// The control dependencies contain a cycle.
+    CyclicControlDeps,
+    /// A program accesses a segment that was never declared.
+    UnknownSegment {
+        /// The accessing task.
+        task: TaskId,
+        /// The undeclared segment.
+        segment: SegmentId,
+    },
+    /// A program uses a channel that was never declared.
+    UnknownChannel {
+        /// The accessing task.
+        task: TaskId,
+        /// The undeclared channel.
+        channel: ChannelId,
+    },
+    /// A task sends on a channel whose declared writer is another task.
+    WrongChannelWriter {
+        /// The sending task.
+        task: TaskId,
+        /// The channel.
+        channel: ChannelId,
+    },
+    /// A task receives from a channel whose declared reader is another task.
+    WrongChannelReader {
+        /// The receiving task.
+        task: TaskId,
+        /// The channel.
+        channel: ChannelId,
+    },
+    /// A channel endpoint references a task id outside the graph.
+    DanglingChannelEndpoint {
+        /// The channel.
+        channel: ChannelId,
+        /// The offending task id.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            ValidateError::DanglingControlDep { task } => {
+                write!(f, "control dependency references unknown task {task}")
+            }
+            ValidateError::CyclicControlDeps => {
+                write!(f, "control dependencies form a cycle")
+            }
+            ValidateError::UnknownSegment { task, segment } => {
+                write!(f, "task {task} accesses undeclared segment {segment}")
+            }
+            ValidateError::UnknownChannel { task, channel } => {
+                write!(f, "task {task} uses undeclared channel {channel}")
+            }
+            ValidateError::WrongChannelWriter { task, channel } => {
+                write!(f, "task {task} sends on channel {channel} it does not write")
+            }
+            ValidateError::WrongChannelReader { task, channel } => {
+                write!(
+                    f,
+                    "task {task} receives from channel {channel} it does not read"
+                )
+            }
+            ValidateError::DanglingChannelEndpoint { channel, task } => {
+                write!(f, "channel {channel} references unknown task {task}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Validates a graph, returning the first problem found.
+///
+/// # Errors
+///
+/// See the [`ValidateError`] variants for each condition checked.
+pub fn validate(graph: &TaskGraph) -> Result<(), ValidateError> {
+    check_unique_names(graph)?;
+    check_channel_endpoints(graph)?;
+    check_control_deps(graph)?;
+    check_programs(graph)?;
+    Ok(())
+}
+
+fn check_unique_names(graph: &TaskGraph) -> Result<(), ValidateError> {
+    let mut seen = BTreeSet::new();
+    for t in graph.tasks() {
+        if !seen.insert(t.name().to_owned()) {
+            return Err(ValidateError::DuplicateName {
+                kind: "task",
+                name: t.name().to_owned(),
+            });
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for s in graph.segments() {
+        if !seen.insert(s.name().to_owned()) {
+            return Err(ValidateError::DuplicateName {
+                kind: "segment",
+                name: s.name().to_owned(),
+            });
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for c in graph.channels() {
+        if !seen.insert(c.name().to_owned()) {
+            return Err(ValidateError::DuplicateName {
+                kind: "channel",
+                name: c.name().to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_channel_endpoints(graph: &TaskGraph) -> Result<(), ValidateError> {
+    let n = graph.tasks().len();
+    for c in graph.channels() {
+        for end in [c.writer(), c.reader()] {
+            if end.index() >= n {
+                return Err(ValidateError::DanglingChannelEndpoint {
+                    channel: c.id(),
+                    task: end,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_control_deps(graph: &TaskGraph) -> Result<(), ValidateError> {
+    let n = graph.tasks().len();
+    for (from, to) in graph.control_deps() {
+        for t in [*from, *to] {
+            if t.index() >= n {
+                return Err(ValidateError::DanglingControlDep { task: t });
+            }
+        }
+    }
+    if graph.topological_order().is_none() {
+        return Err(ValidateError::CyclicControlDeps);
+    }
+    Ok(())
+}
+
+fn check_programs(graph: &TaskGraph) -> Result<(), ValidateError> {
+    let num_segments = graph.segments().len();
+    let num_channels = graph.channels().len();
+    for task in graph.tasks() {
+        let mut problem = None;
+        task.program().visit(&mut |op| {
+            if problem.is_some() {
+                return;
+            }
+            match op {
+                Op::MemRead { segment, .. } | Op::MemWrite { segment, .. }
+                    if segment.index() >= num_segments =>
+                {
+                    problem = Some(ValidateError::UnknownSegment {
+                        task: task.id(),
+                        segment: *segment,
+                    });
+                }
+                Op::Send { channel, .. } => {
+                    if channel.index() >= num_channels {
+                        problem = Some(ValidateError::UnknownChannel {
+                            task: task.id(),
+                            channel: *channel,
+                        });
+                    } else if graph.channel(*channel).writer() != task.id() {
+                        problem = Some(ValidateError::WrongChannelWriter {
+                            task: task.id(),
+                            channel: *channel,
+                        });
+                    }
+                }
+                Op::Recv { channel, .. } => {
+                    if channel.index() >= num_channels {
+                        problem = Some(ValidateError::UnknownChannel {
+                            task: task.id(),
+                            channel: *channel,
+                        });
+                    } else if graph.channel(*channel).reader() != task.id() {
+                        problem = Some(ValidateError::WrongChannelReader {
+                            task: task.id(),
+                            channel: *channel,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        });
+        if let Some(p) = problem {
+            return Err(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use crate::program::{Expr, Program};
+
+    #[test]
+    fn duplicate_task_names_rejected() {
+        let mut b = TaskGraphBuilder::new("d");
+        b.task("same", Program::empty());
+        b.task("same", Program::empty());
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidateError::DuplicateName {
+                kind: "task",
+                name: "same".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_segment_names_rejected() {
+        let mut b = TaskGraphBuilder::new("d");
+        b.segment("M", 1, 1);
+        b.segment("M", 1, 1);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::DuplicateName { kind: "segment", .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_segment_access_rejected() {
+        let mut b = TaskGraphBuilder::new("d");
+        let ghost = crate::id::SegmentId::new(9);
+        b.task(
+            "T",
+            Program::build(|p| p.mem_write(ghost, Expr::lit(0), Expr::lit(0))),
+        );
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::UnknownSegment { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_channel_writer_rejected() {
+        let mut b = TaskGraphBuilder::new("d");
+        let t1 = b.task("w", Program::empty());
+        let t2 = b.task("r", Program::empty());
+        let c = b.channel("c", 8, t1, t2);
+        // t2 tries to send on a channel it only reads.
+        let mut b2 = TaskGraphBuilder::new("d2");
+        let t1b = b2.task("w", Program::empty());
+        let t2b = b2.task("r", Program::build(|p| p.send(c, Expr::lit(1))));
+        b2.channel("c", 8, t1b, t2b);
+        assert!(matches!(
+            b2.finish().unwrap_err(),
+            ValidateError::WrongChannelWriter { .. }
+        ));
+        // Original graph is fine.
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn wrong_channel_reader_rejected() {
+        let mut b = TaskGraphBuilder::new("d");
+        let t1 = b.task(
+            "w",
+            Program::build(|p| {
+                let _ = p.recv(crate::id::ChannelId::new(0));
+            }),
+        );
+        let t2 = b.task("r", Program::empty());
+        b.channel("c", 8, t1, t2);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::WrongChannelReader { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let e = ValidateError::CyclicControlDeps;
+        let msg = e.to_string();
+        assert!(msg.starts_with("control"));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the taskgraph model: structural invariants of
+//! graphs, programs and the concurrency relation, plus serde round-trips
+//! (the data model is the unit of design portability the paper argues
+//! for).
+
+use proptest::prelude::*;
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::concurrency::ConcurrencyRelation;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::TaskId;
+use rcarb_taskgraph::program::{BinOp, Expr, Program};
+
+/// A random DAG over `n` tasks: edges only point from lower to higher
+/// ids, so acyclicity is guaranteed and validation must accept.
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..=8).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0usize..n, 0usize..n), 0..=max_edges).prop_map(move |pairs| {
+            let mut b = TaskGraphBuilder::new("dag");
+            let seg = b.segment("M", 16, 8);
+            let ids: Vec<TaskId> = (0..n)
+                .map(|i| {
+                    b.task(
+                        format!("T{i}"),
+                        Program::build(|p| p.mem_write(seg, Expr::lit(0), Expr::lit(1))),
+                    )
+                })
+                .collect();
+            for (a, z) in pairs {
+                let (lo, hi) = (a.min(z), a.max(z));
+                if lo != hi {
+                    b.control_dep(ids[lo], ids[hi]);
+                }
+            }
+            b.finish().expect("forward edges cannot form a cycle")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Topological order exists and respects every dependency.
+    #[test]
+    fn topological_order_is_consistent(g in arb_dag()) {
+        let order = g.topological_order().expect("DAGs always sort");
+        prop_assert_eq!(order.len(), g.tasks().len());
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for (from, to) in g.control_deps() {
+            prop_assert!(pos(*from) < pos(*to));
+        }
+    }
+
+    /// The ordered/concurrent dichotomy: `are_ordered` is symmetric and
+    /// matches the concurrency relation's complement.
+    #[test]
+    fn concurrency_relation_complements_ordering(g in arb_dag()) {
+        let rel = ConcurrencyRelation::compute(&g);
+        let n = g.tasks().len();
+        for a in 0..n {
+            for b in 0..n {
+                let ta = TaskId::new(a as u32);
+                let tb = TaskId::new(b as u32);
+                prop_assert_eq!(g.are_ordered(ta, tb), g.are_ordered(tb, ta));
+                prop_assert_eq!(
+                    rel.may_run_concurrently(ta, tb),
+                    !g.are_ordered(ta, tb)
+                );
+            }
+        }
+    }
+
+    /// Contention groups partition the task set: every task appears in
+    /// exactly one group, and cross-group pairs are always ordered.
+    #[test]
+    fn contention_groups_partition(g in arb_dag()) {
+        let rel = ConcurrencyRelation::compute(&g);
+        let all: Vec<TaskId> = g.tasks().iter().map(|t| t.id()).collect();
+        let groups = rel.contention_groups(&all);
+        let mut seen = std::collections::BTreeSet::new();
+        for grp in &groups {
+            for &t in grp {
+                prop_assert!(seen.insert(t), "task {t} in two groups");
+            }
+        }
+        prop_assert_eq!(seen.len(), all.len());
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in ga {
+                    for &b in gb {
+                        prop_assert!(g.are_ordered(a, b), "{a} and {b} cross groups unordered");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Graphs survive a serde round-trip bit for bit — the portability
+    /// story: a design is plain data, independent of any board.
+    #[test]
+    fn taskgraph_serde_round_trips(g in arb_dag()) {
+        let json = serde_json::to_string(&g).expect("serializes");
+        let back: TaskGraph = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(g, back);
+    }
+
+    /// Expression evaluation is deterministic and total.
+    #[test]
+    fn expr_eval_is_total(
+        ops in proptest::collection::vec((0usize..6, 0u64..1000), 1..20),
+        vars in proptest::collection::vec(0u64..1000, 4),
+    ) {
+        // Build a left-deep expression tree.
+        let mut e = Expr::lit(1);
+        for (op, v) in ops {
+            let rhs = if v % 2 == 0 {
+                Expr::lit(v)
+            } else {
+                Expr::var(rcarb_taskgraph::id::VarId::new((v % 4) as u32))
+            };
+            let binop = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor, BinOp::And, BinOp::Or][op];
+            e = Expr::bin(binop, e, rhs);
+        }
+        let a = e.eval(&vars);
+        let b = e.eval(&vars);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Loop-aware access counts: wrapping a body in `repeat(k)` multiplies
+    /// every access count by exactly k.
+    #[test]
+    fn repeat_multiplies_access_counts(k in 1u32..50, writes in 1usize..10) {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let once = Program::build(|p| {
+            for i in 0..writes {
+                p.mem_write(seg, Expr::lit(i as u64), Expr::lit(1));
+            }
+        });
+        let looped = Program::build(|p| {
+            p.repeat(k, |p| {
+                for i in 0..writes {
+                    p.mem_write(seg, Expr::lit(i as u64), Expr::lit(1));
+                }
+            });
+        });
+        prop_assert_eq!(
+            looped.access_counts().mem_writes,
+            u64::from(k) * once.access_counts().mem_writes
+        );
+    }
+}
+
+#[test]
+fn dot_export_lists_every_object() {
+    let mut b = TaskGraphBuilder::new("fig10ish");
+    let seg = b.segment("ML1", 4, 16);
+    let f1 = b.task(
+        "F1",
+        Program::build(|p| p.mem_write(seg, Expr::lit(0), Expr::lit(1))),
+    );
+    let g1 = b.task("g1r", Program::empty());
+    b.channel("c1", 8, f1, g1);
+    b.control_dep(f1, g1);
+    let g = b.finish().unwrap();
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph \"fig10ish\" {"));
+    assert!(dot.contains("t0 [label=\"F1\", shape=box];"));
+    assert!(dot.contains("m0 [label=\"ML1\", shape=cylinder];"));
+    assert!(dot.contains("t0 -> m0;"));
+    assert!(dot.contains("t0 -> t1 [label=\"c1\"];"));
+    assert!(dot.contains("t0 -> t1 [style=dashed];"));
+    assert!(dot.trim_end().ends_with('}'));
+}

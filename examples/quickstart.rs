@@ -1,0 +1,61 @@
+//! Quickstart: generate a round-robin arbiter, inspect its VHDL, and
+//! pre-characterize it for a Xilinx XC4000E-3 the way the paper's
+//! partitioners do.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rcarb::arb::characterize::Characterization;
+use rcarb::arb::generator::{ArbiterGenerator, ArbiterSpec};
+use rcarb::board::device::SpeedGrade;
+use rcarb::logic::encode::EncodingStyle;
+use rcarb::logic::tools::ToolModel;
+
+fn main() {
+    // The paper's Sec. 5 example inserts a 6-input arbiter for the FFT's
+    // shared ML memory bank; generate that arbiter.
+    let spec = ArbiterSpec::round_robin(6).with_encoding(EncodingStyle::OneHot);
+    let arbiter = ArbiterGenerator::new().generate(&spec);
+
+    println!("Fig. 5 FSM: {} states (C1..C6, F1..F6)\n", arbiter.fsm().num_states());
+
+    // The generator emits synthesizable VHDL, exactly like the paper's
+    // tool; print its interface.
+    for line in arbiter.vhdl().lines().take(14) {
+        println!("{line}");
+    }
+    println!("  ... ({} more lines)\n", arbiter.vhdl().lines().count() - 14);
+
+    // Synthesize with both tool models.
+    for tool in [ToolModel::synplify(), ToolModel::fpga_express()] {
+        let report = arbiter.synthesize(&tool);
+        println!(
+            "{:<14} {:>3} CLBs, {:>3} FFs, {:>5.1} MHz ({} encoding)",
+            report.tool,
+            report.clbs(),
+            report.clb.ffs,
+            report.fmax_mhz(),
+            report.encoding_used
+        );
+    }
+
+    // The generator also exports to the open EDA ecosystem: KISS2 for
+    // SIS/ABC, BLIF for the mapped netlist.
+    let kiss2 = arbiter.kiss2().expect("round-robin has an FSM");
+    println!("\nKISS2 export (head):");
+    for line in kiss2.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Pre-characterization sweep: the table the partitioner consults
+    // (Sec. 4.3) — also the data behind Figs. 6 and 7.
+    println!("\nPre-characterization, N in [2, 10] (Synplify series):");
+    let table = Characterization::sweep_round_robin(2..=10, SpeedGrade::Minus3);
+    for row in table.series("synplify", EncodingStyle::OneHot) {
+        println!(
+            "  N={:<3} {:>3} CLBs  {:>5.1} MHz  ({} LUTs, {} FFs, {} levels)",
+            row.n, row.clbs, row.fmax_mhz, row.luts, row.ffs, row.levels
+        );
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # rcarb — resource arbitration for reconfigurable computing
+//!
+//! A from-scratch Rust reproduction of Ouaiss & Vemuri, *Efficient Resource
+//! Arbitration in Reconfigurable Computing Environments* (DATE 2000): the
+//! automatic arbitration mechanism of the SPARCS multi-FPGA synthesis system,
+//! together with every substrate it needs — a taskgraph design model, a
+//! reconfigurable-board architecture model, a small logic-synthesis pipeline
+//! (FSM encoding, SOP minimization, LUT mapping, CLB packing, static timing),
+//! a cycle-accurate 4-valued simulator, and temporal/spatial partitioners.
+//!
+//! This facade crate re-exports the public API of every workspace crate so a
+//! downstream user can depend on `rcarb` alone.
+//!
+//! ## Quickstart
+//!
+//! Generate a 6-input round-robin arbiter, characterize it for a Xilinx
+//! XC4000e-class device, and print its VHDL:
+//!
+//! ```
+//! use rcarb::arb::generator::{ArbiterGenerator, ArbiterSpec};
+//! use rcarb::logic::encode::EncodingStyle;
+//!
+//! # fn main() {
+//! let spec = ArbiterSpec::round_robin(6).with_encoding(EncodingStyle::OneHot);
+//! let arbiter = ArbiterGenerator::new().generate(&spec);
+//! assert_eq!(arbiter.fsm().num_states(), 12); // C1..C6 and F1..F6
+//! let vhdl = arbiter.vhdl();
+//! assert!(vhdl.contains("entity rr_arbiter_n6"));
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for end-to-end flows, including the paper's
+//! 4x4 2-D FFT design mapped onto the Annapolis Wildforce board.
+
+pub use rcarb_board as board;
+pub use rcarb_core as arb;
+pub use rcarb_fft as fft;
+pub use rcarb_logic as logic;
+pub use rcarb_partition as partition;
+pub use rcarb_sim as sim;
+pub use rcarb_taskgraph as taskgraph;

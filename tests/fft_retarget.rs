@@ -1,0 +1,68 @@
+//! The Sec. 6 portability claim as a test: the *same* FFT taskgraph flows
+//! onto a different architecture (and onto the Wildforce with a different
+//! utilization), the partitioning and arbitration come out different —
+//! and the computed transform is bit-identical everywhere.
+
+use rcarb::fft::flow::{run_fft_flow, run_fft_flow_on, simulate_block};
+use rcarb::fft::reference::{dft4x4, Complex};
+
+const TILE: [[i64; 4]; 4] = [
+    [13, 7, 211, 5],
+    [0, 99, 3, 250],
+    [42, 42, 42, 42],
+    [1, 2, 4, 8],
+];
+
+fn expected() -> [[Complex; 4]; 4] {
+    dft4x4(std::array::from_fn(|r| {
+        std::array::from_fn(|c| Complex::real(TILE[r][c]))
+    }))
+}
+
+#[test]
+fn quad_large_flows_into_fewer_partitions_same_answer() {
+    let paper = run_fft_flow().expect("wildforce flow");
+    let roomy = run_fft_flow_on(rcarb::board::presets::quad_large(), 0.9, false)
+        .expect("quad_large flow");
+    // A roomier budget collapses the schedule.
+    assert!(roomy.result.num_stages() < paper.result.num_stages());
+    assert_eq!(roomy.result.num_stages(), 1);
+    // All twelve tasks now contend for the plane bank at once: one wide
+    // arbiter instead of the staged 6/4/none.
+    let sizes = &roomy.result.arbiter_sizes()[0];
+    assert!(
+        sizes.contains(&12),
+        "expected a 12-input arbiter, got {sizes:?}"
+    );
+    // Same design, same answer.
+    assert_eq!(simulate_block(&roomy, TILE).output, expected());
+    assert_eq!(simulate_block(&paper, TILE).output, expected());
+}
+
+#[test]
+fn wildforce_with_loose_utilization_still_computes_the_fft() {
+    // Loosening the budget (0.46 -> 0.7) merges the paper's three
+    // partitions into two; the answer is unchanged.
+    let flow = run_fft_flow_on(rcarb::board::presets::wildforce(), 0.7, false)
+        .expect("two-stage wildforce flow");
+    assert_eq!(flow.result.num_stages(), 2);
+    assert_eq!(simulate_block(&flow, TILE).output, expected());
+}
+
+#[test]
+fn a_fully_loose_budget_is_refused_by_spatial_partitioning() {
+    // At utilization 1.0 the temporal stage holds 11 tasks (2140 CLBs),
+    // which genuinely cannot be packed into four 576-CLB devices with
+    // 220-CLB tasks: the flow reports instead of mis-packing.
+    let err = run_fft_flow_on(rcarb::board::presets::wildforce(), 1.0, false).unwrap_err();
+    assert!(matches!(
+        err,
+        rcarb::partition::flow::FlowError::Spatial(_)
+    ));
+}
+
+#[test]
+fn elision_does_not_change_the_numbers() {
+    let flow = rcarb::fft::flow::run_fft_flow_with(true).expect("elided flow");
+    assert_eq!(simulate_block(&flow, TILE).output, expected());
+}

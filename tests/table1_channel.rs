@@ -1,0 +1,133 @@
+//! Experiment E3: the paper's Table 1, through the public facade crate.
+//!
+//! Two logical channels (`c1`, `c4`) merge onto one physical channel
+//! `c1_4`; `Task1` transfers 10 before `Task4` transfers 102, and `Task2`
+//! must still consume the 10. This test drives the *entire* pipeline —
+//! merge planning, arbiter insertion, task transformation, cycle-accurate
+//! simulation — and checks the received value itself by parking it in a
+//! result segment.
+
+use rcarb::arb::channel::plan_merges;
+use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
+use rcarb::arb::memmap::bind_segments;
+use rcarb::board::board::PeId;
+use rcarb::board::presets;
+use rcarb::sim::channel::RegisterPlacement;
+use rcarb::sim::engine::SystemBuilder;
+use rcarb::taskgraph::builder::TaskGraphBuilder;
+use rcarb::taskgraph::id::TaskId;
+use rcarb::taskgraph::program::{Expr, Program};
+
+struct Fixture {
+    graph: rcarb::taskgraph::graph::TaskGraph,
+    result_seg: rcarb::taskgraph::id::SegmentId,
+    reader: TaskId,
+}
+
+fn fixture() -> Fixture {
+    let mut b = TaskGraphBuilder::new("table1");
+    // The result segment lives on the readers' side so it does not
+    // interact with the merged channel's arbitration.
+    let result_seg = b.segment("RESULT", 4, 16);
+    let t1 = b.task("Task1", Program::empty());
+    let t4 = b.task("Task4", Program::empty());
+    let t2 = b.task("Task2", Program::empty());
+    let t3 = b.task("Task3", Program::empty());
+    let c1 = b.channel("c1", 16, t1, t2);
+    let c4 = b.channel("c4", 16, t4, t3);
+    // The two readers share the RESULT segment; ordering them lets the
+    // dependency-aware elision skip a bank arbiter there, leaving the
+    // merged channel's arbiter as the only one (the Table 1 focus).
+    b.control_dep(t2, t3);
+    let mut graph = b.finish().expect("valid design");
+    // Table 1's schedule: step 1: c1 := 10; step 2: c4 := 102; step 3+:
+    // x := c1 (well after both transfers and the protocol latency).
+    graph
+        .task_mut(t1)
+        .set_program(Program::build(|p| p.send(c1, Expr::lit(10))));
+    graph.task_mut(t4).set_program(Program::build(|p| {
+        p.compute(1);
+        p.send(c4, Expr::lit(102));
+    }));
+    graph.task_mut(t2).set_program(Program::build(|p| {
+        p.compute(10);
+        let x = p.recv(c1);
+        p.mem_write(result_seg, Expr::lit(0), Expr::var(x));
+    }));
+    graph.task_mut(t3).set_program(Program::build(|p| {
+        p.compute(10);
+        let y = p.recv(c4);
+        p.mem_write(result_seg, Expr::lit(1), Expr::var(y));
+    }));
+    Fixture {
+        graph,
+        result_seg,
+        reader: t2,
+    }
+}
+
+fn place(t: TaskId) -> PeId {
+    // Writers (Task1, Task4) on PE0; readers (Task2, Task3) on PE1.
+    PeId::new(u32::from(t.index() >= 2))
+}
+
+#[test]
+fn table1_merged_channel_delivers_both_values() {
+    let f = fixture();
+    let board = presets::duo_small();
+    let merges = plan_merges(&f.graph, &board, &place).expect("single route");
+    assert_eq!(merges.merges().len(), 1, "c1 and c4 must share the route");
+    assert!(merges.merges()[0].needs_arbiter());
+    let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
+    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    assert_eq!(plan.arbiter_sizes(), vec![2]);
+
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let report = sys.run(10_000);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    // Task2 consumed 10 (not Task4's 102), Task3 consumed 102.
+    let result = sys.read_segment(f.result_seg, 2);
+    assert_eq!(result, vec![10, 102]);
+}
+
+#[test]
+fn table1_fails_with_source_side_register() {
+    let f = fixture();
+    let board = presets::duo_small();
+    let merges = plan_merges(&f.graph, &board, &place).expect("single route");
+    let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
+    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .with_register_placement(RegisterPlacement::Source)
+        .build(&board);
+    let report = sys.run(10_000);
+    // Task2 blocks forever on the overwritten transfer.
+    assert!(!report.completed);
+    let t2 = report.task(f.reader);
+    assert!(t2.finished_at.is_none());
+}
+
+#[test]
+fn table1_reader_latches_indefinitely() {
+    // "the value will remain indefinitely for Task 2 to consume
+    // regardless of when Task 4 writes" — delay the reader a long time.
+    let f = {
+        let mut f = fixture();
+        let c1 = f.graph.channel_by_name("c1").unwrap().id();
+        let seg = f.result_seg;
+        f.graph.task_mut(f.reader).set_program(Program::build(|p| {
+            p.compute(500);
+            let x = p.recv(c1);
+            p.mem_write(seg, Expr::lit(0), Expr::var(x));
+        }));
+        f
+    };
+    let board = presets::duo_small();
+    let merges = plan_merges(&f.graph, &board, &place).expect("single route");
+    let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
+    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let report = sys.run(10_000);
+    assert!(report.clean());
+    assert_eq!(sys.read_segment(f.result_seg, 1), vec![10]);
+}
