@@ -1,0 +1,237 @@
+//! Bus-contention analysis of arbiter FSMs.
+//!
+//! Enumerates the reachable states of a grant FSM and proves that no
+//! reachable transition asserts two grant outputs at once. A grant output
+//! enables the granted task's tri-state drivers on the shared address and
+//! data lines (Fig. 4a), so a double grant is a bus conflict; on purely
+//! OR-/AND-resolved control lines (Fig. 4b/c) an overlap is electrically
+//! survivable and reported as a warning instead. Independently, every
+//! granting transition must carry the grantee's request in its guard —
+//! granting a non-requester wedges the protocol, because the task is not
+//! waiting on its grant line.
+
+use crate::diag::{DiagCode, Diagnostic};
+use rcarb_core::line::{MemoryLinePlan, SharedLineKind};
+use rcarb_logic::fsm::Fsm;
+
+/// States reachable from reset by following transitions. Guards are
+/// cubes, hence always satisfiable by some input, so plain graph
+/// reachability is exact.
+pub fn reachable_states(fsm: &Fsm) -> Vec<bool> {
+    let n = fsm.num_states();
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut stack = vec![fsm.reset_state()];
+    seen[fsm.reset_state()] = true;
+    while let Some(s) = stack.pop() {
+        for t in fsm.transitions_from(s) {
+            if t.to < n && !seen[t.to] {
+                seen[t.to] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    seen
+}
+
+/// True when any of the bank's shared line groups tri-states.
+fn has_tristate(lines: &MemoryLinePlan) -> bool {
+    [lines.address, lines.data, lines.write_select].contains(&SharedLineKind::TriState)
+}
+
+/// Checks one grant FSM against the shared-line plan of the resource it
+/// guards. `name` labels the arbiter in diagnostics.
+pub fn check_grant_fsm(fsm: &Fsm, name: &str, lines: &MemoryLinePlan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let reachable = reachable_states(fsm);
+    let states = fsm.state_names();
+    let state_label = |i: usize| -> String {
+        states
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("<state {i}>"))
+    };
+    for t in fsm.transitions() {
+        if !reachable.get(t.from).copied().unwrap_or(false) {
+            continue;
+        }
+        let loc = format!("arbiter {name}, state {}", state_label(t.from));
+        let grants = t.outputs.count_ones();
+        if grants > 1 {
+            let which: Vec<String> = (0..64)
+                .filter(|&i| t.outputs >> i & 1 != 0)
+                .map(|i| format!("G{}", i + 1))
+                .collect();
+            if has_tristate(lines) {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::TriStateContention,
+                        loc.clone(),
+                        format!(
+                            "transition asserts {} simultaneously: both tasks would drive \
+                             the tri-stated address/data lines",
+                            which.join(" and ")
+                        ),
+                    )
+                    .with_help(
+                        "a round-robin arbiter grants at most one task per cycle; \
+                         regenerate the FSM",
+                    ),
+                );
+            } else {
+                out.push(Diagnostic::new(
+                    DiagCode::ResolvedLineOverlap,
+                    loc.clone(),
+                    format!(
+                        "transition asserts {} simultaneously onto resolved control lines",
+                        which.join(" and ")
+                    ),
+                ));
+            }
+        }
+        for i in 0..fsm.num_outputs().min(64) {
+            if t.outputs >> i & 1 != 0 && t.guard.lit(i) != Some(true) {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::GrantToNonRequester,
+                        loc.clone(),
+                        format!(
+                            "grant G{} is asserted without request R{} in the guard",
+                            i + 1,
+                            i + 1
+                        ),
+                    )
+                    .with_help("a task only samples its grant while requesting (Fig. 8)"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_core::rr::round_robin_fsm;
+    use rcarb_logic::cube::Cube;
+    use rcarb_logic::fsm::{Fsm, Transition};
+
+    #[test]
+    fn generated_round_robin_fsms_are_contention_free() {
+        for n in [1usize, 2, 3, 6] {
+            let fsm = round_robin_fsm(n);
+            let diags = check_grant_fsm(&fsm, &format!("Arb{n}"), &MemoryLinePlan::default());
+            assert!(diags.is_empty(), "n={n}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn every_state_of_the_fig5_fsm_is_reachable() {
+        let fsm = round_robin_fsm(4);
+        assert!(reachable_states(&fsm).iter().all(|&r| r));
+    }
+
+    /// A deliberately corrupted 2-input arbiter that grants both tasks
+    /// when both request — the exact hazard of Fig. 2.
+    fn double_granting_fsm() -> Fsm {
+        let mut fsm = Fsm::new("bad", 2, 2);
+        let s = fsm.add_state("F1");
+        fsm.set_reset(s);
+        let both = Cube::universe().with_lit(0, true).with_lit(1, true);
+        let r0 = Cube::universe().with_lit(0, true).with_lit(1, false);
+        let r1 = Cube::universe().with_lit(0, false).with_lit(1, true);
+        let none = Cube::universe().with_lit(0, false).with_lit(1, false);
+        fsm.add_transition(Transition {
+            from: s,
+            guard: both,
+            to: s,
+            outputs: 0b11,
+        });
+        fsm.add_transition(Transition {
+            from: s,
+            guard: r0,
+            to: s,
+            outputs: 0b01,
+        });
+        fsm.add_transition(Transition {
+            from: s,
+            guard: r1,
+            to: s,
+            outputs: 0b10,
+        });
+        fsm.add_transition(Transition {
+            from: s,
+            guard: none,
+            to: s,
+            outputs: 0,
+        });
+        fsm
+    }
+
+    #[test]
+    fn double_grant_on_tristate_lines_is_rca101() {
+        let diags = check_grant_fsm(
+            &double_granting_fsm(),
+            "Arb2",
+            &MemoryLinePlan::sram_write_high(),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::TriStateContention);
+        assert!(diags[0].message.contains("G1 and G2"));
+    }
+
+    #[test]
+    fn double_grant_on_resolved_lines_is_only_a_warning() {
+        let or_only = MemoryLinePlan {
+            address: SharedLineKind::ActiveHighOr,
+            data: SharedLineKind::ActiveHighOr,
+            write_select: SharedLineKind::ActiveLowAnd,
+        };
+        let diags = check_grant_fsm(&double_granting_fsm(), "Arb2", &or_only);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ResolvedLineOverlap);
+        assert!(!diags[0].is_error());
+    }
+
+    #[test]
+    fn granting_a_non_requester_is_rca103() {
+        let mut fsm = Fsm::new("bad", 1, 1);
+        let s = fsm.add_state("F1");
+        fsm.set_reset(s);
+        // Grants task 0 regardless of its request line.
+        fsm.add_transition(Transition {
+            from: s,
+            guard: Cube::universe(),
+            to: s,
+            outputs: 0b1,
+        });
+        let diags = check_grant_fsm(&fsm, "Arb1", &MemoryLinePlan::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::GrantToNonRequester);
+    }
+
+    #[test]
+    fn unreachable_double_grant_is_not_reported() {
+        // The bad state exists but nothing leads to it.
+        let mut fsm = Fsm::new("half-dead", 1, 2);
+        let ok = fsm.add_state("F1");
+        let dead = fsm.add_state("X");
+        fsm.set_reset(ok);
+        fsm.add_transition(Transition {
+            from: ok,
+            guard: Cube::universe(),
+            to: ok,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: dead,
+            guard: Cube::universe(),
+            to: dead,
+            outputs: 0b11,
+        });
+        let diags = check_grant_fsm(&fsm, "Arb", &MemoryLinePlan::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

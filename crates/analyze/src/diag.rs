@@ -1,0 +1,273 @@
+//! The unified diagnostic type every check reports through.
+//!
+//! A diagnostic carries a stable machine-readable code (`RCAxyz`), a
+//! severity, a human-readable location, a message stating the defect and
+//! an optional help line suggesting the fix. Codes are grouped by check
+//! family: `RCA1xx` bus contention, `RCA2xx` elision soundness, `RCA3xx`
+//! protocol/starvation, `RCA4xx` netlist and FSM lints.
+
+use std::fmt;
+
+/// Diagnostic severity, ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational finding; never fails an analysis.
+    Info,
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// A proven design-rule violation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Every design rule the analyzer checks, with a stable code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// RCA101: a reachable arbiter state grants two tasks at once while
+    /// tri-stated lines are shared — a bus conflict (Fig. 4a).
+    TriStateContention,
+    /// RCA102: a reachable state asserts two grants onto OR-/AND-resolved
+    /// control lines only; electrically safe, logically suspect (Fig. 4b/c).
+    ResolvedLineOverlap,
+    /// RCA103: a transition grants a task whose request line is not
+    /// asserted in its guard.
+    GrantToNonRequester,
+    /// RCA201: a shared resource has no arbiter but two of its accessor
+    /// tasks are unordered by dependencies (Sec. 5 elision is unsound).
+    UnsoundElision,
+    /// RCA202: a task bypasses an arbiter while unordered against another
+    /// accessor of the same resource.
+    UnorderedBypass,
+    /// RCA203: two tasks overlaid on one arbiter port are unordered, so
+    /// their requests are indistinguishable.
+    SharedPortUnordered,
+    /// RCA301: a request hold performs more than `M` accesses before
+    /// releasing — other tasks can starve past the Fig. 8 bound.
+    BurstExceeded,
+    /// RCA302: a request hold is never released (no `ReqDeassert` before
+    /// the block ends or control flow branches).
+    MissingRelease,
+    /// RCA303: a task asserts a second request while already holding one —
+    /// the classic hold-and-wait deadlock ingredient.
+    NestedHold,
+    /// RCA304: a protocol op references an arbiter that does not exist or
+    /// that the task is not a client of.
+    UnknownArbiter,
+    /// RCA305: an access to an arbitrated resource outside a granted hold.
+    UnguardedAccess,
+    /// RCA306: an arbiter's shape cannot be synthesized (too many inputs
+    /// for the FSM generator, or a port/input mismatch).
+    ArbiterTooWide,
+    /// RCA307: a `ReqDeassert` with no matching open hold.
+    OrphanRelease,
+    /// RCA308: an `AwaitGrant` with no request asserted — the task would
+    /// wait forever.
+    AwaitWithoutRequest,
+    /// RCA401: a LUT node drives no other node, register or output.
+    FloatingNode,
+    /// RCA402: a register's D input is a constant — it never changes after
+    /// the first clock edge.
+    UndrivenRegister,
+    /// RCA403: a LUT computes a constant function of its inputs.
+    ConstantLut,
+    /// RCA404: an FSM state is unreachable from reset.
+    UnreachableState,
+    /// RCA405: an FSM state's guards do not cover every input combination.
+    IncompleteGuards,
+    /// RCA406: two transitions of one FSM state have overlapping guards.
+    NondeterministicGuards,
+    /// RCA407: a transition references a state outside the machine.
+    DanglingTransition,
+    /// RCA408: a LUT reads a net that is not yet defined at its position —
+    /// a combinational cycle.
+    CombinationalLoop,
+    /// RCA409: a transition asserts an output bit beyond the declared
+    /// width.
+    OutputOutOfRange,
+}
+
+impl DiagCode {
+    /// The stable machine-readable code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::TriStateContention => "RCA101",
+            DiagCode::ResolvedLineOverlap => "RCA102",
+            DiagCode::GrantToNonRequester => "RCA103",
+            DiagCode::UnsoundElision => "RCA201",
+            DiagCode::UnorderedBypass => "RCA202",
+            DiagCode::SharedPortUnordered => "RCA203",
+            DiagCode::BurstExceeded => "RCA301",
+            DiagCode::MissingRelease => "RCA302",
+            DiagCode::NestedHold => "RCA303",
+            DiagCode::UnknownArbiter => "RCA304",
+            DiagCode::UnguardedAccess => "RCA305",
+            DiagCode::ArbiterTooWide => "RCA306",
+            DiagCode::OrphanRelease => "RCA307",
+            DiagCode::AwaitWithoutRequest => "RCA308",
+            DiagCode::FloatingNode => "RCA401",
+            DiagCode::UndrivenRegister => "RCA402",
+            DiagCode::ConstantLut => "RCA403",
+            DiagCode::UnreachableState => "RCA404",
+            DiagCode::IncompleteGuards => "RCA405",
+            DiagCode::NondeterministicGuards => "RCA406",
+            DiagCode::DanglingTransition => "RCA407",
+            DiagCode::CombinationalLoop => "RCA408",
+            DiagCode::OutputOutOfRange => "RCA409",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::TriStateContention
+            | DiagCode::GrantToNonRequester
+            | DiagCode::UnsoundElision
+            | DiagCode::UnorderedBypass
+            | DiagCode::SharedPortUnordered
+            | DiagCode::BurstExceeded
+            | DiagCode::MissingRelease
+            | DiagCode::NestedHold
+            | DiagCode::UnknownArbiter
+            | DiagCode::UnguardedAccess
+            | DiagCode::ArbiterTooWide
+            | DiagCode::AwaitWithoutRequest
+            | DiagCode::IncompleteGuards
+            | DiagCode::NondeterministicGuards
+            | DiagCode::DanglingTransition
+            | DiagCode::CombinationalLoop
+            | DiagCode::OutputOutOfRange => Severity::Error,
+            DiagCode::ResolvedLineOverlap
+            | DiagCode::OrphanRelease
+            | DiagCode::FloatingNode
+            | DiagCode::UndrivenRegister
+            | DiagCode::UnreachableState => Severity::Warning,
+            DiagCode::ConstantLut => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub code: DiagCode,
+    /// Report severity (defaults to the rule's severity).
+    pub severity: Severity,
+    /// Where the defect lives, e.g. `arbiter Arb6 (bank 1), state C3` or
+    /// `task F1`.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer can tell.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the rule's default severity.
+    pub fn new(code: DiagCode, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.severity(),
+            location: location.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a fix suggestion.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            DiagCode::TriStateContention,
+            DiagCode::ResolvedLineOverlap,
+            DiagCode::GrantToNonRequester,
+            DiagCode::UnsoundElision,
+            DiagCode::UnorderedBypass,
+            DiagCode::SharedPortUnordered,
+            DiagCode::BurstExceeded,
+            DiagCode::MissingRelease,
+            DiagCode::NestedHold,
+            DiagCode::UnknownArbiter,
+            DiagCode::UnguardedAccess,
+            DiagCode::ArbiterTooWide,
+            DiagCode::OrphanRelease,
+            DiagCode::AwaitWithoutRequest,
+            DiagCode::FloatingNode,
+            DiagCode::UndrivenRegister,
+            DiagCode::ConstantLut,
+            DiagCode::UnreachableState,
+            DiagCode::IncompleteGuards,
+            DiagCode::NondeterministicGuards,
+            DiagCode::DanglingTransition,
+            DiagCode::CombinationalLoop,
+            DiagCode::OutputOutOfRange,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for code in all {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(code.as_str().starts_with("RCA"));
+        }
+    }
+
+    #[test]
+    fn display_includes_code_location_and_help() {
+        let d = Diagnostic::new(DiagCode::TriStateContention, "arbiter Arb2", "double grant")
+            .with_help("insert an arbiter");
+        let text = d.to_string();
+        assert!(text.contains("error[RCA101]"));
+        assert!(text.contains("arbiter Arb2"));
+        assert!(text.contains("help: insert an arbiter"));
+    }
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Diagnostic::new(DiagCode::ConstantLut, "n", "m").severity == Severity::Info);
+    }
+}

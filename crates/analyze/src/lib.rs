@@ -1,0 +1,258 @@
+#![warn(missing_docs)]
+
+//! # rcarb-analyze — design-rule static analysis for arbitrated designs
+//!
+//! Statically checks a complete arbitrated design — the
+//! [`ArbitrationPlan`] produced by `rcarb-core`'s insertion pass together
+//! with its memory binding and channel merges — and reports structured
+//! [`Diagnostic`]s through one [`AnalysisReport`]. Four check families:
+//!
+//! 1. **Bus contention** ([`contention`]): every generated arbiter FSM is
+//!    explored state-by-state to prove no reachable transition grants two
+//!    tasks at once on tri-stated lines (Fig. 3/4 semantics), and that
+//!    grants only go to requesters.
+//! 2. **Elision soundness** ([`elision`]): shared resources without an
+//!    arbiter must have pairwise dependency-ordered accessors (Sec. 5).
+//! 3. **Starvation** ([`starvation`]): transformed programs must follow
+//!    the Fig. 8 protocol — granted before use, at most `M` accesses per
+//!    hold, released before control flow; arbiter shapes must be
+//!    synthesizable.
+//! 4. **Netlist lints** ([`netlist`]): dead logic, constant registers and
+//!    FSM defects (unreachable states, incomplete or overlapping guards),
+//!    reported exhaustively rather than first-error.
+//!
+//! ```
+//! use rcarb_analyze::{AnalyzeConfig, AnalyzePlan};
+//! use rcarb_core::channel::ChannelMergePlan;
+//! use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+//! use rcarb_core::memmap::bind_segments;
+//! use rcarb_taskgraph::builder::TaskGraphBuilder;
+//! use rcarb_taskgraph::program::{Expr, Program};
+//!
+//! let mut b = TaskGraphBuilder::new("demo");
+//! let m1 = b.segment("M1", 512, 16);
+//! let m2 = b.segment("M2", 512, 16);
+//! b.task("T1", Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))));
+//! b.task("T2", Program::build(|p| { let _ = p.mem_read(m2, Expr::lit(0)); }));
+//! let graph = b.finish().unwrap();
+//! let board = rcarb_board::presets::duo_small();
+//! let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+//! let merges = ChannelMergePlan::default();
+//! let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+//! let report = plan.analyze(&binding, &merges, &AnalyzeConfig::default());
+//! assert!(report.is_clean(), "{}", report.render_text());
+//! ```
+
+pub mod contention;
+pub mod diag;
+pub mod elision;
+pub mod netlist;
+pub mod report;
+pub mod starvation;
+
+pub use diag::{DiagCode, Diagnostic, Severity};
+pub use report::AnalysisReport;
+
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec};
+use rcarb_core::insertion::ArbitrationPlan;
+use rcarb_core::line::MemoryLinePlan;
+use rcarb_core::memmap::MemoryBinding;
+use rcarb_logic::encode::EncodingStyle;
+use rcarb_logic::tools::ToolModel;
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeConfig {
+    /// The Fig. 8 burst window `M` the design is expected to honour;
+    /// holds with more accesses report [`DiagCode::BurstExceeded`].
+    pub max_burst: u32,
+    /// Shared-line plan of the guarded memory banks (decides whether a
+    /// double grant is a tri-state conflict or a resolved-line overlap).
+    pub lines: MemoryLinePlan,
+    /// FSM encoding used when synthesizing arbiter netlists for linting.
+    pub encoding: EncodingStyle,
+    /// Also synthesize and lint each arbiter's mapped netlist (slower;
+    /// the symbolic FSM checks run regardless).
+    pub lint_netlists: bool,
+}
+
+impl AnalyzeConfig {
+    /// The paper's configuration: `M = 2`, write-on-high SRAM banks,
+    /// one-hot encoding, netlist lints on.
+    pub fn paper() -> Self {
+        Self {
+            max_burst: 2,
+            lines: MemoryLinePlan::sram_write_high(),
+            encoding: EncodingStyle::OneHot,
+            lint_netlists: true,
+        }
+    }
+
+    /// Sets the expected burst window `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn with_max_burst(mut self, m: u32) -> Self {
+        assert!(m > 0, "burst window must be at least one access");
+        self.max_burst = m;
+        self
+    }
+
+    /// Enables or disables the per-arbiter netlist lints.
+    #[must_use]
+    pub fn with_netlist_lints(mut self, enabled: bool) -> Self {
+        self.lint_netlists = enabled;
+        self
+    }
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Analyzes a complete arbitrated design.
+///
+/// `binding` and `merges` must be the same inputs the insertion pass ran
+/// with — they decide which resources are shared and by whom.
+pub fn analyze_plan(
+    plan: &ArbitrationPlan,
+    binding: &MemoryBinding,
+    merges: &ChannelMergePlan,
+    config: &AnalyzeConfig,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+
+    // Family 1 + 4: every inserted arbiter's FSM, and optionally its
+    // synthesized netlist.
+    let generator = ArbiterGenerator::new();
+    for arb in &plan.arbiters {
+        if arb.inputs == 0 || arb.inputs > 32 {
+            // Shape errors are reported by the starvation family; there
+            // is no FSM to explore.
+            continue;
+        }
+        let generated = generator
+            .generate(&ArbiterSpec::round_robin(arb.inputs).with_encoding(config.encoding));
+        let name = format!("{} ({})", arb.name(), arb.resource);
+        report.extend(contention::check_grant_fsm(
+            generated.fsm(),
+            &name,
+            &config.lines,
+        ));
+        report.extend(netlist::check_fsm(generated.fsm(), &name));
+        if config.lint_netlists {
+            let nl = generated.netlist(&ToolModel::synplify());
+            report.extend(netlist::check_netlist(&nl, &name));
+        }
+    }
+
+    // Family 2: elision soundness.
+    report.extend(elision::check_elision(plan, binding, merges));
+
+    // Family 3: protocol shape and starvation windows.
+    report.extend(starvation::check_starvation(plan, binding, merges, config));
+
+    report
+}
+
+/// The `analyze()` hook for [`ArbitrationPlan`] (an extension trait, since
+/// `rcarb-core` cannot depend on this crate).
+pub trait AnalyzePlan {
+    /// Runs the full analyzer over this plan.
+    fn analyze(
+        &self,
+        binding: &MemoryBinding,
+        merges: &ChannelMergePlan,
+        config: &AnalyzeConfig,
+    ) -> AnalysisReport;
+}
+
+impl AnalyzePlan for ArbitrationPlan {
+    fn analyze(
+        &self,
+        binding: &MemoryBinding,
+        merges: &ChannelMergePlan,
+        config: &AnalyzeConfig,
+    ) -> AnalysisReport {
+        analyze_plan(self, binding, merges, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+    use rcarb_core::memmap::bind_segments;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    fn arbitrated_design() -> (ArbitrationPlan, MemoryBinding) {
+        let mut b = TaskGraphBuilder::new("d");
+        let m1 = b.segment("M1", 1024, 16);
+        let m2 = b.segment("M2", 1024, 16);
+        b.task(
+            "T1",
+            Program::build(|p| {
+                p.mem_write(m1, Expr::lit(0), Expr::lit(1));
+                p.mem_write(m1, Expr::lit(1), Expr::lit(2));
+            }),
+        );
+        b.task(
+            "T2",
+            Program::build(|p| {
+                let _ = p.mem_read(m2, Expr::lit(0));
+            }),
+        );
+        let graph = b.finish().unwrap();
+        let board = presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper(),
+        );
+        (plan, binding)
+    }
+
+    #[test]
+    fn clean_design_analyzes_clean() {
+        let (plan, binding) = arbitrated_design();
+        let report = plan.analyze(
+            &binding,
+            &ChannelMergePlan::default(),
+            &AnalyzeConfig::default(),
+        );
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.num_errors(), 0);
+    }
+
+    #[test]
+    fn mutated_design_fails_with_specific_codes() {
+        let (mut plan, binding) = arbitrated_design();
+        plan.arbiters.clear();
+        let report = plan.analyze(
+            &binding,
+            &ChannelMergePlan::default(),
+            &AnalyzeConfig::default(),
+        );
+        assert!(!report.is_clean());
+        assert!(report.has_code(DiagCode::UnsoundElision));
+        // The transformed programs now reference a vanished arbiter.
+        assert!(report.has_code(DiagCode::UnknownArbiter));
+    }
+
+    #[test]
+    fn netlist_lints_can_be_disabled() {
+        let (plan, binding) = arbitrated_design();
+        let fast = AnalyzeConfig::default().with_netlist_lints(false);
+        let report = plan.analyze(&binding, &ChannelMergePlan::default(), &fast);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

@@ -1,0 +1,262 @@
+//! Structural lints over synthesized netlists and symbolic FSMs.
+//!
+//! Unlike [`Fsm::validate`], which stops at the first defect, these checks
+//! report **every** finding so a designer sees the whole picture at once.
+//! The netlist lints cover what the LUT/FF representation can get wrong:
+//! dead logic (floating nodes, constant LUTs), registers wired to
+//! constants, and — defensively, since [`Netlist::add_node`] enforces
+//! topological construction — combinational cycles.
+
+use crate::contention::reachable_states;
+use crate::diag::{DiagCode, Diagnostic};
+use rcarb_logic::cube::Cube;
+use rcarb_logic::fsm::Fsm;
+use rcarb_logic::netlist::{NetRef, Netlist};
+use rcarb_logic::sop::Sop;
+
+/// Lints a symbolic FSM, reporting every defect. `name` labels the
+/// machine in diagnostics.
+pub fn check_fsm(fsm: &Fsm, name: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = fsm.num_states();
+    let state_label = |i: usize| -> String {
+        fsm.state_names()
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("<state {i}>"))
+    };
+
+    for t in fsm.transitions() {
+        if t.from >= n || t.to >= n {
+            out.push(Diagnostic::new(
+                DiagCode::DanglingTransition,
+                format!("fsm {name}"),
+                format!(
+                    "transition {} -> {} references a state outside the machine ({} states)",
+                    t.from, t.to, n
+                ),
+            ));
+        }
+        if fsm.num_outputs() < 64 && t.outputs >> fsm.num_outputs() != 0 {
+            out.push(Diagnostic::new(
+                DiagCode::OutputOutOfRange,
+                format!("fsm {name}, state {}", state_label(t.from)),
+                format!(
+                    "transition asserts output bits beyond the declared width {}",
+                    fsm.num_outputs()
+                ),
+            ));
+        }
+    }
+
+    for state in 0..n {
+        let guards: Vec<Cube> = fsm.transitions_from(state).map(|t| t.guard).collect();
+        for i in 0..guards.len() {
+            for j in (i + 1)..guards.len() {
+                if guards[i].intersects(guards[j]) {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::NondeterministicGuards,
+                            format!("fsm {name}, state {}", state_label(state)),
+                            format!("transitions {i} and {j} have overlapping guards"),
+                        )
+                        .with_help("make the guards mutually exclusive"),
+                    );
+                }
+            }
+        }
+        let cover = Sop::from_cubes(fsm.num_inputs(), guards);
+        if !cover.is_tautology() {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::IncompleteGuards,
+                    format!("fsm {name}, state {}", state_label(state)),
+                    "the outgoing guards do not cover every input combination".to_owned(),
+                )
+                .with_help("add a default transition; hardware has no 'no match' behaviour"),
+            );
+        }
+    }
+
+    for (i, reachable) in reachable_states(fsm).iter().enumerate() {
+        if !reachable {
+            out.push(Diagnostic::new(
+                DiagCode::UnreachableState,
+                format!("fsm {name}, state {}", state_label(i)),
+                "state is unreachable from reset".to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// Lints a mapped netlist. `name` labels it in diagnostics.
+pub fn check_netlist(nl: &Netlist, name: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = |what: String| format!("netlist {name}, {what}");
+
+    // Consumer counts: a node that feeds nothing is dead logic.
+    let mut consumed = vec![false; nl.nodes().len()];
+    let mut mark = |r: NetRef| {
+        if let NetRef::Node(i) = r {
+            if let Some(slot) = consumed.get_mut(i) {
+                *slot = true;
+            }
+        }
+    };
+    for node in nl.nodes() {
+        for &i in &node.inputs {
+            mark(i);
+        }
+    }
+    for reg in nl.regs() {
+        mark(reg.next);
+    }
+    for &o in nl.outputs() {
+        mark(o);
+    }
+    for (i, dead) in consumed.iter().enumerate() {
+        if !dead {
+            out.push(Diagnostic::new(
+                DiagCode::FloatingNode,
+                loc(format!("LUT {i}")),
+                "output drives no LUT, register or primary output".to_owned(),
+            ));
+        }
+    }
+
+    for (i, reg) in nl.regs().iter().enumerate() {
+        if let NetRef::Const(v) = reg.next {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::UndrivenRegister,
+                    loc(format!("FF {i}")),
+                    format!("D input is the constant {}", u8::from(v)),
+                )
+                .with_help("wire the register's next-state logic or remove the register"),
+            );
+        }
+    }
+
+    for (i, node) in nl.nodes().iter().enumerate() {
+        let k = node.inputs.len();
+        let used: u16 = if k >= 4 { 0xFFFF } else { (1 << (1 << k)) - 1 };
+        let t = node.truth & used;
+        if t == 0 || t == used {
+            out.push(Diagnostic::new(
+                DiagCode::ConstantLut,
+                loc(format!("LUT {i}")),
+                format!(
+                    "computes the constant {} regardless of its {k} input(s)",
+                    u8::from(t != 0)
+                ),
+            ));
+        }
+        // Defensive: construction order forbids forward references, so a
+        // violation here means the netlist was built outside the API.
+        for &input in &node.inputs {
+            if let NetRef::Node(j) = input {
+                if j >= i {
+                    out.push(Diagnostic::new(
+                        DiagCode::CombinationalLoop,
+                        loc(format!("LUT {i}")),
+                        format!("reads LUT {j}, which is not defined before it"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec};
+    use rcarb_core::rr::round_robin_fsm;
+    use rcarb_logic::fsm::Transition;
+    use rcarb_logic::tools::ToolModel;
+
+    #[test]
+    fn generated_arbiter_fsm_and_netlist_are_lint_clean() {
+        let fsm = round_robin_fsm(4);
+        assert!(check_fsm(&fsm, "Arb4").is_empty());
+        let arb = ArbiterGenerator::new().generate(&ArbiterSpec::round_robin(4));
+        let nl = arb.netlist(&ToolModel::synplify());
+        let diags = check_netlist(&nl, "Arb4");
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_state_is_rca404() {
+        let mut fsm = Fsm::new("m", 0, 0);
+        let a = fsm.add_state("A");
+        let _b = fsm.add_state("B");
+        fsm.set_reset(a);
+        fsm.add_transition(Transition {
+            from: a,
+            guard: Cube::universe(),
+            to: a,
+            outputs: 0,
+        });
+        let diags = check_fsm(&fsm, "m");
+        assert!(diags.iter().any(|d| d.code == DiagCode::UnreachableState));
+        // B also has no outgoing transitions, so its (empty) cover is
+        // incomplete — both findings must be present, not just the first.
+        assert!(diags.iter().any(|d| d.code == DiagCode::IncompleteGuards));
+    }
+
+    #[test]
+    fn fsm_lints_report_every_defect_not_the_first() {
+        let mut fsm = Fsm::new("m", 1, 1);
+        let a = fsm.add_state("A");
+        fsm.set_reset(a);
+        // Overlapping AND out-of-range AND dangling, all at once.
+        fsm.add_transition(Transition {
+            from: a,
+            guard: Cube::universe(),
+            to: a,
+            outputs: 0b10,
+        });
+        fsm.add_transition(Transition {
+            from: a,
+            guard: Cube::universe().with_lit(0, true),
+            to: 9,
+            outputs: 0,
+        });
+        let diags = check_fsm(&fsm, "m");
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::NondeterministicGuards));
+        assert!(diags.iter().any(|d| d.code == DiagCode::OutputOutOfRange));
+        assert!(diags.iter().any(|d| d.code == DiagCode::DanglingTransition));
+    }
+
+    #[test]
+    fn dead_logic_is_flagged() {
+        let mut nl = Netlist::new(2);
+        // A LUT nothing consumes.
+        let _dead = nl.add_node(vec![NetRef::Input(0)], 0b10);
+        // A constant LUT that is consumed.
+        let c = nl.add_node(vec![NetRef::Input(0), NetRef::Input(1)], 0b1111);
+        nl.push_output(c);
+        // A register left at its placeholder constant D input.
+        let _r = nl.add_reg(false);
+        let diags = check_netlist(&nl, "t");
+        assert!(diags.iter().any(|d| d.code == DiagCode::FloatingNode));
+        assert!(diags.iter().any(|d| d.code == DiagCode::ConstantLut));
+        assert!(diags.iter().any(|d| d.code == DiagCode::UndrivenRegister));
+        // All structural netlist lints are warnings or infos.
+        assert!(diags.iter().all(|d| !d.is_error()));
+    }
+
+    #[test]
+    fn clean_netlist_produces_no_findings() {
+        let mut nl = Netlist::new(1);
+        let q = nl.add_reg(false);
+        let x = nl.add_node(vec![q, NetRef::Input(0)], 0b0110);
+        nl.set_reg_next(q, x);
+        nl.push_output(q);
+        assert!(check_netlist(&nl, "toggle").is_empty());
+    }
+}

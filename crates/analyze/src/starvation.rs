@@ -1,0 +1,515 @@
+//! Starvation and protocol-shape analysis of transformed task programs.
+//!
+//! Walks every task program of an [`ArbitrationPlan`] and checks that the
+//! Fig. 8 protocol is well-formed: each request hold is granted before
+//! use, performs at most `M` accesses (the configured burst window — a
+//! longer hold starves the other requesters past the paper's `(N-1)·M`
+//! bound), and releases before the block ends or control flow branches.
+//! Arbiter references must resolve to an inserted arbiter the task is a
+//! client of, and the arbiter shapes themselves must be synthesizable.
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::AnalyzeConfig;
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::insertion::{ArbitratedResource, ArbitrationPlan};
+use rcarb_core::memmap::MemoryBinding;
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId};
+use rcarb_taskgraph::program::Op;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The maximum task count the round-robin FSM generator synthesizes.
+const MAX_FSM_TASKS: usize = 32;
+
+struct Walker<'a> {
+    plan: &'a ArbitrationPlan,
+    config: &'a AnalyzeConfig,
+    /// Segment -> guarding arbiter (for tasks speaking the protocol).
+    guarded_segments: BTreeMap<SegmentId, ArbiterId>,
+    /// Channel -> guarding arbiter.
+    guarded_channels: BTreeMap<ChannelId, ArbiterId>,
+    /// Tasks that access their resources directly (sound when ordered;
+    /// the elision check owns that proof).
+    bypass: BTreeSet<(ArbiterId, TaskId)>,
+    diags: Vec<Diagnostic>,
+}
+
+/// One open request hold while walking a block.
+#[derive(Clone, Copy)]
+struct Hold {
+    arbiter: ArbiterId,
+    granted: bool,
+    accesses: u32,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        plan: &'a ArbitrationPlan,
+        binding: &MemoryBinding,
+        merges: &ChannelMergePlan,
+        config: &'a AnalyzeConfig,
+    ) -> Self {
+        let mut guarded_segments = BTreeMap::new();
+        let mut guarded_channels = BTreeMap::new();
+        let mut bypass = BTreeSet::new();
+        for arb in &plan.arbiters {
+            match arb.resource {
+                ArbitratedResource::Bank(bank) => {
+                    for s in binding.segments_in(bank) {
+                        guarded_segments.insert(s, arb.id);
+                    }
+                }
+                ArbitratedResource::MergedChannel(mi) => {
+                    if let Some(merge) = merges.merges().get(mi) {
+                        for &c in &merge.logicals {
+                            guarded_channels.insert(c, arb.id);
+                        }
+                    }
+                }
+            }
+            for &t in &arb.bypass {
+                bypass.insert((arb.id, t));
+            }
+        }
+        Self {
+            plan,
+            config,
+            guarded_segments,
+            guarded_channels,
+            bypass,
+            diags: Vec::new(),
+        }
+    }
+
+    fn arbiter_name(&self, id: ArbiterId) -> String {
+        self.plan
+            .arbiters
+            .iter()
+            .find(|a| a.id == id)
+            .map(|a| a.name())
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// The arbiter guarding an access op, if any.
+    fn guard_of(&self, op: &Op) -> Option<ArbiterId> {
+        match op {
+            Op::MemRead { segment, .. } | Op::MemWrite { segment, .. } => {
+                self.guarded_segments.get(segment).copied()
+            }
+            Op::Send { channel, .. } => self.guarded_channels.get(channel).copied(),
+            _ => None,
+        }
+    }
+
+    fn check_arbiter_ref(&mut self, task: TaskId, loc: &str, id: ArbiterId) {
+        match self.plan.arbiters.iter().find(|a| a.id == id) {
+            None => self.diags.push(
+                Diagnostic::new(
+                    DiagCode::UnknownArbiter,
+                    loc.to_owned(),
+                    format!("protocol op references arbiter {id}, which was never inserted"),
+                )
+                .with_help("re-run the insertion pass; the program and plan are out of sync"),
+            ),
+            Some(arb) if arb.port_of(task).is_none() => self.diags.push(Diagnostic::new(
+                DiagCode::UnknownArbiter,
+                loc.to_owned(),
+                format!(
+                    "task speaks the protocol to {} but is wired to none of its ports",
+                    arb.name()
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    /// Walks one block; returns with every hold opened inside it reported
+    /// if unreleased. `loc` labels the owning task.
+    fn walk_block(&mut self, task: TaskId, loc: &str, ops: &[Op]) {
+        let mut hold: Option<Hold> = None;
+        for op in ops {
+            match op {
+                Op::ReqAssert { arbiter } => {
+                    self.check_arbiter_ref(task, loc, *arbiter);
+                    if let Some(h) = hold {
+                        self.diags.push(
+                            Diagnostic::new(
+                                DiagCode::NestedHold,
+                                loc.to_owned(),
+                                format!(
+                                    "request to {} asserted while still holding {}",
+                                    self.arbiter_name(*arbiter),
+                                    self.arbiter_name(h.arbiter)
+                                ),
+                            )
+                            .with_help("release the held arbiter first; nested holds deadlock"),
+                        );
+                    }
+                    hold = Some(Hold {
+                        arbiter: *arbiter,
+                        granted: false,
+                        accesses: 0,
+                    });
+                }
+                Op::AwaitGrant { arbiter } => {
+                    self.check_arbiter_ref(task, loc, *arbiter);
+                    match &mut hold {
+                        Some(h) if h.arbiter == *arbiter => h.granted = true,
+                        _ => self.diags.push(
+                            Diagnostic::new(
+                                DiagCode::AwaitWithoutRequest,
+                                loc.to_owned(),
+                                format!(
+                                    "waiting on a grant from {} without an asserted request",
+                                    self.arbiter_name(*arbiter)
+                                ),
+                            )
+                            .with_help(
+                                "the arbiter never grants a silent task; this waits forever",
+                            ),
+                        ),
+                    }
+                }
+                Op::ReqDeassert { arbiter } => {
+                    self.check_arbiter_ref(task, loc, *arbiter);
+                    match hold {
+                        Some(h) if h.arbiter == *arbiter => hold = None,
+                        _ => self.diags.push(Diagnostic::new(
+                            DiagCode::OrphanRelease,
+                            loc.to_owned(),
+                            format!(
+                                "release of {} without a matching open hold",
+                                self.arbiter_name(*arbiter)
+                            ),
+                        )),
+                    }
+                }
+                Op::Repeat { body, .. } => {
+                    self.report_unreleased(loc, &mut hold, "a loop boundary");
+                    self.walk_block(task, loc, body);
+                }
+                Op::IfNonZero {
+                    then_ops, else_ops, ..
+                } => {
+                    self.report_unreleased(loc, &mut hold, "a branch boundary");
+                    self.walk_block(task, loc, then_ops);
+                    self.walk_block(task, loc, else_ops);
+                }
+                access => {
+                    if let Some(arb) = self.guard_of(access) {
+                        if self.bypass.contains(&(arb, task)) {
+                            continue;
+                        }
+                        match &mut hold {
+                            Some(h) if h.arbiter == arb && h.granted => {
+                                h.accesses += 1;
+                                if h.accesses == self.config.max_burst + 1 {
+                                    self.diags.push(
+                                        Diagnostic::new(
+                                            DiagCode::BurstExceeded,
+                                            loc.to_owned(),
+                                            format!(
+                                                "hold on {} performs more than M = {} accesses \
+                                                 before releasing",
+                                                self.arbiter_name(arb),
+                                                self.config.max_burst
+                                            ),
+                                        )
+                                        .with_help(
+                                            "split the burst: re-request after every M accesses \
+                                             so waiting tasks are served (Fig. 8)",
+                                        ),
+                                    );
+                                }
+                            }
+                            _ => self.diags.push(
+                                Diagnostic::new(
+                                    DiagCode::UnguardedAccess,
+                                    loc.to_owned(),
+                                    format!(
+                                        "access to a resource guarded by {} outside a granted \
+                                         hold",
+                                        self.arbiter_name(arb)
+                                    ),
+                                )
+                                .with_help("wrap the access in ReqAssert/AwaitGrant … ReqDeassert"),
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        self.report_unreleased(loc, &mut hold, "the end of the block");
+    }
+
+    fn report_unreleased(&mut self, loc: &str, hold: &mut Option<Hold>, at: &str) {
+        if let Some(h) = hold.take() {
+            self.diags.push(
+                Diagnostic::new(
+                    DiagCode::MissingRelease,
+                    loc.to_owned(),
+                    format!(
+                        "hold on {} reaches {at} without a release",
+                        self.arbiter_name(h.arbiter)
+                    ),
+                )
+                .with_help("every hold must end with ReqDeassert; other tasks starve otherwise"),
+            );
+        }
+    }
+}
+
+/// Checks arbiter shapes and walks every transformed program.
+pub fn check_starvation(
+    plan: &ArbitrationPlan,
+    binding: &MemoryBinding,
+    merges: &ChannelMergePlan,
+    config: &AnalyzeConfig,
+) -> Vec<Diagnostic> {
+    let mut walker = Walker::new(plan, binding, merges, config);
+
+    for arb in &plan.arbiters {
+        let loc = format!("arbiter {} ({})", arb.name(), arb.resource);
+        if arb.inputs == 0 || arb.inputs > MAX_FSM_TASKS {
+            walker.diags.push(
+                Diagnostic::new(
+                    DiagCode::ArbiterTooWide,
+                    loc.clone(),
+                    format!(
+                        "{} request inputs cannot be synthesized (the FSM generator supports \
+                         1..={MAX_FSM_TASKS})",
+                        arb.inputs
+                    ),
+                )
+                .with_help("split the accessors across banks or enable Sec. 5 elision"),
+            );
+        } else if arb.ports.len() != arb.inputs {
+            walker.diags.push(Diagnostic::new(
+                DiagCode::ArbiterTooWide,
+                loc,
+                format!(
+                    "{} ports wired to a {}-input arbiter",
+                    arb.ports.len(),
+                    arb.inputs
+                ),
+            ));
+        }
+    }
+
+    for task in plan.graph.tasks() {
+        let loc = format!("task {}", task.name());
+        walker.walk_block(task.id(), &loc, task.program().ops());
+    }
+    walker.diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+    use rcarb_core::memmap::bind_segments;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::graph::TaskGraph;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    fn contended_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("g");
+        let m1 = b.segment("M1", 1024, 16);
+        let m2 = b.segment("M2", 1024, 16);
+        b.task(
+            "T1",
+            Program::build(|p| {
+                for i in 0..5 {
+                    p.mem_write(m1, Expr::lit(i), Expr::lit(1));
+                }
+            }),
+        );
+        b.task(
+            "T2",
+            Program::build(|p| {
+                let _ = p.mem_read(m2, Expr::lit(0));
+            }),
+        );
+        b.finish().unwrap()
+    }
+
+    fn plan_for(graph: &TaskGraph) -> (ArbitrationPlan, MemoryBinding) {
+        let board = presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let plan = insert_arbiters(
+            graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper(),
+        );
+        (plan, binding)
+    }
+
+    fn run(plan: &ArbitrationPlan, binding: &MemoryBinding) -> Vec<Diagnostic> {
+        check_starvation(
+            plan,
+            binding,
+            &ChannelMergePlan::default(),
+            &AnalyzeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn transformed_programs_are_protocol_clean() {
+        let (plan, binding) = plan_for(&contended_graph());
+        let diags = run(&plan, &binding);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// Strips every `ReqDeassert` from a program, recursively.
+    fn strip_releases(ops: &[Op]) -> Vec<Op> {
+        ops.iter()
+            .filter(|op| !matches!(op, Op::ReqDeassert { .. }))
+            .map(|op| match op {
+                Op::Repeat { times, body } => Op::Repeat {
+                    times: *times,
+                    body: strip_releases(body),
+                },
+                Op::IfNonZero {
+                    cond,
+                    then_ops,
+                    else_ops,
+                } => Op::IfNonZero {
+                    cond: cond.clone(),
+                    then_ops: strip_releases(then_ops),
+                    else_ops: strip_releases(else_ops),
+                },
+                other => other.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stripped_release_is_rca302() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        let stripped = Program::from_ops(strip_releases(plan.graph.task(t1).program().ops()));
+        plan.graph.task_mut(t1).set_program(stripped);
+        let diags = run(&plan, &binding);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::MissingRelease),
+            "{diags:?}"
+        );
+        // With releases gone, later batches re-request inside the hold.
+        assert!(diags.iter().any(|d| d.code == DiagCode::NestedHold));
+    }
+
+    #[test]
+    fn overlong_burst_is_rca301() {
+        // Re-analyze a plan transformed with M = 4 against a config
+        // expecting M = 2: every 4-access hold now exceeds the window.
+        let board = presets::duo_small();
+        let graph = contended_graph();
+        let binding2 = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let wide = insert_arbiters(
+            &graph,
+            &binding2,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper().with_max_burst(4),
+        );
+        let diags = check_starvation(
+            &wide,
+            &binding2,
+            &ChannelMergePlan::default(),
+            &AnalyzeConfig::default().with_max_burst(2),
+        );
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::BurstExceeded),
+            "{diags:?}"
+        );
+        // The same plan is clean under its own window.
+        let ok = check_starvation(
+            &wide,
+            &binding2,
+            &ChannelMergePlan::default(),
+            &AnalyzeConfig::default().with_max_burst(4),
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn unguarded_access_is_rca305() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        // Replace T1's program with raw, unprotected writes.
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        let m1 = plan.graph.segment_by_name("M1").unwrap().id();
+        plan.graph.task_mut(t1).set_program(Program::build(|p| {
+            p.mem_write(m1, Expr::lit(0), Expr::lit(1));
+        }));
+        let diags = run(&plan, &binding);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::UnguardedAccess),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_arbiter_is_rca304() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let t2 = plan.graph.task_by_name("T2").unwrap().id();
+        let mut ops = plan.graph.task(t2).program().ops().to_vec();
+        ops.insert(
+            0,
+            Op::ReqAssert {
+                arbiter: rcarb_taskgraph::id::ArbiterId::new(9),
+            },
+        );
+        ops.push(Op::ReqDeassert {
+            arbiter: rcarb_taskgraph::id::ArbiterId::new(9),
+        });
+        plan.graph.task_mut(t2).set_program(Program::from_ops(ops));
+        let diags = run(&plan, &binding);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::UnknownArbiter),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stray_wait_and_release_are_reported() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let arb = plan.arbiters[0].id;
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        plan.graph.task_mut(t1).set_program(Program::from_ops(vec![
+            Op::AwaitGrant { arbiter: arb },
+            Op::ReqDeassert { arbiter: arb },
+        ]));
+        let diags = run(&plan, &binding);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::AwaitWithoutRequest));
+        assert!(diags.iter().any(|d| d.code == DiagCode::OrphanRelease));
+    }
+
+    #[test]
+    fn oversized_arbiter_is_rca306() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        plan.arbiters[0].inputs = 40;
+        let diags = run(&plan, &binding);
+        assert!(diags.iter().any(|d| d.code == DiagCode::ArbiterTooWide));
+    }
+
+    #[test]
+    fn bypass_tasks_access_directly_without_findings() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        // Move T2 to the bypass set and give it its untransformed program.
+        let t2 = plan.graph.task_by_name("T2").unwrap().id();
+        let m2 = plan.graph.segment_by_name("M2").unwrap().id();
+        plan.arbiters[0].bypass.push(t2);
+        plan.graph.task_mut(t2).set_program(Program::build(|p| {
+            let _ = p.mem_read(m2, Expr::lit(0));
+        }));
+        let diags = run(&plan, &binding);
+        // No RCA305 for the bypassing task (RCA202 soundness is the
+        // elision check's business, not this walker's).
+        assert!(
+            !diags.iter().any(|d| d.code == DiagCode::UnguardedAccess),
+            "{diags:?}"
+        );
+    }
+}

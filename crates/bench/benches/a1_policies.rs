@@ -36,7 +36,10 @@ fn fairness_under_saturation(kind: PolicyKind, n: usize, cycles: u32) -> f64 {
 
 fn bench(c: &mut Criterion) {
     println!("--- A1: policy comparison (reproduced) ---");
-    println!("{:<4} {:<16} {:>6} {:>6} {:>8} {:>9}", "N", "policy", "CLBs", "FFs", "MHz", "fairness");
+    println!(
+        "{:<4} {:<16} {:>6} {:>6} {:>8} {:>9}",
+        "N", "policy", "CLBs", "FFs", "MHz", "fairness"
+    );
     for row in policy_ablation_rows([2, 4, 6, 8, 10]) {
         let fair = fairness_under_saturation(row.policy, row.n, 5000);
         println!(

@@ -18,7 +18,12 @@ fn bench(c: &mut Criterion) {
     );
 
     let flow = run_fft_flow().expect("flow");
-    let tile = [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]];
+    let tile = [
+        [1, 2, 3, 4],
+        [5, 6, 7, 8],
+        [9, 10, 11, 12],
+        [13, 14, 15, 16],
+    ];
     let mut group = c.benchmark_group("e5_runtime");
     group.sample_size(20);
     group.bench_function("simulate_block_3_partitions", |b| {

@@ -26,24 +26,32 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [2usize, 6, 10] {
         for (tool, enc, label) in [
-            (ToolModel::fpga_express(), EncodingStyle::OneHot, "express-onehot"),
-            (ToolModel::fpga_express(), EncodingStyle::Compact, "express-compact"),
-            (ToolModel::synplify(), EncodingStyle::OneHot, "synplify-onehot"),
+            (
+                ToolModel::fpga_express(),
+                EncodingStyle::OneHot,
+                "express-onehot",
+            ),
+            (
+                ToolModel::fpga_express(),
+                EncodingStyle::Compact,
+                "express-compact",
+            ),
+            (
+                ToolModel::synplify(),
+                EncodingStyle::OneHot,
+                "synplify-onehot",
+            ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let spec = ArbiterSpec::round_robin(n).with_encoding(enc);
-                    b.iter(|| {
-                        let arb = generator.generate(black_box(&spec));
-                        let report = arb.synthesize(&tool);
-                        black_box(report.clbs());
-                        debug_assert!(report.timing.period_ns > 0.0);
-                        let _ = SpeedGrade::Minus3;
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let spec = ArbiterSpec::round_robin(n).with_encoding(enc);
+                b.iter(|| {
+                    let arb = generator.generate(black_box(&spec));
+                    let report = arb.synthesize(&tool);
+                    black_box(report.clbs());
+                    debug_assert!(report.timing.period_ns > 0.0);
+                    let _ = SpeedGrade::Minus3;
+                });
+            });
         }
     }
     group.finish();

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!("--- Figure 7 (reproduced) ---");
     for row in fig7_rows() {
-        println!("N={:<3} {:<24} {:>6.1} MHz", row.n, row.series, row.fmax_mhz);
+        println!(
+            "N={:<3} {:<24} {:>6.1} MHz",
+            row.n, row.series, row.fmax_mhz
+        );
     }
 
     let generator = ArbiterGenerator::new();

@@ -45,17 +45,21 @@ fn bench(c: &mut Criterion) {
             sys.run(1_000_000).cycles
         };
         group.throughput(Throughput::Elements(cycles));
-        group.bench_with_input(BenchmarkId::new("saturated_4way", label), &cosim, |b, &cs| {
-            b.iter(|| {
-                let mut sys =
-                    SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                        .with_cosim(cs)
-                        .build(&board);
-                let report = sys.run(1_000_000);
-                debug_assert!(report.clean());
-                black_box(report.cycles)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("saturated_4way", label),
+            &cosim,
+            |b, &cs| {
+                b.iter(|| {
+                    let mut sys =
+                        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+                            .with_cosim(cs)
+                            .build(&board);
+                    let report = sys.run(1_000_000);
+                    debug_assert!(report.clean());
+                    black_box(report.cycles)
+                });
+            },
+        );
     }
     group.finish();
 }

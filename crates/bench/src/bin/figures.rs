@@ -56,8 +56,16 @@ fn print_table1() {
     for placement in [RegisterPlacement::Receiver, RegisterPlacement::Source] {
         let mut route = RouteState::new(vec![c1, c4], placement);
         // step 1: Task 1 drives c1 := 10; step 2: Task 4 drives c4 := 102.
-        route.cycle(&[RouteSend { task: TaskId::new(0), channel: c1, value: 10 }]);
-        route.cycle(&[RouteSend { task: TaskId::new(3), channel: c4, value: 102 }]);
+        route.cycle(&[RouteSend {
+            task: TaskId::new(0),
+            channel: c1,
+            value: 10,
+        }]);
+        route.cycle(&[RouteSend {
+            task: TaskId::new(3),
+            channel: c4,
+            value: 102,
+        }]);
         // step 3: Task 2 reads c1.
         let x = route.read(c1);
         println!(
@@ -94,14 +102,26 @@ fn print_e5() {
     println!("hardware compute       {:>9.2}s", r.hw_compute_s);
     println!("hardware host I/O      {:>9.2}s", r.hw_io_s);
     println!("hardware reconfig      {:>9.2}s", r.hw_reconfig_s);
-    println!("hardware total         {:>9.2}s   (paper: 4.4s)", r.hw_total_s);
-    println!("software (P150 model)  {:>9.2}s   (paper: 6.8s)", r.sw_total_s);
-    println!("speedup                {:>9.2}x   (paper: 1.55x)", r.speedup());
+    println!(
+        "hardware total         {:>9.2}s   (paper: 4.4s)",
+        r.hw_total_s
+    );
+    println!(
+        "software (P150 model)  {:>9.2}s   (paper: 6.8s)",
+        r.sw_total_s
+    );
+    println!(
+        "speedup                {:>9.2}x   (paper: 1.55x)",
+        r.speedup()
+    );
 }
 
 fn print_e7() {
     println!("== E7: protocol overhead vs burst bound M (8 accesses) ==");
-    println!("{:<4} {:>12} {:>12} {:>10}", "M", "plain", "arbitrated", "overhead");
+    println!(
+        "{:<4} {:>12} {:>12} {:>10}",
+        "M", "plain", "arbitrated", "overhead"
+    );
     for r in protocol_overhead_rows(8, &[1, 2, 4, 8]) {
         println!(
             "{:<4} {:>12} {:>12} {:>10}",

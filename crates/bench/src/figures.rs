@@ -25,8 +25,16 @@ fn sweep(ns: std::ops::RangeInclusive<usize>) -> Vec<SweepRow> {
     let table = Characterization::sweep_round_robin(ns, SpeedGrade::Minus3);
     let mut rows = Vec::new();
     for (tool, enc, label) in [
-        ("fpga_express", EncodingStyle::OneHot, "FPGA_express One-Hot"),
-        ("fpga_express", EncodingStyle::Compact, "FPGA_express Compact"),
+        (
+            "fpga_express",
+            EncodingStyle::OneHot,
+            "FPGA_express One-Hot",
+        ),
+        (
+            "fpga_express",
+            EncodingStyle::Compact,
+            "FPGA_express Compact",
+        ),
         ("synplify", EncodingStyle::OneHot, "Synplify One-Hot"),
     ] {
         for row in table.series(tool, enc) {

@@ -4,11 +4,10 @@ use crate::channel::{PhysChannelId, PhysicalChannel};
 use crate::crossbar::Crossbar;
 use crate::device::FpgaDevice;
 use crate::memory::{BankAttachment, BankId, MemoryBank};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a processing element (one FPGA) on a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PeId(u32);
 
 impl PeId {
@@ -30,7 +29,7 @@ impl fmt::Display for PeId {
 }
 
 /// A processing element: one FPGA device instance.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessingElement {
     id: PeId,
     name: String,
@@ -67,7 +66,7 @@ impl ProcessingElement {
 ///
 /// Assemble one with [`BoardBuilder`] or take a preset from
 /// [`crate::presets`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Board {
     name: String,
     pes: Vec<ProcessingElement>,
@@ -180,6 +179,16 @@ impl Board {
             .is_some_and(|xb| xb.reaches(a) && xb.reaches(b))
     }
 }
+
+rcarb_json::impl_json_newtype!(PeId);
+rcarb_json::impl_json_struct!(ProcessingElement { id, name, device });
+rcarb_json::impl_json_struct!(Board {
+    name,
+    pes,
+    banks,
+    channels,
+    crossbar,
+});
 
 /// Builds a [`Board`].
 #[derive(Debug, Default)]

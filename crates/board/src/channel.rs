@@ -1,11 +1,10 @@
 //! Physical pin bundles between processing elements.
 
 use crate::board::PeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a physical channel on a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysChannelId(u32);
 
 impl PhysChannelId {
@@ -32,7 +31,7 @@ impl fmt::Display for PhysChannelId {
 /// When a design needs more logical channels between two PEs than physical
 /// channels exist, the channel-merging pass of `rcarb-core` time-multiplexes
 /// several logical channels onto one physical channel (the paper's Fig. 3).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PhysicalChannel {
     id: PhysChannelId,
     name: String,
@@ -97,6 +96,15 @@ impl PhysicalChannel {
     }
 }
 
+rcarb_json::impl_json_newtype!(PhysChannelId);
+rcarb_json::impl_json_struct!(PhysicalChannel {
+    id,
+    name,
+    width_bits,
+    a,
+    b,
+});
+
 impl fmt::Display for PhysicalChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -113,7 +121,13 @@ mod tests {
 
     #[test]
     fn connectivity_predicates() {
-        let c = PhysicalChannel::new(PhysChannelId::new(0), "pp01", 36, PeId::new(0), PeId::new(1));
+        let c = PhysicalChannel::new(
+            PhysChannelId::new(0),
+            "pp01",
+            36,
+            PeId::new(0),
+            PeId::new(1),
+        );
         assert!(c.connects(PeId::new(0), PeId::new(1)));
         assert!(c.connects(PeId::new(1), PeId::new(0)));
         assert!(!c.connects(PeId::new(1), PeId::new(2)));

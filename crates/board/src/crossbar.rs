@@ -1,7 +1,6 @@
 //! Programmable crossbar interconnect.
 
 use crate::board::PeId;
-use serde::{Deserialize, Serialize};
 
 /// A programmable crossbar reachable from several processing elements.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// the crossbar (36 bits on the Wildforce); the crossbar can be programmed
 /// to connect any two or more of its ports. Shared memory banks and merged
 /// channels between non-neighbour PEs route through here.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Crossbar {
     port_width_bits: u32,
     ports: Vec<PeId>,
@@ -24,7 +23,10 @@ impl Crossbar {
     /// Panics if `port_width_bits` is zero or fewer than two ports are
     /// given (a one-port crossbar connects nothing).
     pub fn new(port_width_bits: u32, ports: Vec<PeId>) -> Self {
-        assert!(port_width_bits > 0, "crossbar ports must be at least one bit wide");
+        assert!(
+            port_width_bits > 0,
+            "crossbar ports must be at least one bit wide"
+        );
         assert!(ports.len() >= 2, "crossbar needs at least two ports");
         Self {
             port_width_bits,
@@ -52,6 +54,11 @@ impl Crossbar {
         self.port_width_bits
     }
 }
+
+rcarb_json::impl_json_struct!(Crossbar {
+    port_width_bits,
+    ports,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,13 +1,12 @@
 //! FPGA device descriptions and the XC4000E catalogue.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Speed grade of an XC4000E-class part (lower is faster silicon).
 ///
 /// The paper characterizes arbiters on a `-3` speed grade; the grade scales
 /// the logic/routing delays used by the `rcarb-logic` timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpeedGrade {
     /// Fastest grade shipped for the XC4000E family.
     Minus1,
@@ -49,7 +48,7 @@ impl fmt::Display for SpeedGrade {
 /// The CLB is the XC4000-series *configurable logic block*: two 4-input
 /// function generators, one 3-input function generator and two flip-flops.
 /// Area in the paper's Fig. 6 is reported in CLBs.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FpgaDevice {
     name: String,
     clbs: u32,
@@ -63,7 +62,12 @@ impl FpgaDevice {
     /// # Panics
     ///
     /// Panics if `clbs` or `user_pins` is zero.
-    pub fn new(name: impl Into<String>, clbs: u32, user_pins: u32, speed_grade: SpeedGrade) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        clbs: u32,
+        user_pins: u32,
+        speed_grade: SpeedGrade,
+    ) -> Self {
         assert!(clbs > 0, "device must have at least one CLB");
         assert!(user_pins > 0, "device must have at least one user pin");
         Self {
@@ -111,6 +115,19 @@ impl fmt::Display for FpgaDevice {
         write!(f, "{}{} ({} CLBs)", self.name, self.speed_grade, self.clbs)
     }
 }
+
+rcarb_json::impl_json_unit_enum!(SpeedGrade {
+    Minus1,
+    Minus2,
+    Minus3,
+    Minus4,
+});
+rcarb_json::impl_json_struct!(FpgaDevice {
+    name,
+    clbs,
+    user_pins,
+    speed_grade,
+});
 
 /// The XC4005E: 14x14 CLB array.
 pub fn xc4005e(grade: SpeedGrade) -> FpgaDevice {

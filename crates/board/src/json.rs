@@ -1,0 +1,146 @@
+//! JSON conversions for the enums whose layout needs hand-written
+//! external tagging, plus whole-board round-trip tests. The per-struct
+//! conversions live next to each type (they need private-field access).
+
+use crate::board::PeId;
+use crate::memory::{BankAttachment, BankId};
+use crate::resources::ResourceError;
+use rcarb_json::{expect_field, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for BankAttachment {
+    fn to_json(&self) -> Json {
+        match self {
+            BankAttachment::Local(pe) => Json::Obj(vec![("Local".to_owned(), pe.to_json())]),
+            BankAttachment::Shared => Json::Str("Shared".to_owned()),
+        }
+    }
+}
+
+impl FromJson for BankAttachment {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "Shared" => Ok(BankAttachment::Shared),
+            Json::Obj(_) => Ok(BankAttachment::Local(PeId::from_json(expect_field(
+                v, "Local",
+            )?)?)),
+            _ => Err(JsonError::shape("expected a BankAttachment")),
+        }
+    }
+}
+
+impl ToJson for ResourceError {
+    fn to_json(&self) -> Json {
+        let (tag, pairs) = match *self {
+            ResourceError::ClbsExhausted {
+                pe,
+                requested,
+                free,
+            } => (
+                "ClbsExhausted",
+                vec![
+                    ("pe".to_owned(), pe.to_json()),
+                    ("requested".to_owned(), requested.to_json()),
+                    ("free".to_owned(), free.to_json()),
+                ],
+            ),
+            ResourceError::BankExhausted {
+                bank,
+                requested,
+                free,
+            } => (
+                "BankExhausted",
+                vec![
+                    ("bank".to_owned(), bank.to_json()),
+                    ("requested".to_owned(), requested.to_json()),
+                    ("free".to_owned(), free.to_json()),
+                ],
+            ),
+            ResourceError::PinsExhausted {
+                pe,
+                requested,
+                free,
+            } => (
+                "PinsExhausted",
+                vec![
+                    ("pe".to_owned(), pe.to_json()),
+                    ("requested".to_owned(), requested.to_json()),
+                    ("free".to_owned(), free.to_json()),
+                ],
+            ),
+        };
+        Json::Obj(vec![(tag.to_owned(), Json::Obj(pairs))])
+    }
+}
+
+impl FromJson for ResourceError {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| JsonError::shape("expected a ResourceError object"))?;
+        let (tag, body) = pairs
+            .first()
+            .ok_or_else(|| JsonError::shape("expected a tagged ResourceError"))?;
+        let requested = u32::from_json(expect_field(body, "requested")?)?;
+        let free = u32::from_json(expect_field(body, "free")?)?;
+        match tag.as_str() {
+            "ClbsExhausted" => Ok(ResourceError::ClbsExhausted {
+                pe: PeId::from_json(expect_field(body, "pe")?)?,
+                requested,
+                free,
+            }),
+            "BankExhausted" => Ok(ResourceError::BankExhausted {
+                bank: BankId::from_json(expect_field(body, "bank")?)?,
+                requested,
+                free,
+            }),
+            "PinsExhausted" => Ok(ResourceError::PinsExhausted {
+                pe: PeId::from_json(expect_field(body, "pe")?)?,
+                requested,
+                free,
+            }),
+            other => Err(JsonError::shape(format!(
+                "unknown ResourceError variant `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn attachment_layouts() {
+        let local = BankAttachment::Local(PeId::new(3));
+        assert_eq!(rcarb_json::to_string(&local), r#"{"Local":3}"#);
+        assert_eq!(
+            rcarb_json::to_string(&BankAttachment::Shared),
+            r#""Shared""#
+        );
+        for a in [local, BankAttachment::Shared] {
+            let back: BankAttachment = rcarb_json::from_str(&rcarb_json::to_string(&a)).unwrap();
+            assert_eq!(a, back);
+        }
+    }
+
+    #[test]
+    fn resource_error_round_trips() {
+        let e = ResourceError::BankExhausted {
+            bank: BankId::new(1),
+            requested: 9,
+            free: 2,
+        };
+        let back: ResourceError = rcarb_json::from_str(&rcarb_json::to_string(&e)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn board_document_uses_field_names() {
+        let doc = rcarb_json::to_value(&presets::wildforce());
+        assert_eq!(doc["name"], "Wildforce");
+        assert_eq!(doc["pes"][0]["device"]["name"], "XC4013E");
+        assert_eq!(doc["pes"][0]["device"]["speed_grade"], "Minus3");
+        assert_eq!(doc["banks"][0]["attachment"]["Local"].as_u64(), Some(0));
+    }
+}

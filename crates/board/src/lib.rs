@@ -37,6 +37,7 @@ pub mod board;
 pub mod channel;
 pub mod crossbar;
 pub mod device;
+mod json;
 pub mod memory;
 pub mod presets;
 pub mod resources;

@@ -1,11 +1,10 @@
 //! Physical memory banks.
 
 use crate::board::PeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a physical memory bank on a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BankId(u32);
 
 impl BankId {
@@ -27,7 +26,7 @@ impl fmt::Display for BankId {
 }
 
 /// Who can reach a bank directly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BankAttachment {
     /// Local to one processing element (the Wildforce style).
     Local(PeId),
@@ -42,7 +41,7 @@ pub enum BankAttachment {
 /// line; when several logical segments with concurrent accessor tasks are
 /// bound here, the arbitration pass must insert an arbiter (Fig. 2 of the
 /// paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemoryBank {
     id: BankId,
     name: String,
@@ -119,6 +118,15 @@ impl MemoryBank {
         }
     }
 }
+
+rcarb_json::impl_json_newtype!(BankId);
+rcarb_json::impl_json_struct!(MemoryBank {
+    id,
+    name,
+    words,
+    width_bits,
+    attachment,
+});
 
 impl fmt::Display for MemoryBank {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

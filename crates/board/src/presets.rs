@@ -25,7 +25,12 @@ pub fn wildforce() -> Board {
         b.local_bank(format!("MEM{i}"), pe, 16 * 1024, 16);
     }
     for w in pes.windows(2) {
-        b.fixed_channel(format!("pp{}{}", w[0].index(), w[1].index()), 36, w[0], w[1]);
+        b.fixed_channel(
+            format!("pp{}{}", w[0].index(), w[1].index()),
+            36,
+            w[0],
+            w[1],
+        );
     }
     b.crossbar(36, pes);
     b.finish()
@@ -57,7 +62,12 @@ pub fn quad_large() -> Board {
     b.shared_bank("SH0", 64 * 1024, 32);
     b.shared_bank("SH1", 64 * 1024, 32);
     for w in pes.windows(2) {
-        b.fixed_channel(format!("pp{}{}", w[0].index(), w[1].index()), 64, w[0], w[1]);
+        b.fixed_channel(
+            format!("pp{}{}", w[0].index(), w[1].index()),
+            64,
+            w[0],
+            w[1],
+        );
     }
     b.crossbar(64, pes);
     b.finish()

@@ -2,12 +2,11 @@
 
 use crate::board::{Board, PeId};
 use crate::memory::BankId;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// A resource request that does not fit the board.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResourceError {
     /// A PE has fewer free CLBs than requested.
     ClbsExhausted {
@@ -41,18 +40,35 @@ pub enum ResourceError {
 impl fmt::Display for ResourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceError::ClbsExhausted { pe, requested, free } => {
-                write!(f, "{pe} has {free} CLBs free but {requested} were requested")
+            ResourceError::ClbsExhausted {
+                pe,
+                requested,
+                free,
+            } => {
+                write!(
+                    f,
+                    "{pe} has {free} CLBs free but {requested} were requested"
+                )
             }
             ResourceError::BankExhausted {
                 bank,
                 requested,
                 free,
             } => {
-                write!(f, "{bank} has {free} words free but {requested} were requested")
+                write!(
+                    f,
+                    "{bank} has {free} words free but {requested} were requested"
+                )
             }
-            ResourceError::PinsExhausted { pe, requested, free } => {
-                write!(f, "{pe} has {free} pins free but {requested} were requested")
+            ResourceError::PinsExhausted {
+                pe,
+                requested,
+                free,
+            } => {
+                write!(
+                    f,
+                    "{pe} has {free} pins free but {requested} were requested"
+                )
             }
         }
     }

@@ -1,14 +1,19 @@
-//! Boards are data: serde round-trips preserve every preset bit for bit
+//! Boards are data: JSON round-trips preserve every preset bit for bit
 //! (the basis of the `board_from_json` portability example).
 
 use rcarb_board::board::Board;
 use rcarb_board::presets;
+use rcarb_json as json;
 
 #[test]
 fn presets_round_trip_through_json() {
-    for board in [presets::wildforce(), presets::duo_small(), presets::quad_large()] {
-        let json = serde_json::to_string(&board).expect("serializes");
-        let back: Board = serde_json::from_str(&json).expect("deserializes");
+    for board in [
+        presets::wildforce(),
+        presets::duo_small(),
+        presets::quad_large(),
+    ] {
+        let text = json::to_string(&board);
+        let back: Board = json::from_str(&text).expect("deserializes");
         assert_eq!(board, back);
     }
 }
@@ -16,13 +21,13 @@ fn presets_round_trip_through_json() {
 #[test]
 fn malformed_board_json_is_rejected() {
     let garbage = r#"{"name": 7}"#;
-    assert!(serde_json::from_str::<Board>(garbage).is_err());
+    assert!(json::from_str::<Board>(garbage).is_err());
 }
 
 #[test]
 fn json_shape_is_stable_enough_to_edit() {
     // The board_from_json example edits these paths; keep them stable.
-    let doc = serde_json::to_value(presets::wildforce()).expect("serializes");
+    let doc = json::to_value(&presets::wildforce());
     assert!(doc["pes"][0]["device"]["clbs"].is_u64());
     assert!(doc["banks"][0]["words"].is_u64());
     assert_eq!(doc["name"], "Wildforce");

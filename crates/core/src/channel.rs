@@ -71,7 +71,11 @@ impl ChannelMergePlan {
 
     /// Logical channels that stay on-chip (same PE both ends) and need no
     /// board resources at all.
-    pub fn intra_pe(&self, graph: &TaskGraph, placement: &dyn Fn(TaskId) -> PeId) -> Vec<ChannelId> {
+    pub fn intra_pe(
+        &self,
+        graph: &TaskGraph,
+        placement: &dyn Fn(TaskId) -> PeId,
+    ) -> Vec<ChannelId> {
         graph
             .channels()
             .iter()
@@ -107,10 +111,16 @@ impl fmt::Display for ChannelPlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChannelPlanError::NoRoute { channel, from, to } => {
-                write!(f, "channel {channel} connects {from} to {to} but no route exists")
+                write!(
+                    f,
+                    "channel {channel} connects {from} to {to} but no route exists"
+                )
             }
             ChannelPlanError::TooWide { channel, widest } => {
-                write!(f, "channel {channel} is wider than the widest route ({widest} bits)")
+                write!(
+                    f,
+                    "channel {channel} is wider than the widest route ({widest} bits)"
+                )
             }
         }
     }
@@ -213,7 +223,9 @@ mod tests {
     /// Four tasks on two PEs with three logical channels crossing.
     fn crossing_design() -> (TaskGraph, Vec<TaskId>) {
         let mut b = TaskGraphBuilder::new("x");
-        let t: Vec<TaskId> = (0..4).map(|i| b.task(format!("T{i}"), Program::empty())).collect();
+        let t: Vec<TaskId> = (0..4)
+            .map(|i| b.task(format!("T{i}"), Program::empty()))
+            .collect();
         // Re-declare tasks with sends once channels exist: builder needs
         // channel ids first, so construct programs afterwards via a second
         // builder pass instead; here empty programs suffice (the planner
@@ -270,7 +282,10 @@ mod tests {
         let plan = plan_merges(&graph, &board, &place).unwrap();
         let m = &plan.merges()[0];
         assert!(m.shared);
-        assert!(!m.needs_arbiter(), "single-source sharing is schedule-arbitrated");
+        assert!(
+            !m.needs_arbiter(),
+            "single-source sharing is schedule-arbitrated"
+        );
     }
 
     #[test]
@@ -293,7 +308,13 @@ mod tests {
         let board = presets::duo_small(); // widest route is 16 bits
         let place = |t: TaskId| PeId::new(t.index() as u32);
         let err = plan_merges(&graph, &board, &place).unwrap_err();
-        assert_eq!(err, ChannelPlanError::TooWide { channel: c, widest: 16 });
+        assert_eq!(
+            err,
+            ChannelPlanError::TooWide {
+                channel: c,
+                widest: 16
+            }
+        );
     }
 
     #[test]
@@ -305,8 +326,14 @@ mod tests {
         let graph = b.finish().unwrap();
         // A board with two PEs and no interconnect at all.
         let mut bb = rcarb_board::board::BoardBuilder::new("island");
-        let p0 = bb.pe("PE0", rcarb_board::device::xc4005e(rcarb_board::device::SpeedGrade::Minus3));
-        let _p1 = bb.pe("PE1", rcarb_board::device::xc4005e(rcarb_board::device::SpeedGrade::Minus3));
+        let p0 = bb.pe(
+            "PE0",
+            rcarb_board::device::xc4005e(rcarb_board::device::SpeedGrade::Minus3),
+        );
+        let _p1 = bb.pe(
+            "PE1",
+            rcarb_board::device::xc4005e(rcarb_board::device::SpeedGrade::Minus3),
+        );
         let board = bb.finish();
         let place = |t: TaskId| PeId::new(t.index() as u32);
         let err = plan_merges(&graph, &board, &place).unwrap_err();

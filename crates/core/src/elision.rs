@@ -95,7 +95,9 @@ mod tests {
     /// with every g depending on every F.
     fn fft_tp0() -> (TaskGraph, Vec<TaskId>) {
         let mut b = TaskGraphBuilder::new("tp0");
-        let fs: Vec<TaskId> = (1..=4).map(|i| b.task(format!("F{i}"), Program::empty())).collect();
+        let fs: Vec<TaskId> = (1..=4)
+            .map(|i| b.task(format!("F{i}"), Program::empty()))
+            .collect();
         let gs: Vec<TaskId> = ["g1r", "g2r"]
             .iter()
             .map(|n| b.task(*n, Program::empty()))

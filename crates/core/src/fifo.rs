@@ -147,9 +147,7 @@ impl Policy for FifoArbiter {
                 .find(|&i| {
                     requests >> i & 1 != 0
                         && (0..self.n).all(|j| {
-                            i == j
-                                || requests >> j & 1 == 0
-                                || self.effective_older(i, j, requests)
+                            i == j || requests >> j & 1 == 0 || self.effective_older(i, j, requests)
                         })
                 })
                 .expect("age matrix always has a unique oldest");
@@ -197,7 +195,7 @@ mod tests {
         // Task 2 arrives first, then task 0 joins one cycle later.
         assert_eq!(a.step(0b0100), 0b0100);
         assert_eq!(a.step(0b0101), 0b0100); // 2 still holds
-        // 2 releases; 0 (older than nobody else pending) wins.
+                                            // 2 releases; 0 (older than nobody else pending) wins.
         assert_eq!(a.step(0b0001), 0b0001);
     }
 
@@ -223,8 +221,8 @@ mod tests {
         let mut a = FifoArbiter::new(3);
         assert_eq!(a.step(0b001), 0b001);
         assert_eq!(a.step(0b011), 0b001); // 1 queues
-        // 0 releases, immediately re-requests next cycle: 1 must win, and
-        // 0's fresh request queues behind 1.
+                                          // 0 releases, immediately re-requests next cycle: 1 must win, and
+                                          // 0's fresh request queues behind 1.
         assert_eq!(a.step(0b010), 0b010);
         assert_eq!(a.step(0b011), 0b010);
         assert_eq!(a.step(0b001), 0b001);

@@ -197,9 +197,10 @@ impl GeneratedArbiter {
     /// or the `tool`-synthesized one for round-robin.
     pub fn netlist(&self, tool: &ToolModel) -> Netlist {
         match (&self.fsm, &self.structural) {
-            (Some(fsm), _) => tool
-                .synthesize_fsm(fsm, self.spec.encoding, self.grade)
-                .netlist,
+            (Some(fsm), _) => {
+                tool.synthesize_fsm(fsm, self.spec.encoding, self.grade)
+                    .netlist
+            }
             (None, Some(nl)) => nl.clone(),
             (None, None) => unreachable!("generator always fills one representation"),
         }

@@ -208,7 +208,8 @@ pub fn insert_arbiters(
                 }
             }
         }
-        let (clbs, fmax_mhz) = characterize::estimate_round_robin(plan.arbiter_inputs, config.grade);
+        let (clbs, fmax_mhz) =
+            characterize::estimate_round_robin(plan.arbiter_inputs, config.grade);
         arbiters.push(ArbiterInstance {
             id,
             resource: ArbitratedResource::Bank(bank),
@@ -239,7 +240,8 @@ pub fn insert_arbiters(
                 }
             }
         }
-        let (clbs, fmax_mhz) = characterize::estimate_round_robin(plan.arbiter_inputs, config.grade);
+        let (clbs, fmax_mhz) =
+            characterize::estimate_round_robin(plan.arbiter_inputs, config.grade);
         arbiters.push(ArbiterInstance {
             id,
             resource: ArbitratedResource::MergedChannel(mi),
@@ -401,8 +403,18 @@ mod tests {
             ArbitratedResource::MergedChannel(0)
         ));
         // Only writers were rewritten.
-        assert!(!plan.graph.task(t0).program().arbiters_referenced().is_empty());
-        assert!(plan.graph.task(t2).program().arbiters_referenced().is_empty());
+        assert!(!plan
+            .graph
+            .task(t0)
+            .program()
+            .arbiters_referenced()
+            .is_empty());
+        assert!(plan
+            .graph
+            .task(t2)
+            .program()
+            .arbiters_referenced()
+            .is_empty());
     }
 
     #[test]

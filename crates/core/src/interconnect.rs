@@ -63,10 +63,24 @@ impl fmt::Display for Edge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.target {
             EdgeTarget::RemoteBank(b) => {
-                write!(f, "{} ({}) -> bank {}: {}", self.task, self.from, b, self.label())
+                write!(
+                    f,
+                    "{} ({}) -> bank {}: {}",
+                    self.task,
+                    self.from,
+                    b,
+                    self.label()
+                )
             }
             EdgeTarget::MergedChannel(i) => {
-                write!(f, "{} ({}) -> route #{}: {}", self.task, self.from, i, self.label())
+                write!(
+                    f,
+                    "{} ({}) -> route #{}: {}",
+                    self.task,
+                    self.from,
+                    i,
+                    self.label()
+                )
             }
         }
     }
@@ -276,7 +290,14 @@ mod tests {
         );
         assert_eq!(plan.arbiter_sizes(), vec![2]);
         let place = |t: TaskId| if t == t0 { PeId::new(0) } else { PeId::new(3) };
-        let rep = report(&graph, &board, &binding, &ChannelMergePlan::default(), &plan, &place);
+        let rep = report(
+            &graph,
+            &board,
+            &binding,
+            &ChannelMergePlan::default(),
+            &plan,
+            &place,
+        );
         assert_eq!(rep.edges.len(), 2);
         for e in &rep.edges {
             // 14 addr + 16 data + 1 select = 31 lines, plus one R/G pair.
@@ -309,7 +330,14 @@ mod tests {
             &ChannelMergePlan::default(),
             &InsertionConfig::paper(),
         );
-        let rep = report(&graph, &board, &binding, &ChannelMergePlan::default(), &plan, &|_| pe0);
+        let rep = report(
+            &graph,
+            &board,
+            &binding,
+            &ChannelMergePlan::default(),
+            &plan,
+            &|_| pe0,
+        );
         assert!(rep.edges.is_empty());
         assert!(rep.over_budget(36).is_empty());
         let _ = t0;
@@ -326,8 +354,12 @@ mod tests {
         let c0 = b.channel("c0", 8, w0, r0);
         let c1 = b.channel("c1", 8, w1, r1);
         let mut graph = b.finish().unwrap();
-        graph.task_mut(w0).set_program(Program::build(|p| p.send(c0, Expr::lit(1))));
-        graph.task_mut(w1).set_program(Program::build(|p| p.send(c1, Expr::lit(2))));
+        graph
+            .task_mut(w0)
+            .set_program(Program::build(|p| p.send(c0, Expr::lit(1))));
+        graph
+            .task_mut(w1)
+            .set_program(Program::build(|p| p.send(c1, Expr::lit(2))));
         let board = presets::duo_small();
         let place = |t: TaskId| PeId::new(u32::from(t.index() >= 2));
         let merges = plan_merges(&graph, &board, &place).unwrap();
@@ -342,10 +374,7 @@ mod tests {
             .filter(|e| e.req_grant_pairs == 1)
             .collect();
         assert_eq!(writers.len(), 2, "both writers are arbitrated");
-        assert!(rep
-            .edges
-            .iter()
-            .all(|e| e.data_lines == 16));
+        assert!(rep.edges.iter().all(|e| e.data_lines == 16));
         // PE0 hosts both writers: the route's 16 pins land once, plus two
         // Request/Grant pairs.
         assert_eq!(rep.pe_wires[0], 16 + 4);

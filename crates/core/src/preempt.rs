@@ -34,7 +34,10 @@ pub fn free_state(n: usize, quantum: u32, i: usize) -> usize {
 ///
 /// Panics if `n` is outside `1..=32` or `quantum` is zero.
 pub fn preemptive_round_robin_fsm(n: usize, quantum: u32) -> Fsm {
-    assert!((1..=32).contains(&n), "preemptive FSM supports 1..=32 tasks");
+    assert!(
+        (1..=32).contains(&n),
+        "preemptive FSM supports 1..=32 tasks"
+    );
     assert!(quantum > 0, "quantum must be at least one cycle");
     let q = quantum;
     let mut fsm = Fsm::new(format!("prr_arbiter_n{n}_q{q}"), n, n);
@@ -136,7 +139,10 @@ impl PreemptiveRoundRobin {
     ///
     /// Panics if `n` is outside `1..=32` or `quantum` is zero.
     pub fn new(n: usize, quantum: u32) -> Self {
-        assert!((1..=32).contains(&n), "preemptive arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "preemptive arbiter supports 1..=32 tasks"
+        );
         assert!(quantum > 0, "quantum must be at least one cycle");
         Self {
             n,
@@ -169,7 +175,11 @@ impl Policy for PreemptiveRoundRobin {
     }
 
     fn step(&mut self, requests: u64) -> u64 {
-        let mask = if self.n >= 64 { u64::MAX } else { (1 << self.n) - 1 };
+        let mask = if self.n >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.n) - 1
+        };
         let requests = requests & mask;
         // A still-requesting holder keeps the grant inside its quantum.
         if let Some(h) = self.holder {

@@ -25,14 +25,20 @@ impl StaticPriorityArbiter {
     ///
     /// Panics if `n` is zero or larger than 32.
     pub fn new(n: usize) -> Self {
-        assert!((1..=32).contains(&n), "static-priority arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "static-priority arbiter supports 1..=32 tasks"
+        );
         Self { n, holder: None }
     }
 
     /// Builds the equivalent gate-level netlist: inputs `R0..R(n-1)`,
     /// outputs `G0..G(n-1)`.
     pub fn structural_netlist(n: usize) -> Netlist {
-        assert!((1..=32).contains(&n), "static-priority arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "static-priority arbiter supports 1..=32 tasks"
+        );
         let mut b = CircuitBuilder::new(n);
         let reqs: Vec<_> = (0..n).map(|i| b.input(i)).collect();
         // Holder register, one-hot.
@@ -156,11 +162,7 @@ mod tests {
                     .iter()
                     .enumerate()
                     .fold(0u64, |w, (i, &g)| if g { w | 1 << i } else { w });
-                assert_eq!(
-                    hw_word,
-                    beh.step(req),
-                    "n={n} step={step} req={req:#b}"
-                );
+                assert_eq!(hw_word, beh.step(req), "n={n} step={step} req={req:#b}");
             }
         }
     }

@@ -18,9 +18,7 @@ pub const LFSR_SEED: u8 = 0x5A;
 const TAPS: [usize; 4] = [7, 5, 4, 3];
 
 fn lfsr_next(state: u8) -> u8 {
-    let fb = TAPS
-        .iter()
-        .fold(0u8, |acc, &t| acc ^ (state >> t & 1));
+    let fb = TAPS.iter().fold(0u8, |acc, &t| acc ^ (state >> t & 1));
     state << 1 | fb
 }
 
@@ -51,7 +49,10 @@ impl RandomArbiter {
     /// Panics if `n` is out of range or `seed` is zero (an all-zero LFSR
     /// never advances).
     pub fn with_seed(n: usize, seed: u8) -> Self {
-        assert!((1..=32).contains(&n), "random arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "random arbiter supports 1..=32 tasks"
+        );
         assert_ne!(seed, 0, "LFSR seed must be non-zero");
         Self {
             n,
@@ -74,7 +75,10 @@ impl RandomArbiter {
     /// Builds the equivalent gate-level netlist: inputs `R0..R(n-1)`,
     /// outputs `G0..G(n-1)`.
     pub fn structural_netlist(n: usize) -> Netlist {
-        assert!((1..=32).contains(&n), "random arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "random arbiter supports 1..=32 tasks"
+        );
         let k = bits_for(n);
         let mut b = CircuitBuilder::new(n);
         let reqs: Vec<_> = (0..n).map(|i| b.input(i)).collect();

@@ -44,7 +44,10 @@ impl RoundRobinArbiter {
     /// Panics if `n` is zero or larger than 32 (the request word is 64-bit
     /// and FSM synthesis needs `2N` one-hot bits plus `N` inputs).
     pub fn new(n: usize) -> Self {
-        assert!((1..=32).contains(&n), "round-robin arbiter supports 1..=32 tasks");
+        assert!(
+            (1..=32).contains(&n),
+            "round-robin arbiter supports 1..=32 tasks"
+        );
         Self {
             n,
             state: State::Free(0),
@@ -142,7 +145,10 @@ pub fn free_state(n: usize, i: usize) -> usize {
 ///
 /// Panics if `n` is zero or larger than 32.
 pub fn round_robin_fsm(n: usize) -> Fsm {
-    assert!((1..=32).contains(&n), "round-robin FSM supports 1..=32 tasks");
+    assert!(
+        (1..=32).contains(&n),
+        "round-robin FSM supports 1..=32 tasks"
+    );
     let mut fsm = Fsm::new(format!("rr_arbiter_n{n}"), n, n);
     for i in 0..n {
         fsm.add_state(format!("C{}", i + 1));

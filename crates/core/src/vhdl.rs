@@ -22,7 +22,10 @@ use std::fmt::Write as _;
 ///
 /// Panics if `n` is zero or larger than 32.
 pub fn round_robin_vhdl(n: usize, encoding: EncodingStyle) -> String {
-    assert!((1..=32).contains(&n), "round-robin VHDL supports 1..=32 tasks");
+    assert!(
+        (1..=32).contains(&n),
+        "round-robin VHDL supports 1..=32 tasks"
+    );
     let mut s = String::new();
     let _ = writeln!(s, "-- Generated round-robin arbiter, N = {n}");
     let _ = writeln!(s, "-- Encoding request: {encoding}");
@@ -72,7 +75,10 @@ pub fn round_robin_vhdl(n: usize, encoding: EncodingStyle) -> String {
     let _ = writeln!(s, "    case state is");
     // Emit, for every state, the cyclic scan of Fig. 5.
     for i in 0..n {
-        for (is_claimed, name) in [(true, format!("C{}", i + 1)), (false, format!("F{}", i + 1))] {
+        for (is_claimed, name) in [
+            (true, format!("C{}", i + 1)),
+            (false, format!("F{}", i + 1)),
+        ] {
             let _ = writeln!(s, "      when {name} =>");
             let idle_target = if is_claimed {
                 format!("F{}", (i + 1) % n + 1)
@@ -127,7 +133,11 @@ pub fn netlist_vhdl(name: &str, netlist: &Netlist) -> String {
     let _ = writeln!(s, "  port (");
     let _ = writeln!(s, "    Clock : in  std_logic;");
     let _ = writeln!(s, "    Reset : in  std_logic;");
-    let _ = writeln!(s, "    Req   : in  std_logic_vector({} downto 0);", n_in.max(1) - 1);
+    let _ = writeln!(
+        s,
+        "    Req   : in  std_logic_vector({} downto 0);",
+        n_in.max(1) - 1
+    );
     let _ = writeln!(
         s,
         "    Grant : out std_logic_vector({} downto 0)",
@@ -248,8 +258,14 @@ mod tests {
         let nl = StaticPriorityArbiter::structural_netlist(3);
         let v = netlist_vhdl("prio3", &nl);
         assert!(v.contains("entity prio3"));
-        assert!(v.contains(&format!("w : std_logic_vector({} downto 0)", nl.num_luts() - 1)));
-        assert!(v.contains(&format!("q : std_logic_vector({} downto 0)", nl.num_regs() - 1)));
+        assert!(v.contains(&format!(
+            "w : std_logic_vector({} downto 0)",
+            nl.num_luts() - 1
+        )));
+        assert!(v.contains(&format!(
+            "q : std_logic_vector({} downto 0)",
+            nl.num_regs() - 1
+        )));
         assert!(v.contains("Grant(2) <="));
         assert!(v.contains("rising_edge(Clock)"));
     }

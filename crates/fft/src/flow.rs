@@ -12,6 +12,7 @@
 
 use crate::reference::Complex;
 use crate::taskgraph::{build_fft_taskgraph, FftNames};
+use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig};
 use rcarb_board::board::{Board, PeId};
 use rcarb_board::presets;
 use rcarb_partition::flow::{run_flow, FlowConfig, FlowError, FlowResult};
@@ -106,6 +107,20 @@ pub fn run_fft_flow_on(
     })
 }
 
+impl FftFlow {
+    /// Runs the design-rule static analyzer over every temporal
+    /// partition, merging the findings into one report with
+    /// `partition #N:` location prefixes.
+    pub fn analyze(&self, config: &AnalyzeConfig) -> AnalysisReport {
+        let mut report = AnalysisReport::new();
+        for stage in &self.result.stages {
+            let stage_report = analyze_plan(&stage.plan, &stage.binding, &stage.merges, config);
+            report.absorb(stage_report, &format!("partition #{}: ", stage.index));
+        }
+        report
+    }
+}
+
 /// The outcome of simulating one 4x4 tile through all partitions.
 #[derive(Debug, Clone)]
 pub struct BlockSim {
@@ -141,8 +156,8 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
     }
     let mut stage_cycles = Vec::new();
     for stage in &flow.result.stages {
-        let mut sys = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
-            .build(&flow.board);
+        let mut sys =
+            SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges).build(&flow.board);
         let sub = &stage.plan.graph;
         for seg in sub.segments() {
             if let Some(data) = memory.get(seg.name()) {
@@ -237,11 +252,43 @@ mod tests {
     }
 
     #[test]
+    fn fft_flow_analyzes_clean() {
+        let flow = run_fft_flow().unwrap();
+        let report = flow.analyze(&AnalyzeConfig::default());
+        assert!(report.is_clean(), "{}", report.render_text());
+        // Findings from every partition carry its prefix; stage #2 has no
+        // arbiters, so all findings come from #0 and #1.
+        assert!(report
+            .diagnostics()
+            .iter()
+            .all(|d| d.location.starts_with("partition #")));
+    }
+
+    #[test]
+    fn elided_fft_flow_also_analyzes_clean() {
+        // The A2 ablation (Sec. 5 elision on) must also pass: smaller
+        // arbiters plus dependency-ordered bypasses.
+        let flow = run_fft_flow_with(true).unwrap();
+        let report = flow.analyze(&AnalyzeConfig::default());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
     fn simulated_block_matches_exact_reference() {
         let flow = run_fft_flow().unwrap();
         let tiles = [
-            [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]],
-            [[255, 0, 255, 0], [0, 255, 0, 255], [7, 7, 7, 7], [0, 0, 0, 1]],
+            [
+                [1, 2, 3, 4],
+                [5, 6, 7, 8],
+                [9, 10, 11, 12],
+                [13, 14, 15, 16],
+            ],
+            [
+                [255, 0, 255, 0],
+                [0, 255, 0, 255],
+                [7, 7, 7, 7],
+                [0, 0, 0, 1],
+            ],
             [[0; 4]; 4],
         ];
         for tile in tiles {

@@ -152,12 +152,7 @@ mod tests {
         // relies on.
         let a = [c(4, 0), c(-1, 0), c(7, 0), c(2, 0)];
         let b = [c(3, 0), c(5, 0), c(-9, 0), c(1, 0)];
-        let combined = [
-            c(4, 3),
-            c(-1, 5),
-            c(7, -9),
-            c(2, 1),
-        ];
+        let combined = [c(4, 3), c(-1, 5), c(7, -9), c(2, 1)];
         let fa = dft4(a);
         let fb = dft4(b);
         let fc = dft4(combined);

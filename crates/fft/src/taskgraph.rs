@@ -72,12 +72,7 @@ fn fft4_real_exprs(x: [Expr; 4]) -> [(Expr, Expr); 4] {
     let re2 = sub(add(x0.clone(), x2.clone()), add(x1.clone(), x3.clone()));
     let re3 = sub(x0, x2);
     let im3 = sub(x1, x3);
-    [
-        (re0, zero()),
-        (re1, im1),
-        (re2, zero()),
-        (re3, im3),
-    ]
+    [(re0, zero()), (re1, im1), (re2, zero()), (re3, im3)]
 }
 
 /// Builds the Fig. 10 taskgraph.
@@ -94,9 +89,8 @@ pub fn build_fft_taskgraph() -> (TaskGraph, FftNames) {
         b.task_with_area(
             format!("F{}", i + 1),
             Program::build(|p| {
-                let xs: [Expr; 4] = std::array::from_fn(|j| {
-                    Expr::var(p.mem_read(mi[i], Expr::lit(j as u64)))
-                });
+                let xs: [Expr; 4] =
+                    std::array::from_fn(|j| Expr::var(p.mem_read(mi[i], Expr::lit(j as u64))));
                 p.compute(4); // row-FFT datapath latency
                 let outs = fft4_real_exprs(xs);
                 for (j, (re, im)) in outs.into_iter().enumerate() {
@@ -114,9 +108,8 @@ pub fn build_fft_taskgraph() -> (TaskGraph, FftNames) {
         b.task_with_area(
             name,
             Program::build(|p| {
-                let ys: [Expr; 4] = std::array::from_fn(|i| {
-                    Expr::var(p.mem_read(src, Expr::lit(i as u64)))
-                });
+                let ys: [Expr; 4] =
+                    std::array::from_fn(|i| Expr::var(p.mem_read(src, Expr::lit(i as u64))));
                 p.compute(4);
                 let outs = fft4_real_exprs(ys);
                 for (k, (re, im)) in outs.into_iter().enumerate() {

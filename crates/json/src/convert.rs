@@ -1,0 +1,207 @@
+//! The [`ToJson`]/[`FromJson`] conversion traits and primitive impls.
+
+use crate::parse::JsonError;
+use crate::value::{Json, Number};
+
+/// Serializes a value to a [`Json`] document.
+pub trait ToJson {
+    /// Builds the document.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserializes a value from a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Reads the document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the document has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Looks up a required object field; used by the derive-style macros.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when `v` is not an object or lacks the field.
+pub fn expect_field<'a>(v: &'a Json, name: &str) -> Result<&'a Json, JsonError> {
+    match v {
+        Json::Obj(_) => v
+            .get(name)
+            .ok_or_else(|| JsonError::shape(format!("missing field `{name}`"))),
+        other => Err(JsonError::shape(format!(
+            "expected an object with field `{name}`, found {other:?}"
+        ))),
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Json {
+                    Json::Num(Number::Uint(*self as u64))
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    v.as_u64()
+                        .and_then(|u| <$ty>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            JsonError::shape(concat!("expected a ", stringify!($ty)))
+                        })
+                }
+            }
+        )+
+    };
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Json {
+                    Json::from(*self as i64)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    v.as_i64()
+                        .and_then(|i| <$ty>::try_from(i).ok())
+                        .ok_or_else(|| {
+                            JsonError::shape(concat!("expected an ", stringify!($ty)))
+                        })
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(i8, i16, i32, i64);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(Number::Float(*self))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::shape("expected a number"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+            .ok_or_else(|| JsonError::shape("expected a boolean"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::shape("expected a string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::shape("expected an array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::shape("expected a two-element array")),
+        }
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}

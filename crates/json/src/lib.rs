@@ -1,0 +1,190 @@
+#![warn(missing_docs)]
+
+//! # rcarb-json — dependency-free JSON for design data
+//!
+//! The repository's portability story ("a design is plain data") rests on
+//! serializing boards and taskgraphs to JSON and back. This crate provides
+//! the small JSON substrate that story needs — a value model ([`Json`]),
+//! a strict parser ([`Json::parse`]), compact and pretty printers, and the
+//! [`ToJson`]/[`FromJson`] conversion traits — with no dependencies, so
+//! the workspace builds without any registry access.
+//!
+//! The layout conventions mirror what a derive-based serializer would
+//! produce, keeping existing documents valid:
+//!
+//! - structs become objects keyed by field name;
+//! - newtype identifiers (e.g. `PeId(3)`) are transparent numbers;
+//! - enums are externally tagged: unit variants are bare strings,
+//!   data-carrying variants are single-key objects;
+//! - tuples become fixed-length arrays, `Option` uses `null` for `None`.
+
+mod convert;
+mod parse;
+mod print;
+mod value;
+
+pub use convert::{expect_field, FromJson, ToJson};
+pub use parse::JsonError;
+pub use value::{Json, Number};
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Serializes a value to an indented JSON string.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Serializes a value to a [`Json`] document.
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Json {
+    value.to_json()
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed text or a document that does not
+/// match the expected shape.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+/// Deserializes a value from a [`Json`] document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the document does not match the expected
+/// shape.
+pub fn from_value<T: FromJson>(doc: &Json) -> Result<T, JsonError> {
+    T::from_json(doc)
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct as an object keyed by
+/// field name. Must be invoked inside the struct's own crate (it accesses
+/// fields directly).
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(
+                        $crate::expect_field(v, stringify!($field))?,
+                    )?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a fieldless enum as a bare
+/// variant-name string (external tagging).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $($ty::$variant => $crate::Json::Str(stringify!($variant).to_owned())),+
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    _ => Err($crate::JsonError::shape(concat!(
+                        "expected a ", stringify!($ty), " variant name"
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a `struct Name(Inner)` newtype
+/// as its transparent inner value. Must be invoked inside the newtype's
+/// own crate.
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($ty:ident) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($ty($crate::FromJson::from_json(v)?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_shapes() {
+        let text = r#"{"a": [1, -2, 3.5, true, null], "b": {"nested": "x\n\"y\""}}"#;
+        let doc = Json::parse(text).unwrap();
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(doc, back);
+        let pretty = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(doc, pretty);
+    }
+
+    #[test]
+    fn indexing_mirrors_document_paths() {
+        let doc = Json::parse(r#"{"pes": [{"device": {"clbs": 576}}]}"#).unwrap();
+        assert!(doc["pes"][0]["device"]["clbs"].is_u64());
+        assert_eq!(doc["pes"][0]["device"]["clbs"].as_u64(), Some(576));
+        assert_eq!(doc["missing"]["also missing"], Json::Null);
+    }
+
+    #[test]
+    fn mutation_edits_in_place() {
+        let mut doc = Json::parse(r#"{"name": "a", "words": 4}"#).unwrap();
+        doc["name"] = "b".into();
+        doc["words"] = (8u64).into();
+        assert_eq!(doc["name"], "b");
+        assert_eq!(doc["words"].as_u64(), Some(8));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "\"\\q\"", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let doc = Json::parse(r#""\u0041\uD83D\uDE00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("A\u{1F600}"));
+    }
+
+    #[test]
+    fn primitives_round_trip_through_traits() {
+        assert_eq!(from_str::<u32>(&to_string(&7u32)).unwrap(), 7);
+        assert!(from_str::<bool>(&to_string(&true)).unwrap());
+        assert_eq!(
+            from_str::<Vec<String>>(&to_string(&vec!["x".to_owned()])).unwrap(),
+            vec!["x".to_owned()]
+        );
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<(u32, u32)>("[1, 2]").unwrap(), (1, 2));
+        assert!(from_str::<u32>("\"seven\"").is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Compact and indented JSON printers.
+
+use crate::value::{Json, Number};
+use std::fmt::Write;
+
+pub(crate) fn print(doc: &Json, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(&mut out, doc, pretty, 0);
+    out
+}
+
+fn write_value(out: &mut String, doc: &Json, pretty: bool, depth: usize) {
+    match doc {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, depth + 1);
+                write_value(out, item, pretty, depth + 1);
+            }
+            newline_indent(out, pretty, depth);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, pretty, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, value, pretty, depth + 1);
+            }
+            newline_indent(out, pretty, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, pretty: bool, depth: usize) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::Uint(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) if f.is_finite() => {
+            // Keep a decimal point so the value re-parses as a float.
+            if f == f.trunc() && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        // JSON has no representation for NaN/inf; degrade to null like
+        // other lenient printers.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,310 @@
+//! The JSON value model and its accessors.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON number.
+///
+/// Integers that fit are kept exact (`Uint`/`Int`) so identifiers and
+/// 64-bit literals survive a round-trip bit for bit; everything else is an
+/// `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as a `u64`, if exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::Uint(u) => Some(u),
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, if exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Uint(u) => i64::try_from(u).ok(),
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as an `f64` (lossy for large integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Uint(u) => u as f64,
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Shared sentinel returned when indexing misses.
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Returns true for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Returns true for a number exactly representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The elements mutably, if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Json {
+    type Output = Json;
+
+    /// Missing keys and non-objects index to `null`, so document paths can
+    /// be probed without panicking.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Json {
+    /// Inserts `null` for a missing key; a `null` value becomes an object
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indexing a non-object, non-null value by key.
+    fn index_mut(&mut self, key: &str) -> &mut Json {
+        if self.is_null() {
+            *self = Json::Obj(Vec::new());
+        }
+        let Json::Obj(pairs) = self else {
+            panic!("cannot index {self:?} with a string key");
+        };
+        if !pairs.iter().any(|(k, _)| k == key) {
+            pairs.push((key.to_owned(), Json::Null));
+        }
+        &mut pairs.iter_mut().find(|(k, _)| k == key).unwrap().1
+    }
+}
+
+impl Index<usize> for Json {
+    type Output = Json;
+
+    /// Out-of-range indices and non-arrays index to `null`.
+    fn index(&self, i: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<usize> for Json {
+    /// # Panics
+    ///
+    /// Panics when the value is not an array or the index is out of range.
+    fn index_mut(&mut self, i: usize) -> &mut Json {
+        match self {
+            Json::Arr(items) => &mut items[i],
+            other => panic!("cannot index {other:?} with a number"),
+        }
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Json {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Json> for &str {
+    fn eq(&self, other: &Json) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(Number::Uint(u64::from(n)))
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(Number::Uint(n))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(Number::Uint(n as u64))
+    }
+}
+
+impl From<i32> for Json {
+    fn from(n: i32) -> Json {
+        Json::from(i64::from(n))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        if n >= 0 {
+            Json::Num(Number::Uint(n as u64))
+        } else {
+            Json::Num(Number::Int(n))
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(Number::Float(n))
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::print(self, false))
+    }
+}
+
+impl Json {
+    /// Renders the document compactly.
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        crate::print::print(self, false)
+    }
+
+    /// Renders the document with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        crate::print::print(self, true)
+    }
+}

@@ -49,7 +49,11 @@ impl Cube {
         }
         Self {
             mask: self.mask | bit,
-            value: if polarity { self.value | bit } else { self.value },
+            value: if polarity {
+                self.value | bit
+            } else {
+                self.value
+            },
         }
     }
 

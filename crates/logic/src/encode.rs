@@ -139,10 +139,22 @@ mod tests {
 
     #[test]
     fn compact_uses_ceil_log2_bits() {
-        assert_eq!(Encoding::assign(&fsm_with_states(2), EncodingStyle::Compact).bits(), 1);
-        assert_eq!(Encoding::assign(&fsm_with_states(4), EncodingStyle::Compact).bits(), 2);
-        assert_eq!(Encoding::assign(&fsm_with_states(5), EncodingStyle::Compact).bits(), 3);
-        assert_eq!(Encoding::assign(&fsm_with_states(12), EncodingStyle::Compact).bits(), 4);
+        assert_eq!(
+            Encoding::assign(&fsm_with_states(2), EncodingStyle::Compact).bits(),
+            1
+        );
+        assert_eq!(
+            Encoding::assign(&fsm_with_states(4), EncodingStyle::Compact).bits(),
+            2
+        );
+        assert_eq!(
+            Encoding::assign(&fsm_with_states(5), EncodingStyle::Compact).bits(),
+            3
+        );
+        assert_eq!(
+            Encoding::assign(&fsm_with_states(12), EncodingStyle::Compact).bits(),
+            4
+        );
     }
 
     #[test]
@@ -155,7 +167,11 @@ mod tests {
 
     #[test]
     fn codes_are_unique() {
-        for style in [EncodingStyle::OneHot, EncodingStyle::Compact, EncodingStyle::Gray] {
+        for style in [
+            EncodingStyle::OneHot,
+            EncodingStyle::Compact,
+            EncodingStyle::Gray,
+        ] {
             let e = Encoding::assign(&fsm_with_states(10), style);
             let mut codes = e.codes().to_vec();
             codes.sort_unstable();

@@ -38,10 +38,18 @@ pub fn fsm_to_kiss2(fsm: &Fsm) -> String {
         let _ = writeln!(
             s,
             "{} {} {} {}",
-            if input.is_empty() { "-".to_owned() } else { input },
+            if input.is_empty() {
+                "-".to_owned()
+            } else {
+                input
+            },
             fsm.state_names()[t.from],
             fsm.state_names()[t.to],
-            if output.is_empty() { "0".to_owned() } else { output },
+            if output.is_empty() {
+                "0".to_owned()
+            } else {
+                output
+            },
         );
     }
     let _ = writeln!(s, ".e");
@@ -137,10 +145,30 @@ mod tests {
         fsm.set_reset(s0);
         let hi = Cube::universe().with_lit(0, true);
         let lo = Cube::universe().with_lit(0, false);
-        fsm.add_transition(Transition { from: s0, guard: hi, to: s1, outputs: 1 });
-        fsm.add_transition(Transition { from: s0, guard: lo, to: s0, outputs: 0 });
-        fsm.add_transition(Transition { from: s1, guard: hi, to: s0, outputs: 0 });
-        fsm.add_transition(Transition { from: s1, guard: lo, to: s1, outputs: 1 });
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: hi,
+            to: s1,
+            outputs: 1,
+        });
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: lo,
+            to: s0,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: s1,
+            guard: hi,
+            to: s0,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: s1,
+            guard: lo,
+            to: s1,
+            outputs: 1,
+        });
         fsm
     }
 
@@ -181,7 +209,12 @@ mod tests {
             f.add_state(format!("s{i}"));
         }
         let zero = (0..n).fold(Cube::universe(), |c, v| c.with_lit(v, false));
-        f.add_transition(Transition { from: 0, guard: zero, to: 1, outputs: 0 });
+        f.add_transition(Transition {
+            from: 0,
+            guard: zero,
+            to: 1,
+            outputs: 0,
+        });
         let k = fsm_to_kiss2(&f);
         assert!(k.contains(&format!(".s {}", 2 * n)));
         assert!(k.contains("0000 s0 s1 0000"));

@@ -57,7 +57,10 @@ impl fmt::Display for FsmError {
                 write!(f, "transition references unknown state {state}")
             }
             FsmError::OutputOutOfRange { state } => {
-                write!(f, "state {state} asserts an output beyond the declared width")
+                write!(
+                    f,
+                    "state {state} asserts an output beyond the declared width"
+                )
             }
         }
     }
@@ -219,10 +222,30 @@ mod tests {
         fsm.set_reset(s0);
         let hi = Cube::universe().with_lit(0, true);
         let lo = Cube::universe().with_lit(0, false);
-        fsm.add_transition(Transition { from: s0, guard: hi, to: s1, outputs: 0b1 });
-        fsm.add_transition(Transition { from: s0, guard: lo, to: s0, outputs: 0 });
-        fsm.add_transition(Transition { from: s1, guard: hi, to: s0, outputs: 0 });
-        fsm.add_transition(Transition { from: s1, guard: lo, to: s1, outputs: 0b1 });
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: hi,
+            to: s1,
+            outputs: 0b1,
+        });
+        fsm.add_transition(Transition {
+            from: s0,
+            guard: lo,
+            to: s0,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: s1,
+            guard: hi,
+            to: s0,
+            outputs: 0,
+        });
+        fsm.add_transition(Transition {
+            from: s1,
+            guard: lo,
+            to: s1,
+            outputs: 0b1,
+        });
         fsm
     }
 

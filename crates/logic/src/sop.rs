@@ -74,7 +74,9 @@ impl Sop {
         for c in &self.cubes {
             used |= c.mask();
         }
-        (0..self.num_vars).filter(|&v| used & (1 << v) != 0).collect()
+        (0..self.num_vars)
+            .filter(|&v| used & (1 << v) != 0)
+            .collect()
     }
 
     /// Cofactors the whole cover with respect to `var = polarity`.
@@ -192,10 +194,7 @@ mod tests {
     #[test]
     fn tautology_needs_full_cover() {
         // x0 | (!x0 & x1) is not a tautology (misses !x0 & !x1).
-        let s = Sop::from_cubes(
-            2,
-            vec![lit(0, true), lit(0, false).with_lit(1, true)],
-        );
+        let s = Sop::from_cubes(2, vec![lit(0, true), lit(0, false).with_lit(1, true)]);
         assert!(!s.is_tautology());
         // Adding the missing cube makes it one.
         let mut s2 = s.clone();
@@ -226,13 +225,7 @@ mod tests {
     #[test]
     fn equivalence_is_semantic() {
         let a = Sop::from_cubes(2, vec![lit(0, true), lit(1, true)]);
-        let b = Sop::from_cubes(
-            2,
-            vec![
-                lit(0, true).with_lit(1, false),
-                lit(1, true),
-            ],
-        );
+        let b = Sop::from_cubes(2, vec![lit(0, true).with_lit(1, false), lit(1, true)]);
         assert!(a.equivalent(&b)); // x0 | x1 == (x0&!x1) | x1
         let c = Sop::from_cubes(2, vec![lit(0, true)]);
         assert!(!a.equivalent(&c));

@@ -266,10 +266,7 @@ mod tests {
 
     #[test]
     fn small_sop_maps_to_single_lut() {
-        let sop = Sop::from_cubes(
-            8,
-            vec![lit(1, true).with_lit(6, false), lit(3, true)],
-        );
+        let sop = Sop::from_cubes(8, vec![lit(1, true).with_lit(6, false), lit(3, true)]);
         let mut nl = Netlist::new(8);
         let mut mapper = Mapper::new(false);
         let r = mapper.map_sop(&mut nl, &sop, &NetRef::Input);
@@ -352,7 +349,11 @@ mod tests {
             }
         }
         fsm.validate().unwrap();
-        for style in [EncodingStyle::OneHot, EncodingStyle::Compact, EncodingStyle::Gray] {
+        for style in [
+            EncodingStyle::OneHot,
+            EncodingStyle::Compact,
+            EncodingStyle::Gray,
+        ] {
             let enc = Encoding::assign(&fsm, style);
             let net = FsmNetwork::synthesize(&fsm, enc, Effort::Medium);
             let nl = map_fsm_network(&net, true);

@@ -54,8 +54,8 @@ pub fn analyze(netlist: &Netlist, grade: SpeedGrade) -> TimingReport {
     let luts = netlist.num_luts() as f64;
     let route =
         R_BASE_NS + R_FANOUT_NS * (1.0 + f64::from(max_fanout)).ln() + R_SIZE_NS * luts.sqrt();
-    let period = (T_CKO_NS + f64::from(levels) * (T_ILO_NS + route) + T_SETUP_NS)
-        * grade.delay_factor();
+    let period =
+        (T_CKO_NS + f64::from(levels) * (T_ILO_NS + route) + T_SETUP_NS) * grade.delay_factor();
     TimingReport {
         period_ns: period,
         fmax_mhz: 1000.0 / period,

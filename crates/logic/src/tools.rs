@@ -160,7 +160,8 @@ mod tests {
     #[test]
     fn synplify_overrides_encoding() {
         let fsm = counter(6);
-        let r = ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::Compact, SpeedGrade::Minus3);
+        let r =
+            ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::Compact, SpeedGrade::Minus3);
         assert_eq!(r.encoding_used, EncodingStyle::OneHot);
         assert_eq!(r.clb.ffs, 6);
     }
@@ -181,7 +182,8 @@ mod tests {
     fn mapped_netlist_behaves_like_fsm() {
         let fsm = counter(4);
         fsm.validate().unwrap();
-        let r = ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::OneHot, SpeedGrade::Minus3);
+        let r =
+            ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::OneHot, SpeedGrade::Minus3);
         let mut state = r.netlist.reset_state();
         // Pulse the input 4 times; the terminal-count output must fire on
         // the 4th cycle exactly.
@@ -190,7 +192,10 @@ mod tests {
             let out = r.netlist.step(&mut state, &[true]);
             fires.push(out[0]);
         }
-        assert_eq!(fires, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            fires,
+            vec![false, false, false, true, false, false, false, true]
+        );
     }
 
     #[test]
@@ -204,9 +209,13 @@ mod tests {
     #[test]
     fn synplify_beats_express_on_area_for_one_hot() {
         let fsm = counter(10);
-        let s = ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::OneHot, SpeedGrade::Minus3);
-        let e =
-            ToolModel::fpga_express().synthesize_fsm(&fsm, EncodingStyle::OneHot, SpeedGrade::Minus3);
+        let s =
+            ToolModel::synplify().synthesize_fsm(&fsm, EncodingStyle::OneHot, SpeedGrade::Minus3);
+        let e = ToolModel::fpga_express().synthesize_fsm(
+            &fsm,
+            EncodingStyle::OneHot,
+            SpeedGrade::Minus3,
+        );
         assert!(s.clbs() <= e.clbs());
     }
 }

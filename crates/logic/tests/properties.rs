@@ -15,7 +15,8 @@ use rcarb_logic::techmap::{map_fsm_network, Mapper};
 const VARS: usize = 6;
 
 fn arb_cube() -> impl Strategy<Value = Cube> {
-    (0u64..(1 << VARS), 0u64..(1 << VARS)).prop_map(|(mask, value)| Cube::from_raw(mask, value & mask))
+    (0u64..(1 << VARS), 0u64..(1 << VARS))
+        .prop_map(|(mask, value)| Cube::from_raw(mask, value & mask))
 }
 
 fn arb_sop() -> impl Strategy<Value = Sop> {

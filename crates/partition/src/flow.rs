@@ -6,7 +6,7 @@
 //! [`StageResult`] whose transformed graph is directly simulatable with
 //! `rcarb-sim`.
 
-use crate::spatial::{self, SpatialPartition, SpatialError};
+use crate::spatial::{self, SpatialError, SpatialPartition};
 use crate::temporal::{self, TemporalConfig, TemporalError, TemporalPartition};
 use rcarb_board::board::{Board, PeId};
 use rcarb_core::channel::{plan_merges, ChannelMergePlan, ChannelPlanError};
@@ -320,7 +320,9 @@ fn extract_stage(graph: &TaskGraph, tasks: &[TaskId]) -> Result<Extraction, Flow
             b.control_dep(task_map[from], task_map[to]);
         }
     }
-    let mut sub = b.finish().expect("stage subgraph of a valid graph is valid");
+    let mut sub = b
+        .finish()
+        .expect("stage subgraph of a valid graph is valid");
     for &t in &stage_tasks {
         let prog = remap_program(graph.task(t).program(), &segment_map, &channel_map);
         sub.task_mut(task_map[&t]).set_program(prog);
@@ -432,7 +434,12 @@ mod tests {
             )
             .build(&board);
             let report = sys.run(100_000);
-            assert!(report.clean(), "stage {}: {:?}", stage.index, report.violations);
+            assert!(
+                report.clean(),
+                "stage {}: {:?}",
+                stage.index,
+                report.violations
+            );
         }
     }
 
@@ -450,7 +457,10 @@ mod tests {
                 );
             }
             for (&orig, &sub) in &stage.segment_map {
-                assert_eq!(graph.segment(orig).name(), stage.plan.graph.segment(sub).name());
+                assert_eq!(
+                    graph.segment(orig).name(),
+                    stage.plan.graph.segment(sub).name()
+                );
             }
         }
     }

@@ -95,7 +95,11 @@ pub fn partition(
     let mut sp = SpatialPartition::default();
     for t in order {
         let clbs = i64::from(estimate::task_clbs(graph.task(t)));
-        if board.pes().iter().all(|p| i64::from(p.device().clbs()) < clbs) {
+        if board
+            .pes()
+            .iter()
+            .all(|p| i64::from(p.device().clbs()) < clbs)
+        {
             return Err(SpatialError::TaskTooLarge {
                 task: t,
                 clbs: clbs as u32,
@@ -189,9 +193,8 @@ fn refine(graph: &TaskGraph, sp: &mut SpatialPartition, free: &mut [i64], max_pa
         for t in tasks {
             let clbs = i64::from(estimate::task_clbs(graph.task(t)));
             let home = sp.pe_of(t);
-            let current_cut = cutset::total_cut(graph, &|x| {
-                sp.assignment.get(&x).copied().unwrap_or(home)
-            });
+            let current_cut =
+                cutset::total_cut(graph, &|x| sp.assignment.get(&x).copied().unwrap_or(home));
             let mut best: Option<(PeId, u32)> = None;
             for (pe_idx, &pe_free) in free.iter().enumerate().take(num_pes) {
                 let pe = PeId::new(pe_idx as u32);

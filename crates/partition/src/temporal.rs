@@ -86,7 +86,10 @@ impl fmt::Display for TemporalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TemporalError::TaskTooLarge { task, clbs, budget } => {
-                write!(f, "task {task} needs {clbs} CLBs but a stage offers {budget}")
+                write!(
+                    f,
+                    "task {task} needs {clbs} CLBs but a stage offers {budget}"
+                )
             }
         }
     }

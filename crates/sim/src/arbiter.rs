@@ -140,8 +140,7 @@ impl ArbiterSim {
     /// Returns the grant for a specific task given this cycle's grant
     /// word.
     pub fn task_granted(&self, grants: u64, task: TaskId) -> bool {
-        self.port_of(task)
-            .is_some_and(|p| grants >> p & 1 != 0)
+        self.port_of(task).is_some_and(|p| grants >> p & 1 != 0)
     }
 }
 

@@ -161,8 +161,16 @@ mod tests {
         // Table 1: c1 := 10 (task 1), later c4 := 102 (task 4) on the
         // merged channel c1_4; task 2 must still read 10.
         let mut route = RouteState::new(vec![ch(0), ch(1)], RegisterPlacement::Receiver);
-        route.cycle(&[RouteSend { task: t(0), channel: ch(0), value: 10 }]);
-        route.cycle(&[RouteSend { task: t(3), channel: ch(1), value: 102 }]);
+        route.cycle(&[RouteSend {
+            task: t(0),
+            channel: ch(0),
+            value: 10,
+        }]);
+        route.cycle(&[RouteSend {
+            task: t(3),
+            channel: ch(1),
+            value: 102,
+        }]);
         assert_eq!(route.read(ch(0)), Some(10));
         assert_eq!(route.read(ch(1)), Some(102));
     }
@@ -171,8 +179,16 @@ mod tests {
     fn table1_source_register_loses_earlier_transfer() {
         // The construction the paper rejects: one register on the route.
         let mut route = RouteState::new(vec![ch(0), ch(1)], RegisterPlacement::Source);
-        route.cycle(&[RouteSend { task: t(0), channel: ch(0), value: 10 }]);
-        route.cycle(&[RouteSend { task: t(3), channel: ch(1), value: 102 }]);
+        route.cycle(&[RouteSend {
+            task: t(0),
+            channel: ch(0),
+            value: 10,
+        }]);
+        route.cycle(&[RouteSend {
+            task: t(3),
+            channel: ch(1),
+            value: 102,
+        }]);
         assert_eq!(route.read(ch(0)), None, "value 10 was overwritten");
         assert_eq!(route.read(ch(1)), Some(102));
     }
@@ -181,10 +197,23 @@ mod tests {
     fn simultaneous_distinct_sources_conflict() {
         let mut route = RouteState::new(vec![ch(0), ch(1)], RegisterPlacement::Receiver);
         let out = route.cycle(&[
-            RouteSend { task: t(0), channel: ch(0), value: 1 },
-            RouteSend { task: t(1), channel: ch(1), value: 2 },
+            RouteSend {
+                task: t(0),
+                channel: ch(0),
+                value: 1,
+            },
+            RouteSend {
+                task: t(1),
+                channel: ch(1),
+                value: 2,
+            },
         ]);
-        assert_eq!(out, RouteOutcome::Conflict { tasks: vec![t(0), t(1)] });
+        assert_eq!(
+            out,
+            RouteOutcome::Conflict {
+                tasks: vec![t(0), t(1)]
+            }
+        );
         assert_eq!(route.read(ch(0)), None);
         assert_eq!(route.conflicts(), 1);
     }
@@ -194,7 +223,11 @@ mod tests {
         // "the presence of the registers allows transferred data to be
         // stored and subsequent transfers to take place immediately".
         let mut route = RouteState::new(vec![ch(0)], RegisterPlacement::Receiver);
-        route.cycle(&[RouteSend { task: t(0), channel: ch(0), value: 5 }]);
+        route.cycle(&[RouteSend {
+            task: t(0),
+            channel: ch(0),
+            value: 5,
+        }]);
         for _ in 0..10 {
             route.cycle(&[]);
         }

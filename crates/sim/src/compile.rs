@@ -285,11 +285,7 @@ mod tests {
     fn if_else_branches_and_joins() {
         let p = Program::build(|p| {
             let v = p.let_(Expr::lit(1));
-            p.if_else(
-                Expr::var(v),
-                |p| p.compute(10),
-                |p| p.compute(20),
-            );
+            p.if_else(Expr::var(v), |p| p.compute(10), |p| p.compute(20));
             p.compute(30);
         });
         let f = FlatProgram::compile(&p);

@@ -437,7 +437,10 @@ impl System {
             .placement(segment)
             .expect("segment not bound to a bank");
         let seg = self.graph.segment(segment);
-        assert!(len <= seg.words() as usize, "range overruns segment {segment}");
+        assert!(
+            len <= seg.words() as usize,
+            "range overruns segment {segment}"
+        );
         let bank = &self.banks[&place.bank];
         (0..len)
             .map(|i| bank.word(place.offset + i as u32))
@@ -492,9 +495,7 @@ impl System {
     /// The VCD waveform recorded so far (if tracing was enabled), at the
     /// paper's ~6 MHz design clock (167 ns per cycle).
     pub fn vcd(&self) -> Option<String> {
-        self.trace
-            .as_ref()
-            .map(|t| t.vcd.clone().finish(167))
+        self.trace.as_ref().map(|t| t.vcd.clone().finish(167))
     }
 
     fn all_done(&self) -> bool {
@@ -760,11 +761,14 @@ impl System {
                     self.check_segment_grant(grants, task_id, segment, cycle);
                     let a = addr.eval(&self.tasks[i].vars) as u32;
                     let place = self.binding.placement(segment).expect("bound segment");
-                    bank_accesses.entry(place.bank).or_default().push(BankAccess {
-                        task: task_id,
-                        addr: place.offset + a,
-                        write: None,
-                    });
+                    bank_accesses
+                        .entry(place.bank)
+                        .or_default()
+                        .push(BankAccess {
+                            task: task_id,
+                            addr: place.offset + a,
+                            write: None,
+                        });
                     pending_reads.push((place.bank, task_id, dst));
                     self.tasks[i].pc += 1;
                     self.tasks[i].busy_cycles += 1;
@@ -779,11 +783,14 @@ impl System {
                     let a = addr.eval(&self.tasks[i].vars) as u32;
                     let v = value.eval(&self.tasks[i].vars);
                     let place = self.binding.placement(segment).expect("bound segment");
-                    bank_accesses.entry(place.bank).or_default().push(BankAccess {
-                        task: task_id,
-                        addr: place.offset + a,
-                        write: Some(v),
-                    });
+                    bank_accesses
+                        .entry(place.bank)
+                        .or_default()
+                        .push(BankAccess {
+                            task: task_id,
+                            addr: place.offset + a,
+                            write: Some(v),
+                        });
                     self.tasks[i].pc += 1;
                     self.tasks[i].busy_cycles += 1;
                     issued = true;
@@ -840,7 +847,12 @@ impl System {
         }
     }
 
-    fn task_granted(&self, grants: &BTreeMap<ArbiterId, u64>, arbiter: ArbiterId, task: TaskId) -> bool {
+    fn task_granted(
+        &self,
+        grants: &BTreeMap<ArbiterId, u64>,
+        arbiter: ArbiterId,
+        task: TaskId,
+    ) -> bool {
         let word = grants.get(&arbiter).copied().unwrap_or(0);
         self.arbiters[arbiter.index()].task_granted(word, task)
     }
@@ -863,7 +875,6 @@ impl System {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -142,7 +142,13 @@ mod tests {
             addr: 3,
             write: Some(42),
         }]);
-        assert!(matches!(w, BankOutcome::Ok { read_value: None, .. }));
+        assert!(matches!(
+            w,
+            BankOutcome::Ok {
+                read_value: None,
+                ..
+            }
+        ));
         let r = bank.cycle(&[BankAccess {
             task: t(1),
             addr: 3,
@@ -163,10 +169,23 @@ mod tests {
         // Address lines are shared; even two reads collide.
         let mut bank = BankModel::new(BankId::new(0), 4);
         let out = bank.cycle(&[
-            BankAccess { task: t(0), addr: 0, write: None },
-            BankAccess { task: t(1), addr: 1, write: None },
+            BankAccess {
+                task: t(0),
+                addr: 0,
+                write: None,
+            },
+            BankAccess {
+                task: t(1),
+                addr: 1,
+                write: None,
+            },
         ]);
-        assert_eq!(out, BankOutcome::Conflict { tasks: vec![t(0), t(1)] });
+        assert_eq!(
+            out,
+            BankOutcome::Conflict {
+                tasks: vec![t(0), t(1)]
+            }
+        );
         assert_eq!(bank.conflicts(), 1);
     }
 
@@ -175,8 +194,16 @@ mod tests {
         let mut bank = BankModel::new(BankId::new(0), 4);
         bank.set_word(2, 7);
         let _ = bank.cycle(&[
-            BankAccess { task: t(0), addr: 2, write: Some(1) },
-            BankAccess { task: t(1), addr: 2, write: Some(9) },
+            BankAccess {
+                task: t(0),
+                addr: 2,
+                write: Some(1),
+            },
+            BankAccess {
+                task: t(1),
+                addr: 2,
+                write: Some(9),
+            },
         ]);
         // The conflicted write must not corrupt deterministic state.
         assert_eq!(bank.word(2), 7);

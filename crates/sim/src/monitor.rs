@@ -78,15 +78,38 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::BankConflict { cycle, bank, tasks } => {
-                write!(f, "cycle {cycle}: bank {bank} driven by {} tasks", tasks.len())
+                write!(
+                    f,
+                    "cycle {cycle}: bank {bank} driven by {} tasks",
+                    tasks.len()
+                )
             }
-            Violation::RouteConflict { cycle, route, tasks } => {
-                write!(f, "cycle {cycle}: route #{route} driven by {} tasks", tasks.len())
+            Violation::RouteConflict {
+                cycle,
+                route,
+                tasks,
+            } => {
+                write!(
+                    f,
+                    "cycle {cycle}: route #{route} driven by {} tasks",
+                    tasks.len()
+                )
             }
-            Violation::AccessWithoutGrant { cycle, task, arbiter } => {
-                write!(f, "cycle {cycle}: task {task} accessed {arbiter}'s resource without grant")
+            Violation::AccessWithoutGrant {
+                cycle,
+                task,
+                arbiter,
+            } => {
+                write!(
+                    f,
+                    "cycle {cycle}: task {task} accessed {arbiter}'s resource without grant"
+                )
             }
-            Violation::MultipleGrants { cycle, arbiter, grants } => {
+            Violation::MultipleGrants {
+                cycle,
+                arbiter,
+                grants,
+            } => {
                 write!(f, "cycle {cycle}: {arbiter} granted word {grants:#b}")
             }
             Violation::CosimMismatch { arbiter, cycles } => {
@@ -95,7 +118,11 @@ impl fmt::Display for Violation {
             Violation::FloatingSelectLine { cycle, bank } => {
                 write!(f, "cycle {cycle}: bank {bank}'s write select floated")
             }
-            Violation::Starvation { task, arbiter, waited } => {
+            Violation::Starvation {
+                task,
+                arbiter,
+                waited,
+            } => {
                 write!(f, "task {task} starved {waited} cycles at {arbiter}")
             }
         }

@@ -76,12 +76,8 @@ pub fn resolve_line(kind: SharedLineKind, drivers: &[Option<bool>]) -> V4 {
             }
             v
         }
-        SharedLineKind::ActiveHighOr => {
-            V4::from_bool(drivers.iter().any(|d| d.unwrap_or(false)))
-        }
-        SharedLineKind::ActiveLowAnd => {
-            V4::from_bool(drivers.iter().all(|d| d.unwrap_or(true)))
-        }
+        SharedLineKind::ActiveHighOr => V4::from_bool(drivers.iter().any(|d| d.unwrap_or(false))),
+        SharedLineKind::ActiveLowAnd => V4::from_bool(drivers.iter().all(|d| d.unwrap_or(true))),
     }
 }
 

@@ -61,12 +61,7 @@ impl VcdWriter {
             let _ = writeln!(self.body, "#{time}");
             self.time_open = Some(time);
         }
-        let _ = writeln!(
-            self.body,
-            "{}{}",
-            u8::from(value),
-            Self::code(signal.0)
-        );
+        let _ = writeln!(self.body, "{}{}", u8::from(value), Self::code(signal.0));
     }
 
     /// Finishes the document.

@@ -44,8 +44,8 @@ fn unarbitrated_sharing_conflicts() {
     let graph = contended_design(4);
     let board = presets::duo_small();
     let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
-    let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-        .build(&board);
+    let mut sys =
+        SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default()).build(&board);
     let report = sys.run(1000);
     assert!(report.completed);
     assert!(
@@ -225,8 +225,8 @@ fn delivered_bandwidth_splits_evenly_under_round_robin() {
         &ChannelMergePlan::default(),
         &InsertionConfig::paper(),
     );
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .build(&board);
+    let mut sys =
+        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
     let report = sys.run(100_000);
     assert!(report.clean());
     let (_, ports) = &report.arbiter_port_grants[0];
@@ -299,8 +299,8 @@ fn fig4_select_line_discipline_matters() {
         &InsertionConfig::paper(),
     );
     // Correct construction (the default): clean run.
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .build(&board);
+    let mut sys =
+        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
     let good = sys.run(10_000);
     assert!(good.clean(), "{:?}", good.violations);
 
@@ -375,7 +375,11 @@ fn preemption_requires_the_per_access_grant_check() {
     // And the extension delivers its promise: even a task that never
     // releases cannot starve the other (checked behaviourally in
     // rcarb-core; here the system-level wait stays bounded).
-    assert!(safe_run.worst_wait <= 64, "wait {} cycles", safe_run.worst_wait);
+    assert!(
+        safe_run.worst_wait <= 64,
+        "wait {} cycles",
+        safe_run.worst_wait
+    );
 }
 
 #[test]
@@ -402,8 +406,8 @@ fn tracing_records_request_grant_waveforms() {
     let toggles = vcd.lines().filter(|l| l.starts_with('1')).count();
     assert!(toggles >= 4, "expected request/grant activity, got:\n{vcd}");
     // Without tracing there is no waveform.
-    let mut plain = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .build(&board);
+    let mut plain =
+        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
     plain.run(10_000);
     assert!(plain.vcd().is_none());
 }
@@ -447,9 +451,7 @@ fn table1_receiver_registers_preserve_the_early_transfer() {
     let board = presets::duo_small();
     // Writers on PE0, readers on PE1: both channels cross and merge onto
     // the single 16-bit physical channel.
-    let place = |t: TaskId| {
-        rcarb_board::board::PeId::new(u32::from(t == ids[2] || t == ids[3]))
-    };
+    let place = |t: TaskId| rcarb_board::board::PeId::new(u32::from(t == ids[2] || t == ids[3]));
     let merges = plan_merges(&graph, &board, &place).unwrap();
     assert_eq!(merges.merges().len(), 1);
     assert!(merges.merges()[0].needs_arbiter());

@@ -1,7 +1,6 @@
 //! Logical inter-task channels.
 
 use crate::id::{ChannelId, TaskId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logical point-to-point channel between a writer task and a reader task.
@@ -11,7 +10,7 @@ use std::fmt;
 /// merging pass of `rcarb-core` folds several logical channels onto one
 /// physical channel, inserting receiving-end registers and source tri-states
 /// (the paper's Fig. 3 and Table 1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Channel {
     id: ChannelId,
     name: String,
@@ -75,6 +74,14 @@ impl Channel {
         self.writer == task || self.reader == task
     }
 }
+
+rcarb_json::impl_json_struct!(Channel {
+    id,
+    name,
+    width_bits,
+    writer,
+    reader,
+});
 
 impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

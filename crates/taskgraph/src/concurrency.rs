@@ -51,7 +51,10 @@ impl ConcurrencyRelation {
     /// Panics if either id is outside the graph the relation was computed
     /// from.
     pub fn may_run_concurrently(&self, a: TaskId, b: TaskId) -> bool {
-        assert!(a.index() < self.n && b.index() < self.n, "task id out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "task id out of range"
+        );
         !self.ordered[a.index() * self.n + b.index()]
     }
 

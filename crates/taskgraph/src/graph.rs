@@ -4,7 +4,6 @@ use crate::channel::Channel;
 use crate::id::{ChannelId, SegmentId, TaskId};
 use crate::segment::MemorySegment;
 use crate::task::Task;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A complete taskgraph: tasks, memory segments, channels and control
@@ -13,7 +12,7 @@ use std::collections::BTreeSet;
 /// Construct one with [`crate::builder::TaskGraphBuilder`], which validates
 /// the graph on `finish()`. The accessors here are what the partitioning and
 /// arbitration passes consume.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGraph {
     name: String,
     tasks: Vec<Task>,
@@ -204,7 +203,12 @@ impl TaskGraph {
         let _ = writeln!(s, "digraph \"{}\" {{", self.name);
         let _ = writeln!(s, "  rankdir=TB;");
         for t in &self.tasks {
-            let _ = writeln!(s, "  t{} [label=\"{}\", shape=box];", t.id().index(), t.name());
+            let _ = writeln!(
+                s,
+                "  t{} [label=\"{}\", shape=box];",
+                t.id().index(),
+                t.name()
+            );
         }
         for m in &self.segments {
             let _ = writeln!(
@@ -236,6 +240,14 @@ impl TaskGraph {
         s
     }
 }
+
+rcarb_json::impl_json_struct!(TaskGraph {
+    name,
+    tasks,
+    segments,
+    channels,
+    control_deps,
+});
 
 #[cfg(test)]
 mod tests {

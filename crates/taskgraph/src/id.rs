@@ -4,16 +4,15 @@
 //! distinct (the paper's objects live in different namespaces, and mixing
 //! them up is the classic source of binding bugs in partitioning code).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(u32);
+
+        rcarb_json::impl_json_newtype!($name);
 
         impl $name {
             /// Creates an identifier from a raw index.

@@ -1,0 +1,261 @@
+//! JSON conversions for the IR enums, using externally tagged layouts:
+//! newtype variants carry their payload directly (`{"Lit": 4}`), tuple
+//! variants carry an array (`{"Bin": [op, lhs, rhs]}`), struct variants
+//! carry an object keyed by field name.
+
+use crate::id::{ArbiterId, ChannelId, SegmentId, VarId};
+use crate::program::{BinOp, Expr, Op};
+use rcarb_json::{expect_field, FromJson, Json, JsonError, ToJson};
+
+fn variant(tag: &str, body: Json) -> Json {
+    Json::Obj(vec![(tag.to_owned(), body)])
+}
+
+fn fields(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn untag(v: &Json) -> Result<(&str, &Json), JsonError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| JsonError::shape("expected an externally tagged enum object"))?;
+    match pairs {
+        [(tag, body)] => Ok((tag.as_str(), body)),
+        _ => Err(JsonError::shape("expected exactly one enum variant tag")),
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        match self {
+            Expr::Lit(v) => variant("Lit", v.to_json()),
+            Expr::Var(id) => variant("Var", id.to_json()),
+            Expr::Bin(op, a, b) => variant(
+                "Bin",
+                Json::Arr(vec![op.to_json(), a.to_json(), b.to_json()]),
+            ),
+        }
+    }
+}
+
+impl FromJson for Expr {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, body) = untag(v)?;
+        match tag {
+            "Lit" => Ok(Expr::Lit(u64::from_json(body)?)),
+            "Var" => Ok(Expr::Var(VarId::from_json(body)?)),
+            "Bin" => match body.as_array() {
+                Some([op, a, b]) => Ok(Expr::Bin(
+                    BinOp::from_json(op)?,
+                    Box::new(Expr::from_json(a)?),
+                    Box::new(Expr::from_json(b)?),
+                )),
+                _ => Err(JsonError::shape("expected a [op, lhs, rhs] triple")),
+            },
+            other => Err(JsonError::shape(format!("unknown Expr variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Op {
+    fn to_json(&self) -> Json {
+        match self {
+            Op::Set { dst, value } => variant(
+                "Set",
+                fields(vec![("dst", dst.to_json()), ("value", value.to_json())]),
+            ),
+            Op::Compute { cycles } => {
+                variant("Compute", fields(vec![("cycles", cycles.to_json())]))
+            }
+            Op::MemRead { segment, addr, dst } => variant(
+                "MemRead",
+                fields(vec![
+                    ("segment", segment.to_json()),
+                    ("addr", addr.to_json()),
+                    ("dst", dst.to_json()),
+                ]),
+            ),
+            Op::MemWrite {
+                segment,
+                addr,
+                value,
+            } => variant(
+                "MemWrite",
+                fields(vec![
+                    ("segment", segment.to_json()),
+                    ("addr", addr.to_json()),
+                    ("value", value.to_json()),
+                ]),
+            ),
+            Op::Send { channel, value } => variant(
+                "Send",
+                fields(vec![
+                    ("channel", channel.to_json()),
+                    ("value", value.to_json()),
+                ]),
+            ),
+            Op::Recv { channel, dst } => variant(
+                "Recv",
+                fields(vec![("channel", channel.to_json()), ("dst", dst.to_json())]),
+            ),
+            Op::Repeat { times, body } => variant(
+                "Repeat",
+                fields(vec![("times", times.to_json()), ("body", body.to_json())]),
+            ),
+            Op::IfNonZero {
+                cond,
+                then_ops,
+                else_ops,
+            } => variant(
+                "IfNonZero",
+                fields(vec![
+                    ("cond", cond.to_json()),
+                    ("then_ops", then_ops.to_json()),
+                    ("else_ops", else_ops.to_json()),
+                ]),
+            ),
+            Op::ReqAssert { arbiter } => {
+                variant("ReqAssert", fields(vec![("arbiter", arbiter.to_json())]))
+            }
+            Op::AwaitGrant { arbiter } => {
+                variant("AwaitGrant", fields(vec![("arbiter", arbiter.to_json())]))
+            }
+            Op::ReqDeassert { arbiter } => {
+                variant("ReqDeassert", fields(vec![("arbiter", arbiter.to_json())]))
+            }
+        }
+    }
+}
+
+impl FromJson for Op {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let (tag, body) = untag(v)?;
+        match tag {
+            "Set" => Ok(Op::Set {
+                dst: VarId::from_json(expect_field(body, "dst")?)?,
+                value: Expr::from_json(expect_field(body, "value")?)?,
+            }),
+            "Compute" => Ok(Op::Compute {
+                cycles: u32::from_json(expect_field(body, "cycles")?)?,
+            }),
+            "MemRead" => Ok(Op::MemRead {
+                segment: SegmentId::from_json(expect_field(body, "segment")?)?,
+                addr: Expr::from_json(expect_field(body, "addr")?)?,
+                dst: VarId::from_json(expect_field(body, "dst")?)?,
+            }),
+            "MemWrite" => Ok(Op::MemWrite {
+                segment: SegmentId::from_json(expect_field(body, "segment")?)?,
+                addr: Expr::from_json(expect_field(body, "addr")?)?,
+                value: Expr::from_json(expect_field(body, "value")?)?,
+            }),
+            "Send" => Ok(Op::Send {
+                channel: ChannelId::from_json(expect_field(body, "channel")?)?,
+                value: Expr::from_json(expect_field(body, "value")?)?,
+            }),
+            "Recv" => Ok(Op::Recv {
+                channel: ChannelId::from_json(expect_field(body, "channel")?)?,
+                dst: VarId::from_json(expect_field(body, "dst")?)?,
+            }),
+            "Repeat" => Ok(Op::Repeat {
+                times: u32::from_json(expect_field(body, "times")?)?,
+                body: Vec::from_json(expect_field(body, "body")?)?,
+            }),
+            "IfNonZero" => Ok(Op::IfNonZero {
+                cond: Expr::from_json(expect_field(body, "cond")?)?,
+                then_ops: Vec::from_json(expect_field(body, "then_ops")?)?,
+                else_ops: Vec::from_json(expect_field(body, "else_ops")?)?,
+            }),
+            "ReqAssert" => Ok(Op::ReqAssert {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+            }),
+            "AwaitGrant" => Ok(Op::AwaitGrant {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+            }),
+            "ReqDeassert" => Ok(Op::ReqDeassert {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+            }),
+            other => Err(JsonError::shape(format!("unknown Op variant `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    #[test]
+    fn expr_layouts() {
+        let e = Expr::bin(BinOp::Add, Expr::lit(1), Expr::var(VarId::new(2)));
+        assert_eq!(
+            rcarb_json::to_string(&e),
+            r#"{"Bin":["Add",{"Lit":1},{"Var":2}]}"#
+        );
+        let back: Expr = rcarb_json::from_str(&rcarb_json::to_string(&e)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        let seg = SegmentId::new(0);
+        let ch = ChannelId::new(1);
+        let arb = ArbiterId::new(2);
+        let v = VarId::new(0);
+        let ops = vec![
+            Op::Set {
+                dst: v,
+                value: Expr::lit(4),
+            },
+            Op::Compute { cycles: 7 },
+            Op::MemRead {
+                segment: seg,
+                addr: Expr::lit(0),
+                dst: v,
+            },
+            Op::MemWrite {
+                segment: seg,
+                addr: Expr::lit(1),
+                value: Expr::var(v),
+            },
+            Op::Send {
+                channel: ch,
+                value: Expr::var(v),
+            },
+            Op::Recv {
+                channel: ch,
+                dst: v,
+            },
+            Op::Repeat {
+                times: 3,
+                body: vec![Op::Compute { cycles: 1 }],
+            },
+            Op::IfNonZero {
+                cond: Expr::var(v),
+                then_ops: vec![Op::Compute { cycles: 1 }],
+                else_ops: vec![],
+            },
+            Op::ReqAssert { arbiter: arb },
+            Op::AwaitGrant { arbiter: arb },
+            Op::ReqDeassert { arbiter: arb },
+        ];
+        for op in &ops {
+            let back: Op = rcarb_json::from_str(&rcarb_json::to_string(op)).unwrap();
+            assert_eq!(*op, back);
+        }
+        let p = Program::from_ops(ops);
+        let back: Program = rcarb_json::from_str(&rcarb_json::to_string(&p)).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn malformed_ops_are_rejected() {
+        for bad in [
+            r#"{"Nope": {}}"#,
+            r#"{"Set": {"dst": 0}}"#,
+            r#"{"Bin": [1, 2]}"#,
+            r#"{"Set": {"dst": 0, "value": {"Lit": 1}}, "Extra": {}}"#,
+        ] {
+            assert!(rcarb_json::from_str::<Op>(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub mod channel;
 pub mod concurrency;
 pub mod graph;
 pub mod id;
+mod json;
 pub mod program;
 pub mod segment;
 pub mod task;

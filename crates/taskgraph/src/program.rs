@@ -8,11 +8,10 @@
 //! Request/Grant protocol ops (the paper's Fig. 8).
 
 use crate::id::{ArbiterId, ChannelId, SegmentId, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A binary operator usable inside [`Expr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -43,7 +42,7 @@ impl BinOp {
 }
 
 /// A side-effect-free expression over task-local variables.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A literal constant.
     Lit(u64),
@@ -109,7 +108,7 @@ impl Expr {
 /// observed, which is how the paper's "two extra clock cycles per arbitered
 /// access" accounting arises (one for `ReqAssert`, one for `ReqDeassert`,
 /// zero for an immediately satisfied `AwaitGrant`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `dst := value`.
     Set {
@@ -220,11 +219,23 @@ impl AccessCounts {
 }
 
 /// A task's behavioural program.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
     ops: Vec<Op>,
     num_vars: u32,
 }
+
+rcarb_json::impl_json_unit_enum!(BinOp {
+    Add,
+    Sub,
+    Mul,
+    Xor,
+    And,
+    Or
+});
+// num_vars is serialized explicitly: builders may allocate registers that
+// no surviving op references, so re-inference would under-count.
+rcarb_json::impl_json_struct!(Program { ops, num_vars });
 
 impl Program {
     /// Creates a program from raw ops, inferring the variable count.
@@ -676,11 +687,7 @@ mod tests {
     fn visit_reaches_nested_ops() {
         let p = Program::build(|p| {
             p.repeat(2, |p| {
-                p.if_else(
-                    Expr::lit(1),
-                    |p| p.compute(1),
-                    |p| p.compute(2),
-                );
+                p.if_else(Expr::lit(1), |p| p.compute(1), |p| p.compute(2));
             });
         });
         let mut computes = 0;

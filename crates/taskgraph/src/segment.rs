@@ -1,7 +1,6 @@
 //! Logical memory segments (the paper's "elements of data storage").
 
 use crate::id::SegmentId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A logical data segment declared by the design.
@@ -10,7 +9,7 @@ use std::fmt;
 /// pass of `rcarb-core` later binds them onto physical banks, inserting
 /// arbiters when several segments with concurrent accessors share one bank
 /// (the paper's Sec. 1.1 / Fig. 2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemorySegment {
     id: SegmentId,
     name: String,
@@ -27,7 +26,10 @@ impl MemorySegment {
     /// never be bound to a physical bank.
     pub fn new(id: SegmentId, name: impl Into<String>, words: u32, width_bits: u32) -> Self {
         assert!(words > 0, "segment must contain at least one word");
-        assert!(width_bits > 0, "segment words must be at least one bit wide");
+        assert!(
+            width_bits > 0,
+            "segment words must be at least one bit wide"
+        );
         Self {
             id,
             name: name.into(),
@@ -75,6 +77,13 @@ impl MemorySegment {
         }
     }
 }
+
+rcarb_json::impl_json_struct!(MemorySegment {
+    id,
+    name,
+    words,
+    width_bits,
+});
 
 impl fmt::Display for MemorySegment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -2,7 +2,6 @@
 
 use crate::id::TaskId;
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A task in the taskgraph.
@@ -12,7 +11,7 @@ use std::fmt;
 /// dependency. Each task carries a behavioural [`Program`] and an optional
 /// designer-provided area hint used by the spatial partitioner before
 /// high-level synthesis estimates exist.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Task {
     id: TaskId,
     name: String,
@@ -62,6 +61,13 @@ impl Task {
         self.area_hint_clbs
     }
 }
+
+rcarb_json::impl_json_struct!(Task {
+    id,
+    name,
+    program,
+    area_hint_clbs,
+});
 
 impl fmt::Display for Task {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

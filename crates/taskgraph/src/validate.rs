@@ -80,7 +80,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "task {task} uses undeclared channel {channel}")
             }
             ValidateError::WrongChannelWriter { task, channel } => {
-                write!(f, "task {task} sends on channel {channel} it does not write")
+                write!(
+                    f,
+                    "task {task} sends on channel {channel} it does not write"
+                )
             }
             ValidateError::WrongChannelReader { task, channel } => {
                 write!(
@@ -252,7 +255,10 @@ mod tests {
         b.segment("M", 1, 1);
         assert!(matches!(
             b.finish().unwrap_err(),
-            ValidateError::DuplicateName { kind: "segment", .. }
+            ValidateError::DuplicateName {
+                kind: "segment",
+                ..
+            }
         ));
     }
 

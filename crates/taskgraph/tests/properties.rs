@@ -95,12 +95,12 @@ proptest! {
         }
     }
 
-    /// Graphs survive a serde round-trip bit for bit — the portability
+    /// Graphs survive a JSON round-trip bit for bit — the portability
     /// story: a design is plain data, independent of any board.
     #[test]
     fn taskgraph_serde_round_trips(g in arb_dag()) {
-        let json = serde_json::to_string(&g).expect("serializes");
-        let back: TaskGraph = serde_json::from_str(&json).expect("deserializes");
+        let json = rcarb_json::to_string(&g);
+        let back: TaskGraph = rcarb_json::from_str(&json).expect("deserializes");
         prop_assert_eq!(g, back);
     }
 

@@ -17,17 +17,18 @@ use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
 use rcarb::arb::memmap::bind_segments;
 use rcarb::board::board::Board;
 use rcarb::board::presets;
+use rcarb::json;
 use rcarb::sim::engine::SystemBuilder;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::program::{Expr, Program};
 
 fn main() {
     let wildforce = presets::wildforce();
-    let mut doc = serde_json::to_value(&wildforce).expect("boards serialize");
+    let mut doc = json::to_value(&wildforce);
     println!(
         "Wildforce as data ({} bytes of JSON); first PE:\n{}\n",
-        serde_json::to_string(&doc).unwrap().len(),
-        serde_json::to_string_pretty(&doc["pes"][0]).unwrap()
+        doc.to_string().len(),
+        doc["pes"][0].to_string_pretty()
     );
 
     // A board revision, edited as plain data: every XC4013E becomes an
@@ -42,7 +43,7 @@ fn main() {
         bank["words"] = (words * 2).into();
     }
     doc["name"] = "Wildforce-XL".into();
-    let upgraded: Board = serde_json::from_value(doc).expect("edited board deserializes");
+    let upgraded: Board = json::from_value(&doc).expect("edited board deserializes");
     println!(
         "upgraded board: {} — {} CLBs total, {} memory bits\n",
         upgraded.name(),
@@ -52,7 +53,9 @@ fn main() {
 
     // The same design flows onto both without modification.
     let mut b = TaskGraphBuilder::new("portable");
-    let segs: Vec<_> = (0..5).map(|i| b.segment(format!("S{i}"), 512, 16)).collect();
+    let segs: Vec<_> = (0..5)
+        .map(|i| b.segment(format!("S{i}"), 512, 16))
+        .collect();
     for (i, &s) in segs.iter().enumerate() {
         b.task(
             format!("T{i}"),
@@ -72,8 +75,8 @@ fn main() {
             &ChannelMergePlan::default(),
             &InsertionConfig::paper(),
         );
-        let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-            .build(board);
+        let mut sys =
+            SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(board);
         let report = sys.run(100_000);
         assert!(report.clean());
         println!(

@@ -30,7 +30,9 @@ fn main() {
     let c1 = b.channel("c1", 16, t1, t2);
     let c4 = b.channel("c4", 16, t4, t3);
     let mut graph = b.finish().expect("valid design");
-    graph.task_mut(t1).set_program(Program::build(|p| p.send(c1, Expr::lit(10))));
+    graph
+        .task_mut(t1)
+        .set_program(Program::build(|p| p.send(c1, Expr::lit(10))));
     graph.task_mut(t4).set_program(Program::build(|p| {
         p.compute(1);
         p.send(c4, Expr::lit(102));

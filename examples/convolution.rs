@@ -37,11 +37,7 @@ fn row_task(input: SegmentId, output: SegmentId) -> Program {
             .collect();
         p.compute(2);
         for x in 0..W {
-            let mid = Expr::bin(
-                BinOp::Mul,
-                Expr::var(cells[x]),
-                Expr::lit(2),
-            );
+            let mid = Expr::bin(BinOp::Mul, Expr::var(cells[x]), Expr::lit(2));
             let mut acc = mid;
             if x > 0 {
                 acc = Expr::add(acc, Expr::var(cells[x - 1]));

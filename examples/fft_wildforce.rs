@@ -15,22 +15,18 @@ use rcarb::fft::runtime::compare_512;
 fn main() {
     let flow = run_fft_flow().expect("the shipped FFT flow partitions cleanly");
 
-    println!("design: {} tasks, {} memory segments, board: {}",
+    println!(
+        "design: {} tasks, {} memory segments, board: {}",
         flow.graph.tasks().len(),
         flow.graph.segments().len(),
-        flow.board.name());
+        flow.board.name()
+    );
     println!();
 
     // The paper: "the tool produced three temporal partitions"; #0 holds
     // a 6-input and a 2-input arbiter (Fig. 11), #1 a 4-input, #2 none.
     for stage in &flow.result.stages {
-        let tasks: Vec<&str> = stage
-            .plan
-            .graph
-            .tasks()
-            .iter()
-            .map(|t| t.name())
-            .collect();
+        let tasks: Vec<&str> = stage.plan.graph.tasks().iter().map(|t| t.name()).collect();
         let arbs: Vec<String> = stage.plan.arbiters.iter().map(|a| a.name()).collect();
         println!(
             "temporal partition #{}: tasks [{}]",
@@ -63,7 +59,12 @@ fn main() {
 
     // Simulate one tile through all three partitions and verify against
     // the exact reference FFT.
-    let tile = [[12, 7, 3, 99], [0, 45, 81, 2], [9, 9, 9, 9], [1, 0, 255, 17]];
+    let tile = [
+        [12, 7, 3, 99],
+        [0, 45, 81, 2],
+        [9, 9, 9, 9],
+        [1, 0, 255, 17],
+    ];
     let sim = simulate_block(&flow, tile);
     let expected = dft4x4(std::array::from_fn(|r| {
         std::array::from_fn(|c| Complex::real(tile[r][c]))
@@ -78,8 +79,13 @@ fn main() {
     // The 512x512 comparison (paper: 4.4 s hardware vs 6.8 s software).
     let report = compare_512(&flow, 512);
     println!("\n512x512 image, {} blocks:", report.blocks);
-    println!("  hardware: {:.2}s  (compute {:.2}s + host I/O {:.2}s + reconfig {:.2}s)",
-        report.hw_total_s, report.hw_compute_s, report.hw_io_s, report.hw_reconfig_s);
+    println!(
+        "  hardware: {:.2}s  (compute {:.2}s + host I/O {:.2}s + reconfig {:.2}s)",
+        report.hw_total_s, report.hw_compute_s, report.hw_io_s, report.hw_reconfig_s
+    );
     println!("  software: {:.2}s  (Pentium-150 model)", report.sw_total_s);
-    println!("  speedup:  {:.2}x  (paper reports 1.55x)", report.speedup());
+    println!(
+        "  speedup:  {:.2}x  (paper reports 1.55x)",
+        report.speedup()
+    );
 }

@@ -18,14 +18,20 @@ fn main() {
     let spec = ArbiterSpec::round_robin(6).with_encoding(EncodingStyle::OneHot);
     let arbiter = ArbiterGenerator::new().generate(&spec);
 
-    println!("Fig. 5 FSM: {} states (C1..C6, F1..F6)\n", arbiter.fsm().num_states());
+    println!(
+        "Fig. 5 FSM: {} states (C1..C6, F1..F6)\n",
+        arbiter.fsm().num_states()
+    );
 
     // The generator emits synthesizable VHDL, exactly like the paper's
     // tool; print its interface.
     for line in arbiter.vhdl().lines().take(14) {
         println!("{line}");
     }
-    println!("  ... ({} more lines)\n", arbiter.vhdl().lines().count() - 14);
+    println!(
+        "  ... ({} more lines)\n",
+        arbiter.vhdl().lines().count() - 14
+    );
 
     // Synthesize with both tool models.
     for tool in [ToolModel::synplify(), ToolModel::fpga_express()] {

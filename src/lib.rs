@@ -34,9 +34,11 @@
 //! See the `examples/` directory for end-to-end flows, including the paper's
 //! 4x4 2-D FFT design mapped onto the Annapolis Wildforce board.
 
+pub use rcarb_analyze as analyze;
 pub use rcarb_board as board;
 pub use rcarb_core as arb;
 pub use rcarb_fft as fft;
+pub use rcarb_json as json;
 pub use rcarb_logic as logic;
 pub use rcarb_partition as partition;
 pub use rcarb_sim as sim;

@@ -1,0 +1,140 @@
+//! End-to-end static-analysis tests through the public facade: the
+//! unmodified FFT design analyzes clean, and targeted design mutations
+//! each trip the specific diagnostic they break.
+
+use rcarb::analyze::{analyze_plan, AnalyzeConfig, AnalyzePlan, DiagCode};
+use rcarb::arb::channel::plan_merges;
+use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
+use rcarb::arb::memmap::bind_segments;
+use rcarb::board::board::PeId;
+use rcarb::board::presets;
+use rcarb::fft::flow::run_fft_flow;
+use rcarb::taskgraph::builder::TaskGraphBuilder;
+use rcarb::taskgraph::id::TaskId;
+use rcarb::taskgraph::program::{Expr, Op, Program};
+
+#[test]
+fn unmodified_fft_design_has_zero_errors() {
+    let flow = run_fft_flow().expect("the shipped FFT flow partitions cleanly");
+    let report = flow.analyze(&AnalyzeConfig::default());
+    assert!(report.is_clean(), "{}", report.render_text());
+    let doc = report.to_json();
+    assert_eq!(doc["clean"].as_bool(), Some(true));
+    assert_eq!(doc["errors"].as_u64(), Some(0));
+}
+
+#[test]
+fn dropping_the_arbiter_from_a_contended_bank_is_rca201() {
+    let flow = run_fft_flow().expect("flow");
+    // Partition #0 holds Arb6 and Arb2 (Fig. 11); erase them.
+    let stage = &flow.result.stages[0];
+    let mut plan = stage.plan.clone();
+    assert!(!plan.arbiters.is_empty());
+    plan.arbiters.clear();
+    let report = plan.analyze(&stage.binding, &stage.merges, &AnalyzeConfig::default());
+    assert!(!report.is_clean());
+    // The six concurrent tasks on the plane bank collide pairwise.
+    assert!(report.has_code(DiagCode::UnsoundElision));
+    // The transformed programs still speak the protocol to the erased
+    // arbiters.
+    assert!(report.has_code(DiagCode::UnknownArbiter));
+}
+
+/// Strips every `ReqDeassert` from a program, recursively.
+fn strip_releases(ops: &[Op]) -> Vec<Op> {
+    ops.iter()
+        .filter(|op| !matches!(op, Op::ReqDeassert { .. }))
+        .map(|op| match op {
+            Op::Repeat { times, body } => Op::Repeat {
+                times: *times,
+                body: strip_releases(body),
+            },
+            Op::IfNonZero {
+                cond,
+                then_ops,
+                else_ops,
+            } => Op::IfNonZero {
+                cond: cond.clone(),
+                then_ops: strip_releases(then_ops),
+                else_ops: strip_releases(else_ops),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+#[test]
+fn removing_the_m_access_release_is_rca302() {
+    let flow = run_fft_flow().expect("flow");
+    let stage = &flow.result.stages[0];
+    let mut plan = stage.plan.clone();
+    // Remove every release from every task of the partition — each held
+    // arbiter now starves its other requesters.
+    let ids: Vec<TaskId> = plan.graph.tasks().iter().map(|t| t.id()).collect();
+    for t in ids {
+        let stripped = Program::from_ops(strip_releases(plan.graph.task(t).program().ops()));
+        plan.graph.task_mut(t).set_program(stripped);
+    }
+    let report = plan.analyze(&stage.binding, &stage.merges, &AnalyzeConfig::default());
+    assert!(
+        report.has_code(DiagCode::MissingRelease),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn shorting_two_channel_sources_without_an_arbiter_is_rca201() {
+    // Two unordered writers merged onto one physical channel (the Table 1
+    // topology), with the merged channel's arbiter erased.
+    let mut b = TaskGraphBuilder::new("shorted");
+    let t1 = b.task("W1", Program::empty());
+    let t4 = b.task("W2", Program::empty());
+    let t2 = b.task("R1", Program::empty());
+    let t3 = b.task("R2", Program::empty());
+    let c1 = b.channel("c1", 16, t1, t2);
+    let c4 = b.channel("c4", 16, t4, t3);
+    let mut graph = b.finish().expect("valid design");
+    graph
+        .task_mut(t1)
+        .set_program(Program::build(|p| p.send(c1, Expr::lit(10))));
+    graph
+        .task_mut(t4)
+        .set_program(Program::build(|p| p.send(c4, Expr::lit(102))));
+    graph.task_mut(t2).set_program(Program::build(|p| {
+        let _ = p.recv(c1);
+    }));
+    graph.task_mut(t3).set_program(Program::build(|p| {
+        let _ = p.recv(c4);
+    }));
+
+    let board = presets::duo_small();
+    let place = |t: TaskId| PeId::new(u32::from(t.index() >= 2));
+    let merges = plan_merges(&graph, &board, &place).expect("single route");
+    assert!(merges.merges()[0].needs_arbiter());
+    let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+    let mut plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+    assert_eq!(plan.arbiter_sizes(), vec![2]);
+
+    // Sanity: with its arbiter the shorted channel is sound.
+    let ok = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(ok.is_clean(), "{}", ok.render_text());
+
+    // Erase the arbiter and undo the transform: both writers now drive
+    // the physical channel with nothing serializing them.
+    plan.arbiters.clear();
+    plan.graph
+        .task_mut(t1)
+        .set_program(Program::build(|p| p.send(c1, Expr::lit(10))));
+    plan.graph
+        .task_mut(t4)
+        .set_program(Program::build(|p| p.send(c4, Expr::lit(102))));
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(!report.is_clean());
+    let hits = report.with_code(DiagCode::UnsoundElision);
+    assert!(
+        hits.iter().any(|d| d.location.contains("merged channel")),
+        "{}",
+        report.render_text()
+    );
+}

@@ -22,8 +22,8 @@ fn expected() -> [[Complex; 4]; 4] {
 #[test]
 fn quad_large_flows_into_fewer_partitions_same_answer() {
     let paper = run_fft_flow().expect("wildforce flow");
-    let roomy = run_fft_flow_on(rcarb::board::presets::quad_large(), 0.9, false)
-        .expect("quad_large flow");
+    let roomy =
+        run_fft_flow_on(rcarb::board::presets::quad_large(), 0.9, false).expect("quad_large flow");
     // A roomier budget collapses the schedule.
     assert!(roomy.result.num_stages() < paper.result.num_stages());
     assert_eq!(roomy.result.num_stages(), 1);
@@ -55,10 +55,7 @@ fn a_fully_loose_budget_is_refused_by_spatial_partitioning() {
     // which genuinely cannot be packed into four 576-CLB devices with
     // 220-CLB tasks: the flow reports instead of mis-packing.
     let err = run_fft_flow_on(rcarb::board::presets::wildforce(), 1.0, false).unwrap_err();
-    assert!(matches!(
-        err,
-        rcarb::partition::flow::FlowError::Spatial(_)
-    ));
+    assert!(matches!(err, rcarb::partition::flow::FlowError::Spatial(_)));
 }
 
 #[test]

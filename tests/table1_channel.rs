@@ -79,7 +79,12 @@ fn table1_merged_channel_delivers_both_values() {
     assert_eq!(merges.merges().len(), 1, "c1 and c4 must share the route");
     assert!(merges.merges()[0].needs_arbiter());
     let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
-    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    let plan = insert_arbiters(
+        &f.graph,
+        &binding,
+        &merges,
+        &InsertionConfig::paper().with_elision(true),
+    );
     assert_eq!(plan.arbiter_sizes(), vec![2]);
 
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
@@ -96,7 +101,12 @@ fn table1_fails_with_source_side_register() {
     let board = presets::duo_small();
     let merges = plan_merges(&f.graph, &board, &place).expect("single route");
     let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
-    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    let plan = insert_arbiters(
+        &f.graph,
+        &binding,
+        &merges,
+        &InsertionConfig::paper().with_elision(true),
+    );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
         .with_register_placement(RegisterPlacement::Source)
         .build(&board);
@@ -125,7 +135,12 @@ fn table1_reader_latches_indefinitely() {
     let board = presets::duo_small();
     let merges = plan_merges(&f.graph, &board, &place).expect("single route");
     let binding = bind_segments(f.graph.segments(), &board, &|_| None).expect("binds");
-    let plan = insert_arbiters(&f.graph, &binding, &merges, &InsertionConfig::paper().with_elision(true));
+    let plan = insert_arbiters(
+        &f.graph,
+        &binding,
+        &merges,
+        &InsertionConfig::paper().with_elision(true),
+    );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
     let report = sys.run(10_000);
     assert!(report.clean());
