@@ -115,48 +115,120 @@ impl Default for AnalyzeConfig {
     }
 }
 
+/// One independent unit of analysis work: an arbiter's FSM/netlist
+/// checks, or one of the whole-plan check families.
+#[derive(Debug, Clone, Copy)]
+enum CheckJob {
+    /// Families 1 + 4 for `plan.arbiters[i]`.
+    Arbiter(usize),
+    /// Family 2: elision soundness.
+    Elision,
+    /// Family 3: protocol shape and starvation windows.
+    Starvation,
+}
+
+/// The shared, read-only inputs every check job sees.
+struct CheckCtx {
+    plan: ArbitrationPlan,
+    binding: MemoryBinding,
+    merges: ChannelMergePlan,
+    config: AnalyzeConfig,
+}
+
+fn run_check(ctx: &CheckCtx, job: CheckJob) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    match job {
+        CheckJob::Arbiter(i) => {
+            let arb = &ctx.plan.arbiters[i];
+            if arb.inputs == 0 || arb.inputs > 32 {
+                // Shape errors are reported by the starvation family;
+                // there is no FSM to explore.
+                return report;
+            }
+            let generated = ArbiterGenerator::new()
+                .generate(&ArbiterSpec::round_robin(arb.inputs).with_encoding(ctx.config.encoding));
+            let name = format!("{} ({})", arb.name(), arb.resource);
+            report.extend(contention::check_grant_fsm(
+                generated.fsm(),
+                &name,
+                &ctx.config.lines,
+            ));
+            report.extend(netlist::check_fsm(generated.fsm(), &name));
+            if ctx.config.lint_netlists {
+                let nl = generated.netlist(&ToolModel::synplify());
+                report.extend(netlist::check_netlist(&nl, &name));
+            }
+        }
+        CheckJob::Elision => {
+            report.extend(elision::check_elision(&ctx.plan, &ctx.binding, &ctx.merges));
+        }
+        CheckJob::Starvation => {
+            report.extend(starvation::check_starvation(
+                &ctx.plan,
+                &ctx.binding,
+                &ctx.merges,
+                &ctx.config,
+            ));
+        }
+    }
+    report
+}
+
+fn check_jobs(plan: &ArbitrationPlan) -> Vec<CheckJob> {
+    (0..plan.arbiters.len())
+        .map(CheckJob::Arbiter)
+        .chain([CheckJob::Elision, CheckJob::Starvation])
+        .collect()
+}
+
 /// Analyzes a complete arbitrated design.
 ///
 /// `binding` and `merges` must be the same inputs the insertion pass ran
 /// with — they decide which resources are shared and by whom.
+///
+/// Each check family — and within family 1/4 each arbiter — runs as an
+/// independent job on the workspace thread pool; the per-job reports are
+/// merged in check order, so the result is byte-identical to the
+/// sequential [`analyze_plan_seq`] reference.
 pub fn analyze_plan(
     plan: &ArbitrationPlan,
     binding: &MemoryBinding,
     merges: &ChannelMergePlan,
     config: &AnalyzeConfig,
 ) -> AnalysisReport {
+    let jobs = check_jobs(plan);
+    let ctx = std::sync::Arc::new(CheckCtx {
+        plan: plan.clone(),
+        binding: binding.clone(),
+        merges: merges.clone(),
+        config: config.clone(),
+    });
+    let reports = rcarb_exec::global_pool().parallel_map(jobs, move |job| run_check(&ctx, job));
     let mut report = AnalysisReport::new();
-
-    // Family 1 + 4: every inserted arbiter's FSM, and optionally its
-    // synthesized netlist.
-    let generator = ArbiterGenerator::new();
-    for arb in &plan.arbiters {
-        if arb.inputs == 0 || arb.inputs > 32 {
-            // Shape errors are reported by the starvation family; there
-            // is no FSM to explore.
-            continue;
-        }
-        let generated = generator
-            .generate(&ArbiterSpec::round_robin(arb.inputs).with_encoding(config.encoding));
-        let name = format!("{} ({})", arb.name(), arb.resource);
-        report.extend(contention::check_grant_fsm(
-            generated.fsm(),
-            &name,
-            &config.lines,
-        ));
-        report.extend(netlist::check_fsm(generated.fsm(), &name));
-        if config.lint_netlists {
-            let nl = generated.netlist(&ToolModel::synplify());
-            report.extend(netlist::check_netlist(&nl, &name));
-        }
+    for r in reports {
+        report.merge(r);
     }
+    report
+}
 
-    // Family 2: elision soundness.
-    report.extend(elision::check_elision(plan, binding, merges));
-
-    // Family 3: protocol shape and starvation windows.
-    report.extend(starvation::check_starvation(plan, binding, merges, config));
-
+/// The single-threaded reference analyzer, kept as the determinism
+/// baseline for [`analyze_plan`].
+pub fn analyze_plan_seq(
+    plan: &ArbitrationPlan,
+    binding: &MemoryBinding,
+    merges: &ChannelMergePlan,
+    config: &AnalyzeConfig,
+) -> AnalysisReport {
+    let ctx = CheckCtx {
+        plan: plan.clone(),
+        binding: binding.clone(),
+        merges: merges.clone(),
+        config: config.clone(),
+    };
+    let mut report = AnalysisReport::new();
+    for job in check_jobs(plan) {
+        report.merge(run_check(&ctx, job));
+    }
     report
 }
 
@@ -246,6 +318,25 @@ mod tests {
         assert!(report.has_code(DiagCode::UnsoundElision));
         // The transformed programs now reference a vanished arbiter.
         assert!(report.has_code(DiagCode::UnknownArbiter));
+    }
+
+    #[test]
+    fn parallel_analysis_matches_sequential_exactly() {
+        let (plan, binding) = arbitrated_design();
+        let merges = ChannelMergePlan::default();
+        let config = AnalyzeConfig::default();
+        let par = analyze_plan(&plan, &binding, &merges, &config);
+        let seq = analyze_plan_seq(&plan, &binding, &merges, &config);
+        assert_eq!(par, seq);
+        assert_eq!(par.render_text(), seq.render_text());
+
+        // Also on a broken plan, where diagnostics actually fire.
+        let mut broken = plan;
+        broken.arbiters.clear();
+        let par = analyze_plan(&broken, &binding, &merges, &config);
+        let seq = analyze_plan_seq(&broken, &binding, &merges, &config);
+        assert!(!par.is_clean());
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -34,6 +34,12 @@ impl AnalysisReport {
         self.diagnostics.append(&mut other.diagnostics);
     }
 
+    /// Appends another report's findings verbatim, preserving order —
+    /// the merge step of the parallel check fan-out.
+    pub fn merge(&mut self, mut other: AnalysisReport) {
+        self.diagnostics.append(&mut other.diagnostics);
+    }
+
     /// All findings, in the order the checks produced them.
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics

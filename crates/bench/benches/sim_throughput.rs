@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rcarb_core::channel::ChannelMergePlan;
 use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
 use rcarb_core::memmap::bind_segments;
+use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::SystemBuilder;
 use rcarb_taskgraph::builder::TaskGraphBuilder;
 use rcarb_taskgraph::program::{Expr, Program};
@@ -40,7 +41,7 @@ fn bench(c: &mut Criterion) {
         // Cycle count is deterministic; measure it once for throughput.
         let cycles = {
             let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                .with_cosim(cosim)
+                .with_config(SimConfig::new().with_cosim(cosim))
                 .build(&board);
             sys.run(1_000_000).cycles
         };
@@ -52,7 +53,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let mut sys =
                         SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                            .with_cosim(cs)
+                            .with_config(SimConfig::new().with_cosim(cs))
                             .build(&board);
                     let report = sys.run(1_000_000);
                     debug_assert!(report.clean());

@@ -1,0 +1,117 @@
+//! `bench_sweep` — the parallel-characterization benchmark.
+//!
+//! Sweeps round-robin arbiters over N in [2, 32] for every (tool,
+//! encoding) combination three ways — sequentially, in parallel on a
+//! cold synthesis cache, and in parallel on a warm cache — asserts the
+//! three tables are byte-identical, and writes the timings plus the
+//! engine's [`PerfReport`] to `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run -p rcarb-bench --release --bin bench_sweep [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the sweep to N in [2, 8] for CI smoke jobs. The
+//! recorded `cores` field is the pool's actual worker count: speedups on
+//! a single-core host are honestly ~1x, the parallel path there is
+//! exercised for determinism, not for speed.
+//!
+//! One-hot combinations above N = 21 exceed the two-level synthesizer's
+//! 64-variable cube budget and are skipped by the sweep itself (see
+//! `rcarb_core::characterize::synthesizable`), so the tail of the range
+//! only carries the compact series.
+
+use rcarb_board::device::SpeedGrade;
+use rcarb_core::characterize::Characterization;
+use rcarb_core::generator::{reset_synthesis_cache, synthesis_cache_stats};
+use rcarb_exec::{global_pool, PerfReport};
+use rcarb_json::Json;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ns: Vec<usize> = if smoke {
+        (2..=8).collect()
+    } else {
+        (2..=32).collect()
+    };
+    let grade = SpeedGrade::Minus3;
+    let cores = global_pool().num_workers();
+    println!(
+        "bench_sweep: N in [{}, {}], 3 (tool, encoding) series, {cores} worker(s)",
+        ns[0],
+        ns[ns.len() - 1]
+    );
+
+    let mut perf = PerfReport::new();
+
+    // Sequential reference, cold cache.
+    reset_synthesis_cache();
+    let t = Instant::now();
+    let seq = Characterization::sweep_round_robin_seq(ns.clone(), grade);
+    let seq_wall = t.elapsed();
+    perf.add_stage("sweep/sequential", seq_wall);
+
+    // Parallel sweep, cold cache — the honest speedup measurement.
+    reset_synthesis_cache();
+    let t = Instant::now();
+    let par = Characterization::sweep_round_robin(ns.clone(), grade);
+    let par_wall = t.elapsed();
+    perf.add_stage("sweep/parallel-cold", par_wall);
+
+    assert_eq!(
+        par.rows(),
+        seq.rows(),
+        "parallel table must be byte-identical to the sequential reference"
+    );
+
+    // Parallel sweep again on the warm cache — measures cache reuse.
+    let t = Instant::now();
+    let warm = Characterization::sweep_round_robin(ns.clone(), grade);
+    let warm_wall = t.elapsed();
+    perf.add_stage("sweep/parallel-warm", warm_wall);
+    assert_eq!(warm.rows(), seq.rows());
+
+    let mut perf = perf.with_pool(global_pool().stats());
+    perf.add_cache("synthesis", synthesis_cache_stats());
+
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9);
+    let warm_speedup = seq_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+
+    let doc = Json::Obj(vec![
+        (
+            "bench".to_owned(),
+            Json::Str("sweep_round_robin".to_owned()),
+        ),
+        ("smoke".to_owned(), Json::Bool(smoke)),
+        ("cores".to_owned(), Json::from(cores as u64)),
+        (
+            "ns".to_owned(),
+            Json::Arr(ns.iter().map(|&n| Json::from(n as u64)).collect()),
+        ),
+        ("rows".to_owned(), Json::from(seq.rows().len() as u64)),
+        (
+            "seq_ms".to_owned(),
+            Json::from(seq_wall.as_secs_f64() * 1e3),
+        ),
+        (
+            "par_cold_ms".to_owned(),
+            Json::from(par_wall.as_secs_f64() * 1e3),
+        ),
+        (
+            "par_warm_ms".to_owned(),
+            Json::from(warm_wall.as_secs_f64() * 1e3),
+        ),
+        ("speedup".to_owned(), Json::from(speedup)),
+        ("warm_speedup".to_owned(), Json::from(warm_speedup)),
+        ("tables_identical".to_owned(), Json::Bool(true)),
+        ("perf".to_owned(), perf.to_json()),
+    ]);
+    std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");
+
+    println!("{}", perf.render_text());
+    println!(
+        "{} rows; cold parallel speedup {speedup:.2}x, warm {warm_speedup:.2}x on {cores} core(s)",
+        seq.rows().len()
+    );
+    println!("wrote BENCH_sweep.json");
+}

@@ -7,10 +7,78 @@
 //! generator through the synthesis pipeline — the same sweep that
 //! regenerates the paper's Figs. 6 and 7.
 
+use crate::error::Error;
 use crate::generator::{ArbiterGenerator, ArbiterSpec};
 use rcarb_board::device::SpeedGrade;
+use rcarb_exec::global_pool;
 use rcarb_logic::encode::EncodingStyle;
 use rcarb_logic::tools::ToolModel;
+
+/// The paper's three (tool, encoding) series: FPGA Express with one-hot
+/// and compact, Synplify (which forces one-hot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ToolSel {
+    Express,
+    Synplify,
+}
+
+impl ToolSel {
+    fn model(self) -> ToolModel {
+        match self {
+            ToolSel::Express => ToolModel::fpga_express(),
+            ToolSel::Synplify => ToolModel::synplify(),
+        }
+    }
+}
+
+const COMBOS: [(ToolSel, EncodingStyle); 3] = [
+    (ToolSel::Express, EncodingStyle::OneHot),
+    (ToolSel::Express, EncodingStyle::Compact),
+    (ToolSel::Synplify, EncodingStyle::OneHot),
+];
+
+/// Whether an `(n, tool, encoding)` combination fits the two-level
+/// synthesizer's 64-variable cube representation.
+///
+/// The Fig. 5 round-robin FSM has `2N` states and `N` request inputs, and
+/// synthesis needs one cube variable per state bit plus one per input.
+/// One-hot spends `2N` bits on the state register, so it tops out at
+/// `N = 21` (`3 * 21 = 63`); compact (`ceil(log2 2N)` bits) fits through
+/// the generator's full `N = 32` range. Tools that force one-hot
+/// (Synplify) are judged on one-hot regardless of the requested encoding.
+pub fn synthesizable(n: usize, tool: &ToolModel, encoding: EncodingStyle) -> bool {
+    let style = if tool.forces_one_hot() {
+        EncodingStyle::OneHot
+    } else {
+        encoding
+    };
+    let states = 2 * n;
+    let state_bits = match style {
+        EncodingStyle::OneHot => states,
+        EncodingStyle::Compact | EncodingStyle::Gray => {
+            (usize::BITS - (states.max(2) - 1).leading_zeros()) as usize
+        }
+    };
+    state_bits + n <= 64
+}
+
+fn char_row(n: usize, tool: &ToolModel, encoding: EncodingStyle, grade: SpeedGrade) -> CharRow {
+    let spec = ArbiterSpec::round_robin(n).with_encoding(encoding);
+    let report = ArbiterGenerator::new()
+        .with_grade(grade)
+        .generate(&spec)
+        .synthesize(tool);
+    CharRow {
+        n,
+        tool: report.tool,
+        encoding: report.encoding_used,
+        clbs: report.clbs(),
+        fmax_mhz: report.fmax_mhz(),
+        luts: report.clb.luts,
+        ffs: report.clb.ffs,
+        levels: report.timing.levels,
+    }
+}
 
 /// One characterization row.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,29 +111,61 @@ impl Characterization {
     /// Sweeps round-robin arbiters over `ns` for every (tool, encoding)
     /// combination in the paper's evaluation: FPGA Express with one-hot
     /// and compact, Synplify (which forces one-hot).
+    ///
+    /// Each (N, tool, encoding) synthesis runs as an independent job on
+    /// the workspace thread pool, with results reassembled in sweep
+    /// order — the table is byte-identical to the sequential
+    /// [`sweep_round_robin_seq`](Self::sweep_round_robin_seq) path.
+    ///
+    /// Combinations that would overflow the two-level synthesizer's
+    /// 64-variable cube budget (one-hot above `N = 21`; see
+    /// [`synthesizable`]) are skipped rather than synthesized, so the
+    /// one-hot series simply end early while compact continues to
+    /// `N = 32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `n` is zero or larger than 32; use
+    /// [`try_sweep_round_robin`](Self::try_sweep_round_robin) to handle
+    /// the failure.
     pub fn sweep_round_robin(ns: impl IntoIterator<Item = usize>, grade: SpeedGrade) -> Self {
-        let generator = ArbiterGenerator::new().with_grade(grade);
-        let express = ToolModel::fpga_express();
-        let synplify = ToolModel::synplify();
+        Self::try_sweep_round_robin(ns, grade).expect("arbiters support 1..=32 tasks")
+    }
+
+    /// The fallible form of [`sweep_round_robin`](Self::sweep_round_robin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTaskCount`] if any `n` is outside
+    /// `1..=32`; nothing is synthesized in that case.
+    pub fn try_sweep_round_robin(
+        ns: impl IntoIterator<Item = usize>,
+        grade: SpeedGrade,
+    ) -> Result<Self, Error> {
+        let mut jobs = Vec::new();
+        for n in ns {
+            ArbiterSpec::try_round_robin(n)?;
+            for (tool, encoding) in COMBOS {
+                if synthesizable(n, &tool.model(), encoding) {
+                    jobs.push((n, tool, encoding));
+                }
+            }
+        }
+        let rows = global_pool().parallel_map(jobs, move |(n, tool, encoding)| {
+            char_row(n, &tool.model(), encoding, grade)
+        });
+        Ok(Self { rows })
+    }
+
+    /// The single-threaded reference sweep, kept as the determinism
+    /// baseline for [`sweep_round_robin`](Self::sweep_round_robin).
+    pub fn sweep_round_robin_seq(ns: impl IntoIterator<Item = usize>, grade: SpeedGrade) -> Self {
         let mut rows = Vec::new();
         for n in ns {
-            for (tool, encoding) in [
-                (&express, EncodingStyle::OneHot),
-                (&express, EncodingStyle::Compact),
-                (&synplify, EncodingStyle::OneHot),
-            ] {
-                let spec = ArbiterSpec::round_robin(n).with_encoding(encoding);
-                let report = generator.generate(&spec).synthesize(tool);
-                rows.push(CharRow {
-                    n,
-                    tool: report.tool,
-                    encoding: report.encoding_used,
-                    clbs: report.clbs(),
-                    fmax_mhz: report.fmax_mhz(),
-                    luts: report.clb.luts,
-                    ffs: report.clb.ffs,
-                    levels: report.timing.levels,
-                });
+            for (tool, encoding) in COMBOS {
+                if synthesizable(n, &tool.model(), encoding) {
+                    rows.push(char_row(n, &tool.model(), encoding, grade));
+                }
             }
         }
         Self { rows }
@@ -150,6 +250,37 @@ mod tests {
         let cp = c.lookup(8, "fpga_express", EncodingStyle::Compact).unwrap();
         assert_eq!(oh.ffs, 16); // 2N one-hot states
         assert_eq!(cp.ffs, 4); // ceil(log2 16)
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let par = Characterization::sweep_round_robin(2..=8, SpeedGrade::Minus3);
+        let seq = Characterization::sweep_round_robin_seq(2..=8, SpeedGrade::Minus3);
+        assert_eq!(par.rows(), seq.rows());
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected_without_synthesizing() {
+        let err = Characterization::try_sweep_round_robin([2, 33], SpeedGrade::Minus3)
+            .expect_err("33 is out of range");
+        assert_eq!(err, crate::error::Error::InvalidTaskCount { n: 33 });
+        assert!(Characterization::try_sweep_round_robin([0], SpeedGrade::Minus3).is_err());
+    }
+
+    #[test]
+    fn one_hot_series_end_at_the_cube_variable_ceiling() {
+        // 3 * 21 = 63 variables fits; 3 * 22 = 66 does not.
+        let express = ToolModel::fpga_express();
+        let synplify = ToolModel::synplify();
+        assert!(synthesizable(21, &express, EncodingStyle::OneHot));
+        assert!(!synthesizable(22, &express, EncodingStyle::OneHot));
+        assert!(!synthesizable(22, &synplify, EncodingStyle::Compact));
+        assert!(synthesizable(32, &express, EncodingStyle::Compact));
+
+        let c = Characterization::sweep_round_robin([21, 22, 32], SpeedGrade::Minus3);
+        assert_eq!(c.series("fpga_express", EncodingStyle::OneHot).len(), 1);
+        assert_eq!(c.series("synplify", EncodingStyle::OneHot).len(), 1);
+        assert_eq!(c.series("fpga_express", EncodingStyle::Compact).len(), 3);
     }
 
     #[test]

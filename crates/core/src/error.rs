@@ -1,0 +1,89 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible entry point in the arbitration stack — spec
+//! construction, characterization sweeps, memory binding, channel
+//! planning, system building — funnels into [`Error`], so downstream
+//! code (the `rcarb::Design` facade in particular) composes the whole
+//! taskgraph → plan → simulate pipeline with `?` instead of catching
+//! panics.
+
+use crate::channel::ChannelPlanError;
+use crate::memmap::BindError;
+use rcarb_taskgraph::id::SegmentId;
+use std::fmt;
+
+/// Any failure raised by the arbitration stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An arbiter was requested for a task count outside the supported
+    /// `1..=32` range.
+    InvalidTaskCount {
+        /// The rejected size.
+        n: usize,
+    },
+    /// A burst bound of zero accesses was requested (the Fig. 8 protocol
+    /// releases after `M >= 1` accesses).
+    InvalidBurst,
+    /// A task program accesses a segment its memory binding never placed
+    /// in a bank.
+    UnboundSegment {
+        /// The unplaced segment.
+        segment: SegmentId,
+        /// Name of the accessing task.
+        task: String,
+    },
+    /// Memory binding failed.
+    Bind(BindError),
+    /// Channel merge planning failed.
+    Channel(ChannelPlanError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidTaskCount { n } => {
+                write!(f, "arbiters support 1..=32 tasks, got {n}")
+            }
+            Error::InvalidBurst => write!(f, "burst length must be at least one access"),
+            Error::UnboundSegment { segment, task } => {
+                write!(
+                    f,
+                    "segment {segment} accessed by {task} is not bound to a bank"
+                )
+            }
+            Error::Bind(e) => write!(f, "memory binding failed: {e}"),
+            Error::Channel(e) => write!(f, "channel planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<BindError> for Error {
+    fn from(e: BindError) -> Self {
+        Error::Bind(e)
+    }
+}
+
+impl From<ChannelPlanError> for Error {
+    fn from(e: ChannelPlanError) -> Self {
+        Error::Channel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = Error::InvalidTaskCount { n: 33 };
+        assert_eq!(e.to_string(), "arbiters support 1..=32 tasks, got 33");
+        let e = Error::UnboundSegment {
+            segment: SegmentId::new(3),
+            task: "T1".to_owned(),
+        };
+        assert!(e.to_string().contains("not bound to a bank"));
+    }
+}

@@ -7,6 +7,7 @@
 //! netlists through the same interface so the Sec. 4 comparison can be run
 //! uniformly.
 
+use crate::error::Error;
 use crate::fifo::FifoArbiter;
 use crate::policy::PolicyKind;
 use crate::priority::StaticPriorityArbiter;
@@ -33,14 +34,27 @@ impl ArbiterSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or larger than 32.
+    /// Panics if `n` is zero or larger than 32; use
+    /// [`try_round_robin`](Self::try_round_robin) to handle the failure.
     pub fn round_robin(n: usize) -> Self {
-        assert!((1..=32).contains(&n), "arbiters support 1..=32 tasks");
-        Self {
+        Self::try_round_robin(n).expect("arbiters support 1..=32 tasks")
+    }
+
+    /// The fallible form of [`round_robin`](Self::round_robin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTaskCount`] if `n` is zero or larger
+    /// than 32.
+    pub fn try_round_robin(n: usize) -> Result<Self, Error> {
+        if !(1..=32).contains(&n) {
+            return Err(Error::InvalidTaskCount { n });
+        }
+        Ok(Self {
             n,
             encoding: EncodingStyle::OneHot,
             policy: PolicyKind::RoundRobin,
-        }
+        })
     }
 
     /// Selects the FSM encoding (meaningful for round-robin).
@@ -144,6 +158,38 @@ impl Default for ArbiterGenerator {
     }
 }
 
+/// The content address of one synthesis result: every input that
+/// determines the report. Generation is deterministic per spec (the
+/// preemptive quantum is a constant), so two equal keys always denote
+/// byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SynthKey {
+    n: usize,
+    policy: PolicyKind,
+    encoding: EncodingStyle,
+    grade: SpeedGrade,
+    tool: &'static str,
+}
+
+fn synth_cache() -> &'static rcarb_exec::Cache<SynthKey, SynthReport> {
+    static CACHE: std::sync::OnceLock<rcarb_exec::Cache<SynthKey, SynthReport>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(rcarb_exec::Cache::new)
+}
+
+/// Hit/miss statistics of the process-wide synthesis cache (for
+/// [`rcarb_exec::PerfReport`]).
+pub fn synthesis_cache_stats() -> rcarb_exec::CacheStats {
+    synth_cache().stats()
+}
+
+/// Drops every entry of the process-wide synthesis cache (counters are
+/// preserved). Mainly useful to tests and benchmarks that measure the
+/// cold path.
+pub fn reset_synthesis_cache() {
+    synth_cache().clear();
+}
+
 /// A generated arbiter: symbolic FSM (round-robin), structural netlist
 /// (baselines), VHDL text, plus on-demand synthesis.
 #[derive(Debug, Clone)]
@@ -197,10 +243,7 @@ impl GeneratedArbiter {
     /// or the `tool`-synthesized one for round-robin.
     pub fn netlist(&self, tool: &ToolModel) -> Netlist {
         match (&self.fsm, &self.structural) {
-            (Some(fsm), _) => {
-                tool.synthesize_fsm(fsm, self.spec.encoding, self.grade)
-                    .netlist
-            }
+            (Some(_), _) => self.synthesize(tool).netlist,
             (None, Some(nl)) => nl.clone(),
             (None, None) => unreachable!("generator always fills one representation"),
         }
@@ -210,8 +253,22 @@ impl GeneratedArbiter {
     ///
     /// Round-robin arbiters run the full FSM pipeline (encoding,
     /// minimization, mapping); baselines pack/time their structural
-    /// netlists through the same back end.
+    /// netlists through the same back end. Results are memoized in a
+    /// process-wide cache addressed by the full content key (task count,
+    /// policy, encoding, speed grade, tool), so re-synthesizing an
+    /// identical spec is a clone, not a pipeline run.
     pub fn synthesize(&self, tool: &ToolModel) -> SynthReport {
+        let key = SynthKey {
+            n: self.spec.n,
+            policy: self.spec.policy,
+            encoding: self.spec.encoding,
+            grade: self.grade,
+            tool: tool.name(),
+        };
+        synth_cache().get_or_insert_with(&key, || self.synthesize_uncached(tool))
+    }
+
+    fn synthesize_uncached(&self, tool: &ToolModel) -> SynthReport {
         match &self.fsm {
             Some(fsm) => tool.synthesize_fsm(fsm, self.spec.encoding, self.grade),
             None => {
@@ -289,6 +346,39 @@ mod tests {
             .generate(&ArbiterSpec::round_robin(3).with_policy(PolicyKind::Fifo));
         assert!(fifo.kiss2().is_none());
         assert!(fifo.blif(&ToolModel::synplify()).contains(".latch"));
+    }
+
+    #[test]
+    fn try_round_robin_rejects_out_of_range_sizes() {
+        assert!(ArbiterSpec::try_round_robin(1).is_ok());
+        assert!(ArbiterSpec::try_round_robin(32).is_ok());
+        assert_eq!(
+            ArbiterSpec::try_round_robin(0).unwrap_err(),
+            Error::InvalidTaskCount { n: 0 }
+        );
+        assert_eq!(
+            ArbiterSpec::try_round_robin(33).unwrap_err(),
+            Error::InvalidTaskCount { n: 33 }
+        );
+    }
+
+    #[test]
+    fn cached_synthesis_equals_cold_synthesis() {
+        // A cold miss computes the report; the warm hit clones it. Both
+        // must be indistinguishable, down to the mapped netlist.
+        let spec = ArbiterSpec::round_robin(9).with_encoding(EncodingStyle::Compact);
+        let g = ArbiterGenerator::new();
+        let tool = ToolModel::fpga_express();
+        let first = g.generate(&spec).synthesize(&tool);
+        crate::generator::reset_synthesis_cache();
+        let cold = g.generate(&spec).synthesize(&tool); // recomputed
+        let warm = g.generate(&spec).synthesize(&tool); // cached
+        assert_eq!(cold.netlist, warm.netlist);
+        assert_eq!(first.netlist, warm.netlist);
+        assert_eq!(
+            (cold.clbs(), cold.fmax_mhz(), cold.encoding_used),
+            (warm.clbs(), warm.fmax_mhz(), warm.encoding_used)
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod channel;
 pub mod characterize;
 pub mod elision;
+pub mod error;
 pub mod fifo;
 pub mod generator;
 pub mod insertion;
@@ -56,6 +57,7 @@ pub mod rr;
 pub mod transform;
 pub mod vhdl;
 
+pub use error::Error;
 pub use generator::{ArbiterGenerator, ArbiterSpec, GeneratedArbiter};
 pub use insertion::{ArbitrationPlan, InsertionConfig};
 pub use policy::{Policy, PolicyKind};

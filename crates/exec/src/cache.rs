@@ -1,0 +1,156 @@
+//! A generic, thread-safe, content-addressed result cache.
+//!
+//! Keys are the full *content* that determines the result (for arbiter
+//! synthesis: task count, policy, encoding, speed grade and tool model),
+//! so two computations with equal keys are interchangeable by
+//! construction and the cache can return a clone of the first result for
+//! every subsequent request. Hit/miss counters feed the workspace's
+//! [`PerfReport`](crate::perf::PerfReport).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss accounting for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored) the value.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]`; zero for an unused cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table from content keys to cloneable values.
+#[derive(Debug, Default)]
+pub struct Cache<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss.
+    ///
+    /// The lock is *not* held while `compute` runs, so concurrent misses
+    /// on the same key may compute twice; the first stored value wins,
+    /// which keeps results deterministic for content-addressed keys
+    /// (equal keys imply equal values).
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.map.lock().expect("cache lock").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut map = self.map.lock().expect("cache lock");
+        map.entry(key.clone()).or_insert_with(|| value).clone()
+    }
+
+    /// The cached value for `key`, if present (counts as a hit or miss).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self.map.lock().expect("cache lock").get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+
+    /// A snapshot of the hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_returns_the_first_value() {
+        let cache: Cache<u32, String> = Cache::new();
+        let a = cache.get_or_insert_with(&7, || "seven".to_owned());
+        let b = cache.get_or_insert_with(&7, || "SEVEN".to_owned());
+        assert_eq!(a, "seven");
+        assert_eq!(b, "seven", "hit must return the originally stored value");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache: Cache<u32, u32> = Cache::new();
+        let _ = cache.get_or_insert_with(&1, || 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = cache.get_or_insert_with(&1, || 3);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        use std::sync::Arc;
+        let cache: Arc<Cache<u32, u64>> = Arc::new(Cache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_insert_with(&42, || 4242))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4242);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

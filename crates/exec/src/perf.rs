@@ -1,0 +1,227 @@
+//! Lightweight performance observability.
+//!
+//! A [`PerfReport`] aggregates the three signals the parallel engine
+//! emits — pool scheduling counters, per-cache hit rates, and per-stage
+//! wall times — and renders them as aligned text or as an rcarb-json
+//! document (the same two surfaces `rcarb-analyze` uses for its
+//! diagnostics).
+
+use crate::cache::CacheStats;
+use crate::pool::PoolStats;
+use rcarb_json::Json;
+use std::time::{Duration, Instant};
+
+/// One timed pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTime {
+    /// Stage label (e.g. `"sweep/parallel"`).
+    pub name: String,
+    /// Measured wall time.
+    pub wall: Duration,
+}
+
+/// An aggregated performance report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Thread-pool scheduling counters, when a pool was involved.
+    pub pool: Option<PoolStats>,
+    /// Named cache statistics.
+    pub caches: Vec<(String, CacheStats)>,
+    /// Timed stages, in recording order.
+    pub stages: Vec<StageTime>,
+}
+
+impl PerfReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches pool counters.
+    #[must_use]
+    pub fn with_pool(mut self, stats: PoolStats) -> Self {
+        self.pool = Some(stats);
+        self
+    }
+
+    /// Records one cache's statistics under `name`.
+    pub fn add_cache(&mut self, name: impl Into<String>, stats: CacheStats) {
+        self.caches.push((name.into(), stats));
+    }
+
+    /// Records a stage wall time under `name`.
+    pub fn add_stage(&mut self, name: impl Into<String>, wall: Duration) {
+        self.stages.push(StageTime {
+            name: name.into(),
+            wall,
+        });
+    }
+
+    /// Runs `f`, records its wall time as a stage named `name`, and
+    /// returns its result.
+    pub fn time<T>(&mut self, name: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let timer = StageTimer::start(name);
+        let out = f();
+        self.stages.push(timer.finish());
+        out
+    }
+
+    /// The wall time recorded for `name`, if any.
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.wall)
+    }
+
+    /// Renders the report as aligned, human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(pool) = &self.pool {
+            out.push_str(&format!(
+                "pool: {} worker(s), {} job(s) scheduled, {} executed, {} stolen\n",
+                pool.workers, pool.scheduled, pool.executed, pool.stolen
+            ));
+        }
+        for (name, c) in &self.caches {
+            out.push_str(&format!(
+                "cache {name}: {} hit(s), {} miss(es), {} entr{} ({:.0}% hit rate)\n",
+                c.hits,
+                c.misses,
+                c.entries,
+                if c.entries == 1 { "y" } else { "ies" },
+                c.hit_rate() * 100.0
+            ));
+        }
+        for s in &self.stages {
+            out.push_str(&format!(
+                "stage {:<24} {:>10.3} ms\n",
+                s.name,
+                s.wall.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let pool = match &self.pool {
+            Some(p) => Json::Obj(vec![
+                ("workers".to_owned(), Json::from(p.workers as u64)),
+                ("scheduled".to_owned(), Json::from(p.scheduled)),
+                ("executed".to_owned(), Json::from(p.executed)),
+                ("stolen".to_owned(), Json::from(p.stolen)),
+            ]),
+            None => Json::Null,
+        };
+        let caches = Json::Arr(
+            self.caches
+                .iter()
+                .map(|(name, c)| {
+                    Json::Obj(vec![
+                        ("name".to_owned(), Json::Str(name.clone())),
+                        ("hits".to_owned(), Json::from(c.hits)),
+                        ("misses".to_owned(), Json::from(c.misses)),
+                        ("entries".to_owned(), Json::from(c.entries as u64)),
+                        ("hit_rate".to_owned(), Json::from(c.hit_rate())),
+                    ])
+                })
+                .collect(),
+        );
+        let stages = Json::Arr(
+            self.stages
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".to_owned(), Json::Str(s.name.clone())),
+                        ("wall_ms".to_owned(), Json::from(s.wall.as_secs_f64() * 1e3)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("pool".to_owned(), pool),
+            ("caches".to_owned(), caches),
+            ("stages".to_owned(), stages),
+        ])
+    }
+}
+
+/// A running stage stopwatch; [`finish`](Self::finish) yields the
+/// [`StageTime`] to push into a [`PerfReport`].
+#[derive(Debug)]
+pub struct StageTimer {
+    name: String,
+    started: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing a stage named `name`.
+    pub fn start(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and returns the measurement.
+    pub fn finish(self) -> StageTime {
+        StageTime {
+            name: self.name,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_all_three_sections() {
+        let mut report = PerfReport::new().with_pool(PoolStats {
+            workers: 4,
+            scheduled: 10,
+            executed: 10,
+            stolen: 3,
+        });
+        report.add_cache(
+            "synth",
+            CacheStats {
+                hits: 9,
+                misses: 1,
+                entries: 1,
+            },
+        );
+        report.add_stage("sweep/parallel", Duration::from_millis(12));
+        let text = report.render_text();
+        assert!(text.contains("pool: 4 worker(s), 10 job(s) scheduled"));
+        assert!(text.contains("cache synth: 9 hit(s), 1 miss(es), 1 entry (90% hit rate)"));
+        assert!(text.contains("stage sweep/parallel"));
+    }
+
+    #[test]
+    fn json_report_is_structured() {
+        let mut report = PerfReport::new();
+        report.add_cache(
+            "synth",
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1,
+            },
+        );
+        report.add_stage("a", Duration::from_millis(1));
+        let doc = report.to_json();
+        assert!(doc["pool"].is_null());
+        assert_eq!(doc["caches"].as_array().unwrap().len(), 1);
+        assert_eq!(doc["caches"][0]["hits"].as_u64(), Some(1));
+        assert_eq!(doc["stages"][0]["name"].as_str(), Some("a"));
+    }
+
+    #[test]
+    fn time_measures_and_returns() {
+        let mut report = PerfReport::new();
+        let v = report.time("stage", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(report.stage("stage").is_some());
+        assert!(report.stage("missing").is_none());
+    }
+}

@@ -111,10 +111,34 @@ impl FftFlow {
     /// Runs the design-rule static analyzer over every temporal
     /// partition, merging the findings into one report with
     /// `partition #N:` location prefixes.
+    ///
+    /// Each partition is analyzed as an independent job on the workspace
+    /// thread pool, and the per-partition reports are absorbed in stage
+    /// order — the merged report is byte-identical to the sequential
+    /// [`analyze_seq`](Self::analyze_seq) reference.
     pub fn analyze(&self, config: &AnalyzeConfig) -> AnalysisReport {
+        let stages = self.result.stages.clone();
+        let config = config.clone();
+        let stage_reports = rcarb_exec::global_pool().parallel_map(stages, move |stage| {
+            (
+                stage.index,
+                analyze_plan(&stage.plan, &stage.binding, &stage.merges, &config),
+            )
+        });
+        let mut report = AnalysisReport::new();
+        for (index, stage_report) in stage_reports {
+            report.absorb(stage_report, &format!("partition #{index}: "));
+        }
+        report
+    }
+
+    /// The single-threaded reference analyzer, kept as the determinism
+    /// baseline for [`analyze`](Self::analyze).
+    pub fn analyze_seq(&self, config: &AnalyzeConfig) -> AnalysisReport {
         let mut report = AnalysisReport::new();
         for stage in &self.result.stages {
-            let stage_report = analyze_plan(&stage.plan, &stage.binding, &stage.merges, config);
+            let stage_report =
+                rcarb_analyze::analyze_plan_seq(&stage.plan, &stage.binding, &stage.merges, config);
             report.absorb(stage_report, &format!("partition #{}: ", stage.index));
         }
         report
@@ -194,6 +218,25 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
         stage_cycles,
         output,
     }
+}
+
+/// Simulates many independent tiles concurrently on the workspace thread
+/// pool, one [`simulate_block`] job per tile.
+///
+/// Tiles share no state — each gets its own [`System`] per partition —
+/// so the results are returned in tile order and are byte-identical to
+/// mapping [`simulate_block`] sequentially. Temporal partitions *within*
+/// a tile stay sequential: memory contents flow from one partition to the
+/// next, exactly as the host carries them on the real board.
+///
+/// # Panics
+///
+/// Panics if any tile's simulation reports a violation.
+///
+/// [`System`]: rcarb_sim::engine::System
+pub fn simulate_blocks(flow: &FftFlow, tiles: Vec<[[i64; 4]; 4]>) -> Vec<BlockSim> {
+    let flow = std::sync::Arc::new(flow.clone());
+    rcarb_exec::global_pool().parallel_map(tiles, move |tile| simulate_block(&flow, tile))
 }
 
 #[cfg(test)]
@@ -300,5 +343,27 @@ mod tests {
             assert_eq!(sim.stage_cycles.len(), 3);
             assert!(sim.total_cycles() > 0);
         }
+    }
+
+    #[test]
+    fn parallel_tile_simulation_matches_sequential() {
+        let flow = run_fft_flow().unwrap();
+        let tiles: Vec<[[i64; 4]; 4]> = (0..6)
+            .map(|t| std::array::from_fn(|r| std::array::from_fn(|c| (t * 16 + r * 4 + c) as i64)))
+            .collect();
+        let par = simulate_blocks(&flow, tiles.clone());
+        assert_eq!(par.len(), tiles.len());
+        for (tile, sim) in tiles.into_iter().zip(&par) {
+            let seq = simulate_block(&flow, tile);
+            assert_eq!(sim.output, seq.output);
+            assert_eq!(sim.stage_cycles, seq.stage_cycles);
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_matches_sequential() {
+        let flow = run_fft_flow().unwrap();
+        let config = AnalyzeConfig::default();
+        assert_eq!(flow.analyze(&config), flow.analyze_seq(&config));
     }
 }

@@ -101,7 +101,7 @@ impl ToolModel {
 }
 
 /// The outcome of running one tool model on one FSM.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthReport {
     /// Which tool produced this.
     pub tool: &'static str,

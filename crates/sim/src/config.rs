@@ -1,0 +1,139 @@
+//! Simulation configuration.
+//!
+//! [`SimConfig`] gathers every knob the [`SystemBuilder`] used to expose
+//! as individual `with_*` setters into one `Default`-able value, so call
+//! sites configure a run in a single expression and configurations can be
+//! stored, compared and passed around:
+//!
+//! ```
+//! use rcarb_sim::config::SimConfig;
+//! use rcarb_core::policy::PolicyKind;
+//!
+//! let config = SimConfig::new()
+//!     .with_policy(PolicyKind::RoundRobin)
+//!     .with_cosim(true)
+//!     .with_starvation_bound(64);
+//! assert!(config.cosim);
+//! ```
+//!
+//! [`SystemBuilder`]: crate::engine::SystemBuilder
+
+use crate::channel::RegisterPlacement;
+use rcarb_core::line::{MemoryLinePlan, SharedLineKind};
+use rcarb_core::policy::PolicyKind;
+
+/// Every knob of a simulated system, with the paper's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Arbitration policy simulated behaviourally.
+    pub policy: PolicyKind,
+    /// Gate-level co-simulation of every round-robin arbiter.
+    pub cosim: bool,
+    /// Record per-port Request/Grant lines into a VCD waveform.
+    pub trace: bool,
+    /// Where shared-channel registers sit (Table 1 ablation).
+    pub register_placement: RegisterPlacement,
+    /// Discipline of every shared bank's write-select line (Fig. 4
+    /// ablation).
+    pub select_line: SharedLineKind,
+    /// Any wait longer than this many cycles is flagged as starvation.
+    pub starvation_bound: u64,
+}
+
+impl SimConfig {
+    /// The paper's defaults: behavioural round-robin, no co-simulation,
+    /// no tracing, receiver-side channel registers, active-high OR'd
+    /// write selects, starvation monitoring off.
+    pub fn new() -> Self {
+        Self {
+            policy: PolicyKind::RoundRobin,
+            cosim: false,
+            trace: false,
+            register_placement: RegisterPlacement::Receiver,
+            select_line: MemoryLinePlan::sram_write_high().write_select,
+            starvation_bound: u64::MAX,
+        }
+    }
+
+    /// Selects the arbitration policy simulated behaviourally.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables gate-level co-simulation of every round-robin arbiter.
+    #[must_use]
+    pub fn with_cosim(mut self, enabled: bool) -> Self {
+        self.cosim = enabled;
+        self
+    }
+
+    /// Records every arbiter's per-port Request/Grant lines into a VCD
+    /// waveform, retrievable after the run with
+    /// [`System::vcd`](crate::engine::System::vcd).
+    #[must_use]
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Selects where shared-channel registers sit (Table 1 ablation).
+    #[must_use]
+    pub fn with_register_placement(mut self, placement: RegisterPlacement) -> Self {
+        self.register_placement = placement;
+        self
+    }
+
+    /// Selects the discipline of every shared bank's write-select line
+    /// (the paper's Fig. 4 ablation): the correct
+    /// [`SharedLineKind::ActiveHighOr`] keeps an idle bank in read mode;
+    /// the naive [`SharedLineKind::TriState`] lets the select float,
+    /// which the simulator reports as a
+    /// [`Violation::FloatingSelectLine`](crate::monitor::Violation::FloatingSelectLine).
+    #[must_use]
+    pub fn with_select_line(mut self, kind: SharedLineKind) -> Self {
+        self.select_line = kind;
+        self
+    }
+
+    /// Flags any wait longer than `bound` cycles as starvation.
+    #[must_use]
+    pub fn with_starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_papers_settings() {
+        let c = SimConfig::default();
+        assert_eq!(c.policy, PolicyKind::RoundRobin);
+        assert!(!c.cosim);
+        assert!(!c.trace);
+        assert_eq!(c.register_placement, RegisterPlacement::Receiver);
+        assert_eq!(c.starvation_bound, u64::MAX);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SimConfig::new()
+            .with_cosim(true)
+            .with_trace(true)
+            .with_starvation_bound(16);
+        assert!(c.cosim && c.trace);
+        assert_eq!(c.starvation_bound, 16);
+        // Copy semantics: the original default is untouched.
+        assert!(!SimConfig::new().cosim);
+    }
+}

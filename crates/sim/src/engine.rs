@@ -19,6 +19,7 @@
 use crate::arbiter::ArbiterSim;
 use crate::channel::{RegisterPlacement, RouteOutcome, RouteSend, RouteState};
 use crate::compile::{FlatProgram, Instr};
+use crate::config::SimConfig;
 use crate::memory::{BankAccess, BankModel, BankOutcome};
 use crate::monitor::{StarvationTracker, Violation};
 use rcarb_board::board::Board;
@@ -38,16 +39,12 @@ pub struct SystemBuilder {
     binding: MemoryBinding,
     merges: ChannelMergePlan,
     arbiters: Vec<rcarb_core::insertion::ArbiterInstance>,
-    policy: PolicyKind,
-    cosim: bool,
-    trace: bool,
-    register_placement: RegisterPlacement,
-    select_line: rcarb_core::line::SharedLineKind,
-    starvation_bound: u64,
+    config: SimConfig,
 }
 
 impl SystemBuilder {
-    /// Starts from an arbitration plan (the normal flow).
+    /// Starts from an arbitration plan (the normal flow), with the
+    /// default [`SimConfig`].
     pub fn from_plan(
         plan: &ArbitrationPlan,
         binding: &MemoryBinding,
@@ -58,12 +55,7 @@ impl SystemBuilder {
             binding: binding.clone(),
             merges: merges.clone(),
             arbiters: plan.arbiters.clone(),
-            policy: PolicyKind::RoundRobin,
-            cosim: false,
-            trace: false,
-            register_placement: RegisterPlacement::Receiver,
-            select_line: rcarb_core::line::MemoryLinePlan::sram_write_high().write_select,
-            starvation_bound: u64::MAX,
+            config: SimConfig::new(),
         }
     }
 
@@ -79,56 +71,82 @@ impl SystemBuilder {
             binding: binding.clone(),
             merges: merges.clone(),
             arbiters: Vec::new(),
-            policy: PolicyKind::RoundRobin,
-            cosim: false,
-            trace: false,
-            register_placement: RegisterPlacement::Receiver,
-            select_line: rcarb_core::line::MemoryLinePlan::sram_write_high().write_select,
-            starvation_bound: u64::MAX,
+            config: SimConfig::new(),
         }
+    }
+
+    /// Replaces the whole simulation configuration in one call — the
+    /// preferred way to configure a run.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The currently configured [`SimConfig`].
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Records every arbiter's per-port Request/Grant lines into a VCD
     /// waveform, retrievable after the run with [`System::vcd`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_trace` via `with_config`"
+    )]
     pub fn with_trace(mut self, enabled: bool) -> Self {
-        self.trace = enabled;
+        self.config.trace = enabled;
         self
     }
 
     /// Selects the arbitration policy simulated behaviourally.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_policy` via `with_config`"
+    )]
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
-        self.policy = policy;
+        self.config.policy = policy;
         self
     }
 
     /// Enables gate-level co-simulation of every round-robin arbiter.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_cosim` via `with_config`"
+    )]
     pub fn with_cosim(mut self, enabled: bool) -> Self {
-        self.cosim = enabled;
+        self.config.cosim = enabled;
         self
     }
 
     /// Selects where shared-channel registers sit (Table 1 ablation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_register_placement` via `with_config`"
+    )]
     pub fn with_register_placement(mut self, placement: RegisterPlacement) -> Self {
-        self.register_placement = placement;
+        self.config.register_placement = placement;
         self
     }
 
     /// Selects the discipline of every shared bank's write-select line
-    /// (the paper's Fig. 4 ablation): the correct
-    /// [`SharedLineKind::ActiveHighOr`] keeps an idle bank in read mode;
-    /// the naive [`SharedLineKind::TriState`] lets the select float, which
-    /// the simulator reports as a [`Violation::FloatingSelectLine`].
-    ///
-    /// [`SharedLineKind::ActiveHighOr`]: rcarb_core::line::SharedLineKind::ActiveHighOr
-    /// [`SharedLineKind::TriState`]: rcarb_core::line::SharedLineKind::TriState
+    /// (the paper's Fig. 4 ablation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_select_line` via `with_config`"
+    )]
     pub fn with_select_line(mut self, kind: rcarb_core::line::SharedLineKind) -> Self {
-        self.select_line = kind;
+        self.config.select_line = kind;
         self
     }
 
     /// Flags any wait longer than `bound` cycles as starvation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SimConfig::with_starvation_bound` via `with_config`"
+    )]
     pub fn with_starvation_bound(mut self, bound: u64) -> Self {
-        self.starvation_bound = bound;
+        self.config.starvation_bound = bound;
         self
     }
 
@@ -136,8 +154,22 @@ impl SystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if a program accesses a segment the binding did not place.
+    /// Panics if a program accesses a segment the binding did not place;
+    /// use [`try_build`](Self::try_build) to handle the failure.
     pub fn build(self, board: &Board) -> System {
+        match self.try_build(board) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rcarb_core::Error::UnboundSegment`] if a task program
+    /// accesses a segment the binding did not place.
+    pub fn try_build(self, board: &Board) -> Result<System, rcarb_core::Error> {
         let tasks: Vec<TaskExec> = self
             .graph
             .tasks()
@@ -147,11 +179,12 @@ impl SystemBuilder {
         // Validate that every accessed segment is bound.
         for t in self.graph.tasks() {
             for s in t.program().segments_accessed() {
-                assert!(
-                    self.binding.bank_of(s).is_some(),
-                    "segment {s} accessed by {} is not bound to a bank",
-                    t.name()
-                );
+                if self.binding.bank_of(s).is_none() {
+                    return Err(rcarb_core::Error::UnboundSegment {
+                        segment: s,
+                        task: t.name().to_owned(),
+                    });
+                }
             }
         }
         let banks: BTreeMap<BankId, BankModel> = self
@@ -169,7 +202,7 @@ impl SystemBuilder {
             let idx = routes.len();
             routes.push(RouteState::new(
                 merge.logicals.clone(),
-                self.register_placement,
+                self.config.register_placement,
             ));
             for &c in &merge.logicals {
                 route_of_channel.insert(c, idx);
@@ -188,10 +221,10 @@ impl SystemBuilder {
         let mut segment_guards: BTreeMap<(TaskId, SegmentId), ArbiterId> = BTreeMap::new();
         let mut channel_guards: BTreeMap<(TaskId, ChannelId), ArbiterId> = BTreeMap::new();
         for inst in &self.arbiters {
-            let mut sim = ArbiterSim::new(inst.id, inst.ports.clone(), self.policy);
-            if self.cosim
+            let mut sim = ArbiterSim::new(inst.id, inst.ports.clone(), self.config.policy);
+            if self.config.cosim
                 && matches!(
-                    self.policy,
+                    self.config.policy,
                     PolicyKind::RoundRobin | PolicyKind::PreemptiveRoundRobin
                 )
             {
@@ -232,7 +265,7 @@ impl SystemBuilder {
                 bank_clients.insert(bank, inst.arbitrated_tasks());
             }
         }
-        let trace = self.trace.then(|| {
+        let trace = self.config.trace.then(|| {
             let mut vcd = crate::vcd::VcdWriter::new();
             let signals = arbiters
                 .iter()
@@ -248,7 +281,7 @@ impl SystemBuilder {
                 .collect();
             Trace { vcd, signals }
         });
-        System {
+        Ok(System {
             graph: self.graph,
             binding: self.binding,
             tasks,
@@ -259,15 +292,15 @@ impl SystemBuilder {
             arbiters,
             segment_guards,
             channel_guards,
-            starvation_bound: self.starvation_bound,
-            select_line: self.select_line,
+            starvation_bound: self.config.starvation_bound,
+            select_line: self.config.select_line,
             bank_clients,
             floated_banks: std::collections::BTreeSet::new(),
             cycle: 0,
             violations: Vec::new(),
             starvation: StarvationTracker::new(),
             trace,
-        }
+        })
     }
 }
 
@@ -1012,5 +1045,61 @@ mod tests {
         let report = sys.run(1000);
         assert!(report.clean());
         assert_eq!(sys.read_segment(seg, 1)[0], 12);
+    }
+
+    #[test]
+    fn try_build_reports_unbound_segments() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let mut b = TaskGraphBuilder::new("unbound");
+        let _ = b.segment("M", 32, 16);
+        b.task(
+            "reader",
+            Program::build(|p| {
+                let _ = p.mem_read(seg, Expr::lit(0));
+            }),
+        );
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        // Deliberately empty binding: the accessed segment has no bank.
+        let err = SystemBuilder::unarbitrated(
+            &graph,
+            &MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .try_build(&board)
+        .expect_err("unbound segment must be rejected");
+        assert!(matches!(
+            err,
+            rcarb_core::Error::UnboundSegment { segment, ref task }
+                if segment == seg && task == "reader"
+        ));
+        assert!(err.to_string().contains("is not bound to a bank"));
+    }
+
+    /// The pre-`SimConfig` setters still compile and still configure the
+    /// run; they are kept for one release as deprecated shims.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setter_shims_still_configure_the_run() {
+        let mut b = TaskGraphBuilder::new("shims");
+        b.task("t", Program::build(|p| p.compute(1)));
+        let graph = b.finish().unwrap();
+        let builder = SystemBuilder::unarbitrated(
+            &graph,
+            &MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .with_policy(PolicyKind::Fifo)
+        .with_cosim(true)
+        .with_trace(true)
+        .with_register_placement(RegisterPlacement::Source)
+        .with_starvation_bound(7);
+        let expected = SimConfig::new()
+            .with_policy(PolicyKind::Fifo)
+            .with_cosim(true)
+            .with_trace(true)
+            .with_register_placement(RegisterPlacement::Source)
+            .with_starvation_bound(7);
+        assert_eq!(*builder.config(), expected);
     }
 }

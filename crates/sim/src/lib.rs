@@ -36,6 +36,7 @@
 pub mod arbiter;
 pub mod channel;
 pub mod compile;
+pub mod config;
 pub mod engine;
 pub mod memory;
 pub mod monitor;
@@ -43,5 +44,6 @@ pub mod stats;
 pub mod value;
 pub mod vcd;
 
+pub use config::SimConfig;
 pub use engine::{RunReport, System, SystemBuilder};
 pub use monitor::Violation;

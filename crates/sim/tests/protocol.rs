@@ -6,6 +6,7 @@ use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
 use rcarb_core::memmap::bind_segments;
 use rcarb_core::policy::PolicyKind;
 use rcarb_sim::channel::RegisterPlacement;
+use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::SystemBuilder;
 use rcarb_sim::monitor::Violation;
 use rcarb_taskgraph::builder::TaskGraphBuilder;
@@ -71,7 +72,7 @@ fn arbitrated_sharing_is_clean() {
     );
     assert_eq!(plan.arbiter_sizes(), vec![2]);
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .with_cosim(true)
+        .with_config(SimConfig::new().with_cosim(true))
         .build(&board);
     let report = sys.run(10_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
@@ -90,7 +91,7 @@ fn every_policy_serializes_the_bank() {
     );
     for policy in PolicyKind::ALL {
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-            .with_policy(policy)
+            .with_config(SimConfig::new().with_policy(policy))
             .build(&board);
         let report = sys.run(10_000);
         assert!(report.clean(), "{policy}: {:?}", report.violations);
@@ -191,7 +192,7 @@ fn round_robin_is_starvation_free_under_saturation() {
     assert_eq!(plan.arbiter_sizes(), vec![4]);
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         // Generous bound: (N-1) competitors x (M accesses + protocol).
-        .with_starvation_bound(3 * (2 + 2) * 4)
+        .with_config(SimConfig::new().with_starvation_bound(3 * (2 + 2) * 4))
         .build(&board);
     let report = sys.run(100_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
@@ -265,7 +266,7 @@ fn static_priority_starves_under_saturation() {
     );
     let run = |policy: PolicyKind| {
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-            .with_policy(policy)
+            .with_config(SimConfig::new().with_policy(policy))
             .build(&board);
         sys.run(100_000)
     };
@@ -307,7 +308,7 @@ fn fig4_select_line_discipline_matters() {
     // Naive tri-stated select: the very first protocol cycle (requests
     // asserted, nobody granted yet) leaves the select floating.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .with_select_line(SharedLineKind::TriState)
+        .with_config(SimConfig::new().with_select_line(SharedLineKind::TriState))
         .build(&board);
     let bad = sys.run(10_000);
     assert!(
@@ -356,7 +357,7 @@ fn preemption_requires_the_per_access_grant_check() {
                 .with_await_each_access(await_each),
         );
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-            .with_policy(PolicyKind::PreemptiveRoundRobin)
+            .with_config(SimConfig::new().with_policy(PolicyKind::PreemptiveRoundRobin))
             .build(&board);
         sys.run(100_000)
     };
@@ -394,7 +395,7 @@ fn tracing_records_request_grant_waveforms() {
         &InsertionConfig::paper(),
     );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .with_trace(true)
+        .with_config(SimConfig::new().with_trace(true))
         .build(&board);
     let report = sys.run(10_000);
     assert!(report.clean());
@@ -468,7 +469,7 @@ fn table1_receiver_registers_preserve_the_early_transfer() {
     // c1's value before Task 2 consumes it; Task 2 then blocks forever on
     // data that no longer exists.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
-        .with_register_placement(RegisterPlacement::Source)
+        .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
         .build(&board);
     let bad = sys.run(1000);
     assert!(

@@ -14,6 +14,7 @@ use rcarb::arb::memmap::bind_segments;
 use rcarb::board::board::PeId;
 use rcarb::board::presets;
 use rcarb::sim::channel::RegisterPlacement;
+use rcarb::sim::config::SimConfig;
 use rcarb::sim::engine::SystemBuilder;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::id::TaskId;
@@ -82,7 +83,7 @@ fn main() {
     // Task4's later transfer overwrites the value before Task2 consumes
     // it; Task2 blocks forever.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
-        .with_register_placement(RegisterPlacement::Source)
+        .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
         .build(&board);
     let bad = sys.run(1000);
     println!(

@@ -13,6 +13,7 @@ use rcarb::arb::channel::ChannelMergePlan;
 use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
 use rcarb::arb::memmap::bind_segments;
 use rcarb::board::presets;
+use rcarb::sim::config::SimConfig;
 use rcarb::sim::engine::SystemBuilder;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::id::SegmentId;
@@ -82,7 +83,7 @@ fn main() {
     );
 
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-        .with_cosim(true) // every grant cross-checked against gate level
+        .with_config(SimConfig::new().with_cosim(true)) // every grant cross-checked against gate level
         .build(&board);
 
     // Deterministic test imagery.

@@ -1,0 +1,268 @@
+//! The top-level `Design` facade.
+//!
+//! [`Design`] composes the paper's whole flow — memory binding (Fig. 2),
+//! channel merging (Fig. 3), arbiter insertion (Fig. 8/11), design-rule
+//! analysis and cycle-accurate simulation — behind one `Result`-based
+//! API, so the common case is four calls:
+//!
+//! ```
+//! use rcarb::prelude::*;
+//!
+//! let mut b = TaskGraphBuilder::new("demo");
+//! let m1 = b.segment("M1", 512, 16);
+//! let m2 = b.segment("M2", 512, 16);
+//! b.task("T1", Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))));
+//! b.task("T2", Program::build(|p| { let _ = p.mem_read(m2, Expr::lit(0)); }));
+//! let graph = b.finish().unwrap();
+//!
+//! let planned = Design::new(graph, presets::duo_small()).plan()?;
+//! let analysis = planned.analyze(&AnalyzeConfig::default());
+//! assert!(analysis.is_clean());
+//! let report = planned.simulate(SimConfig::new(), 10_000)?;
+//! assert!(report.clean());
+//! # Ok::<(), rcarb::arb::Error>(())
+//! ```
+//!
+//! Every fallible step returns [`rcarb_core::Error`], so one `?` chain
+//! covers binding failures, channel-planning failures and unbound
+//! segments alike.
+
+use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig};
+use rcarb_board::board::{Board, PeId};
+use rcarb_core::channel::{plan_merges, ChannelMergePlan};
+use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
+use rcarb_core::memmap::{bind_segments, MemoryBinding};
+use rcarb_core::Error;
+use rcarb_sim::config::SimConfig;
+use rcarb_sim::engine::{RunReport, System, SystemBuilder};
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::{SegmentId, TaskId};
+use std::collections::BTreeMap;
+
+/// A taskgraph targeted at a board, ready to be planned.
+///
+/// Configure with the builder methods, then call [`plan`](Self::plan) to
+/// run binding, merging and arbiter insertion in one step.
+#[derive(Debug, Clone)]
+pub struct Design {
+    graph: TaskGraph,
+    board: Board,
+    insertion: InsertionConfig,
+    affinity: BTreeMap<SegmentId, PeId>,
+    placement: Option<BTreeMap<TaskId, PeId>>,
+}
+
+impl Design {
+    /// A design mapping `graph` onto `board` with the paper's insertion
+    /// defaults, no affinities and no channel merging.
+    pub fn new(graph: TaskGraph, board: Board) -> Self {
+        Self {
+            graph,
+            board,
+            insertion: InsertionConfig::paper(),
+            affinity: BTreeMap::new(),
+            placement: None,
+        }
+    }
+
+    /// Replaces the arbiter-insertion configuration.
+    #[must_use]
+    pub fn with_insertion(mut self, config: InsertionConfig) -> Self {
+        self.insertion = config;
+        self
+    }
+
+    /// Pins a memory segment to a specific PE's bank (the paper's
+    /// Fig. 11 memory affinities).
+    #[must_use]
+    pub fn with_segment_affinity(mut self, segment: SegmentId, pe: PeId) -> Self {
+        self.affinity.insert(segment, pe);
+        self
+    }
+
+    /// Places a task on a PE. Once any placement is given, channel
+    /// merging runs over the inter-PE channels; the placement must then
+    /// cover every task that writes or reads a channel.
+    #[must_use]
+    pub fn with_placement(mut self, task: TaskId, pe: PeId) -> Self {
+        self.placement
+            .get_or_insert_with(BTreeMap::new)
+            .insert(task, pe);
+        self
+    }
+
+    /// The design's taskgraph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The target board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Runs the flow's planning half: binds segments to banks, merges
+    /// inter-PE channels (when a placement was given) and inserts
+    /// arbiters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bind`] if the segments do not fit the board's
+    /// banks, or [`Error::Channel`] if the inter-PE channels exceed the
+    /// board's physical connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement was given that misses a task with channels
+    /// (see [`with_placement`](Self::with_placement)).
+    pub fn plan(self) -> Result<PlannedDesign, Error> {
+        let affinity = self.affinity;
+        let binding = bind_segments(self.graph.segments(), &self.board, &|s| {
+            affinity.get(&s).copied()
+        })?;
+        let merges = match &self.placement {
+            Some(placement) => plan_merges(&self.graph, &self.board, &|t| {
+                *placement
+                    .get(&t)
+                    .unwrap_or_else(|| panic!("task {t} has no placement"))
+            })?,
+            None => ChannelMergePlan::default(),
+        };
+        let plan = insert_arbiters(&self.graph, &binding, &merges, &self.insertion);
+        Ok(PlannedDesign {
+            board: self.board,
+            binding,
+            merges,
+            plan,
+        })
+    }
+}
+
+/// A fully planned design: bound, merged and arbitrated, ready for
+/// analysis and simulation.
+#[derive(Debug, Clone)]
+pub struct PlannedDesign {
+    board: Board,
+    binding: MemoryBinding,
+    merges: ChannelMergePlan,
+    plan: ArbitrationPlan,
+}
+
+impl PlannedDesign {
+    /// The arbitration plan (arbiter inventory plus rewritten graph).
+    pub fn plan(&self) -> &ArbitrationPlan {
+        &self.plan
+    }
+
+    /// The memory binding.
+    pub fn binding(&self) -> &MemoryBinding {
+        &self.binding
+    }
+
+    /// The channel-merge plan.
+    pub fn merges(&self) -> &ChannelMergePlan {
+        &self.merges
+    }
+
+    /// The target board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Runs the four-family design-rule analyzer over the plan (the
+    /// checks fan out on the workspace thread pool).
+    pub fn analyze(&self, config: &AnalyzeConfig) -> AnalysisReport {
+        analyze_plan(&self.plan, &self.binding, &self.merges, config)
+    }
+
+    /// Builds a cycle-accurate [`System`] for this design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place.
+    pub fn system(&self, config: SimConfig) -> Result<System, Error> {
+        SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
+            .with_config(config)
+            .try_build(&self.board)
+    }
+
+    /// Builds a system and runs it for at most `max_cycles` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place.
+    pub fn simulate(&self, config: SimConfig, max_cycles: u64) -> Result<RunReport, Error> {
+        Ok(self.system(config)?.run(max_cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_board::presets;
+    use rcarb_taskgraph::builder::TaskGraphBuilder;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    fn shared_bank_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("facade");
+        let m1 = b.segment("M1", 1024, 16);
+        let m2 = b.segment("M2", 1024, 16);
+        b.task(
+            "T1",
+            Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))),
+        );
+        b.task(
+            "T2",
+            Program::build(|p| {
+                let _ = p.mem_read(m2, Expr::lit(0));
+            }),
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn facade_runs_the_whole_flow() {
+        let planned = Design::new(shared_bank_graph(), presets::duo_small())
+            .plan()
+            .expect("plans");
+        let analysis = planned.analyze(&AnalyzeConfig::default());
+        assert!(analysis.is_clean(), "{}", analysis.render_text());
+        let report = planned.simulate(SimConfig::new(), 10_000).expect("builds");
+        assert!(report.clean() && report.completed);
+    }
+
+    #[test]
+    fn facade_matches_the_longhand_flow() {
+        let graph = shared_bank_graph();
+        let board = presets::duo_small();
+        let planned = Design::new(graph.clone(), board.clone()).plan().unwrap();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let merges = ChannelMergePlan::default();
+        let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        assert_eq!(planned.binding(), &binding);
+        assert_eq!(planned.plan().arbiters, plan.arbiters);
+        let facade = planned.simulate(SimConfig::new(), 10_000).unwrap();
+        let longhand = SystemBuilder::from_plan(&plan, &binding, &merges)
+            .build(&board)
+            .run(10_000);
+        assert_eq!(facade.cycles, longhand.cycles);
+        assert_eq!(facade.violations, longhand.violations);
+    }
+
+    #[test]
+    fn binding_failures_surface_as_errors() {
+        let mut b = TaskGraphBuilder::new("toolarge");
+        let m = b.segment("HUGE", 1 << 24, 16);
+        b.task(
+            "T",
+            Program::build(|p| p.mem_write(m, Expr::lit(0), Expr::lit(1))),
+        );
+        let graph = b.finish().unwrap();
+        let err = Design::new(graph, presets::duo_small())
+            .plan()
+            .expect_err("cannot bind");
+        assert!(matches!(err, Error::Bind(_)));
+    }
+}

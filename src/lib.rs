@@ -31,12 +31,33 @@
 //! # }
 //! ```
 //!
+//! ## The `Design` facade
+//!
+//! For a whole design, [`Design`] composes binding, channel merging,
+//! arbiter insertion, design-rule analysis and cycle-accurate simulation
+//! behind one `Result`-based API:
+//!
+//! ```no_run
+//! use rcarb::prelude::*;
+//! # fn demo(graph: TaskGraph) -> Result<(), Error> {
+//! let planned = Design::new(graph, presets::duo_small()).plan()?;
+//! let analysis = planned.analyze(&AnalyzeConfig::default());
+//! let report = planned.simulate(SimConfig::new(), 10_000)?;
+//! # Ok(()) }
+//! ```
+//!
 //! See the `examples/` directory for end-to-end flows, including the paper's
 //! 4x4 2-D FFT design mapped onto the Annapolis Wildforce board.
+
+pub mod design;
+pub mod prelude;
+
+pub use design::{Design, PlannedDesign};
 
 pub use rcarb_analyze as analyze;
 pub use rcarb_board as board;
 pub use rcarb_core as arb;
+pub use rcarb_exec as exec;
 pub use rcarb_fft as fft;
 pub use rcarb_json as json;
 pub use rcarb_logic as logic;

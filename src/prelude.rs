@@ -1,0 +1,32 @@
+//! One-import surface for the common flow.
+//!
+//! `use rcarb::prelude::*;` brings in everything needed to build a
+//! taskgraph, plan it onto a board through the [`Design`] facade,
+//! generate and characterize arbiters, analyze the result and simulate
+//! it — plus the FFT case-study entry points and the performance
+//! observability types.
+
+pub use crate::design::{Design, PlannedDesign};
+
+pub use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig, AnalyzePlan};
+pub use rcarb_board::board::{Board, PeId};
+pub use rcarb_board::device::SpeedGrade;
+pub use rcarb_board::presets;
+pub use rcarb_core::channel::{plan_merges, ChannelMergePlan};
+pub use rcarb_core::characterize::Characterization;
+pub use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec, GeneratedArbiter};
+pub use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
+pub use rcarb_core::memmap::{bind_segments, MemoryBinding};
+pub use rcarb_core::policy::PolicyKind;
+pub use rcarb_core::Error;
+pub use rcarb_exec::{global_pool, PerfReport, PoolStats, StageTimer};
+pub use rcarb_fft::flow::{run_fft_flow, simulate_block, simulate_blocks, FftFlow};
+pub use rcarb_fft::runtime::compare_512;
+pub use rcarb_logic::encode::EncodingStyle;
+pub use rcarb_logic::tools::ToolModel;
+pub use rcarb_sim::config::SimConfig;
+pub use rcarb_sim::engine::{RunReport, System, SystemBuilder};
+pub use rcarb_taskgraph::builder::TaskGraphBuilder;
+pub use rcarb_taskgraph::graph::TaskGraph;
+pub use rcarb_taskgraph::id::{SegmentId, TaskId};
+pub use rcarb_taskgraph::program::{Expr, Program};

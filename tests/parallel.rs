@@ -1,0 +1,79 @@
+//! Workspace-level determinism guarantees of the parallel engine: every
+//! parallel path must be byte-identical to its sequential reference, and
+//! the synthesis cache must be invisible except in wall time.
+
+use rcarb::arb::characterize::Characterization;
+use rcarb::arb::generator::{reset_synthesis_cache, ArbiterGenerator, ArbiterSpec};
+use rcarb::board::device::SpeedGrade;
+use rcarb::fft::flow::{run_fft_flow, simulate_block, simulate_blocks};
+use rcarb::prelude::*;
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let par = Characterization::sweep_round_robin(2..=10, SpeedGrade::Minus3);
+    let seq = Characterization::sweep_round_robin_seq(2..=10, SpeedGrade::Minus3);
+    assert_eq!(par.rows(), seq.rows());
+}
+
+#[test]
+fn parallel_fft_tile_simulation_is_byte_identical_to_sequential() {
+    let flow = run_fft_flow().expect("flow partitions");
+    let tiles: Vec<[[i64; 4]; 4]> = (0..4)
+        .map(|t| std::array::from_fn(|r| std::array::from_fn(|c| (t * 31 + r * 4 + c) as i64)))
+        .collect();
+    let par = simulate_blocks(&flow, tiles.clone());
+    for (tile, p) in tiles.into_iter().zip(&par) {
+        let s = simulate_block(&flow, tile);
+        assert_eq!(p.output, s.output);
+        assert_eq!(p.stage_cycles, s.stage_cycles);
+    }
+}
+
+#[test]
+fn parallel_fft_analysis_is_byte_identical_to_sequential() {
+    let flow = run_fft_flow().expect("flow partitions");
+    let config = AnalyzeConfig::default();
+    let par = flow.analyze(&config);
+    let seq = flow.analyze_seq(&config);
+    assert_eq!(par, seq);
+    assert_eq!(par.render_text(), seq.render_text());
+}
+
+#[test]
+fn synthesis_cache_hit_returns_an_identical_netlist() {
+    let spec = ArbiterSpec::round_robin(7).with_encoding(EncodingStyle::Compact);
+    let arbiter = ArbiterGenerator::new().generate(&spec);
+    let tool = ToolModel::fpga_express();
+    reset_synthesis_cache();
+    let miss = arbiter.synthesize(&tool); // cold: computed and stored
+    let hit = arbiter.synthesize(&tool); // warm: served from the cache
+    assert_eq!(miss, hit);
+    assert_eq!(miss.netlist, hit.netlist);
+    // A fresh cache recomputes the same report from scratch.
+    reset_synthesis_cache();
+    assert_eq!(arbiter.synthesize(&tool), miss);
+}
+
+#[test]
+fn facade_simulation_is_deterministic_across_runs() {
+    let mut b = TaskGraphBuilder::new("det");
+    let m1 = b.segment("M1", 256, 16);
+    let m2 = b.segment("M2", 256, 16);
+    b.task(
+        "T1",
+        Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(9))),
+    );
+    b.task(
+        "T2",
+        Program::build(|p| {
+            let _ = p.mem_read(m2, Expr::lit(0));
+        }),
+    );
+    let graph = b.finish().unwrap();
+    let planned = Design::new(graph, presets::duo_small()).plan().unwrap();
+    let a = planned.simulate(SimConfig::new(), 10_000).unwrap();
+    let b = planned.simulate(SimConfig::new(), 10_000).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.violations, b.violations);
+    assert!(a.clean());
+}

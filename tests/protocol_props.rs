@@ -6,6 +6,7 @@ use rcarb::arb::channel::ChannelMergePlan;
 use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
 use rcarb::arb::memmap::bind_segments;
 use rcarb::board::presets;
+use rcarb::sim::config::SimConfig;
 use rcarb::sim::engine::SystemBuilder;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::graph::TaskGraph;
@@ -70,7 +71,7 @@ proptest! {
             ),
         );
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-            .with_policy(kind)
+            .with_config(SimConfig::new().with_policy(kind))
             .build(&board);
         let report = sys.run(1_000_000);
         prop_assert!(report.completed, "{kind}: did not terminate");

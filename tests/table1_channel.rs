@@ -13,6 +13,7 @@ use rcarb::arb::memmap::bind_segments;
 use rcarb::board::board::PeId;
 use rcarb::board::presets;
 use rcarb::sim::channel::RegisterPlacement;
+use rcarb::sim::config::SimConfig;
 use rcarb::sim::engine::SystemBuilder;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::id::TaskId;
@@ -108,7 +109,7 @@ fn table1_fails_with_source_side_register() {
         &InsertionConfig::paper().with_elision(true),
     );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
-        .with_register_placement(RegisterPlacement::Source)
+        .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
         .build(&board);
     let report = sys.run(10_000);
     // Task2 blocks forever on the overwritten transfer.

@@ -1,5 +1,5 @@
 //! A minimal, dependency-free property-testing shim exposing the subset of
-//! the `proptest` API this workspace uses: the [`Strategy`] trait with
+//! the `proptest` API this workspace uses: the [`strategy::Strategy`] trait with
 //! `prop_map`/`prop_flat_map`, integer/float range and collection
 //! strategies, `Just`/`any`/`prop_oneof`, and the `proptest!` /
 //! `prop_assert*` macros.
@@ -399,7 +399,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
