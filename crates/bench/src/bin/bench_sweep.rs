@@ -19,13 +19,172 @@
 //! 64-variable cube budget and are skipped by the sweep itself (see
 //! `rcarb_core::characterize::synthesizable`), so the tail of the range
 //! only carries the compact series.
+//!
+//! The `kernel` section of the JSON compares the event-driven simulation
+//! kernel against the legacy always-execute loop on three workloads — a
+//! sparse one (long computes, long grant waits), a dense one (memory
+//! traffic every cycle) and one FFT block — asserting identical reports
+//! and recording the wall-clock throughput of each kernel.
 
 use rcarb_board::device::SpeedGrade;
+use rcarb_board::presets;
+use rcarb_core::channel::ChannelMergePlan;
 use rcarb_core::characterize::Characterization;
 use rcarb_core::generator::{reset_synthesis_cache, synthesis_cache_stats};
+use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+use rcarb_core::memmap::bind_segments;
 use rcarb_exec::{global_pool, PerfReport};
+use rcarb_fft::flow::{run_fft_flow, simulate_block_with};
 use rcarb_json::Json;
-use std::time::Instant;
+use rcarb_sim::config::SimConfig;
+use rcarb_sim::engine::SystemBuilder;
+use rcarb_sim::scheduler::KernelStats;
+use rcarb_sim::stats::kernel_speedup;
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::program::{Expr, Program};
+use std::time::{Duration, Instant};
+
+/// One timed kernel run: wall clock of the `run()` call alone (system
+/// construction excluded), an equality witness, total cycles and the
+/// kernel's cycle accounting.
+type KernelRun<T> = (Duration, T, u64, KernelStats);
+
+/// Best-of-`reps` timing; the witness/stats come from the last rep
+/// (every rep is deterministic, so they are all identical).
+fn best_of<T>(reps: usize, run: impl Fn() -> KernelRun<T>) -> KernelRun<T> {
+    let mut best: Option<KernelRun<T>> = None;
+    for _ in 0..reps {
+        let r = run();
+        best = Some(match best {
+            Some(b) if b.0 <= r.0 => (b.0, r.1, r.2, r.3),
+            _ => r,
+        });
+    }
+    best.expect("reps > 0")
+}
+
+/// Runs one workload under both kernels, asserts they agree, and renders
+/// a JSON record of the comparison.
+fn kernel_entry<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    reps: usize,
+    run: impl Fn(bool) -> KernelRun<T>,
+) -> (Json, f64) {
+    let (event_wall, event_witness, event_cycles, event_stats) = best_of(reps, || run(false));
+    let (legacy_wall, legacy_witness, legacy_cycles, legacy_stats) = best_of(reps, || run(true));
+    assert!(
+        event_witness == legacy_witness,
+        "{label}: kernels disagree\nevent:  {event_witness:?}\nlegacy: {legacy_witness:?}"
+    );
+    assert_eq!(event_cycles, legacy_cycles, "{label}: cycle counts differ");
+    assert_eq!(
+        legacy_stats.skipped_cycles, 0,
+        "{label}: the legacy kernel must never skip"
+    );
+    assert_eq!(
+        event_stats.total_cycles(),
+        legacy_stats.total_cycles(),
+        "{label}: kernels must account the same simulated cycles"
+    );
+    let speedup = legacy_wall.as_secs_f64() / event_wall.as_secs_f64().max(1e-9);
+    let json = Json::Obj(vec![
+        (
+            "legacy_ms".to_owned(),
+            Json::from(legacy_wall.as_secs_f64() * 1e3),
+        ),
+        (
+            "event_ms".to_owned(),
+            Json::from(event_wall.as_secs_f64() * 1e3),
+        ),
+        ("speedup".to_owned(), Json::from(speedup)),
+        (
+            "cycle_speedup".to_owned(),
+            Json::from(kernel_speedup(&event_stats)),
+        ),
+        ("cycles".to_owned(), Json::from(event_cycles)),
+        (
+            "executed".to_owned(),
+            Json::from(event_stats.executed_cycles),
+        ),
+        ("skipped".to_owned(), Json::from(event_stats.skipped_cycles)),
+        ("reports_identical".to_owned(), Json::Bool(true)),
+    ]);
+    println!(
+        "kernel/{label}: legacy {:.2} ms, event {:.2} ms ({speedup:.2}x wall, {:.2}x cycles), \
+         {}/{} cycles executed",
+        legacy_wall.as_secs_f64() * 1e3,
+        event_wall.as_secs_f64() * 1e3,
+        kernel_speedup(&event_stats),
+        event_stats.executed_cycles,
+        event_stats.total_cycles(),
+    );
+    (json, speedup)
+}
+
+/// Sparse workload: four tasks on one shared, arbitrated bank, each
+/// alternating a long compute with a single write — the kernel spends
+/// almost every cycle with all tasks asleep or queued on the arbiter.
+fn sparse_graph(iters: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("kernel_sparse");
+    let segs: Vec<_> = (0..4).map(|i| b.segment(format!("S{i}"), 64, 16)).collect();
+    for (i, &seg) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(iters, |p| {
+                    p.compute(200);
+                    p.mem_write(seg, Expr::lit(i as u64), Expr::lit(1));
+                });
+            }),
+        );
+    }
+    b.finish().expect("sparse graph is well-formed")
+}
+
+/// Dense workload: four tasks each touching their own private bank every
+/// cycle — nothing ever sleeps, so the event kernel can never skip and
+/// its bookkeeping overhead is measured head-on.
+fn dense_graph(iters: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("kernel_dense");
+    let segs: Vec<_> = (0..4).map(|i| b.segment(format!("D{i}"), 64, 16)).collect();
+    for (i, &seg) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(iters, |p| {
+                    let v = p.mem_read(seg, Expr::lit(i as u64));
+                    p.mem_write(
+                        seg,
+                        Expr::lit(i as u64),
+                        Expr::add(Expr::var(v), Expr::lit(1)),
+                    );
+                });
+            }),
+        );
+    }
+    b.finish().expect("dense graph is well-formed")
+}
+
+/// Builds a planned system for `graph` on `board` and times one run.
+fn timed_run(
+    graph: &TaskGraph,
+    board: &rcarb_board::board::Board,
+    legacy: bool,
+) -> KernelRun<rcarb_sim::engine::RunReport> {
+    let binding = bind_segments(graph.segments(), board, &|_| None).expect("binds");
+    let merges = ChannelMergePlan::default();
+    let plan = insert_arbiters(graph, &binding, &merges, &InsertionConfig::paper());
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .with_config(SimConfig::new().with_legacy_kernel(legacy))
+        .build(board);
+    let t = Instant::now();
+    let report = sys.run(10_000_000);
+    let wall = t.elapsed();
+    assert!(report.completed, "workload must finish");
+    let cycles = report.cycles;
+    (wall, report, cycles, sys.kernel_stats())
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -71,6 +230,55 @@ fn main() {
     perf.add_stage("sweep/parallel-warm", warm_wall);
     assert_eq!(warm.rows(), seq.rows());
 
+    // Kernel comparison: event-driven versus legacy, three workloads.
+    let reps = if smoke { 3 } else { 5 };
+    let sparse_iters = if smoke { 50 } else { 200 };
+    let dense_iters = if smoke { 1_000 } else { 5_000 };
+
+    let t = Instant::now();
+    let sparse = sparse_graph(sparse_iters);
+    let duo = presets::duo_small();
+    let (sparse_json, sparse_speedup) =
+        kernel_entry("sparse", reps, |legacy| timed_run(&sparse, &duo, legacy));
+    let dense = dense_graph(dense_iters);
+    let wild = presets::wildforce();
+    let (dense_json, dense_speedup) =
+        kernel_entry("dense", reps, |legacy| timed_run(&dense, &wild, legacy));
+    let flow = run_fft_flow().expect("fft flow plans");
+    let tile: [[i64; 4]; 4] =
+        std::array::from_fn(|r| std::array::from_fn(|c| (r * 4 + c + 1) as i64));
+    let (fft_json, fft_speedup) = kernel_entry("fft", reps, |legacy| {
+        let t = Instant::now();
+        let sim = simulate_block_with(&flow, tile, SimConfig::new().with_legacy_kernel(legacy));
+        let wall = t.elapsed();
+        let cycles = sim.total_cycles();
+        (
+            wall,
+            (sim.output, sim.stage_cycles.clone()),
+            cycles,
+            sim.kernel_stats(),
+        )
+    });
+    perf.add_stage("kernel/comparison", t.elapsed());
+
+    assert!(
+        sparse_speedup >= 2.0,
+        "event kernel must be at least 2x faster on the sparse workload, got {sparse_speedup:.2}x"
+    );
+    assert!(
+        dense_speedup >= 0.9,
+        "event kernel must not regress the dense workload by more than 10%, got {dense_speedup:.2}x"
+    );
+    let kernel_json = Json::Obj(vec![
+        ("sparse".to_owned(), sparse_json),
+        ("dense".to_owned(), dense_json),
+        ("fft".to_owned(), fft_json),
+    ]);
+    println!(
+        "kernel comparison: sparse {sparse_speedup:.2}x, dense {dense_speedup:.2}x, \
+         fft {fft_speedup:.2}x wall-clock vs legacy"
+    );
+
     let mut perf = perf.with_pool(global_pool().stats());
     perf.add_cache("synthesis", synthesis_cache_stats());
 
@@ -104,6 +312,7 @@ fn main() {
         ("speedup".to_owned(), Json::from(speedup)),
         ("warm_speedup".to_owned(), Json::from(warm_speedup)),
         ("tables_identical".to_owned(), Json::Bool(true)),
+        ("kernel".to_owned(), kernel_json),
         ("perf".to_owned(), perf.to_json()),
     ]);
     std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");

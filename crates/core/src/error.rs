@@ -9,7 +9,8 @@
 
 use crate::channel::ChannelPlanError;
 use crate::memmap::BindError;
-use rcarb_taskgraph::id::SegmentId;
+use rcarb_board::memory::BankId;
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId};
 use std::fmt;
 
 /// Any failure raised by the arbitration stack.
@@ -33,6 +34,30 @@ pub enum Error {
         /// Name of the accessing task.
         task: String,
     },
+    /// A memory binding places a segment in a bank the target board
+    /// does not have.
+    UnknownBank {
+        /// The nonexistent bank.
+        bank: BankId,
+        /// The segment placed there.
+        segment: SegmentId,
+    },
+    /// A task program requests, awaits or releases an arbiter the plan
+    /// never instantiated.
+    UnknownArbiter {
+        /// The nonexistent arbiter.
+        arbiter: ArbiterId,
+        /// Name of the referencing task.
+        task: String,
+    },
+    /// A task program sends or receives on a channel the taskgraph does
+    /// not declare.
+    UnknownChannel {
+        /// The nonexistent channel.
+        channel: ChannelId,
+        /// Name of the referencing task.
+        task: String,
+    },
     /// Memory binding failed.
     Bind(BindError),
     /// Channel merge planning failed.
@@ -50,6 +75,24 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "segment {segment} accessed by {task} is not bound to a bank"
+                )
+            }
+            Error::UnknownBank { bank, segment } => {
+                write!(
+                    f,
+                    "segment {segment} is placed in bank {bank}, which the board does not have"
+                )
+            }
+            Error::UnknownArbiter { arbiter, task } => {
+                write!(
+                    f,
+                    "task {task} references arbiter {arbiter}, which the plan never instantiated"
+                )
+            }
+            Error::UnknownChannel { channel, task } => {
+                write!(
+                    f,
+                    "task {task} uses channel {channel}, which the taskgraph does not declare"
                 )
             }
             Error::Bind(e) => write!(f, "memory binding failed: {e}"),

@@ -175,6 +175,23 @@ impl Policy for FifoArbiter {
         self.prev_req.fill(false);
         self.holder = None;
     }
+
+    fn next_grant(&self, requests: u64) -> Option<u64> {
+        let requests = requests & mask(self.n);
+        // The age matrix only moves on request *edges*; with the edge
+        // detectors settled (`prev_req` equals the held word) the matrix
+        // update rewrites itself and the grant is combinationally fixed.
+        let settled = (0..self.n).all(|i| self.prev_req[i] == (requests >> i & 1 != 0));
+        if !settled {
+            return None;
+        }
+        match self.holder {
+            Some(h) if requests >> h & 1 != 0 => Some(1 << h),
+            None if requests == 0 => Some(0),
+            // Holder about to release, or a fresh claim pending.
+            _ => None,
+        }
+    }
 }
 
 fn mask(n: usize) -> u64 {

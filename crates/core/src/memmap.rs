@@ -68,6 +68,13 @@ pub struct MemoryBinding {
 }
 
 impl MemoryBinding {
+    /// Inserts (or replaces) a placement by hand. `bind_segments` is the
+    /// planning entry point; this exists for hand-built bindings and for
+    /// exercising the simulator's malformed-plan diagnostics.
+    pub fn place(&mut self, segment: SegmentId, bank: BankId, offset: u32) {
+        self.placements.insert(segment, Placement { bank, offset });
+    }
+
     /// The bank hosting `segment`, if bound.
     pub fn bank_of(&self, segment: SegmentId) -> Option<BankId> {
         self.placements.get(&segment).map(|p| p.bank)

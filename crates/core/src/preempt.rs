@@ -227,6 +227,17 @@ impl Policy for PreemptiveRoundRobin {
         self.held_cycles = 0;
         self.pointer = 0;
     }
+
+    fn next_grant(&self, requests: u64) -> Option<u64> {
+        let mask = if self.n >= 64 {
+            u64::MAX
+        } else {
+            (1 << self.n) - 1
+        };
+        // While a grant is held the quantum counter advances every
+        // cycle, so the only fixed point is the fully idle arbiter.
+        (self.holder.is_none() && requests & mask == 0).then_some(0)
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,18 @@ impl Policy for StaticPriorityArbiter {
     fn reset(&mut self) {
         self.holder = None;
     }
+
+    fn next_grant(&self, requests: u64) -> Option<u64> {
+        let requests = requests & mask(self.n);
+        match self.holder {
+            // A still-requesting holder keeps its lock unconditionally.
+            Some(h) if requests >> h & 1 != 0 => Some(1 << h),
+            // Nobody holds, nobody asks: the encoder output stays zero.
+            None if requests == 0 => Some(0),
+            // A release or a fresh claim is about to update the holder.
+            _ => None,
+        }
+    }
 }
 
 fn mask(n: usize) -> u64 {

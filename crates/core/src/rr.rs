@@ -115,6 +115,18 @@ impl Policy for RoundRobinArbiter {
     fn reset(&mut self) {
         self.state = State::Free(0);
     }
+
+    fn next_grant(&self, requests: u64) -> Option<u64> {
+        let requests = requests & low_mask(self.n);
+        match self.state {
+            // Idle and staying idle: no request can claim the token.
+            State::Free(_) if requests == 0 => Some(0),
+            // The holder keeps requesting: the grant is pinned to it.
+            State::Claimed(i) if requests >> i & 1 != 0 => Some(1 << i),
+            // A claim or a rotation is about to change the FSM state.
+            _ => None,
+        }
+    }
 }
 
 fn low_mask(n: usize) -> u64 {

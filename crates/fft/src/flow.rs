@@ -15,10 +15,14 @@ use crate::taskgraph::{build_fft_taskgraph, FftNames};
 use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig};
 use rcarb_board::board::{Board, PeId};
 use rcarb_board::presets;
+use rcarb_exec::PerfReport;
 use rcarb_partition::flow::{run_flow, FlowConfig, FlowError, FlowResult};
+use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::SystemBuilder;
+use rcarb_sim::scheduler::KernelStats;
 use rcarb_taskgraph::graph::TaskGraph;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// The utilization knob that reproduces the paper's three-stage split
 /// with the declared task area hints.
@@ -150,6 +154,9 @@ impl FftFlow {
 pub struct BlockSim {
     /// Cycles consumed per temporal partition.
     pub stage_cycles: Vec<u64>,
+    /// Kernel cycle accounting per temporal partition (executed versus
+    /// skipped cycles; all-executed under the legacy kernel).
+    pub stage_kernel: Vec<KernelStats>,
     /// The combined 2-D FFT output.
     pub output: [[Complex; 4]; 4],
 }
@@ -159,6 +166,15 @@ impl BlockSim {
     /// excluded — that is wall-clock, not design cycles).
     pub fn total_cycles(&self) -> u64 {
         self.stage_cycles.iter().sum()
+    }
+
+    /// The aggregated kernel accounting across all partitions.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut agg = KernelStats::default();
+        for s in &self.stage_kernel {
+            agg.absorb(*s);
+        }
+        agg
     }
 }
 
@@ -170,6 +186,43 @@ impl BlockSim {
 /// Panics if any partition's simulation reports a violation — the
 /// arbitrated design must run clean by construction.
 pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
+    simulate_block_with(flow, tile, SimConfig::new())
+}
+
+/// [`simulate_block`] under an explicit [`SimConfig`] — the hook for
+/// tracing a block, comparing policies, or pinning the legacy kernel as
+/// a differential oracle.
+///
+/// # Panics
+///
+/// Panics if any partition's simulation reports a violation.
+pub fn simulate_block_with(flow: &FftFlow, tile: [[i64; 4]; 4], config: SimConfig) -> BlockSim {
+    simulate_block_impl(flow, tile, config, None)
+}
+
+/// [`simulate_block_with`] plus wall-clock stage timings: returns the
+/// block result alongside a [`PerfReport`] with one `sim/partition{i}`
+/// stage per temporal partition.
+///
+/// # Panics
+///
+/// Panics if any partition's simulation reports a violation.
+pub fn simulate_block_timed(
+    flow: &FftFlow,
+    tile: [[i64; 4]; 4],
+    config: SimConfig,
+) -> (BlockSim, PerfReport) {
+    let mut perf = PerfReport::new();
+    let sim = simulate_block_impl(flow, tile, config, Some(&mut perf));
+    (sim, perf)
+}
+
+fn simulate_block_impl(
+    flow: &FftFlow,
+    tile: [[i64; 4]; 4],
+    config: SimConfig,
+    mut perf: Option<&mut PerfReport>,
+) -> BlockSim {
     // Cross-stage memory contents, keyed by segment name.
     let mut memory: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for (i, row) in tile.iter().enumerate() {
@@ -179,9 +232,12 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
         );
     }
     let mut stage_cycles = Vec::new();
+    let mut stage_kernel = Vec::new();
     for stage in &flow.result.stages {
-        let mut sys =
-            SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges).build(&flow.board);
+        let started = Instant::now();
+        let mut sys = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
+            .with_config(config)
+            .build(&flow.board);
         let sub = &stage.plan.graph;
         for seg in sub.segments() {
             if let Some(data) = memory.get(seg.name()) {
@@ -196,11 +252,15 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
             report.violations
         );
         stage_cycles.push(report.cycles);
+        stage_kernel.push(sys.kernel_stats());
         for seg in sub.segments() {
             memory.insert(
                 seg.name().to_owned(),
                 sys.read_segment(seg.id(), seg.words() as usize),
             );
+        }
+        if let Some(perf) = perf.as_deref_mut() {
+            perf.add_stage(format!("sim/partition{}", stage.index), started.elapsed());
         }
     }
     // Host combine: Out[k][j] = Gr[k][j] + i * Gi[k][j].
@@ -216,6 +276,7 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
     }
     BlockSim {
         stage_cycles,
+        stage_kernel,
         output,
     }
 }
@@ -365,5 +426,38 @@ mod tests {
         let flow = run_fft_flow().unwrap();
         let config = AnalyzeConfig::default();
         assert_eq!(flow.analyze(&config), flow.analyze_seq(&config));
+    }
+
+    #[test]
+    fn both_kernels_agree_on_a_block() {
+        let flow = run_fft_flow().unwrap();
+        let tile: [[i64; 4]; 4] =
+            std::array::from_fn(|r| std::array::from_fn(|c| (r * 4 + c + 1) as i64));
+        let event = simulate_block(&flow, tile);
+        let legacy = simulate_block_with(&flow, tile, SimConfig::new().with_legacy_kernel(true));
+        assert_eq!(event.output, legacy.output);
+        assert_eq!(event.stage_cycles, legacy.stage_cycles);
+        // The legacy kernel never skips; the event kernel accounts every
+        // simulated cycle either as executed or skipped.
+        assert!(legacy.kernel_stats().skipped_cycles == 0);
+        for (stats, &cycles) in event.stage_kernel.iter().zip(&event.stage_cycles) {
+            assert_eq!(stats.total_cycles(), cycles);
+        }
+    }
+
+    #[test]
+    fn timed_block_reports_per_partition_stages() {
+        let flow = run_fft_flow().unwrap();
+        let tile = [[3; 4]; 4];
+        let (timed, perf) = simulate_block_timed(&flow, tile, SimConfig::new());
+        assert_eq!(timed.output, simulate_block(&flow, tile).output);
+        for stage in &flow.result.stages {
+            assert!(
+                perf.stage(&format!("sim/partition{}", stage.index))
+                    .is_some(),
+                "missing timing for partition #{}",
+                stage.index
+            );
+        }
     }
 }

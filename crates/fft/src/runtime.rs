@@ -23,9 +23,13 @@
 //! Pentium by roughly 1.5x despite a 6 MHz clock — follows from the
 //! measured cycle counts, not the calibration.
 
-use crate::flow::{simulate_blocks, FftFlow};
+use crate::flow::{simulate_block, simulate_block_timed, simulate_blocks, BlockSim, FftFlow};
 use crate::image::Image;
 use crate::swmodel;
+use rcarb_exec::PerfReport;
+use rcarb_sim::config::SimConfig;
+use rcarb_sim::scheduler::KernelStats;
+use std::time::Instant;
 
 /// The paper's design clock (Sec. 5: "the design clocked at about
 /// 6 MHz").
@@ -45,6 +49,9 @@ pub struct RuntimeReport {
     pub blocks: u64,
     /// Simulated cycles per block, per temporal partition.
     pub stage_cycles: Vec<u64>,
+    /// Kernel cycle accounting per temporal partition (executed versus
+    /// skipped cycles under the event-driven kernel).
+    pub stage_kernel: Vec<KernelStats>,
     /// Hardware compute time, seconds.
     pub hw_compute_s: f64,
     /// Hardware host-I/O time, seconds.
@@ -72,23 +79,44 @@ impl RuntimeReport {
 /// second tile).
 pub fn compare_512(flow: &FftFlow, n: usize) -> RuntimeReport {
     let image = Image::synthetic(n, n, 0x5eed);
-    let blocks = image.num_tiles4() as u64;
     // Two representative tiles, simulated concurrently; the second only
     // cross-checks the cycle claim above.
     let sims = simulate_blocks(flow, vec![image.tile4(0, 0), image.tile4(4, 4)]);
-    let first = &sims[0];
+    assemble_report(flow, &image, &sims[0], &sims[1])
+}
+
+/// [`compare_512`] plus wall-clock stage timings: returns the report
+/// alongside a [`PerfReport`] with one `sim/partition{i}` stage per
+/// temporal partition and a `sim/crosscheck` stage for the second tile.
+pub fn compare_512_timed(flow: &FftFlow, n: usize) -> (RuntimeReport, PerfReport) {
+    let image = Image::synthetic(n, n, 0x5eed);
+    let (first, mut perf) = simulate_block_timed(flow, image.tile4(0, 0), SimConfig::new());
+    let started = Instant::now();
+    let second = simulate_block(flow, image.tile4(4, 4));
+    perf.add_stage("sim/crosscheck", started.elapsed());
+    (assemble_report(flow, &image, &first, &second), perf)
+}
+
+fn assemble_report(
+    flow: &FftFlow,
+    image: &Image,
+    first: &BlockSim,
+    second: &BlockSim,
+) -> RuntimeReport {
+    let blocks = image.num_tiles4() as u64;
     assert_eq!(
-        first.stage_cycles, sims[1].stage_cycles,
+        first.stage_cycles, second.stage_cycles,
         "straight-line tasks must cost identical cycles per tile"
     );
     let cycles_per_block = first.total_cycles();
     let hw_compute_s = blocks as f64 * cycles_per_block as f64 / DESIGN_CLOCK_HZ;
     let hw_io_s = blocks as f64 * BYTES_PER_BLOCK / HOST_BANDWIDTH_BYTES_PER_S;
     let hw_reconfig_s = flow.result.num_stages() as f64 * RECONFIG_SECONDS;
-    let sw_total_s = swmodel::fft2d_seconds(n);
+    let sw_total_s = swmodel::fft2d_seconds(image.width());
     RuntimeReport {
         blocks,
         stage_cycles: first.stage_cycles.clone(),
+        stage_kernel: first.stage_kernel.clone(),
         hw_compute_s,
         hw_io_s,
         hw_reconfig_s,
@@ -126,6 +154,19 @@ mod tests {
             "hw total {:.2}s",
             report.hw_total_s
         );
+    }
+
+    #[test]
+    fn timed_comparison_matches_and_exposes_kernel_stats() {
+        let flow = run_fft_flow().unwrap();
+        let (timed, perf) = compare_512_timed(&flow, 128);
+        assert_eq!(timed, compare_512(&flow, 128));
+        assert_eq!(timed.stage_kernel.len(), timed.stage_cycles.len());
+        for (stats, &cycles) in timed.stage_kernel.iter().zip(&timed.stage_cycles) {
+            assert_eq!(stats.total_cycles(), cycles);
+        }
+        assert!(perf.stage("sim/partition0").is_some());
+        assert!(perf.stage("sim/crosscheck").is_some());
     }
 
     #[test]

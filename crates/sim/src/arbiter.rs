@@ -112,13 +112,51 @@ impl ArbiterSim {
     /// Advances one cycle. `requesting` reports, per task, whether its
     /// request line is up; the return value is the granted port word.
     pub fn step(&mut self, requesting: &dyn Fn(TaskId) -> bool) -> u64 {
+        let word = self.request_word(requesting);
+        self.step_word(word)
+    }
+
+    /// The per-port request word for the given task request lines: a
+    /// port's bit is the OR of its tasks' lines, exactly as the overlaid
+    /// hardware wires them.
+    pub fn request_word(&self, requesting: &dyn Fn(TaskId) -> bool) -> u64 {
         let mut word = 0u64;
         for (p, tasks) in self.ports.iter().enumerate() {
             if tasks.iter().any(|&t| requesting(t)) {
                 word |= 1 << p;
             }
         }
+        word
+    }
+
+    /// The grant fixed point under a held request word, if any: the
+    /// policy's [`next_grant`](Policy::next_grant) promise, suppressed
+    /// while co-simulation is on (the netlist state must advance in
+    /// lock step every cycle, so a co-simulated arbiter is never
+    /// skippable).
+    pub fn steady_grant(&self, word: u64) -> Option<u64> {
+        if self.cosim.is_some() {
+            return None;
+        }
+        self.policy.next_grant(word)
+    }
+
+    /// Advances one cycle from an already-assembled request word.
+    pub fn step_word(&mut self, word: u64) -> u64 {
+        // In debug builds, hold the behavioural policy to any fixed
+        // point it promised — the legacy kernel thereby cross-checks
+        // the same `next_grant` interface the event kernel skips on.
+        #[cfg(debug_assertions)]
+        let promised = self.policy.next_grant(word);
         let grants = self.policy.step(word);
+        #[cfg(debug_assertions)]
+        if let Some(p) = promised {
+            debug_assert_eq!(
+                p, grants,
+                "{}: next_grant promised a fixed point step() broke",
+                self.id
+            );
+        }
         if grants != 0 {
             self.grants_issued += 1;
             self.port_grants[grants.trailing_zeros() as usize] += 1;
@@ -141,6 +179,19 @@ impl ArbiterSim {
     /// word.
     pub fn task_granted(&self, grants: u64, task: TaskId) -> bool {
         self.port_of(task).is_some_and(|p| grants >> p & 1 != 0)
+    }
+
+    /// Bulk-accounts `cycles` skipped cycles during which the arbiter
+    /// provably kept issuing `grant` (a [`steady_grant`] fixed point):
+    /// the counters advance exactly as `cycles` live steps would have
+    /// advanced them, without touching policy state.
+    ///
+    /// [`steady_grant`]: Self::steady_grant
+    pub(crate) fn record_steady_grants(&mut self, grant: u64, cycles: u64) {
+        if grant != 0 {
+            self.grants_issued += cycles;
+            self.port_grants[grant.trailing_zeros() as usize] += cycles;
+        }
     }
 }
 

@@ -1,0 +1,139 @@
+//! The memory-bank component: word storage plus the Fig. 4 write-select
+//! line discipline of a shared bank.
+
+use super::monitor::MonitorComponent;
+use super::{Component, Wake};
+use crate::memory::{BankAccess, BankModel, BankOutcome};
+use crate::monitor::Violation;
+use crate::value::resolve_line;
+use rcarb_board::memory::BankId;
+use rcarb_core::line::{IdleDrive, SharedLineKind};
+use rcarb_taskgraph::id::TaskId;
+
+/// One memory bank in the kernel: the behavioural [`BankModel`] plus the
+/// protocol clients and select-line state of a *shared* (arbitrated)
+/// bank. Private banks simply have no clients.
+#[derive(Debug)]
+pub struct BankComponent {
+    model: BankModel,
+    /// Protocol clients, when the bank is arbitrated.
+    clients: Vec<TaskId>,
+    /// Whether the floating-select hazard has already been reported
+    /// (once per bank, like the legacy engine).
+    flagged: bool,
+    /// Whether an all-idle cycle floats the select line under the
+    /// configured discipline — precomputed at build so `wake` is a
+    /// field read.
+    idle_floats: bool,
+}
+
+impl BankComponent {
+    /// A private bank (no select-line protocol to check).
+    pub fn new(model: BankModel) -> Self {
+        Self {
+            model,
+            clients: Vec::new(),
+            flagged: false,
+            idle_floats: false,
+        }
+    }
+
+    /// Registers the bank's protocol clients and precomputes whether an
+    /// all-idle cycle floats the select line under `select_line`.
+    pub fn set_clients(&mut self, clients: Vec<TaskId>, select_line: SharedLineKind) {
+        let idle: Vec<Option<bool>> = clients.iter().map(|_| idle_value(select_line)).collect();
+        self.idle_floats =
+            !clients.is_empty() && resolve_line(select_line, &idle).to_bool().is_none();
+        self.clients = clients;
+    }
+
+    /// The bank id.
+    pub fn id(&self) -> BankId {
+        self.model.id()
+    }
+
+    /// Whether the bank has registered protocol clients (is shared).
+    pub fn has_clients(&self) -> bool {
+        !self.clients.is_empty()
+    }
+
+    /// One stored word.
+    pub fn word(&self, addr: u32) -> u64 {
+        self.model.word(addr)
+    }
+
+    /// Overwrites one stored word (host-side segment loading).
+    pub fn set_word(&mut self, addr: u32, value: u64) {
+        self.model.set_word(addr, value);
+    }
+
+    /// Resolves one cycle's accesses on the storage array.
+    pub fn resolve(&mut self, accesses: &[BankAccess]) -> BankOutcome {
+        self.model.cycle(accesses)
+    }
+
+    /// The Fig. 4 select-line check for one cycle: collect each client's
+    /// drive (write -> 1, read -> 0, idle -> per discipline), resolve,
+    /// and report a float once per bank. `accesses` is this cycle's
+    /// traffic on this bank, if any.
+    pub fn check_select(
+        &mut self,
+        cycle: u64,
+        accesses: Option<&Vec<BankAccess>>,
+        select_line: SharedLineKind,
+        monitor: &mut MonitorComponent,
+    ) {
+        if self.clients.is_empty() || self.flagged {
+            return;
+        }
+        let drivers: Vec<Option<bool>> = self
+            .clients
+            .iter()
+            .map(|&t| {
+                accesses
+                    .and_then(|accs| accs.iter().find(|a| a.task == t))
+                    .map(|a| a.write.is_some())
+                    .or(idle_value(select_line))
+            })
+            .collect();
+        if resolve_line(select_line, &drivers).to_bool().is_none() {
+            self.flagged = true;
+            monitor.push(Violation::FloatingSelectLine {
+                cycle,
+                bank: self.model.id(),
+            });
+        }
+    }
+}
+
+/// A client's idle drive on the select line, as an optional logic level.
+fn idle_value(select_line: SharedLineKind) -> Option<bool> {
+    match select_line.idle_drive() {
+        IdleDrive::HighZ => None,
+        IdleDrive::Low => Some(false),
+        IdleDrive::High => Some(true),
+    }
+}
+
+impl Component for BankComponent {
+    fn label(&self) -> String {
+        format!("bank {}", self.id())
+    }
+
+    /// A bank acts on its own only through the select-line check, and
+    /// only an unflagged shared bank whose idle state *floats* can
+    /// produce a new violation in a cycle nobody touches it. Everything
+    /// else a bank does is driven by task accesses, and an accessing
+    /// task is itself `Active`.
+    fn wake(&self, _now: u64) -> Wake {
+        if self.idle_floats && !self.flagged {
+            Wake::Active
+        } else {
+            Wake::Idle
+        }
+    }
+
+    /// Nothing to bulk-account: storage is inert and the select line
+    /// provably resolves across a skipped gap.
+    fn skip(&mut self, _cycles: u64) {}
+}

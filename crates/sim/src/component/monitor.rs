@@ -1,0 +1,71 @@
+//! The monitor component: the run's violation log and starvation
+//! tracker, shared by every phase of the cycle.
+
+use super::{Component, Wake};
+use crate::monitor::{StarvationTracker, Violation};
+use rcarb_taskgraph::id::{ArbiterId, TaskId};
+
+/// Collects property violations and grant-wait statistics for the run.
+#[derive(Debug, Default)]
+pub struct MonitorComponent {
+    violations: Vec<Violation>,
+    starvation: StarvationTracker,
+}
+
+impl MonitorComponent {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, violation: Violation) {
+        self.violations.push(violation);
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Notes that `task` saw `arbiter`'s grant (ends its current wait).
+    pub fn granted(&mut self, task: TaskId, arbiter: ArbiterId) {
+        self.starvation.granted(task, arbiter);
+    }
+
+    /// Notes one cycle of `task` waiting on `arbiter`.
+    pub fn tick_waiting(&mut self, task: TaskId, arbiter: ArbiterId) {
+        self.starvation.tick_waiting(task, arbiter);
+    }
+
+    /// Bulk-notes `cycles` waiting cycles (skipped-gap accounting).
+    pub fn tick_waiting_n(&mut self, task: TaskId, arbiter: ArbiterId, cycles: u64) {
+        self.starvation.tick_waiting_n(task, arbiter, cycles);
+    }
+
+    /// Starvation violations against `bound`, computed at run end.
+    pub fn starvation_violations(&self, bound: u64) -> Vec<Violation> {
+        self.starvation.violations(bound)
+    }
+
+    /// Worst grant wait observed anywhere.
+    pub fn global_worst(&self) -> u64 {
+        self.starvation.global_worst()
+    }
+}
+
+impl Component for MonitorComponent {
+    fn label(&self) -> String {
+        "monitor".to_owned()
+    }
+
+    /// The monitor only reacts to what other components report.
+    fn wake(&self, _now: u64) -> Wake {
+        Wake::Idle
+    }
+
+    /// Bulk waiting ticks are applied explicitly by the engine (it
+    /// knows which tasks sat blocked on which arbiter); nothing else
+    /// accrues with time.
+    fn skip(&mut self, _cycles: u64) {}
+}

@@ -1,0 +1,68 @@
+//! The channel-route component: one physical route (shared or private)
+//! carrying logical channels.
+
+use super::{Component, Wake};
+use crate::channel::{RouteOutcome, RouteSend, RouteState};
+use rcarb_taskgraph::id::ChannelId;
+
+/// One physical route in the kernel. Shared routes (merged channels)
+/// report simultaneous-drive conflicts; private per-channel routes
+/// absorb them silently, exactly as the legacy engine did.
+#[derive(Debug)]
+pub struct RouteComponent {
+    state: RouteState,
+    shared: bool,
+}
+
+impl RouteComponent {
+    /// Wraps a route, remembering whether it is shared (conflict-
+    /// reporting) or private.
+    pub fn new(state: RouteState, shared: bool) -> Self {
+        Self { state, shared }
+    }
+
+    /// Whether conflicts on this route are protocol violations.
+    pub fn shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Transfers completed so far.
+    pub fn transfers(&self) -> u64 {
+        self.state.transfers()
+    }
+
+    /// Reads the latched register visible to `channel`'s receiver.
+    pub fn read(&self, channel: ChannelId) -> Option<u64> {
+        self.state.read(channel)
+    }
+
+    /// Applies one cycle's sends.
+    pub fn resolve(&mut self, sends: &[RouteSend]) -> RouteOutcome {
+        self.state.cycle(sends)
+    }
+}
+
+impl Component for RouteComponent {
+    fn label(&self) -> String {
+        format!(
+            "{} route [{}]",
+            if self.shared { "shared" } else { "private" },
+            self.state
+                .logicals()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+
+    /// A route's registers move only when a task sends, and a sending
+    /// task is itself `Active`; blocked receivers are re-checked by the
+    /// engine's refresh against [`read`](Self::read).
+    fn wake(&self, _now: u64) -> Wake {
+        Wake::Idle
+    }
+
+    /// Registers hold their value across a gap; nothing to account.
+    fn skip(&mut self, _cycles: u64) {}
+}

@@ -1,0 +1,468 @@
+//! The task component: one task controller's datapath, program counter
+//! and request lines.
+//!
+//! This is the former `TaskExec` of the monolithic engine, promoted to
+//! a [`Component`]: it still executes exactly one *costed* instruction
+//! per cycle (free loop bookkeeping around it), but it now also tracks
+//! *why* it stopped each cycle — ready, mid-compute, awaiting a grant,
+//! awaiting channel data — which is what lets the event-driven kernel
+//! prove it inert and skip cycles without executing them.
+
+use super::arbiter::ArbiterComponent;
+use super::monitor::MonitorComponent;
+use super::route::RouteComponent;
+use super::{Component, Wake};
+use crate::channel::RouteSend;
+use crate::compile::{FlatProgram, Instr};
+use crate::memory::BankAccess;
+use crate::monitor::Violation;
+use rcarb_board::memory::BankId;
+use rcarb_core::memmap::MemoryBinding;
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
+use std::collections::BTreeMap;
+
+/// A task's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Waiting for control-dependency predecessors to finish.
+    NotStarted,
+    /// Released and executing its program.
+    Running,
+    /// Program complete.
+    Done,
+}
+
+/// Why a running task stopped executing in its last cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// Stopped at its per-cycle instruction budget: must run next cycle.
+    Ready,
+    /// Mid multi-cycle compute: sleeps until the countdown reaches one.
+    Sleeping,
+    /// Blocked in `AwaitGrant` on this arbiter.
+    AwaitingGrant(ArbiterId),
+    /// Blocked in `Recv` on this empty channel.
+    AwaitingData(ChannelId),
+}
+
+/// The engine-owned environment a task borrows for one execution cycle.
+///
+/// Tasks read this cycle's grant words and route registers, and collect
+/// their memory and channel traffic into the engine's per-cycle maps;
+/// banks and routes resolve the collected traffic in later phases.
+pub struct ExecCtx<'a> {
+    /// The executing cycle.
+    pub cycle: u64,
+    /// This cycle's grant word per arbiter.
+    pub grants: &'a BTreeMap<ArbiterId, u64>,
+    /// All arbiters (for port lookups).
+    pub arbiters: &'a [ArbiterComponent],
+    /// All channel routes (for `Recv` register reads).
+    pub routes: &'a [RouteComponent],
+    /// Route index of every logical channel.
+    pub route_of_channel: &'a BTreeMap<ChannelId, usize>,
+    /// The memory binding (segment -> bank placement).
+    pub binding: &'a MemoryBinding,
+    /// Arbiter guarding each (task, segment) access, if any.
+    pub segment_guards: &'a BTreeMap<(TaskId, SegmentId), ArbiterId>,
+    /// Arbiter guarding each (task, channel) send, if any.
+    pub channel_guards: &'a BTreeMap<(TaskId, ChannelId), ArbiterId>,
+    /// The violation/starvation monitor.
+    pub monitor: &'a mut MonitorComponent,
+    /// This cycle's collected bank accesses.
+    pub bank_accesses: &'a mut BTreeMap<BankId, Vec<BankAccess>>,
+    /// Reads awaiting their bank's resolution: `(bank, task, dst var)`.
+    pub pending_reads: &'a mut Vec<(BankId, TaskId, VarId)>,
+    /// This cycle's collected route sends, per route index.
+    pub route_sends: &'a mut BTreeMap<usize, Vec<RouteSend>>,
+}
+
+impl ExecCtx<'_> {
+    /// Whether `task` holds `arbiter`'s grant this cycle.
+    pub fn task_granted(&self, arbiter: ArbiterId, task: TaskId) -> bool {
+        let word = self.grants.get(&arbiter).copied().unwrap_or(0);
+        self.arbiters
+            .get(arbiter.index())
+            .is_some_and(|a| a.task_granted(word, task))
+    }
+
+    /// Reports an `AccessWithoutGrant` if `task` touches a guarded
+    /// segment without holding the guard's grant.
+    fn check_segment_grant(&mut self, task: TaskId, segment: SegmentId) {
+        if let Some(&arb) = self.segment_guards.get(&(task, segment)) {
+            if !self.task_granted(arb, task) {
+                self.monitor.push(Violation::AccessWithoutGrant {
+                    cycle: self.cycle,
+                    task,
+                    arbiter: arb,
+                });
+            }
+        }
+    }
+}
+
+/// One task controller: program, datapath state and request lines.
+#[derive(Debug)]
+pub struct TaskComponent {
+    id: TaskId,
+    prog: FlatProgram,
+    pc: usize,
+    vars: Vec<u64>,
+    loops: Vec<u32>,
+    compute_left: u32,
+    status: TaskStatus,
+    block: Block,
+    req_lines: BTreeMap<ArbiterId, bool>,
+    started_at: Option<u64>,
+    finished_at: Option<u64>,
+    stall_cycles: u64,
+    busy_cycles: u64,
+}
+
+impl TaskComponent {
+    /// A fresh, not-yet-released task over a compiled program.
+    pub fn new(id: TaskId, prog: FlatProgram) -> Self {
+        let vars = vec![0; prog.num_vars() as usize];
+        let loops = vec![0; prog.num_loop_slots()];
+        Self {
+            id,
+            prog,
+            pc: 0,
+            vars,
+            loops,
+            compute_left: 0,
+            status: TaskStatus::NotStarted,
+            block: Block::Ready,
+            req_lines: BTreeMap::new(),
+            started_at: None,
+            finished_at: None,
+            stall_cycles: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// The task id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's lifecycle state.
+    pub fn status(&self) -> TaskStatus {
+        self.status
+    }
+
+    /// The compiled program (used by build-time validation).
+    pub fn program(&self) -> &FlatProgram {
+        &self.prog
+    }
+
+    /// Whether this task's request line to `arbiter` is asserted.
+    pub fn requesting(&self, arbiter: ArbiterId) -> bool {
+        self.req_lines.get(&arbiter).copied().unwrap_or(false)
+    }
+
+    /// Releases the task at `cycle` (all predecessors done). A task
+    /// with an empty program finishes in its release cycle.
+    pub fn release(&mut self, cycle: u64) {
+        self.status = TaskStatus::Running;
+        self.started_at = Some(cycle);
+        self.block = Block::Ready;
+        if self.prog.instrs().is_empty() {
+            self.status = TaskStatus::Done;
+            self.finished_at = Some(cycle);
+        }
+    }
+
+    /// Writes a variable (bank read-port delivery).
+    pub fn set_var(&mut self, var: VarId, value: u64) {
+        self.vars[var.index()] = value;
+    }
+
+    /// First running cycle.
+    pub fn started_at(&self) -> Option<u64> {
+        self.started_at
+    }
+
+    /// Completion cycle.
+    pub fn finished_at(&self) -> Option<u64> {
+        self.finished_at
+    }
+
+    /// Cycles spent blocked (grant or data waits).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Cycles spent issuing instructions.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// The arbiter this task is blocked on, if it stopped its last
+    /// cycle inside `AwaitGrant`.
+    pub fn blocked_on_grant(&self) -> Option<ArbiterId> {
+        match (self.status, self.block) {
+            (TaskStatus::Running, Block::AwaitingGrant(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The channel this task is blocked on, if it stopped its last
+    /// cycle inside an empty `Recv`.
+    pub fn awaiting_data(&self) -> Option<ChannelId> {
+        match (self.status, self.block) {
+            (TaskStatus::Running, Block::AwaitingData(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Executes this task's slice of one cycle: free loop bookkeeping,
+    /// at most one costed instruction, then any trailing bookkeeping —
+    /// so a program whose last costed instruction issues this cycle
+    /// also *finishes* this cycle.
+    pub fn step_cycle(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.block = Block::Ready;
+        self.exec(ctx);
+        // A task whose program counter ran off the end this cycle is
+        // done *this* cycle (its controller's done signal fires with
+        // the last instruction, not a cycle later).
+        if self.status == TaskStatus::Running && self.pc >= self.prog.instrs().len() {
+            self.status = TaskStatus::Done;
+            self.finished_at = Some(ctx.cycle);
+        }
+    }
+
+    fn exec(&mut self, ctx: &mut ExecCtx<'_>) {
+        let task_id = self.id;
+        let mut issued = false;
+        loop {
+            if self.pc >= self.prog.instrs().len() {
+                self.status = TaskStatus::Done;
+                self.finished_at = Some(ctx.cycle);
+                return;
+            }
+            let instr = self.prog.instrs()[self.pc].clone();
+            if issued
+                && !matches!(
+                    instr,
+                    Instr::LoopInit { .. } | Instr::LoopBack { .. } | Instr::Jump { .. }
+                )
+            {
+                // The cycle's one costed instruction already ran; stop at
+                // the next real instruction (including AwaitGrant, whose
+                // grant must be sampled in its own cycle).
+                return;
+            }
+            match instr {
+                Instr::LoopInit { slot, times } => {
+                    self.loops[slot] = times;
+                    self.pc += 1;
+                }
+                Instr::LoopBack { slot, target } => {
+                    self.loops[slot] -= 1;
+                    if self.loops[slot] > 0 {
+                        self.pc = target;
+                    } else {
+                        self.pc += 1;
+                    }
+                }
+                Instr::Jump { target } => {
+                    self.pc = target;
+                }
+                Instr::AwaitGrant { arbiter } => {
+                    if ctx.task_granted(arbiter, task_id) {
+                        ctx.monitor.granted(task_id, arbiter);
+                        self.pc += 1;
+                        // Free fall-through: keep executing this cycle.
+                    } else {
+                        self.stall_cycles += 1;
+                        ctx.monitor.tick_waiting(task_id, arbiter);
+                        self.block = Block::AwaitingGrant(arbiter);
+                        return;
+                    }
+                }
+                Instr::Compute { cycles } => {
+                    if cycles == 0 {
+                        self.pc += 1;
+                        continue;
+                    }
+                    if self.compute_left == 0 {
+                        self.compute_left = cycles;
+                    }
+                    self.compute_left -= 1;
+                    self.busy_cycles += 1;
+                    if self.compute_left == 0 {
+                        self.pc += 1;
+                        issued = true;
+                        continue;
+                    }
+                    self.block = Block::Sleeping;
+                    return;
+                }
+                Instr::Set { dst, value } => {
+                    let v = value.eval(&self.vars);
+                    self.vars[dst.index()] = v;
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::BranchIfZero { cond, target } => {
+                    let v = cond.eval(&self.vars);
+                    self.pc = if v == 0 { target } else { self.pc + 1 };
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::MemRead { segment, addr, dst } => {
+                    ctx.check_segment_grant(task_id, segment);
+                    let a = addr.eval(&self.vars) as u32;
+                    // Placement validated in `try_build`; a missing one
+                    // degrades to a read delivering nothing.
+                    if let Some(place) = ctx.binding.placement(segment) {
+                        ctx.bank_accesses
+                            .entry(place.bank)
+                            .or_default()
+                            .push(BankAccess {
+                                task: task_id,
+                                addr: place.offset + a,
+                                write: None,
+                            });
+                        ctx.pending_reads.push((place.bank, task_id, dst));
+                    }
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::MemWrite {
+                    segment,
+                    addr,
+                    value,
+                } => {
+                    ctx.check_segment_grant(task_id, segment);
+                    let a = addr.eval(&self.vars) as u32;
+                    let v = value.eval(&self.vars);
+                    if let Some(place) = ctx.binding.placement(segment) {
+                        ctx.bank_accesses
+                            .entry(place.bank)
+                            .or_default()
+                            .push(BankAccess {
+                                task: task_id,
+                                addr: place.offset + a,
+                                write: Some(v),
+                            });
+                    }
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::Send { channel, value } => {
+                    if let Some(&arb) = ctx.channel_guards.get(&(task_id, channel)) {
+                        if !ctx.task_granted(arb, task_id) {
+                            ctx.monitor.push(Violation::AccessWithoutGrant {
+                                cycle: ctx.cycle,
+                                task: task_id,
+                                arbiter: arb,
+                            });
+                        }
+                    }
+                    let v = value.eval(&self.vars);
+                    // Channel validated in `try_build`; a missing route
+                    // degrades to a dropped send.
+                    if let Some(&route) = ctx.route_of_channel.get(&channel) {
+                        ctx.route_sends.entry(route).or_default().push(RouteSend {
+                            task: task_id,
+                            channel,
+                            value: v,
+                        });
+                    }
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::Recv { channel, dst } => {
+                    let value = ctx
+                        .route_of_channel
+                        .get(&channel)
+                        .and_then(|&route| ctx.routes[route].read(channel));
+                    match value {
+                        Some(v) => {
+                            self.vars[dst.index()] = v;
+                            self.pc += 1;
+                            self.busy_cycles += 1;
+                            issued = true;
+                        }
+                        None => {
+                            self.stall_cycles += 1;
+                            self.block = Block::AwaitingData(channel);
+                            return;
+                        }
+                    }
+                }
+                Instr::ReqAssert { arbiter } => {
+                    self.req_lines.insert(arbiter, true);
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+                Instr::ReqDeassert { arbiter } => {
+                    self.req_lines.insert(arbiter, false);
+                    self.pc += 1;
+                    self.busy_cycles += 1;
+                    issued = true;
+                }
+            }
+        }
+    }
+}
+
+impl Component for TaskComponent {
+    fn label(&self) -> String {
+        format!("task {}", self.id)
+    }
+
+    fn wake(&self, now: u64) -> Wake {
+        match self.status {
+            // A not-started task is woken by its predecessors finishing
+            // (the engine checks release readiness separately); a done
+            // task never wakes.
+            TaskStatus::NotStarted | TaskStatus::Done => Wake::Idle,
+            TaskStatus::Running => match self.block {
+                Block::Ready => Wake::Active,
+                Block::Sleeping => {
+                    // After executing cycle `now - 1` with `compute_left
+                    // = L`, cycles `now .. now + L - 2` are pure
+                    // countdown; the instruction completes (and the task
+                    // may issue again) at `now + L - 1`.
+                    if self.compute_left > 1 {
+                        Wake::Timer(now + u64::from(self.compute_left) - 1)
+                    } else {
+                        Wake::Active
+                    }
+                }
+                // Woken by a grant edge (arbiter steadiness gates the
+                // skip) or by route data (the engine checks the route
+                // register at refresh time).
+                Block::AwaitingGrant(_) | Block::AwaitingData(_) => Wake::Idle,
+            },
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        if self.status != TaskStatus::Running {
+            return;
+        }
+        match self.block {
+            Block::Sleeping => {
+                debug_assert!(
+                    u64::from(self.compute_left) > cycles,
+                    "skip must stop before the compute instruction completes"
+                );
+                self.compute_left -= cycles as u32;
+                self.busy_cycles += cycles;
+            }
+            // Starvation ticks for grant waits are bulk-applied by the
+            // engine, which owns the monitor.
+            Block::AwaitingGrant(_) | Block::AwaitingData(_) => self.stall_cycles += cycles,
+            Block::Ready => debug_assert!(false, "a ready task is never skippable"),
+        }
+    }
+}

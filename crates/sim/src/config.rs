@@ -38,6 +38,12 @@ pub struct SimConfig {
     pub select_line: SharedLineKind,
     /// Any wait longer than this many cycles is flagged as starvation.
     pub starvation_bound: u64,
+    /// Run on the legacy cycle-scanning kernel instead of the
+    /// event-driven one. The legacy loop executes every cycle
+    /// unconditionally and is kept as the differential oracle for the
+    /// event kernel's cycle-skipping — flip this when diagnosing a
+    /// suspected kernel divergence, never for performance.
+    pub legacy_kernel: bool,
 }
 
 impl SimConfig {
@@ -52,6 +58,7 @@ impl SimConfig {
             register_placement: RegisterPlacement::Receiver,
             select_line: MemoryLinePlan::sram_write_high().write_select,
             starvation_bound: u64::MAX,
+            legacy_kernel: false,
         }
     }
 
@@ -103,6 +110,16 @@ impl SimConfig {
         self.starvation_bound = bound;
         self
     }
+
+    /// Selects the legacy cycle-scanning kernel (the event-driven
+    /// kernel's differential oracle). Reports are provably identical
+    /// between the two — see `tests/kernel_equivalence.rs` — so this is
+    /// a diagnostic switch, not a semantic one.
+    #[must_use]
+    pub fn with_legacy_kernel(mut self, enabled: bool) -> Self {
+        self.legacy_kernel = enabled;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -123,6 +140,8 @@ mod tests {
         assert!(!c.trace);
         assert_eq!(c.register_placement, RegisterPlacement::Receiver);
         assert_eq!(c.starvation_bound, u64::MAX);
+        // The event-driven kernel is the default.
+        assert!(!c.legacy_kernel);
     }
 
     #[test]

@@ -1,5 +1,4 @@
-//! The system simulator: tasks, arbiters, banks and channels in lock
-//! step.
+//! The simulation kernel: orchestration of the component layer.
 //!
 //! # Cycle semantics
 //!
@@ -15,13 +14,36 @@
 //!    exactly two extra cycles (the paper's Fig. 8 accounting).
 //! 4. Banks and shared routes resolve the cycle's accesses, detecting
 //!    simultaneous-drive conflicts.
+//!
+//! # Two kernels, one cycle
+//!
+//! The heavy lifting lives in [`crate::component`]: tasks, arbiters,
+//! banks, routes, the monitor and the tracer are self-contained units,
+//! and [`System::step_cycle`](System) drives them through the phase
+//! order above. On top of that shared step, the default *event-driven*
+//! kernel consults the [`Scheduler`] after every executed cycle: when
+//! every component proves itself inert (tasks sleeping in multi-cycle
+//! computes or blocked on steady arbiters, no pending release, no
+//! floating select line), the clock jumps straight to the next wake and
+//! the gap is bulk-accounted through [`Component::skip`]. The legacy
+//! cycle-scanning loop — execute every cycle unconditionally — remains
+//! selectable via [`SimConfig::legacy_kernel`] as a differential
+//! oracle; `tests/kernel_equivalence.rs` holds the two to identical
+//! [`RunReport`]s and identical VCD output.
+//!
+//! [`Component::skip`]: crate::component::Component::skip
 
 use crate::arbiter::ArbiterSim;
 use crate::channel::{RegisterPlacement, RouteOutcome, RouteSend, RouteState};
 use crate::compile::{FlatProgram, Instr};
+use crate::component::{
+    ArbiterComponent, BankComponent, Component, ExecCtx, MonitorComponent, RouteComponent,
+    TaskComponent, TaskStatus, TracerComponent, Wake,
+};
 use crate::config::SimConfig;
 use crate::memory::{BankAccess, BankModel, BankOutcome};
-use crate::monitor::{StarvationTracker, Violation};
+use crate::monitor::Violation;
+use crate::scheduler::{CompId, KernelStats, Scheduler};
 use rcarb_board::board::Board;
 use rcarb_board::memory::BankId;
 use rcarb_core::channel::ChannelMergePlan;
@@ -29,7 +51,7 @@ use rcarb_core::insertion::{ArbitratedResource, ArbitrationPlan};
 use rcarb_core::memmap::MemoryBinding;
 use rcarb_core::policy::PolicyKind;
 use rcarb_taskgraph::graph::TaskGraph;
-use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId};
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
 use std::collections::BTreeMap;
 
 /// Builds a [`System`] from a (possibly arbitrated) design.
@@ -154,8 +176,10 @@ impl SystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if a program accesses a segment the binding did not place;
-    /// use [`try_build`](Self::try_build) to handle the failure.
+    /// Panics on any malformed-plan condition [`try_build`](Self::try_build)
+    /// reports: an unbound accessed segment, a placement into a bank the
+    /// board does not have, or a program referencing an arbiter or
+    /// channel the plan never declared.
     pub fn build(self, board: &Board) -> System {
         match self.try_build(board) {
             Ok(sys) => sys,
@@ -167,14 +191,20 @@ impl SystemBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`rcarb_core::Error::UnboundSegment`] if a task program
-    /// accesses a segment the binding did not place.
+    /// - [`rcarb_core::Error::UnboundSegment`] if a task program accesses
+    ///   a segment the binding did not place;
+    /// - [`rcarb_core::Error::UnknownBank`] if the binding places a
+    ///   segment into a bank the board does not have;
+    /// - [`rcarb_core::Error::UnknownArbiter`] if a program's protocol
+    ///   ops reference an arbiter the plan never instantiated;
+    /// - [`rcarb_core::Error::UnknownChannel`] if a program sends or
+    ///   receives on a channel the taskgraph does not declare.
     pub fn try_build(self, board: &Board) -> Result<System, rcarb_core::Error> {
-        let tasks: Vec<TaskExec> = self
+        let tasks: Vec<TaskComponent> = self
             .graph
             .tasks()
             .iter()
-            .map(|t| TaskExec::new(t.id(), FlatProgram::compile(t.program())))
+            .map(|t| TaskComponent::new(t.id(), FlatProgram::compile(t.program())))
             .collect();
         // Validate that every accessed segment is bound.
         for t in self.graph.tasks() {
@@ -187,34 +217,86 @@ impl SystemBuilder {
                 }
             }
         }
-        let banks: BTreeMap<BankId, BankModel> = self
+        // Validate that every placed bank exists on the board.
+        for b in self.binding.used_banks() {
+            if b.index() >= board.banks().len() {
+                let segment = self
+                    .binding
+                    .segments_in(b)
+                    .first()
+                    .copied()
+                    .unwrap_or(SegmentId::new(0));
+                return Err(rcarb_core::Error::UnknownBank { bank: b, segment });
+            }
+        }
+        let mut banks: BTreeMap<BankId, BankComponent> = self
             .binding
             .used_banks()
             .into_iter()
-            .map(|b| (b, BankModel::new(b, board.bank(b).words())))
+            .map(|b| {
+                (
+                    b,
+                    BankComponent::new(BankModel::new(b, board.bank(b).words())),
+                )
+            })
             .collect();
         // Routes: one per merged channel, plus a private route per
         // unmerged logical channel.
         let mut routes = Vec::new();
         let mut route_of_channel: BTreeMap<ChannelId, usize> = BTreeMap::new();
-        let mut shared_route_count = 0usize;
         for merge in self.merges.merges() {
             let idx = routes.len();
-            routes.push(RouteState::new(
-                merge.logicals.clone(),
-                self.config.register_placement,
+            routes.push(RouteComponent::new(
+                RouteState::new(merge.logicals.clone(), self.config.register_placement),
+                true,
             ));
             for &c in &merge.logicals {
                 route_of_channel.insert(c, idx);
             }
-            shared_route_count += 1;
         }
         for c in self.graph.channels() {
             route_of_channel.entry(c.id()).or_insert_with(|| {
                 let idx = routes.len();
-                routes.push(RouteState::new(vec![c.id()], RegisterPlacement::Receiver));
+                routes.push(RouteComponent::new(
+                    RouteState::new(vec![c.id()], RegisterPlacement::Receiver),
+                    false,
+                ));
                 idx
             });
+        }
+        // Validate compiled protocol and channel references: every
+        // arbiter op must hit an instantiated arbiter at its id's index,
+        // every channel op a routed channel. (Run-path lookups then
+        // cannot dangle.)
+        for t in &tasks {
+            let name = || self.graph.task(t.id()).name().to_owned();
+            for instr in t.program().instrs() {
+                match *instr {
+                    Instr::AwaitGrant { arbiter }
+                    | Instr::ReqAssert { arbiter }
+                    | Instr::ReqDeassert { arbiter } => {
+                        let known = self
+                            .arbiters
+                            .get(arbiter.index())
+                            .is_some_and(|inst| inst.id == arbiter);
+                        if !known {
+                            return Err(rcarb_core::Error::UnknownArbiter {
+                                arbiter,
+                                task: name(),
+                            });
+                        }
+                    }
+                    Instr::Send { channel, .. } | Instr::Recv { channel, .. }
+                        if !route_of_channel.contains_key(&channel) =>
+                    {
+                        return Err(rcarb_core::Error::UnknownChannel {
+                            channel,
+                            task: name(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
         }
         // Arbiters and guard maps.
         let mut arbiters = Vec::new();
@@ -257,30 +339,26 @@ impl SystemBuilder {
                     }
                 }
             }
-            arbiters.push(sim);
+            arbiters.push(ArbiterComponent::new(sim));
         }
-        let mut bank_clients: BTreeMap<BankId, Vec<TaskId>> = BTreeMap::new();
+        // Shared-bank protocol clients drive the Fig. 4 select line; an
+        // arbitrated bank that hosts no placement still takes part in
+        // the discipline (with an empty storage array it never sees
+        // accesses, only idle drives).
         for inst in &self.arbiters {
             if let ArbitratedResource::Bank(bank) = inst.resource {
-                bank_clients.insert(bank, inst.arbitrated_tasks());
+                let words = board
+                    .banks()
+                    .get(bank.index())
+                    .map(|mb| mb.words())
+                    .unwrap_or(0);
+                banks
+                    .entry(bank)
+                    .or_insert_with(|| BankComponent::new(BankModel::new(bank, words)))
+                    .set_clients(inst.arbitrated_tasks(), self.config.select_line);
             }
         }
-        let trace = self.config.trace.then(|| {
-            let mut vcd = crate::vcd::VcdWriter::new();
-            let signals = arbiters
-                .iter()
-                .map(|a| {
-                    (0..a.num_ports())
-                        .map(|p| {
-                            let req = vcd.signal(format!("{}_req{p}", a.id()));
-                            let grant = vcd.signal(format!("{}_grant{p}", a.id()));
-                            (req, grant)
-                        })
-                        .collect()
-                })
-                .collect();
-            Trace { vcd, signals }
-        });
+        let tracer = self.config.trace.then(|| TracerComponent::new(&arbiters));
         Ok(System {
             graph: self.graph,
             binding: self.binding,
@@ -288,67 +366,17 @@ impl SystemBuilder {
             banks,
             routes,
             route_of_channel,
-            shared_route_count,
             arbiters,
             segment_guards,
             channel_guards,
             starvation_bound: self.config.starvation_bound,
             select_line: self.config.select_line,
-            bank_clients,
-            floated_banks: std::collections::BTreeSet::new(),
+            legacy_kernel: self.config.legacy_kernel,
             cycle: 0,
-            violations: Vec::new(),
-            starvation: StarvationTracker::new(),
-            trace,
+            monitor: MonitorComponent::new(),
+            scheduler: Scheduler::new(),
+            tracer,
         })
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    NotStarted,
-    Running,
-    Done,
-}
-
-#[derive(Debug)]
-struct TaskExec {
-    id: TaskId,
-    prog: FlatProgram,
-    pc: usize,
-    vars: Vec<u64>,
-    loops: Vec<u32>,
-    compute_left: u32,
-    status: Status,
-    req_lines: BTreeMap<ArbiterId, bool>,
-    started_at: Option<u64>,
-    finished_at: Option<u64>,
-    stall_cycles: u64,
-    busy_cycles: u64,
-}
-
-impl TaskExec {
-    fn new(id: TaskId, prog: FlatProgram) -> Self {
-        let vars = vec![0; prog.num_vars() as usize];
-        let loops = vec![0; prog.num_loop_slots()];
-        Self {
-            id,
-            prog,
-            pc: 0,
-            vars,
-            loops,
-            compute_left: 0,
-            status: Status::NotStarted,
-            req_lines: BTreeMap::new(),
-            started_at: None,
-            finished_at: None,
-            stall_cycles: 0,
-            busy_cycles: 0,
-        }
-    }
-
-    fn requesting(&self, arbiter: ArbiterId) -> bool {
-        self.req_lines.get(&arbiter).copied().unwrap_or(false)
     }
 }
 
@@ -368,7 +396,11 @@ pub struct TaskStats {
 }
 
 /// The outcome of a run.
-#[derive(Debug, Clone)]
+///
+/// Derives equality so the two kernels can be held to *identical*
+/// reports by the equivalence suite; kernel-private accounting (cycles
+/// executed versus skipped) lives in [`System::kernel_stats`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Cycles simulated.
     pub cycles: u64,
@@ -392,16 +424,19 @@ impl RunReport {
         self.completed && self.violations.is_empty()
     }
 
+    /// Stats for one task, if it exists in this report.
+    pub fn try_task(&self, task: TaskId) -> Option<&TaskStats> {
+        self.task_stats.iter().find(|s| s.task == task)
+    }
+
     /// Stats for one task.
     ///
     /// # Panics
     ///
-    /// Panics if the task is unknown.
+    /// Panics if the task is unknown; use [`try_task`](Self::try_task)
+    /// to handle the miss.
     pub fn task(&self, task: TaskId) -> &TaskStats {
-        self.task_stats
-            .iter()
-            .find(|s| s.task == task)
-            .expect("unknown task")
+        self.try_task(task).expect("unknown task")
     }
 }
 
@@ -410,31 +445,20 @@ impl RunReport {
 pub struct System {
     graph: TaskGraph,
     binding: MemoryBinding,
-    tasks: Vec<TaskExec>,
-    banks: BTreeMap<BankId, BankModel>,
-    routes: Vec<RouteState>,
+    tasks: Vec<TaskComponent>,
+    banks: BTreeMap<BankId, BankComponent>,
+    routes: Vec<RouteComponent>,
     route_of_channel: BTreeMap<ChannelId, usize>,
-    shared_route_count: usize,
-    arbiters: Vec<ArbiterSim>,
+    arbiters: Vec<ArbiterComponent>,
     segment_guards: BTreeMap<(TaskId, SegmentId), ArbiterId>,
     channel_guards: BTreeMap<(TaskId, ChannelId), ArbiterId>,
     starvation_bound: u64,
     select_line: rcarb_core::line::SharedLineKind,
-    /// Protocol clients of each shared (arbitrated) bank.
-    bank_clients: BTreeMap<BankId, Vec<TaskId>>,
-    /// Shared banks whose select line has already been flagged.
-    floated_banks: std::collections::BTreeSet<BankId>,
+    legacy_kernel: bool,
     cycle: u64,
-    violations: Vec<Violation>,
-    starvation: StarvationTracker,
-    trace: Option<Trace>,
-}
-
-#[derive(Debug)]
-struct Trace {
-    vcd: crate::vcd::VcdWriter,
-    /// Per arbiter: per port, (request signal, grant signal).
-    signals: Vec<Vec<(crate::vcd::SignalId, crate::vcd::SignalId)>>,
+    monitor: MonitorComponent,
+    scheduler: Scheduler,
+    tracer: Option<TracerComponent>,
 }
 
 impl System {
@@ -442,52 +466,125 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if the segment is unbound or the data overruns it.
+    /// Panics if the segment is unbound or the data overruns it; use
+    /// [`try_load_segment`](Self::try_load_segment) to handle an unbound
+    /// segment gracefully.
     pub fn load_segment(&mut self, segment: SegmentId, data: &[u64]) {
-        let place = self
-            .binding
-            .placement(segment)
-            .expect("segment not bound to a bank");
+        if let Err(e) = self.try_load_segment(segment, data) {
+            panic!("{e}");
+        }
+    }
+
+    /// The fallible form of [`load_segment`](Self::load_segment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rcarb_core::Error::UnboundSegment`] if the segment has
+    /// no placement, or [`rcarb_core::Error::UnknownBank`] if its bank
+    /// is not modelled.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `data` overruns the segment — that is a
+    /// host-side programming error, not a malformed plan.
+    pub fn try_load_segment(
+        &mut self,
+        segment: SegmentId,
+        data: &[u64],
+    ) -> Result<(), rcarb_core::Error> {
+        let Some(place) = self.binding.placement(segment) else {
+            return Err(rcarb_core::Error::UnboundSegment {
+                segment,
+                task: "host".to_owned(),
+            });
+        };
         let seg = self.graph.segment(segment);
         assert!(
             data.len() <= seg.words() as usize,
             "data overruns segment {segment}"
         );
-        let bank = self.banks.get_mut(&place.bank).expect("bank exists");
+        let Some(bank) = self.banks.get_mut(&place.bank) else {
+            return Err(rcarb_core::Error::UnknownBank {
+                bank: place.bank,
+                segment,
+            });
+        };
         for (i, &v) in data.iter().enumerate() {
             bank.set_word(place.offset + i as u32, v);
         }
+        Ok(())
     }
 
     /// Reads `len` words back out of a segment after a run.
     ///
     /// # Panics
     ///
-    /// Panics if the segment is unbound or the range overruns it.
+    /// Panics if the segment is unbound or the range overruns it; use
+    /// [`try_read_segment`](Self::try_read_segment) to handle an unbound
+    /// segment gracefully.
     pub fn read_segment(&self, segment: SegmentId, len: usize) -> Vec<u64> {
-        let place = self
-            .binding
-            .placement(segment)
-            .expect("segment not bound to a bank");
+        match self.try_read_segment(segment, len) {
+            Ok(words) => words,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`read_segment`](Self::read_segment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rcarb_core::Error::UnboundSegment`] if the segment has
+    /// no placement, or [`rcarb_core::Error::UnknownBank`] if its bank
+    /// is not modelled.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if the range overruns the segment.
+    pub fn try_read_segment(
+        &self,
+        segment: SegmentId,
+        len: usize,
+    ) -> Result<Vec<u64>, rcarb_core::Error> {
+        let Some(place) = self.binding.placement(segment) else {
+            return Err(rcarb_core::Error::UnboundSegment {
+                segment,
+                task: "host".to_owned(),
+            });
+        };
         let seg = self.graph.segment(segment);
         assert!(
             len <= seg.words() as usize,
             "range overruns segment {segment}"
         );
-        let bank = &self.banks[&place.bank];
-        (0..len)
+        let Some(bank) = self.banks.get(&place.bank) else {
+            return Err(rcarb_core::Error::UnknownBank {
+                bank: place.bank,
+                segment,
+            });
+        };
+        Ok((0..len)
             .map(|i| bank.word(place.offset + i as u32))
-            .collect()
+            .collect())
     }
 
     /// Runs until every task completes or `max_cycles` elapse.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
         while self.cycle < max_cycles && !self.all_done() {
+            if !self.legacy_kernel {
+                let skippable = self.scheduler.skippable(self.cycle, max_cycles);
+                if skippable > 0 {
+                    self.skip_cycles(skippable);
+                    continue;
+                }
+            }
             self.step_cycle();
+            if !self.legacy_kernel {
+                self.refresh_wakes();
+            }
         }
         let completed = self.all_done();
-        let mut violations = self.violations.clone();
-        violations.extend(self.starvation.violations(self.starvation_bound));
+        let mut violations = self.monitor.violations().to_vec();
+        violations.extend(self.monitor.starvation_violations(self.starvation_bound));
         for a in &self.arbiters {
             if a.cosim_mismatches() > 0 {
                 violations.push(Violation::CosimMismatch {
@@ -504,11 +601,11 @@ impl System {
                 .tasks
                 .iter()
                 .map(|t| TaskStats {
-                    task: t.id,
-                    started_at: t.started_at,
-                    finished_at: t.finished_at,
-                    stall_cycles: t.stall_cycles,
-                    busy_cycles: t.busy_cycles,
+                    task: t.id(),
+                    started_at: t.started_at(),
+                    finished_at: t.finished_at(),
+                    stall_cycles: t.stall_cycles(),
+                    busy_cycles: t.busy_cycles(),
                 })
                 .collect(),
             arbiter_grants: self
@@ -521,391 +618,256 @@ impl System {
                 .iter()
                 .map(|a| (a.id(), a.port_grants().to_vec()))
                 .collect(),
-            worst_wait: self.starvation.global_worst(),
+            worst_wait: self.monitor.global_worst(),
         }
+    }
+
+    /// The kernel's cycle accounting so far: cycles stepped component by
+    /// component versus cycles proven inert and skipped. The legacy
+    /// kernel reports zero skips; the report itself stays
+    /// kernel-independent.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.scheduler.stats()
     }
 
     /// The VCD waveform recorded so far (if tracing was enabled), at the
     /// paper's ~6 MHz design clock (167 ns per cycle).
     pub fn vcd(&self) -> Option<String> {
-        self.trace.as_ref().map(|t| t.vcd.clone().finish(167))
+        self.tracer.as_ref().map(|t| t.vcd())
     }
 
     fn all_done(&self) -> bool {
-        self.tasks.iter().all(|t| t.status == Status::Done)
+        self.tasks.iter().all(|t| t.status() == TaskStatus::Done)
     }
 
+    /// Executes one cycle through the shared phase order. Both kernels
+    /// run exactly this code for every non-skipped cycle.
     fn step_cycle(&mut self) {
         let cycle = self.cycle;
         // 1. Release newly runnable tasks.
         for i in 0..self.tasks.len() {
-            if self.tasks[i].status == Status::NotStarted {
-                let id = self.tasks[i].id;
+            if self.tasks[i].status() == TaskStatus::NotStarted {
+                let id = self.tasks[i].id();
                 let ready = self
                     .graph
                     .predecessors(id)
                     .iter()
-                    .all(|p| self.tasks[p.index()].status == Status::Done);
+                    .all(|p| self.tasks[p.index()].status() == TaskStatus::Done);
                 if ready {
-                    self.tasks[i].status = Status::Running;
-                    self.tasks[i].started_at = Some(cycle);
-                    if self.tasks[i].prog.instrs().is_empty() {
-                        self.tasks[i].status = Status::Done;
-                        self.tasks[i].finished_at = Some(cycle);
-                    }
+                    self.tasks[i].release(cycle);
                 }
             }
         }
         // 2. Arbiters sample the request lines.
         let mut grants: BTreeMap<ArbiterId, u64> = BTreeMap::new();
-        for a in &mut self.arbiters {
-            let id = a.id();
-            let tasks = &self.tasks;
-            let word = a.step(&|task: TaskId| tasks[task.index()].requesting(id));
-            if word.count_ones() > 1 {
-                self.violations.push(Violation::MultipleGrants {
-                    cycle,
-                    arbiter: a.id(),
-                    grants: word,
-                });
-            }
-            grants.insert(a.id(), word);
-        }
-        if let Some(trace) = &mut self.trace {
-            for (ai, a) in self.arbiters.iter().enumerate() {
-                let id = a.id();
-                let grant_word = grants[&id];
-                for (p, &(req_sig, grant_sig)) in trace.signals[ai].iter().enumerate() {
-                    // A port's request is the OR of its tasks' lines.
-                    let req = self
-                        .tasks
-                        .iter()
-                        .any(|t| a.port_of(t.id) == Some(p) && t.requesting(id));
-                    trace.vcd.sample(cycle, req_sig, req);
-                    trace.vcd.sample(cycle, grant_sig, grant_word >> p & 1 != 0);
+        {
+            let Self {
+                tasks,
+                arbiters,
+                monitor,
+                ..
+            } = self;
+            for a in arbiters.iter_mut() {
+                let grant = a.sample_and_step(tasks);
+                if grant.count_ones() > 1 {
+                    monitor.push(Violation::MultipleGrants {
+                        cycle,
+                        arbiter: a.id(),
+                        grants: grant,
+                    });
                 }
+                grants.insert(a.id(), grant);
             }
+        }
+        if let Some(tracer) = &mut self.tracer {
+            tracer.sample_cycle(cycle, &self.arbiters, &self.tasks, &grants);
         }
         // 3. Tasks execute.
         let mut bank_accesses: BTreeMap<BankId, Vec<BankAccess>> = BTreeMap::new();
-        let mut pending_reads: Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)> = Vec::new();
+        let mut pending_reads: Vec<(BankId, TaskId, VarId)> = Vec::new();
         let mut route_sends: BTreeMap<usize, Vec<RouteSend>> = BTreeMap::new();
-        for i in 0..self.tasks.len() {
-            if self.tasks[i].status != Status::Running {
-                continue;
-            }
-            self.exec_task(
-                i,
+        {
+            let Self {
+                tasks,
+                arbiters,
+                routes,
+                route_of_channel,
+                binding,
+                segment_guards,
+                channel_guards,
+                monitor,
+                ..
+            } = self;
+            let mut ctx = ExecCtx {
                 cycle,
-                &grants,
-                &mut bank_accesses,
-                &mut pending_reads,
-                &mut route_sends,
-            );
+                grants: &grants,
+                arbiters: arbiters.as_slice(),
+                routes: routes.as_slice(),
+                route_of_channel,
+                binding,
+                segment_guards,
+                channel_guards,
+                monitor,
+                bank_accesses: &mut bank_accesses,
+                pending_reads: &mut pending_reads,
+                route_sends: &mut route_sends,
+            };
+            for t in tasks.iter_mut() {
+                if t.status() == TaskStatus::Running {
+                    t.step_cycle(&mut ctx);
+                }
+            }
         }
         // 4. Banks resolve.
-        for (bank, accesses) in &bank_accesses {
-            let outcome = self
-                .banks
-                .get_mut(bank)
-                .expect("bank exists")
-                .cycle(accesses);
-            match outcome {
-                BankOutcome::Conflict { tasks } => {
-                    self.violations.push(Violation::BankConflict {
-                        cycle,
-                        bank: *bank,
-                        tasks,
-                    });
-                }
-                BankOutcome::Ok {
-                    task,
-                    read_value: Some(v),
-                } => {
-                    if let Some(&(_, _, dst)) = pending_reads
-                        .iter()
-                        .find(|(b, t, _)| b == bank && *t == task)
-                    {
-                        self.tasks[task.index()].vars[dst.index()] = v;
+        {
+            let Self {
+                tasks,
+                banks,
+                monitor,
+                ..
+            } = self;
+            for (bank, accesses) in &bank_accesses {
+                // Accesses come from placements validated in try_build,
+                // so the bank is modelled; degrade gracefully otherwise.
+                let Some(b) = banks.get_mut(bank) else {
+                    continue;
+                };
+                match b.resolve(accesses) {
+                    BankOutcome::Conflict { tasks: offenders } => {
+                        monitor.push(Violation::BankConflict {
+                            cycle,
+                            bank: *bank,
+                            tasks: offenders,
+                        });
                     }
+                    BankOutcome::Ok {
+                        task,
+                        read_value: Some(v),
+                    } => {
+                        if let Some(&(_, _, dst)) = pending_reads
+                            .iter()
+                            .find(|(bk, t, _)| bk == bank && *t == task)
+                        {
+                            tasks[task.index()].set_var(dst, v);
+                        }
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
-        }
-        // 4b. Fig. 4 select-line discipline on every shared bank: collect
-        // each client's drive (write -> 1, read -> 0, idle -> per
-        // discipline) and resolve. A float is the paper's unwanted-write
-        // hazard; report it once per bank.
-        for (&bank, clients) in &self.bank_clients {
-            if self.floated_banks.contains(&bank) {
-                continue;
-            }
-            let drivers: Vec<Option<bool>> = clients
-                .iter()
-                .map(|&t| {
-                    bank_accesses
-                        .get(&bank)
-                        .and_then(|accs| accs.iter().find(|a| a.task == t))
-                        .map(|a| a.write.is_some())
-                        .or(match self.select_line.idle_drive() {
-                            rcarb_core::line::IdleDrive::HighZ => None,
-                            rcarb_core::line::IdleDrive::Low => Some(false),
-                            rcarb_core::line::IdleDrive::High => Some(true),
-                        })
-                })
-                .collect();
-            let resolved = crate::value::resolve_line(self.select_line, &drivers);
-            if resolved.to_bool().is_none() {
-                self.floated_banks.insert(bank);
-                self.violations
-                    .push(Violation::FloatingSelectLine { cycle, bank });
+            // 4b. Fig. 4 select-line discipline on every shared bank.
+            let select_line = self.select_line;
+            for (bank, b) in banks.iter_mut() {
+                b.check_select(cycle, bank_accesses.get(bank), select_line, monitor);
             }
         }
         // 5. Routes resolve.
-        for (route, sends) in &route_sends {
-            let outcome = self.routes[*route].cycle(sends);
-            if let RouteOutcome::Conflict { tasks } = outcome {
-                if *route < self.shared_route_count {
-                    self.violations.push(Violation::RouteConflict {
-                        cycle,
-                        route: *route,
-                        tasks,
-                    });
+        {
+            let Self {
+                routes, monitor, ..
+            } = self;
+            for (route, sends) in &route_sends {
+                let outcome = routes[*route].resolve(sends);
+                if let RouteOutcome::Conflict { tasks: offenders } = outcome {
+                    if routes[*route].shared() {
+                        monitor.push(Violation::RouteConflict {
+                            cycle,
+                            route: *route,
+                            tasks: offenders,
+                        });
+                    }
                 }
             }
         }
         self.cycle += 1;
+        self.scheduler.record_executed();
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn exec_task(
-        &mut self,
-        i: usize,
-        cycle: u64,
-        grants: &BTreeMap<ArbiterId, u64>,
-        bank_accesses: &mut BTreeMap<BankId, Vec<BankAccess>>,
-        pending_reads: &mut Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)>,
-        route_sends: &mut BTreeMap<usize, Vec<RouteSend>>,
-    ) {
-        self.exec_task_inner(i, cycle, grants, bank_accesses, pending_reads, route_sends);
-        // A task whose program counter ran off the end this cycle is done
-        // *this* cycle (its controller's done signal fires with the last
-        // instruction, not a cycle later).
-        if self.tasks[i].status == Status::Running
-            && self.tasks[i].pc >= self.tasks[i].prog.instrs().len()
-        {
-            self.tasks[i].status = Status::Done;
-            self.tasks[i].finished_at = Some(cycle);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn exec_task_inner(
-        &mut self,
-        i: usize,
-        cycle: u64,
-        grants: &BTreeMap<ArbiterId, u64>,
-        bank_accesses: &mut BTreeMap<BankId, Vec<BankAccess>>,
-        pending_reads: &mut Vec<(BankId, TaskId, rcarb_taskgraph::id::VarId)>,
-        route_sends: &mut BTreeMap<usize, Vec<RouteSend>>,
-    ) {
-        // Consume free loop bookkeeping, at most one costed instruction,
-        // then drain any trailing bookkeeping so a program whose last
-        // costed instruction issues this cycle also *finishes* this cycle.
-        let mut issued = false;
-        loop {
-            let task_id = self.tasks[i].id;
-            if self.tasks[i].pc >= self.tasks[i].prog.instrs().len() {
-                self.tasks[i].status = Status::Done;
-                self.tasks[i].finished_at = Some(cycle);
-                return;
-            }
-            let instr = self.tasks[i].prog.instrs()[self.tasks[i].pc].clone();
-            if issued
-                && !matches!(
-                    instr,
-                    Instr::LoopInit { .. } | Instr::LoopBack { .. } | Instr::Jump { .. }
-                )
-            {
-                // The cycle's one costed instruction already ran; stop at
-                // the next real instruction (including AwaitGrant, whose
-                // grant must be sampled in its own cycle).
-                return;
-            }
-            match instr {
-                Instr::LoopInit { slot, times } => {
-                    self.tasks[i].loops[slot] = times;
-                    self.tasks[i].pc += 1;
-                }
-                Instr::LoopBack { slot, target } => {
-                    self.tasks[i].loops[slot] -= 1;
-                    if self.tasks[i].loops[slot] > 0 {
-                        self.tasks[i].pc = target;
-                    } else {
-                        self.tasks[i].pc += 1;
-                    }
-                }
-                Instr::Jump { target } => {
-                    self.tasks[i].pc = target;
-                }
-                Instr::AwaitGrant { arbiter } => {
-                    let granted = self.task_granted(grants, arbiter, task_id);
-                    if granted {
-                        self.starvation.granted(task_id, arbiter);
-                        self.tasks[i].pc += 1;
-                        // Free fall-through: keep executing this cycle.
-                    } else {
-                        self.tasks[i].stall_cycles += 1;
-                        self.starvation.tick_waiting(task_id, arbiter);
-                        return;
-                    }
-                }
-                Instr::Compute { cycles } => {
-                    if cycles == 0 {
-                        self.tasks[i].pc += 1;
-                        continue;
-                    }
-                    if self.tasks[i].compute_left == 0 {
-                        self.tasks[i].compute_left = cycles;
-                    }
-                    self.tasks[i].compute_left -= 1;
-                    self.tasks[i].busy_cycles += 1;
-                    if self.tasks[i].compute_left == 0 {
-                        self.tasks[i].pc += 1;
-                        issued = true;
-                        continue;
-                    }
+    /// Re-registers every component's wake condition after an executed
+    /// cycle. Returns as soon as anything is dirty: in a dense workload
+    /// the first running task short-circuits the whole refresh, keeping
+    /// the event kernel's per-cycle overhead near zero.
+    fn refresh_wakes(&mut self) {
+        let now = self.cycle; // next cycle to execute
+        self.scheduler.begin_refresh();
+        for (i, t) in self.tasks.iter().enumerate() {
+            match t.wake(now) {
+                Wake::Active => {
+                    self.scheduler.mark_active(CompId::Task(i));
                     return;
                 }
-                Instr::Set { dst, value } => {
-                    let v = value.eval(&self.tasks[i].vars);
-                    self.tasks[i].vars[dst.index()] = v;
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::BranchIfZero { cond, target } => {
-                    let v = cond.eval(&self.tasks[i].vars);
-                    self.tasks[i].pc = if v == 0 { target } else { self.tasks[i].pc + 1 };
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::MemRead { segment, addr, dst } => {
-                    self.check_segment_grant(grants, task_id, segment, cycle);
-                    let a = addr.eval(&self.tasks[i].vars) as u32;
-                    let place = self.binding.placement(segment).expect("bound segment");
-                    bank_accesses
-                        .entry(place.bank)
-                        .or_default()
-                        .push(BankAccess {
-                            task: task_id,
-                            addr: place.offset + a,
-                            write: None,
-                        });
-                    pending_reads.push((place.bank, task_id, dst));
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::MemWrite {
-                    segment,
-                    addr,
-                    value,
-                } => {
-                    self.check_segment_grant(grants, task_id, segment, cycle);
-                    let a = addr.eval(&self.tasks[i].vars) as u32;
-                    let v = value.eval(&self.tasks[i].vars);
-                    let place = self.binding.placement(segment).expect("bound segment");
-                    bank_accesses
-                        .entry(place.bank)
-                        .or_default()
-                        .push(BankAccess {
-                            task: task_id,
-                            addr: place.offset + a,
-                            write: Some(v),
-                        });
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::Send { channel, value } => {
-                    if let Some(&arb) = self.channel_guards.get(&(task_id, channel)) {
-                        if !self.task_granted(grants, arb, task_id) {
-                            self.violations.push(Violation::AccessWithoutGrant {
-                                cycle,
-                                task: task_id,
-                                arbiter: arb,
-                            });
+                Wake::Timer(c) => self.scheduler.wake_at(c, CompId::Task(i)),
+                Wake::Idle => {
+                    // Wake conditions a task cannot see from its own
+                    // state: a pending release, or data landed in the
+                    // route register a blocked Recv is watching. (A
+                    // blocked AwaitGrant is covered by the arbiter
+                    // steadiness check below.)
+                    if t.status() == TaskStatus::NotStarted {
+                        let ready = self
+                            .graph
+                            .predecessors(t.id())
+                            .iter()
+                            .all(|p| self.tasks[p.index()].status() == TaskStatus::Done);
+                        if ready {
+                            self.scheduler.mark_active(CompId::Task(i));
+                            return;
                         }
-                    }
-                    let v = value.eval(&self.tasks[i].vars);
-                    let route = self.route_of_channel[&channel];
-                    route_sends.entry(route).or_default().push(RouteSend {
-                        task: task_id,
-                        channel,
-                        value: v,
-                    });
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::Recv { channel, dst } => {
-                    let route = self.route_of_channel[&channel];
-                    match self.routes[route].read(channel) {
-                        Some(v) => {
-                            self.tasks[i].vars[dst.index()] = v;
-                            self.tasks[i].pc += 1;
-                            self.tasks[i].busy_cycles += 1;
-                            issued = true;
-                        }
-                        None => {
-                            self.tasks[i].stall_cycles += 1;
+                    } else if let Some(ch) = t.awaiting_data() {
+                        let data_ready = self
+                            .route_of_channel
+                            .get(&ch)
+                            .and_then(|&r| self.routes[r].read(ch))
+                            .is_some();
+                        if data_ready {
+                            self.scheduler.mark_active(CompId::Task(i));
                             return;
                         }
                     }
                 }
-                Instr::ReqAssert { arbiter } => {
-                    self.tasks[i].req_lines.insert(arbiter, true);
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
-                Instr::ReqDeassert { arbiter } => {
-                    self.tasks[i].req_lines.insert(arbiter, false);
-                    self.tasks[i].pc += 1;
-                    self.tasks[i].busy_cycles += 1;
-                    issued = true;
-                }
+            }
+        }
+        // Arbiter steadiness is judged against the *post-exec* request
+        // word — the word it will sample next cycle — so a request edge
+        // flipped this cycle forces execution.
+        for (i, a) in self.arbiters.iter().enumerate() {
+            let word = a.compute_word(&self.tasks);
+            if !a.steady_for(word) {
+                self.scheduler.mark_active(CompId::Arbiter(i));
+                return;
+            }
+        }
+        for (i, b) in self.banks.values().enumerate() {
+            if b.wake(now) == Wake::Active {
+                self.scheduler.mark_active(CompId::Bank(i));
+                return;
             }
         }
     }
 
-    fn task_granted(
-        &self,
-        grants: &BTreeMap<ArbiterId, u64>,
-        arbiter: ArbiterId,
-        task: TaskId,
-    ) -> bool {
-        let word = grants.get(&arbiter).copied().unwrap_or(0);
-        self.arbiters[arbiter.index()].task_granted(word, task)
-    }
-
-    fn check_segment_grant(
-        &mut self,
-        grants: &BTreeMap<ArbiterId, u64>,
-        task: TaskId,
-        segment: SegmentId,
-        cycle: u64,
-    ) {
-        if let Some(&arb) = self.segment_guards.get(&(task, segment)) {
-            if !self.task_granted(grants, arb, task) {
-                self.violations.push(Violation::AccessWithoutGrant {
-                    cycle,
-                    task,
-                    arbiter: arb,
-                });
+    /// Bulk-applies `cycles` proven-inert cycles: per-component skip
+    /// accounting plus the starvation ticks blocked tasks would have
+    /// accrued, then jumps the clock.
+    fn skip_cycles(&mut self, cycles: u64) {
+        let Self {
+            tasks,
+            arbiters,
+            monitor,
+            scheduler,
+            ..
+        } = self;
+        for t in tasks.iter_mut() {
+            if let Some(arb) = t.blocked_on_grant() {
+                monitor.tick_waiting_n(t.id(), arb, cycles);
             }
+            t.skip(cycles);
         }
+        for a in arbiters.iter_mut() {
+            a.skip(cycles);
+        }
+        // Banks, routes, the monitor and the tracer accrue nothing with
+        // time while the system is quiescent.
+        scheduler.record_skip(cycles);
+        self.cycle += cycles;
     }
 }
 
@@ -986,6 +948,108 @@ mod tests {
     }
 
     #[test]
+    fn event_kernel_skips_through_long_computes() {
+        let (mut sys, t) = one_task_system(Program::build(|p| p.compute(1000)));
+        let report = sys.run(10_000);
+        assert!(report.clean());
+        assert_eq!(report.task(t).busy_cycles, 1000);
+        assert_eq!(report.task(t).finished_at, Some(999));
+        let stats = sys.kernel_stats();
+        // Cycles 1..=998 are pure countdown; only the start and finish
+        // of the compute (and release) execute.
+        assert_eq!(stats.total_cycles(), 1000);
+        assert!(
+            stats.skipped_cycles >= 990,
+            "expected a near-total skip, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_kernel_executes_every_cycle() {
+        let mut b = TaskGraphBuilder::new("legacy");
+        let t = b.task("T", Program::build(|p| p.compute(50)));
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        let mut sys = SystemBuilder::unarbitrated(
+            &graph,
+            &MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .with_config(SimConfig::new().with_legacy_kernel(true))
+        .build(&board);
+        let report = sys.run(1000);
+        assert!(report.clean());
+        assert_eq!(report.task(t).finished_at, Some(49));
+        let stats = sys.kernel_stats();
+        assert_eq!(stats.skipped_cycles, 0);
+        assert_eq!(stats.executed_cycles, 50);
+    }
+
+    #[test]
+    fn kernels_agree_on_a_dependent_design() {
+        let build = |legacy: bool| {
+            let mut b = TaskGraphBuilder::new("pair");
+            let first = b.task("first", Program::build(|p| p.compute(40)));
+            let second = b.task("second", Program::build(|p| p.compute(7)));
+            b.control_dep(first, second);
+            let graph = b.finish().unwrap();
+            let board = rcarb_board::presets::duo_small();
+            let mut sys = SystemBuilder::unarbitrated(
+                &graph,
+                &MemoryBinding::default(),
+                &ChannelMergePlan::default(),
+            )
+            .with_config(SimConfig::new().with_legacy_kernel(legacy))
+            .build(&board);
+            sys.run(10_000)
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_when_data_arrives() {
+        let run = |legacy: bool| {
+            let mut b = TaskGraphBuilder::new("chan");
+            let seg = b.segment("out", 4, 16);
+            let producer = b.task(
+                "producer",
+                Program::build(|p| {
+                    p.compute(60);
+                    p.send(ChannelId::new(0), Expr::lit(77));
+                }),
+            );
+            let consumer = b.task(
+                "consumer",
+                Program::build(|p| {
+                    let v = p.recv(ChannelId::new(0));
+                    p.mem_write(seg, Expr::lit(0), Expr::var(v));
+                }),
+            );
+            let _ = b.channel("c", 16, producer, consumer);
+            let graph = b.finish().unwrap();
+            let board = rcarb_board::presets::duo_small();
+            let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+            let mut sys =
+                SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+                    .with_config(SimConfig::new().with_legacy_kernel(legacy))
+                    .build(&board);
+            let report = sys.run(10_000);
+            assert!(report.clean());
+            assert_eq!(sys.read_segment(seg, 1)[0], 77);
+            (report, sys.kernel_stats())
+        };
+        let (event_report, event_stats) = run(false);
+        let (legacy_report, _) = run(true);
+        assert_eq!(event_report, legacy_report);
+        // The consumer blocks on the empty channel while the producer
+        // computes; those cycles must be skipped, not executed.
+        assert!(
+            event_stats.skipped_cycles > 40,
+            "expected the consumer's wait to be skipped, got {event_stats:?}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "not bound")]
     fn loading_unbound_segment_panics() {
         let mut b = TaskGraphBuilder::new("unbound");
@@ -1002,6 +1066,29 @@ mod tests {
         )
         .build(&board);
         sys.load_segment(seg, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn try_load_segment_reports_instead_of_panicking() {
+        let mut b = TaskGraphBuilder::new("unbound");
+        let seg = b.segment("M", 8, 16);
+        b.task("T", Program::empty());
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        let mut sys = SystemBuilder::unarbitrated(
+            &graph,
+            &MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .build(&board);
+        let err = sys
+            .try_load_segment(seg, &[1, 2, 3])
+            .expect_err("unbound segment load must error");
+        assert!(matches!(
+            err,
+            rcarb_core::Error::UnboundSegment { segment, .. } if segment == seg
+        ));
+        assert!(sys.try_read_segment(seg, 1).is_err());
     }
 
     #[test]
@@ -1074,6 +1161,69 @@ mod tests {
                 if segment == seg && task == "reader"
         ));
         assert!(err.to_string().contains("is not bound to a bank"));
+    }
+
+    #[test]
+    fn try_build_reports_placements_into_missing_banks() {
+        let seg = rcarb_taskgraph::id::SegmentId::new(0);
+        let mut b = TaskGraphBuilder::new("offboard");
+        let _ = b.segment("M", 8, 16);
+        b.task(
+            "reader",
+            Program::build(|p| {
+                let _ = p.mem_read(seg, Expr::lit(0));
+            }),
+        );
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        // A hand-built binding into a bank the board does not have: the
+        // legacy engine panicked inside `build`; now it is a diagnosis.
+        let mut binding = MemoryBinding::default();
+        binding.place(seg, BankId::new(99), 0);
+        let err = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+            .try_build(&board)
+            .expect_err("off-board placement must be rejected");
+        assert!(matches!(
+            err,
+            rcarb_core::Error::UnknownBank { bank, segment }
+                if bank == BankId::new(99) && segment == seg
+        ));
+    }
+
+    #[test]
+    fn try_build_reports_uninstantiated_arbiters() {
+        use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
+        // Two concurrent tasks sharing a bank force an arbiter in; then
+        // drop the instance from the plan so the protocol ops dangle.
+        let mut b = TaskGraphBuilder::new("dangling");
+        let seg = b.segment("S", 16, 16);
+        b.task(
+            "a",
+            Program::build(|p| {
+                let _ = p.mem_read(seg, Expr::lit(0));
+            }),
+        );
+        b.task(
+            "b",
+            Program::build(|p| {
+                let _ = p.mem_read(seg, Expr::lit(1));
+            }),
+        );
+        let graph = b.finish().unwrap();
+        let board = rcarb_board::presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let merges = ChannelMergePlan::default();
+        let mut plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        assert!(
+            !plan.arbiters.is_empty(),
+            "the shared bank must have forced an arbiter"
+        );
+        plan.arbiters.clear();
+        let err = SystemBuilder::from_plan(&plan, &binding, &merges)
+            .try_build(&board)
+            .expect_err("dangling protocol ops must be rejected");
+        assert!(matches!(err, rcarb_core::Error::UnknownArbiter { .. }));
+        assert!(err.to_string().contains("never instantiated"));
     }
 
     /// The pre-`SimConfig` setters still compile and still configure the

@@ -19,8 +19,15 @@
 //!   co-simulation (every grant cross-checked against the mapped
 //!   hardware);
 //! - [`monitor`] — mutual-exclusion, protocol and starvation monitors;
-//! - [`engine`] — the system simulator: tasks, arbiters, banks and
-//!   channels advancing in lock step under control dependencies;
+//! - [`component`] — the kernel's component layer: tasks, arbiters,
+//!   banks, routes, monitor and tracer as self-contained units with an
+//!   explicit wake/skip contract;
+//! - [`scheduler`] — the event-driven kernel's wake-list/dirty-set
+//!   scheduler and its cycle-accounting [`KernelStats`];
+//! - [`engine`] — the simulation kernel: orchestrates the components
+//!   through the shared per-cycle phase order, skipping provably inert
+//!   cycles (the legacy always-execute loop remains behind
+//!   [`SimConfig::legacy_kernel`] as a differential oracle);
 //! - [`stats`] — fairness and utilization summaries;
 //! - [`vcd`] — a small VCD waveform writer for request/grant traces.
 //!
@@ -36,10 +43,12 @@
 pub mod arbiter;
 pub mod channel;
 pub mod compile;
+pub mod component;
 pub mod config;
 pub mod engine;
 pub mod memory;
 pub mod monitor;
+pub mod scheduler;
 pub mod stats;
 pub mod value;
 pub mod vcd;
@@ -47,3 +56,4 @@ pub mod vcd;
 pub use config::SimConfig;
 pub use engine::{RunReport, System, SystemBuilder};
 pub use monitor::Violation;
+pub use scheduler::{KernelStats, Scheduler};

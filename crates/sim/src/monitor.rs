@@ -146,8 +146,19 @@ impl StarvationTracker {
 
     /// Records that `task` spent this cycle blocked on `arbiter`.
     pub fn tick_waiting(&mut self, task: TaskId, arbiter: ArbiterId) {
+        self.tick_waiting_n(task, arbiter, 1);
+    }
+
+    /// Records `cycles` consecutive blocked cycles in one step —
+    /// equivalent to calling [`tick_waiting`](Self::tick_waiting) that
+    /// many times. The event-driven kernel uses this to account for
+    /// skipped quiescent cycles in bulk.
+    pub fn tick_waiting_n(&mut self, task: TaskId, arbiter: ArbiterId, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
         let w = self.waiting.entry((task, arbiter)).or_insert(0);
-        *w += 1;
+        *w += cycles;
         let best = self.worst.entry((task, arbiter)).or_insert(0);
         *best = (*best).max(*w);
     }
@@ -217,6 +228,20 @@ mod tests {
         let v = s.violations(9);
         assert_eq!(v.len(), 1);
         assert!(matches!(v[0], Violation::Starvation { waited: 10, .. }));
+    }
+
+    #[test]
+    fn bulk_ticks_match_repeated_single_ticks() {
+        let mut one = StarvationTracker::new();
+        let mut bulk = StarvationTracker::new();
+        for _ in 0..7 {
+            one.tick_waiting(t(0), a(1));
+        }
+        bulk.tick_waiting_n(t(0), a(1), 7);
+        assert_eq!(one.worst_wait(t(0), a(1)), bulk.worst_wait(t(0), a(1)));
+        bulk.tick_waiting_n(t(0), a(1), 0); // no-op
+        assert_eq!(bulk.worst_wait(t(0), a(1)), 7);
+        assert_eq!(one.violations(6), bulk.violations(6));
     }
 
     #[test]

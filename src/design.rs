@@ -35,6 +35,7 @@ use rcarb_core::memmap::{bind_segments, MemoryBinding};
 use rcarb_core::Error;
 use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::{RunReport, System, SystemBuilder};
+use rcarb_sim::scheduler::KernelStats;
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{SegmentId, TaskId};
 use std::collections::BTreeMap;
@@ -196,6 +197,25 @@ impl PlannedDesign {
     pub fn simulate(&self, config: SimConfig, max_cycles: u64) -> Result<RunReport, Error> {
         Ok(self.system(config)?.run(max_cycles))
     }
+
+    /// [`simulate`](Self::simulate) plus the kernel's cycle accounting:
+    /// how many cycles were executed component by component versus
+    /// bulk-skipped by the event-driven scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place.
+    pub fn simulate_with_stats(
+        &self,
+        config: SimConfig,
+        max_cycles: u64,
+    ) -> Result<(RunReport, KernelStats), Error> {
+        let mut sys = self.system(config)?;
+        let report = sys.run(max_cycles);
+        let stats = sys.kernel_stats();
+        Ok((report, stats))
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +269,32 @@ mod tests {
             .run(10_000);
         assert_eq!(facade.cycles, longhand.cycles);
         assert_eq!(facade.violations, longhand.violations);
+    }
+
+    #[test]
+    fn facade_surfaces_kernel_stats_for_both_kernels() {
+        let mut b = TaskGraphBuilder::new("stats");
+        let m = b.segment("M", 64, 16);
+        b.task(
+            "T",
+            Program::build(|p| {
+                p.compute(200);
+                p.mem_write(m, Expr::lit(0), Expr::lit(9));
+            }),
+        );
+        let planned = Design::new(b.finish().unwrap(), presets::duo_small())
+            .plan()
+            .unwrap();
+        let (event_report, event) = planned
+            .simulate_with_stats(SimConfig::new(), 10_000)
+            .unwrap();
+        let (legacy_report, legacy) = planned
+            .simulate_with_stats(SimConfig::new().with_legacy_kernel(true), 10_000)
+            .unwrap();
+        assert_eq!(event_report, legacy_report);
+        assert_eq!(event.total_cycles(), legacy.total_cycles());
+        assert_eq!(legacy.skipped_cycles, 0);
+        assert!(event.skipped_cycles > 150, "{event:?}");
     }
 
     #[test]

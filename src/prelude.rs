@@ -26,6 +26,7 @@ pub use rcarb_logic::encode::EncodingStyle;
 pub use rcarb_logic::tools::ToolModel;
 pub use rcarb_sim::config::SimConfig;
 pub use rcarb_sim::engine::{RunReport, System, SystemBuilder};
+pub use rcarb_sim::scheduler::KernelStats;
 pub use rcarb_taskgraph::builder::TaskGraphBuilder;
 pub use rcarb_taskgraph::graph::TaskGraph;
 pub use rcarb_taskgraph::id::{SegmentId, TaskId};

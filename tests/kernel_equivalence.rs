@@ -1,0 +1,345 @@
+//! Differential testing of the two simulation kernels.
+//!
+//! The event-driven kernel skips cycles it can prove inert; the legacy
+//! cycle-scanning kernel executes every cycle unconditionally. For any
+//! design, any policy and any configuration, the two must produce an
+//! *identical* [`RunReport`], identical memory contents and — with
+//! tracing on — byte-identical VCD output. The only permitted
+//! difference is the kernel-private cycle accounting in
+//! [`System::kernel_stats`].
+
+use proptest::prelude::*;
+use rcarb::arb::channel::ChannelMergePlan;
+use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
+use rcarb::arb::memmap::bind_segments;
+use rcarb::board::presets;
+use rcarb::sim::config::SimConfig;
+use rcarb::sim::engine::{RunReport, SystemBuilder};
+use rcarb::sim::KernelStats;
+use rcarb::taskgraph::builder::TaskGraphBuilder;
+use rcarb::taskgraph::graph::TaskGraph;
+use rcarb::taskgraph::id::{ChannelId, TaskId};
+use rcarb::taskgraph::program::{Expr, Program};
+
+/// A random design: `num_tasks` tasks, each with its own segment and a
+/// random access pattern, all colliding in duo_small's single bank.
+fn random_design(num_tasks: usize, patterns: &[Vec<u8>]) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("random");
+    let segs: Vec<_> = (0..num_tasks)
+        .map(|i| b.segment(format!("M{i}"), 64, 16))
+        .collect();
+    for (i, &seg) in segs.iter().enumerate() {
+        let pattern = patterns[i].clone();
+        b.task(
+            format!("T{i}"),
+            Program::build(move |p| {
+                for (k, &op) in pattern.iter().enumerate() {
+                    match op % 4 {
+                        0 => p.mem_write(seg, Expr::lit(k as u64 % 64), Expr::lit(u64::from(op))),
+                        1 => {
+                            let _ = p.mem_read(seg, Expr::lit(k as u64 % 64));
+                        }
+                        2 => p.compute(u32::from(op % 5) + 1),
+                        _ => {
+                            let v = p.let_(Expr::lit(u64::from(op)));
+                            p.set(v, Expr::add(Expr::var(v), Expr::lit(1)));
+                        }
+                    }
+                }
+            }),
+        );
+    }
+    b.finish().expect("valid random design")
+}
+
+/// Everything observable about one run: the report, the VCD document,
+/// and every segment's final contents.
+type Observation = (RunReport, Option<String>, Vec<Vec<u64>>, KernelStats);
+
+/// Builds and runs `graph` on the given kernel, observing everything.
+fn observe(
+    graph: &TaskGraph,
+    arbitrated: bool,
+    kind: rcarb::arb::policy::PolicyKind,
+    m: u32,
+    legacy: bool,
+) -> Observation {
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+    let merges = ChannelMergePlan::default();
+    let config = SimConfig::new()
+        .with_policy(kind)
+        .with_trace(true)
+        .with_legacy_kernel(legacy);
+    let mut sys = if arbitrated {
+        let plan = insert_arbiters(
+            graph,
+            &binding,
+            &merges,
+            &InsertionConfig::paper()
+                .with_max_burst(m)
+                .with_await_each_access(
+                    kind == rcarb::arb::policy::PolicyKind::PreemptiveRoundRobin,
+                ),
+        );
+        SystemBuilder::from_plan(&plan, &binding, &merges)
+    } else {
+        SystemBuilder::unarbitrated(graph, &binding, &merges)
+    }
+    .with_config(config)
+    .build(&board);
+    let report = sys.run(1_000_000);
+    let vcd = sys.vcd();
+    let memory = graph
+        .segments()
+        .iter()
+        .map(|s| sys.read_segment(s.id(), s.words() as usize))
+        .collect();
+    (report, vcd, memory, sys.kernel_stats())
+}
+
+/// Asserts the two kernels observed the same run, and that the event
+/// kernel's cycle accounting adds up.
+fn assert_equivalent(event: &Observation, legacy: &Observation) {
+    assert_eq!(event.0, legacy.0, "RunReports diverged");
+    assert_eq!(event.1, legacy.1, "VCD output diverged");
+    assert_eq!(event.2, legacy.2, "memory contents diverged");
+    assert_eq!(
+        event.3.total_cycles(),
+        event.0.cycles,
+        "event kernel accounting does not cover the run"
+    );
+    assert_eq!(legacy.3.skipped_cycles, 0, "legacy kernel must never skip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrated random designs: every policy, every burst bound, both
+    /// kernels — identical reports, VCD and memory.
+    #[test]
+    fn kernels_agree_on_arbitrated_designs(
+        num_tasks in 2usize..=5,
+        seed_patterns in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 1..30),
+            5,
+        ),
+        m in 1u32..=4,
+        kind_idx in 0usize..5,
+    ) {
+        let graph = random_design(num_tasks, &seed_patterns);
+        let kind = rcarb::arb::policy::PolicyKind::ALL[kind_idx];
+        let event = observe(&graph, true, kind, m, false);
+        let legacy = observe(&graph, true, kind, m, true);
+        assert_equivalent(&event, &legacy);
+    }
+
+    /// Unarbitrated random designs (bank conflicts and all): both
+    /// kernels must report the identical violation stream.
+    #[test]
+    fn kernels_agree_on_unarbitrated_designs(
+        num_tasks in 2usize..=5,
+        seed_patterns in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 1..30),
+            5,
+        ),
+    ) {
+        let graph = random_design(num_tasks, &seed_patterns);
+        let kind = rcarb::arb::policy::PolicyKind::RoundRobin;
+        let event = observe(&graph, false, kind, 1, false);
+        let legacy = observe(&graph, false, kind, 1, true);
+        assert_equivalent(&event, &legacy);
+    }
+}
+
+/// A producer/consumer pair over a channel: the consumer's blocked
+/// `Recv` spans the producer's long compute, which the event kernel
+/// skips — the wake-on-data path must land on exactly the right cycle.
+#[test]
+fn kernels_agree_on_channel_waits() {
+    let build = || {
+        let mut b = TaskGraphBuilder::new("chan");
+        let seg = b.segment("out", 8, 16);
+        let producer = b.task(
+            "producer",
+            Program::build(|p| {
+                for i in 0..4u64 {
+                    p.compute(37);
+                    p.send(ChannelId::new(0), Expr::lit(100 + i));
+                }
+            }),
+        );
+        let consumer = b.task(
+            "consumer",
+            Program::build(|p| {
+                for i in 0..4u64 {
+                    let v = p.recv(ChannelId::new(0));
+                    p.mem_write(seg, Expr::lit(i), Expr::var(v));
+                    p.compute(3);
+                }
+            }),
+        );
+        let _ = b.channel("c", 16, producer, consumer);
+        b.finish().expect("valid")
+    };
+    let graph = build();
+    let kind = rcarb::arb::policy::PolicyKind::RoundRobin;
+    let event = observe(&graph, false, kind, 1, false);
+    let legacy = observe(&graph, false, kind, 1, true);
+    assert_equivalent(&event, &legacy);
+    assert!(event.0.completed, "producer/consumer must finish");
+    // The consumer waits out most of the producer's computes; the event
+    // kernel must actually skip a meaningful share of them.
+    assert!(
+        event.3.skipped_cycles > 50,
+        "expected skips across channel waits, got {:?}",
+        event.3
+    );
+}
+
+/// A floating select line (the paper's Fig. 4 hazard, TriState idle
+/// drive) must be detected in the same cycle by both kernels, including
+/// when the event kernel would otherwise be skipping.
+#[test]
+fn kernels_agree_on_floating_select_lines() {
+    let observe_tristate = |legacy: bool| {
+        let mut b = TaskGraphBuilder::new("float");
+        let seg = b.segment("S", 16, 16);
+        b.task(
+            "a",
+            Program::build(|p| {
+                p.compute(20);
+                p.mem_write(seg, Expr::lit(0), Expr::lit(1));
+            }),
+        );
+        b.task(
+            "b",
+            Program::build(|p| {
+                p.compute(45);
+                let _ = p.mem_read(seg, Expr::lit(0));
+            }),
+        );
+        let graph = b.finish().expect("valid");
+        let board = presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+        let merges = ChannelMergePlan::default();
+        let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+            .with_config(
+                SimConfig::new()
+                    .with_select_line(rcarb::arb::line::SharedLineKind::TriState)
+                    .with_trace(true)
+                    .with_legacy_kernel(legacy),
+            )
+            .build(&board);
+        let report = sys.run(100_000);
+        (report, sys.vcd(), sys.kernel_stats())
+    };
+    let (event_report, event_vcd, event_stats) = observe_tristate(false);
+    let (legacy_report, legacy_vcd, _) = observe_tristate(true);
+    assert_eq!(event_report, legacy_report);
+    assert_eq!(event_vcd, legacy_vcd);
+    assert!(
+        event_report
+            .violations
+            .iter()
+            .any(|v| matches!(v, rcarb::sim::monitor::Violation::FloatingSelectLine { .. })),
+        "the TriState idle drive must float: {:?}",
+        event_report.violations
+    );
+    assert_eq!(event_stats.total_cycles(), event_report.cycles);
+}
+
+/// A deadlocked consumer (nobody ever sends) runs to the cycle limit;
+/// the event kernel jumps straight there and both kernels agree on the
+/// timeout report, stall accounting included.
+#[test]
+fn kernels_agree_on_deadlock_timeouts() {
+    let observe_deadlock = |legacy: bool| {
+        let mut b = TaskGraphBuilder::new("deadlock");
+        let producer = b.task("quiet", Program::build(|p| p.compute(2)));
+        let consumer = b.task(
+            "starved",
+            Program::build(|p| {
+                let _ = p.recv(ChannelId::new(0));
+            }),
+        );
+        let _ = b.channel("c", 16, producer, consumer);
+        let graph = b.finish().expect("valid");
+        let board = presets::duo_small();
+        let mut sys = SystemBuilder::unarbitrated(
+            &graph,
+            &rcarb::arb::memmap::MemoryBinding::default(),
+            &ChannelMergePlan::default(),
+        )
+        .with_config(SimConfig::new().with_legacy_kernel(legacy))
+        .build(&board);
+        let report = sys.run(5_000);
+        (report, sys.kernel_stats())
+    };
+    let (event_report, event_stats) = observe_deadlock(false);
+    let (legacy_report, _) = observe_deadlock(true);
+    assert_eq!(event_report, legacy_report);
+    assert!(!event_report.completed);
+    assert_eq!(event_report.cycles, 5_000);
+    let starved = event_report.task(TaskId::new(1));
+    assert!(starved.finished_at.is_none());
+    assert!(
+        starved.stall_cycles > 4_000,
+        "stalls: {}",
+        starved.stall_cycles
+    );
+    // Nearly the whole timeout is one jump.
+    assert!(
+        event_stats.skipped_cycles > 4_900,
+        "expected a deadlock jump, got {event_stats:?}"
+    );
+}
+
+/// Segment readback stays available (and identical) through the unified
+/// facade's planning path as well.
+#[test]
+fn kernels_agree_under_starvation_monitoring() {
+    let observe_starved = |legacy: bool| {
+        let mut b = TaskGraphBuilder::new("starve");
+        let s0 = b.segment("A", 32, 16);
+        let s1 = b.segment("B", 32, 16);
+        b.task(
+            "hog",
+            Program::build(|p| {
+                for i in 0..24u64 {
+                    p.mem_write(s0, Expr::lit(i % 32), Expr::lit(i));
+                }
+            }),
+        );
+        b.task(
+            "meek",
+            Program::build(|p| {
+                let _ = p.mem_read(s1, Expr::lit(0));
+            }),
+        );
+        let graph = b.finish().expect("valid");
+        let board = presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+        let merges = ChannelMergePlan::default();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &merges,
+            &InsertionConfig::paper().with_max_burst(4),
+        );
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+            .with_config(
+                SimConfig::new()
+                    .with_starvation_bound(3)
+                    .with_legacy_kernel(legacy),
+            )
+            .build(&board);
+        let report = sys.run(100_000);
+        (report, sys.kernel_stats())
+    };
+    let (event_report, event_stats) = observe_starved(false);
+    let (legacy_report, _) = observe_starved(true);
+    assert_eq!(event_report, legacy_report);
+    assert_eq!(event_stats.total_cycles(), event_report.cycles);
+}
