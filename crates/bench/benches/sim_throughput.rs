@@ -42,7 +42,8 @@ fn bench(c: &mut Criterion) {
         let cycles = {
             let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
                 .with_config(SimConfig::new().with_cosim(cosim))
-                .build(&board);
+                .try_build(&board)
+                .unwrap();
             sys.run(1_000_000).cycles
         };
         group.throughput(Throughput::Elements(cycles));
@@ -54,7 +55,8 @@ fn bench(c: &mut Criterion) {
                     let mut sys =
                         SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
                             .with_config(SimConfig::new().with_cosim(cs))
-                            .build(&board);
+                            .try_build(&board)
+                            .unwrap();
                     let report = sys.run(1_000_000);
                     debug_assert!(report.clean());
                     black_box(report.cycles)

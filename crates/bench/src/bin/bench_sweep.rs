@@ -25,6 +25,14 @@
 //! sparse one (long computes, long grant waits), a dense one (memory
 //! traffic every cycle) and one FFT block — asserting identical reports
 //! and recording the wall-clock throughput of each kernel.
+//!
+//! The `fault` section is the chaos harness: it measures the wall-clock
+//! cost of arming an *empty* fault plan (the zero-fault fast path must
+//! be free and byte-identical to an unarmed run), then sweeps seeded
+//! fault plans — a camping stuck-request plus a transient task hang —
+//! over a contended two-task workload on both kernels, asserting the
+//! kernels produce identical run and fault reports for every seed and
+//! recording detection/recovery counts and the worst detection latency.
 
 use rcarb_board::device::SpeedGrade;
 use rcarb_board::presets;
@@ -36,12 +44,14 @@ use rcarb_core::memmap::bind_segments;
 use rcarb_exec::{global_pool, PerfReport};
 use rcarb_fft::flow::{run_fft_flow, simulate_block_with};
 use rcarb_json::Json;
-use rcarb_sim::config::SimConfig;
+use rcarb_sim::config::{SimConfig, WatchdogConfig};
 use rcarb_sim::engine::SystemBuilder;
 use rcarb_sim::scheduler::KernelStats;
 use rcarb_sim::stats::kernel_speedup;
+use rcarb_sim::{FaultPlan, FaultWindow, RecoveryPolicy};
 use rcarb_taskgraph::builder::TaskGraphBuilder;
 use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::{ArbiterId, TaskId};
 use rcarb_taskgraph::program::{Expr, Program};
 use std::time::{Duration, Instant};
 
@@ -177,13 +187,175 @@ fn timed_run(
     let plan = insert_arbiters(graph, &binding, &merges, &InsertionConfig::paper());
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
         .with_config(SimConfig::new().with_legacy_kernel(legacy))
-        .build(board);
+        .try_build(board)
+        .unwrap();
     let t = Instant::now();
     let report = sys.run(10_000_000);
     let wall = t.elapsed();
     assert!(report.completed, "workload must finish");
     let cycles = report.cycles;
     (wall, report, cycles, sys.kernel_stats())
+}
+
+/// Fault-sweep workload: two tasks contending on one shared, arbitrated
+/// bank — enough traffic that a camping request line visibly starves the
+/// other task and the watchdog/recovery path is exercised end to end.
+fn chaos_graph(iters: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("chaos");
+    let m = b.segment("M", 64, 16);
+    b.task(
+        "hog",
+        Program::build(move |p| {
+            p.repeat(iters, |p| {
+                p.mem_write(m, Expr::lit(0), Expr::lit(1));
+            });
+        }),
+    );
+    b.task(
+        "meek",
+        Program::build(move |p| {
+            p.repeat(iters, |p| {
+                p.mem_write(m, Expr::lit(1), Expr::lit(2));
+            });
+        }),
+    );
+    b.finish().expect("chaos graph is well-formed")
+}
+
+/// One run of `graph` with an optional fault plan: wall clock of the
+/// `run()` call, plus everything the chaos harness compares across
+/// kernels.
+fn fault_run(
+    graph: &TaskGraph,
+    board: &rcarb_board::board::Board,
+    config: SimConfig,
+    plan: Option<&FaultPlan>,
+) -> (
+    Duration,
+    rcarb_sim::engine::RunReport,
+    rcarb_sim::FaultReport,
+) {
+    let binding = bind_segments(graph.segments(), board, &|_| None).expect("binds");
+    let merges = ChannelMergePlan::default();
+    let arb_plan = insert_arbiters(graph, &binding, &merges, &InsertionConfig::paper());
+    let mut builder = SystemBuilder::from_plan(&arb_plan, &binding, &merges).with_config(config);
+    if let Some(plan) = plan {
+        builder = builder.with_faults(plan.clone());
+    }
+    let mut sys = builder.try_build(board).expect("builds");
+    let t = Instant::now();
+    let report = sys.run(1_000_000);
+    (t.elapsed(), report, sys.fault_report())
+}
+
+/// The chaos harness: zero-fault overhead measurement plus a seeded
+/// fault sweep with cross-kernel identity checks. Returns the JSON
+/// record for the `fault` section.
+fn fault_sweep(smoke: bool) -> Json {
+    let duo = presets::duo_small();
+    let graph = chaos_graph(if smoke { 50 } else { 200 });
+
+    // Arming an empty plan must not change the run or its cost class:
+    // the fast path stays fault-free and byte-identical.
+    let empty = FaultPlan::seeded(0);
+    let reps = if smoke { 3 } else { 5 };
+    let (bare_wall, bare_report, _, _) = best_of(reps, || {
+        let (w, r, f) = fault_run(&graph, &duo, SimConfig::new(), None);
+        (w, (r, f), 0, KernelStats::default())
+    });
+    let (armed_wall, armed_report, _, _) = best_of(reps, || {
+        let (w, r, f) = fault_run(&graph, &duo, SimConfig::new(), Some(&empty));
+        (w, (r, f), 0, KernelStats::default())
+    });
+    assert_eq!(
+        bare_report.0, armed_report.0,
+        "an empty fault plan must be invisible"
+    );
+    assert_eq!(armed_report.1.injected, 0);
+
+    // Seeded sweep: a camping stuck-request (defeats the Fig. 8
+    // deassert protocol) plus a transient task hang, with watchdogs and
+    // scrub recovery on. Every seed must complete, detect, recover —
+    // and the two kernels must agree byte for byte.
+    let seeds: u64 = if smoke { 3 } else { 8 };
+    let config = SimConfig::new()
+        .with_watchdog(
+            WatchdogConfig::none()
+                .with_grant_timeout(32)
+                .with_progress_bound(4096),
+        )
+        .with_recovery(RecoveryPolicy::none().with_scrub_requests(true));
+    let mut detected = 0u64;
+    let mut recovered = 0u64;
+    let mut worst_latency = 0u64;
+    for seed in 0..seeds {
+        let plan = FaultPlan::seeded(seed)
+            .with_stuck_request(
+                TaskId::new(0),
+                ArbiterId::new(0),
+                true,
+                FaultWindow::new(seed * 3, seed * 3 + 60),
+            )
+            .with_task_hang(TaskId::new(1), FaultWindow::new(10 + seed, 20 + seed));
+        let (_, event_report, event_faults) = fault_run(&graph, &duo, config, Some(&plan));
+        let (_, legacy_report, legacy_faults) =
+            fault_run(&graph, &duo, config.with_legacy_kernel(true), Some(&plan));
+        assert_eq!(
+            event_report, legacy_report,
+            "seed {seed}: kernels disagree on the run report"
+        );
+        assert_eq!(
+            event_faults, legacy_faults,
+            "seed {seed}: kernels disagree on the fault report"
+        );
+        assert!(
+            event_report.completed,
+            "seed {seed}: recovery must restore progress"
+        );
+        detected += event_faults.detected;
+        recovered += event_faults.recovered;
+        worst_latency = worst_latency.max(event_faults.worst_detection_latency().unwrap_or(0));
+    }
+    assert!(detected > 0, "the sweep must detect at least one fault");
+    assert_eq!(
+        detected, recovered,
+        "every detected fault in the sweep is recoverable"
+    );
+    println!(
+        "fault sweep: {seeds} seeds, {detected} detected, {recovered} recovered, \
+         worst detection latency {worst_latency} cycles; empty plan {:.2} ms vs bare {:.2} ms",
+        armed_wall.as_secs_f64() * 1e3,
+        bare_wall.as_secs_f64() * 1e3,
+    );
+    Json::Obj(vec![
+        (
+            "zero_fault".to_owned(),
+            Json::Obj(vec![
+                (
+                    "bare_ms".to_owned(),
+                    Json::from(bare_wall.as_secs_f64() * 1e3),
+                ),
+                (
+                    "armed_ms".to_owned(),
+                    Json::from(armed_wall.as_secs_f64() * 1e3),
+                ),
+                ("reports_identical".to_owned(), Json::Bool(true)),
+            ]),
+        ),
+        (
+            "chaos".to_owned(),
+            Json::Obj(vec![
+                ("seeds".to_owned(), Json::from(seeds)),
+                ("detected".to_owned(), Json::from(detected)),
+                ("recovered".to_owned(), Json::from(recovered)),
+                (
+                    "worst_detection_latency".to_owned(),
+                    Json::from(worst_latency),
+                ),
+                ("kernels_identical".to_owned(), Json::Bool(true)),
+            ]),
+        ),
+    ])
 }
 
 fn main() {
@@ -261,6 +433,11 @@ fn main() {
     });
     perf.add_stage("kernel/comparison", t.elapsed());
 
+    // Chaos harness: fault-injection overhead and seeded fault sweep.
+    let t = Instant::now();
+    let fault_json = fault_sweep(smoke);
+    perf.add_stage("fault/sweep", t.elapsed());
+
     assert!(
         sparse_speedup >= 2.0,
         "event kernel must be at least 2x faster on the sparse workload, got {sparse_speedup:.2}x"
@@ -313,6 +490,7 @@ fn main() {
         ("warm_speedup".to_owned(), Json::from(warm_speedup)),
         ("tables_identical".to_owned(), Json::Bool(true)),
         ("kernel".to_owned(), kernel_json),
+        ("fault".to_owned(), fault_json),
         ("perf".to_owned(), perf.to_json()),
     ]);
     std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");

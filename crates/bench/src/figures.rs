@@ -199,11 +199,13 @@ pub fn protocol_overhead_rows(accesses: u32, ms: &[u32]) -> Vec<OverheadRow> {
                     &InsertionConfig::paper().with_max_burst(m),
                 );
                 SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                    .build(&board)
+                    .try_build(&board)
+                    .unwrap()
                     .run(1_000_000)
             }
             None => SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-                .build(&board)
+                .try_build(&board)
+                .unwrap()
                 .run(1_000_000),
         };
         assert!(report.completed);
@@ -314,7 +316,8 @@ pub fn contention_scaling_rows(ns: &[usize], accesses_per_task: u32) -> Vec<Scal
                 &InsertionConfig::paper(),
             );
             let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                .build(&board);
+                .try_build(&board)
+                .unwrap();
             let report = sys.run(10_000_000);
             assert!(report.clean(), "n={n}: {:?}", report.violations);
             let summary = RunSummary::of(&report);

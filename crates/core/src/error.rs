@@ -62,6 +62,13 @@ pub enum Error {
     Bind(BindError),
     /// Channel merge planning failed.
     Channel(ChannelPlanError),
+    /// A fault plan references a resource the built system does not
+    /// have (unknown task, arbiter port, unrouted channel, unused
+    /// bank), or is otherwise malformed.
+    FaultPlan {
+        /// What was wrong with the plan.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -97,6 +104,7 @@ impl fmt::Display for Error {
             }
             Error::Bind(e) => write!(f, "memory binding failed: {e}"),
             Error::Channel(e) => write!(f, "channel planning failed: {e}"),
+            Error::FaultPlan { detail } => write!(f, "invalid fault plan: {detail}"),
         }
     }
 }

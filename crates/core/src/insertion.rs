@@ -12,7 +12,7 @@ use crate::channel::ChannelMergePlan;
 use crate::characterize;
 use crate::elision;
 use crate::memmap::MemoryBinding;
-use crate::transform::{self, ResourceMap, TransformConfig, TransformStats};
+use crate::transform::{self, ResourceMap, RetryPolicy, TransformConfig, TransformStats};
 use rcarb_board::device::SpeedGrade;
 use rcarb_board::memory::BankId;
 use rcarb_logic::encode::EncodingStyle;
@@ -94,6 +94,10 @@ pub struct InsertionConfig {
     pub encoding: EncodingStyle,
     /// Target speed grade for pre-characterization.
     pub grade: SpeedGrade,
+    /// Bounded-wait retry protocol (see
+    /// [`crate::transform::RetryPolicy`]); `None` emits the paper's
+    /// blocking protocol.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl InsertionConfig {
@@ -107,6 +111,7 @@ impl InsertionConfig {
             await_each_access: false,
             encoding: EncodingStyle::OneHot,
             grade: SpeedGrade::Minus3,
+            retry: None,
         }
     }
 
@@ -131,6 +136,13 @@ impl InsertionConfig {
     pub fn with_max_burst(mut self, m: u32) -> Self {
         assert!(m > 0, "burst length must be at least one access");
         self.max_burst = m;
+        self
+    }
+
+    /// Emits the bounded-wait retry protocol instead of the blocking
+    /// `AwaitGrant` (see [`crate::transform::RetryPolicy`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -255,14 +267,18 @@ pub fn insert_arbiters(
 
     // Rewrite every affected task once, with its combined resource map.
     let mut stats = TransformStats::default();
-    let tcfg = TransformConfig::new()
+    let mut tcfg = TransformConfig::new()
         .with_max_burst(config.max_burst)
         .with_await_each_access(config.await_each_access);
+    if let Some(policy) = config.retry {
+        tcfg = tcfg.with_retry(policy);
+    }
     for (task, map) in &per_task {
         let (prog, s) = transform::transform_program(graph.task(*task).program(), map, tcfg);
         out_graph.task_mut(*task).set_program(prog);
         stats.batches += s.batches;
         stats.guarded_accesses += s.guarded_accesses;
+        stats.retry_guard_evals += s.retry_guard_evals;
     }
 
     ArbitrationPlan {

@@ -53,6 +53,7 @@ pub mod policy;
 pub mod preempt;
 pub mod priority;
 pub mod random;
+pub mod rng;
 pub mod rr;
 pub mod transform;
 pub mod vhdl;

@@ -8,8 +8,8 @@
 //! request assert, one for the deassert; the grant wait itself is free
 //! when uncontended) — the paper's fixed, pre-synthesis-known overhead.
 
-use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId};
-use rcarb_taskgraph::program::{Op, Program};
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, VarId};
+use rcarb_taskgraph::program::{Expr, Op, Program};
 use std::collections::BTreeMap;
 
 /// Which arbiter (if any) guards each resource a task touches.
@@ -55,6 +55,57 @@ impl ResourceMap {
     }
 }
 
+/// Bounded-wait retry/backoff policy for dropped or withheld grants.
+///
+/// With a retry policy the rewrite replaces the unbounded `AwaitGrant`
+/// with a bounded [`Op::AwaitGrantFor`] and branches on the outcome: on
+/// a timeout the task deasserts, re-requests, and waits again with the
+/// window widened by `backoff` per attempt. After the final attempt the
+/// batch's accesses are *skipped* (degraded mode) rather than performed
+/// unguarded — the task keeps making forward progress past a dead
+/// arbiter, and the simulator's watchdogs report the underlying fault.
+///
+/// Cost: the two outcome branches add two cycles per uncontended batch
+/// on top of the Fig. 8 overhead (tracked in
+/// [`TransformStats::retry_guard_evals`]).
+///
+/// Retry-rewritten programs branch on the grant outcome, which places
+/// them outside the static starvation analyzer's conservative
+/// request-hold model; validate them dynamically with the simulator's
+/// fairness watchdog instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Stalled cycles tolerated on the first attempt (must be ≥ 1).
+    pub wait_cycles: u32,
+    /// Additional attempts after the first timed-out wait.
+    pub retries: u32,
+    /// Extra wait cycles added per subsequent attempt (linear backoff).
+    pub backoff: u32,
+}
+
+impl RetryPolicy {
+    /// A bounded-wait policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait_cycles` is zero (a zero-cycle wait could never
+    /// observe a grant that is one sampling cycle away).
+    pub fn new(wait_cycles: u32, retries: u32, backoff: u32) -> Self {
+        assert!(wait_cycles > 0, "retry wait must be at least one cycle");
+        Self {
+            wait_cycles,
+            retries,
+            backoff,
+        }
+    }
+
+    /// The wait window of attempt `k` (zero-based).
+    pub fn window(&self, attempt: u32) -> u32 {
+        self.wait_cycles
+            .saturating_add(attempt.saturating_mul(self.backoff))
+    }
+}
+
 /// Configuration of the rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransformConfig {
@@ -68,6 +119,9 @@ pub struct TransformConfig {
     /// the paper's Sec. 6 extension) — a preempted task then blocks until
     /// re-granted instead of corrupting the bank.
     pub await_each_access: bool,
+    /// Bounded-wait retry instead of the unbounded `AwaitGrant`; `None`
+    /// emits the paper's blocking protocol.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl TransformConfig {
@@ -77,6 +131,7 @@ impl TransformConfig {
         Self {
             max_burst: 2,
             await_each_access: false,
+            retry: None,
         }
     }
 
@@ -96,6 +151,13 @@ impl TransformConfig {
         self.await_each_access = enabled;
         self
     }
+
+    /// Emits the bounded-wait retry protocol instead of the blocking
+    /// `AwaitGrant` (see [`RetryPolicy`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
 }
 
 impl Default for TransformConfig {
@@ -111,14 +173,20 @@ pub struct TransformStats {
     pub batches: u64,
     /// Accesses now running under arbitration.
     pub guarded_accesses: u64,
+    /// Branch evaluations added by a [`RetryPolicy`] (two per batch: the
+    /// timeout check and the access guard); zero for the blocking
+    /// protocol.
+    pub retry_guard_evals: u64,
 }
 
 impl TransformStats {
     /// Extra cycles per full execution assuming immediate grants: two per
-    /// batch (Fig. 8 accounting). Loop bodies count once here; dynamic
-    /// counts come from the simulator.
+    /// batch (Fig. 8 accounting) plus the retry guard branches, which
+    /// each cost one evaluation cycle even when the first wait is
+    /// granted. Loop bodies count once here; dynamic counts come from
+    /// the simulator.
     pub fn extra_cycles_uncontended(&self) -> u64 {
-        self.batches * 2
+        self.batches * 2 + self.retry_guard_evals
     }
 }
 
@@ -136,31 +204,38 @@ pub fn transform_program(
     config: TransformConfig,
 ) -> (Program, TransformStats) {
     let mut stats = TransformStats::default();
-    let ops = rewrite_block(program.ops(), map, config, &mut stats);
+    // One fresh register holds the bounded-wait outcome; every batch may
+    // reuse it because batches are strictly sequential within a task.
+    let grant_var = VarId::new(program.num_vars());
+    let ops = rewrite_block(program.ops(), map, config, grant_var, &mut stats);
     (Program::from_ops(ops), stats)
+}
+
+/// One open request hold: the guarding arbiter, accesses used so far,
+/// and the access ops buffered until the hold is flushed (buffering is
+/// what lets the retry protocol wrap them in an outcome guard).
+struct Hold {
+    arbiter: ArbiterId,
+    used: u32,
+    accesses: Vec<Op>,
 }
 
 fn rewrite_block(
     ops: &[Op],
     map: &ResourceMap,
     config: TransformConfig,
+    grant_var: VarId,
     stats: &mut TransformStats,
 ) -> Vec<Op> {
     let mut out = Vec::with_capacity(ops.len());
-    // (arbiter currently held, accesses used in this hold)
-    let mut hold: Option<(ArbiterId, u32)> = None;
-    let release = |out: &mut Vec<Op>, hold: &mut Option<(ArbiterId, u32)>| {
-        if let Some((arb, _)) = hold.take() {
-            out.push(Op::ReqDeassert { arbiter: arb });
-        }
-    };
+    let mut hold: Option<Hold> = None;
     for op in ops {
         match op {
             Op::Repeat { times, body } => {
-                release(&mut out, &mut hold);
+                flush(&mut out, &mut hold, config, grant_var, stats);
                 out.push(Op::Repeat {
                     times: *times,
-                    body: rewrite_block(body, map, config, stats),
+                    body: rewrite_block(body, map, config, grant_var, stats),
                 });
             }
             Op::IfNonZero {
@@ -168,42 +243,117 @@ fn rewrite_block(
                 then_ops,
                 else_ops,
             } => {
-                release(&mut out, &mut hold);
+                flush(&mut out, &mut hold, config, grant_var, stats);
                 out.push(Op::IfNonZero {
                     cond: cond.clone(),
-                    then_ops: rewrite_block(then_ops, map, config, stats),
-                    else_ops: rewrite_block(else_ops, map, config, stats),
+                    then_ops: rewrite_block(then_ops, map, config, grant_var, stats),
+                    else_ops: rewrite_block(else_ops, map, config, grant_var, stats),
                 });
             }
             other => match map.arbiter_for(other) {
                 Some(arb) => {
-                    match hold {
-                        Some((held, used)) if held == arb && used < config.max_burst => {
-                            hold = Some((held, used + 1));
+                    match &mut hold {
+                        Some(h) if h.arbiter == arb && h.used < config.max_burst => {
+                            h.used += 1;
                             if config.await_each_access {
-                                out.push(Op::AwaitGrant { arbiter: arb });
+                                h.accesses.push(Op::AwaitGrant { arbiter: arb });
                             }
+                            h.accesses.push(other.clone());
                         }
                         _ => {
-                            release(&mut out, &mut hold);
-                            out.push(Op::ReqAssert { arbiter: arb });
-                            out.push(Op::AwaitGrant { arbiter: arb });
+                            flush(&mut out, &mut hold, config, grant_var, stats);
                             stats.batches += 1;
-                            hold = Some((arb, 1));
+                            hold = Some(Hold {
+                                arbiter: arb,
+                                used: 1,
+                                accesses: vec![other.clone()],
+                            });
                         }
                     }
                     stats.guarded_accesses += 1;
-                    out.push(other.clone());
                 }
                 None => {
-                    release(&mut out, &mut hold);
+                    flush(&mut out, &mut hold, config, grant_var, stats);
                     out.push(other.clone());
                 }
             },
         }
     }
-    release(&mut out, &mut hold);
+    flush(&mut out, &mut hold, config, grant_var, stats);
     out
+}
+
+/// Emits one buffered batch. Without a retry policy this reproduces the
+/// paper's Fig. 8 sequence exactly: `Req := 1; wait Grant; accesses;
+/// Req := 0`. With one, the wait is bounded and the accesses run only
+/// when some attempt was granted:
+///
+/// ```text
+/// Req := 1; g := await_for(w0);
+/// if !g { Req := 0; Req := 1; g := await_for(w0 + backoff); if !g { … } }
+/// if g { accesses }
+/// Req := 0
+/// ```
+///
+/// The trailing deassert is unconditional — deasserting an already-low
+/// request line is a no-op, and it keeps every exit path clean.
+fn flush(
+    out: &mut Vec<Op>,
+    hold: &mut Option<Hold>,
+    config: TransformConfig,
+    grant_var: VarId,
+    stats: &mut TransformStats,
+) {
+    let Some(Hold {
+        arbiter, accesses, ..
+    }) = hold.take()
+    else {
+        return;
+    };
+    out.push(Op::ReqAssert { arbiter });
+    match config.retry {
+        None => {
+            out.push(Op::AwaitGrant { arbiter });
+            out.extend(accesses);
+        }
+        Some(policy) => {
+            out.push(Op::AwaitGrantFor {
+                arbiter,
+                cycles: policy.window(0),
+                dst: grant_var,
+            });
+            // Build the timeout chain innermost-attempt-first, so the
+            // check after attempt k wraps attempts k+1…retries.
+            let mut inner: Vec<Op> = Vec::new();
+            for attempt in (1..=policy.retries).rev() {
+                let mut body = vec![
+                    Op::ReqDeassert { arbiter },
+                    Op::ReqAssert { arbiter },
+                    Op::AwaitGrantFor {
+                        arbiter,
+                        cycles: policy.window(attempt),
+                        dst: grant_var,
+                    },
+                ];
+                body.append(&mut inner);
+                inner = vec![Op::IfNonZero {
+                    cond: Expr::var(grant_var),
+                    then_ops: Vec::new(),
+                    else_ops: body,
+                }];
+            }
+            // Uncontended-path branch cost: the access guard, plus the
+            // timeout check when a retry chain exists at all.
+            stats.retry_guard_evals += 1 + u64::from(policy.retries > 0);
+            out.append(&mut inner);
+            out.push(Op::IfNonZero {
+                cond: Expr::var(grant_var),
+                then_ops: accesses,
+                else_ops: Vec::new(),
+            });
+        }
+    }
+    out.push(Op::ReqDeassert { arbiter });
 }
 
 #[cfg(test)]
@@ -239,6 +389,7 @@ mod tests {
                 Op::IfNonZero { .. } => "if",
                 Op::ReqAssert { .. } => "req",
                 Op::AwaitGrant { .. } => "wait",
+                Op::AwaitGrantFor { .. } => "waitfor",
                 Op::ReqDeassert { .. } => "rel",
             });
         });
@@ -378,6 +529,105 @@ mod tests {
         ]);
         let (out, _) = transform_program(&p, &map, TransformConfig::new());
         assert_eq!(op_kinds(&out), vec!["req", "wait", "send", "rel", "recv"]);
+    }
+
+    #[test]
+    fn retry_rewrite_guards_accesses_with_bounded_wait() {
+        let p = Program::build(|p| {
+            let c = p.let_(Expr::lit(13));
+            p.mem_write(seg(0), Expr::lit(1), Expr::var(c));
+            p.mem_write(seg(0), Expr::lit(2), Expr::var(c));
+        });
+        let policy = RetryPolicy::new(8, 2, 4);
+        let (out, stats) = transform_program(
+            &p,
+            &guarded_map(),
+            TransformConfig::new().with_retry(policy),
+        );
+        // Pre-order walk: set; req; waitfor(8); retry check whose else
+        // re-requests with waitfor(12) and nests a second retry with
+        // waitfor(16); the access guard holding both writes; deassert.
+        assert_eq!(
+            op_kinds(&out),
+            vec![
+                "set", "req", "waitfor", // attempt 0
+                "if", "rel", "req", "waitfor", // attempt 1 (else branch)
+                "if", "rel", "req", "waitfor", // attempt 2 (nested else)
+                "if", "write", "write", // access guard
+                "rel",
+            ]
+        );
+        let mut windows = Vec::new();
+        out.visit(&mut |op| {
+            if let Op::AwaitGrantFor { cycles, .. } = op {
+                windows.push(*cycles);
+            }
+        });
+        assert_eq!(windows, vec![8, 12, 16]);
+        // The grant register is a fresh var beyond the original program's.
+        assert_eq!(out.num_vars(), p.num_vars() + 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.retry_guard_evals, 2);
+        assert_eq!(stats.extra_cycles_uncontended(), 4);
+    }
+
+    #[test]
+    fn retry_without_retries_still_guards_and_degrades() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(0));
+        });
+        let (out, stats) = transform_program(
+            &p,
+            &guarded_map(),
+            TransformConfig::new().with_retry(RetryPolicy::new(5, 0, 0)),
+        );
+        // No timeout chain, just the bounded wait and the access guard.
+        assert_eq!(op_kinds(&out), vec!["req", "waitfor", "if", "write", "rel"]);
+        assert_eq!(stats.retry_guard_evals, 1);
+        assert_eq!(stats.extra_cycles_uncontended(), 3);
+        // Degraded mode: the write sits in the guard's then-branch, so a
+        // timed-out batch skips it instead of accessing unguarded.
+        let Op::IfNonZero {
+            then_ops, else_ops, ..
+        } = &out.ops()[2]
+        else {
+            panic!("expected the access guard");
+        };
+        assert_eq!(then_ops.len(), 1);
+        assert!(else_ops.is_empty());
+    }
+
+    #[test]
+    fn retry_respects_burst_and_hold_breaks() {
+        let p = Program::build(|p| {
+            for i in 0..3 {
+                p.mem_write(seg(0), Expr::lit(i), Expr::lit(0));
+            }
+        });
+        let (out, stats) = transform_program(
+            &p,
+            &guarded_map(),
+            TransformConfig::new()
+                .with_max_burst(2)
+                .with_retry(RetryPolicy::new(4, 1, 0)),
+        );
+        assert_eq!(
+            op_kinds(&out),
+            vec![
+                "req", "waitfor", "if", "rel", "req", "waitfor", // batch 1 attempts
+                "if", "write", "write", "rel", // batch 1 guard
+                "req", "waitfor", "if", "rel", "req", "waitfor", // batch 2 attempts
+                "if", "write", "rel", // batch 2 guard
+            ]
+        );
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.retry_guard_evals, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_wait_retry_is_rejected() {
+        let _ = RetryPolicy::new(0, 3, 1);
     }
 
     #[test]

@@ -15,11 +15,14 @@ use crate::taskgraph::{build_fft_taskgraph, FftNames};
 use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig};
 use rcarb_board::board::{Board, PeId};
 use rcarb_board::presets;
+use rcarb_core::Error;
 use rcarb_exec::PerfReport;
 use rcarb_partition::flow::{run_flow, FlowConfig, FlowError, FlowResult};
 use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::SystemBuilder;
+use rcarb_sim::monitor::Violation;
 use rcarb_sim::scheduler::KernelStats;
+use rcarb_sim::{FaultPlan, FaultReport};
 use rcarb_taskgraph::graph::TaskGraph;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -237,11 +240,12 @@ fn simulate_block_impl(
         let started = Instant::now();
         let mut sys = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
             .with_config(config)
-            .build(&flow.board);
+            .try_build(&flow.board)
+            .unwrap();
         let sub = &stage.plan.graph;
         for seg in sub.segments() {
             if let Some(data) = memory.get(seg.name()) {
-                sys.load_segment(seg.id(), data);
+                sys.try_load_segment(seg.id(), data).unwrap();
             }
         }
         let report = sys.run(1_000_000);
@@ -256,7 +260,8 @@ fn simulate_block_impl(
         for seg in sub.segments() {
             memory.insert(
                 seg.name().to_owned(),
-                sys.read_segment(seg.id(), seg.words() as usize),
+                sys.try_read_segment(seg.id(), seg.words() as usize)
+                    .unwrap(),
             );
         }
         if let Some(perf) = perf.as_deref_mut() {
@@ -279,6 +284,121 @@ fn simulate_block_impl(
         stage_kernel,
         output,
     }
+}
+
+/// The outcome of a fault-mode block simulation: the block result, the
+/// armed partition's fault lifecycle, and the violations it observed
+/// (a faulted partition may legitimately trip properties a fault-free
+/// one must not).
+#[derive(Debug, Clone)]
+pub struct FaultedBlockSim {
+    /// The per-partition cycles/kernel accounting and combined output.
+    pub sim: BlockSim,
+    /// Injection/detection/recovery lifecycle of the armed plan.
+    pub faults: FaultReport,
+    /// Violations observed on the armed partition.
+    pub violations: Vec<Violation>,
+    /// True when every partition (the armed one included) ran all its
+    /// tasks to completion.
+    pub completed: bool,
+}
+
+/// [`simulate_block_with`] with a seeded [`FaultPlan`] armed on the
+/// temporal partition at `stage_index` — the fault-mode entry point for
+/// the FFT flow. The other partitions run fault-free and must stay
+/// clean; the armed partition is allowed to violate properties (that is
+/// the point) and its violations and [`FaultReport`] are returned for
+/// inspection instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`Error::FaultPlan`] if `stage_index` is out of range or the
+/// plan references tasks, arbiters, ports, banks or channels the armed
+/// partition's design does not have, and any build/load error the
+/// underlying `try_*` APIs surface.
+pub fn simulate_block_faulted(
+    flow: &FftFlow,
+    tile: [[i64; 4]; 4],
+    config: SimConfig,
+    stage_index: usize,
+    plan: &FaultPlan,
+) -> Result<FaultedBlockSim, Error> {
+    if stage_index >= flow.result.stages.len() {
+        return Err(Error::FaultPlan {
+            detail: format!(
+                "stage index {stage_index} out of range: the flow has {} temporal partition(s)",
+                flow.result.stages.len()
+            ),
+        });
+    }
+    let mut memory: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for (i, row) in tile.iter().enumerate() {
+        memory.insert(
+            format!("MI{}", i + 1),
+            row.iter().map(|&v| v as u64).collect(),
+        );
+    }
+    let mut stage_cycles = Vec::new();
+    let mut stage_kernel = Vec::new();
+    let mut faults = FaultReport::default();
+    let mut violations = Vec::new();
+    let mut completed = true;
+    for stage in &flow.result.stages {
+        let armed = stage.index == stage_index;
+        let mut builder = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
+            .with_config(config);
+        if armed {
+            builder = builder.with_faults(plan.clone());
+        }
+        let mut sys = builder.try_build(&flow.board)?;
+        let sub = &stage.plan.graph;
+        for seg in sub.segments() {
+            if let Some(data) = memory.get(seg.name()) {
+                sys.try_load_segment(seg.id(), data)?;
+            }
+        }
+        let report = sys.run(1_000_000);
+        if armed {
+            faults = sys.fault_report();
+            violations = report.violations.clone();
+        } else {
+            assert!(
+                report.clean(),
+                "fault-free partition #{} violated: {:?}",
+                stage.index,
+                report.violations
+            );
+        }
+        completed &= report.completed;
+        stage_cycles.push(report.cycles);
+        stage_kernel.push(sys.kernel_stats());
+        for seg in sub.segments() {
+            memory.insert(
+                seg.name().to_owned(),
+                sys.try_read_segment(seg.id(), seg.words() as usize)?,
+            );
+        }
+    }
+    let mut output = [[Complex::default(); 4]; 4];
+    for j in 0..4 {
+        let mo = &memory[&format!("MO{}", j + 1)];
+        let moi = &memory[&format!("MOI{}", j + 1)];
+        for k in 0..4 {
+            let gr = Complex::new(mo[2 * k] as i64, mo[2 * k + 1] as i64);
+            let gi = Complex::new(moi[2 * k] as i64, moi[2 * k + 1] as i64);
+            output[k][j] = gr.add(gi.mul_i());
+        }
+    }
+    Ok(FaultedBlockSim {
+        sim: BlockSim {
+            stage_cycles,
+            stage_kernel,
+            output,
+        },
+        faults,
+        violations,
+        completed,
+    })
 }
 
 /// Simulates many independent tiles concurrently on the workspace thread
@@ -353,6 +473,25 @@ mod tests {
             .map(|&t| stage0.plan.graph.task(t).name().to_owned())
             .collect();
         assert_eq!(names, vec!["F1", "F3"]);
+    }
+
+    #[test]
+    fn fault_mode_entry_point_is_transparent_when_empty() {
+        let flow = run_fft_flow().unwrap();
+        let tile: [[i64; 4]; 4] =
+            std::array::from_fn(|r| std::array::from_fn(|c| (r * 4 + c + 1) as i64));
+        let clean = simulate_block(&flow, tile);
+        // An empty seeded plan armed on any partition changes nothing.
+        let armed = simulate_block_faulted(&flow, tile, SimConfig::new(), 0, &FaultPlan::seeded(9))
+            .expect("empty plan builds");
+        assert!(armed.completed);
+        assert_eq!(armed.faults.injected, 0);
+        assert!(armed.violations.is_empty());
+        assert_eq!(armed.sim.output, clean.output);
+        assert_eq!(armed.sim.stage_cycles, clean.stage_cycles);
+        // An out-of-range partition is a structured error, not a panic.
+        let err = simulate_block_faulted(&flow, tile, SimConfig::new(), 9, &FaultPlan::seeded(9));
+        assert!(matches!(err, Err(Error::FaultPlan { .. })));
     }
 
     #[test]

@@ -432,7 +432,8 @@ mod tests {
                 &stage.binding,
                 &stage.merges,
             )
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
             let report = sys.run(100_000);
             assert!(
                 report.clean(),

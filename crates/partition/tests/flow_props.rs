@@ -82,7 +82,7 @@ proptest! {
         for stage in &result.stages {
             tasks_seen += stage.original_tasks.len();
             let mut sys = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
-                .build(&board);
+                .try_build(&board).unwrap();
             let report = sys.run(1_000_000);
             prop_assert!(report.clean(), "stage {}: {:?}", stage.index, report.violations);
             // Interconnect accounting never overflows a PE's total

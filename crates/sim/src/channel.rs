@@ -127,6 +127,20 @@ impl RouteState {
         }
     }
 
+    /// Seeds `channel`'s register with `value` without counting a
+    /// transfer — used when a re-routed channel inherits the latched
+    /// word of the route it migrated off.
+    pub fn preload(&mut self, channel: ChannelId, value: u64) {
+        match self.placement {
+            RegisterPlacement::Receiver => {
+                if let Some(slot) = self.logicals.iter().position(|&c| c == channel) {
+                    self.receiver_regs[slot] = Some(value);
+                }
+            }
+            RegisterPlacement::Source => self.source_reg = Some((channel, value)),
+        }
+    }
+
     /// The value a reader of `channel` currently sees, if any.
     pub fn read(&self, channel: ChannelId) -> Option<u64> {
         match self.placement {

@@ -61,6 +61,17 @@ pub enum Instr {
         /// Arbiter.
         arbiter: ArbiterId,
     },
+    /// Block until granted or until `cycles` stalled cycles have
+    /// elapsed; `dst` records the outcome (1 = granted, 0 = timeout).
+    /// Free on the granted cycle and on the timeout edge.
+    AwaitGrantFor {
+        /// Arbiter.
+        arbiter: ArbiterId,
+        /// Maximum stalled cycles before giving up.
+        cycles: u32,
+        /// Outcome variable.
+        dst: VarId,
+    },
     /// Deassert the request line (1 cycle).
     ReqDeassert {
         /// Arbiter.
@@ -173,6 +184,15 @@ impl Compiler {
                 Op::AwaitGrant { arbiter } => {
                     self.instrs.push(Instr::AwaitGrant { arbiter: *arbiter })
                 }
+                Op::AwaitGrantFor {
+                    arbiter,
+                    cycles,
+                    dst,
+                } => self.instrs.push(Instr::AwaitGrantFor {
+                    arbiter: *arbiter,
+                    cycles: *cycles,
+                    dst: *dst,
+                }),
                 Op::ReqDeassert { arbiter } => {
                     self.instrs.push(Instr::ReqDeassert { arbiter: *arbiter })
                 }

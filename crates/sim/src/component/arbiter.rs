@@ -85,6 +85,14 @@ impl ArbiterComponent {
     /// word.
     pub fn sample_and_step(&mut self, tasks: &[TaskComponent]) -> u64 {
         let word = self.compute_word(tasks);
+        self.step_with_word(word)
+    }
+
+    /// Advances one cycle on an already-assembled (possibly
+    /// fault-perturbed) request word. What the arbiter *sampled* is what
+    /// steadiness must be judged against, so the perturbed word is what
+    /// gets remembered.
+    pub fn step_with_word(&mut self, word: u64) -> u64 {
         let grant = self.sim.step_word(word);
         self.last_word = word;
         self.last_grant = grant;

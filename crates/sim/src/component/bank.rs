@@ -57,6 +57,17 @@ impl BankComponent {
         !self.clients.is_empty()
     }
 
+    /// The registered protocol clients (used when a quarantine migrates
+    /// a faulted bank's role onto a spare).
+    pub fn clients(&self) -> &[TaskId] {
+        &self.clients
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> u32 {
+        self.model.capacity()
+    }
+
     /// One stored word.
     pub fn word(&self, addr: u32) -> u64 {
         self.model.word(addr)

@@ -36,6 +36,12 @@ impl RouteComponent {
         self.state.read(channel)
     }
 
+    /// Seeds `channel`'s register without counting a transfer (re-route
+    /// recovery hands the old route's latched word to the new route).
+    pub fn preload(&mut self, channel: ChannelId, value: u64) {
+        self.state.preload(channel, value);
+    }
+
     /// Applies one cycle's sends.
     pub fn resolve(&mut self, sends: &[RouteSend]) -> RouteOutcome {
         self.state.cycle(sends)

@@ -14,6 +14,7 @@ use super::route::RouteComponent;
 use super::{Component, Wake};
 use crate::channel::RouteSend;
 use crate::compile::{FlatProgram, Instr};
+use crate::fault::FaultController;
 use crate::memory::BankAccess;
 use crate::monitor::Violation;
 use rcarb_board::memory::BankId;
@@ -71,10 +72,31 @@ pub struct ExecCtx<'a> {
     pub monitor: &'a mut MonitorComponent,
     /// This cycle's collected bank accesses.
     pub bank_accesses: &'a mut BTreeMap<BankId, Vec<BankAccess>>,
-    /// Reads awaiting their bank's resolution: `(bank, task, dst var)`.
-    pub pending_reads: &'a mut Vec<(BankId, TaskId, VarId)>,
+    /// Reads awaiting their bank's resolution: `(bank, task, dst var,
+    /// corruption mask)`. The mask is XOR'd into the delivered word and
+    /// is zero on the fault-free path.
+    pub pending_reads: &'a mut Vec<(BankId, TaskId, VarId, u64)>,
     /// This cycle's collected route sends, per route index.
     pub route_sends: &'a mut BTreeMap<usize, Vec<RouteSend>>,
+    /// The compiled fault plan, when this run injects faults.
+    pub(crate) faults: &'a mut Option<FaultController>,
+    /// Replay reads whose error detection failed instead of consuming
+    /// the corrupted word ([`RecoveryPolicy::retry_reads`]).
+    ///
+    /// [`RecoveryPolicy::retry_reads`]: crate::fault::RecoveryPolicy::retry_reads
+    pub(crate) retry_reads: bool,
+}
+
+/// What a read of a faulted bank does this cycle.
+enum ReadFault {
+    /// Error detection passed: deliver the word untouched.
+    None,
+    /// Error detection failed and replay is off: deliver the word with
+    /// this XOR corruption.
+    Corrupt(u64),
+    /// Error detection failed and replay is on: discard the word and
+    /// re-issue the read next cycle.
+    Retry,
 }
 
 impl ExecCtx<'_> {
@@ -99,6 +121,36 @@ impl ExecCtx<'_> {
             }
         }
     }
+
+    /// Whether a live hang fault freezes `task` this cycle.
+    fn task_hung(&mut self, task: TaskId) -> bool {
+        let cycle = self.cycle;
+        self.faults
+            .as_mut()
+            .is_some_and(|fc| fc.task_hung(task, cycle))
+    }
+
+    /// Consults the fault plan for a read of `bank` by `task` this
+    /// cycle; a failed parity check is recorded as a
+    /// [`Violation::BankReadFault`] at the injection cycle.
+    fn bank_read_fault(&mut self, bank: BankId, task: TaskId) -> ReadFault {
+        let cycle = self.cycle;
+        let Some(fc) = self.faults.as_mut() else {
+            return ReadFault::None;
+        };
+        match fc.read_fault(bank, cycle) {
+            Some(mask) => {
+                self.monitor
+                    .push(Violation::BankReadFault { cycle, bank, task });
+                if self.retry_reads {
+                    ReadFault::Retry
+                } else {
+                    ReadFault::Corrupt(mask)
+                }
+            }
+            None => ReadFault::None,
+        }
+    }
 }
 
 /// One task controller: program, datapath state and request lines.
@@ -112,6 +164,11 @@ pub struct TaskComponent {
     compute_left: u32,
     status: TaskStatus,
     block: Block,
+    /// Remaining cycles of an armed bounded grant wait
+    /// (`AwaitGrantFor`); meaningful only while `wait_armed` is set.
+    wait_left: u64,
+    /// Whether a bounded grant wait is in flight.
+    wait_armed: bool,
     req_lines: BTreeMap<ArbiterId, bool>,
     started_at: Option<u64>,
     finished_at: Option<u64>,
@@ -133,6 +190,8 @@ impl TaskComponent {
             compute_left: 0,
             status: TaskStatus::NotStarted,
             block: Block::Ready,
+            wait_left: 0,
+            wait_armed: false,
             req_lines: BTreeMap::new(),
             started_at: None,
             finished_at: None,
@@ -221,6 +280,14 @@ impl TaskComponent {
     /// so a program whose last costed instruction issues this cycle
     /// also *finishes* this cycle.
     pub fn step_cycle(&mut self, ctx: &mut ExecCtx<'_>) {
+        if self.status == TaskStatus::Running && ctx.task_hung(self.id) {
+            // A hung controller issues nothing: the freeze is pure stall
+            // and the task re-evaluates every cycle until the hang
+            // window closes, then resumes exactly where it stopped.
+            self.stall_cycles += 1;
+            self.block = Block::Ready;
+            return;
+        }
         self.block = Block::Ready;
         self.exec(ctx);
         // A task whose program counter ran off the end this cycle is
@@ -276,9 +343,42 @@ impl TaskComponent {
                         // Free fall-through: keep executing this cycle.
                     } else {
                         self.stall_cycles += 1;
-                        ctx.monitor.tick_waiting(task_id, arbiter);
+                        ctx.monitor.tick_waiting(task_id, arbiter, ctx.cycle);
                         self.block = Block::AwaitingGrant(arbiter);
                         return;
+                    }
+                }
+                Instr::AwaitGrantFor {
+                    arbiter,
+                    cycles,
+                    dst,
+                } => {
+                    if ctx.task_granted(arbiter, task_id) {
+                        ctx.monitor.granted(task_id, arbiter);
+                        self.vars[dst.index()] = 1;
+                        self.wait_armed = false;
+                        self.pc += 1;
+                        // Free fall-through, exactly like AwaitGrant.
+                    } else {
+                        if !self.wait_armed {
+                            self.wait_armed = true;
+                            self.wait_left = u64::from(cycles);
+                        }
+                        if self.wait_left == 0 {
+                            // Timed out. The outcome register already
+                            // holds 0, so the task continues for free on
+                            // the timeout edge (mirroring the granted
+                            // fall-through).
+                            self.vars[dst.index()] = 0;
+                            self.wait_armed = false;
+                            self.pc += 1;
+                        } else {
+                            self.wait_left -= 1;
+                            self.stall_cycles += 1;
+                            ctx.monitor.tick_waiting(task_id, arbiter, ctx.cycle);
+                            self.block = Block::AwaitingGrant(arbiter);
+                            return;
+                        }
                     }
                 }
                 Instr::Compute { cycles } => {
@@ -318,6 +418,9 @@ impl TaskComponent {
                     // Placement validated in `try_build`; a missing one
                     // degrades to a read delivering nothing.
                     if let Some(place) = ctx.binding.placement(segment) {
+                        let fault = ctx.bank_read_fault(place.bank, task_id);
+                        // The access drives the bank's lines either way,
+                        // so conflicts are detected even on a replay.
                         ctx.bank_accesses
                             .entry(place.bank)
                             .or_default()
@@ -326,7 +429,23 @@ impl TaskComponent {
                                 addr: place.offset + a,
                                 write: None,
                             });
-                        ctx.pending_reads.push((place.bank, task_id, dst));
+                        match fault {
+                            ReadFault::None => {
+                                ctx.pending_reads.push((place.bank, task_id, dst, 0));
+                            }
+                            ReadFault::Corrupt(mask) => {
+                                ctx.pending_reads.push((place.bank, task_id, dst, mask));
+                            }
+                            ReadFault::Retry => {
+                                // Discard the word and re-issue next
+                                // cycle; the replay spin counts as stall
+                                // so the no-progress watchdog can catch
+                                // a bank that never recovers.
+                                self.stall_cycles += 1;
+                                self.block = Block::Ready;
+                                return;
+                            }
+                        }
                     }
                     self.pc += 1;
                     self.busy_cycles += 1;
@@ -438,6 +557,10 @@ impl Component for TaskComponent {
                         Wake::Active
                     }
                 }
+                // A bounded wait also times out on its own, so it is a
+                // timer as well as a grant listener: the skip horizon
+                // must stop at the timeout edge.
+                Block::AwaitingGrant(_) if self.wait_armed => Wake::Timer(now + self.wait_left),
                 // Woken by a grant edge (arbiter steadiness gates the
                 // skip) or by route data (the engine checks the route
                 // register at refresh time).
@@ -461,7 +584,16 @@ impl Component for TaskComponent {
             }
             // Starvation ticks for grant waits are bulk-applied by the
             // engine, which owns the monitor.
-            Block::AwaitingGrant(_) | Block::AwaitingData(_) => self.stall_cycles += cycles,
+            Block::AwaitingGrant(_) | Block::AwaitingData(_) => {
+                self.stall_cycles += cycles;
+                if self.wait_armed {
+                    debug_assert!(
+                        cycles <= self.wait_left,
+                        "skip must stop at the bounded wait's timeout edge"
+                    );
+                    self.wait_left -= cycles;
+                }
+            }
             Block::Ready => debug_assert!(false, "a ready task is never skippable"),
         }
     }

@@ -2,7 +2,6 @@
 //! waveform recording.
 
 use super::arbiter::ArbiterComponent;
-use super::task::TaskComponent;
 use super::{Component, Wake};
 use crate::vcd::{SignalId, VcdWriter};
 use rcarb_taskgraph::id::ArbiterId;
@@ -42,24 +41,23 @@ impl TracerComponent {
         Self { vcd, signals }
     }
 
-    /// Samples every arbiter's request and grant lines for `cycle`. A
-    /// port's request is the OR of its tasks' lines, exactly as the
-    /// overlaid hardware wires them.
+    /// Samples every arbiter's request and grant lines for `cycle`,
+    /// from the per-arbiter words the engine assembled in its sampling
+    /// phase — the words as seen *on the wire*, i.e. after any injected
+    /// line faults, which is exactly what a logic analyzer would record.
     pub fn sample_cycle(
         &mut self,
         cycle: u64,
         arbiters: &[ArbiterComponent],
-        tasks: &[TaskComponent],
+        request_words: &BTreeMap<ArbiterId, u64>,
         grants: &BTreeMap<ArbiterId, u64>,
     ) {
         for (ai, a) in arbiters.iter().enumerate() {
             let id = a.id();
+            let request_word = request_words.get(&id).copied().unwrap_or(0);
             let grant_word = grants.get(&id).copied().unwrap_or(0);
             for (p, &(req_sig, grant_sig)) in self.signals[ai].iter().enumerate() {
-                let req = tasks
-                    .iter()
-                    .any(|t| a.port_of(t.id()) == Some(p) && t.requesting(id));
-                self.vcd.sample(cycle, req_sig, req);
+                self.vcd.sample(cycle, req_sig, request_word >> p & 1 != 0);
                 self.vcd.sample(cycle, grant_sig, grant_word >> p & 1 != 0);
             }
         }

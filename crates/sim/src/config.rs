@@ -19,8 +19,80 @@
 //! [`SystemBuilder`]: crate::engine::SystemBuilder
 
 use crate::channel::RegisterPlacement;
+use crate::fault::RecoveryPolicy;
 use rcarb_core::line::{MemoryLinePlan, SharedLineKind};
 use rcarb_core::policy::PolicyKind;
+
+/// Runtime watchdog thresholds. Each watchdog is off at `u64::MAX`
+/// (respectively `None`), so the default configuration monitors
+/// nothing and changes no run's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Fire a [`Violation::GrantTimeout`] the first time a task's
+    /// grant wait exceeds this many cycles (once per wait episode).
+    ///
+    /// [`Violation::GrantTimeout`]: crate::monitor::Violation::GrantTimeout
+    pub grant_timeout: u64,
+    /// Halt the run with a [`Violation::NoProgress`] when no task has
+    /// made forward progress (busy cycle or completion) for this many
+    /// consecutive cycles — the deadlock/livelock detector.
+    ///
+    /// [`Violation::NoProgress`]: crate::monitor::Violation::NoProgress
+    pub progress_bound: u64,
+    /// Cross-check the paper's fairness bound at runtime: with burst
+    /// length `M`, no task behind an `N`-port arbiter should ever wait
+    /// more than `(N - 1) * (M + 2)` cycles plus protocol slack. A
+    /// longer wait fires a [`Violation::FairnessBreach`].
+    ///
+    /// [`Violation::FairnessBreach`]: crate::monitor::Violation::FairnessBreach
+    pub fairness_m: Option<u32>,
+}
+
+impl WatchdogConfig {
+    /// All watchdogs off.
+    pub fn none() -> Self {
+        Self {
+            grant_timeout: u64::MAX,
+            progress_bound: u64::MAX,
+            fairness_m: None,
+        }
+    }
+
+    /// Fires a violation when a grant wait exceeds `cycles`.
+    #[must_use]
+    pub fn with_grant_timeout(mut self, cycles: u64) -> Self {
+        self.grant_timeout = cycles;
+        self
+    }
+
+    /// Halts the run after `cycles` consecutive cycles without task
+    /// progress.
+    #[must_use]
+    pub fn with_progress_bound(mut self, cycles: u64) -> Self {
+        self.progress_bound = cycles;
+        self
+    }
+
+    /// Cross-checks the fairness bound for burst length `m` at runtime.
+    #[must_use]
+    pub fn with_fairness_m(mut self, m: u32) -> Self {
+        self.fairness_m = Some(m);
+        self
+    }
+
+    /// True when every watchdog is disabled.
+    pub fn is_off(&self) -> bool {
+        self.grant_timeout == u64::MAX
+            && self.progress_bound == u64::MAX
+            && self.fairness_m.is_none()
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// Every knob of a simulated system, with the paper's defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +116,11 @@ pub struct SimConfig {
     /// event kernel's cycle-skipping — flip this when diagnosing a
     /// suspected kernel divergence, never for performance.
     pub legacy_kernel: bool,
+    /// Runtime watchdog thresholds (all off by default).
+    pub watchdog: WatchdogConfig,
+    /// What the runtime may do about detected faults (nothing by
+    /// default).
+    pub recovery: RecoveryPolicy,
 }
 
 impl SimConfig {
@@ -59,6 +136,8 @@ impl SimConfig {
             select_line: MemoryLinePlan::sram_write_high().write_select,
             starvation_bound: u64::MAX,
             legacy_kernel: false,
+            watchdog: WatchdogConfig::none(),
+            recovery: RecoveryPolicy::none(),
         }
     }
 
@@ -111,6 +190,20 @@ impl SimConfig {
         self
     }
 
+    /// Sets the runtime watchdog thresholds.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the fault recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Selects the legacy cycle-scanning kernel (the event-driven
     /// kernel's differential oracle). Reports are provably identical
     /// between the two — see `tests/kernel_equivalence.rs` — so this is
@@ -142,6 +235,22 @@ mod tests {
         assert_eq!(c.starvation_bound, u64::MAX);
         // The event-driven kernel is the default.
         assert!(!c.legacy_kernel);
+        // No watchdogs, no recovery: faults change nothing unless asked.
+        assert!(c.watchdog.is_off());
+        assert_eq!(c.recovery, RecoveryPolicy::none());
+    }
+
+    #[test]
+    fn watchdog_builders_compose() {
+        let w = WatchdogConfig::none()
+            .with_grant_timeout(32)
+            .with_progress_bound(1000)
+            .with_fairness_m(2);
+        assert_eq!(w.grant_timeout, 32);
+        assert_eq!(w.progress_bound, 1000);
+        assert_eq!(w.fairness_m, Some(2));
+        assert!(!w.is_off());
+        assert!(WatchdogConfig::default().is_off());
     }
 
     #[test]

@@ -40,7 +40,10 @@ use crate::component::{
     ArbiterComponent, BankComponent, Component, ExecCtx, MonitorComponent, RouteComponent,
     TaskComponent, TaskStatus, TracerComponent, Wake,
 };
-use crate::config::SimConfig;
+use crate::config::{SimConfig, WatchdogConfig};
+use crate::fault::{
+    self, FaultController, FaultKind, FaultPlan, FaultReport, FaultTarget, RecoveryPolicy,
+};
 use crate::memory::{BankAccess, BankModel, BankOutcome};
 use crate::monitor::Violation;
 use crate::scheduler::{CompId, KernelStats, Scheduler};
@@ -52,7 +55,7 @@ use rcarb_core::memmap::MemoryBinding;
 use rcarb_core::policy::PolicyKind;
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds a [`System`] from a (possibly arbitrated) design.
 #[derive(Debug)]
@@ -62,6 +65,7 @@ pub struct SystemBuilder {
     merges: ChannelMergePlan,
     arbiters: Vec<rcarb_core::insertion::ArbiterInstance>,
     config: SimConfig,
+    faults: FaultPlan,
 }
 
 impl SystemBuilder {
@@ -78,6 +82,7 @@ impl SystemBuilder {
             merges: merges.clone(),
             arbiters: plan.arbiters.clone(),
             config: SimConfig::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -94,6 +99,7 @@ impl SystemBuilder {
             merges: merges.clone(),
             arbiters: Vec::new(),
             config: SimConfig::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -110,84 +116,17 @@ impl SystemBuilder {
         &self.config
     }
 
-    /// Records every arbiter's per-port Request/Grant lines into a VCD
-    /// waveform, retrievable after the run with [`System::vcd`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_trace` via `with_config`"
-    )]
-    pub fn with_trace(mut self, enabled: bool) -> Self {
-        self.config.trace = enabled;
-        self
-    }
-
-    /// Selects the arbitration policy simulated behaviourally.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_policy` via `with_config`"
-    )]
-    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
-        self.config.policy = policy;
-        self
-    }
-
-    /// Enables gate-level co-simulation of every round-robin arbiter.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_cosim` via `with_config`"
-    )]
-    pub fn with_cosim(mut self, enabled: bool) -> Self {
-        self.config.cosim = enabled;
-        self
-    }
-
-    /// Selects where shared-channel registers sit (Table 1 ablation).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_register_placement` via `with_config`"
-    )]
-    pub fn with_register_placement(mut self, placement: RegisterPlacement) -> Self {
-        self.config.register_placement = placement;
-        self
-    }
-
-    /// Selects the discipline of every shared bank's write-select line
-    /// (the paper's Fig. 4 ablation).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_select_line` via `with_config`"
-    )]
-    pub fn with_select_line(mut self, kind: rcarb_core::line::SharedLineKind) -> Self {
-        self.config.select_line = kind;
-        self
-    }
-
-    /// Flags any wait longer than `bound` cycles as starvation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SimConfig::with_starvation_bound` via `with_config`"
-    )]
-    pub fn with_starvation_bound(mut self, bound: u64) -> Self {
-        self.config.starvation_bound = bound;
+    /// Injects a deterministic fault plan into the run. The plan is
+    /// validated against the built system in
+    /// [`try_build`](Self::try_build); an empty plan leaves the run
+    /// byte-identical to an unfaulted one.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
     /// Builds the system against `board` (bank shapes come from it).
-    ///
-    /// # Panics
-    ///
-    /// Panics on any malformed-plan condition [`try_build`](Self::try_build)
-    /// reports: an unbound accessed segment, a placement into a bank the
-    /// board does not have, or a program referencing an arbiter or
-    /// channel the plan never declared.
-    pub fn build(self, board: &Board) -> System {
-        match self.try_build(board) {
-            Ok(sys) => sys,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// The fallible form of [`build`](Self::build).
     ///
     /// # Errors
     ///
@@ -198,7 +137,10 @@ impl SystemBuilder {
     /// - [`rcarb_core::Error::UnknownArbiter`] if a program's protocol
     ///   ops reference an arbiter the plan never instantiated;
     /// - [`rcarb_core::Error::UnknownChannel`] if a program sends or
-    ///   receives on a channel the taskgraph does not declare.
+    ///   receives on a channel the taskgraph does not declare;
+    /// - [`rcarb_core::Error::FaultPlan`] if an injected fault plan
+    ///   references a task, arbiter port, bank or routed channel the
+    ///   built system does not have, or carries a malformed error rate.
     pub fn try_build(self, board: &Board) -> Result<System, rcarb_core::Error> {
         let tasks: Vec<TaskComponent> = self
             .graph
@@ -273,6 +215,7 @@ impl SystemBuilder {
             for instr in t.program().instrs() {
                 match *instr {
                     Instr::AwaitGrant { arbiter }
+                    | Instr::AwaitGrantFor { arbiter, .. }
                     | Instr::ReqAssert { arbiter }
                     | Instr::ReqDeassert { arbiter } => {
                         let known = self
@@ -359,6 +302,86 @@ impl SystemBuilder {
             }
         }
         let tracer = self.config.trace.then(|| TracerComponent::new(&arbiters));
+        // Compile the fault plan against the built system: every
+        // referenced resource must exist, so run-path injection lookups
+        // cannot dangle.
+        let faults = if self.faults.is_empty() {
+            None
+        } else {
+            let fc = FaultController::new(&self.faults, |c| route_of_channel.get(&c).copied());
+            let known_arbiter = |arbiter: ArbiterId| {
+                self.arbiters
+                    .get(arbiter.index())
+                    .is_some_and(|inst| inst.id == arbiter)
+            };
+            for (kind, window) in fc.planned() {
+                let detail = match *kind {
+                    FaultKind::StuckRequest { task, arbiter, .. } => {
+                        if task.index() >= tasks.len() {
+                            Some(format!("unknown task {task}"))
+                        } else if !known_arbiter(arbiter) {
+                            Some(format!("unknown arbiter {arbiter}"))
+                        } else if arbiters[arbiter.index()].port_of(task).is_none() {
+                            Some(format!("task {task} drives no port of {arbiter}"))
+                        } else {
+                            None
+                        }
+                    }
+                    FaultKind::StuckGrant { arbiter, port, .. }
+                    | FaultKind::GrantGlitch { arbiter, port } => {
+                        if !known_arbiter(arbiter) {
+                            Some(format!("unknown arbiter {arbiter}"))
+                        } else if port >= arbiters[arbiter.index()].num_ports() {
+                            Some(format!("{arbiter} has no port {port}"))
+                        } else {
+                            None
+                        }
+                    }
+                    FaultKind::ChannelBitFlip { channel } => (!route_of_channel
+                        .contains_key(&channel))
+                    .then(|| format!("channel {channel} is not routed")),
+                    FaultKind::BankReadError { bank, per_mille } => {
+                        if !banks.contains_key(&bank) {
+                            Some(format!("bank {bank} is not modelled"))
+                        } else if per_mille > 1000 {
+                            Some(format!("error rate {per_mille} exceeds 1000 per mille"))
+                        } else {
+                            None
+                        }
+                    }
+                    FaultKind::TaskHang { task } => {
+                        (task.index() >= tasks.len()).then(|| format!("unknown task {task}"))
+                    }
+                };
+                if let Some(detail) = detail {
+                    return Err(rcarb_core::Error::FaultPlan {
+                        detail: format!("{}: {detail}", fault::describe(kind, window)),
+                    });
+                }
+            }
+            Some(fc)
+        };
+        let mut monitor = MonitorComponent::with_watchdog(self.config.watchdog);
+        if let Some(m) = self.config.watchdog.fairness_m {
+            // The paper's bound: behind an N-port arbiter with burst
+            // length M, a conforming competitor holds the resource for
+            // at most M + 2 cycles, so no wait exceeds (N-1)*(M+2) plus
+            // the two protocol registration cycles of the waiter's own
+            // request.
+            for a in &arbiters {
+                let n = a.num_ports() as u64;
+                monitor.set_fairness_bound(a.id(), n.saturating_sub(1) * (u64::from(m) + 2) + 2);
+            }
+        }
+        // Board banks not used by the binding are spares a quarantine
+        // may migrate a faulted bank's role onto.
+        let spare_banks: Vec<(BankId, u32)> = board
+            .banks()
+            .iter()
+            .enumerate()
+            .map(|(i, mb)| (BankId::new(i as u32), mb.words()))
+            .filter(|(b, _)| !banks.contains_key(b))
+            .collect();
         Ok(System {
             graph: self.graph,
             binding: self.binding,
@@ -372,10 +395,20 @@ impl SystemBuilder {
             starvation_bound: self.config.starvation_bound,
             select_line: self.config.select_line,
             legacy_kernel: self.config.legacy_kernel,
+            watchdog: self.config.watchdog,
+            recovery: self.config.recovery,
             cycle: 0,
-            monitor: MonitorComponent::new(),
+            monitor,
             scheduler: Scheduler::new(),
             tracer,
+            faults,
+            last_progress: 0,
+            last_sig: (0, 0),
+            bank_fault_counts: BTreeMap::new(),
+            channel_fault_counts: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            rerouted: BTreeSet::new(),
+            spare_banks,
         })
     }
 }
@@ -455,27 +488,34 @@ pub struct System {
     starvation_bound: u64,
     select_line: rcarb_core::line::SharedLineKind,
     legacy_kernel: bool,
+    watchdog: WatchdogConfig,
+    recovery: RecoveryPolicy,
     cycle: u64,
     monitor: MonitorComponent,
     scheduler: Scheduler,
     tracer: Option<TracerComponent>,
+    /// The compiled fault plan, when this run injects faults.
+    faults: Option<FaultController>,
+    /// Last cycle that advanced any task (progress watchdog).
+    last_progress: u64,
+    /// Progress signature at `last_progress`: total busy cycles and
+    /// completed-task count.
+    last_sig: (u64, usize),
+    /// Detected read faults per bank (quarantine threshold counter).
+    bank_fault_counts: BTreeMap<BankId, u32>,
+    /// Detected bit flips per channel (re-route threshold counter).
+    channel_fault_counts: BTreeMap<ChannelId, u32>,
+    /// Banks already migrated off (quarantine fires once per bank).
+    quarantined: BTreeSet<BankId>,
+    /// Channels already moved to a fresh route.
+    rerouted: BTreeSet<ChannelId>,
+    /// Unused board banks a quarantine may migrate onto, with their
+    /// capacity in words.
+    spare_banks: Vec<(BankId, u32)>,
 }
 
 impl System {
     /// Loads `data` into a segment (via its bank placement) before a run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the segment is unbound or the data overruns it; use
-    /// [`try_load_segment`](Self::try_load_segment) to handle an unbound
-    /// segment gracefully.
-    pub fn load_segment(&mut self, segment: SegmentId, data: &[u64]) {
-        if let Err(e) = self.try_load_segment(segment, data) {
-            panic!("{e}");
-        }
-    }
-
-    /// The fallible form of [`load_segment`](Self::load_segment).
     ///
     /// # Errors
     ///
@@ -517,20 +557,6 @@ impl System {
 
     /// Reads `len` words back out of a segment after a run.
     ///
-    /// # Panics
-    ///
-    /// Panics if the segment is unbound or the range overruns it; use
-    /// [`try_read_segment`](Self::try_read_segment) to handle an unbound
-    /// segment gracefully.
-    pub fn read_segment(&self, segment: SegmentId, len: usize) -> Vec<u64> {
-        match self.try_read_segment(segment, len) {
-            Ok(words) => words,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// The fallible form of [`read_segment`](Self::read_segment).
-    ///
     /// # Errors
     ///
     /// Returns [`rcarb_core::Error::UnboundSegment`] if the segment has
@@ -567,17 +593,45 @@ impl System {
             .collect())
     }
 
-    /// Runs until every task completes or `max_cycles` elapse.
+    /// Runs until every task completes, `max_cycles` elapse, or the
+    /// no-progress watchdog halts a deadlocked run recovery cannot
+    /// restart.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        let progress_bound = self.watchdog.progress_bound;
         while self.cycle < max_cycles && !self.all_done() {
+            // Deadlock/livelock watchdog: both kernels measure the gap
+            // in *simulated* cycles since the last cycle that advanced
+            // any task, so they fire at the identical cycle.
+            if progress_bound != u64::MAX && self.cycle - self.last_progress >= progress_bound {
+                let from = self.monitor.violations().len();
+                self.monitor.push(Violation::NoProgress {
+                    cycle: self.cycle,
+                    stalled: progress_bound,
+                });
+                if self.process_new_violations(from) {
+                    // Recovery restarted the protocol: grant a fresh
+                    // progress window and keep running.
+                    self.last_progress = self.cycle;
+                    if !self.legacy_kernel {
+                        self.refresh_wakes();
+                    }
+                } else {
+                    break;
+                }
+            }
             if !self.legacy_kernel {
-                let skippable = self.scheduler.skippable(self.cycle, max_cycles);
+                let skippable = self.clamp_skip(self.scheduler.skippable(self.cycle, max_cycles));
                 if skippable > 0 {
                     self.skip_cycles(skippable);
                     continue;
                 }
             }
+            let from = self.monitor.violations().len();
             self.step_cycle();
+            if self.faults.is_some() {
+                self.process_new_violations(from);
+            }
+            self.note_progress();
             if !self.legacy_kernel {
                 self.refresh_wakes();
             }
@@ -636,8 +690,204 @@ impl System {
         self.tracer.as_ref().map(|t| t.vcd())
     }
 
+    /// The injection/detection/recovery outcome of the fault plan.
+    /// Empty (all zeroes, no traces) when the run injects no faults.
+    pub fn fault_report(&self) -> FaultReport {
+        self.faults
+            .as_ref()
+            .map(FaultController::report)
+            .unwrap_or_default()
+    }
+
     fn all_done(&self) -> bool {
         self.tasks.iter().all(|t| t.status() == TaskStatus::Done)
+    }
+
+    /// Bounds a proposed skip so the event kernel never jumps over a
+    /// cycle the legacy kernel would treat specially: a cycle inside (or
+    /// starting) a fault window, or the cycle the progress watchdog
+    /// fires.
+    fn clamp_skip(&self, skippable: u64) -> u64 {
+        let mut s = skippable;
+        if s == 0 {
+            return 0;
+        }
+        if let Some(fc) = &self.faults {
+            s = s.min(fc.horizon(self.cycle));
+        }
+        if self.watchdog.progress_bound != u64::MAX {
+            s = s.min((self.last_progress + self.watchdog.progress_bound) - self.cycle);
+        }
+        s
+    }
+
+    /// Updates the progress watchdog's bookkeeping after executed or
+    /// skipped cycles. Component state evolves uniformly across a
+    /// skipped span (a sleeping task's busy count grows every cycle of
+    /// it), so "signature changed over the span" implies the span's
+    /// *last* cycle made progress — exactly what the legacy kernel
+    /// would have recorded.
+    fn note_progress(&mut self) {
+        if self.watchdog.progress_bound == u64::MAX {
+            return;
+        }
+        let sig = (
+            self.tasks.iter().map(TaskComponent::busy_cycles).sum(),
+            self.tasks
+                .iter()
+                .filter(|t| t.status() == TaskStatus::Done)
+                .count(),
+        );
+        if sig != self.last_sig {
+            self.last_sig = sig;
+            self.last_progress = self.cycle - 1;
+        }
+    }
+
+    /// Attributes freshly recorded violations (from index `from`
+    /// onward) to planned faults — the detection accounting of the
+    /// [`FaultReport`] — and applies the configured recovery actions.
+    /// Returns whether any recovery action was taken.
+    fn process_new_violations(&mut self, from: usize) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let mut acted = false;
+        let mut quarantine: Vec<(BankId, u64)> = Vec::new();
+        let mut reroute: Vec<(ChannelId, u64)> = Vec::new();
+        {
+            let Self {
+                monitor,
+                faults,
+                recovery,
+                bank_fault_counts,
+                channel_fault_counts,
+                quarantined,
+                rerouted,
+                ..
+            } = self;
+            let fc = faults.as_mut().expect("checked above");
+            for v in &monitor.violations()[from..] {
+                let Some(cycle) = v.cycle() else { continue };
+                match *v {
+                    Violation::GrantTimeout { arbiter, .. }
+                    | Violation::FairnessBreach { arbiter, .. }
+                    | Violation::MultipleGrants { arbiter, .. } => {
+                        fc.note_detection(FaultTarget::Arbiter(arbiter), cycle);
+                        if recovery.scrub_requests && fc.scrub_requests(arbiter, cycle) > 0 {
+                            acted = true;
+                        }
+                    }
+                    Violation::NoProgress { .. } => {
+                        fc.note_detection(FaultTarget::Any, cycle);
+                        if recovery.scrub_requests && fc.scrub_all_requests(cycle) > 0 {
+                            acted = true;
+                        }
+                    }
+                    Violation::BankReadFault { bank, .. } => {
+                        fc.note_detection(FaultTarget::Bank(bank), cycle);
+                        if recovery.quarantine_banks {
+                            let n = bank_fault_counts.entry(bank).or_insert(0);
+                            *n += 1;
+                            if *n >= recovery.bank_fault_threshold && quarantined.insert(bank) {
+                                quarantine.push((bank, cycle));
+                            }
+                        }
+                    }
+                    Violation::ChannelFault { channel, .. } => {
+                        fc.note_detection(FaultTarget::Channel(channel), cycle);
+                        if recovery.reroute_channels {
+                            let n = channel_fault_counts.entry(channel).or_insert(0);
+                            *n += 1;
+                            if *n >= recovery.channel_fault_threshold && rerouted.insert(channel) {
+                                reroute.push((channel, cycle));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (bank, cycle) in quarantine {
+            acted |= self.quarantine_bank(bank, cycle);
+        }
+        for (channel, cycle) in reroute {
+            self.reroute_channel(channel, cycle);
+            acted = true;
+        }
+        acted
+    }
+
+    /// Migrates a quarantined bank's role onto a spare board bank:
+    /// storage contents, protocol clients and segment placements all
+    /// move, so nothing touches the faulted bank again. Returns `false`
+    /// when no spare with enough capacity exists — the fault then stays
+    /// unrecovered in the report.
+    fn quarantine_bank(&mut self, bank: BankId, cycle: u64) -> bool {
+        let Some(old) = self.banks.get(&bank) else {
+            return false;
+        };
+        let needed = old.capacity();
+        let Some(pos) = self
+            .spare_banks
+            .iter()
+            .position(|&(_, words)| words >= needed)
+        else {
+            return false;
+        };
+        let (spare, words) = self.spare_banks.remove(pos);
+        let mut fresh = BankComponent::new(BankModel::new(spare, words));
+        let segments = self.binding.segments_in(bank);
+        {
+            let old = self.banks.get_mut(&bank).expect("checked above");
+            for &seg in &segments {
+                let place = self.binding.placement(seg).expect("segment is in bank");
+                for i in 0..self.graph.segment(seg).words() {
+                    fresh.set_word(place.offset + i, old.word(place.offset + i));
+                }
+            }
+            let clients = old.clients().to_vec();
+            if !clients.is_empty() {
+                fresh.set_clients(clients, self.select_line);
+                old.set_clients(Vec::new(), self.select_line);
+            }
+        }
+        for &seg in &segments {
+            let offset = self
+                .binding
+                .placement(seg)
+                .expect("segment is in bank")
+                .offset;
+            self.binding.place(seg, spare, offset);
+        }
+        self.banks.insert(spare, fresh);
+        if let Some(fc) = self.faults.as_mut() {
+            fc.recover_bank(bank, cycle);
+        }
+        true
+    }
+
+    /// Moves a faulted channel onto a fresh private route, seeding the
+    /// new route's register with the old one's latched word so a
+    /// not-yet-consumed transfer survives the migration. Bit-flip
+    /// faults stay keyed to the route the channel was *built* on, so
+    /// the migrated channel escapes them.
+    fn reroute_channel(&mut self, channel: ChannelId, cycle: u64) {
+        let idx = self.routes.len();
+        let mut fresh = RouteComponent::new(
+            RouteState::new(vec![channel], RegisterPlacement::Receiver),
+            false,
+        );
+        if let Some(&old) = self.route_of_channel.get(&channel) {
+            if let Some(v) = self.routes[old].read(channel) {
+                fresh.preload(channel, v);
+            }
+        }
+        self.routes.push(fresh);
+        self.route_of_channel.insert(channel, idx);
+        if let Some(fc) = self.faults.as_mut() {
+            fc.recover_channel(channel, cycle);
+        }
     }
 
     /// Executes one cycle through the shared phase order. Both kernels
@@ -658,17 +908,30 @@ impl System {
                 }
             }
         }
-        // 2. Arbiters sample the request lines.
+        // 2. Arbiters sample the request lines. Stuck-request faults
+        // perturb the sampled word (what the arbiter *and* steadiness
+        // see); stuck-grant and glitch faults perturb the issued grant
+        // on the wire (what the tasks, tracer and multi-grant check
+        // see), leaving the arbiter's own bookkeeping on the raw grant.
         let mut grants: BTreeMap<ArbiterId, u64> = BTreeMap::new();
+        let mut request_words: BTreeMap<ArbiterId, u64> = BTreeMap::new();
         {
             let Self {
                 tasks,
                 arbiters,
                 monitor,
+                faults,
                 ..
             } = self;
             for a in arbiters.iter_mut() {
-                let grant = a.sample_and_step(tasks);
+                let mut word = a.compute_word(tasks);
+                if let Some(fc) = faults.as_mut() {
+                    word = fc.perturb_requests(a.id(), cycle, word, |t| a.port_of(t));
+                }
+                let mut grant = a.step_with_word(word);
+                if let Some(fc) = faults.as_mut() {
+                    grant = fc.perturb_grant(a.id(), cycle, grant);
+                }
                 if grant.count_ones() > 1 {
                     monitor.push(Violation::MultipleGrants {
                         cycle,
@@ -676,17 +939,19 @@ impl System {
                         grants: grant,
                     });
                 }
+                request_words.insert(a.id(), word);
                 grants.insert(a.id(), grant);
             }
         }
         if let Some(tracer) = &mut self.tracer {
-            tracer.sample_cycle(cycle, &self.arbiters, &self.tasks, &grants);
+            tracer.sample_cycle(cycle, &self.arbiters, &request_words, &grants);
         }
         // 3. Tasks execute.
         let mut bank_accesses: BTreeMap<BankId, Vec<BankAccess>> = BTreeMap::new();
-        let mut pending_reads: Vec<(BankId, TaskId, VarId)> = Vec::new();
+        let mut pending_reads: Vec<(BankId, TaskId, VarId, u64)> = Vec::new();
         let mut route_sends: BTreeMap<usize, Vec<RouteSend>> = BTreeMap::new();
         {
+            let retry_reads = self.recovery.retry_reads;
             let Self {
                 tasks,
                 arbiters,
@@ -696,6 +961,7 @@ impl System {
                 segment_guards,
                 channel_guards,
                 monitor,
+                faults,
                 ..
             } = self;
             let mut ctx = ExecCtx {
@@ -711,6 +977,8 @@ impl System {
                 bank_accesses: &mut bank_accesses,
                 pending_reads: &mut pending_reads,
                 route_sends: &mut route_sends,
+                faults,
+                retry_reads,
             };
             for t in tasks.iter_mut() {
                 if t.status() == TaskStatus::Running {
@@ -744,11 +1012,11 @@ impl System {
                         task,
                         read_value: Some(v),
                     } => {
-                        if let Some(&(_, _, dst)) = pending_reads
+                        if let Some(&(_, _, dst, mask)) = pending_reads
                             .iter()
-                            .find(|(bk, t, _)| bk == bank && *t == task)
+                            .find(|(bk, t, _, _)| bk == bank && *t == task)
                         {
-                            tasks[task.index()].set_var(dst, v);
+                            tasks[task.index()].set_var(dst, v ^ mask);
                         }
                     }
                     _ => {}
@@ -760,11 +1028,29 @@ impl System {
                 b.check_select(cycle, bank_accesses.get(bank), select_line, monitor);
             }
         }
-        // 5. Routes resolve.
+        // 5. Routes resolve, after any live bit-flip faults corrupt
+        // words in flight (the flip is on the wire, before the latch).
         {
             let Self {
-                routes, monitor, ..
+                routes,
+                monitor,
+                faults,
+                ..
             } = self;
+            if let Some(fc) = faults.as_mut() {
+                for (route, sends) in route_sends.iter_mut() {
+                    for s in sends.iter_mut() {
+                        if let Some(mask) = fc.channel_flip(s.channel, *route, cycle) {
+                            s.value ^= mask;
+                            monitor.push(Violation::ChannelFault {
+                                cycle,
+                                channel: s.channel,
+                                bit: mask.trailing_zeros(),
+                            });
+                        }
+                    }
+                }
+            }
             for (route, sends) in &route_sends {
                 let outcome = routes[*route].resolve(sends);
                 if let RouteOutcome::Conflict { tasks: offenders } = outcome {
@@ -846,28 +1132,47 @@ impl System {
 
     /// Bulk-applies `cycles` proven-inert cycles: per-component skip
     /// accounting plus the starvation ticks blocked tasks would have
-    /// accrued, then jumps the clock.
+    /// accrued, then jumps the clock. Watchdog crossings inside the
+    /// span are merged into executed-cycle order (cycle, then task,
+    /// then timeout-before-fairness) so both kernels log identical
+    /// violation sequences.
     fn skip_cycles(&mut self, cycles: u64) {
-        let Self {
-            tasks,
-            arbiters,
-            monitor,
-            scheduler,
-            ..
-        } = self;
-        for t in tasks.iter_mut() {
-            if let Some(arb) = t.blocked_on_grant() {
-                monitor.tick_waiting_n(t.id(), arb, cycles);
+        let from = self.monitor.violations().len();
+        let start = self.cycle;
+        {
+            let Self {
+                tasks,
+                arbiters,
+                monitor,
+                scheduler,
+                ..
+            } = self;
+            let mut crossings: Vec<(u64, usize, u8, Violation)> = Vec::new();
+            for (i, t) in tasks.iter_mut().enumerate() {
+                if let Some(arb) = t.blocked_on_grant() {
+                    for v in monitor.tick_waiting_n(t.id(), arb, cycles, start) {
+                        let rank = u8::from(matches!(v, Violation::FairnessBreach { .. }));
+                        crossings.push((v.cycle().unwrap_or(start), i, rank, v));
+                    }
+                }
+                t.skip(cycles);
             }
-            t.skip(cycles);
+            crossings.sort_by_key(|&(c, i, r, _)| (c, i, r));
+            for (_, _, _, v) in crossings {
+                monitor.push(v);
+            }
+            for a in arbiters.iter_mut() {
+                a.skip(cycles);
+            }
+            // Banks, routes and the tracer accrue nothing with time
+            // while the system is quiescent.
+            scheduler.record_skip(cycles);
         }
-        for a in arbiters.iter_mut() {
-            a.skip(cycles);
-        }
-        // Banks, routes, the monitor and the tracer accrue nothing with
-        // time while the system is quiescent.
-        scheduler.record_skip(cycles);
         self.cycle += cycles;
+        if self.faults.is_some() && self.monitor.violations().len() > from {
+            self.process_new_violations(from);
+        }
+        self.note_progress();
     }
 }
 
@@ -887,7 +1192,8 @@ mod tests {
         let board = rcarb_board::presets::duo_small();
         let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
         let sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         (sys, t)
     }
 
@@ -912,8 +1218,8 @@ mod tests {
         }));
         let report = sys.run(100);
         assert!(report.clean());
-        assert_eq!(sys.read_segment(seg, 7)[5], 1234);
-        assert_eq!(sys.read_segment(seg, 7)[6], 1235);
+        assert_eq!(sys.try_read_segment(seg, 7).unwrap()[5], 1234);
+        assert_eq!(sys.try_read_segment(seg, 7).unwrap()[6], 1235);
     }
 
     #[test]
@@ -926,7 +1232,8 @@ mod tests {
         let board = rcarb_board::presets::duo_small();
         let binding = MemoryBinding::default();
         let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         let report = sys.run(100);
         assert!(report.clean());
         let f = report.task(first);
@@ -976,7 +1283,8 @@ mod tests {
             &ChannelMergePlan::default(),
         )
         .with_config(SimConfig::new().with_legacy_kernel(true))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
         let report = sys.run(1000);
         assert!(report.clean());
         assert_eq!(report.task(t).finished_at, Some(49));
@@ -1000,7 +1308,8 @@ mod tests {
                 &ChannelMergePlan::default(),
             )
             .with_config(SimConfig::new().with_legacy_kernel(legacy))
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
             sys.run(10_000)
         };
         assert_eq!(build(false), build(true));
@@ -1032,10 +1341,11 @@ mod tests {
             let mut sys =
                 SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
                     .with_config(SimConfig::new().with_legacy_kernel(legacy))
-                    .build(&board);
+                    .try_build(&board)
+                    .unwrap();
             let report = sys.run(10_000);
             assert!(report.clean());
-            assert_eq!(sys.read_segment(seg, 1)[0], 77);
+            assert_eq!(sys.try_read_segment(seg, 1).unwrap()[0], 77);
             (report, sys.kernel_stats())
         };
         let (event_report, event_stats) = run(false);
@@ -1050,25 +1360,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not bound")]
-    fn loading_unbound_segment_panics() {
-        let mut b = TaskGraphBuilder::new("unbound");
-        let seg = b.segment("M", 8, 16);
-        b.task("T", Program::empty());
-        let graph = b.finish().unwrap();
-        let board = rcarb_board::presets::duo_small();
-        // Empty binding: the program never accesses the segment so build
-        // succeeds, but loading must fail loudly.
-        let mut sys = SystemBuilder::unarbitrated(
-            &graph,
-            &MemoryBinding::default(),
-            &ChannelMergePlan::default(),
-        )
-        .build(&board);
-        sys.load_segment(seg, &[1, 2, 3]);
-    }
-
-    #[test]
     fn try_load_segment_reports_instead_of_panicking() {
         let mut b = TaskGraphBuilder::new("unbound");
         let seg = b.segment("M", 8, 16);
@@ -1080,7 +1371,8 @@ mod tests {
             &MemoryBinding::default(),
             &ChannelMergePlan::default(),
         )
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
         let err = sys
             .try_load_segment(seg, &[1, 2, 3])
             .expect_err("unbound segment load must error");
@@ -1094,11 +1386,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "overruns segment")]
     fn oversized_load_panics() {
+        // A host-side programming error (too much data), distinct from
+        // the malformed-plan conditions `try_load_segment` diagnoses.
         let seg = rcarb_taskgraph::id::SegmentId::new(0);
         let (mut sys, _) = one_task_system(Program::build(|p| {
             p.mem_write(seg, Expr::lit(0), Expr::lit(1));
         }));
-        sys.load_segment(seg, &vec![0; 33]); // segment is 32 words
+        let _ = sys.try_load_segment(seg, &vec![0; 33]); // segment is 32 words
     }
 
     #[test]
@@ -1114,7 +1408,7 @@ mod tests {
         }));
         let report = sys.run(100);
         assert!(report.clean());
-        assert_eq!(sys.read_segment(seg, 1)[0], 222);
+        assert_eq!(sys.try_read_segment(seg, 1).unwrap()[0], 222);
     }
 
     #[test]
@@ -1131,7 +1425,7 @@ mod tests {
         }));
         let report = sys.run(1000);
         assert!(report.clean());
-        assert_eq!(sys.read_segment(seg, 1)[0], 12);
+        assert_eq!(sys.try_read_segment(seg, 1).unwrap()[0], 12);
     }
 
     #[test]
@@ -1226,30 +1520,22 @@ mod tests {
         assert!(err.to_string().contains("never instantiated"));
     }
 
-    /// The pre-`SimConfig` setters still compile and still configure the
-    /// run; they are kept for one release as deprecated shims.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_setter_shims_still_configure_the_run() {
-        let mut b = TaskGraphBuilder::new("shims");
+    fn fault_plans_are_validated_at_build() {
+        let mut b = TaskGraphBuilder::new("badplan");
         b.task("t", Program::build(|p| p.compute(1)));
         let graph = b.finish().unwrap();
-        let builder = SystemBuilder::unarbitrated(
+        let board = rcarb_board::presets::duo_small();
+        let plan = FaultPlan::seeded(1).with_task_hang(TaskId::new(9), fault::FaultWindow::at(0));
+        let err = SystemBuilder::unarbitrated(
             &graph,
             &MemoryBinding::default(),
             &ChannelMergePlan::default(),
         )
-        .with_policy(PolicyKind::Fifo)
-        .with_cosim(true)
-        .with_trace(true)
-        .with_register_placement(RegisterPlacement::Source)
-        .with_starvation_bound(7);
-        let expected = SimConfig::new()
-            .with_policy(PolicyKind::Fifo)
-            .with_cosim(true)
-            .with_trace(true)
-            .with_register_placement(RegisterPlacement::Source)
-            .with_starvation_bound(7);
-        assert_eq!(*builder.config(), expected);
+        .with_faults(plan)
+        .try_build(&board)
+        .expect_err("a plan naming an unknown task must be rejected");
+        assert!(matches!(err, rcarb_core::Error::FaultPlan { .. }));
+        assert!(err.to_string().contains("invalid fault plan"));
     }
 }

@@ -18,7 +18,12 @@
 //! - [`arbiter`] — behavioural arbiters with optional synthesized-netlist
 //!   co-simulation (every grant cross-checked against the mapped
 //!   hardware);
-//! - [`monitor`] — mutual-exclusion, protocol and starvation monitors;
+//! - [`monitor`] — mutual-exclusion, protocol and starvation monitors,
+//!   plus the runtime watchdogs (grant timeout, fairness cross-check,
+//!   no-progress detection);
+//! - [`fault`] — deterministic seeded fault injection
+//!   ([`FaultPlan`]), detection accounting ([`FaultReport`]) and the
+//!   [`RecoveryPolicy`] knobs (scrub/retry/quarantine/re-route);
 //! - [`component`] — the kernel's component layer: tasks, arbiters,
 //!   banks, routes, monitor and tracer as self-contained units with an
 //!   explicit wake/skip contract;
@@ -46,6 +51,7 @@ pub mod compile;
 pub mod component;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod monitor;
 pub mod scheduler;
@@ -53,7 +59,8 @@ pub mod stats;
 pub mod value;
 pub mod vcd;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, WatchdogConfig};
 pub use engine::{RunReport, System, SystemBuilder};
+pub use fault::{FaultKind, FaultPlan, FaultReport, FaultWindow, RecoveryPolicy};
 pub use monitor::Violation;
 pub use scheduler::{KernelStats, Scheduler};

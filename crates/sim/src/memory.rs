@@ -69,6 +69,11 @@ impl BankModel {
         self.words[addr as usize] = value;
     }
 
+    /// Capacity in words.
+    pub fn capacity(&self) -> u32 {
+        self.words.len() as u32
+    }
+
     /// Number of simultaneous-access conflicts observed.
     pub fn conflicts(&self) -> u64 {
         self.conflicts

@@ -1,8 +1,11 @@
 //! Runtime monitors: the properties the arbitration mechanism must
-//! guarantee, checked on every cycle.
+//! guarantee, checked on every cycle, plus the watchdog violations the
+//! fault-injection runtime surfaces (grant timeouts, fairness
+//! breaches, no-progress halts, detected data faults).
 
 use rcarb_board::memory::BankId;
-use rcarb_taskgraph::id::{ArbiterId, TaskId};
+use rcarb_json::{Json, ToJson};
+use rcarb_taskgraph::id::{ArbiterId, ChannelId, TaskId};
 use std::fmt;
 
 /// A property violation observed during simulation.
@@ -72,6 +75,63 @@ pub enum Violation {
         /// Cycles waited.
         waited: u64,
     },
+    /// The bounded-wait watchdog: a task's grant wait crossed the
+    /// configured [`grant_timeout`]. Fired once per wait episode, at
+    /// the crossing cycle, on both kernels.
+    ///
+    /// [`grant_timeout`]: crate::config::WatchdogConfig::grant_timeout
+    GrantTimeout {
+        /// Cycle the wait crossed the bound.
+        cycle: u64,
+        /// The waiting task.
+        task: TaskId,
+        /// The arbiter it waits on.
+        arbiter: ArbiterId,
+        /// The wait length at the crossing (bound + 1).
+        waited: u64,
+    },
+    /// The runtime fairness cross-check: a task waited longer than the
+    /// paper's M-bound guarantees is possible on a fault-free fabric,
+    /// so a line or arbiter is misbehaving.
+    FairnessBreach {
+        /// Cycle the wait crossed the bound.
+        cycle: u64,
+        /// The waiting task.
+        task: TaskId,
+        /// The arbiter it waits on.
+        arbiter: ArbiterId,
+        /// The wait length at the crossing (bound + 1).
+        waited: u64,
+        /// The violated bound, in cycles.
+        bound: u64,
+    },
+    /// The deadlock/livelock watchdog: no task made forward progress
+    /// for `stalled` consecutive cycles. The run halts at `cycle`.
+    NoProgress {
+        /// Cycle the run was halted.
+        cycle: u64,
+        /// The progress bound that expired.
+        stalled: u64,
+    },
+    /// A bank read failed error detection (parity/EDC model); the read
+    /// data was corrupted in flight.
+    BankReadFault {
+        /// Cycle of the faulted read.
+        cycle: u64,
+        /// The faulted bank.
+        bank: BankId,
+        /// The reading task.
+        task: TaskId,
+    },
+    /// A channel transfer failed parity: one bit flipped in flight.
+    ChannelFault {
+        /// Cycle of the faulted transfer.
+        cycle: u64,
+        /// The logical channel.
+        channel: ChannelId,
+        /// The flipped data bit (0–63).
+        bit: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -125,8 +185,178 @@ impl fmt::Display for Violation {
             } => {
                 write!(f, "task {task} starved {waited} cycles at {arbiter}")
             }
+            Violation::GrantTimeout {
+                cycle,
+                task,
+                arbiter,
+                waited,
+            } => {
+                write!(
+                    f,
+                    "cycle {cycle}: task {task} waited {waited} cycles on {arbiter} (timeout)"
+                )
+            }
+            Violation::FairnessBreach {
+                cycle,
+                task,
+                arbiter,
+                waited,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "cycle {cycle}: task {task} waited {waited} cycles on {arbiter}, \
+                     breaching the fairness bound of {bound}"
+                )
+            }
+            Violation::NoProgress { cycle, stalled } => {
+                write!(
+                    f,
+                    "cycle {cycle}: no task progress for {stalled} cycles; run halted"
+                )
+            }
+            Violation::BankReadFault { cycle, bank, task } => {
+                write!(
+                    f,
+                    "cycle {cycle}: read of bank {bank} by task {task} failed error detection"
+                )
+            }
+            Violation::ChannelFault {
+                cycle,
+                channel,
+                bit,
+            } => {
+                write!(f, "cycle {cycle}: bit {bit} flipped on {channel}")
+            }
         }
     }
+}
+
+impl Violation {
+    /// A short machine-stable name for the violation kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::BankConflict { .. } => "BankConflict",
+            Violation::RouteConflict { .. } => "RouteConflict",
+            Violation::AccessWithoutGrant { .. } => "AccessWithoutGrant",
+            Violation::MultipleGrants { .. } => "MultipleGrants",
+            Violation::CosimMismatch { .. } => "CosimMismatch",
+            Violation::FloatingSelectLine { .. } => "FloatingSelectLine",
+            Violation::Starvation { .. } => "Starvation",
+            Violation::GrantTimeout { .. } => "GrantTimeout",
+            Violation::FairnessBreach { .. } => "FairnessBreach",
+            Violation::NoProgress { .. } => "NoProgress",
+            Violation::BankReadFault { .. } => "BankReadFault",
+            Violation::ChannelFault { .. } => "ChannelFault",
+        }
+    }
+
+    /// The cycle the violation was observed, when it is tied to one
+    /// (end-of-run summaries like [`Violation::Starvation`] and
+    /// [`Violation::CosimMismatch`] are not).
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            Violation::BankConflict { cycle, .. }
+            | Violation::RouteConflict { cycle, .. }
+            | Violation::AccessWithoutGrant { cycle, .. }
+            | Violation::MultipleGrants { cycle, .. }
+            | Violation::FloatingSelectLine { cycle, .. }
+            | Violation::GrantTimeout { cycle, .. }
+            | Violation::FairnessBreach { cycle, .. }
+            | Violation::NoProgress { cycle, .. }
+            | Violation::BankReadFault { cycle, .. }
+            | Violation::ChannelFault { cycle, .. } => Some(*cycle),
+            Violation::CosimMismatch { .. } | Violation::Starvation { .. } => None,
+        }
+    }
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> =
+            vec![("kind".to_owned(), Json::Str(self.kind().to_owned()))];
+        if let Some(c) = self.cycle() {
+            obj.push(("cycle".to_owned(), c.to_json()));
+        }
+        match self {
+            Violation::BankConflict { bank, tasks, .. } => {
+                obj.push(("bank".to_owned(), (bank.index() as u64).to_json()));
+                obj.push(task_list(tasks));
+            }
+            Violation::RouteConflict { route, tasks, .. } => {
+                obj.push(("route".to_owned(), (*route as u64).to_json()));
+                obj.push(task_list(tasks));
+            }
+            Violation::AccessWithoutGrant { task, arbiter, .. } => {
+                obj.push(("task".to_owned(), (task.index() as u64).to_json()));
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+            }
+            Violation::MultipleGrants {
+                arbiter, grants, ..
+            } => {
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+                obj.push(("grants".to_owned(), grants.to_json()));
+            }
+            Violation::CosimMismatch { arbiter, cycles } => {
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+                obj.push(("cycles".to_owned(), cycles.to_json()));
+            }
+            Violation::FloatingSelectLine { bank, .. } => {
+                obj.push(("bank".to_owned(), (bank.index() as u64).to_json()));
+            }
+            Violation::Starvation {
+                task,
+                arbiter,
+                waited,
+            } => {
+                obj.push(("task".to_owned(), (task.index() as u64).to_json()));
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+                obj.push(("waited".to_owned(), waited.to_json()));
+            }
+            Violation::GrantTimeout {
+                task,
+                arbiter,
+                waited,
+                ..
+            } => {
+                obj.push(("task".to_owned(), (task.index() as u64).to_json()));
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+                obj.push(("waited".to_owned(), waited.to_json()));
+            }
+            Violation::FairnessBreach {
+                task,
+                arbiter,
+                waited,
+                bound,
+                ..
+            } => {
+                obj.push(("task".to_owned(), (task.index() as u64).to_json()));
+                obj.push(("arbiter".to_owned(), (arbiter.index() as u64).to_json()));
+                obj.push(("waited".to_owned(), waited.to_json()));
+                obj.push(("bound".to_owned(), bound.to_json()));
+            }
+            Violation::NoProgress { stalled, .. } => {
+                obj.push(("stalled".to_owned(), stalled.to_json()));
+            }
+            Violation::BankReadFault { bank, task, .. } => {
+                obj.push(("bank".to_owned(), (bank.index() as u64).to_json()));
+                obj.push(("task".to_owned(), (task.index() as u64).to_json()));
+            }
+            Violation::ChannelFault { channel, bit, .. } => {
+                obj.push(("channel".to_owned(), (channel.index() as u64).to_json()));
+                obj.push(("bit".to_owned(), bit.to_json()));
+            }
+        }
+        obj.push(("text".to_owned(), Json::Str(self.to_string())));
+        Json::Obj(obj)
+    }
+}
+
+fn task_list(tasks: &[TaskId]) -> (String, Json) {
+    (
+        "tasks".to_owned(),
+        Json::Arr(tasks.iter().map(|t| (t.index() as u64).to_json()).collect()),
+    )
 }
 
 /// Tracks per-(task, arbiter) wait times to detect starvation.
@@ -166,6 +396,12 @@ impl StarvationTracker {
     /// Records that `task`'s wait on `arbiter` ended (granted).
     pub fn granted(&mut self, task: TaskId, arbiter: ArbiterId) {
         self.waiting.remove(&(task, arbiter));
+    }
+
+    /// The length of `task`'s live wait on `arbiter` (0 when not
+    /// waiting).
+    pub fn current_wait(&self, task: TaskId, arbiter: ArbiterId) -> u64 {
+        self.waiting.get(&(task, arbiter)).copied().unwrap_or(0)
     }
 
     /// The worst wait observed for `(task, arbiter)`.
@@ -252,5 +488,117 @@ mod tests {
             tasks: vec![t(0), t(1)],
         };
         assert_eq!(v.to_string(), "cycle 7: bank B2 driven by 2 tasks");
+    }
+
+    /// Every watchdog/fault variant renders the actors and the cycle in
+    /// its text form, and tags itself with a stable kind string.
+    #[test]
+    fn watchdog_violation_text_names_the_actors() {
+        let cases: [(Violation, &str, &str); 5] = [
+            (
+                Violation::GrantTimeout {
+                    cycle: 9,
+                    task: t(1),
+                    arbiter: a(0),
+                    waited: 17,
+                },
+                "GrantTimeout",
+                "cycle 9: task T1 waited 17 cycles on Arb0 (timeout)",
+            ),
+            (
+                Violation::FairnessBreach {
+                    cycle: 40,
+                    task: t(2),
+                    arbiter: a(1),
+                    waited: 11,
+                    bound: 6,
+                },
+                "FairnessBreach",
+                "cycle 40: task T2 waited 11 cycles on Arb1, breaching the fairness bound of 6",
+            ),
+            (
+                Violation::NoProgress {
+                    cycle: 128,
+                    stalled: 64,
+                },
+                "NoProgress",
+                "cycle 128: no task progress for 64 cycles; run halted",
+            ),
+            (
+                Violation::BankReadFault {
+                    cycle: 3,
+                    bank: BankId::new(5),
+                    task: t(0),
+                },
+                "BankReadFault",
+                "cycle 3: read of bank B5 by task T0 failed error detection",
+            ),
+            (
+                Violation::ChannelFault {
+                    cycle: 12,
+                    channel: ChannelId::new(4),
+                    bit: 23,
+                },
+                "ChannelFault",
+                "cycle 12: bit 23 flipped on c4",
+            ),
+        ];
+        for (v, kind, text) in cases {
+            assert_eq!(v.kind(), kind);
+            assert_eq!(v.to_string(), text);
+            assert_eq!(
+                v.cycle(),
+                text.strip_prefix("cycle ")
+                    .and_then(|r| { r.split(&[':', ' '][..]).next().and_then(|n| n.parse().ok()) })
+            );
+        }
+    }
+
+    /// The JSON form carries the kind, the cycle, every structured
+    /// field, and the rendered text — so downstream tooling never has
+    /// to parse the human-readable line.
+    #[test]
+    fn watchdog_violation_json_is_structured() {
+        let v = Violation::FairnessBreach {
+            cycle: 40,
+            task: t(2),
+            arbiter: a(1),
+            waited: 11,
+            bound: 6,
+        };
+        let json = rcarb_json::to_string(&v);
+        for field in [
+            "\"kind\":\"FairnessBreach\"",
+            "\"cycle\":40",
+            "\"task\":2",
+            "\"arbiter\":1",
+            "\"waited\":11",
+            "\"bound\":6",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+        let b = Violation::BankReadFault {
+            cycle: 3,
+            bank: BankId::new(5),
+            task: t(0),
+        };
+        let bj = rcarb_json::to_string(&b);
+        assert!(bj.contains("\"bank\":5"), "{bj}");
+        let c = Violation::ChannelFault {
+            cycle: 12,
+            channel: ChannelId::new(4),
+            bit: 23,
+        };
+        let cj = rcarb_json::to_string(&c);
+        assert!(
+            cj.contains("\"channel\":4") && cj.contains("\"bit\":23"),
+            "{cj}"
+        );
+        let n = Violation::NoProgress {
+            cycle: 128,
+            stalled: 64,
+        };
+        let nj = rcarb_json::to_string(&n);
+        assert!(nj.contains("\"stalled\":64"), "{nj}");
     }
 }

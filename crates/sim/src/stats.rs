@@ -92,6 +92,26 @@ mod tests {
     }
 
     #[test]
+    fn kernel_speedup_degenerate_runs_stay_finite() {
+        // Nothing executed but cycles skipped (a run that was entirely
+        // provably inert): the ratio would be infinite, so the metric
+        // pins to the no-information value instead of dividing by zero.
+        let all_skipped = KernelStats {
+            executed_cycles: 0,
+            skipped_cycles: 750,
+            skips: 1,
+        };
+        assert_eq!(kernel_speedup(&all_skipped), 1.0);
+        // A single executed cycle with no skips is exactly break-even.
+        let one = KernelStats {
+            executed_cycles: 1,
+            skipped_cycles: 0,
+            skips: 0,
+        };
+        assert_eq!(kernel_speedup(&one), 1.0);
+    }
+
+    #[test]
     fn jain_bounds() {
         assert_eq!(jain_index(&[]), 1.0);
         assert_eq!(jain_index(&[0, 0]), 1.0);

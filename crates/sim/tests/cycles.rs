@@ -59,7 +59,7 @@ proptest! {
         let board = rcarb_board::presets::duo_small();
         let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
         let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-            .build(&board);
+            .try_build(&board).unwrap();
         let report = sys.run(1_000_000);
         prop_assert!(report.clean());
         let t = report.task(TaskId::new(0));
@@ -92,7 +92,7 @@ proptest! {
         let board = rcarb_board::presets::duo_small();
         let binding = rcarb_core::memmap::MemoryBinding::default();
         let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-            .build(&board);
+            .try_build(&board).unwrap();
         let report = sys.run(10_000);
         let t = report.task(TaskId::new(0));
         let measured = t.finished_at.expect("done") - t.started_at.expect("started") + 1;

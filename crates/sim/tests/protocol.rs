@@ -45,8 +45,9 @@ fn unarbitrated_sharing_conflicts() {
     let graph = contended_design(4);
     let board = presets::duo_small();
     let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
-    let mut sys =
-        SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default()).build(&board);
+    let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(1000);
     assert!(report.completed);
     assert!(
@@ -73,7 +74,8 @@ fn arbitrated_sharing_is_clean() {
     assert_eq!(plan.arbiter_sizes(), vec![2]);
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         .with_config(SimConfig::new().with_cosim(true))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(10_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
 }
@@ -92,7 +94,8 @@ fn every_policy_serializes_the_bank() {
     for policy in PolicyKind::ALL {
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
             .with_config(SimConfig::new().with_policy(policy))
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         let report = sys.run(10_000);
         assert!(report.clean(), "{policy}: {:?}", report.violations);
     }
@@ -141,12 +144,14 @@ fn uncontended_batch_costs_exactly_two_extra_cycles() {
                 );
                 let mut sys =
                     SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                        .build(&board);
+                        .try_build(&board)
+                        .unwrap();
                 sys.run(10_000)
             } else {
                 let mut sys =
                     SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-                        .build(&board);
+                        .try_build(&board)
+                        .unwrap();
                 sys.run(10_000)
             };
             assert!(report.completed);
@@ -193,7 +198,8 @@ fn round_robin_is_starvation_free_under_saturation() {
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         // Generous bound: (N-1) competitors x (M accesses + protocol).
         .with_config(SimConfig::new().with_starvation_bound(3 * (2 + 2) * 4))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(100_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
     // All four tasks made progress and the arbiter granted many times.
@@ -226,8 +232,9 @@ fn delivered_bandwidth_splits_evenly_under_round_robin() {
         &ChannelMergePlan::default(),
         &InsertionConfig::paper(),
     );
-    let mut sys =
-        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(100_000);
     assert!(report.clean());
     let (_, ports) = &report.arbiter_port_grants[0];
@@ -267,7 +274,8 @@ fn static_priority_starves_under_saturation() {
     let run = |policy: PolicyKind| {
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
             .with_config(SimConfig::new().with_policy(policy))
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         sys.run(100_000)
     };
     let rr = run(PolicyKind::RoundRobin);
@@ -300,8 +308,9 @@ fn fig4_select_line_discipline_matters() {
         &InsertionConfig::paper(),
     );
     // Correct construction (the default): clean run.
-    let mut sys =
-        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .try_build(&board)
+        .unwrap();
     let good = sys.run(10_000);
     assert!(good.clean(), "{:?}", good.violations);
 
@@ -309,7 +318,8 @@ fn fig4_select_line_discipline_matters() {
     // asserted, nobody granted yet) leaves the select floating.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         .with_config(SimConfig::new().with_select_line(SharedLineKind::TriState))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let bad = sys.run(10_000);
     assert!(
         bad.violations
@@ -358,7 +368,8 @@ fn preemption_requires_the_per_access_grant_check() {
         );
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
             .with_config(SimConfig::new().with_policy(PolicyKind::PreemptiveRoundRobin))
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         sys.run(100_000)
     };
     let unsafe_run = run(false);
@@ -396,7 +407,8 @@ fn tracing_records_request_grant_waveforms() {
     );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         .with_config(SimConfig::new().with_trace(true))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(10_000);
     assert!(report.clean());
     let vcd = sys.vcd().expect("tracing was enabled");
@@ -407,8 +419,9 @@ fn tracing_records_request_grant_waveforms() {
     let toggles = vcd.lines().filter(|l| l.starts_with('1')).count();
     assert!(toggles >= 4, "expected request/grant activity, got:\n{vcd}");
     // Without tracing there is no waveform.
-    let mut plain =
-        SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(&board);
+    let mut plain = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+        .try_build(&board)
+        .unwrap();
     plain.run(10_000);
     assert!(plain.vcd().is_none());
 }
@@ -461,7 +474,9 @@ fn table1_receiver_registers_preserve_the_early_transfer() {
     assert_eq!(plan.arbiter_sizes(), vec![2]);
 
     // Correct construction: clean run (Task 2 receives and terminates).
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .try_build(&board)
+        .unwrap();
     let ok = sys.run(1000);
     assert!(ok.clean(), "violations: {:?}", ok.violations);
 
@@ -470,7 +485,8 @@ fn table1_receiver_registers_preserve_the_early_transfer() {
     // data that no longer exists.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
         .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let bad = sys.run(1000);
     assert!(
         !bad.completed,

@@ -120,6 +120,18 @@ impl ToJson for Op {
             Op::AwaitGrant { arbiter } => {
                 variant("AwaitGrant", fields(vec![("arbiter", arbiter.to_json())]))
             }
+            Op::AwaitGrantFor {
+                arbiter,
+                cycles,
+                dst,
+            } => variant(
+                "AwaitGrantFor",
+                fields(vec![
+                    ("arbiter", arbiter.to_json()),
+                    ("cycles", cycles.to_json()),
+                    ("dst", dst.to_json()),
+                ]),
+            ),
             Op::ReqDeassert { arbiter } => {
                 variant("ReqDeassert", fields(vec![("arbiter", arbiter.to_json())]))
             }
@@ -170,6 +182,11 @@ impl FromJson for Op {
             }),
             "AwaitGrant" => Ok(Op::AwaitGrant {
                 arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+            }),
+            "AwaitGrantFor" => Ok(Op::AwaitGrantFor {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+                cycles: u32::from_json(expect_field(body, "cycles")?)?,
+                dst: VarId::from_json(expect_field(body, "dst")?)?,
             }),
             "ReqDeassert" => Ok(Op::ReqDeassert {
                 arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
@@ -236,6 +253,11 @@ mod tests {
             },
             Op::ReqAssert { arbiter: arb },
             Op::AwaitGrant { arbiter: arb },
+            Op::AwaitGrantFor {
+                arbiter: arb,
+                cycles: 16,
+                dst: v,
+            },
             Op::ReqDeassert { arbiter: arb },
         ];
         for op in &ops {

@@ -180,6 +180,20 @@ pub enum Op {
         /// Arbiter guarding the shared resource.
         arbiter: ArbiterId,
     },
+    /// Block until the arbiter's Grant line is observed asserted, but
+    /// give up after `cycles` stalled cycles. `dst` is set to 1 when the
+    /// grant arrived (the op then falls through for free, exactly like
+    /// [`Op::AwaitGrant`]) and to 0 on timeout, so a retry/backoff
+    /// wrapper can branch on the outcome instead of deadlocking on a
+    /// dropped grant.
+    AwaitGrantFor {
+        /// Arbiter guarding the shared resource.
+        arbiter: ArbiterId,
+        /// Maximum stalled cycles before giving up.
+        cycles: u32,
+        /// Receives 1 on grant, 0 on timeout.
+        dst: VarId,
+    },
     /// Deassert the Request line, releasing the shared resource.
     ReqDeassert {
         /// Arbiter guarding the shared resource.
@@ -323,6 +337,7 @@ impl Program {
         visit_ops(&self.ops, &mut |op| match op {
             Op::ReqAssert { arbiter }
             | Op::AwaitGrant { arbiter }
+            | Op::AwaitGrantFor { arbiter, .. }
             | Op::ReqDeassert { arbiter } => {
                 out.insert(*arbiter);
             }
@@ -376,6 +391,9 @@ fn collect_vars_ops(ops: &[Op], out: &mut BTreeSet<VarId>) {
         Op::Recv { dst, .. } => {
             out.insert(*dst);
         }
+        Op::AwaitGrantFor { dst, .. } => {
+            out.insert(*dst);
+        }
         Op::IfNonZero { cond, .. } => cond.collect_vars(out),
         _ => {}
     });
@@ -408,7 +426,9 @@ fn count_ops(ops: &[Op], mult: u64) -> AccessCounts {
             }
             // AwaitGrant costs zero cycles when uncontended; count nothing
             // statically (dynamic wait is measured by the simulator).
-            Op::AwaitGrant { .. } => {}
+            // The bounded form falls through for free on the grant (or
+            // timeout) edge just the same.
+            Op::AwaitGrant { .. } | Op::AwaitGrantFor { .. } => {}
         }
     }
     c

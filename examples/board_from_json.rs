@@ -75,8 +75,9 @@ fn main() {
             &ChannelMergePlan::default(),
             &InsertionConfig::paper(),
         );
-        let mut sys =
-            SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default()).build(board);
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
+            .try_build(board)
+            .unwrap();
         let report = sys.run(100_000);
         assert!(report.clean());
         println!(

@@ -70,7 +70,9 @@ fn main() {
     );
 
     // Correct construction: register at each receiving end (Fig. 3).
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .try_build(&board)
+        .unwrap();
     let ok = sys.run(1000);
     println!(
         "receiver registers: completed={}, violations={} — Task2 read its 10",
@@ -84,7 +86,8 @@ fn main() {
     // it; Task2 blocks forever.
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
         .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let bad = sys.run(1000);
     println!(
         "source register:    completed={} — the early transfer was lost, exactly the failure Table 1 warns about",

@@ -84,13 +84,14 @@ fn main() {
 
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
         .with_config(SimConfig::new().with_cosim(true)) // every grant cross-checked against gate level
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
 
     // Deterministic test imagery.
     let mut inputs = Vec::new();
     for (i, &(input, _)) in rows.iter().enumerate() {
         let row: [u64; W] = std::array::from_fn(|x| ((i * 37 + x * 11) % 200) as u64);
-        sys.load_segment(input, &row);
+        sys.try_load_segment(input, &row).unwrap();
         inputs.push(row);
     }
 
@@ -98,7 +99,7 @@ fn main() {
     assert!(report.clean(), "violations: {:?}", report.violations);
 
     for (i, &(_, output)) in rows.iter().enumerate() {
-        let got = sys.read_segment(output, W);
+        let got = sys.try_read_segment(output, W).unwrap();
         let want = reference(&inputs[i]);
         assert_eq!(got.as_slice(), want.as_slice(), "row {i}");
     }

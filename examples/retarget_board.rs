@@ -50,7 +50,9 @@ fn flow_onto(graph: &TaskGraph, board: &Board) {
         .iter()
         .map(|a| format!("{} on {}", a.name(), a.resource))
         .collect();
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .try_build(board)
+        .unwrap();
     let report = sys.run(1_000_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
     println!(

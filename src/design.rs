@@ -36,6 +36,7 @@ use rcarb_core::Error;
 use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::{RunReport, System, SystemBuilder};
 use rcarb_sim::scheduler::KernelStats;
+use rcarb_sim::{FaultPlan, FaultReport};
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{SegmentId, TaskId};
 use std::collections::BTreeMap;
@@ -216,6 +217,37 @@ impl PlannedDesign {
         let stats = sys.kernel_stats();
         Ok((report, stats))
     }
+
+    /// [`simulate`](Self::simulate) under a deterministic fault plan:
+    /// builds the system with `plan` compiled in, runs it, and returns
+    /// the run report together with the injected/detected/recovered
+    /// accounting. Identical seeds produce byte-identical reports on
+    /// both kernels; an empty plan is byte-identical to a fault-free
+    /// run.
+    ///
+    /// Watchdog thresholds and recovery policies come from `config`
+    /// ([`SimConfig::watchdog`] / [`SimConfig::recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place, or [`Error::FaultPlan`] if the plan
+    /// references tasks, arbiters, ports, banks or channels the design
+    /// does not have.
+    pub fn simulate_with_faults(
+        &self,
+        config: SimConfig,
+        plan: &FaultPlan,
+        max_cycles: u64,
+    ) -> Result<(RunReport, FaultReport), Error> {
+        let mut sys = SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
+            .with_config(config)
+            .with_faults(plan.clone())
+            .try_build(&self.board)?;
+        let report = sys.run(max_cycles);
+        let faults = sys.fault_report();
+        Ok((report, faults))
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +297,8 @@ mod tests {
         assert_eq!(planned.plan().arbiters, plan.arbiters);
         let facade = planned.simulate(SimConfig::new(), 10_000).unwrap();
         let longhand = SystemBuilder::from_plan(&plan, &binding, &merges)
-            .build(&board)
+            .try_build(&board)
+            .unwrap()
             .run(10_000);
         assert_eq!(facade.cycles, longhand.cycles);
         assert_eq!(facade.violations, longhand.violations);

@@ -18,15 +18,22 @@ pub use rcarb_core::generator::{ArbiterGenerator, ArbiterSpec, GeneratedArbiter}
 pub use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
 pub use rcarb_core::memmap::{bind_segments, MemoryBinding};
 pub use rcarb_core::policy::PolicyKind;
+pub use rcarb_core::transform::RetryPolicy;
 pub use rcarb_core::Error;
 pub use rcarb_exec::{global_pool, PerfReport, PoolStats, StageTimer};
-pub use rcarb_fft::flow::{run_fft_flow, simulate_block, simulate_blocks, FftFlow};
+pub use rcarb_fft::flow::{
+    run_fft_flow, simulate_block, simulate_block_faulted, simulate_blocks, FaultedBlockSim, FftFlow,
+};
 pub use rcarb_fft::runtime::compare_512;
 pub use rcarb_logic::encode::EncodingStyle;
 pub use rcarb_logic::tools::ToolModel;
 pub use rcarb_sim::config::SimConfig;
 pub use rcarb_sim::engine::{RunReport, System, SystemBuilder};
+pub use rcarb_sim::monitor::Violation;
 pub use rcarb_sim::scheduler::KernelStats;
+pub use rcarb_sim::{
+    FaultKind, FaultPlan, FaultReport, FaultWindow, RecoveryPolicy, WatchdogConfig,
+};
 pub use rcarb_taskgraph::builder::TaskGraphBuilder;
 pub use rcarb_taskgraph::graph::TaskGraph;
 pub use rcarb_taskgraph::id::{SegmentId, TaskId};

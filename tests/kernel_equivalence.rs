@@ -87,13 +87,14 @@ fn observe(
         SystemBuilder::unarbitrated(graph, &binding, &merges)
     }
     .with_config(config)
-    .build(&board);
+    .try_build(&board)
+    .unwrap();
     let report = sys.run(1_000_000);
     let vcd = sys.vcd();
     let memory = graph
         .segments()
         .iter()
-        .map(|s| sys.read_segment(s.id(), s.words() as usize))
+        .map(|s| sys.try_read_segment(s.id(), s.words() as usize).unwrap())
         .collect();
     (report, vcd, memory, sys.kernel_stats())
 }
@@ -231,7 +232,8 @@ fn kernels_agree_on_floating_select_lines() {
                     .with_trace(true)
                     .with_legacy_kernel(legacy),
             )
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         let report = sys.run(100_000);
         (report, sys.vcd(), sys.kernel_stats())
     };
@@ -273,7 +275,8 @@ fn kernels_agree_on_deadlock_timeouts() {
             &ChannelMergePlan::default(),
         )
         .with_config(SimConfig::new().with_legacy_kernel(legacy))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
         let report = sys.run(5_000);
         (report, sys.kernel_stats())
     };
@@ -334,7 +337,8 @@ fn kernels_agree_under_starvation_monitoring() {
                     .with_starvation_bound(3)
                     .with_legacy_kernel(legacy),
             )
-            .build(&board);
+            .try_build(&board)
+            .unwrap();
         let report = sys.run(100_000);
         (report, sys.kernel_stats())
     };

@@ -72,7 +72,7 @@ proptest! {
         );
         let mut sys = SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
             .with_config(SimConfig::new().with_policy(kind))
-            .build(&board);
+            .try_build(&board).unwrap();
         let report = sys.run(1_000_000);
         prop_assert!(report.completed, "{kind}: did not terminate");
         prop_assert!(report.violations.is_empty(), "{kind}: {:?}", report.violations);
@@ -93,7 +93,7 @@ proptest! {
         let board = presets::duo_small();
         let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
         let mut sys = SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-            .build(&board);
+            .try_build(&board).unwrap();
         let report = sys.run(1_000_000);
         prop_assert!(report.completed);
         for v in &report.violations {
@@ -141,14 +141,14 @@ proptest! {
                     &InsertionConfig::paper().with_max_burst(m),
                 );
                 SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                    .build(&board)
+                    .try_build(&board).unwrap()
             } else {
                 SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-                    .build(&board)
+                    .try_build(&board).unwrap()
             };
             let report = sys.run(1_000_000);
             assert!(report.clean());
-            sys.read_segment(m1, 64)
+            sys.try_read_segment(m1, 64).unwrap()
         };
         prop_assert_eq!(build(false), build(true));
     }
@@ -182,11 +182,11 @@ proptest! {
                     &InsertionConfig::paper().with_max_burst(m),
                 );
                 SystemBuilder::from_plan(&plan, &binding, &ChannelMergePlan::default())
-                    .build(&board)
+                    .try_build(&board).unwrap()
                     .run(1_000_000)
             } else {
                 SystemBuilder::unarbitrated(&graph, &binding, &ChannelMergePlan::default())
-                    .build(&board)
+                    .try_build(&board).unwrap()
                     .run(1_000_000)
             };
             let t = report.task(rcarb::taskgraph::id::TaskId::new(0));

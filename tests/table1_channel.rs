@@ -88,11 +88,13 @@ fn table1_merged_channel_delivers_both_values() {
     );
     assert_eq!(plan.arbiter_sizes(), vec![2]);
 
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(10_000);
     assert!(report.clean(), "violations: {:?}", report.violations);
     // Task2 consumed 10 (not Task4's 102), Task3 consumed 102.
-    let result = sys.read_segment(f.result_seg, 2);
+    let result = sys.try_read_segment(f.result_seg, 2).unwrap();
     assert_eq!(result, vec![10, 102]);
 }
 
@@ -110,7 +112,8 @@ fn table1_fails_with_source_side_register() {
     );
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
         .with_config(SimConfig::new().with_register_placement(RegisterPlacement::Source))
-        .build(&board);
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(10_000);
     // Task2 blocks forever on the overwritten transfer.
     assert!(!report.completed);
@@ -142,8 +145,10 @@ fn table1_reader_latches_indefinitely() {
         &merges,
         &InsertionConfig::paper().with_elision(true),
     );
-    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges).build(&board);
+    let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+        .try_build(&board)
+        .unwrap();
     let report = sys.run(10_000);
     assert!(report.clean());
-    assert_eq!(sys.read_segment(f.result_seg, 1), vec![10]);
+    assert_eq!(sys.try_read_segment(f.result_seg, 1).unwrap(), vec![10]);
 }
