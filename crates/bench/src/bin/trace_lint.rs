@@ -1,0 +1,46 @@
+//! `trace_lint` — validates a Chrome `about://tracing` file produced by
+//! the observability layer (`RCARB_TRACE` or `Obs::write_chrome_trace`).
+//!
+//! Checks the schema (every event carries name/ph/ts/pid/tid, complete
+//! events carry dur and a unique span id) and the span tree (every
+//! parent exists, every child interval nests inside its parent).
+//!
+//! ```text
+//! cargo run -p rcarb-bench --bin trace_lint -- trace_fft.json
+//! ```
+//!
+//! Exits 0 on a valid trace, 1 on a malformed one, 2 on usage errors.
+
+use rcarb_json::Json;
+use rcarb_obs::chrome::validate_trace;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_lint <trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("trace_lint: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_trace(&doc) {
+        Ok(summary) => println!(
+            "{path}: OK — {} span(s), {} counter series",
+            summary.spans, summary.counters
+        ),
+        Err(e) => {
+            eprintln!("trace_lint: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

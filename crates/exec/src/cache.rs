@@ -21,6 +21,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries dropped by [`Cache::clear`] over the cache's lifetime.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -41,6 +43,7 @@ pub struct Cache<K, V> {
     map: Mutex<HashMap<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
@@ -50,6 +53,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -96,17 +100,22 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
         self.len() == 0
     }
 
-    /// Drops every entry (counters are preserved).
+    /// Drops every entry (hit/miss counters are preserved; the dropped
+    /// entries are added to the eviction count).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        let mut map = self.map.lock().expect("cache lock");
+        self.evictions
+            .fetch_add(map.len() as u64, Ordering::Relaxed);
+        map.clear();
     }
 
-    /// A snapshot of the hit/miss counters and entry count.
+    /// A snapshot of the hit/miss/eviction counters and entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -128,14 +137,18 @@ mod tests {
     }
 
     #[test]
-    fn clear_preserves_counters() {
+    fn clear_preserves_counters_and_counts_evictions() {
         let cache: Cache<u32, u32> = Cache::new();
         let _ = cache.get_or_insert_with(&1, || 2);
+        let _ = cache.get_or_insert_with(&2, || 4);
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.stats().misses, 1);
-        let _ = cache.get_or_insert_with(&1, || 3);
         assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().evictions, 2);
+        let _ = cache.get_or_insert_with(&1, || 3);
+        assert_eq!(cache.stats().misses, 3);
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 3);
     }
 
     #[test]

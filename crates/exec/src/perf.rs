@@ -9,6 +9,7 @@
 use crate::cache::CacheStats;
 use crate::pool::PoolStats;
 use rcarb_json::Json;
+use rcarb_obs::MetricsSnapshot;
 use std::time::{Duration, Instant};
 
 /// One timed pipeline stage.
@@ -29,6 +30,8 @@ pub struct PerfReport {
     pub caches: Vec<(String, CacheStats)>,
     /// Timed stages, in recording order.
     pub stages: Vec<StageTime>,
+    /// Metrics snapshot from an observability session, when one ran.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl PerfReport {
@@ -47,6 +50,13 @@ impl PerfReport {
     /// Records one cache's statistics under `name`.
     pub fn add_cache(&mut self, name: impl Into<String>, stats: CacheStats) {
         self.caches.push((name.into(), stats));
+    }
+
+    /// Attaches a metrics snapshot from an observability session.
+    #[must_use]
+    pub fn with_metrics(mut self, snapshot: MetricsSnapshot) -> Self {
+        self.metrics = Some(snapshot);
+        self
     }
 
     /// Records a stage wall time under `name`.
@@ -76,8 +86,9 @@ impl PerfReport {
         let mut out = String::new();
         if let Some(pool) = &self.pool {
             out.push_str(&format!(
-                "pool: {} worker(s), {} job(s) scheduled, {} executed, {} stolen\n",
-                pool.workers, pool.scheduled, pool.executed, pool.stolen
+                "pool: {} worker(s), {} job(s) scheduled, {} executed, {} stolen ({} caller-helped), {} queued\n",
+                pool.workers, pool.scheduled, pool.executed, pool.stolen, pool.helped,
+                pool.queue_depth
             ));
         }
         for (name, c) in &self.caches {
@@ -97,6 +108,9 @@ impl PerfReport {
                 s.wall.as_secs_f64() * 1e3
             ));
         }
+        if let Some(metrics) = &self.metrics {
+            out.push_str(&format!("metrics: {} series recorded\n", metrics.len()));
+        }
         out
     }
 
@@ -108,6 +122,8 @@ impl PerfReport {
                 ("scheduled".to_owned(), Json::from(p.scheduled)),
                 ("executed".to_owned(), Json::from(p.executed)),
                 ("stolen".to_owned(), Json::from(p.stolen)),
+                ("helped".to_owned(), Json::from(p.helped)),
+                ("queue_depth".to_owned(), Json::from(p.queue_depth as u64)),
             ]),
             None => Json::Null,
         };
@@ -120,6 +136,7 @@ impl PerfReport {
                         ("hits".to_owned(), Json::from(c.hits)),
                         ("misses".to_owned(), Json::from(c.misses)),
                         ("entries".to_owned(), Json::from(c.entries as u64)),
+                        ("evictions".to_owned(), Json::from(c.evictions)),
                         ("hit_rate".to_owned(), Json::from(c.hit_rate())),
                     ])
                 })
@@ -136,10 +153,15 @@ impl PerfReport {
                 })
                 .collect(),
         );
+        let metrics = match &self.metrics {
+            Some(m) => m.to_json(),
+            None => Json::Null,
+        };
         Json::Obj(vec![
             ("pool".to_owned(), pool),
             ("caches".to_owned(), caches),
             ("stages".to_owned(), stages),
+            ("metrics".to_owned(), metrics),
         ])
     }
 }
@@ -181,6 +203,8 @@ mod tests {
             scheduled: 10,
             executed: 10,
             stolen: 3,
+            helped: 1,
+            queue_depth: 0,
         });
         report.add_cache(
             "synth",
@@ -188,11 +212,13 @@ mod tests {
                 hits: 9,
                 misses: 1,
                 entries: 1,
+                evictions: 0,
             },
         );
         report.add_stage("sweep/parallel", Duration::from_millis(12));
         let text = report.render_text();
         assert!(text.contains("pool: 4 worker(s), 10 job(s) scheduled"));
+        assert!(text.contains("3 stolen (1 caller-helped)"));
         assert!(text.contains("cache synth: 9 hit(s), 1 miss(es), 1 entry (90% hit rate)"));
         assert!(text.contains("stage sweep/parallel"));
     }
@@ -206,14 +232,27 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 entries: 1,
+                evictions: 0,
             },
         );
         report.add_stage("a", Duration::from_millis(1));
         let doc = report.to_json();
         assert!(doc["pool"].is_null());
+        assert!(doc["metrics"].is_null());
         assert_eq!(doc["caches"].as_array().unwrap().len(), 1);
         assert_eq!(doc["caches"][0]["hits"].as_u64(), Some(1));
+        assert_eq!(doc["caches"][0]["evictions"].as_u64(), Some(0));
         assert_eq!(doc["stages"][0]["name"].as_str(), Some("a"));
+    }
+
+    #[test]
+    fn metrics_section_renders_when_attached() {
+        let registry = rcarb_obs::MetricsRegistry::new();
+        registry.counter_add("sim/cycles", 11);
+        let report = PerfReport::new().with_metrics(registry.snapshot());
+        assert!(report.render_text().contains("metrics: 1 series recorded"));
+        let doc = report.to_json();
+        assert_eq!(doc["metrics"]["sim/cycles"].as_u64(), Some(11));
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct PoolStats {
     /// Jobs executed by a thread other than the worker whose deque they
     /// were pushed to (steals, including help from waiting callers).
     pub stolen: u64,
+    /// The subset of `stolen` taken by callers waiting inside
+    /// [`ThreadPool::parallel_map`] rather than by pool workers.
+    pub helped: u64,
+    /// Jobs sitting in the deques at snapshot time.
+    pub queue_depth: usize,
 }
 
 #[derive(Default)]
@@ -40,6 +45,7 @@ struct Counters {
     scheduled: AtomicU64,
     executed: AtomicU64,
     stolen: AtomicU64,
+    helped: AtomicU64,
 }
 
 struct Shared {
@@ -72,6 +78,9 @@ impl Shared {
             }
             if let Some(job) = self.queues[q].lock().expect("queue lock").pop_front() {
                 self.counters.stolen.fetch_add(1, Ordering::Relaxed);
+                if own.is_none() {
+                    self.counters.helped.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(job);
             }
         }
@@ -146,6 +155,13 @@ impl ThreadPool {
             scheduled: self.shared.counters.scheduled.load(Ordering::Relaxed),
             executed: self.shared.counters.executed.load(Ordering::Relaxed),
             stolen: self.shared.counters.stolen.load(Ordering::Relaxed),
+            helped: self.shared.counters.helped.load(Ordering::Relaxed),
+            queue_depth: self
+                .shared
+                .queues
+                .iter()
+                .map(|q| q.lock().expect("queue lock").len())
+                .sum(),
         }
     }
 
@@ -334,6 +350,13 @@ mod tests {
                 + i
         });
         assert_eq!(out, vec![6, 7, 8, 9]);
+        let stats = pool.stats();
+        assert!(
+            stats.helped > 0,
+            "the blocked caller must have helped drain the queues"
+        );
+        assert!(stats.helped <= stats.stolen, "help is a subset of steals");
+        assert_eq!(stats.queue_depth, 0, "queues drain once the maps return");
     }
 
     #[test]

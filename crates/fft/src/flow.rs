@@ -17,6 +17,7 @@ use rcarb_board::board::{Board, PeId};
 use rcarb_board::presets;
 use rcarb_core::Error;
 use rcarb_exec::PerfReport;
+use rcarb_obs::Obs;
 use rcarb_partition::flow::{run_flow, FlowConfig, FlowError, FlowResult};
 use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::SystemBuilder;
@@ -200,7 +201,25 @@ pub fn simulate_block(flow: &FftFlow, tile: [[i64; 4]; 4]) -> BlockSim {
 ///
 /// Panics if any partition's simulation reports a violation.
 pub fn simulate_block_with(flow: &FftFlow, tile: [[i64; 4]; 4], config: SimConfig) -> BlockSim {
-    simulate_block_impl(flow, tile, config, None)
+    simulate_block_impl(flow, tile, config, None, None)
+}
+
+/// [`simulate_block_with`] under an observability session: every
+/// partition's system is built with `obs` attached (so the simulator's
+/// `sim/*`, `kernel/*` and per-arbiter grant-wait metrics accumulate
+/// across partitions), and the whole block is wrapped in an `fft/block`
+/// span with one `fft/partition{i}` child per temporal partition.
+///
+/// # Panics
+///
+/// Panics if any partition's simulation reports a violation.
+pub fn simulate_block_observed(
+    flow: &FftFlow,
+    tile: [[i64; 4]; 4],
+    config: SimConfig,
+    obs: &Obs,
+) -> BlockSim {
+    simulate_block_impl(flow, tile, config, None, Some(obs))
 }
 
 /// [`simulate_block_with`] plus wall-clock stage timings: returns the
@@ -216,7 +235,7 @@ pub fn simulate_block_timed(
     config: SimConfig,
 ) -> (BlockSim, PerfReport) {
     let mut perf = PerfReport::new();
-    let sim = simulate_block_impl(flow, tile, config, Some(&mut perf));
+    let sim = simulate_block_impl(flow, tile, config, Some(&mut perf), None);
     (sim, perf)
 }
 
@@ -225,7 +244,9 @@ fn simulate_block_impl(
     tile: [[i64; 4]; 4],
     config: SimConfig,
     mut perf: Option<&mut PerfReport>,
+    obs: Option<&Obs>,
 ) -> BlockSim {
+    let _block_span = obs.map(|o| o.span("fft/block"));
     // Cross-stage memory contents, keyed by segment name.
     let mut memory: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for (i, row) in tile.iter().enumerate() {
@@ -238,10 +259,13 @@ fn simulate_block_impl(
     let mut stage_kernel = Vec::new();
     for stage in &flow.result.stages {
         let started = Instant::now();
-        let mut sys = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
-            .with_config(config)
-            .try_build(&flow.board)
-            .unwrap();
+        let _stage_span = obs.map(|o| o.span(&format!("fft/partition{}", stage.index)));
+        let mut builder = SystemBuilder::from_plan(&stage.plan, &stage.binding, &stage.merges)
+            .with_config(config);
+        if let Some(o) = obs {
+            builder = builder.with_obs(o.clone());
+        }
+        let mut sys = builder.try_build(&flow.board).unwrap();
         let sub = &stage.plan.graph;
         for seg in sub.segments() {
             if let Some(data) = memory.get(seg.name()) {
@@ -582,6 +606,33 @@ mod tests {
         for (stats, &cycles) in event.stage_kernel.iter().zip(&event.stage_cycles) {
             assert_eq!(stats.total_cycles(), cycles);
         }
+    }
+
+    #[test]
+    fn observed_block_matches_plain_and_nests_partition_spans() {
+        let flow = run_fft_flow().unwrap();
+        let tile = [[5; 4]; 4];
+        let plain = simulate_block(&flow, tile);
+        let obs = rcarb_obs::ObsConfig::on().session().unwrap();
+        let observed = simulate_block_observed(&flow, tile, SimConfig::new(), &obs);
+        assert_eq!(observed.output, plain.output);
+        assert_eq!(observed.stage_cycles, plain.stage_cycles);
+        // One fft/block root span with one fft/partition{i} child per
+        // temporal partition.
+        let spans = obs.spans();
+        let root = spans.iter().find(|s| s.name == "fft/block").unwrap();
+        for stage in &flow.result.stages {
+            let child = spans
+                .iter()
+                .find(|s| s.name == format!("fft/partition{}", stage.index))
+                .unwrap();
+            assert_eq!(child.parent, Some(root.id));
+        }
+        // Simulator metrics accumulate across the three partitions.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sim/runs"), flow.result.stages.len() as u64);
+        assert_eq!(snap.counter("sim/cycles_total"), plain.total_cycles());
+        rcarb_obs::chrome::validate_trace(&obs.chrome_trace()).expect("valid trace");
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Chrome `about://tracing` JSON export and its schema validator.
+//!
+//! The export is the object form of the trace event format: a
+//! `traceEvents` array of complete (`"ph": "X"`) duration events — one
+//! per finished span — followed by counter (`"ph": "C"`) events, one
+//! per registry counter/gauge. Load the file in `chrome://tracing` or
+//! Perfetto to see the facade stage tree over wall-clock time.
+//!
+//! [`validate_trace`] is the same checker the golden tests, the
+//! `trace_lint` bin and the CI `obs-smoke` job run: it enforces the
+//! event schema and that every span nests strictly inside its parent.
+
+use rcarb_json::Json;
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::SpanRecord;
+
+/// One validated span interval: `(start, end, parent)`.
+type Interval = (u64, u64, Option<u64>);
+
+/// Builds the Chrome trace document for a set of finished spans and a
+/// metrics snapshot.
+pub fn chrome_trace(spans: &[SpanRecord], snapshot: &MetricsSnapshot) -> Json {
+    let mut events: Vec<Json> = spans
+        .iter()
+        .map(|span| {
+            let cat = span.name.split('/').next().unwrap_or("rcarb");
+            Json::Obj(vec![
+                ("name".to_owned(), Json::from(span.name.as_str())),
+                ("cat".to_owned(), Json::from(cat)),
+                ("ph".to_owned(), Json::from("X")),
+                ("ts".to_owned(), Json::from(span.start_us)),
+                ("dur".to_owned(), Json::from(span.dur_us)),
+                ("pid".to_owned(), Json::from(1u64)),
+                ("tid".to_owned(), Json::from(1u64)),
+                (
+                    "args".to_owned(),
+                    Json::Obj(vec![
+                        ("id".to_owned(), Json::from(span.id)),
+                        (
+                            "parent".to_owned(),
+                            span.parent.map_or(Json::Null, Json::from),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    // Counter events carry the final value of every scalar metric at
+    // the end of the trace, so the counter track lines up with the
+    // span tree's right edge.
+    let ts = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &snapshot.0 {
+        let v = match value {
+            MetricValue::Counter(c) => Json::from(*c),
+            MetricValue::Gauge(g) => Json::from(*g),
+            MetricValue::Histogram(_) => continue,
+        };
+        events.push(Json::Obj(vec![
+            ("name".to_owned(), Json::from(name.as_str())),
+            ("ph".to_owned(), Json::from("C")),
+            ("ts".to_owned(), Json::from(ts)),
+            ("pid".to_owned(), Json::from(1u64)),
+            ("tid".to_owned(), Json::from(1u64)),
+            ("args".to_owned(), Json::Obj(vec![("value".to_owned(), v)])),
+        ]));
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_owned(), Json::Arr(events)),
+        ("displayTimeUnit".to_owned(), Json::from("ms")),
+    ])
+}
+
+/// Aggregate facts about a validated trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Number of `"ph": "X"` duration events.
+    pub spans: usize,
+    /// Number of `"ph": "C"` counter events.
+    pub counters: usize,
+}
+
+/// Checks that `doc` is a well-formed Chrome trace as produced by
+/// [`chrome_trace`]: schema-valid events, unique span ids, parents that
+/// exist, and child intervals contained in their parent's interval.
+///
+/// # Errors
+///
+/// Returns a description of the first violated rule.
+pub fn validate_trace(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc["traceEvents"]
+        .as_array()
+        .ok_or("missing traceEvents array")?;
+    let mut summary = TraceSummary::default();
+    // id -> (start, end, parent)
+    let mut intervals: Vec<(u64, Interval)> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| format!("event {i}: {msg}");
+        ev.as_object().ok_or_else(|| fail("not an object"))?;
+        ev["name"].as_str().ok_or_else(|| fail("missing name"))?;
+        let ph = ev["ph"].as_str().ok_or_else(|| fail("missing ph"))?;
+        let ts = ev["ts"].as_u64().ok_or_else(|| fail("missing ts"))?;
+        ev["pid"].as_u64().ok_or_else(|| fail("missing pid"))?;
+        ev["tid"].as_u64().ok_or_else(|| fail("missing tid"))?;
+        match ph {
+            "X" => {
+                summary.spans += 1;
+                let dur = ev["dur"].as_u64().ok_or_else(|| fail("X without dur"))?;
+                let id = ev["args"]["id"]
+                    .as_u64()
+                    .ok_or_else(|| fail("X without args.id"))?;
+                if intervals.iter().any(|&(seen, _)| seen == id) {
+                    return Err(fail(&format!("duplicate span id {id}")));
+                }
+                let parent = ev["args"]["parent"].as_u64();
+                intervals.push((id, (ts, ts + dur, parent)));
+            }
+            "C" => {
+                summary.counters += 1;
+                if ev["args"].as_object().is_none_or(|o| o.is_empty()) {
+                    return Err(fail("C without args series"));
+                }
+            }
+            other => return Err(fail(&format!("unknown phase {other:?}"))),
+        }
+    }
+
+    for &(id, (start, end, parent)) in &intervals {
+        let Some(parent) = parent else { continue };
+        let Some(&(_, (pstart, pend, _))) = intervals.iter().find(|&&(pid, _)| pid == parent)
+        else {
+            return Err(format!("span {id}: parent {parent} not in trace"));
+        };
+        if start < pstart || end > pend {
+            return Err(format!(
+                "span {id}: interval [{start}, {end}) escapes parent {parent} [{pstart}, {pend})"
+            ));
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "design/simulate".to_owned(),
+                start_us: 0,
+                dur_us: 100,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "design/run".to_owned(),
+                start_us: 10,
+                dur_us: 80,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_validates_and_counts() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("sim/cycles", 42);
+        reg.observe("sim/wait", 3);
+        let doc = chrome_trace(&spans(), &reg.snapshot());
+        let summary = validate_trace(&doc).unwrap();
+        assert_eq!(
+            summary,
+            TraceSummary {
+                spans: 2,
+                counters: 1
+            }
+        );
+    }
+
+    #[test]
+    fn export_round_trips_through_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("sim/cycles", 42);
+        let doc = chrome_trace(&spans(), &reg.snapshot());
+        let reparsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(doc, reparsed);
+        validate_trace(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn escaping_child_is_rejected() {
+        let mut bad = spans();
+        bad[1].dur_us = 500;
+        let doc = chrome_trace(&bad, &MetricsSnapshot::default());
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("escapes parent"), "{err}");
+    }
+
+    #[test]
+    fn missing_parent_is_rejected() {
+        let mut bad = spans();
+        bad[1].parent = Some(99);
+        let doc = chrome_trace(&bad, &MetricsSnapshot::default());
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("parent 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        let doc = Json::parse(r#"{"traceEvents": [{"name": "x", "ph": "X"}]}"#).unwrap();
+        assert!(validate_trace(&doc).is_err());
+        let doc = Json::parse(r#"{"traceEvents": 3}"#).unwrap();
+        assert!(validate_trace(&doc).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+#![warn(missing_docs)]
+
+//! # rcarb-obs — structured observability for the arbitration stack
+//!
+//! The paper's arbiter generator exists so partitioners can *measure*
+//! cost precisely; this crate extends that discipline to the runtime
+//! stack. It provides a [`MetricsRegistry`] (counters, gauges,
+//! fixed-bucket histograms), a hierarchical span tracer with
+//! deterministic ids, and two exporters — Chrome `about://tracing`
+//! JSON ([`chrome::chrome_trace`]) and Prometheus text exposition
+//! ([`prometheus::render`]) — all std-only, rendered through
+//! `rcarb-json`.
+//!
+//! Collection is gated behind [`ObsConfig`]: a disabled config yields
+//! no [`Obs`] session at all, so instrumented code branches on an
+//! `Option` and the zero-obs fast paths stay byte-identical. Setting
+//! `RCARB_TRACE=<path>` in the environment enables collection and
+//! writes the Chrome trace there on export.
+//!
+//! ```
+//! use rcarb_obs::ObsConfig;
+//!
+//! let obs = ObsConfig::on().session().expect("enabled");
+//! {
+//!     let _root = obs.span("design/simulate");
+//!     let _child = obs.span("design/run");
+//!     obs.metrics().counter_add("sim/cycles", 128);
+//! }
+//! let doc = obs.chrome_trace();
+//! rcarb_obs::chrome::validate_trace(&doc).unwrap();
+//! assert_eq!(obs.snapshot().counter("sim/cycles"), 128);
+//! ```
+
+pub mod chrome;
+pub mod metrics;
+pub mod prometheus;
+pub mod span;
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanGuard, SpanRecord};
+
+use rcarb_json::Json;
+
+/// Environment variable that enables tracing and names the output file.
+pub const TRACE_ENV: &str = "RCARB_TRACE";
+
+/// Switch for the observability layer.
+///
+/// Disabled (the default) means *no collection at all*: `session()`
+/// returns `None` and instrumented code takes its original path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    /// Whether to collect metrics and spans.
+    pub enabled: bool,
+    /// Where `export` writes the Chrome trace, when set.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl ObsConfig {
+    /// Collection disabled; instrumented paths stay untouched.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Collection enabled, no trace file.
+    pub fn on() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_path: None,
+        }
+    }
+
+    /// Enables collection and sets the Chrome-trace output path.
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.enabled = true;
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Reads [`TRACE_ENV`]: set and non-empty enables collection with
+    /// that trace path; unset leaves collection off.
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_ENV) {
+            Ok(path) if !path.is_empty() => ObsConfig::off().with_trace_path(path),
+            _ => ObsConfig::off(),
+        }
+    }
+
+    /// Starts a collection session, or `None` when disabled.
+    pub fn session(&self) -> Option<Obs> {
+        self.enabled.then(Obs::new)
+    }
+
+    /// Writes the session's Chrome trace to `trace_path`, when one is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file write error.
+    pub fn export(&self, obs: &Obs) -> io::Result<()> {
+        match &self.trace_path {
+            Some(path) => obs.write_chrome_trace(path),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A live observability session: one registry plus one span tracer.
+///
+/// Cheap to clone (an `Arc` handle); all methods take `&self`, so a
+/// session can be shared across the pool, the simulator and the
+/// facade.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<span::SpanTracer>,
+}
+
+impl Obs {
+    /// Creates a fresh session; span timestamps count from "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The session's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Opens a span; it closes (and records its duration) when the
+    /// returned guard drops. Spans opened while another is open become
+    /// its children.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard::open(Arc::clone(&self.tracer), name)
+    }
+
+    /// A copy of every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// All finished spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer.finished()
+    }
+
+    /// The Chrome `about://tracing` document for the session so far.
+    pub fn chrome_trace(&self) -> Json {
+        chrome::chrome_trace(&self.spans(), &self.snapshot())
+    }
+
+    /// The Prometheus text exposition for the session so far.
+    pub fn prometheus(&self) -> String {
+        prometheus::render(&self.snapshot())
+    }
+
+    /// Writes the Chrome trace document to `path`, pretty-printed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file write error.
+    pub fn write_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.chrome_trace().to_string_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_yields_no_session() {
+        assert!(ObsConfig::off().session().is_none());
+        assert!(ObsConfig::on().session().is_some());
+        assert!(ObsConfig::off().with_trace_path("t.json").enabled);
+    }
+
+    #[test]
+    fn session_collects_spans_and_metrics() {
+        let obs = ObsConfig::on().session().unwrap();
+        {
+            let _root = obs.span("a/root");
+            let _leaf = obs.span("a/leaf");
+            obs.metrics().counter_add("sim/cycles", 7);
+        }
+        assert_eq!(obs.spans().len(), 2);
+        assert_eq!(obs.snapshot().counter("sim/cycles"), 7);
+        let summary = chrome::validate_trace(&obs.chrome_trace()).unwrap();
+        assert_eq!(summary.spans, 2);
+        assert!(obs.prometheus().contains("rcarb_sim_cycles_total 7"));
+    }
+
+    #[test]
+    fn cloned_handles_share_state() {
+        let obs = Obs::new();
+        let other = obs.clone();
+        other.metrics().counter_add("x", 1);
+        assert_eq!(obs.snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn export_writes_a_valid_trace_file() {
+        let path = std::env::temp_dir().join("rcarb_obs_export_test.json");
+        let config = ObsConfig::off().with_trace_path(&path);
+        let obs = config.session().unwrap();
+        {
+            let _span = obs.span("design/simulate");
+        }
+        config.export(&obs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(chrome::validate_trace(&doc).unwrap().spans, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Prometheus text exposition (version 0.0.4) for a metrics snapshot.
+//!
+//! Metric paths are mapped onto the Prometheus name charset by
+//! prefixing `rcarb_` and folding every invalid character to `_`
+//! (`sim/arb/Arb0/grants` → `rcarb_sim_arb_Arb0_grants_total`).
+//! Counters get the conventional `_total` suffix, histograms expand to
+//! cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+
+/// Maps a metric path onto `[a-zA-Z0-9_:]` with the `rcarb_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("rcarb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expects (no exponent for the
+/// common cases, integral values without a trailing `.0`).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (path, value) in &snapshot.0 {
+        let base = sanitize_name(path);
+        match value {
+            MetricValue::Counter(c) => {
+                let name = format!("{base}_total");
+                let _ = writeln!(out, "# HELP {name} rcarb counter {path}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {base} rcarb gauge {path}");
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                let _ = writeln!(out, "{base} {}", fmt_value(*g));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {base} rcarb histogram {path}");
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                let mut cumulative = 0;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    let _ = writeln!(out, "{base}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                cumulative += h.counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{base}_sum {}", h.sum);
+                let _ = writeln!(out, "{base}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(
+            sanitize_name("sim/arb/Arb0/grant-wait"),
+            "rcarb_sim_arb_Arb0_grant_wait"
+        );
+    }
+
+    #[test]
+    fn exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("sim/cycles", 64);
+        reg.gauge_set("pool/queue_depth", 2.0);
+        reg.observe_with("sim/wait", 3, &[1, 4]);
+        reg.observe_with("sim/wait", 9, &[1, 4]);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE rcarb_sim_cycles_total counter"));
+        assert!(text.contains("rcarb_sim_cycles_total 64"));
+        assert!(text.contains("# TYPE rcarb_pool_queue_depth gauge"));
+        assert!(text.contains("rcarb_pool_queue_depth 2"));
+        assert!(text.contains("rcarb_sim_wait_bucket{le=\"1\"} 0"));
+        assert!(text.contains("rcarb_sim_wait_bucket{le=\"4\"} 1"));
+        assert!(text.contains("rcarb_sim_wait_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rcarb_sim_wait_sum 12"));
+        assert!(text.contains("rcarb_sim_wait_count 2"));
+    }
+
+    #[test]
+    fn every_series_line_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("a/b", 1);
+        reg.observe("c/d", 2);
+        reg.gauge_set("e/f", 0.5);
+        for line in render(&reg.snapshot()).lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("name value");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad name {bare}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "bad value {value}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Hierarchical wall-clock spans with deterministic ids.
+//!
+//! Span *ids and parent links* are assigned in open order from a
+//! sequential counter, so two equivalent runs produce structurally
+//! identical traces even though the recorded wall-clock times differ.
+//! Nesting is tracked with an explicit open-span stack: a span opened
+//! while another is open becomes its child, mirroring the call tree of
+//! the facade (`design/run` inside `design/simulate`, `fft/partition2`
+//! inside `fft/block`, …).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: a named `[start, start+dur)` interval plus its
+/// position in the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Sequential id, assigned at open time starting from 1.
+    pub id: u64,
+    /// Id of the enclosing span, when one was open.
+    pub parent: Option<u64>,
+    /// The span name, e.g. `design/run`.
+    pub name: String,
+    /// Microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    next_id: u64,
+    /// Open spans, innermost last: `(id, parent, name, start)`.
+    open: Vec<(u64, Option<u64>, String, u64)>,
+    finished: Vec<SpanRecord>,
+}
+
+/// Records spans against a fixed epoch.
+#[derive(Debug)]
+pub struct SpanTracer {
+    epoch: Instant,
+    state: Mutex<TracerState>,
+}
+
+impl Default for SpanTracer {
+    fn default() -> Self {
+        SpanTracer {
+            epoch: Instant::now(),
+            state: Mutex::new(TracerState::default()),
+        }
+    }
+}
+
+impl SpanTracer {
+    /// Creates a tracer whose timestamps count from "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Microseconds elapsed since the tracer epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn open(&self, name: &str) -> u64 {
+        let start = self.now_us();
+        let mut state = self.state.lock().unwrap();
+        state.next_id += 1;
+        let id = state.next_id;
+        let parent = state.open.last().map(|&(id, ..)| id);
+        state.open.push((id, parent, name.to_owned(), start));
+        id
+    }
+
+    fn close(&self, id: u64) {
+        let end = self.now_us();
+        let mut state = self.state.lock().unwrap();
+        let Some(pos) = state.open.iter().position(|&(open_id, ..)| open_id == id) else {
+            return;
+        };
+        let (id, parent, name, start_us) = state.open.remove(pos);
+        state.finished.push(SpanRecord {
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us: end.saturating_sub(start_us),
+        });
+    }
+
+    /// Finished spans, sorted by id (i.e. open order).
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        let mut spans = self.state.lock().unwrap().finished.clone();
+        spans.sort_by_key(|s| s.id);
+        spans
+    }
+}
+
+/// RAII guard returned by [`crate::Obs::span`]; records the span's
+/// duration when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Arc<SpanTracer>,
+    id: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn open(tracer: Arc<SpanTracer>, name: &str) -> SpanGuard {
+        let id = tracer.open(name);
+        SpanGuard { tracer, id }
+    }
+
+    /// The span's deterministic id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.close(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_parents_nest() {
+        let tracer = Arc::new(SpanTracer::new());
+        {
+            let outer = SpanGuard::open(Arc::clone(&tracer), "outer");
+            assert_eq!(outer.id(), 1);
+            {
+                let inner = SpanGuard::open(Arc::clone(&tracer), "inner");
+                assert_eq!(inner.id(), 2);
+            }
+        }
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].parent, Some(1));
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let tracer = Arc::new(SpanTracer::new());
+        let root = SpanGuard::open(Arc::clone(&tracer), "root");
+        for _ in 0..3 {
+            let _child = SpanGuard::open(Arc::clone(&tracer), "child");
+        }
+        drop(root);
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 4);
+        for child in &spans[1..] {
+            assert_eq!(child.parent, Some(1));
+        }
+    }
+
+    #[test]
+    fn child_intervals_fit_inside_parents() {
+        let tracer = Arc::new(SpanTracer::new());
+        {
+            let _outer = SpanGuard::open(Arc::clone(&tracer), "outer");
+            let _inner = SpanGuard::open(Arc::clone(&tracer), "inner");
+        }
+        let spans = tracer.finished();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+}

@@ -25,6 +25,14 @@ pub struct MonitorComponent {
     fired_timeout: BTreeSet<(TaskId, ArbiterId)>,
     /// Wait episodes that already fired a fairness violation.
     fired_fairness: BTreeSet<(TaskId, ArbiterId)>,
+    /// When set (observability on), every completed wait episode is
+    /// appended to `episodes`; off by default so the zero-obs path
+    /// allocates nothing.
+    record_episodes: bool,
+    /// Completed grant-wait episodes `(task, arbiter, cycles waited)`,
+    /// in grant order. A zero-length episode is a grant that was
+    /// already visible when the task reached its `AwaitGrant`.
+    episodes: Vec<(TaskId, ArbiterId, u64)>,
 }
 
 impl MonitorComponent {
@@ -57,9 +65,26 @@ impl MonitorComponent {
         &self.violations
     }
 
+    /// Turns on grant-wait episode recording (the observability
+    /// layer's per-arbiter wait histograms).
+    pub fn enable_episode_recording(&mut self) {
+        self.record_episodes = true;
+    }
+
+    /// Completed grant-wait episodes, in grant order. Empty unless
+    /// [`enable_episode_recording`](Self::enable_episode_recording)
+    /// was called.
+    pub fn episodes(&self) -> &[(TaskId, ArbiterId, u64)] {
+        &self.episodes
+    }
+
     /// Notes that `task` saw `arbiter`'s grant (ends its current wait
     /// episode, re-arming the watchdogs for the next one).
     pub fn granted(&mut self, task: TaskId, arbiter: ArbiterId) {
+        if self.record_episodes {
+            let waited = self.starvation.current_wait(task, arbiter);
+            self.episodes.push((task, arbiter, waited));
+        }
         self.starvation.granted(task, arbiter);
         self.fired_timeout.remove(&(task, arbiter));
         self.fired_fairness.remove(&(task, arbiter));
@@ -244,6 +269,21 @@ mod tests {
                 bound: 4,
             }
         );
+    }
+
+    #[test]
+    fn episodes_record_only_when_enabled() {
+        let mut m = MonitorComponent::new();
+        m.tick_waiting(t(0), a(0), 0);
+        m.granted(t(0), a(0));
+        assert!(m.episodes().is_empty());
+        m.enable_episode_recording();
+        for c in 1..4 {
+            m.tick_waiting(t(0), a(0), c);
+        }
+        m.granted(t(0), a(0));
+        m.granted(t(1), a(0)); // grant with no preceding wait
+        assert_eq!(m.episodes(), &[(t(0), a(0), 3), (t(1), a(0), 0)]);
     }
 
     #[test]

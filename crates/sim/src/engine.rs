@@ -53,6 +53,7 @@ use rcarb_core::channel::ChannelMergePlan;
 use rcarb_core::insertion::{ArbitratedResource, ArbitrationPlan};
 use rcarb_core::memmap::MemoryBinding;
 use rcarb_core::policy::PolicyKind;
+use rcarb_obs::Obs;
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -66,6 +67,7 @@ pub struct SystemBuilder {
     arbiters: Vec<rcarb_core::insertion::ArbiterInstance>,
     config: SimConfig,
     faults: FaultPlan,
+    obs: Option<Obs>,
 }
 
 impl SystemBuilder {
@@ -83,6 +85,7 @@ impl SystemBuilder {
             arbiters: plan.arbiters.clone(),
             config: SimConfig::new(),
             faults: FaultPlan::default(),
+            obs: None,
         }
     }
 
@@ -100,6 +103,7 @@ impl SystemBuilder {
             arbiters: Vec::new(),
             config: SimConfig::new(),
             faults: FaultPlan::default(),
+            obs: None,
         }
     }
 
@@ -123,6 +127,19 @@ impl SystemBuilder {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Attaches an observability session: the run publishes cycle,
+    /// grant, wait and fault metrics into it (and records per-arbiter
+    /// grant-wait episodes). Without a session the run path is
+    /// untouched — reports, VCD and memory stay byte-identical.
+    ///
+    /// This rides on the builder rather than [`SimConfig`] so the
+    /// config stays `Copy`.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -362,6 +379,9 @@ impl SystemBuilder {
             Some(fc)
         };
         let mut monitor = MonitorComponent::with_watchdog(self.config.watchdog);
+        if self.obs.is_some() {
+            monitor.enable_episode_recording();
+        }
         if let Some(m) = self.config.watchdog.fairness_m {
             // The paper's bound: behind an N-port arbiter with burst
             // length M, a conforming competitor holds the resource for
@@ -382,6 +402,12 @@ impl SystemBuilder {
             .map(|(i, mb)| (BankId::new(i as u32), mb.words()))
             .filter(|(b, _)| !banks.contains_key(b))
             .collect();
+        let wakes = self.obs.as_ref().map(|_| WakeCounters {
+            tasks: vec![0; tasks.len()],
+            arbiters: 0,
+            banks: 0,
+            routes: 0,
+        });
         Ok(System {
             graph: self.graph,
             binding: self.binding,
@@ -409,8 +435,25 @@ impl SystemBuilder {
             quarantined: BTreeSet::new(),
             rerouted: BTreeSet::new(),
             spare_banks,
+            obs: self.obs,
+            wakes,
         })
     }
+}
+
+/// Per-component execution counters, kept only when an observability
+/// session is attached (the runtime analogue of the event kernel's
+/// wake list: how many cycles each component actually stepped).
+#[derive(Debug)]
+struct WakeCounters {
+    /// Executed steps per task, indexed like `System::tasks`.
+    tasks: Vec<u64>,
+    /// Arbiter steps summed over all arbiters.
+    arbiters: u64,
+    /// Bank resolutions (one per bank with accesses per cycle).
+    banks: u64,
+    /// Route resolutions (one per route with sends per cycle).
+    routes: u64,
 }
 
 /// Per-task summary in a [`RunReport`].
@@ -512,6 +555,10 @@ pub struct System {
     /// Unused board banks a quarantine may migrate onto, with their
     /// capacity in words.
     spare_banks: Vec<(BankId, u32)>,
+    /// The attached observability session, when one was configured.
+    obs: Option<Obs>,
+    /// Per-component execution counters; `Some` exactly when `obs` is.
+    wakes: Option<WakeCounters>,
 }
 
 impl System {
@@ -647,7 +694,7 @@ impl System {
                 });
             }
         }
-        RunReport {
+        let report = RunReport {
             cycles: self.cycle,
             completed,
             violations,
@@ -673,6 +720,67 @@ impl System {
                 .map(|a| (a.id(), a.port_grants().to_vec()))
                 .collect(),
             worst_wait: self.monitor.global_worst(),
+        };
+        self.flush_obs(&report);
+        report
+    }
+
+    /// Publishes the run's outcome into the attached observability
+    /// session (no-op without one). Counters accumulate across runs
+    /// sharing a session; gauges reflect the latest run. The `sim/*`
+    /// and `fault/*` series derive from kernel-independent state, so
+    /// they match exactly across the event and legacy kernels; the
+    /// `kernel/*` series expose the kernel's own execute/skip split
+    /// and are excluded from the deterministic snapshot.
+    fn flush_obs(&self, report: &RunReport) {
+        let Some(obs) = &self.obs else { return };
+        let m = obs.metrics();
+        m.counter_add("sim/runs", 1);
+        m.counter_add("sim/cycles_total", report.cycles);
+        m.counter_add("sim/completed_runs", u64::from(report.completed));
+        m.counter_add("sim/violations", report.violations.len() as u64);
+        m.gauge_set("sim/worst_wait", report.worst_wait as f64);
+        for s in &report.task_stats {
+            let name = self.graph.task(s.task).name();
+            m.counter_add(&format!("sim/task/{name}/busy"), s.busy_cycles);
+            m.counter_add(&format!("sim/task/{name}/stall"), s.stall_cycles);
+        }
+        for &(arbiter, grants) in &report.arbiter_grants {
+            m.counter_add(&format!("sim/arb/{arbiter}/grants"), grants);
+        }
+        // Per-arbiter grant-wait distributions: the runtime analogue of
+        // the paper's (N-1)(M+2) fairness bound, one observation per
+        // completed wait episode.
+        for &(_, arbiter, waited) in self.monitor.episodes() {
+            m.observe(&format!("sim/arb/{arbiter}/grant_wait"), waited);
+        }
+        let stats = self.scheduler.stats();
+        m.counter_add("kernel/executed_cycles", stats.executed_cycles);
+        m.counter_add("kernel/skipped_cycles", stats.skipped_cycles);
+        m.counter_add("kernel/skips", stats.skips);
+        if let Some(w) = &self.wakes {
+            for (i, &n) in w.tasks.iter().enumerate() {
+                let name = self.graph.task(self.tasks[i].id()).name();
+                m.counter_add(&format!("kernel/wakes/task/{name}"), n);
+            }
+            m.counter_add("kernel/wakes/arbiters", w.arbiters);
+            m.counter_add("kernel/wakes/banks", w.banks);
+            m.counter_add("kernel/wakes/routes", w.routes);
+        }
+        if let Some(fc) = &self.faults {
+            let fr = fc.report();
+            m.counter_add("fault/injected", fr.injected);
+            m.counter_add("fault/detected", fr.detected);
+            m.counter_add("fault/recovered", fr.recovered);
+            m.counter_add("fault/unrecovered", fr.unrecovered);
+            for t in &fr.traces {
+                if let Some(l) = t.detection_latency() {
+                    m.observe("fault/detection_latency", l);
+                }
+                if let (Some(d), Some(r)) = (t.detected_at, t.recovered_at) {
+                    m.observe("fault/recovery_latency", r.saturating_sub(d));
+                }
+            }
         }
     }
 
@@ -962,6 +1070,7 @@ impl System {
                 channel_guards,
                 monitor,
                 faults,
+                wakes,
                 ..
             } = self;
             let mut ctx = ExecCtx {
@@ -980,9 +1089,12 @@ impl System {
                 faults,
                 retry_reads,
             };
-            for t in tasks.iter_mut() {
+            for (i, t) in tasks.iter_mut().enumerate() {
                 if t.status() == TaskStatus::Running {
                     t.step_cycle(&mut ctx);
+                    if let Some(w) = wakes.as_mut() {
+                        w.tasks[i] += 1;
+                    }
                 }
             }
         }
@@ -1063,6 +1175,11 @@ impl System {
                     }
                 }
             }
+        }
+        if let Some(w) = self.wakes.as_mut() {
+            w.arbiters += self.arbiters.len() as u64;
+            w.banks += bank_accesses.len() as u64;
+            w.routes += route_sends.len() as u64;
         }
         self.cycle += 1;
         self.scheduler.record_executed();
@@ -1357,6 +1474,41 @@ mod tests {
             event_stats.skipped_cycles > 40,
             "expected the consumer's wait to be skipped, got {event_stats:?}"
         );
+    }
+
+    #[test]
+    fn obs_session_collects_run_metrics_without_changing_the_report() {
+        let build = |obs: Option<Obs>| {
+            let mut b = TaskGraphBuilder::new("obs");
+            b.task("T", Program::build(|p| p.compute(25)));
+            let graph = b.finish().unwrap();
+            let board = rcarb_board::presets::duo_small();
+            let mut builder = SystemBuilder::unarbitrated(
+                &graph,
+                &MemoryBinding::default(),
+                &ChannelMergePlan::default(),
+            );
+            if let Some(o) = obs {
+                builder = builder.with_obs(o);
+            }
+            let mut sys = builder.try_build(&board).unwrap();
+            sys.run(1000)
+        };
+        let obs = Obs::new();
+        let observed = build(Some(obs.clone()));
+        let bare = build(None);
+        assert_eq!(observed, bare, "instrumentation must not perturb the run");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sim/runs"), 1);
+        assert_eq!(snap.counter("sim/cycles_total"), bare.cycles);
+        assert_eq!(snap.counter("sim/completed_runs"), 1);
+        assert_eq!(snap.counter("sim/task/T/busy"), 25);
+        assert_eq!(
+            snap.counter("kernel/executed_cycles") + snap.counter("kernel/skipped_cycles"),
+            bare.cycles,
+            "kernel accounting must cover every simulated cycle"
+        );
+        assert!(snap.counter("kernel/wakes/task/T") >= 1);
     }
 
     #[test]

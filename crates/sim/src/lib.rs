@@ -61,6 +61,6 @@ pub mod vcd;
 
 pub use config::{SimConfig, WatchdogConfig};
 pub use engine::{RunReport, System, SystemBuilder};
-pub use fault::{FaultKind, FaultPlan, FaultReport, FaultWindow, RecoveryPolicy};
+pub use fault::{FaultKind, FaultPlan, FaultReport, FaultTrace, FaultWindow, RecoveryPolicy};
 pub use monitor::Violation;
 pub use scheduler::{KernelStats, Scheduler};

@@ -33,6 +33,7 @@ use rcarb_core::channel::{plan_merges, ChannelMergePlan};
 use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
 use rcarb_core::memmap::{bind_segments, MemoryBinding};
 use rcarb_core::Error;
+use rcarb_obs::{Obs, ObsConfig};
 use rcarb_sim::config::SimConfig;
 use rcarb_sim::engine::{RunReport, System, SystemBuilder};
 use rcarb_sim::scheduler::KernelStats;
@@ -248,6 +249,67 @@ impl PlannedDesign {
         let faults = sys.fault_report();
         Ok((report, faults))
     }
+
+    /// [`simulate`](Self::simulate) under an observability session:
+    /// when `obs` is enabled, builds the system with a metrics/tracing
+    /// handle attached, wraps the build and the run in `design/*` spans,
+    /// snapshots the workspace pool and synthesis-cache counters, and
+    /// (when a trace path is configured, e.g. via `RCARB_TRACE`) writes
+    /// the Chrome trace file. Returns the session so the caller can
+    /// export metrics or render Prometheus text.
+    ///
+    /// When `obs` is disabled this is exactly [`simulate`](Self::simulate)
+    /// — no registry, no spans, no episode recording — and returns
+    /// `None` for the session.
+    ///
+    /// Trace-file write failures are reported on stderr rather than
+    /// failing the run: observability must never change the simulation
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place.
+    pub fn simulate_observed(
+        &self,
+        config: SimConfig,
+        max_cycles: u64,
+        obs: &ObsConfig,
+    ) -> Result<(RunReport, Option<Obs>), Error> {
+        let Some(session) = obs.session() else {
+            return Ok((self.simulate(config, max_cycles)?, None));
+        };
+        let root = session.span("design/simulate");
+        let mut sys = {
+            let _build = session.span("design/build");
+            SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
+                .with_config(config)
+                .with_obs(session.clone())
+                .try_build(&self.board)?
+        };
+        let report = {
+            let _run = session.span("design/run");
+            sys.run(max_cycles)
+        };
+        drop(root);
+        let metrics = session.metrics();
+        let cache = rcarb_core::generator::synthesis_cache_stats();
+        metrics.gauge_set("cache/synthesis/hits", cache.hits as f64);
+        metrics.gauge_set("cache/synthesis/misses", cache.misses as f64);
+        metrics.gauge_set("cache/synthesis/entries", cache.entries as f64);
+        metrics.gauge_set("cache/synthesis/evictions", cache.evictions as f64);
+        let pool = rcarb_exec::global_pool().stats();
+        metrics.gauge_set("pool/workers", pool.workers as f64);
+        metrics.gauge_set("pool/scheduled", pool.scheduled as f64);
+        metrics.gauge_set("pool/executed", pool.executed as f64);
+        metrics.gauge_set("pool/stolen", pool.stolen as f64);
+        metrics.gauge_set("pool/helped", pool.helped as f64);
+        metrics.gauge_set("pool/queue_depth", pool.queue_depth as f64);
+        if let Err(e) = obs.export(&session) {
+            eprintln!("rcarb: trace export failed: {e}");
+        }
+        Ok((report, Some(session)))
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +390,36 @@ mod tests {
         assert_eq!(event.total_cycles(), legacy.total_cycles());
         assert_eq!(legacy.skipped_cycles, 0);
         assert!(event.skipped_cycles > 150, "{event:?}");
+    }
+
+    #[test]
+    fn observed_simulation_matches_plain_and_records_spans() {
+        let planned = Design::new(shared_bank_graph(), presets::duo_small())
+            .plan()
+            .unwrap();
+        let plain = planned.simulate(SimConfig::new(), 10_000).unwrap();
+
+        // Disabled config: plain path, no session.
+        let (report, session) = planned
+            .simulate_observed(SimConfig::new(), 10_000, &ObsConfig::off())
+            .unwrap();
+        assert_eq!(report, plain);
+        assert!(session.is_none());
+
+        // Enabled config: identical report plus spans and metrics.
+        let (report, session) = planned
+            .simulate_observed(SimConfig::new(), 10_000, &ObsConfig::on())
+            .unwrap();
+        assert_eq!(report, plain);
+        let session = session.expect("session when enabled");
+        let names: Vec<_> = session.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"design/simulate".to_owned()), "{names:?}");
+        assert!(names.contains(&"design/build".to_owned()));
+        assert!(names.contains(&"design/run".to_owned()));
+        let snap = session.snapshot();
+        assert_eq!(snap.counter("sim/cycles_total"), report.cycles);
+        assert!(snap.gauge("pool/workers").is_some());
+        rcarb_obs::chrome::validate_trace(&session.chrome_trace()).expect("valid trace");
     }
 
     #[test]

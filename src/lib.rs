@@ -61,6 +61,7 @@ pub use rcarb_exec as exec;
 pub use rcarb_fft as fft;
 pub use rcarb_json as json;
 pub use rcarb_logic as logic;
+pub use rcarb_obs as obs;
 pub use rcarb_partition as partition;
 pub use rcarb_sim as sim;
 pub use rcarb_taskgraph as taskgraph;

@@ -22,17 +22,19 @@ pub use rcarb_core::transform::RetryPolicy;
 pub use rcarb_core::Error;
 pub use rcarb_exec::{global_pool, PerfReport, PoolStats, StageTimer};
 pub use rcarb_fft::flow::{
-    run_fft_flow, simulate_block, simulate_block_faulted, simulate_blocks, FaultedBlockSim, FftFlow,
+    run_fft_flow, simulate_block, simulate_block_faulted, simulate_block_observed, simulate_blocks,
+    FaultedBlockSim, FftFlow,
 };
 pub use rcarb_fft::runtime::compare_512;
 pub use rcarb_logic::encode::EncodingStyle;
 pub use rcarb_logic::tools::ToolModel;
+pub use rcarb_obs::{MetricsRegistry, MetricsSnapshot, Obs, ObsConfig, SpanRecord};
 pub use rcarb_sim::config::SimConfig;
 pub use rcarb_sim::engine::{RunReport, System, SystemBuilder};
 pub use rcarb_sim::monitor::Violation;
 pub use rcarb_sim::scheduler::KernelStats;
 pub use rcarb_sim::{
-    FaultKind, FaultPlan, FaultReport, FaultWindow, RecoveryPolicy, WatchdogConfig,
+    FaultKind, FaultPlan, FaultReport, FaultTrace, FaultWindow, RecoveryPolicy, WatchdogConfig,
 };
 pub use rcarb_taskgraph::builder::TaskGraphBuilder;
 pub use rcarb_taskgraph::graph::TaskGraph;

@@ -1,0 +1,217 @@
+//! JSON round-trip stability for the rendered diagnostics.
+//!
+//! `Violation` and `FaultReport` render through `ToJson`; these tests
+//! pin the rendering by round-tripping every variant through
+//! `Json::parse`: render → text → parse → re-render must be
+//! byte-identical (both compact and pretty), the structured fields must
+//! survive the trip, and the layout contract (`kind` first, `text`
+//! last, `cycle` present exactly when the violation has one) holds.
+
+use rcarb::board::memory::BankId;
+use rcarb::json::{Json, ToJson};
+use rcarb::prelude::*;
+use rcarb::taskgraph::id::{ArbiterId, ChannelId};
+
+fn t(i: u32) -> TaskId {
+    TaskId::new(i)
+}
+
+/// One instance of every `Violation` variant.
+fn all_violations() -> Vec<Violation> {
+    vec![
+        Violation::BankConflict {
+            cycle: 7,
+            bank: BankId::new(0),
+            tasks: vec![t(0), t(1)],
+        },
+        Violation::RouteConflict {
+            cycle: 9,
+            route: 2,
+            tasks: vec![t(1), t(2)],
+        },
+        Violation::AccessWithoutGrant {
+            cycle: 11,
+            task: t(0),
+            arbiter: ArbiterId::new(0),
+        },
+        Violation::MultipleGrants {
+            cycle: 13,
+            arbiter: ArbiterId::new(1),
+            grants: 0b0101,
+        },
+        Violation::CosimMismatch {
+            arbiter: ArbiterId::new(0),
+            cycles: 4,
+        },
+        Violation::FloatingSelectLine {
+            cycle: 15,
+            bank: BankId::new(1),
+        },
+        Violation::Starvation {
+            task: t(2),
+            arbiter: ArbiterId::new(0),
+            waited: 99,
+        },
+        Violation::GrantTimeout {
+            cycle: 17,
+            task: t(0),
+            arbiter: ArbiterId::new(0),
+            waited: 33,
+        },
+        Violation::FairnessBreach {
+            cycle: 19,
+            task: t(1),
+            arbiter: ArbiterId::new(1),
+            waited: 21,
+            bound: 20,
+        },
+        Violation::NoProgress {
+            cycle: 23,
+            stalled: 4096,
+        },
+        Violation::BankReadFault {
+            cycle: 29,
+            bank: BankId::new(0),
+            task: t(1),
+        },
+        Violation::ChannelFault {
+            cycle: 31,
+            channel: ChannelId::new(0),
+            bit: 17,
+        },
+    ]
+}
+
+/// Render → parse → re-render must be byte-identical.
+fn assert_round_trips(doc: &Json) {
+    let compact = doc.to_string();
+    let parsed = Json::parse(&compact).expect("compact text parses");
+    assert_eq!(&parsed, doc, "{compact}");
+    assert_eq!(parsed.to_string(), compact);
+    let pretty = doc.to_string_pretty();
+    let reparsed = Json::parse(&pretty).expect("pretty text parses");
+    assert_eq!(&reparsed, doc, "{pretty}");
+}
+
+#[test]
+fn every_violation_variant_round_trips() {
+    let violations = all_violations();
+    assert_eq!(violations.len(), 12, "one instance per variant");
+    for v in &violations {
+        let doc = v.to_json();
+        assert_round_trips(&doc);
+        let parsed = Json::parse(&doc.to_string()).unwrap();
+        // Layout contract: kind leads, human-readable text trails.
+        let Json::Obj(fields) = &parsed else {
+            panic!("violation renders as an object")
+        };
+        assert_eq!(fields.first().unwrap().0, "kind");
+        assert_eq!(fields.last().unwrap().0, "text");
+        assert_eq!(parsed["kind"].as_str(), Some(v.kind()));
+        assert_eq!(parsed["text"].as_str().unwrap(), v.to_string());
+        match v.cycle() {
+            Some(c) => assert_eq!(parsed["cycle"].as_u64(), Some(c), "{}", v.kind()),
+            None => assert!(parsed["cycle"].is_null(), "{} has no cycle", v.kind()),
+        }
+    }
+}
+
+#[test]
+fn violation_kinds_are_distinct() {
+    let mut kinds: Vec<&str> = all_violations().iter().map(|v| v.kind()).collect();
+    let before = kinds.len();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), before, "kind() must discriminate variants");
+}
+
+#[test]
+fn populated_fault_report_round_trips() {
+    let report = FaultReport {
+        injected: 2,
+        detected: 2,
+        recovered: 1,
+        unrecovered: 1,
+        traces: vec![
+            FaultTrace {
+                index: 0,
+                label: "stuck_request @ [3, 60)".to_owned(),
+                injections: 14,
+                first_injection: Some(3),
+                detected_at: Some(36),
+                recovered_at: Some(40),
+            },
+            FaultTrace {
+                index: 1,
+                label: "task_hang @ [10, 20)".to_owned(),
+                injections: 10,
+                first_injection: Some(10),
+                detected_at: Some(55),
+                recovered_at: None,
+            },
+            FaultTrace {
+                index: 2,
+                label: "channel_parity @ [0, 0)".to_owned(),
+                injections: 0,
+                first_injection: None,
+                detected_at: None,
+                recovered_at: None,
+            },
+        ],
+    };
+    let doc = report.to_json();
+    assert_round_trips(&doc);
+    let parsed = Json::parse(&doc.to_string()).unwrap();
+    assert_eq!(parsed["injected"].as_u64(), Some(2));
+    assert_eq!(parsed["unrecovered"].as_u64(), Some(1));
+    let traces = parsed["traces"].as_array().unwrap();
+    assert_eq!(traces.len(), 3);
+    assert_eq!(traces[0]["label"].as_str(), Some("stuck_request @ [3, 60)"));
+    assert_eq!(traces[0]["detected_at"].as_u64(), Some(36));
+    // Never-fired lifecycle stages render as JSON null, not as a
+    // sentinel number.
+    assert!(traces[1]["recovered_at"].is_null());
+    assert!(traces[2]["first_injection"].is_null());
+    // The latency accessor agrees with the rendered fields.
+    assert_eq!(report.worst_detection_latency(), Some(45));
+}
+
+#[test]
+fn simulated_fault_report_round_trips_end_to_end() {
+    // A real faulted run (not a hand-built report): two tasks contending
+    // on one bank, a camping stuck-request, watchdog + scrub recovery.
+    let mut b = TaskGraphBuilder::new("rt_chaos");
+    let m = b.segment("M", 64, 16);
+    b.task(
+        "hog",
+        Program::build(move |p| {
+            p.repeat(40, |p| p.mem_write(m, Expr::lit(0), Expr::lit(1)));
+        }),
+    );
+    b.task(
+        "meek",
+        Program::build(move |p| {
+            p.repeat(40, |p| p.mem_write(m, Expr::lit(1), Expr::lit(2)));
+        }),
+    );
+    let planned = Design::new(b.finish().unwrap(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let config = SimConfig::new()
+        .with_watchdog(WatchdogConfig::none().with_grant_timeout(32))
+        .with_recovery(RecoveryPolicy::none().with_scrub_requests(true));
+    let plan = FaultPlan::seeded(7).with_stuck_request(
+        TaskId::new(0),
+        ArbiterId::new(0),
+        true,
+        FaultWindow::new(0, 60),
+    );
+    let (report, faults) = planned
+        .simulate_with_faults(config, &plan, 100_000)
+        .unwrap();
+    assert!(faults.injected > 0, "the fault must fire");
+    assert_round_trips(&faults.to_json());
+    for v in &report.violations {
+        assert_round_trips(&v.to_json());
+    }
+}
