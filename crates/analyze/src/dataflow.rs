@@ -1,0 +1,197 @@
+//! A generic forward worklist fixpoint solver over basic-block CFGs.
+//!
+//! The analyses in this crate (lockset, deadlock-edge harvesting) are
+//! instances of one scheme: facts drawn from a join-semilattice flow
+//! forward through the [`Cfg`], transformed per straight-line op and
+//! per typed edge, joined at merge points, widened at loop headers so
+//! the iteration terminates. This module owns that scheme; the
+//! analyses only supply the domain and the transfer functions.
+
+use rcarb_taskgraph::cfg::{BlockId, Cfg, EdgeKind};
+use rcarb_taskgraph::program::Op;
+
+/// A join-semilattice analysis fact.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self`. `widen` is true at loop-header join
+    /// points, where the implementation must accelerate (jump to ⊤ on
+    /// any strictly growing component) so the fixpoint terminates.
+    /// Returns true when `self` changed.
+    fn join(&mut self, other: &Self, widen: bool) -> bool;
+}
+
+/// A forward dataflow analysis over one program CFG.
+pub trait Analysis {
+    /// The per-program-point fact.
+    type Fact: JoinSemiLattice;
+
+    /// The fact holding at program entry.
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// Transfers `fact` across one straight-line op.
+    fn transfer_op(&self, fact: &mut Self::Fact, op: &Op);
+
+    /// Transfers `fact` across one CFG edge (where branch outcomes,
+    /// grants and timeouts become visible).
+    fn transfer_edge(&self, fact: &mut Self::Fact, kind: &EdgeKind);
+}
+
+/// The fixpoint: the joined input fact of every block, `None` for
+/// blocks unreachable through live edges.
+pub struct Solution<F> {
+    /// Per-block input facts, indexed by [`BlockId`].
+    pub inputs: Vec<Option<F>>,
+}
+
+impl<F: JoinSemiLattice> Solution<F> {
+    /// The input fact of `block`, if reachable.
+    pub fn input(&self, block: BlockId) -> Option<&F> {
+        self.inputs.get(block).and_then(|f| f.as_ref())
+    }
+}
+
+/// Runs `analysis` to fixpoint over `cfg` with a worklist.
+///
+/// Blocks are (re)processed until no block's input fact changes; the
+/// domain's widening at loop headers bounds the iteration count. A
+/// defensive cap of `64 * blocks + 256` block visits guards against a
+/// non-converging domain — reaching it is a bug in the domain, and
+/// the solver panics rather than returning an unsound partial result.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.blocks().len();
+    let mut inputs: Vec<Option<A::Fact>> = vec![None; n];
+    inputs[cfg.entry()] = Some(analysis.entry_fact());
+    let mut queued = vec![false; n];
+    let mut worklist = std::collections::VecDeque::new();
+    worklist.push_back(cfg.entry());
+    queued[cfg.entry()] = true;
+
+    let mut visits = 0usize;
+    let cap = 64 * n + 256;
+    while let Some(block) = worklist.pop_front() {
+        queued[block] = false;
+        visits += 1;
+        assert!(visits <= cap, "dataflow solver failed to converge");
+        let Some(mut fact) = inputs[block].clone() else {
+            continue;
+        };
+        for op in &cfg.blocks()[block].ops {
+            analysis.transfer_op(&mut fact, op);
+        }
+        for (succ, kind) in cfg.successors(block) {
+            let mut out = fact.clone();
+            analysis.transfer_edge(&mut out, &kind);
+            let widen = cfg.blocks()[succ].loop_header;
+            let changed = match &mut inputs[succ] {
+                Some(existing) => existing.join(&out, widen),
+                slot @ None => {
+                    *slot = Some(out);
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                worklist.push_back(succ);
+            }
+        }
+    }
+    Solution { inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb_taskgraph::program::{Expr, Program};
+
+    /// A saturating op counter: counts straight-line ops on the
+    /// longest path, widening to `CAP` at loop headers.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Count(u32);
+    const CAP: u32 = 1000;
+
+    impl JoinSemiLattice for Count {
+        fn join(&mut self, other: &Self, widen: bool) -> bool {
+            let next = if widen && other.0 > self.0 {
+                CAP
+            } else {
+                self.0.max(other.0)
+            };
+            let changed = next != self.0;
+            self.0 = next;
+            changed
+        }
+    }
+
+    struct Counter;
+    impl Analysis for Counter {
+        type Fact = Count;
+        fn entry_fact(&self) -> Count {
+            Count(0)
+        }
+        fn transfer_op(&self, fact: &mut Count, _op: &Op) {
+            fact.0 = (fact.0 + 1).min(CAP);
+        }
+        fn transfer_edge(&self, _fact: &mut Count, _kind: &EdgeKind) {}
+    }
+
+    fn exit_input(p: &Program) -> Option<Count> {
+        let cfg = p.cfg();
+        let sol = solve(&cfg, &Counter);
+        let exit = cfg
+            .blocks()
+            .iter()
+            .position(|b| b.term == rcarb_taskgraph::cfg::Terminator::Exit)
+            .unwrap();
+        // The exit block may still carry trailing ops; its *input* is
+        // what the solver computes.
+        sol.inputs[exit].clone()
+    }
+
+    #[test]
+    fn straight_line_counts_exactly() {
+        let p = Program::build(|p| {
+            p.compute(1);
+            p.compute(1);
+            p.compute(1);
+        });
+        let cfg = p.cfg();
+        let sol = solve(&cfg, &Counter);
+        // Single block: its input is the entry fact.
+        assert_eq!(sol.input(0), Some(&Count(0)));
+    }
+
+    #[test]
+    fn branches_join_to_the_maximum() {
+        let p = Program::build(|p| {
+            let v = p.let_(Expr::lit(1));
+            p.if_else(
+                Expr::var(v),
+                |p| {
+                    p.compute(1);
+                    p.compute(1);
+                },
+                |p| p.compute(1),
+            );
+        });
+        // let_ = 1 op, then branch: max(2, 1) + 1 = 3 at exit input.
+        assert_eq!(exit_input(&p), Some(Count(3)));
+    }
+
+    #[test]
+    fn loops_widen_to_top() {
+        let p = Program::build(|p| {
+            p.repeat(5, |p| p.compute(1));
+        });
+        assert_eq!(exit_input(&p), Some(Count(CAP)));
+    }
+
+    #[test]
+    fn dead_branches_are_unreachable() {
+        let p = Program::build(|p| {
+            p.if_else(Expr::lit(0), |p| p.compute(1), |p| p.compute(2));
+        });
+        let cfg = p.cfg();
+        let sol = solve(&cfg, &Counter);
+        let unreachable = sol.inputs.iter().filter(|f| f.is_none()).count();
+        assert_eq!(unreachable, 1, "the then-branch entry must be dead");
+    }
+}

@@ -4,8 +4,17 @@
 //! severity, a human-readable location, a message stating the defect and
 //! an optional help line suggesting the fix. Codes are grouped by check
 //! family: `RCA1xx` bus contention, `RCA2xx` elision soundness, `RCA3xx`
-//! protocol/starvation, `RCA4xx` netlist and FSM lints.
+//! protocol/starvation, `RCA4xx` netlist and FSM lints, `RCA5xx`
+//! cross-task deadlock, `RCA6xx` fairness certification.
+//!
+//! Error-severity findings of the path-sensitive families (`RCA3xx`,
+//! `RCA5xx`, `RCA6xx`) additionally carry a [`Witness`]: the decisive
+//! control-flow path plus the runtime watchdog violation kind a
+//! directed simulation of the same plan is expected to raise — the
+//! replay harness in [`crate::replay`] turns that into an executable
+//! counterexample.
 
+use rcarb_taskgraph::id::{ArbiterId, TaskId};
 use std::fmt;
 
 /// Diagnostic severity, ordered: `Info < Warning < Error`.
@@ -93,9 +102,61 @@ pub enum DiagCode {
     /// RCA409: a transition asserts an output bit beyond the declared
     /// width.
     OutputOutOfRange,
+    /// RCA501: a cycle in the resource-wait graph — each task on the
+    /// cycle holds one arbiter while waiting unboundedly for the next,
+    /// and the tasks are pairwise unordered, so the deadlock is
+    /// reachable.
+    DeadlockCycle,
+    /// RCA502: a wait cycle where at least one edge is a bounded
+    /// `AwaitGrantFor` — the timeout breaks the deadlock, but the
+    /// tasks can livelock through repeated timeout/retry rounds.
+    LivelockRisk,
+    /// RCA601: an arbiter's worst-case hold window cannot be bounded
+    /// statically (the access count widened to ⊤), so the paper's
+    /// (N−1)(M+2) wait bound is unprovable for it.
+    FairnessUnprovable,
+    /// RCA602: a client provably performs more than `M` accesses in a
+    /// single hold, refuting the deassert-after-M premise of the
+    /// (N−1)(M+2) fairness bound.
+    FairnessRefuted,
+    /// RCA603: the (N−1)(M+2) bound is statically certified for an
+    /// arbiter — every client's hold window is ≤ M on all paths.
+    FairnessCertified,
 }
 
 impl DiagCode {
+    /// Every code the analyzer can emit, in code order.
+    pub const ALL: [DiagCode; 28] = [
+        DiagCode::TriStateContention,
+        DiagCode::ResolvedLineOverlap,
+        DiagCode::GrantToNonRequester,
+        DiagCode::UnsoundElision,
+        DiagCode::UnorderedBypass,
+        DiagCode::SharedPortUnordered,
+        DiagCode::BurstExceeded,
+        DiagCode::MissingRelease,
+        DiagCode::NestedHold,
+        DiagCode::UnknownArbiter,
+        DiagCode::UnguardedAccess,
+        DiagCode::ArbiterTooWide,
+        DiagCode::OrphanRelease,
+        DiagCode::AwaitWithoutRequest,
+        DiagCode::FloatingNode,
+        DiagCode::UndrivenRegister,
+        DiagCode::ConstantLut,
+        DiagCode::UnreachableState,
+        DiagCode::IncompleteGuards,
+        DiagCode::NondeterministicGuards,
+        DiagCode::DanglingTransition,
+        DiagCode::CombinationalLoop,
+        DiagCode::OutputOutOfRange,
+        DiagCode::DeadlockCycle,
+        DiagCode::LivelockRisk,
+        DiagCode::FairnessUnprovable,
+        DiagCode::FairnessRefuted,
+        DiagCode::FairnessCertified,
+    ];
+
     /// The stable machine-readable code string.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -122,6 +183,11 @@ impl DiagCode {
             DiagCode::DanglingTransition => "RCA407",
             DiagCode::CombinationalLoop => "RCA408",
             DiagCode::OutputOutOfRange => "RCA409",
+            DiagCode::DeadlockCycle => "RCA501",
+            DiagCode::LivelockRisk => "RCA502",
+            DiagCode::FairnessUnprovable => "RCA601",
+            DiagCode::FairnessRefuted => "RCA602",
+            DiagCode::FairnessCertified => "RCA603",
         }
     }
 
@@ -144,13 +210,17 @@ impl DiagCode {
             | DiagCode::NondeterministicGuards
             | DiagCode::DanglingTransition
             | DiagCode::CombinationalLoop
-            | DiagCode::OutputOutOfRange => Severity::Error,
+            | DiagCode::OutputOutOfRange
+            | DiagCode::DeadlockCycle
+            | DiagCode::FairnessRefuted => Severity::Error,
             DiagCode::ResolvedLineOverlap
             | DiagCode::OrphanRelease
             | DiagCode::FloatingNode
             | DiagCode::UndrivenRegister
-            | DiagCode::UnreachableState => Severity::Warning,
-            DiagCode::ConstantLut => Severity::Info,
+            | DiagCode::UnreachableState
+            | DiagCode::LivelockRisk
+            | DiagCode::FairnessUnprovable => Severity::Warning,
+            DiagCode::ConstantLut | DiagCode::FairnessCertified => Severity::Info,
         }
     }
 }
@@ -158,6 +228,64 @@ impl DiagCode {
 impl fmt::Display for DiagCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// A replayable counterexample attached to a hazard-claiming finding.
+///
+/// The witness names the culprit task/arbiter (when the hazard has
+/// one), the decisive control-flow path the dataflow engine followed
+/// to the defect, and the runtime watchdog violation `kind()` string a
+/// directed simulation of the unmodified plan is expected to raise.
+/// `crate::replay` compiles this into a `SimConfig` run on both
+/// kernels and checks the violation actually fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The task the hazard originates in, when attributable. Note the
+    /// runtime *victim* may be a different task (a hog's overlong hold
+    /// fires the fairness watchdog on whoever waits behind it).
+    pub task: Option<TaskId>,
+    /// The arbiter the hazard revolves around, when attributable.
+    pub arbiter: Option<ArbiterId>,
+    /// The `Violation::kind()` string the replay must observe, e.g.
+    /// `"fairness_breach"`, `"grant_timeout"`, `"no_progress"`,
+    /// `"access_without_grant"`.
+    pub expect: String,
+    /// Human-readable decisive steps from program entry to the defect
+    /// (loop iterations taken, branch outcomes, grant/timeout edges).
+    pub path: Vec<String>,
+}
+
+impl Witness {
+    /// A witness expecting `expect` to fire, with no attribution yet.
+    pub fn expecting(expect: impl Into<String>) -> Self {
+        Self {
+            task: None,
+            arbiter: None,
+            expect: expect.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Attributes the witness to a task.
+    #[must_use]
+    pub fn for_task(mut self, task: TaskId) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attributes the witness to an arbiter.
+    #[must_use]
+    pub fn for_arbiter(mut self, arbiter: ArbiterId) -> Self {
+        self.arbiter = Some(arbiter);
+        self
+    }
+
+    /// Attaches the decisive control-flow path.
+    #[must_use]
+    pub fn along(mut self, path: Vec<String>) -> Self {
+        self.path = path;
+        self
     }
 }
 
@@ -175,6 +303,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the analyzer can tell.
     pub help: Option<String>,
+    /// The replayable counterexample, for hazard-claiming findings of
+    /// the path-sensitive families.
+    pub witness: Option<Witness>,
 }
 
 impl Diagnostic {
@@ -186,6 +317,7 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             help: None,
+            witness: None,
         }
     }
 
@@ -193,6 +325,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches a replayable witness.
+    #[must_use]
+    pub fn with_witness(mut self, witness: Witness) -> Self {
+        self.witness = Some(witness);
         self
     }
 
@@ -212,6 +351,12 @@ impl fmt::Display for Diagnostic {
         if let Some(help) = &self.help {
             write!(f, "\n  help: {help}")?;
         }
+        if let Some(w) = &self.witness {
+            write!(f, "\n  witness: expects `{}`", w.expect)?;
+            if !w.path.is_empty() {
+                write!(f, " via {}", w.path.join(" -> "))?;
+            }
+        }
         Ok(())
     }
 }
@@ -222,36 +367,35 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_stable() {
-        let all = [
-            DiagCode::TriStateContention,
-            DiagCode::ResolvedLineOverlap,
-            DiagCode::GrantToNonRequester,
-            DiagCode::UnsoundElision,
-            DiagCode::UnorderedBypass,
-            DiagCode::SharedPortUnordered,
-            DiagCode::BurstExceeded,
-            DiagCode::MissingRelease,
-            DiagCode::NestedHold,
-            DiagCode::UnknownArbiter,
-            DiagCode::UnguardedAccess,
-            DiagCode::ArbiterTooWide,
-            DiagCode::OrphanRelease,
-            DiagCode::AwaitWithoutRequest,
-            DiagCode::FloatingNode,
-            DiagCode::UndrivenRegister,
-            DiagCode::ConstantLut,
-            DiagCode::UnreachableState,
-            DiagCode::IncompleteGuards,
-            DiagCode::NondeterministicGuards,
-            DiagCode::DanglingTransition,
-            DiagCode::CombinationalLoop,
-            DiagCode::OutputOutOfRange,
-        ];
         let mut seen = std::collections::BTreeSet::new();
-        for code in all {
+        for code in DiagCode::ALL {
             assert!(seen.insert(code.as_str()), "duplicate code {code}");
             assert!(code.as_str().starts_with("RCA"));
         }
+        assert_eq!(seen.len(), DiagCode::ALL.len());
+    }
+
+    #[test]
+    fn new_family_codes_and_severities() {
+        assert_eq!(DiagCode::DeadlockCycle.as_str(), "RCA501");
+        assert_eq!(DiagCode::DeadlockCycle.severity(), Severity::Error);
+        assert_eq!(DiagCode::LivelockRisk.severity(), Severity::Warning);
+        assert_eq!(DiagCode::FairnessUnprovable.severity(), Severity::Warning);
+        assert_eq!(DiagCode::FairnessRefuted.severity(), Severity::Error);
+        assert_eq!(DiagCode::FairnessCertified.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn witness_renders_in_display() {
+        let d = Diagnostic::new(DiagCode::BurstExceeded, "task T1", "hold too long").with_witness(
+            Witness::expecting("fairness_breach")
+                .for_task(TaskId::new(0))
+                .for_arbiter(ArbiterId::new(1))
+                .along(vec!["grant from Arb1 arrives".into()]),
+        );
+        let text = d.to_string();
+        assert!(text.contains("witness: expects `fairness_breach`"));
+        assert!(text.contains("grant from Arb1 arrives"));
     }
 
     #[test]

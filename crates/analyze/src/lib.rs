@@ -5,7 +5,7 @@
 //! Statically checks a complete arbitrated design — the
 //! [`ArbitrationPlan`] produced by `rcarb-core`'s insertion pass together
 //! with its memory binding and channel merges — and reports structured
-//! [`Diagnostic`]s through one [`AnalysisReport`]. Four check families:
+//! [`Diagnostic`]s through one [`AnalysisReport`]. Six check families:
 //!
 //! 1. **Bus contention** ([`contention`]): every generated arbiter FSM is
 //!    explored state-by-state to prove no reachable transition grants two
@@ -15,11 +15,26 @@
 //!    arbiter must have pairwise dependency-ordered accessors (Sec. 5).
 //! 3. **Starvation** ([`starvation`]): transformed programs must follow
 //!    the Fig. 8 protocol — granted before use, at most `M` accesses per
-//!    hold, released before control flow; arbiter shapes must be
-//!    synthesizable.
+//!    hold, released on every path. The protocol checks run on the
+//!    [`dataflow`] fixpoint engine over each program's control-flow
+//!    graph, so holds may span loops and branches, and bounded-wait
+//!    retry programs analyze path-sensitively instead of tripping
+//!    phantom-hold false positives.
 //! 4. **Netlist lints** ([`netlist`]): dead logic, constant registers and
 //!    FSM defects (unreachable states, incomplete or overlapping guards),
 //!    reported exhaustively rather than first-error.
+//! 5. **Deadlock** ([`deadlock`]): the per-task lockset observations form
+//!    a cross-task resource-wait graph; unbreakable circular waits among
+//!    concurrent tasks are errors, timeout-breakable ones warnings.
+//! 6. **Fairness** ([`fairness`]): per-arbiter certification of the
+//!    paper's `(N-1)(M+2)` worst-case wait bound from statically
+//!    computed hold windows.
+//!
+//! Hazard-claiming diagnostics carry a [`Witness`] — the decisive path
+//! and the runtime watchdog violation it predicts — which [`replay`]
+//! compiles into a directed simulation on both kernels to confirm the
+//! finding dynamically. Reports are [`AnalysisReport::normalize`]d, so
+//! output order is deterministic regardless of check scheduling.
 //!
 //! ```
 //! use rcarb_analyze::{AnalyzeConfig, AnalyzePlan};
@@ -44,13 +59,20 @@
 //! ```
 
 pub mod contention;
+pub mod dataflow;
+pub mod deadlock;
 pub mod diag;
 pub mod elision;
+pub mod fairness;
+mod lockset;
 pub mod netlist;
+pub mod replay;
 pub mod report;
 pub mod starvation;
 
-pub use diag::{DiagCode, Diagnostic, Severity};
+pub use diag::{DiagCode, Diagnostic, Severity, Witness};
+pub use lockset::WaitEdge;
+pub use replay::{replay_all, replay_diagnostic, ReplayOutcome};
 pub use report::AnalysisReport;
 
 use rcarb_core::channel::ChannelMergePlan;
@@ -125,6 +147,10 @@ enum CheckJob {
     Elision,
     /// Family 3: protocol shape and starvation windows.
     Starvation,
+    /// Family 5: cross-task circular-wait detection.
+    Deadlock,
+    /// Family 6: static certification of the fairness bound.
+    Fairness,
 }
 
 /// The shared, read-only inputs every check job sees.
@@ -170,6 +196,22 @@ fn run_check(ctx: &CheckCtx, job: CheckJob) -> AnalysisReport {
                 &ctx.config,
             ));
         }
+        CheckJob::Deadlock => {
+            report.extend(deadlock::check_deadlock(
+                &ctx.plan,
+                &ctx.binding,
+                &ctx.merges,
+                &ctx.config,
+            ));
+        }
+        CheckJob::Fairness => {
+            report.extend(fairness::check_fairness(
+                &ctx.plan,
+                &ctx.binding,
+                &ctx.merges,
+                &ctx.config,
+            ));
+        }
     }
     report
 }
@@ -177,7 +219,12 @@ fn run_check(ctx: &CheckCtx, job: CheckJob) -> AnalysisReport {
 fn check_jobs(plan: &ArbitrationPlan) -> Vec<CheckJob> {
     (0..plan.arbiters.len())
         .map(CheckJob::Arbiter)
-        .chain([CheckJob::Elision, CheckJob::Starvation])
+        .chain([
+            CheckJob::Elision,
+            CheckJob::Starvation,
+            CheckJob::Deadlock,
+            CheckJob::Fairness,
+        ])
         .collect()
 }
 
@@ -208,6 +255,7 @@ pub fn analyze_plan(
     for r in reports {
         report.merge(r);
     }
+    report.normalize();
     report
 }
 
@@ -229,6 +277,7 @@ pub fn analyze_plan_seq(
     for job in check_jobs(plan) {
         report.merge(run_check(&ctx, job));
     }
+    report.normalize();
     report
 }
 

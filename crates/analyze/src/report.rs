@@ -74,6 +74,21 @@ impl AnalysisReport {
         self.num_errors() == 0
     }
 
+    /// Sorts the findings into the canonical order — code, then
+    /// location, then message — so report output is deterministic and
+    /// independent of check scheduling. The analyzer entry points call
+    /// this once after the parallel merge; diffing two reports (or
+    /// snapshotting one in CI) is then byte-stable.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code.as_str(), &a.location, &a.message).cmp(&(
+                b.code.as_str(),
+                &b.location,
+                &b.message,
+            ))
+        });
+    }
+
     /// Renders the compiler-style text report, most severe first.
     pub fn render_text(&self) -> String {
         let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
@@ -120,6 +135,33 @@ fn diagnostic_json(d: &Diagnostic) -> Json {
         "help".to_owned(),
         match &d.help {
             Some(h) => h.to_json(),
+            None => Json::Null,
+        },
+    ));
+    fields.push((
+        "witness".to_owned(),
+        match &d.witness {
+            Some(w) => Json::Obj(vec![
+                ("expect".to_owned(), w.expect.to_json()),
+                (
+                    "task".to_owned(),
+                    match w.task {
+                        Some(t) => (t.index() as u64).to_json(),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "arbiter".to_owned(),
+                    match w.arbiter {
+                        Some(a) => (a.index() as u64).to_json(),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "path".to_owned(),
+                    Json::Arr(w.path.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]),
             None => Json::Null,
         },
     ));

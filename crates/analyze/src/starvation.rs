@@ -1,276 +1,44 @@
 //! Starvation and protocol-shape analysis of transformed task programs.
 //!
-//! Walks every task program of an [`ArbitrationPlan`] and checks that the
-//! Fig. 8 protocol is well-formed: each request hold is granted before
+//! Checks that every task program of an [`ArbitrationPlan`] speaks a
+//! well-formed Fig. 8 protocol: each request hold is granted before
 //! use, performs at most `M` accesses (the configured burst window — a
 //! longer hold starves the other requesters past the paper's `(N-1)·M`
-//! bound), and releases before the block ends or control flow branches.
-//! Arbiter references must resolve to an inserted arbiter the task is a
-//! client of, and the arbiter shapes themselves must be synthesizable.
+//! bound), and is released on every path out of the program. Arbiter
+//! references must resolve to an inserted arbiter the task is a client
+//! of, and the arbiter shapes themselves must be synthesizable.
+//!
+//! The per-task protocol checks are instances of the path-sensitive
+//! `crate::lockset` dataflow analysis — holds may legally span loops
+//! and branches as long as every path releases them, and bounded-wait
+//! retry protocols (whose grants are conditional on an outcome
+//! variable) analyze clean. Only the structural arbiter-shape checks
+//! (RCA306) live here.
 
 use crate::diag::{DiagCode, Diagnostic};
+use crate::lockset::{analyze_task, GuardMap};
 use crate::AnalyzeConfig;
 use rcarb_core::channel::ChannelMergePlan;
-use rcarb_core::insertion::{ArbitratedResource, ArbitrationPlan};
+use rcarb_core::insertion::ArbitrationPlan;
 use rcarb_core::memmap::MemoryBinding;
-use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId};
-use rcarb_taskgraph::program::Op;
-use std::collections::{BTreeMap, BTreeSet};
 
 /// The maximum task count the round-robin FSM generator synthesizes.
 const MAX_FSM_TASKS: usize = 32;
 
-struct Walker<'a> {
-    plan: &'a ArbitrationPlan,
-    config: &'a AnalyzeConfig,
-    /// Segment -> guarding arbiter (for tasks speaking the protocol).
-    guarded_segments: BTreeMap<SegmentId, ArbiterId>,
-    /// Channel -> guarding arbiter.
-    guarded_channels: BTreeMap<ChannelId, ArbiterId>,
-    /// Tasks that access their resources directly (sound when ordered;
-    /// the elision check owns that proof).
-    bypass: BTreeSet<(ArbiterId, TaskId)>,
-    diags: Vec<Diagnostic>,
-}
-
-/// One open request hold while walking a block.
-#[derive(Clone, Copy)]
-struct Hold {
-    arbiter: ArbiterId,
-    granted: bool,
-    accesses: u32,
-}
-
-impl<'a> Walker<'a> {
-    fn new(
-        plan: &'a ArbitrationPlan,
-        binding: &MemoryBinding,
-        merges: &ChannelMergePlan,
-        config: &'a AnalyzeConfig,
-    ) -> Self {
-        let mut guarded_segments = BTreeMap::new();
-        let mut guarded_channels = BTreeMap::new();
-        let mut bypass = BTreeSet::new();
-        for arb in &plan.arbiters {
-            match arb.resource {
-                ArbitratedResource::Bank(bank) => {
-                    for s in binding.segments_in(bank) {
-                        guarded_segments.insert(s, arb.id);
-                    }
-                }
-                ArbitratedResource::MergedChannel(mi) => {
-                    if let Some(merge) = merges.merges().get(mi) {
-                        for &c in &merge.logicals {
-                            guarded_channels.insert(c, arb.id);
-                        }
-                    }
-                }
-            }
-            for &t in &arb.bypass {
-                bypass.insert((arb.id, t));
-            }
-        }
-        Self {
-            plan,
-            config,
-            guarded_segments,
-            guarded_channels,
-            bypass,
-            diags: Vec::new(),
-        }
-    }
-
-    fn arbiter_name(&self, id: ArbiterId) -> String {
-        self.plan
-            .arbiters
-            .iter()
-            .find(|a| a.id == id)
-            .map(|a| a.name())
-            .unwrap_or_else(|| id.to_string())
-    }
-
-    /// The arbiter guarding an access op, if any.
-    fn guard_of(&self, op: &Op) -> Option<ArbiterId> {
-        match op {
-            Op::MemRead { segment, .. } | Op::MemWrite { segment, .. } => {
-                self.guarded_segments.get(segment).copied()
-            }
-            Op::Send { channel, .. } => self.guarded_channels.get(channel).copied(),
-            _ => None,
-        }
-    }
-
-    fn check_arbiter_ref(&mut self, task: TaskId, loc: &str, id: ArbiterId) {
-        match self.plan.arbiters.iter().find(|a| a.id == id) {
-            None => self.diags.push(
-                Diagnostic::new(
-                    DiagCode::UnknownArbiter,
-                    loc.to_owned(),
-                    format!("protocol op references arbiter {id}, which was never inserted"),
-                )
-                .with_help("re-run the insertion pass; the program and plan are out of sync"),
-            ),
-            Some(arb) if arb.port_of(task).is_none() => self.diags.push(Diagnostic::new(
-                DiagCode::UnknownArbiter,
-                loc.to_owned(),
-                format!(
-                    "task speaks the protocol to {} but is wired to none of its ports",
-                    arb.name()
-                ),
-            )),
-            Some(_) => {}
-        }
-    }
-
-    /// Walks one block; returns with every hold opened inside it reported
-    /// if unreleased. `loc` labels the owning task.
-    fn walk_block(&mut self, task: TaskId, loc: &str, ops: &[Op]) {
-        let mut hold: Option<Hold> = None;
-        for op in ops {
-            match op {
-                Op::ReqAssert { arbiter } => {
-                    self.check_arbiter_ref(task, loc, *arbiter);
-                    if let Some(h) = hold {
-                        self.diags.push(
-                            Diagnostic::new(
-                                DiagCode::NestedHold,
-                                loc.to_owned(),
-                                format!(
-                                    "request to {} asserted while still holding {}",
-                                    self.arbiter_name(*arbiter),
-                                    self.arbiter_name(h.arbiter)
-                                ),
-                            )
-                            .with_help("release the held arbiter first; nested holds deadlock"),
-                        );
-                    }
-                    hold = Some(Hold {
-                        arbiter: *arbiter,
-                        granted: false,
-                        accesses: 0,
-                    });
-                }
-                Op::AwaitGrant { arbiter } => {
-                    self.check_arbiter_ref(task, loc, *arbiter);
-                    match &mut hold {
-                        Some(h) if h.arbiter == *arbiter => h.granted = true,
-                        _ => self.diags.push(
-                            Diagnostic::new(
-                                DiagCode::AwaitWithoutRequest,
-                                loc.to_owned(),
-                                format!(
-                                    "waiting on a grant from {} without an asserted request",
-                                    self.arbiter_name(*arbiter)
-                                ),
-                            )
-                            .with_help(
-                                "the arbiter never grants a silent task; this waits forever",
-                            ),
-                        ),
-                    }
-                }
-                Op::ReqDeassert { arbiter } => {
-                    self.check_arbiter_ref(task, loc, *arbiter);
-                    match hold {
-                        Some(h) if h.arbiter == *arbiter => hold = None,
-                        _ => self.diags.push(Diagnostic::new(
-                            DiagCode::OrphanRelease,
-                            loc.to_owned(),
-                            format!(
-                                "release of {} without a matching open hold",
-                                self.arbiter_name(*arbiter)
-                            ),
-                        )),
-                    }
-                }
-                Op::Repeat { body, .. } => {
-                    self.report_unreleased(loc, &mut hold, "a loop boundary");
-                    self.walk_block(task, loc, body);
-                }
-                Op::IfNonZero {
-                    then_ops, else_ops, ..
-                } => {
-                    self.report_unreleased(loc, &mut hold, "a branch boundary");
-                    self.walk_block(task, loc, then_ops);
-                    self.walk_block(task, loc, else_ops);
-                }
-                access => {
-                    if let Some(arb) = self.guard_of(access) {
-                        if self.bypass.contains(&(arb, task)) {
-                            continue;
-                        }
-                        match &mut hold {
-                            Some(h) if h.arbiter == arb && h.granted => {
-                                h.accesses += 1;
-                                if h.accesses == self.config.max_burst + 1 {
-                                    self.diags.push(
-                                        Diagnostic::new(
-                                            DiagCode::BurstExceeded,
-                                            loc.to_owned(),
-                                            format!(
-                                                "hold on {} performs more than M = {} accesses \
-                                                 before releasing",
-                                                self.arbiter_name(arb),
-                                                self.config.max_burst
-                                            ),
-                                        )
-                                        .with_help(
-                                            "split the burst: re-request after every M accesses \
-                                             so waiting tasks are served (Fig. 8)",
-                                        ),
-                                    );
-                                }
-                            }
-                            _ => self.diags.push(
-                                Diagnostic::new(
-                                    DiagCode::UnguardedAccess,
-                                    loc.to_owned(),
-                                    format!(
-                                        "access to a resource guarded by {} outside a granted \
-                                         hold",
-                                        self.arbiter_name(arb)
-                                    ),
-                                )
-                                .with_help("wrap the access in ReqAssert/AwaitGrant … ReqDeassert"),
-                            ),
-                        }
-                    }
-                }
-            }
-        }
-        self.report_unreleased(loc, &mut hold, "the end of the block");
-    }
-
-    fn report_unreleased(&mut self, loc: &str, hold: &mut Option<Hold>, at: &str) {
-        if let Some(h) = hold.take() {
-            self.diags.push(
-                Diagnostic::new(
-                    DiagCode::MissingRelease,
-                    loc.to_owned(),
-                    format!(
-                        "hold on {} reaches {at} without a release",
-                        self.arbiter_name(h.arbiter)
-                    ),
-                )
-                .with_help("every hold must end with ReqDeassert; other tasks starve otherwise"),
-            );
-        }
-    }
-}
-
-/// Checks arbiter shapes and walks every transformed program.
+/// Checks arbiter shapes and runs the lockset analysis over every
+/// transformed program.
 pub fn check_starvation(
     plan: &ArbitrationPlan,
     binding: &MemoryBinding,
     merges: &ChannelMergePlan,
     config: &AnalyzeConfig,
 ) -> Vec<Diagnostic> {
-    let mut walker = Walker::new(plan, binding, merges, config);
+    let mut diags = Vec::new();
 
     for arb in &plan.arbiters {
         let loc = format!("arbiter {} ({})", arb.name(), arb.resource);
         if arb.inputs == 0 || arb.inputs > MAX_FSM_TASKS {
-            walker.diags.push(
+            diags.push(
                 Diagnostic::new(
                     DiagCode::ArbiterTooWide,
                     loc.clone(),
@@ -283,7 +51,7 @@ pub fn check_starvation(
                 .with_help("split the accessors across banks or enable Sec. 5 elision"),
             );
         } else if arb.ports.len() != arb.inputs {
-            walker.diags.push(Diagnostic::new(
+            diags.push(Diagnostic::new(
                 DiagCode::ArbiterTooWide,
                 loc,
                 format!(
@@ -295,11 +63,12 @@ pub fn check_starvation(
         }
     }
 
+    let guards = GuardMap::new(plan, binding, merges);
     for task in plan.graph.tasks() {
         let loc = format!("task {}", task.name());
-        walker.walk_block(task.id(), &loc, task.program().ops());
+        diags.extend(analyze_task(plan, &guards, config, task.id(), &loc).diags);
     }
-    walker.diags
+    diags
 }
 
 #[cfg(test)]
@@ -308,9 +77,10 @@ mod tests {
     use rcarb_board::presets;
     use rcarb_core::insertion::{insert_arbiters, InsertionConfig};
     use rcarb_core::memmap::bind_segments;
+    use rcarb_core::transform::RetryPolicy;
     use rcarb_taskgraph::builder::TaskGraphBuilder;
     use rcarb_taskgraph::graph::TaskGraph;
-    use rcarb_taskgraph::program::{Expr, Program};
+    use rcarb_taskgraph::program::{Expr, Op, Program};
 
     fn contended_graph() -> TaskGraph {
         let mut b = TaskGraphBuilder::new("g");
@@ -359,6 +129,80 @@ mod tests {
         let (plan, binding) = plan_for(&contended_graph());
         let diags = run(&plan, &binding);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn retry_transformed_programs_are_protocol_clean() {
+        // Bounded-wait retry programs guard their accesses behind the
+        // grant outcome variable; the path-sensitive lockset must see
+        // through the correlation instead of reporting phantom open
+        // holds at the branch boundaries.
+        let board = presets::duo_small();
+        let graph = contended_graph();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &ChannelMergePlan::default(),
+            &InsertionConfig::paper().with_retry(RetryPolicy::new(8, 2, 4)),
+        );
+        let diags = run(&plan, &binding);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn holds_may_span_branches_when_released_on_every_path() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let arb = plan.arbiters[0].id;
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        let m1 = plan.graph.segment_by_name("M1").unwrap().id();
+        plan.graph.task_mut(t1).set_program(Program::build(|p| {
+            let v = p.let_(Expr::lit(1));
+            p.push(Op::ReqAssert { arbiter: arb });
+            p.push(Op::AwaitGrant { arbiter: arb });
+            p.if_else(
+                Expr::var(v),
+                |p| p.mem_write(m1, Expr::lit(0), Expr::lit(1)),
+                |p| {
+                    let _ = p.mem_read(m1, Expr::lit(1));
+                },
+            );
+            p.push(Op::ReqDeassert { arbiter: arb });
+        }));
+        let diags = run(&plan, &binding);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hold_leaked_on_one_path_is_rca302_with_witness() {
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let arb = plan.arbiters[0].id;
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        let m1 = plan.graph.segment_by_name("M1").unwrap().id();
+        plan.graph.task_mut(t1).set_program(Program::build(|p| {
+            let v = p.let_(Expr::add(Expr::lit(1), Expr::lit(1)));
+            p.push(Op::ReqAssert { arbiter: arb });
+            p.push(Op::AwaitGrant { arbiter: arb });
+            p.mem_write(m1, Expr::lit(0), Expr::lit(1));
+            // Only the then-path releases: the else-path leaks.
+            p.if_else(
+                Expr::var(v),
+                |p| p.push(Op::ReqDeassert { arbiter: arb }),
+                |p| p.compute(1),
+            );
+        }));
+        let diags = run(&plan, &binding);
+        let leak = diags
+            .iter()
+            .find(|d| d.code == DiagCode::MissingRelease)
+            .expect("leaked hold must be RCA302");
+        let w = leak.witness.as_ref().expect("RCA302 carries a witness");
+        assert_eq!(w.expect, "grant_timeout");
+        assert!(
+            w.path.iter().any(|s| s.contains("not taken")),
+            "witness must name the leaking path: {:?}",
+            w.path
+        );
     }
 
     /// Strips every `ReqDeassert` from a program, recursively.
@@ -430,6 +274,28 @@ mod tests {
             &AnalyzeConfig::default().with_max_burst(4),
         );
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn burst_inside_hold_spanning_a_loop_is_rca301() {
+        // A granted hold carried around a loop accumulates accesses
+        // without bound; the widening must surface the breach even
+        // though no single straight-line block exceeds M.
+        let (mut plan, binding) = plan_for(&contended_graph());
+        let arb = plan.arbiters[0].id;
+        let t1 = plan.graph.task_by_name("T1").unwrap().id();
+        let m1 = plan.graph.segment_by_name("M1").unwrap().id();
+        plan.graph.task_mut(t1).set_program(Program::build(|p| {
+            p.push(Op::ReqAssert { arbiter: arb });
+            p.push(Op::AwaitGrant { arbiter: arb });
+            p.repeat(8, |p| p.mem_write(m1, Expr::lit(0), Expr::lit(1)));
+            p.push(Op::ReqDeassert { arbiter: arb });
+        }));
+        let diags = run(&plan, &binding);
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::BurstExceeded),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,14 @@
 //! workload runs bare and with a metrics/tracing session attached, the
 //! two run reports must be byte-identical, and the enabled-session
 //! overhead must stay within 5%.
+//!
+//! The `analyze` section times the six-family static verifier on the
+//! FFT flow (every temporal partition, exactly what the CI analyze-gate
+//! job runs) and on an N×encoding grid of contended single-bank plans,
+//! asserting every plan verifies in under a second so the gate stays
+//! cheap.
 
+use rcarb_analyze::{analyze_plan, AnalyzeConfig};
 use rcarb_board::device::SpeedGrade;
 use rcarb_board::presets;
 use rcarb_core::channel::ChannelMergePlan;
@@ -49,6 +56,7 @@ use rcarb_core::memmap::bind_segments;
 use rcarb_exec::{global_pool, PerfReport};
 use rcarb_fft::flow::{run_fft_flow, simulate_block_with};
 use rcarb_json::Json;
+use rcarb_logic::encode::EncodingStyle;
 use rcarb_obs::{Obs, ObsConfig};
 use rcarb_sim::config::{SimConfig, WatchdogConfig};
 use rcarb_sim::engine::SystemBuilder;
@@ -426,6 +434,110 @@ fn obs_overhead(smoke: bool) -> Json {
     ])
 }
 
+/// Verifier-grid workload: `n` tasks bursting on one shared, arbitrated
+/// bank — one arbiter with `n` clients, the dimension the lockset,
+/// deadlock and fairness passes all scale in.
+fn verifier_graph(n: usize) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new(format!("analyze_n{n}"));
+    let m = b.segment("M", 256, 16);
+    for i in 0..n {
+        b.task(
+            format!("T{i}"),
+            Program::build(move |p| {
+                for k in 0..4u64 {
+                    p.mem_write(m, Expr::lit((i as u64) * 4 + k), Expr::lit(k));
+                }
+            }),
+        );
+    }
+    b.finish().expect("verifier graph is well-formed")
+}
+
+/// The static-verifier timing sweep: the FFT flow (every temporal
+/// partition, exactly what the CI analyze-gate job runs) plus an
+/// N×encoding grid of contended single-bank plans. Every measured plan
+/// must verify in under a second — the gate only stays cheap while the
+/// verifier stays fast — and every grid plan must certify clean.
+fn analyze_sweep(smoke: bool) -> Json {
+    let reps = if smoke { 3 } else { 5 };
+    let limit_ms = 1_000.0;
+
+    let flow = run_fft_flow().expect("fft flow plans");
+    let base = AnalyzeConfig::default();
+    let (fft_wall, fft_report, _, _) = best_of(reps, || {
+        let t = Instant::now();
+        let report = flow.analyze(&base);
+        (t.elapsed(), report, 0, KernelStats::default())
+    });
+    let fft_ms = fft_wall.as_secs_f64() * 1e3;
+    assert!(
+        fft_ms < limit_ms,
+        "fft flow must verify in under 1 s, got {fft_ms:.1} ms"
+    );
+    assert!(
+        fft_report.is_clean(),
+        "fft flow must certify clean\n{}",
+        fft_report.render_text()
+    );
+    let fft_findings = fft_report.diagnostics().len() as u64;
+
+    let ns: Vec<usize> = if smoke {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16]
+    };
+    let encodings = [
+        ("one_hot", EncodingStyle::OneHot),
+        ("compact", EncodingStyle::Compact),
+        ("gray", EncodingStyle::Gray),
+    ];
+    let duo = presets::duo_small();
+    let mut grid = Vec::new();
+    let mut worst_ms = 0.0f64;
+    for &n in &ns {
+        let graph = verifier_graph(n);
+        let binding = bind_segments(graph.segments(), &duo, &|_| None).expect("binds");
+        let merges = ChannelMergePlan::default();
+        let plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        for (label, encoding) in encodings {
+            let config = AnalyzeConfig {
+                encoding,
+                ..AnalyzeConfig::default()
+            };
+            let (wall, report, _, _) = best_of(reps, || {
+                let t = Instant::now();
+                let r = analyze_plan(&plan, &binding, &merges, &config);
+                (t.elapsed(), r, 0, KernelStats::default())
+            });
+            let ms = wall.as_secs_f64() * 1e3;
+            assert!(
+                ms < limit_ms,
+                "verifier must stay under 1 s/plan (n={n}, {label}), got {ms:.1} ms"
+            );
+            assert!(
+                report.is_clean(),
+                "grid plan n={n} ({label}) must certify clean\n{}",
+                report.render_text()
+            );
+            worst_ms = worst_ms.max(ms);
+            grid.push((format!("n{n}_{label}"), Json::from(ms)));
+        }
+    }
+    println!(
+        "analyze sweep: fft {fft_ms:.2} ms ({fft_findings} findings), grid worst {worst_ms:.2} ms \
+         over {} plans (limit {limit_ms:.0} ms/plan)",
+        grid.len(),
+    );
+    Json::Obj(vec![
+        ("fft_ms".to_owned(), Json::from(fft_ms)),
+        ("fft_findings".to_owned(), Json::from(fft_findings)),
+        ("grid_ms".to_owned(), Json::Obj(grid)),
+        ("worst_grid_ms".to_owned(), Json::from(worst_ms)),
+        ("limit_ms".to_owned(), Json::from(limit_ms)),
+        ("under_limit".to_owned(), Json::Bool(true)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let ns: Vec<usize> = if smoke {
@@ -511,6 +623,11 @@ fn main() {
     let obs_json = obs_overhead(smoke);
     perf.add_stage("obs/overhead", t.elapsed());
 
+    // Static-verifier wall time: the analyze-gate cost model.
+    let t = Instant::now();
+    let analyze_json = analyze_sweep(smoke);
+    perf.add_stage("analyze/sweep", t.elapsed());
+
     // Wall-clock speedup thresholds only mean something with real
     // parallel hardware under the timings; a single-core host (or a
     // heavily shared CI box pinned to one worker) exercises the kernels
@@ -591,6 +708,7 @@ fn main() {
         ("kernel".to_owned(), kernel_json),
         ("fault".to_owned(), fault_json),
         ("obs".to_owned(), obs_json),
+        ("analyze".to_owned(), analyze_json),
         ("perf".to_owned(), perf.to_json()),
     ]);
     std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");

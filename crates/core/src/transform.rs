@@ -69,10 +69,14 @@ impl ResourceMap {
 /// on top of the Fig. 8 overhead (tracked in
 /// [`TransformStats::retry_guard_evals`]).
 ///
-/// Retry-rewritten programs branch on the grant outcome, which places
-/// them outside the static starvation analyzer's conservative
-/// request-hold model; validate them dynamically with the simulator's
-/// fairness watchdog instead.
+/// Retry-rewritten programs branch on the grant outcome; the static
+/// verifier's CFG-based lockset analysis tracks both branches, so the
+/// usual protocol-shape and fairness checks apply (the timeout path is
+/// recognised as a clean abandon, not a phantom hold). Note the runtime
+/// fairness bound widens for bounded-wait clients: the outcome-guard
+/// branches execute inside the hold window, so the watchdog derives
+/// `(N-1)(M+4)+2` instead of `(N-1)(M+2)+2` for arbiters with any
+/// `AwaitGrantFor` client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Stalled cycles tolerated on the first attempt (must be ≥ 1).

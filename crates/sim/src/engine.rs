@@ -58,6 +58,27 @@ use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// True when any task program contains a bounded wait
+/// (`AwaitGrantFor`) on `arbiter` — the signature of a
+/// retry-transformed client, whose outcome guards lengthen each hold.
+fn graph_awaits_bounded(graph: &TaskGraph, arbiter: ArbiterId) -> bool {
+    use rcarb_taskgraph::program::Op;
+    fn scan(ops: &[Op], arbiter: ArbiterId) -> bool {
+        ops.iter().any(|op| match op {
+            Op::AwaitGrantFor { arbiter: a, .. } => *a == arbiter,
+            Op::Repeat { body, .. } => scan(body, arbiter),
+            Op::IfNonZero {
+                then_ops, else_ops, ..
+            } => scan(then_ops, arbiter) || scan(else_ops, arbiter),
+            _ => false,
+        })
+    }
+    graph
+        .tasks()
+        .iter()
+        .any(|t| scan(t.program().ops(), arbiter))
+}
+
 /// Builds a [`System`] from a (possibly arbitrated) design.
 #[derive(Debug)]
 pub struct SystemBuilder {
@@ -68,6 +89,7 @@ pub struct SystemBuilder {
     config: SimConfig,
     faults: FaultPlan,
     obs: Option<Obs>,
+    fairness_overrides: BTreeMap<ArbiterId, u64>,
 }
 
 impl SystemBuilder {
@@ -86,6 +108,7 @@ impl SystemBuilder {
             config: SimConfig::new(),
             faults: FaultPlan::default(),
             obs: None,
+            fairness_overrides: BTreeMap::new(),
         }
     }
 
@@ -104,6 +127,7 @@ impl SystemBuilder {
             config: SimConfig::new(),
             faults: FaultPlan::default(),
             obs: None,
+            fairness_overrides: BTreeMap::new(),
         }
     }
 
@@ -118,6 +142,19 @@ impl SystemBuilder {
     /// The currently configured [`SimConfig`].
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Overrides the fairness-breach threshold of one arbiter, in
+    /// cycles. The auto-derived watchdog bound (`(N-1)*(M+2)` plus two
+    /// cycles of protocol slack, set by
+    /// [`WatchdogConfig::fairness_m`]) is replaced for that arbiter
+    /// only; other arbiters keep the derived bound. The static
+    /// verifier's counterexample replays use this to hold a run to the
+    /// exact bound a diagnostic claims is breached, without the slack.
+    #[must_use]
+    pub fn with_fairness_bound(mut self, arbiter: ArbiterId, bound: u64) -> Self {
+        self.fairness_overrides.insert(arbiter, bound);
+        self
     }
 
     /// Injects a deterministic fault plan into the run. The plan is
@@ -387,11 +424,25 @@ impl SystemBuilder {
             // length M, a conforming competitor holds the resource for
             // at most M + 2 cycles, so no wait exceeds (N-1)*(M+2) plus
             // the two protocol registration cycles of the waiter's own
-            // request.
+            // request. Retry-transformed clients (bounded waits) run
+            // their two outcome-guard branches *inside* the hold, so
+            // each competing hold occupies up to two extra cycles.
             for a in &arbiters {
                 let n = a.num_ports() as u64;
-                monitor.set_fairness_bound(a.id(), n.saturating_sub(1) * (u64::from(m) + 2) + 2);
+                let hold = u64::from(m)
+                    + 2
+                    + if graph_awaits_bounded(&self.graph, a.id()) {
+                        2
+                    } else {
+                        0
+                    };
+                monitor.set_fairness_bound(a.id(), n.saturating_sub(1) * hold + 2);
             }
+        }
+        // Explicit per-arbiter overrides win over the derived bound
+        // (and work with `fairness_m` unset).
+        for (&a, &b) in &self.fairness_overrides {
+            monitor.set_fairness_bound(a, b);
         }
         // Board banks not used by the binding are spares a quarantine
         // may migrate a faulted bank's role onto.

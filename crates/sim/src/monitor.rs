@@ -269,6 +269,31 @@ impl Violation {
             Violation::CosimMismatch { .. } | Violation::Starvation { .. } => None,
         }
     }
+
+    /// The task involved, when the violation is tied to a single one.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            Violation::AccessWithoutGrant { task, .. }
+            | Violation::Starvation { task, .. }
+            | Violation::GrantTimeout { task, .. }
+            | Violation::FairnessBreach { task, .. }
+            | Violation::BankReadFault { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+
+    /// The arbiter involved, when the violation is tied to one.
+    pub fn arbiter(&self) -> Option<ArbiterId> {
+        match self {
+            Violation::AccessWithoutGrant { arbiter, .. }
+            | Violation::MultipleGrants { arbiter, .. }
+            | Violation::CosimMismatch { arbiter, .. }
+            | Violation::Starvation { arbiter, .. }
+            | Violation::GrantTimeout { arbiter, .. }
+            | Violation::FairnessBreach { arbiter, .. } => Some(*arbiter),
+            _ => None,
+        }
+    }
 }
 
 impl ToJson for Violation {

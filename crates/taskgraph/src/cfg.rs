@@ -1,0 +1,488 @@
+//! Basic-block control-flow graphs lowered from task programs.
+//!
+//! The static analyses in `rcarb-analyze` need path-sensitive facts
+//! ("which arbiter holds are live *here*, on *this* path"), which the
+//! nested [`Op`] tree cannot answer directly. [`Cfg::from_program`]
+//! (also reachable as [`Program::cfg`]) lowers a program into basic
+//! blocks of straight-line ops connected by typed edges:
+//!
+//! - [`Op::Repeat`] becomes a loop header with a body-entry edge
+//!   carrying the static trip count, a back edge from the body exit,
+//!   and a loop-exit edge (dead when the trip count is zero);
+//! - [`Op::IfNonZero`] becomes a two-way branch whose edges fold
+//!   literal conditions, so statically dead branches are marked
+//!   unreachable instead of polluting downstream analyses;
+//! - [`Op::AwaitGrant`] becomes a single *granted* edge, and
+//!   [`Op::AwaitGrantFor`] a *granted*/*timed-out* edge pair — the
+//!   timeout edge is what lets the lockset analysis model bounded-wait
+//!   retry protocols without phantom open holds.
+//!
+//! Straight-line ops (`Set`, `Compute`, memory/channel accesses,
+//! `ReqAssert`, `ReqDeassert`) stay inside blocks; every control
+//! construct is a block terminator.
+
+use crate::id::{ArbiterId, VarId};
+use crate::program::{Expr, Op, Program};
+
+/// Index of a basic block inside its [`Cfg`].
+pub type BlockId = usize;
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional fall-through.
+    Jump(BlockId),
+    /// Back edge returning to a loop header.
+    Back(BlockId),
+    /// Loop header of a `Repeat { times }`: enter `body` (per
+    /// iteration) or leave through `exit`. The body edge is dead when
+    /// `times == 0`.
+    Loop {
+        /// Static trip count.
+        times: u32,
+        /// First block of the loop body.
+        body: BlockId,
+        /// Block control continues in after the loop.
+        exit: BlockId,
+    },
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Branch condition.
+        cond: Expr,
+        /// Successor when `cond != 0`.
+        then_blk: BlockId,
+        /// Successor when `cond == 0`.
+        else_blk: BlockId,
+    },
+    /// Blocking wait for an arbiter grant. An unbounded wait
+    /// ([`Op::AwaitGrant`]) has only the granted edge; a bounded wait
+    /// ([`Op::AwaitGrantFor`]) adds a timeout edge writing 0 into its
+    /// outcome variable.
+    Await {
+        /// Arbiter whose grant is awaited.
+        arbiter: ArbiterId,
+        /// `(max stalled cycles, outcome variable)` for bounded waits.
+        bound: Option<(u32, VarId)>,
+        /// Successor once the grant is observed.
+        granted: BlockId,
+        /// Successor on timeout (bounded waits only).
+        timeout: Option<BlockId>,
+    },
+    /// Program exit.
+    Exit,
+}
+
+/// The kind of a CFG edge, as enumerated by [`Cfg::successors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Plain fall-through.
+    Seq,
+    /// Loop header to body entry, carrying the static trip count.
+    LoopEnter {
+        /// Static trip count of the loop.
+        times: u32,
+    },
+    /// Body exit back to the loop header.
+    LoopBack,
+    /// Loop header past the loop.
+    LoopExit,
+    /// Branch edge taken when the condition is non-zero.
+    BranchThen {
+        /// The branch condition.
+        cond: Expr,
+    },
+    /// Branch edge taken when the condition is zero.
+    BranchElse {
+        /// The branch condition.
+        cond: Expr,
+    },
+    /// The awaited grant arrived. `dst` is the outcome variable (set
+    /// to 1) for bounded waits, `None` for `AwaitGrant`.
+    Granted {
+        /// Arbiter that granted.
+        arbiter: ArbiterId,
+        /// Outcome variable of a bounded wait, set to 1.
+        dst: Option<VarId>,
+    },
+    /// A bounded wait gave up; `dst` is set to 0 and the request line
+    /// is still asserted (the hold lapses ungranted).
+    TimedOut {
+        /// Arbiter that withheld the grant.
+        arbiter: ArbiterId,
+        /// Outcome variable of the bounded wait, set to 0.
+        dst: VarId,
+        /// The wait bound in cycles.
+        cycles: u32,
+    },
+}
+
+/// One basic block: straight-line ops plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line ops (no control flow).
+    pub ops: Vec<Op>,
+    /// How control leaves the block.
+    pub term: Terminator,
+    /// True for `Repeat` loop headers (join points that need
+    /// widening in fixpoint analyses).
+    pub loop_header: bool,
+}
+
+/// A basic-block control-flow graph of one task program.
+///
+/// Block 0 is the entry; exactly one block carries
+/// [`Terminator::Exit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Lowers a program into basic blocks.
+    pub fn from_program(program: &Program) -> Self {
+        let mut b = Builder { blocks: Vec::new() };
+        let entry = b.new_block();
+        let end = b.lower(program.ops(), entry);
+        b.blocks[end].term = Terminator::Exit;
+        Cfg { blocks: b.blocks }
+    }
+
+    /// All blocks, indexed by [`BlockId`]. Block 0 is the entry.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The entry block id (always 0).
+    pub fn entry(&self) -> BlockId {
+        0
+    }
+
+    /// The successors of `block` with their edge kinds, in a fixed
+    /// deterministic order. Edges dead under literal-constant folding
+    /// (a `Repeat` with zero trips, a branch on a literal) are
+    /// omitted.
+    pub fn successors(&self, block: BlockId) -> Vec<(BlockId, EdgeKind)> {
+        match &self.blocks[block].term {
+            Terminator::Jump(to) => vec![(*to, EdgeKind::Seq)],
+            Terminator::Back(to) => vec![(*to, EdgeKind::LoopBack)],
+            Terminator::Loop { times, body, exit } => {
+                let mut out = Vec::new();
+                if *times > 0 {
+                    out.push((*body, EdgeKind::LoopEnter { times: *times }));
+                }
+                out.push((*exit, EdgeKind::LoopExit));
+                out
+            }
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => match cond {
+                Expr::Lit(0) => vec![(*else_blk, EdgeKind::BranchElse { cond: cond.clone() })],
+                Expr::Lit(_) => vec![(*then_blk, EdgeKind::BranchThen { cond: cond.clone() })],
+                _ => vec![
+                    (*then_blk, EdgeKind::BranchThen { cond: cond.clone() }),
+                    (*else_blk, EdgeKind::BranchElse { cond: cond.clone() }),
+                ],
+            },
+            Terminator::Await {
+                arbiter,
+                bound,
+                granted,
+                timeout,
+            } => {
+                let mut out = vec![(
+                    *granted,
+                    EdgeKind::Granted {
+                        arbiter: *arbiter,
+                        dst: bound.map(|(_, dst)| dst),
+                    },
+                )];
+                if let (Some((cycles, dst)), Some(to)) = (bound, timeout) {
+                    out.push((
+                        *to,
+                        EdgeKind::TimedOut {
+                            arbiter: *arbiter,
+                            dst: *dst,
+                            cycles: *cycles,
+                        },
+                    ));
+                }
+                out
+            }
+            Terminator::Exit => Vec::new(),
+        }
+    }
+
+    /// Block ids reachable from the entry through live edges (dead
+    /// constant-folded branches and zero-trip loop bodies excluded),
+    /// in ascending order.
+    pub fn reachable_blocks(&self) -> Vec<BlockId> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry()];
+        seen[self.entry()] = true;
+        while let Some(b) = stack.pop() {
+            for (succ, _) in self.successors(b) {
+                if !seen[succ] {
+                    seen[succ] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        (0..self.blocks.len()).filter(|&b| seen[b]).collect()
+    }
+
+    /// The straight-line ops of every reachable block, in block order.
+    /// This is the access set a path-aware analysis should consider:
+    /// ops inside statically dead branches are excluded.
+    pub fn live_ops(&self) -> Vec<&Op> {
+        self.reachable_blocks()
+            .into_iter()
+            .flat_map(|b| self.blocks[b].ops.iter())
+            .collect()
+    }
+}
+
+impl Program {
+    /// Lowers this program into a basic-block [`Cfg`].
+    pub fn cfg(&self) -> Cfg {
+        Cfg::from_program(self)
+    }
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            ops: Vec::new(),
+            term: Terminator::Exit,
+            loop_header: false,
+        });
+        self.blocks.len() - 1
+    }
+
+    /// Lowers `ops` starting inside block `cur`; returns the block
+    /// control continues in afterwards.
+    fn lower(&mut self, ops: &[Op], mut cur: BlockId) -> BlockId {
+        for op in ops {
+            match op {
+                Op::Repeat { times, body } => {
+                    let header = self.new_block();
+                    self.blocks[header].loop_header = true;
+                    self.blocks[cur].term = Terminator::Jump(header);
+                    let body_entry = self.new_block();
+                    let body_end = self.lower(body, body_entry);
+                    self.blocks[body_end].term = Terminator::Back(header);
+                    let exit = self.new_block();
+                    self.blocks[header].term = Terminator::Loop {
+                        times: *times,
+                        body: body_entry,
+                        exit,
+                    };
+                    cur = exit;
+                }
+                Op::IfNonZero {
+                    cond,
+                    then_ops,
+                    else_ops,
+                } => {
+                    let then_entry = self.new_block();
+                    let else_entry = self.new_block();
+                    let then_end = self.lower(then_ops, then_entry);
+                    let else_end = self.lower(else_ops, else_entry);
+                    let join = self.new_block();
+                    self.blocks[then_end].term = Terminator::Jump(join);
+                    self.blocks[else_end].term = Terminator::Jump(join);
+                    self.blocks[cur].term = Terminator::Branch {
+                        cond: cond.clone(),
+                        then_blk: then_entry,
+                        else_blk: else_entry,
+                    };
+                    cur = join;
+                }
+                Op::AwaitGrant { arbiter } => {
+                    let next = self.new_block();
+                    self.blocks[cur].term = Terminator::Await {
+                        arbiter: *arbiter,
+                        bound: None,
+                        granted: next,
+                        timeout: None,
+                    };
+                    cur = next;
+                }
+                Op::AwaitGrantFor {
+                    arbiter,
+                    cycles,
+                    dst,
+                } => {
+                    let next = self.new_block();
+                    self.blocks[cur].term = Terminator::Await {
+                        arbiter: *arbiter,
+                        bound: Some((*cycles, *dst)),
+                        granted: next,
+                        timeout: Some(next),
+                    };
+                    cur = next;
+                }
+                straight => self.blocks[cur].ops.push(straight.clone()),
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::SegmentId;
+
+    fn seg(i: u32) -> SegmentId {
+        SegmentId::new(i)
+    }
+
+    #[test]
+    fn straight_line_program_is_one_block() {
+        let p = Program::build(|p| {
+            p.mem_write(seg(0), Expr::lit(0), Expr::lit(1));
+            p.compute(3);
+        });
+        let cfg = p.cfg();
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].ops.len(), 2);
+        assert_eq!(cfg.blocks()[0].term, Terminator::Exit);
+        assert!(cfg.successors(0).is_empty());
+    }
+
+    #[test]
+    fn repeat_builds_header_body_and_back_edge() {
+        let p = Program::build(|p| {
+            p.repeat(4, |p| p.compute(1));
+        });
+        let cfg = p.cfg();
+        let header = cfg
+            .blocks()
+            .iter()
+            .position(|b| b.loop_header)
+            .expect("loop header");
+        let succs = cfg.successors(header);
+        assert!(succs
+            .iter()
+            .any(|(_, k)| matches!(k, EdgeKind::LoopEnter { times: 4 })));
+        assert!(succs.iter().any(|(_, k)| matches!(k, EdgeKind::LoopExit)));
+        // The body's last block loops back to the header.
+        let (body, _) = succs
+            .iter()
+            .find(|(_, k)| matches!(k, EdgeKind::LoopEnter { .. }))
+            .unwrap();
+        assert!(cfg
+            .successors(*body)
+            .iter()
+            .any(|(to, k)| *to == header && matches!(k, EdgeKind::LoopBack)));
+    }
+
+    #[test]
+    fn zero_trip_loop_body_is_dead() {
+        let p = Program::from_ops(vec![Op::Repeat {
+            times: 0,
+            body: vec![Op::MemWrite {
+                segment: seg(0),
+                addr: Expr::lit(0),
+                value: Expr::lit(1),
+            }],
+        }]);
+        let cfg = p.cfg();
+        assert!(cfg.live_ops().is_empty(), "zero-trip body must be dead");
+    }
+
+    #[test]
+    fn literal_branches_fold_dead_edges() {
+        let p = Program::from_ops(vec![Op::IfNonZero {
+            cond: Expr::lit(0),
+            then_ops: vec![Op::MemWrite {
+                segment: seg(7),
+                addr: Expr::lit(0),
+                value: Expr::lit(1),
+            }],
+            else_ops: vec![Op::Compute { cycles: 1 }],
+        }]);
+        let cfg = p.cfg();
+        let live = cfg.live_ops();
+        assert!(live.iter().all(|op| !matches!(op, Op::MemWrite { .. })));
+        assert!(live.iter().any(|op| matches!(op, Op::Compute { .. })));
+    }
+
+    #[test]
+    fn variable_branches_keep_both_edges() {
+        let p = Program::build(|p| {
+            let v = p.let_(Expr::lit(1));
+            p.if_else(Expr::var(v), |p| p.compute(1), |p| p.compute(2));
+        });
+        let cfg = p.cfg();
+        let branch = cfg
+            .blocks()
+            .iter()
+            .position(|b| matches!(b.term, Terminator::Branch { .. }))
+            .unwrap();
+        assert_eq!(cfg.successors(branch).len(), 2);
+    }
+
+    #[test]
+    fn bounded_wait_has_grant_and_timeout_edges() {
+        let a = ArbiterId::new(0);
+        let g = VarId::new(0);
+        let p = Program::from_ops(vec![
+            Op::ReqAssert { arbiter: a },
+            Op::AwaitGrantFor {
+                arbiter: a,
+                cycles: 8,
+                dst: g,
+            },
+            Op::ReqDeassert { arbiter: a },
+        ]);
+        let cfg = p.cfg();
+        let wait = cfg
+            .blocks()
+            .iter()
+            .position(|b| matches!(b.term, Terminator::Await { .. }))
+            .unwrap();
+        let succs = cfg.successors(wait);
+        assert_eq!(succs.len(), 2);
+        assert!(matches!(
+            succs[0].1,
+            EdgeKind::Granted { arbiter, dst: Some(d) } if arbiter == a && d == g
+        ));
+        assert!(matches!(
+            succs[1].1,
+            EdgeKind::TimedOut { arbiter, dst, cycles: 8 } if arbiter == a && dst == g
+        ));
+    }
+
+    #[test]
+    fn unbounded_wait_has_only_the_grant_edge() {
+        let a = ArbiterId::new(2);
+        let p = Program::from_ops(vec![Op::AwaitGrant { arbiter: a }]);
+        let cfg = p.cfg();
+        let succs = cfg.successors(0);
+        assert_eq!(succs.len(), 1);
+        assert!(matches!(succs[0].1, EdgeKind::Granted { dst: None, .. }));
+    }
+
+    #[test]
+    fn exactly_one_exit_block() {
+        let p = Program::build(|p| {
+            p.repeat(2, |p| {
+                p.if_else(Expr::lit(1), |p| p.compute(1), |p| p.compute(2));
+            });
+        });
+        let cfg = p.cfg();
+        let exits = cfg
+            .blocks()
+            .iter()
+            .filter(|b| b.term == Terminator::Exit)
+            .count();
+        assert_eq!(exits, 1);
+    }
+}

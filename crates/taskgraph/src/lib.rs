@@ -48,6 +48,7 @@
 //! ```
 
 pub mod builder;
+pub mod cfg;
 pub mod channel;
 pub mod concurrency;
 pub mod graph;
@@ -59,6 +60,7 @@ pub mod task;
 pub mod validate;
 
 pub use builder::TaskGraphBuilder;
+pub use cfg::Cfg;
 pub use channel::Channel;
 pub use graph::TaskGraph;
 pub use id::{ArbiterId, ChannelId, SegmentId, TaskId, VarId};

@@ -1,0 +1,99 @@
+//! The analyze gate: runs the static verifier over a corpus of designs —
+//! the paper's FFT flow plus a contended design on every board preset —
+//! and exits nonzero if any design-rule **error** surfaces. Warnings and
+//! infos are printed but do not fail the gate (the fairness certifier
+//! legitimately emits RCA603 infos on every certified arbiter).
+//!
+//! The preset designs additionally run witness replay: on a clean design
+//! there is nothing to replay, so a non-empty outcome list here means the
+//! verifier and the gate disagree — also a failure.
+//!
+//! ```text
+//! cargo run --example analyze_gate
+//! ```
+
+use rcarb::analyze::AnalyzeConfig;
+use rcarb::board::board::Board;
+use rcarb::board::presets;
+use rcarb::fft::flow::run_fft_flow;
+use rcarb::prelude::{AnalysisReport, Design, Expr, Program, TaskGraphBuilder};
+use std::process;
+
+/// A contended design sized to `board`: two tasks per memory bank, each
+/// bursting four writes into a segment that shares the bank with its
+/// sibling's — every bank ends up behind an arbiter.
+fn contended_design(board: &Board) -> Design {
+    let mut b = TaskGraphBuilder::new("gate");
+    let banks = board.banks().len().max(1);
+    for i in 0..banks {
+        let m1 = b.segment(format!("A{i}"), 256, 16);
+        let m2 = b.segment(format!("B{i}"), 256, 16);
+        for (suffix, m) in [("w", m1), ("r", m2)] {
+            b.task(
+                format!("t{i}{suffix}"),
+                Program::build(|p| {
+                    for k in 0..4 {
+                        p.mem_write(m, Expr::lit(k), Expr::lit(k));
+                    }
+                }),
+            );
+        }
+    }
+    Design::new(
+        b.finish().expect("gate graph is well-formed"),
+        board.clone(),
+    )
+}
+
+fn verdict(name: &str, report: &AnalysisReport) -> bool {
+    let ok = report.is_clean();
+    println!(
+        "  {:<24} {:>2} error(s) {:>2} warning(s) {:>3} finding(s)  [{}]",
+        name,
+        report.num_errors(),
+        report.num_warnings(),
+        report.diagnostics().len(),
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        print!("{}", report.render_text());
+    }
+    ok
+}
+
+fn main() {
+    let config = AnalyzeConfig::default();
+    let mut ok = true;
+
+    println!("analyze gate: FFT flow");
+    let flow = run_fft_flow().expect("the shipped FFT flow partitions cleanly");
+    ok &= verdict("fft (all partitions)", &flow.analyze(&config));
+
+    println!("analyze gate: board presets");
+    for board in [
+        presets::duo_small(),
+        presets::quad_large(),
+        presets::wildforce(),
+    ] {
+        let planned = contended_design(&board)
+            .plan()
+            .expect("preset designs bind");
+        let (report, outcomes) = planned
+            .analyze_verified(&config)
+            .expect("preset designs build for replay");
+        ok &= verdict(board.name(), &report);
+        if !outcomes.is_empty() {
+            println!(
+                "  {:<24} unexpected replay outcomes: {outcomes:?}",
+                board.name()
+            );
+            ok = false;
+        }
+    }
+
+    if !ok {
+        eprintln!("\nanalyze gate: FAILED");
+        process::exit(1);
+    }
+    println!("\nanalyze gate: PASSED");
+}

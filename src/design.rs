@@ -27,7 +27,7 @@
 //! covers binding failures, channel-planning failures and unbound
 //! segments alike.
 
-use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig};
+use rcarb_analyze::{analyze_plan, replay_all, AnalysisReport, AnalyzeConfig, ReplayOutcome};
 use rcarb_board::board::{Board, PeId};
 use rcarb_core::channel::{plan_merges, ChannelMergePlan};
 use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
@@ -172,10 +172,39 @@ impl PlannedDesign {
         &self.board
     }
 
-    /// Runs the four-family design-rule analyzer over the plan (the
+    /// Runs the six-family design-rule analyzer over the plan (the
     /// checks fan out on the workspace thread pool).
     pub fn analyze(&self, config: &AnalyzeConfig) -> AnalysisReport {
         analyze_plan(&self.plan, &self.binding, &self.merges, config)
+    }
+
+    /// [`analyze`](Self::analyze) plus counterexample replay: every
+    /// witness-carrying diagnostic is compiled into a directed
+    /// simulation on **both** kernels with the matching watchdogs
+    /// armed, and the report comes back with a [`ReplayOutcome`] per
+    /// witness saying whether the predicted violation actually fired.
+    /// A confirmed outcome upgrades a static finding into a
+    /// demonstrated execution; an unconfirmed one flags either a
+    /// conservative over-approximation or an analyzer bug.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] (and friends) if the design is
+    /// too malformed to build a replay system for.
+    pub fn analyze_verified(
+        &self,
+        config: &AnalyzeConfig,
+    ) -> Result<(AnalysisReport, Vec<ReplayOutcome>), Error> {
+        let report = self.analyze(config);
+        let outcomes = replay_all(
+            &self.plan,
+            &self.binding,
+            &self.merges,
+            config,
+            &self.board,
+            report.diagnostics(),
+        )?;
+        Ok((report, outcomes))
     }
 
     /// Builds a cycle-accurate [`System`] for this design.
@@ -420,6 +449,57 @@ mod tests {
         assert_eq!(snap.counter("sim/cycles_total"), report.cycles);
         assert!(snap.gauge("pool/workers").is_some());
         rcarb_obs::chrome::validate_trace(&session.chrome_trace()).expect("valid trace");
+    }
+
+    #[test]
+    fn analyze_verified_replays_witnesses_on_both_kernels() {
+        // Shared-bank contention so the plan actually carries protocol
+        // ops; both tasks write the same segment region repeatedly.
+        let mut b = TaskGraphBuilder::new("verified");
+        let m1 = b.segment("M1", 1024, 16);
+        let m2 = b.segment("M2", 1024, 16);
+        for (name, m) in [("T1", m1), ("T2", m2)] {
+            b.task(
+                name,
+                Program::build(|p| {
+                    for i in 0..4 {
+                        p.mem_write(m, Expr::lit(i), Expr::lit(i));
+                    }
+                }),
+            );
+        }
+        let planned = Design::new(b.finish().unwrap(), presets::duo_small())
+            .plan()
+            .unwrap();
+
+        // Clean design: certified, nothing to replay but fairness infos.
+        let (report, outcomes) = planned.analyze_verified(&AnalyzeConfig::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert!(outcomes.is_empty(), "{outcomes:?}");
+
+        // Strip one task's releases: the RCA302 witness must replay to a
+        // real grant-timeout on both kernels.
+        let mut broken = planned.clone();
+        let t1 = broken.plan.graph.task_by_name("T1").unwrap().id();
+        let ops: Vec<_> = broken
+            .plan
+            .graph
+            .task(t1)
+            .program()
+            .ops()
+            .iter()
+            .filter(|op| !matches!(op, rcarb_taskgraph::program::Op::ReqDeassert { .. }))
+            .cloned()
+            .collect();
+        broken
+            .plan
+            .graph
+            .task_mut(t1)
+            .set_program(Program::from_ops(ops));
+        let (report, outcomes) = broken.analyze_verified(&AnalyzeConfig::default()).unwrap();
+        assert!(!report.is_clean());
+        let confirmed = outcomes.iter().filter(|o| o.confirmed()).count();
+        assert!(confirmed > 0, "{outcomes:?}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 pub use crate::design::{Design, PlannedDesign};
 
-pub use rcarb_analyze::{analyze_plan, AnalysisReport, AnalyzeConfig, AnalyzePlan};
+pub use rcarb_analyze::{
+    analyze_plan, replay_all, AnalysisReport, AnalyzeConfig, AnalyzePlan, DiagCode, Diagnostic,
+    ReplayOutcome, Severity, Witness,
+};
 pub use rcarb_board::board::{Board, PeId};
 pub use rcarb_board::device::SpeedGrade;
 pub use rcarb_board::presets;

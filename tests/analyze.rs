@@ -3,14 +3,16 @@
 //! each trip the specific diagnostic they break.
 
 use rcarb::analyze::{analyze_plan, AnalyzeConfig, AnalyzePlan, DiagCode};
-use rcarb::arb::channel::plan_merges;
-use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
-use rcarb::arb::memmap::bind_segments;
+use rcarb::arb::channel::{plan_merges, ChannelMergePlan};
+use rcarb::arb::insertion::{
+    insert_arbiters, ArbitratedResource, ArbitrationPlan, InsertionConfig,
+};
+use rcarb::arb::memmap::{bind_segments, MemoryBinding};
 use rcarb::board::board::PeId;
 use rcarb::board::presets;
 use rcarb::fft::flow::run_fft_flow;
 use rcarb::taskgraph::builder::TaskGraphBuilder;
-use rcarb::taskgraph::id::TaskId;
+use rcarb::taskgraph::id::{TaskId, VarId};
 use rcarb::taskgraph::program::{Expr, Op, Program};
 
 #[test]
@@ -81,6 +83,244 @@ fn removing_the_m_access_release_is_rca302() {
         "{}",
         report.render_text()
     );
+}
+
+/// Two tasks holding two arbiters in the given orders. `orders` maps
+/// each task to (first segment index, second segment index); opposite
+/// orders create the circular wait, identical orders do not.
+fn two_lock_plan(
+    opposite: bool,
+    ordered: bool,
+    bounded: bool,
+) -> (ArbitrationPlan, MemoryBinding, ChannelMergePlan) {
+    let mut b = TaskGraphBuilder::new("locks");
+    let m1 = b.segment("M1", 64, 16);
+    let m2 = b.segment("M2", 64, 16);
+    let mk = |p: &mut rcarb::taskgraph::program::ProgramBuilder| {
+        p.mem_write(m1, Expr::lit(0), Expr::lit(1));
+        p.mem_write(m2, Expr::lit(0), Expr::lit(1));
+    };
+    let t1 = b.task("T1", Program::build(mk));
+    let t2 = b.task("T2", Program::build(mk));
+    if ordered {
+        b.control_dep(t1, t2);
+    }
+    let graph = b.finish().unwrap();
+    // quad_large has spare banks: each segment lands on its own bank,
+    // so the design carries two distinct arbiters.
+    let board = presets::quad_large();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let merges = ChannelMergePlan::default();
+    let mut plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+    let arb_of = |plan: &ArbitrationPlan, seg| {
+        plan.arbiter_for(ArbitratedResource::Bank(binding.bank_of(seg).unwrap()))
+            .unwrap()
+            .id
+    };
+    let (a1, a2) = (arb_of(&plan, m1), arb_of(&plan, m2));
+    let hold_both = |first, second, seg1, seg2| {
+        let acquire = |arbiter, var| {
+            if bounded {
+                Op::AwaitGrantFor {
+                    arbiter,
+                    cycles: 16,
+                    dst: VarId::new(var),
+                }
+            } else {
+                Op::AwaitGrant { arbiter }
+            }
+        };
+        Program::from_ops(vec![
+            Op::ReqAssert { arbiter: first },
+            acquire(first, 0),
+            Op::MemWrite {
+                segment: seg1,
+                addr: Expr::lit(0),
+                value: Expr::lit(1),
+            },
+            Op::ReqAssert { arbiter: second },
+            acquire(second, 1),
+            Op::MemWrite {
+                segment: seg2,
+                addr: Expr::lit(0),
+                value: Expr::lit(1),
+            },
+            Op::ReqDeassert { arbiter: second },
+            Op::ReqDeassert { arbiter: first },
+        ])
+    };
+    plan.graph
+        .task_mut(t1)
+        .set_program(hold_both(a1, a2, m1, m2));
+    let p2 = if opposite {
+        hold_both(a2, a1, m2, m1)
+    } else {
+        hold_both(a1, a2, m1, m2)
+    };
+    plan.graph.task_mut(t2).set_program(p2);
+    (plan, binding, merges)
+}
+
+#[test]
+fn injected_cross_order_deadlock_is_rca501() {
+    let (plan, binding, merges) = two_lock_plan(true, false, false);
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    let hits = report.with_code(DiagCode::DeadlockCycle);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    let w = hits[0].witness.as_ref().expect("RCA501 carries a witness");
+    assert_eq!(w.expect, "no_progress");
+}
+
+#[test]
+fn removing_the_cross_order_silences_rca501() {
+    // Same acquisition order in both tasks: no cycle, no RCA5xx.
+    let (plan, binding, merges) = two_lock_plan(false, false, false);
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(
+        !report.has_code(DiagCode::DeadlockCycle),
+        "{}",
+        report.render_text()
+    );
+    assert!(!report.has_code(DiagCode::LivelockRisk));
+
+    // A dependency ordering also silences it, even with opposite orders.
+    let (plan, binding, merges) = two_lock_plan(true, true, false);
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(
+        !report.has_code(DiagCode::DeadlockCycle),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn bounded_cross_order_waits_downgrade_to_rca502() {
+    let (plan, binding, merges) = two_lock_plan(true, false, true);
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(
+        !report.has_code(DiagCode::DeadlockCycle),
+        "{}",
+        report.render_text()
+    );
+    assert!(report.has_code(DiagCode::LivelockRisk));
+}
+
+/// A duo_small contended plan transformed with burst window `m`.
+fn contended_with_m(m: u32) -> (ArbitrationPlan, MemoryBinding, ChannelMergePlan) {
+    let mut b = TaskGraphBuilder::new("fairm");
+    let m1 = b.segment("M1", 256, 16);
+    let m2 = b.segment("M2", 256, 16);
+    for (name, seg) in [("T1", m1), ("T2", m2)] {
+        b.task(
+            name,
+            Program::build(move |p| {
+                for i in 0..4 {
+                    p.mem_write(seg, Expr::lit(i), Expr::lit(i));
+                }
+            }),
+        );
+    }
+    let graph = b.finish().unwrap();
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).unwrap();
+    let merges = ChannelMergePlan::default();
+    let plan = insert_arbiters(
+        &graph,
+        &binding,
+        &merges,
+        &InsertionConfig::paper().with_max_burst(m),
+    );
+    (plan, binding, merges)
+}
+
+#[test]
+fn injected_fairness_refutation_is_rca602() {
+    // Transformed for M = 4, certified against M = 2: the worst-case
+    // window exceeds (N-1)(M+2) and the certifier must refute it.
+    let (plan, binding, merges) = contended_with_m(4);
+    let report = analyze_plan(
+        &plan,
+        &binding,
+        &merges,
+        &AnalyzeConfig::default().with_max_burst(2),
+    );
+    let hits = report.with_code(DiagCode::FairnessRefuted);
+    assert!(!hits.is_empty(), "{}", report.render_text());
+    let w = hits[0].witness.as_ref().expect("RCA602 carries a witness");
+    assert_eq!(w.expect, "fairness_breach");
+    assert!(
+        hits[0].message.contains("(N-1)(M+2)"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn removing_the_refutation_certifies_rca603() {
+    // The same plan certified against its own M analyzes clean and the
+    // bound is certified, not refuted.
+    let (plan, binding, merges) = contended_with_m(4);
+    let report = analyze_plan(
+        &plan,
+        &binding,
+        &merges,
+        &AnalyzeConfig::default().with_max_burst(4),
+    );
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert!(!report.has_code(DiagCode::FairnessRefuted));
+    assert!(report.has_code(DiagCode::FairnessCertified));
+}
+
+#[test]
+fn loop_amplified_hold_is_rca601_unprovable() {
+    // A hold whose access count is loop-amplified beyond the widening
+    // ceiling cannot be certified: the verifier must say so (warning)
+    // rather than claim either verdict.
+    let (mut plan, binding, merges) = contended_with_m(2);
+    let t1 = plan.graph.task_by_name("T1").unwrap().id();
+    let seg = plan.graph.segments()[0].id();
+    let arb = plan
+        .arbiter_for(ArbitratedResource::Bank(binding.bank_of(seg).unwrap()))
+        .unwrap()
+        .id;
+    plan.graph.task_mut(t1).set_program(Program::build(|p| {
+        p.push(Op::ReqAssert { arbiter: arb });
+        p.push(Op::AwaitGrant { arbiter: arb });
+        p.repeat(1 << 20, |q| {
+            q.mem_write(seg, Expr::lit(0), Expr::lit(1));
+        });
+        p.push(Op::ReqDeassert { arbiter: arb });
+    }));
+    let report = analyze_plan(&plan, &binding, &merges, &AnalyzeConfig::default());
+    assert!(
+        report.has_code(DiagCode::FairnessUnprovable),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn reports_are_deterministically_ordered() {
+    // A plan that trips many families at once must come back in the
+    // canonical (code, location, message) order, identically on every
+    // run, regardless of how the parallel checks are scheduled.
+    let (mut plan, binding, merges) = contended_with_m(4);
+    plan.arbiters.clear();
+    let config = AnalyzeConfig::default().with_max_burst(2);
+    let first = analyze_plan(&plan, &binding, &merges, &config);
+    assert!(!first.is_clean());
+    for _ in 0..5 {
+        let again = analyze_plan(&plan, &binding, &merges, &config);
+        assert_eq!(again.diagnostics(), first.diagnostics());
+    }
+    let keys: Vec<_> = first
+        .diagnostics()
+        .iter()
+        .map(|d| (d.code.as_str(), d.location.clone(), d.message.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report must be normalized");
 }
 
 #[test]

@@ -126,6 +126,101 @@ fn violation_kinds_are_distinct() {
 }
 
 #[test]
+fn full_analysis_report_round_trips_with_every_code() {
+    // One diagnostic per DiagCode — error codes carry a full witness,
+    // the rest alternate between partial witnesses and none, so every
+    // shape of the `witness` field is exercised.
+    let mut report = AnalysisReport::new();
+    for (i, &code) in DiagCode::ALL.iter().enumerate() {
+        let mut d = Diagnostic::new(code, format!("location {i}"), format!("message for {code}"));
+        if i % 3 == 0 {
+            d = d.with_help("try the other thing");
+        }
+        match i % 3 {
+            0 => {
+                d = d.with_witness(
+                    Witness::expecting("grant_timeout")
+                        .for_task(t(i as u32))
+                        .for_arbiter(ArbiterId::new(0))
+                        .along(vec![
+                            "request asserted".to_owned(),
+                            "grant arrives".to_owned(),
+                            "hold leaks".to_owned(),
+                        ]),
+                );
+            }
+            1 => {
+                d = d.with_witness(Witness::expecting("fairness_breach"));
+            }
+            _ => {}
+        }
+        report.push(d);
+    }
+    report.normalize();
+    let doc = report.to_json();
+    assert_round_trips(&doc);
+    let parsed = Json::parse(&doc.to_string()).unwrap();
+    let diags = parsed["diagnostics"].as_array().unwrap();
+    assert_eq!(diags.len(), DiagCode::ALL.len());
+    // Witness payloads survive the trip with their structure intact.
+    let with_witness: Vec<&Json> = diags.iter().filter(|d| !d["witness"].is_null()).collect();
+    assert!(with_witness.len() >= DiagCode::ALL.len() / 2);
+    let full = with_witness
+        .iter()
+        .find(|d| !d["witness"]["task"].is_null())
+        .expect("at least one full witness");
+    assert_eq!(full["witness"]["expect"].as_str(), Some("grant_timeout"));
+    assert_eq!(full["witness"]["arbiter"].as_u64(), Some(0));
+    assert_eq!(
+        full["witness"]["path"].as_array().unwrap().len(),
+        3,
+        "{full}"
+    );
+    // Normalized order is code-sorted, so the document is byte-stable
+    // regardless of push order.
+    let codes: Vec<&str> = diags.iter().map(|d| d["code"].as_str().unwrap()).collect();
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    assert_eq!(codes, sorted);
+}
+
+#[test]
+fn analyzer_reports_from_a_real_design_round_trip() {
+    // End-to-end: a clean design and a broken one; both reports (with
+    // and without witnesses) must round-trip byte-identically.
+    let mut b = TaskGraphBuilder::new("rt_analyze");
+    let m1 = b.segment("M1", 256, 16);
+    let m2 = b.segment("M2", 256, 16);
+    for (name, m) in [("T1", m1), ("T2", m2)] {
+        b.task(
+            name,
+            Program::build(move |p| {
+                for i in 0..4 {
+                    p.mem_write(m, Expr::lit(i), Expr::lit(i));
+                }
+            }),
+        );
+    }
+    let planned = Design::new(b.finish().unwrap(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let clean = planned.analyze(&AnalyzeConfig::default());
+    assert!(clean.is_clean());
+    assert_round_trips(&clean.to_json());
+
+    let mut broken = planned.plan().clone();
+    broken.arbiters.clear();
+    let report = analyze_plan(
+        &broken,
+        planned.binding(),
+        planned.merges(),
+        &AnalyzeConfig::default(),
+    );
+    assert!(!report.is_clean(), "{}", report.render_text());
+    assert_round_trips(&report.to_json());
+}
+
+#[test]
 fn populated_fault_report_round_trips() {
     let report = FaultReport {
         injected: 2,
