@@ -1,0 +1,312 @@
+//! `loadgen` — the serving benchmark.
+//!
+//! Boots an in-process `rcarb-serve` daemon on a Unix socket, drives a
+//! multi-tenant pipelined workload against it (thousands of requests,
+//! more than a thousand concurrently in flight in full mode), then
+//! replays the *identical* workload over the in-memory transport and
+//! asserts every response is byte-for-byte what the daemon sent. The
+//! measurements land in `BENCH_serve.json`:
+//!
+//! - request latency p50/p99 (microseconds) and sustained throughput;
+//! - the server's admission counters (max queue depth, batching);
+//! - the equivalence verdict (checked count, zero mismatches).
+//!
+//! ```text
+//! cargo run -p rcarb-bench --release --bin loadgen [-- --smoke] [-- --out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI (8 connections x 16 deep);
+//! full mode runs 40 connections x 32 deep = 1280 requests in flight.
+//! The process exits non-zero on any dropped request, error response,
+//! or byte mismatch, so CI can gate on it directly.
+
+use rcarb::backend::{SimulateOptions, SimulateRequest, SweepRequest, SynthesizeRequest};
+use rcarb_board::presets;
+use rcarb_json::Json;
+use rcarb_obs::ObsConfig;
+use rcarb_serve::{Client, RequestBody, ServeConfig, Server};
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::program::{Expr, Program};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Workload shape for one run.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    /// Concurrent connections (one tenant each).
+    conns: u64,
+    /// Pipelined requests kept in flight per connection.
+    depth: u64,
+    /// Total requests issued per connection.
+    per_conn: u64,
+}
+
+impl Shape {
+    fn full() -> Self {
+        Self {
+            conns: 40,
+            depth: 32,
+            per_conn: 128,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            conns: 8,
+            depth: 16,
+            per_conn: 32,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.conns * self.per_conn
+    }
+
+    fn inflight_target(&self) -> u64 {
+        self.conns * self.depth
+    }
+}
+
+fn tiny_graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("loadgen");
+    let m1 = b.segment("M1", 256, 16);
+    let m2 = b.segment("M2", 256, 16);
+    b.task(
+        "T1",
+        Program::build(|p| p.mem_write(m1, Expr::lit(0), Expr::lit(1))),
+    );
+    b.task(
+        "T2",
+        Program::build(|p| {
+            let _ = p.mem_read(m2, Expr::lit(0));
+        }),
+    );
+    b.finish().expect("valid graph")
+}
+
+/// Deterministic request body per global id: the same id always maps to
+/// the same request, which is what makes the byte-for-byte replay
+/// meaningful.
+fn body_for(id: u64) -> RequestBody {
+    match id % 16 {
+        0..=2 => {
+            RequestBody::Synthesize(SynthesizeRequest::round_robin((2 + (id / 16) % 7) as usize))
+        }
+        3 => RequestBody::Sweep(SweepRequest {
+            ns: vec![2, 4],
+            grade: "-3".to_owned(),
+        }),
+        4 => RequestBody::Simulate(SimulateRequest {
+            graph: tiny_graph(),
+            board: presets::duo_small(),
+            max_cycles: 2_000,
+            options: SimulateOptions::default(),
+        }),
+        _ => RequestBody::Ping,
+    }
+}
+
+/// Globally unique id: connection index in the high bits, sequence in
+/// the low bits — ids never collide across connections.
+fn request_id(conn: u64, seq: u64) -> u64 {
+    (conn << 32) | (seq + 1)
+}
+
+struct RunOutcome {
+    latencies_us: Vec<u64>,
+    bytes_by_id: BTreeMap<u64, Vec<u8>>,
+    errors: u64,
+    elapsed_s: f64,
+}
+
+/// Drives the pipelined workload through `make_client`-produced
+/// connections and collects per-request latency and exact wire bytes.
+fn drive(shape: Shape, make_client: impl Fn(u64) -> Client + Sync) -> RunOutcome {
+    let all: Arc<Mutex<RunOutcome>> = Arc::new(Mutex::new(RunOutcome {
+        latencies_us: Vec::new(),
+        bytes_by_id: BTreeMap::new(),
+        errors: 0,
+        elapsed_s: 0.0,
+    }));
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for conn in 0..shape.conns {
+            let all = Arc::clone(&all);
+            let make_client = &make_client;
+            scope.spawn(move || {
+                let mut client = make_client(conn).with_tenant(format!("tenant-{conn}"));
+                let mut sent_at: BTreeMap<u64, Instant> = BTreeMap::new();
+                let mut next_seq = 0u64;
+                let mut local_lat = Vec::with_capacity(shape.per_conn as usize);
+                let mut local_bytes = BTreeMap::new();
+                let mut local_errors = 0u64;
+                // Prime the pipeline to `depth`, then keep it full:
+                // every response received triggers the next send.
+                while next_seq < shape.depth.min(shape.per_conn) {
+                    let id = request_id(conn, next_seq);
+                    client.send_with_id(id, body_for(id)).expect("send");
+                    sent_at.insert(id, Instant::now());
+                    next_seq += 1;
+                }
+                let mut received = 0u64;
+                while received < shape.per_conn {
+                    let (frame, bytes) = client.recv_with_bytes().expect("recv");
+                    let t0 = sent_at.remove(&frame.id).expect("known id");
+                    local_lat.push(t0.elapsed().as_micros() as u64);
+                    if frame.body.is_error() {
+                        local_errors += 1;
+                    }
+                    local_bytes.insert(frame.id, bytes);
+                    received += 1;
+                    if next_seq < shape.per_conn {
+                        let id = request_id(conn, next_seq);
+                        client.send_with_id(id, body_for(id)).expect("send");
+                        sent_at.insert(id, Instant::now());
+                        next_seq += 1;
+                    }
+                }
+                let mut all = all.lock().expect("outcome lock");
+                all.latencies_us.extend(local_lat);
+                all.bytes_by_id.extend(local_bytes);
+                all.errors += local_errors;
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut outcome = Arc::try_unwrap(all)
+        .unwrap_or_else(|_| panic!("all threads joined"))
+        .into_inner()
+        .expect("outcome lock");
+    outcome.elapsed_s = elapsed_s;
+    outcome
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let shape = if smoke { Shape::smoke() } else { Shape::full() };
+
+    let cfg = ServeConfig {
+        queue_capacity: 4096,
+        batch_max: 32,
+        workers: thread::available_parallelism().map_or(4, |n| n.get()),
+        default_quota: 4096,
+        obs: ObsConfig::on(),
+        ..ServeConfig::default()
+    };
+
+    // --- Phase 1: the Unix-socket daemon under pipelined load. -----------
+    let daemon = Server::in_process(cfg.clone());
+    let sock = std::env::temp_dir().join(format!("rcarb-loadgen-{}.sock", std::process::id()));
+    daemon.listen_uds(&sock).expect("bind unix socket");
+    eprintln!(
+        "loadgen: {} conns x {} deep ({} in flight, {} total) against {}",
+        shape.conns,
+        shape.depth,
+        shape.inflight_target(),
+        shape.total(),
+        sock.display()
+    );
+    let uds = drive(shape, |_conn| {
+        Client::connect_uds(&sock).expect("connect unix socket")
+    });
+    let daemon_stats = daemon.stats();
+    let queue_depth_gauge = daemon
+        .session()
+        .map(|s| s.snapshot().gauge("serve/queue_depth").unwrap_or(0.0))
+        .unwrap_or(0.0);
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&sock);
+
+    // --- Phase 2: byte-identical replay over the in-memory transport. ----
+    let replay_server = Server::in_process(cfg);
+    let mut replay_client = Client::in_memory(&replay_server).with_tenant("replay");
+    let mut checked = 0u64;
+    let mut mismatches = 0u64;
+    for (&id, daemon_bytes) in &uds.bytes_by_id {
+        replay_client.send_with_id(id, body_for(id)).expect("send");
+        let (frame, bytes) = replay_client.recv_with_bytes().expect("recv");
+        assert_eq!(frame.id, id, "replay answered out of order");
+        checked += 1;
+        if &bytes != daemon_bytes {
+            mismatches += 1;
+            eprintln!("loadgen: byte mismatch on request {id}");
+        }
+    }
+    replay_server.shutdown();
+
+    // --- Report. ----------------------------------------------------------
+    let mut lat = uds.latencies_us.clone();
+    lat.sort_unstable();
+    let total = uds.bytes_by_id.len() as u64;
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+    let throughput = total as f64 / uds.elapsed_s;
+    let report = obj(vec![
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.to_owned()),
+        ),
+        ("connections", Json::from(shape.conns)),
+        ("pipeline_depth", Json::from(shape.depth)),
+        ("inflight_target", Json::from(shape.inflight_target())),
+        ("requests", Json::from(total)),
+        ("dropped", Json::from(shape.total() - total)),
+        ("error_responses", Json::from(uds.errors)),
+        (
+            "latency_us",
+            obj(vec![
+                ("p50", Json::from(p50)),
+                ("p99", Json::from(p99)),
+                ("max", Json::from(lat.last().copied().unwrap_or(0))),
+            ]),
+        ),
+        ("throughput_rps", Json::from(throughput)),
+        ("elapsed_s", Json::from(uds.elapsed_s)),
+        ("daemon", rcarb_json::to_value(&daemon_stats)),
+        ("queue_depth_gauge", Json::from(queue_depth_gauge)),
+        (
+            "equivalence",
+            obj(vec![
+                ("checked", Json::from(checked)),
+                ("mismatches", Json::from(mismatches)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
+    eprintln!(
+        "loadgen: {total} requests, p50 {p50}us p99 {p99}us, {throughput:.0} req/s, \
+         max queue depth {}, {checked} replayed, {mismatches} mismatches -> {out_path}",
+        daemon_stats.max_queue_depth
+    );
+
+    let dropped = shape.total() - total;
+    if dropped > 0 || uds.errors > 0 || mismatches > 0 {
+        eprintln!(
+            "loadgen: FAILED (dropped={dropped} errors={} mismatches={mismatches})",
+            uds.errors
+        );
+        std::process::exit(1);
+    }
+}

@@ -69,6 +69,13 @@ pub enum Error {
         /// What was wrong with the plan.
         detail: String,
     },
+    /// A service request (the `Backend` API) was malformed: an unknown
+    /// policy/encoding/tool/grade name, an out-of-range parameter, or a
+    /// payload that does not describe a usable design.
+    Request {
+        /// What was wrong with the request.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -105,6 +112,7 @@ impl fmt::Display for Error {
             Error::Bind(e) => write!(f, "memory binding failed: {e}"),
             Error::Channel(e) => write!(f, "channel planning failed: {e}"),
             Error::FaultPlan { detail } => write!(f, "invalid fault plan: {detail}"),
+            Error::Request { detail } => write!(f, "invalid request: {detail}"),
         }
     }
 }

@@ -1,0 +1,188 @@
+//! A blocking client for the frame protocol.
+//!
+//! One [`Client`] owns one connection — TCP, Unix-socket, or the
+//! in-memory transport — and speaks frames. [`call`](Client::call) is
+//! the simple request/response path; [`send`](Client::send) /
+//! [`recv`](Client::recv) expose pipelining (many requests in flight on
+//! one connection, responses correlated by id, possibly out of order).
+
+use crate::frame::{read_frame, write_frame};
+use crate::server::Server;
+use crate::transport::InMemoryStream;
+use crate::wire::{RequestBody, RequestFrame, ResponseBody, ResponseFrame};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    tenant: String,
+    next_id: u64,
+}
+
+impl Client {
+    /// Wraps an already-connected transport.
+    pub fn from_parts<R, W>(reader: R, writer: W) -> Self
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        Self {
+            reader: Box::new(reader),
+            writer: Box::new(writer),
+            tenant: "default".to_owned(),
+            next_id: 1,
+        }
+    }
+
+    /// Opens an in-memory connection to `server` (the server end runs
+    /// the identical production loop).
+    pub fn in_memory(server: &Server) -> Self {
+        let (reader, writer) = server.connect_in_memory().into_split();
+        Self::from_parts(reader, writer)
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Self::from_parts(reader, stream))
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    #[cfg(unix)]
+    pub fn connect_uds(path: &Path) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Self::from_parts(reader, stream))
+    }
+
+    /// Sets the tenant name stamped on every request.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sends one request without waiting; returns its correlation id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport write error.
+    pub fn send(&mut self, body: RequestBody) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_with_id(id, body)?;
+        Ok(id)
+    }
+
+    /// Sends one request under a caller-chosen id (loadgen uses globally
+    /// unique ids across connections).
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport write error.
+    pub fn send_with_id(&mut self, id: u64, body: RequestBody) -> io::Result<()> {
+        let frame = RequestFrame {
+            id,
+            tenant: self.tenant.clone(),
+            body,
+        };
+        let payload = rcarb_json::to_string(&frame).into_bytes();
+        write_frame(&mut self.writer, &payload)
+    }
+
+    /// Receives the next response frame (any id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] if the server hung up,
+    /// or [`io::ErrorKind::InvalidData`] on an unparseable response.
+    pub fn recv(&mut self) -> io::Result<ResponseFrame> {
+        Ok(self.recv_with_bytes()?.0)
+    }
+
+    /// Receives the next response frame together with its exact wire
+    /// bytes (what the transport-equivalence suites compare).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`recv`](Self::recv).
+    pub fn recv_with_bytes(&mut self) -> io::Result<(ResponseFrame, Vec<u8>)> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+        let frame: ResponseFrame = rcarb_json::from_str(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((frame, payload))
+    }
+
+    /// One request, one response: sends `body` and waits for the
+    /// matching frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as in [`recv`](Self::recv); additionally
+    /// [`io::ErrorKind::InvalidData`] if the server answers a different
+    /// correlation id (only possible if requests were pipelined around
+    /// this call).
+    pub fn call(&mut self, body: RequestBody) -> io::Result<ResponseBody> {
+        let id = self.send(body)?;
+        let frame = self.recv()?;
+        if frame.id != id && frame.id != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected response {id}, got {}", frame.id),
+            ));
+        }
+        Ok(frame.body)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`io::ErrorKind::InvalidData`] on a
+    /// non-`Pong` answer.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(RequestBody::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Pong, got {other:?}"),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("tenant", &self.tenant)
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+// The in-memory transport splits into the same shape.
+impl From<InMemoryStream> for Client {
+    fn from(stream: InMemoryStream) -> Self {
+        let (reader, writer) = stream.into_split();
+        Self::from_parts(reader, writer)
+    }
+}

@@ -1,0 +1,170 @@
+//! The length-prefixed frame codec.
+//!
+//! Every message on every transport — TCP, Unix socket, in-memory pipe —
+//! is one *frame*: a little-endian `u32` payload length followed by that
+//! many bytes of compact JSON. The codec is deliberately boring so the
+//! protocol stays debuggable with `xxd`; all the structure lives in the
+//! JSON payload (see [`wire`](crate::wire)).
+//!
+//! Robustness contract (checked by the proptests in
+//! `tests/frame_proptests.rs`): a reader fed truncated, oversized or
+//! garbage bytes returns an [`io::Error`] — it never panics and never
+//! allocates the attacker-supplied length.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload, in bytes (64 MiB).
+///
+/// Large enough for any real design document, small enough that a
+/// corrupt or hostile length prefix cannot drive an allocation of
+/// gigabytes: the length is validated *before* any payload buffer is
+/// reserved.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Writes one frame: the payload's length as a little-endian `u32`,
+/// then the payload, then a flush.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] when the payload exceeds
+/// [`MAX_FRAME_LEN`] (a frame the peer would be required to reject),
+/// or any transport error from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF *between* frames —
+/// how a peer hangs up politely).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] when the stream ends inside
+/// a header or payload (a truncated frame), and
+/// [`io::ErrorKind::InvalidData`] when the header announces more than
+/// [`MAX_FRAME_LEN`] bytes. Oversized lengths are rejected before any
+/// buffer is allocated.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header announces {len} bytes, over the {MAX_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {got}/{len} bytes into a frame payload"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"id\":1}").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"id\":1}");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_eof() {
+        let mut r = Cursor::new(Vec::new());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error() {
+        let mut r = Cursor::new(vec![9, 0]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let mut short = Vec::new();
+        write_frame(&mut short, b"abcdef").unwrap();
+        short.truncate(7);
+        let mut r = Cursor::new(short);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocating() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        let mut r = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn oversized_writes_are_refused() {
+        // A zero-filled slice longer than the cap; use a small stand-in
+        // length check by constructing via from_raw would be UB, so just
+        // assert the guard with a len computation on an empty writer.
+        struct Null;
+        impl Write for Null {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert_eq!(
+            write_frame(&mut Null, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+}

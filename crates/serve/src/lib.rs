@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # rcarb-serve — arbitration-as-a-service
+//!
+//! A long-lived, multi-tenant daemon exposing the
+//! [`rcarb::backend::Backend`] API over a length-prefixed JSON frame
+//! protocol. Three transports share one production server loop:
+//!
+//! - **TCP** ([`Server::listen_tcp`]) and **Unix-domain sockets**
+//!   ([`Server::listen_uds`]) for real deployments;
+//! - an **in-memory byte pipe** ([`Server::connect_in_memory`]) that
+//!   runs the *identical* loop in-process, so tests can assert that a
+//!   served response is byte-for-byte what the daemon would send.
+//!
+//! Requests are admitted into a bounded queue (full queue = the
+//! connection's reader blocks; nothing is dropped), subject to
+//! per-tenant in-flight quotas, and drained in batches by a worker
+//! pool. The synthesis cache and the exec pool are process-wide, so
+//! every session shares warm state.
+//!
+//! ```
+//! use rcarb_serve::{Client, RequestBody, ResponseBody, ServeConfig, Server};
+//! use rcarb::backend::SynthesizeRequest;
+//!
+//! let server = Server::in_process(ServeConfig::default());
+//! let mut client = Client::in_memory(&server);
+//! let resp = client
+//!     .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(6)))
+//!     .unwrap();
+//! match resp {
+//!     ResponseBody::Synthesize(s) => assert_eq!(s.states, 12),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::Client;
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use server::{ServeConfig, ServeStats, Server};
+pub use transport::{duplex, InMemoryStream};
+pub use wire::{
+    decode_request, dispatch, encode_response, ErrorCode, RequestBody, RequestFrame, ResponseBody,
+    ResponseFrame, WireError,
+};

@@ -1,0 +1,493 @@
+//! The long-lived arbitration server.
+//!
+//! One [`Server`] owns one [`Backend`] and a pool of batch-draining
+//! worker threads behind a bounded admission queue. Connections —
+//! TCP, Unix-socket, or [in-memory](crate::transport) — all run the
+//! same loop: read request frames, admit them (enforcing per-tenant
+//! in-flight quotas, blocking the connection's reader when the queue is
+//! full rather than dropping work), and stream response frames back as
+//! workers finish. Responses to pipelined requests may return out of
+//! order; clients correlate by id.
+//!
+//! Because the synthesis cache and the exec pool are process-wide,
+//! every connection shares warm state automatically: the second tenant
+//! asking for an `Arb4` gets the first tenant's cache hit.
+
+use crate::frame::{read_frame, write_frame};
+use crate::transport::{duplex, InMemoryStream};
+use crate::wire::{
+    decode_request, dispatch, encode_response, ErrorCode, RequestBody, RequestFrame, ResponseBody,
+    ResponseFrame, WireError,
+};
+use rcarb::backend::{Backend, InProcessBackend};
+use rcarb_obs::{Obs, ObsConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning: admission, batching, quotas, observability.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum queued (admitted, not yet dispatched) requests. When the
+    /// queue is full, connection readers block — backpressure, never
+    /// silent drops.
+    pub queue_capacity: usize,
+    /// Maximum requests one worker drains per queue visit. Batching
+    /// amortizes lock traffic when thousands of small requests pile up.
+    pub batch_max: usize,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// In-flight quota for tenants without an explicit entry.
+    pub default_quota: usize,
+    /// Per-tenant in-flight quotas; requests beyond the quota are
+    /// answered with [`ErrorCode::QuotaExceeded`] immediately.
+    pub tenant_quotas: BTreeMap<String, usize>,
+    /// Observability: when enabled, every request runs under a
+    /// `serve/<method>` span and the queue/tenant metrics are recorded.
+    pub obs: ObsConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            batch_max: 16,
+            workers: 4,
+            default_quota: 1024,
+            tenant_quotas: BTreeMap::new(),
+            obs: ObsConfig::off(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets one tenant's in-flight quota.
+    #[must_use]
+    pub fn with_tenant_quota(mut self, tenant: impl Into<String>, quota: usize) -> Self {
+        self.tenant_quotas.insert(tenant.into(), quota);
+        self
+    }
+}
+
+/// Monotonic counters the server keeps regardless of observability
+/// configuration (cheap atomics; the loadgen report embeds them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests fully served (including error responses).
+    pub requests: u64,
+    /// Responses that carried a [`WireError`].
+    pub errors: u64,
+    /// Requests rejected at admission for quota.
+    pub quota_rejections: u64,
+    /// Worker queue visits that drained at least one request.
+    pub batches: u64,
+    /// Largest single batch drained.
+    pub max_batch: u64,
+    /// High-water mark of the admission queue.
+    pub max_queue_depth: u64,
+}
+
+rcarb_json::impl_json_struct!(ServeStats {
+    requests,
+    errors,
+    quota_rejections,
+    batches,
+    max_batch,
+    max_queue_depth,
+});
+
+/// One admitted request, waiting for a worker.
+struct Job {
+    id: u64,
+    tenant: String,
+    body: RequestBody,
+    reply: mpsc::Sender<ResponseFrame>,
+}
+
+/// Queue state guarded by one mutex: the pending jobs plus the
+/// per-tenant in-flight counts (admitted-or-executing).
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    inflight: BTreeMap<String, usize>,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    quota_rejections: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl Stats {
+    fn bump_max(slot: &AtomicU64, value: u64) {
+        slot.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    backend: Box<dyn Backend>,
+    cfg: ServeConfig,
+    state: Mutex<QueueState>,
+    /// Workers wait here for jobs.
+    ready: Condvar,
+    /// Connection readers wait here for queue space.
+    space: Condvar,
+    shutdown: AtomicBool,
+    session: Option<Obs>,
+    stats: Stats,
+}
+
+impl Inner {
+    fn quota_for(&self, tenant: &str) -> usize {
+        self.cfg
+            .tenant_quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.cfg.default_quota)
+    }
+
+    /// Admits one request: quota check, then blocking enqueue.
+    fn admit(&self, frame: RequestFrame, reply: &mpsc::Sender<ResponseFrame>) {
+        let quota = self.quota_for(&frame.tenant);
+        let mut st = self.state.lock().expect("server lock");
+        let inflight = st.inflight.entry(frame.tenant.clone()).or_insert(0);
+        if *inflight >= quota {
+            drop(st);
+            self.stats.quota_rejections.fetch_add(1, Ordering::Relaxed);
+            if let Some(session) = &self.session {
+                session
+                    .metrics()
+                    .counter_add(&format!("serve/tenant/{}/rejected", frame.tenant), 1);
+            }
+            let _ = reply.send(ResponseFrame {
+                id: frame.id,
+                body: ResponseBody::Error(WireError::quota(&frame.tenant, quota)),
+            });
+            return;
+        }
+        *inflight += 1;
+        while st.jobs.len() >= self.cfg.queue_capacity && !self.shutdown.load(Ordering::Acquire) {
+            st = self.space.wait(st).expect("server lock");
+        }
+        st.jobs.push_back(Job {
+            id: frame.id,
+            tenant: frame.tenant,
+            body: frame.body,
+            reply: reply.clone(),
+        });
+        let depth = st.jobs.len() as u64;
+        drop(st);
+        Stats::bump_max(&self.stats.max_queue_depth, depth);
+        if let Some(session) = &self.session {
+            session
+                .metrics()
+                .gauge_set("serve/queue_depth", depth as f64);
+        }
+        self.ready.notify_one();
+    }
+
+    /// One worker: drain up to `batch_max` jobs per queue visit,
+    /// execute them, stream replies.
+    fn worker_loop(&self) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut st = self.state.lock().expect("server lock");
+                while st.jobs.is_empty() {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    st = self.ready.wait(st).expect("server lock");
+                }
+                let n = self.cfg.batch_max.min(st.jobs.len());
+                let batch = st.jobs.drain(..n).collect();
+                self.space.notify_all();
+                if st.jobs.len() >= self.cfg.batch_max {
+                    // More than a batch left: wake a sibling too.
+                    self.ready.notify_one();
+                }
+                batch
+            };
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            Stats::bump_max(&self.stats.max_batch, batch.len() as u64);
+            if let Some(session) = &self.session {
+                session
+                    .metrics()
+                    .observe("serve/batch_size", batch.len() as u64);
+            }
+            for job in batch {
+                self.execute(job);
+            }
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        let body = {
+            let _span = self
+                .session
+                .as_ref()
+                .map(|s| s.span(&format!("serve/{}", job.body.method())));
+            dispatch(self.backend.as_ref(), &job.body)
+        };
+        {
+            let mut st = self.state.lock().expect("server lock");
+            if let Some(count) = st.inflight.get_mut(&job.tenant) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if body.is_error() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(session) = &self.session {
+            let metrics = session.metrics();
+            metrics.counter_add("serve/requests", 1);
+            metrics.counter_add(&format!("serve/tenant/{}/requests", job.tenant), 1);
+        }
+        let _ = job.reply.send(ResponseFrame { id: job.id, body });
+    }
+}
+
+/// Runs one connection against the server: a detached reader thread
+/// feeding the admission queue and a writer thread streaming replies.
+fn spawn_connection<R, W>(inner: Arc<Inner>, reader: R, writer: W)
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<ResponseFrame>();
+    let writer_handle = thread::spawn(move || {
+        let mut writer = writer;
+        // Exits when every sender (reader + in-flight jobs) is gone.
+        while let Ok(frame) = rx.recv() {
+            let payload = encode_response(&frame);
+            if write_frame(&mut writer, &payload).is_err() {
+                break;
+            }
+        }
+    });
+    thread::spawn(move || {
+        let mut reader = reader;
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(payload)) => match decode_request(&payload) {
+                    Ok(frame) => inner.admit(frame, &tx),
+                    Err(e) => {
+                        // Unparseable payload: the stream may be
+                        // desynchronized, so answer once and hang up.
+                        let _ = tx.send(protocol_error(format!("bad request frame: {e}")));
+                        break;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(protocol_error(format!("bad frame: {e}")));
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        let _ = writer_handle.join();
+    });
+}
+
+fn protocol_error(message: String) -> ResponseFrame {
+    ResponseFrame {
+        id: 0,
+        body: ResponseBody::Error(WireError {
+            code: ErrorCode::BadRequest,
+            message,
+        }),
+    }
+}
+
+/// The arbitration daemon: one backend, many tenants, any transport.
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts a server (worker threads launch immediately) over any
+    /// [`Backend`].
+    pub fn new<B: Backend + 'static>(backend: B, cfg: ServeConfig) -> Self {
+        let session = cfg.obs.session();
+        let inner = Arc::new(Inner {
+            backend: Box::new(backend),
+            cfg,
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            session,
+            stats: Stats::default(),
+        });
+        let mut threads = Vec::new();
+        for _ in 0..inner.cfg.workers.max(1) {
+            let worker = Arc::clone(&inner);
+            threads.push(thread::spawn(move || worker.worker_loop()));
+        }
+        Self {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Starts a server over the in-process facade backend.
+    pub fn in_process(cfg: ServeConfig) -> Self {
+        Self::new(InProcessBackend::new(), cfg)
+    }
+
+    /// Serves one already-connected transport (any `Read`/`Write`
+    /// pair). Returns immediately; the connection runs on its own
+    /// threads until the peer hangs up.
+    pub fn serve_connection<R, W>(&self, reader: R, writer: W)
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        spawn_connection(Arc::clone(&self.inner), reader, writer);
+    }
+
+    /// Opens an in-memory connection: the returned stream is the client
+    /// end; the server end runs the identical production loop.
+    pub fn connect_in_memory(&self) -> InMemoryStream {
+        let (client, server) = duplex();
+        let (reader, writer) = server.into_split();
+        self.serve_connection(reader, writer);
+        client
+    }
+
+    /// Binds a TCP listener and accepts connections until
+    /// [`shutdown`](Self::shutdown). Returns the bound address (bind to
+    /// port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure error.
+    pub fn listen_tcp(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let handle = thread::spawn(move || loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Err(e) = configure_tcp(&inner, stream) {
+                        eprintln!("rcarb-serve: tcp connection setup failed: {e}");
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("rcarb-serve: tcp accept failed: {e}");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        });
+        self.threads.lock().expect("thread registry").push(handle);
+        Ok(local)
+    }
+
+    /// Binds a Unix-domain listener at `path` (removing a stale socket
+    /// file first) and accepts connections until
+    /// [`shutdown`](Self::shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure error.
+    #[cfg(unix)]
+    pub fn listen_uds(&self, path: &Path) -> io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let handle = thread::spawn(move || loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Err(e) = configure_uds(&inner, stream) {
+                        eprintln!("rcarb-serve: uds connection setup failed: {e}");
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("rcarb-serve: uds accept failed: {e}");
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        });
+        self.threads.lock().expect("thread registry").push(handle);
+        Ok(())
+    }
+
+    /// The server's counters so far.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.inner.stats;
+        ServeStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            quota_rejections: s.quota_rejections.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+            max_queue_depth: s.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The observability session, when the config enabled one.
+    pub fn session(&self) -> Option<&Obs> {
+        self.inner.session.as_ref()
+    }
+
+    /// Stops accepting, lets workers drain the queue, and joins the
+    /// worker and listener threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.ready.notify_all();
+        self.inner.space.notify_all();
+        let mut threads = self.threads.lock().expect("thread registry");
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn configure_tcp(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    spawn_connection(Arc::clone(inner), reader, stream);
+    Ok(())
+}
+
+#[cfg(unix)]
+fn configure_uds(inner: &Arc<Inner>, stream: UnixStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let reader = stream.try_clone()?;
+    spawn_connection(Arc::clone(inner), reader, stream);
+    Ok(())
+}

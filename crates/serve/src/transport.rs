@@ -1,0 +1,202 @@
+//! The in-memory transport: a bidirectional byte pipe.
+//!
+//! [`duplex`] returns two connected [`InMemoryStream`]s. Each implements
+//! blocking [`Read`]/[`Write`] with the same semantics as a socket —
+//! reads park until bytes arrive, closing one end makes the peer's reads
+//! return EOF and its writes fail with `BrokenPipe` — so the production
+//! server loop runs over it *unchanged*. This is how the equivalence
+//! tests assert that a served response is byte-identical to an
+//! in-process one: same loop, same codec, different plumbing only.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One direction of the pipe: a byte queue plus a closed flag.
+#[derive(Debug, Default)]
+struct Channel {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    chan: Mutex<Channel>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn close(&self) {
+        self.chan.lock().expect("pipe lock").closed = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The read half of one pipe direction. Blocking; EOF after the writer
+/// closes and the queue drains.
+#[derive(Debug)]
+pub struct PipeReader {
+    shared: Arc<Shared>,
+}
+
+/// The write half of one pipe direction. Dropping it closes the
+/// direction, turning the peer's reads into EOF.
+#[derive(Debug)]
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+}
+
+/// Creates one unidirectional byte pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared::default());
+    (
+        PipeWriter {
+            shared: Arc::clone(&shared),
+        },
+        PipeReader { shared },
+    )
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut chan = self.shared.chan.lock().expect("pipe lock");
+        loop {
+            if !chan.bytes.is_empty() {
+                let n = buf.len().min(chan.bytes.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = chan.bytes.pop_front().expect("non-empty queue");
+                }
+                // Writers blocked on a bounded queue would be notified
+                // here; the queue is unbounded, so this only matters for
+                // close bookkeeping.
+                self.shared.wake.notify_all();
+                return Ok(n);
+            }
+            if chan.closed {
+                return Ok(0);
+            }
+            chan = self.shared.wake.wait(chan).expect("pipe lock");
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut chan = self.shared.chan.lock().expect("pipe lock");
+        if chan.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "the read end of the pipe is gone",
+            ));
+        }
+        chan.bytes.extend(buf.iter().copied());
+        self.shared.wake.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+/// One end of an in-memory duplex connection.
+#[derive(Debug)]
+pub struct InMemoryStream {
+    reader: PipeReader,
+    writer: PipeWriter,
+}
+
+impl InMemoryStream {
+    /// Splits the stream into independently-owned halves, so a reader
+    /// thread and a writer thread can share one connection (exactly
+    /// what `TcpStream::try_clone` enables for sockets).
+    pub fn into_split(self) -> (PipeReader, PipeWriter) {
+        (self.reader, self.writer)
+    }
+}
+
+impl Read for InMemoryStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl Write for InMemoryStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Creates a connected pair of in-memory duplex streams.
+pub fn duplex() -> (InMemoryStream, InMemoryStream) {
+    let (w_ab, r_ab) = pipe();
+    let (w_ba, r_ba) = pipe();
+    (
+        InMemoryStream {
+            reader: r_ba,
+            writer: w_ab,
+        },
+        InMemoryStream {
+            reader: r_ab,
+            writer: w_ba,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_cross_the_duplex_both_ways() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn dropping_one_end_eofs_the_peer() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+        assert_eq!(b.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn reads_block_until_bytes_arrive() {
+        let (mut a, mut b) = duplex();
+        let t = thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        a.write_all(b"hello").unwrap();
+        assert_eq!(&t.join().unwrap(), b"hello");
+    }
+}

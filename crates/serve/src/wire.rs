@@ -1,0 +1,331 @@
+//! The JSON envelope inside each frame.
+//!
+//! A client sends [`RequestFrame`]s — a correlation id, a tenant name
+//! and one [`RequestBody`] — and receives [`ResponseFrame`]s echoing
+//! the id. Bodies are externally tagged (`{"Simulate": {...}}`), and the
+//! payloads are exactly the `rcarb::backend` request/response structs:
+//! the wire adds correlation and error reporting, never semantics.
+//!
+//! Responses are deterministic functions of their request (no
+//! timestamps, no server identity), which is what makes the transport
+//! equivalence tests possible: the same request must produce the same
+//! *bytes* in-process and over a socket.
+
+use rcarb::backend::{
+    AnalyzeRequest, AnalyzeResponse, Backend, PlanRequest, PlanResponse, SimulateRequest,
+    SimulateResponse, SweepRequest, SweepResponse, SynthesizeRequest, SynthesizeResponse,
+};
+use rcarb_core::Error;
+use rcarb_json::{FromJson, Json, JsonError, ToJson};
+
+/// One client request: a correlation id (echoed on the response), the
+/// requesting tenant, and the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id; responses to pipelined requests may
+    /// arrive out of order, so clients match on this.
+    pub id: u64,
+    /// Tenant name for quota accounting and per-tenant metrics.
+    pub tenant: String,
+    /// The operation to perform.
+    pub body: RequestBody,
+}
+
+/// One server response, correlated by `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The request's correlation id (0 for protocol-level errors raised
+    /// before a request id could be parsed).
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// The operations a client can request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe; answered with [`ResponseBody::Pong`] without
+    /// touching the backend.
+    Ping,
+    /// [`Backend::synthesize`].
+    Synthesize(SynthesizeRequest),
+    /// [`Backend::plan`].
+    Plan(PlanRequest),
+    /// [`Backend::analyze`].
+    Analyze(AnalyzeRequest),
+    /// [`Backend::simulate`].
+    Simulate(SimulateRequest),
+    /// [`Backend::sweep`].
+    Sweep(SweepRequest),
+}
+
+impl RequestBody {
+    /// The operation's name, for spans and per-method metrics.
+    pub fn method(&self) -> &'static str {
+        match self {
+            RequestBody::Ping => "ping",
+            RequestBody::Synthesize(_) => "synthesize",
+            RequestBody::Plan(_) => "plan",
+            RequestBody::Analyze(_) => "analyze",
+            RequestBody::Simulate(_) => "simulate",
+            RequestBody::Sweep(_) => "sweep",
+        }
+    }
+}
+
+/// The outcomes a server can answer with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to [`RequestBody::Ping`].
+    Pong,
+    /// Answer to [`RequestBody::Synthesize`].
+    Synthesize(SynthesizeResponse),
+    /// Answer to [`RequestBody::Plan`].
+    Plan(PlanResponse),
+    /// Answer to [`RequestBody::Analyze`].
+    Analyze(AnalyzeResponse),
+    /// Answer to [`RequestBody::Simulate`].
+    Simulate(SimulateResponse),
+    /// Answer to [`RequestBody::Sweep`].
+    Sweep(SweepResponse),
+    /// The request failed; the connection stays usable.
+    Error(WireError),
+}
+
+impl ResponseBody {
+    /// True for [`ResponseBody::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, ResponseBody::Error(_))
+    }
+}
+
+/// A served failure: a machine-readable code plus the underlying
+/// error's rendered message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Failure classification.
+    pub code: ErrorCode,
+    /// Human-readable detail (the backend error's `Display`).
+    pub message: String,
+}
+
+/// Classification of a served failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request itself was malformed (unknown names, bad ranges,
+    /// unparseable payload).
+    BadRequest,
+    /// The tenant exceeded its in-flight quota; retry after completions.
+    QuotaExceeded,
+    /// The backend rejected a well-formed request (bind/channel/fault
+    /// plan errors — the design, not the protocol, is at fault).
+    Backend,
+    /// The server failed internally.
+    Internal,
+}
+
+rcarb_json::impl_json_unit_enum!(ErrorCode {
+    BadRequest,
+    QuotaExceeded,
+    Backend,
+    Internal,
+});
+rcarb_json::impl_json_struct!(WireError { code, message });
+rcarb_json::impl_json_struct!(RequestFrame { id, tenant, body });
+rcarb_json::impl_json_struct!(ResponseFrame { id, body });
+
+impl WireError {
+    /// Classifies a backend [`Error`] onto the wire.
+    pub fn from_backend(err: &Error) -> Self {
+        let code = match err {
+            Error::Request { .. } | Error::InvalidTaskCount { .. } | Error::InvalidBurst => {
+                ErrorCode::BadRequest
+            }
+            _ => ErrorCode::Backend,
+        };
+        Self {
+            code,
+            message: err.to_string(),
+        }
+    }
+
+    /// A quota rejection for `tenant`.
+    pub fn quota(tenant: &str, limit: usize) -> Self {
+        Self {
+            code: ErrorCode::QuotaExceeded,
+            message: format!("tenant `{tenant}` is at its in-flight quota ({limit})"),
+        }
+    }
+}
+
+fn one_key<'a>(v: &'a Json, what: &str) -> Result<(&'a str, &'a Json), JsonError> {
+    match v.as_object() {
+        Some([(key, value)]) => Ok((key.as_str(), value)),
+        _ => Err(JsonError::shape(format!(
+            "expected a single-key {what} object or a bare variant string"
+        ))),
+    }
+}
+
+impl ToJson for RequestBody {
+    fn to_json(&self) -> Json {
+        match self {
+            RequestBody::Ping => Json::Str("Ping".to_owned()),
+            RequestBody::Synthesize(r) => tag("Synthesize", r),
+            RequestBody::Plan(r) => tag("Plan", r),
+            RequestBody::Analyze(r) => tag("Analyze", r),
+            RequestBody::Simulate(r) => tag("Simulate", r),
+            RequestBody::Sweep(r) => tag("Sweep", r),
+        }
+    }
+}
+
+impl FromJson for RequestBody {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Ping" => Ok(RequestBody::Ping),
+                other => Err(JsonError::shape(format!("unknown request `{other}`"))),
+            };
+        }
+        let (key, value) = one_key(v, "request")?;
+        match key {
+            "Synthesize" => Ok(RequestBody::Synthesize(FromJson::from_json(value)?)),
+            "Plan" => Ok(RequestBody::Plan(FromJson::from_json(value)?)),
+            "Analyze" => Ok(RequestBody::Analyze(FromJson::from_json(value)?)),
+            "Simulate" => Ok(RequestBody::Simulate(FromJson::from_json(value)?)),
+            "Sweep" => Ok(RequestBody::Sweep(FromJson::from_json(value)?)),
+            other => Err(JsonError::shape(format!("unknown request `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for ResponseBody {
+    fn to_json(&self) -> Json {
+        match self {
+            ResponseBody::Pong => Json::Str("Pong".to_owned()),
+            ResponseBody::Synthesize(r) => tag("Synthesize", r),
+            ResponseBody::Plan(r) => tag("Plan", r),
+            ResponseBody::Analyze(r) => tag("Analyze", r),
+            ResponseBody::Simulate(r) => tag("Simulate", r),
+            ResponseBody::Sweep(r) => tag("Sweep", r),
+            ResponseBody::Error(e) => tag("Error", e),
+        }
+    }
+}
+
+impl FromJson for ResponseBody {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "Pong" => Ok(ResponseBody::Pong),
+                other => Err(JsonError::shape(format!("unknown response `{other}`"))),
+            };
+        }
+        let (key, value) = one_key(v, "response")?;
+        match key {
+            "Synthesize" => Ok(ResponseBody::Synthesize(FromJson::from_json(value)?)),
+            "Plan" => Ok(ResponseBody::Plan(FromJson::from_json(value)?)),
+            "Analyze" => Ok(ResponseBody::Analyze(FromJson::from_json(value)?)),
+            "Simulate" => Ok(ResponseBody::Simulate(FromJson::from_json(value)?)),
+            "Sweep" => Ok(ResponseBody::Sweep(FromJson::from_json(value)?)),
+            "Error" => Ok(ResponseBody::Error(FromJson::from_json(value)?)),
+            other => Err(JsonError::shape(format!("unknown response `{other}`"))),
+        }
+    }
+}
+
+fn tag<T: ToJson>(name: &str, value: &T) -> Json {
+    Json::Obj(vec![(name.to_owned(), value.to_json())])
+}
+
+/// Answers one request body against a backend. This is the *entire*
+/// service dispatch — both the daemon and the in-memory transport call
+/// exactly this function, so they cannot diverge.
+pub fn dispatch(backend: &dyn Backend, body: &RequestBody) -> ResponseBody {
+    let result = match body {
+        RequestBody::Ping => return ResponseBody::Pong,
+        RequestBody::Synthesize(req) => backend.synthesize(req).map(ResponseBody::Synthesize),
+        RequestBody::Plan(req) => backend.plan(req).map(ResponseBody::Plan),
+        RequestBody::Analyze(req) => backend.analyze(req).map(ResponseBody::Analyze),
+        RequestBody::Simulate(req) => backend.simulate(req).map(ResponseBody::Simulate),
+        RequestBody::Sweep(req) => backend.sweep(req).map(ResponseBody::Sweep),
+    };
+    result.unwrap_or_else(|e| ResponseBody::Error(WireError::from_backend(&e)))
+}
+
+/// Encodes a response frame to its canonical wire bytes (compact JSON).
+///
+/// There is exactly one encoder so the byte-equivalence guarantee holds
+/// by construction: every transport serializes through this function.
+pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
+    rcarb_json::to_string(frame).into_bytes()
+}
+
+/// Decodes a request frame from wire bytes.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed JSON or a document that is not a
+/// request frame.
+pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, JsonError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| JsonError::shape("request payload is not UTF-8"))?;
+    rcarb_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcarb::backend::InProcessBackend;
+
+    #[test]
+    fn frames_round_trip_through_json() {
+        let frame = RequestFrame {
+            id: 42,
+            tenant: "acme".to_owned(),
+            body: RequestBody::Synthesize(SynthesizeRequest::round_robin(6)),
+        };
+        let text = rcarb_json::to_string(&frame);
+        let back: RequestFrame = rcarb_json::from_str(&text).unwrap();
+        assert_eq!(frame, back);
+
+        let resp = ResponseFrame {
+            id: 42,
+            body: ResponseBody::Error(WireError::quota("acme", 8)),
+        };
+        let bytes = encode_response(&resp);
+        let back: ResponseFrame =
+            rcarb_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn ping_is_answered_without_a_backend_call() {
+        assert_eq!(
+            dispatch(&InProcessBackend::new(), &RequestBody::Ping),
+            ResponseBody::Pong
+        );
+    }
+
+    #[test]
+    fn backend_errors_become_wire_errors() {
+        let mut req = SynthesizeRequest::round_robin(4);
+        req.encoding = "thermometer".to_owned();
+        let body = dispatch(&InProcessBackend::new(), &RequestBody::Synthesize(req));
+        match body {
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("thermometer"));
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_error_cleanly() {
+        assert!(decode_request(b"\xff\xfe").is_err());
+        assert!(decode_request(b"{\"id\": }").is_err());
+        assert!(decode_request(b"[1,2,3]").is_err());
+    }
+}

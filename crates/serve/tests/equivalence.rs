@@ -1,0 +1,294 @@
+//! Transport-equivalence and admission-behavior suites.
+//!
+//! The serving contract: a response produced by the daemon over a
+//! socket is byte-for-byte the response the in-process backend
+//! produces. These tests drive the same workload through a direct
+//! `Backend` call, the in-memory transport, and a real Unix-socket
+//! daemon, and compare the exact wire bytes per correlation id.
+
+use rcarb::backend::{
+    AnalyzeRequest, Backend, InProcessBackend, PlanRequest, SimulateOptions, SimulateRequest,
+    SweepRequest, SynthesizeRequest,
+};
+use rcarb_board::presets;
+use rcarb_serve::{
+    encode_response, Client, ErrorCode, RequestBody, ResponseBody, ResponseFrame, ServeConfig,
+    Server,
+};
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::program::{Expr, Program};
+use std::collections::BTreeMap;
+
+fn demo_graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("serve-eq");
+    let m1 = b.segment("M1", 512, 16);
+    let m2 = b.segment("M2", 512, 16);
+    b.task(
+        "T1",
+        Program::build(|p| {
+            for i in 0..4 {
+                p.mem_write(m1, Expr::lit(i), Expr::lit(i));
+            }
+        }),
+    );
+    b.task(
+        "T2",
+        Program::build(|p| {
+            let _ = p.mem_read(m2, Expr::lit(0));
+        }),
+    );
+    b.finish().unwrap()
+}
+
+/// One of each request kind, covering every dispatch arm.
+fn workload() -> Vec<RequestBody> {
+    vec![
+        RequestBody::Ping,
+        RequestBody::Synthesize(SynthesizeRequest::round_robin(6)),
+        RequestBody::Plan(PlanRequest {
+            graph: demo_graph(),
+            board: presets::duo_small(),
+        }),
+        RequestBody::Analyze(AnalyzeRequest {
+            graph: demo_graph(),
+            board: presets::duo_small(),
+            verified: true,
+        }),
+        RequestBody::Simulate(SimulateRequest {
+            graph: demo_graph(),
+            board: presets::duo_small(),
+            max_cycles: 10_000,
+            options: SimulateOptions::default(),
+        }),
+        RequestBody::Sweep(SweepRequest {
+            ns: vec![2, 4],
+            grade: "-3".to_owned(),
+        }),
+        // An error response must be transport-invariant too.
+        RequestBody::Synthesize(SynthesizeRequest {
+            policy: "lottery".to_owned(),
+            ..SynthesizeRequest::round_robin(4)
+        }),
+    ]
+}
+
+/// The bytes a direct (no transport) dispatch would produce per id.
+fn direct_bytes(bodies: &[RequestBody]) -> BTreeMap<u64, Vec<u8>> {
+    let backend = InProcessBackend::new();
+    bodies
+        .iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let frame = ResponseFrame {
+                id: i as u64 + 1,
+                body: rcarb_serve::dispatch(&backend, body),
+            };
+            (frame.id, encode_response(&frame))
+        })
+        .collect()
+}
+
+/// Pipelines the workload through a client and collects exact response
+/// bytes per id.
+fn served_bytes(client: &mut Client, bodies: &[RequestBody]) -> BTreeMap<u64, Vec<u8>> {
+    for (i, body) in bodies.iter().enumerate() {
+        client.send_with_id(i as u64 + 1, body.clone()).unwrap();
+    }
+    let mut got = BTreeMap::new();
+    while got.len() < bodies.len() {
+        let (frame, bytes) = client.recv_with_bytes().unwrap();
+        assert!(frame.id != 0, "protocol error: {frame:?}");
+        assert!(got.insert(frame.id, bytes).is_none(), "duplicate id");
+    }
+    got
+}
+
+#[test]
+fn in_memory_transport_is_byte_identical_to_direct_dispatch() {
+    let bodies = workload();
+    let expected = direct_bytes(&bodies);
+    let server = Server::in_process(ServeConfig::default());
+    let mut client = Client::in_memory(&server);
+    let got = served_bytes(&mut client, &bodies);
+    assert_eq!(got.len(), expected.len());
+    for (id, bytes) in &expected {
+        assert_eq!(
+            got.get(id),
+            Some(bytes),
+            "response {id} differs between direct dispatch and the in-memory transport"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_daemon_is_byte_identical_to_in_memory() {
+    let bodies = workload();
+    let server = Server::in_process(ServeConfig::default());
+    let path = std::env::temp_dir().join(format!(
+        "rcarb-serve-eq-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    server.listen_uds(&path).unwrap();
+
+    let mut mem_client = Client::in_memory(&server);
+    let mem = served_bytes(&mut mem_client, &bodies);
+    let mut uds_client = Client::connect_uds(&path).unwrap();
+    let uds = served_bytes(&mut uds_client, &bodies);
+    assert_eq!(mem, uds, "UDS and in-memory transports disagree");
+
+    drop(uds_client);
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn served_simulation_matches_the_facade_exactly() {
+    let server = Server::in_process(ServeConfig::default());
+    let mut client = Client::in_memory(&server);
+    let resp = client
+        .call(RequestBody::Simulate(SimulateRequest {
+            graph: demo_graph(),
+            board: presets::duo_small(),
+            max_cycles: 10_000,
+            options: SimulateOptions::default(),
+        }))
+        .unwrap();
+    let served = match resp {
+        ResponseBody::Simulate(s) => s,
+        other => panic!("expected a simulate response, got {other:?}"),
+    };
+    let direct = InProcessBackend::new()
+        .simulate(&SimulateRequest {
+            graph: demo_graph(),
+            board: presets::duo_small(),
+            max_cycles: 10_000,
+            options: SimulateOptions::default(),
+        })
+        .unwrap();
+    assert_eq!(served, direct);
+    assert!(served.report.clean());
+}
+
+#[test]
+fn zero_quota_tenants_are_rejected_and_others_unaffected() {
+    let server = Server::in_process(ServeConfig::default().with_tenant_quota("greedy", 0));
+    let mut greedy = Client::in_memory(&server).with_tenant("greedy");
+    match greedy.call(RequestBody::Ping).unwrap() {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::QuotaExceeded);
+            assert!(e.message.contains("greedy"));
+        }
+        other => panic!("expected a quota rejection, got {other:?}"),
+    }
+    let mut normal = Client::in_memory(&server).with_tenant("normal");
+    normal.ping().unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.quota_rejections, 1);
+}
+
+#[test]
+fn pipelined_burst_is_fully_served_with_batching() {
+    let cfg = ServeConfig {
+        queue_capacity: 8,
+        batch_max: 4,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::in_process(cfg);
+    let mut client = Client::in_memory(&server);
+    const N: u64 = 200;
+    for id in 1..=N {
+        client.send_with_id(id, RequestBody::Ping).unwrap();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..N {
+        let frame = client.recv().unwrap();
+        assert_eq!(frame.body, ResponseBody::Pong);
+        assert!(seen.insert(frame.id));
+    }
+    assert_eq!(seen.len() as u64, N);
+    let stats = server.stats();
+    assert_eq!(stats.requests, N);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.batches > 0);
+    assert!(stats.max_batch >= 1 && stats.max_batch <= 4);
+    assert!(stats.max_queue_depth <= 8);
+}
+
+#[test]
+fn thousand_requests_in_flight_zero_drops() {
+    let cfg = ServeConfig {
+        queue_capacity: 2048,
+        batch_max: 32,
+        workers: 4,
+        default_quota: 4096,
+        ..ServeConfig::default()
+    };
+    let server = Server::in_process(cfg);
+    let mut client = Client::in_memory(&server);
+    const N: u64 = 1200;
+    for id in 1..=N {
+        let body = if id % 50 == 0 {
+            RequestBody::Synthesize(SynthesizeRequest::round_robin((id % 8 + 2) as usize))
+        } else {
+            RequestBody::Ping
+        };
+        client.send_with_id(id, body).unwrap();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..N {
+        let frame = client.recv().unwrap();
+        assert!(!frame.body.is_error(), "request {} errored", frame.id);
+        assert!(seen.insert(frame.id));
+    }
+    assert_eq!(seen.len() as u64, N);
+    let stats = server.stats();
+    assert_eq!(stats.requests, N);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.quota_rejections, 0);
+}
+
+#[test]
+fn malformed_frames_answer_an_error_and_close() {
+    let server = Server::in_process(ServeConfig::default());
+    let stream = server.connect_in_memory();
+    let (mut reader, mut writer) = {
+        let (r, w) = stream.into_split();
+        (r, w)
+    };
+    rcarb_serve::write_frame(&mut writer, b"this is not json").unwrap();
+    let payload = rcarb_serve::read_frame(&mut reader).unwrap().unwrap();
+    let text = std::str::from_utf8(&payload).unwrap();
+    let frame: ResponseFrame = rcarb::json::from_str(text).unwrap();
+    assert_eq!(frame.id, 0);
+    match frame.body {
+        ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    // The server closed its side; the next read is a clean EOF.
+    assert!(rcarb_serve::read_frame(&mut reader).unwrap().is_none());
+}
+
+#[test]
+fn observed_server_records_spans_and_tenant_counters() {
+    let cfg = ServeConfig {
+        obs: rcarb::obs::ObsConfig::on(),
+        ..ServeConfig::default()
+    };
+    let server = Server::in_process(cfg);
+    let mut client = Client::in_memory(&server).with_tenant("acme");
+    client.ping().unwrap();
+    client
+        .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(4)))
+        .unwrap();
+    let session = server.session().expect("session when enabled");
+    let names: Vec<String> = session.spans().iter().map(|s| s.name.clone()).collect();
+    assert!(names.iter().any(|n| n == "serve/ping"), "{names:?}");
+    assert!(names.iter().any(|n| n == "serve/synthesize"), "{names:?}");
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("serve/requests"), 2);
+    assert_eq!(snap.counter("serve/tenant/acme/requests"), 2);
+}

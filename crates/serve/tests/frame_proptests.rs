@@ -1,0 +1,152 @@
+//! Frame-codec robustness properties: whatever bytes arrive — valid
+//! frames, truncations, hostile length prefixes, raw garbage — the
+//! reader returns `Ok` or `Err`, never panics, and round-trips are
+//! lossless. The request decoder gets the same treatment: arbitrary
+//! payloads must fail cleanly, and real frames must survive the full
+//! encode → frame → deframe → decode path.
+
+use proptest::prelude::*;
+use rcarb_serve::{
+    read_frame, write_frame, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+};
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any payload round-trips through the codec byte-for-byte, and the
+    /// stream then reports a clean EOF.
+    #[test]
+    fn frames_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Cursor::new(buf);
+        let back = read_frame(&mut r).unwrap().expect("one frame");
+        prop_assert_eq!(back, payload);
+        prop_assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    /// Multiple frames on one stream come back in order.
+    #[test]
+    fn streams_preserve_frame_order(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128), 1..8)
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut r).unwrap().expect("frame"), p);
+        }
+        prop_assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    /// Truncating a valid frame anywhere (header or payload) yields an
+    /// error — except truncation to zero bytes, the clean EOF.
+    #[test]
+    fn truncations_error_not_panic(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let keep = (((buf.len() as f64) * keep_fraction) as usize).min(buf.len() - 1);
+        buf.truncate(keep);
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r) {
+            Ok(None) => prop_assert_eq!(keep, 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+            Err(_) => {}
+        }
+    }
+
+    /// Arbitrary bytes never panic the reader; and when a hostile
+    /// header announces more than the cap, the reader refuses before
+    /// allocating.
+    #[test]
+    fn garbage_streams_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = Cursor::new(bytes);
+        // Drain the stream through the codec; every outcome is allowed
+        // except a panic or an infinite loop.
+        for _ in 0..4 {
+            match read_frame(&mut r) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Oversized length prefixes are rejected as InvalidData without a
+    /// matching allocation.
+    #[test]
+    fn oversized_headers_are_rejected(extra in 1u64..u64::from(u32::MAX - 64 * 1024 * 1024)) {
+        let len = 64 * 1024 * 1024 + u32::try_from(extra).unwrap();
+        let mut r = Cursor::new(len.to_le_bytes().to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// Garbage payloads fail request decoding cleanly.
+    #[test]
+    fn garbage_request_payloads_error(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any non-RequestFrame bytes must produce Err, not panic. (A
+        // random byte soup parsing as a valid frame is beyond unlikely;
+        // if it ever does, that's fine too — the property is no-panic.)
+        let _ = rcarb_serve::decode_request(&bytes);
+    }
+
+    /// A pipelined batch of encoded responses deframes and decodes back
+    /// to exactly the frames that were sent.
+    #[test]
+    fn response_frames_survive_the_wire(ids in proptest::collection::vec(any::<u64>(), 1..16)) {
+        let frames: Vec<ResponseFrame> = ids
+            .iter()
+            .map(|&id| ResponseFrame {
+                id,
+                body: if id % 3 == 0 {
+                    ResponseBody::Pong
+                } else {
+                    ResponseBody::Error(WireError::quota("t", id as usize % 7))
+                },
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, &rcarb_serve::encode_response(f)).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for f in &frames {
+            let payload = read_frame(&mut r).unwrap().expect("frame");
+            let text = std::str::from_utf8(&payload).unwrap();
+            let back: ResponseFrame = rcarb::json::from_str(text).unwrap();
+            prop_assert_eq!(&back, f);
+        }
+    }
+}
+
+/// Request frames survive encode → decode (non-proptest: exercises the
+/// real request types end to end).
+#[test]
+fn request_frames_round_trip() {
+    use rcarb::backend::{SweepRequest, SynthesizeRequest};
+    let bodies = vec![
+        RequestBody::Ping,
+        RequestBody::Synthesize(SynthesizeRequest::round_robin(8)),
+        RequestBody::Sweep(SweepRequest {
+            ns: vec![2, 4, 8],
+            grade: "-3".to_owned(),
+        }),
+    ];
+    for (i, body) in bodies.into_iter().enumerate() {
+        let frame = RequestFrame {
+            id: i as u64,
+            tenant: "prop".to_owned(),
+            body,
+        };
+        let bytes = rcarb::json::to_string(&frame).into_bytes();
+        let back = rcarb_serve::decode_request(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+}

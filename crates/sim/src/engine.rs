@@ -545,6 +545,23 @@ pub struct RunReport {
     pub worst_wait: u64,
 }
 
+rcarb_json::impl_json_struct!(TaskStats {
+    task,
+    started_at,
+    finished_at,
+    stall_cycles,
+    busy_cycles,
+});
+rcarb_json::impl_json_struct!(RunReport {
+    cycles,
+    completed,
+    violations,
+    task_stats,
+    arbiter_grants,
+    arbiter_port_grants,
+    worst_wait,
+});
+
 impl RunReport {
     /// True when the run completed with no violations.
     pub fn clean(&self) -> bool {

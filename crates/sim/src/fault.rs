@@ -32,7 +32,7 @@ use std::fmt;
 
 use rcarb_board::memory::BankId;
 use rcarb_core::rng::mix3;
-use rcarb_json::{Json, ToJson};
+use rcarb_json::{expect_field, FromJson, Json, JsonError, ToJson};
 use rcarb_taskgraph::id::{ArbiterId, ChannelId, TaskId};
 
 /// Salt for the "does this draw fire?" decision of probabilistic faults.
@@ -503,6 +503,127 @@ fn opt_json(v: Option<u64>) -> Json {
     match v {
         Some(c) => c.to_json(),
         None => Json::Null,
+    }
+}
+
+rcarb_json::impl_json_struct!(FaultWindow { from, until });
+rcarb_json::impl_json_struct!(Fault { kind, window });
+rcarb_json::impl_json_struct!(FaultPlan { seed, faults });
+
+impl ToJson for FaultKind {
+    fn to_json(&self) -> Json {
+        let (tag, fields): (&str, Vec<(String, Json)>) = match self {
+            FaultKind::StuckRequest {
+                task,
+                arbiter,
+                value,
+            } => (
+                "StuckRequest",
+                vec![
+                    ("task".to_owned(), task.to_json()),
+                    ("arbiter".to_owned(), arbiter.to_json()),
+                    ("value".to_owned(), value.to_json()),
+                ],
+            ),
+            FaultKind::StuckGrant {
+                arbiter,
+                port,
+                value,
+            } => (
+                "StuckGrant",
+                vec![
+                    ("arbiter".to_owned(), arbiter.to_json()),
+                    ("port".to_owned(), (*port as u64).to_json()),
+                    ("value".to_owned(), value.to_json()),
+                ],
+            ),
+            FaultKind::GrantGlitch { arbiter, port } => (
+                "GrantGlitch",
+                vec![
+                    ("arbiter".to_owned(), arbiter.to_json()),
+                    ("port".to_owned(), (*port as u64).to_json()),
+                ],
+            ),
+            FaultKind::ChannelBitFlip { channel } => (
+                "ChannelBitFlip",
+                vec![("channel".to_owned(), channel.to_json())],
+            ),
+            FaultKind::BankReadError { bank, per_mille } => (
+                "BankReadError",
+                vec![
+                    ("bank".to_owned(), bank.to_json()),
+                    ("per_mille".to_owned(), per_mille.to_json()),
+                ],
+            ),
+            FaultKind::TaskHang { task } => ("TaskHang", vec![("task".to_owned(), task.to_json())]),
+        };
+        Json::Obj(vec![(tag.to_owned(), Json::Obj(fields))])
+    }
+}
+
+impl FromJson for FaultKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| JsonError::shape("expected a FaultKind object"))?;
+        let (tag, body) = match pairs {
+            [(tag, body)] => (tag.as_str(), body),
+            _ => return Err(JsonError::shape("expected exactly one FaultKind tag")),
+        };
+        match tag {
+            "StuckRequest" => Ok(FaultKind::StuckRequest {
+                task: TaskId::from_json(expect_field(body, "task")?)?,
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+                value: bool::from_json(expect_field(body, "value")?)?,
+            }),
+            "StuckGrant" => Ok(FaultKind::StuckGrant {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+                port: u64::from_json(expect_field(body, "port")?)? as usize,
+                value: bool::from_json(expect_field(body, "value")?)?,
+            }),
+            "GrantGlitch" => Ok(FaultKind::GrantGlitch {
+                arbiter: ArbiterId::from_json(expect_field(body, "arbiter")?)?,
+                port: u64::from_json(expect_field(body, "port")?)? as usize,
+            }),
+            "ChannelBitFlip" => Ok(FaultKind::ChannelBitFlip {
+                channel: ChannelId::from_json(expect_field(body, "channel")?)?,
+            }),
+            "BankReadError" => Ok(FaultKind::BankReadError {
+                bank: BankId::from_json(expect_field(body, "bank")?)?,
+                per_mille: u32::from_json(expect_field(body, "per_mille")?)?,
+            }),
+            "TaskHang" => Ok(FaultKind::TaskHang {
+                task: TaskId::from_json(expect_field(body, "task")?)?,
+            }),
+            other => Err(JsonError::shape(format!(
+                "unknown FaultKind variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl FromJson for FaultTrace {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            index: u64::from_json(expect_field(v, "index")?)? as usize,
+            label: String::from_json(expect_field(v, "label")?)?,
+            injections: u64::from_json(expect_field(v, "injections")?)?,
+            first_injection: Option::from_json(expect_field(v, "first_injection")?)?,
+            detected_at: Option::from_json(expect_field(v, "detected_at")?)?,
+            recovered_at: Option::from_json(expect_field(v, "recovered_at")?)?,
+        })
+    }
+}
+
+impl FromJson for FaultReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            injected: u64::from_json(expect_field(v, "injected")?)?,
+            detected: u64::from_json(expect_field(v, "detected")?)?,
+            recovered: u64::from_json(expect_field(v, "recovered")?)?,
+            unrecovered: u64::from_json(expect_field(v, "unrecovered")?)?,
+            traces: Vec::from_json(expect_field(v, "traces")?)?,
+        })
     }
 }
 

@@ -4,7 +4,7 @@
 //! breaches, no-progress halts, detected data faults).
 
 use rcarb_board::memory::BankId;
-use rcarb_json::{Json, ToJson};
+use rcarb_json::{expect_field, FromJson, Json, JsonError, ToJson};
 use rcarb_taskgraph::id::{ArbiterId, ChannelId, TaskId};
 use std::fmt;
 
@@ -382,6 +382,97 @@ fn task_list(tasks: &[TaskId]) -> (String, Json) {
         "tasks".to_owned(),
         Json::Arr(tasks.iter().map(|t| (t.index() as u64).to_json()).collect()),
     )
+}
+
+fn index_field(v: &Json, name: &str) -> Result<u32, JsonError> {
+    let raw = u64::from_json(expect_field(v, name)?)?;
+    u32::try_from(raw).map_err(|_| JsonError::shape(format!("{name} index out of range")))
+}
+
+fn u64_field(v: &Json, name: &str) -> Result<u64, JsonError> {
+    u64::from_json(expect_field(v, name)?)
+}
+
+fn tasks_field(v: &Json) -> Result<Vec<TaskId>, JsonError> {
+    Vec::<u64>::from_json(expect_field(v, "tasks")?)?
+        .into_iter()
+        .map(|raw| {
+            u32::try_from(raw)
+                .map(TaskId::new)
+                .map_err(|_| JsonError::shape("task index out of range"))
+        })
+        .collect()
+}
+
+impl FromJson for Violation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind = String::from_json(expect_field(v, "kind")?)?;
+        match kind.as_str() {
+            "BankConflict" => Ok(Violation::BankConflict {
+                cycle: u64_field(v, "cycle")?,
+                bank: BankId::new(index_field(v, "bank")?),
+                tasks: tasks_field(v)?,
+            }),
+            "RouteConflict" => Ok(Violation::RouteConflict {
+                cycle: u64_field(v, "cycle")?,
+                route: index_field(v, "route")? as usize,
+                tasks: tasks_field(v)?,
+            }),
+            "AccessWithoutGrant" => Ok(Violation::AccessWithoutGrant {
+                cycle: u64_field(v, "cycle")?,
+                task: TaskId::new(index_field(v, "task")?),
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+            }),
+            "MultipleGrants" => Ok(Violation::MultipleGrants {
+                cycle: u64_field(v, "cycle")?,
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+                grants: u64_field(v, "grants")?,
+            }),
+            "CosimMismatch" => Ok(Violation::CosimMismatch {
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+                cycles: u64_field(v, "cycles")?,
+            }),
+            "FloatingSelectLine" => Ok(Violation::FloatingSelectLine {
+                cycle: u64_field(v, "cycle")?,
+                bank: BankId::new(index_field(v, "bank")?),
+            }),
+            "Starvation" => Ok(Violation::Starvation {
+                task: TaskId::new(index_field(v, "task")?),
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+                waited: u64_field(v, "waited")?,
+            }),
+            "GrantTimeout" => Ok(Violation::GrantTimeout {
+                cycle: u64_field(v, "cycle")?,
+                task: TaskId::new(index_field(v, "task")?),
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+                waited: u64_field(v, "waited")?,
+            }),
+            "FairnessBreach" => Ok(Violation::FairnessBreach {
+                cycle: u64_field(v, "cycle")?,
+                task: TaskId::new(index_field(v, "task")?),
+                arbiter: ArbiterId::new(index_field(v, "arbiter")?),
+                waited: u64_field(v, "waited")?,
+                bound: u64_field(v, "bound")?,
+            }),
+            "NoProgress" => Ok(Violation::NoProgress {
+                cycle: u64_field(v, "cycle")?,
+                stalled: u64_field(v, "stalled")?,
+            }),
+            "BankReadFault" => Ok(Violation::BankReadFault {
+                cycle: u64_field(v, "cycle")?,
+                bank: BankId::new(index_field(v, "bank")?),
+                task: TaskId::new(index_field(v, "task")?),
+            }),
+            "ChannelFault" => Ok(Violation::ChannelFault {
+                cycle: u64_field(v, "cycle")?,
+                channel: ChannelId::new(index_field(v, "channel")?),
+                bit: u32::from_json(expect_field(v, "bit")?)?,
+            }),
+            other => Err(JsonError::shape(format!(
+                "unknown Violation kind `{other}`"
+            ))),
+        }
+    }
 }
 
 /// Tracks per-(task, arbiter) wait times to detect starvation.

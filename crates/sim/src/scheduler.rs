@@ -47,6 +47,12 @@ pub struct KernelStats {
     pub skips: u64,
 }
 
+rcarb_json::impl_json_struct!(KernelStats {
+    executed_cycles,
+    skipped_cycles,
+    skips,
+});
+
 impl KernelStats {
     /// Total simulated cycles (executed plus skipped).
     pub fn total_cycles(&self) -> u64 {

@@ -10,12 +10,13 @@
 //! cargo run --example analyze_design
 //! ```
 
+mod common;
+
 use rcarb::analyze::{AnalyzeConfig, Severity};
-use rcarb::fft::flow::run_fft_flow;
 use std::process;
 
 fn main() {
-    let flow = run_fft_flow().expect("the shipped FFT flow partitions cleanly");
+    let flow = common::fft_flow();
 
     println!(
         "analyzing {} tasks across {} temporal partitions on {}",

@@ -12,38 +12,12 @@
 //! cargo run --example analyze_gate
 //! ```
 
-use rcarb::analyze::AnalyzeConfig;
-use rcarb::board::board::Board;
-use rcarb::board::presets;
-use rcarb::fft::flow::run_fft_flow;
-use rcarb::prelude::{AnalysisReport, Design, Expr, Program, TaskGraphBuilder};
-use std::process;
+mod common;
 
-/// A contended design sized to `board`: two tasks per memory bank, each
-/// bursting four writes into a segment that shares the bank with its
-/// sibling's — every bank ends up behind an arbiter.
-fn contended_design(board: &Board) -> Design {
-    let mut b = TaskGraphBuilder::new("gate");
-    let banks = board.banks().len().max(1);
-    for i in 0..banks {
-        let m1 = b.segment(format!("A{i}"), 256, 16);
-        let m2 = b.segment(format!("B{i}"), 256, 16);
-        for (suffix, m) in [("w", m1), ("r", m2)] {
-            b.task(
-                format!("t{i}{suffix}"),
-                Program::build(|p| {
-                    for k in 0..4 {
-                        p.mem_write(m, Expr::lit(k), Expr::lit(k));
-                    }
-                }),
-            );
-        }
-    }
-    Design::new(
-        b.finish().expect("gate graph is well-formed"),
-        board.clone(),
-    )
-}
+use common::{all_presets, contended_design, fft_flow};
+use rcarb::analyze::AnalyzeConfig;
+use rcarb::prelude::AnalysisReport;
+use std::process;
 
 fn verdict(name: &str, report: &AnalysisReport) -> bool {
     let ok = report.is_clean();
@@ -66,15 +40,11 @@ fn main() {
     let mut ok = true;
 
     println!("analyze gate: FFT flow");
-    let flow = run_fft_flow().expect("the shipped FFT flow partitions cleanly");
+    let flow = fft_flow();
     ok &= verdict("fft (all partitions)", &flow.analyze(&config));
 
     println!("analyze gate: board presets");
-    for board in [
-        presets::duo_small(),
-        presets::quad_large(),
-        presets::wildforce(),
-    ] {
+    for board in all_presets() {
         let planned = contended_design(&board)
             .plan()
             .expect("preset designs bind");

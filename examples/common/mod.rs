@@ -1,0 +1,50 @@
+//! Shared fixtures for the examples: the board-preset corpus and the
+//! contended design the analyze gate and the serve demo both exercise.
+//! Each example compiles as its own crate, so not every example uses
+//! every helper — hence the file-level `dead_code` allowance.
+#![allow(dead_code)]
+
+use rcarb::board::board::Board;
+use rcarb::board::presets;
+use rcarb::prelude::{Design, Expr, Program, TaskGraphBuilder};
+
+/// Every board preset the corpus-style examples iterate over.
+pub fn all_presets() -> Vec<Board> {
+    vec![
+        presets::duo_small(),
+        presets::quad_large(),
+        presets::wildforce(),
+    ]
+}
+
+/// A contended design sized to `board`: two tasks per memory bank, each
+/// bursting four writes into a segment that shares the bank with its
+/// sibling's — every bank ends up behind an arbiter.
+pub fn contended_design(board: &Board) -> Design {
+    let mut b = TaskGraphBuilder::new("gate");
+    let banks = board.banks().len().max(1);
+    for i in 0..banks {
+        let m1 = b.segment(format!("A{i}"), 256, 16);
+        let m2 = b.segment(format!("B{i}"), 256, 16);
+        for (suffix, m) in [("w", m1), ("r", m2)] {
+            b.task(
+                format!("t{i}{suffix}"),
+                Program::build(|p| {
+                    for k in 0..4 {
+                        p.mem_write(m, Expr::lit(k), Expr::lit(k));
+                    }
+                }),
+            );
+        }
+    }
+    Design::new(
+        b.finish().expect("gate graph is well-formed"),
+        board.clone(),
+    )
+}
+
+/// The paper's FFT flow, partitioned; panics with a uniform message if
+/// the shipped flow ever stops partitioning cleanly.
+pub fn fft_flow() -> rcarb::fft::flow::FftFlow {
+    rcarb::fft::flow::run_fft_flow().expect("the shipped FFT flow partitions cleanly")
+}

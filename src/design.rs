@@ -42,6 +42,79 @@ use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{SegmentId, TaskId};
 use std::collections::BTreeMap;
 
+/// One simulation ask, as a value: the typed request struct every
+/// simulation entry point — [`PlannedDesign::simulate`],
+/// [`simulate_with_faults`](PlannedDesign::simulate_with_faults),
+/// [`simulate_observed`](PlannedDesign::simulate_observed) and the
+/// [`Backend`](crate::backend::Backend) service — lowers into before
+/// executing. One code path, two transports: the wire layer only
+/// serializes this struct, it never re-implements the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// Every knob of the simulated system.
+    pub config: SimConfig,
+    /// Deterministic fault plan to compile in, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl SimulateSpec {
+    /// A fault-free spec running under `config`.
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            config,
+            faults: None,
+        }
+    }
+
+    /// Adds a deterministic fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Everything one simulation produces: the run report, the kernel's
+/// cycle accounting, and — when faults were injected — the fault
+/// lifecycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateOutcome {
+    /// The run outcome.
+    pub report: RunReport,
+    /// Executed-versus-skipped cycle accounting.
+    pub kernel: KernelStats,
+    /// Fault accounting, present exactly when the spec carried a plan.
+    pub faults: Option<FaultReport>,
+}
+
+/// One analysis ask, as a value: the typed request struct behind
+/// [`PlannedDesign::analyze`] and
+/// [`analyze_verified`](PlannedDesign::analyze_verified).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeSpec {
+    /// Design-rule analyzer configuration.
+    pub config: AnalyzeConfig,
+    /// Also replay witness-carrying diagnostics on both kernels.
+    pub verified: bool,
+}
+
+impl AnalyzeSpec {
+    /// An unverified (static-only) analysis under `config`.
+    pub fn new(config: AnalyzeConfig) -> Self {
+        Self {
+            config,
+            verified: false,
+        }
+    }
+
+    /// Requests witness replay on both kernels.
+    #[must_use]
+    pub fn verified(mut self) -> Self {
+        self.verified = true;
+        self
+    }
+}
+
 /// A taskgraph targeted at a board, ready to be planned.
 ///
 /// Configure with the builder methods, then call [`plan`](Self::plan) to
@@ -172,10 +245,43 @@ impl PlannedDesign {
         &self.board
     }
 
+    /// Runs one [`AnalyzeSpec`]: the static analyzer, plus witness
+    /// replay on both kernels when the spec asks for verification.
+    /// Every analysis entry point — facade and
+    /// [`Backend`](crate::backend::Backend) — funnels through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] (and friends) only in verified
+    /// mode, when the design is too malformed to build a replay system
+    /// for; unverified analysis cannot fail.
+    pub fn analyze_spec(
+        &self,
+        spec: &AnalyzeSpec,
+    ) -> Result<(AnalysisReport, Vec<ReplayOutcome>), Error> {
+        let report = analyze_plan(&self.plan, &self.binding, &self.merges, &spec.config);
+        let outcomes = if spec.verified {
+            replay_all(
+                &self.plan,
+                &self.binding,
+                &self.merges,
+                &spec.config,
+                &self.board,
+                report.diagnostics(),
+            )?
+        } else {
+            Vec::new()
+        };
+        Ok((report, outcomes))
+    }
+
     /// Runs the six-family design-rule analyzer over the plan (the
     /// checks fan out on the workspace thread pool).
     pub fn analyze(&self, config: &AnalyzeConfig) -> AnalysisReport {
-        analyze_plan(&self.plan, &self.binding, &self.merges, config)
+        let (report, _) = self
+            .analyze_spec(&AnalyzeSpec::new(config.clone()))
+            .expect("unverified analysis cannot fail");
+        report
     }
 
     /// [`analyze`](Self::analyze) plus counterexample replay: every
@@ -195,16 +301,48 @@ impl PlannedDesign {
         &self,
         config: &AnalyzeConfig,
     ) -> Result<(AnalysisReport, Vec<ReplayOutcome>), Error> {
-        let report = self.analyze(config);
-        let outcomes = replay_all(
-            &self.plan,
-            &self.binding,
-            &self.merges,
-            config,
-            &self.board,
-            report.diagnostics(),
-        )?;
-        Ok((report, outcomes))
+        self.analyze_spec(&AnalyzeSpec::new(config.clone()).verified())
+    }
+
+    /// Builds the system a spec describes — the one construction site
+    /// every simulation entry point shares.
+    fn build_system(&self, spec: &SimulateSpec, obs: Option<Obs>) -> Result<System, Error> {
+        let mut builder = SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
+            .with_config(spec.config);
+        if let Some(plan) = &spec.faults {
+            builder = builder.with_faults(plan.clone());
+        }
+        if let Some(session) = obs {
+            builder = builder.with_obs(session);
+        }
+        builder.try_build(&self.board)
+    }
+
+    /// Runs one [`SimulateSpec`]. Every simulation entry point — the
+    /// facade wrappers below and the
+    /// [`Backend`](crate::backend::Backend) service — funnels through
+    /// here, so the in-process and the served flavors of a run cannot
+    /// diverge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnboundSegment`] if a task accesses a segment
+    /// the binding did not place, or [`Error::FaultPlan`] if the spec's
+    /// fault plan references resources the design does not have.
+    pub fn simulate_spec(
+        &self,
+        spec: &SimulateSpec,
+        max_cycles: u64,
+    ) -> Result<SimulateOutcome, Error> {
+        let mut sys = self.build_system(spec, None)?;
+        let report = sys.run(max_cycles);
+        let kernel = sys.kernel_stats();
+        let faults = spec.faults.is_some().then(|| sys.fault_report());
+        Ok(SimulateOutcome {
+            report,
+            kernel,
+            faults,
+        })
     }
 
     /// Builds a cycle-accurate [`System`] for this design.
@@ -213,10 +351,13 @@ impl PlannedDesign {
     ///
     /// Returns [`Error::UnboundSegment`] if a task accesses a segment
     /// the binding did not place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "raw systems bypass the Backend request path; build a SimulateSpec and call \
+                simulate_spec (or the simulate/simulate_with_faults wrappers) instead"
+    )]
     pub fn system(&self, config: SimConfig) -> Result<System, Error> {
-        SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
-            .with_config(config)
-            .try_build(&self.board)
+        self.build_system(&SimulateSpec::new(config), None)
     }
 
     /// Builds a system and runs it for at most `max_cycles` cycles.
@@ -226,7 +367,9 @@ impl PlannedDesign {
     /// Returns [`Error::UnboundSegment`] if a task accesses a segment
     /// the binding did not place.
     pub fn simulate(&self, config: SimConfig, max_cycles: u64) -> Result<RunReport, Error> {
-        Ok(self.system(config)?.run(max_cycles))
+        Ok(self
+            .simulate_spec(&SimulateSpec::new(config), max_cycles)?
+            .report)
     }
 
     /// [`simulate`](Self::simulate) plus the kernel's cycle accounting:
@@ -242,10 +385,8 @@ impl PlannedDesign {
         config: SimConfig,
         max_cycles: u64,
     ) -> Result<(RunReport, KernelStats), Error> {
-        let mut sys = self.system(config)?;
-        let report = sys.run(max_cycles);
-        let stats = sys.kernel_stats();
-        Ok((report, stats))
+        let out = self.simulate_spec(&SimulateSpec::new(config), max_cycles)?;
+        Ok((out.report, out.kernel))
     }
 
     /// [`simulate`](Self::simulate) under a deterministic fault plan:
@@ -270,13 +411,9 @@ impl PlannedDesign {
         plan: &FaultPlan,
         max_cycles: u64,
     ) -> Result<(RunReport, FaultReport), Error> {
-        let mut sys = SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
-            .with_config(config)
-            .with_faults(plan.clone())
-            .try_build(&self.board)?;
-        let report = sys.run(max_cycles);
-        let faults = sys.fault_report();
-        Ok((report, faults))
+        let spec = SimulateSpec::new(config).with_faults(plan.clone());
+        let out = self.simulate_spec(&spec, max_cycles)?;
+        Ok((out.report, out.faults.expect("spec carried a fault plan")))
     }
 
     /// [`simulate`](Self::simulate) under an observability session:
@@ -305,16 +442,14 @@ impl PlannedDesign {
         max_cycles: u64,
         obs: &ObsConfig,
     ) -> Result<(RunReport, Option<Obs>), Error> {
+        let spec = SimulateSpec::new(config);
         let Some(session) = obs.session() else {
-            return Ok((self.simulate(config, max_cycles)?, None));
+            return Ok((self.simulate_spec(&spec, max_cycles)?.report, None));
         };
         let root = session.span("design/simulate");
         let mut sys = {
             let _build = session.span("design/build");
-            SystemBuilder::from_plan(&self.plan, &self.binding, &self.merges)
-                .with_config(config)
-                .with_obs(session.clone())
-                .try_build(&self.board)?
+            self.build_system(&spec, Some(session.clone()))?
         };
         let report = {
             let _run = session.span("design/run");

@@ -49,9 +49,11 @@
 //! See the `examples/` directory for end-to-end flows, including the paper's
 //! 4x4 2-D FFT design mapped onto the Annapolis Wildforce board.
 
+pub mod backend;
 pub mod design;
 pub mod prelude;
 
+pub use backend::{Backend, InProcessBackend};
 pub use design::{Design, PlannedDesign};
 
 pub use rcarb_analyze as analyze;

@@ -6,7 +6,12 @@
 //! it — plus the FFT case-study entry points and the performance
 //! observability types.
 
-pub use crate::design::{Design, PlannedDesign};
+pub use crate::backend::{
+    AnalyzeRequest, AnalyzeResponse, ArbiterSummary, Backend, InProcessBackend, PlanRequest,
+    PlanResponse, SimulateOptions, SimulateRequest, SimulateResponse, SweepRequest, SweepResponse,
+    SweepRow, SynthesizeRequest, SynthesizeResponse,
+};
+pub use crate::design::{AnalyzeSpec, Design, PlannedDesign, SimulateOutcome, SimulateSpec};
 
 pub use rcarb_analyze::{
     analyze_plan, replay_all, AnalysisReport, AnalyzeConfig, AnalyzePlan, DiagCode, Diagnostic,

@@ -1,0 +1,130 @@
+//! Backend-vs-facade parity through the public prelude.
+//!
+//! The `Backend` trait is the service surface the daemon exposes;
+//! deprecated or not, the facade methods must keep answering exactly
+//! what the request path answers, or served and embedded users of the
+//! library would silently diverge.
+
+use rcarb::prelude::*;
+
+fn contended_graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("parity");
+    let m1 = b.segment("M1", 1024, 16);
+    let m2 = b.segment("M2", 1024, 16);
+    for (name, m) in [("T1", m1), ("T2", m2)] {
+        b.task(
+            name,
+            Program::build(|p| {
+                for i in 0..4 {
+                    p.mem_write(m, Expr::lit(i), Expr::lit(i));
+                }
+            }),
+        );
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn backend_simulate_equals_facade_simulate() {
+    let backend = InProcessBackend::new();
+    let resp = backend
+        .simulate(&SimulateRequest {
+            graph: contended_graph(),
+            board: presets::duo_small(),
+            max_cycles: 20_000,
+            options: SimulateOptions::default(),
+        })
+        .unwrap();
+    let planned = Design::new(contended_graph(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let (report, kernel) = planned
+        .simulate_with_stats(SimConfig::new(), 20_000)
+        .unwrap();
+    assert_eq!(resp.report, report);
+    assert_eq!(resp.kernel, kernel);
+    assert!(resp.faults.is_none());
+}
+
+#[test]
+fn backend_simulate_with_faults_equals_facade() {
+    let plan = FaultPlan::seeded(11);
+    let backend = InProcessBackend::new();
+    let resp = backend
+        .simulate(&SimulateRequest {
+            graph: contended_graph(),
+            board: presets::duo_small(),
+            max_cycles: 20_000,
+            options: SimulateOptions {
+                grant_timeout: Some(64),
+                faults: Some(plan.clone()),
+                ..SimulateOptions::default()
+            },
+        })
+        .unwrap();
+    let planned = Design::new(contended_graph(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let config = SimConfig::new().with_watchdog(WatchdogConfig::none().with_grant_timeout(64));
+    let (report, faults) = planned.simulate_with_faults(config, &plan, 20_000).unwrap();
+    assert_eq!(resp.report, report);
+    assert_eq!(resp.faults, Some(faults));
+}
+
+#[test]
+fn backend_analyze_counts_match_facade_analyze_verified() {
+    let backend = InProcessBackend::new();
+    let resp = backend
+        .analyze(&AnalyzeRequest {
+            graph: contended_graph(),
+            board: presets::duo_small(),
+            verified: true,
+        })
+        .unwrap();
+    let planned = Design::new(contended_graph(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let (report, outcomes) = planned.analyze_verified(&AnalyzeConfig::default()).unwrap();
+    assert_eq!(resp.clean, report.is_clean());
+    assert_eq!(resp.errors, report.num_errors() as u64);
+    assert_eq!(resp.replay_total, Some(outcomes.len() as u64));
+    // The embedded report document is the analyzer's own JSON layout.
+    assert_eq!(resp.report, report.to_json());
+}
+
+#[test]
+fn simulate_spec_is_the_single_execution_path() {
+    let planned = Design::new(contended_graph(), presets::duo_small())
+        .plan()
+        .unwrap();
+    let spec = SimulateSpec::new(SimConfig::new());
+    let outcome = planned.simulate_spec(&spec, 20_000).unwrap();
+    assert_eq!(
+        outcome.report,
+        planned.simulate(SimConfig::new(), 20_000).unwrap()
+    );
+    assert!(outcome.faults.is_none());
+
+    // Wire options lower into the same spec the facade executes.
+    let lowered = SimulateOptions::default().to_spec().unwrap();
+    assert_eq!(lowered, spec);
+}
+
+#[test]
+fn sweep_matches_direct_characterization() {
+    let backend = InProcessBackend::new();
+    let resp = backend
+        .sweep(&SweepRequest {
+            ns: vec![2, 4, 8],
+            grade: "-3".to_owned(),
+        })
+        .unwrap();
+    let table =
+        Characterization::try_sweep_round_robin([2usize, 4, 8], SpeedGrade::Minus3).unwrap();
+    assert_eq!(resp.rows.len(), table.rows().len());
+    for (wire, row) in resp.rows.iter().zip(table.rows()) {
+        assert_eq!(wire.n, row.n as u64);
+        assert_eq!(wire.clbs, u64::from(row.clbs));
+        assert_eq!(wire.fmax_mhz, row.fmax_mhz);
+    }
+}
