@@ -20,19 +20,26 @@
 //! `rcarb_core::characterize::synthesizable`), so the tail of the range
 //! only carries the compact series.
 //!
-//! The `kernel` section of the JSON compares the event-driven simulation
-//! kernel against the legacy always-execute loop on three workloads — a
-//! sparse one (long computes, long grant waits), a dense one (memory
-//! traffic every cycle) and one FFT block — asserting identical reports
-//! and recording the wall-clock throughput of each kernel.
+//! The `kernel` section of the JSON compares all three simulation
+//! kernels — the batched SoA default, the event-driven per-component
+//! kernel, and the legacy always-execute loop — on four workloads: a
+//! sparse one (long computes, long grant waits), a dense one (private
+//! banks, memory traffic every cycle), a contended one (sixteen tasks
+//! queued on shared banks — the fully-loaded regime the batched
+//! kernel's deferred-wait fast path targets) and one FFT block. The differential assertions (identical reports, identical
+//! skip decisions, full cycle accounting) run on every host; only the
+//! wall-clock speedup thresholds are gated on a multi-core machine.
+//! Each entry records simulated cycles per wall-clock second per
+//! kernel.
 //!
 //! The `fault` section is the chaos harness: it measures the wall-clock
 //! cost of arming an *empty* fault plan (the zero-fault fast path must
 //! be free and byte-identical to an unarmed run), then sweeps seeded
 //! fault plans — a camping stuck-request plus a transient task hang —
-//! over a contended two-task workload on both kernels, asserting the
-//! kernels produce identical run and fault reports for every seed and
-//! recording detection/recovery counts and the worst detection latency.
+//! over a contended two-task workload on all three kernels, asserting
+//! the kernels produce identical run and fault reports for every seed
+//! and recording detection/recovery counts and the worst detection
+//! latency.
 //!
 //! The `obs` section measures the observability layer: the dense
 //! workload runs bare and with a metrics/tracing session attached, the
@@ -62,7 +69,7 @@ use rcarb_sim::config::{SimConfig, WatchdogConfig};
 use rcarb_sim::engine::SystemBuilder;
 use rcarb_sim::scheduler::KernelStats;
 use rcarb_sim::stats::kernel_speedup;
-use rcarb_sim::{FaultPlan, FaultWindow, RecoveryPolicy};
+use rcarb_sim::{FaultPlan, FaultWindow, KernelKind, RecoveryPolicy};
 use rcarb_taskgraph::builder::TaskGraphBuilder;
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::id::{ArbiterId, TaskId};
@@ -88,20 +95,55 @@ fn best_of<T>(reps: usize, run: impl Fn() -> KernelRun<T>) -> KernelRun<T> {
     best.expect("reps > 0")
 }
 
-/// Runs one workload under both kernels, asserts they agree, and renders
-/// a JSON record of the comparison.
+/// The three-kernel comparison record for one workload: the JSON entry
+/// plus the wall-clock speedups of each skipping kernel over legacy.
+struct KernelComparison {
+    json: Json,
+    event_speedup: f64,
+    batched_speedup: f64,
+    cycle_speedup: f64,
+}
+
+/// Simulated cycles per wall-clock second — the throughput number the
+/// Performance table quotes.
+fn cycles_per_sec(cycles: u64, wall: Duration) -> f64 {
+    cycles as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+/// Runs one workload under all three kernels, asserts they agree, and
+/// renders a JSON record of the comparison.
+///
+/// The differential checks here are *unconditional* — they hold on any
+/// host, single-core included: byte-identical witnesses, identical cycle
+/// counts, a never-skipping legacy oracle, full cycle accounting, and
+/// bit-identical skip decisions (executed/skipped counts) between the
+/// event and batched kernels. Only the wall-clock *thresholds* in
+/// `main` are gated on core count; the timings themselves are always
+/// recorded.
 fn kernel_entry<T: PartialEq + std::fmt::Debug>(
     label: &str,
     reps: usize,
-    run: impl Fn(bool) -> KernelRun<T>,
-) -> (Json, f64) {
-    let (event_wall, event_witness, event_cycles, event_stats) = best_of(reps, || run(false));
-    let (legacy_wall, legacy_witness, legacy_cycles, legacy_stats) = best_of(reps, || run(true));
+    run: impl Fn(KernelKind) -> KernelRun<T>,
+) -> KernelComparison {
+    let (legacy_wall, legacy_witness, legacy_cycles, legacy_stats) =
+        best_of(reps, || run(KernelKind::Legacy));
+    let (event_wall, event_witness, event_cycles, event_stats) =
+        best_of(reps, || run(KernelKind::Event));
+    let (batched_wall, batched_witness, batched_cycles, batched_stats) =
+        best_of(reps, || run(KernelKind::BatchedSoa));
     assert!(
         event_witness == legacy_witness,
-        "{label}: kernels disagree\nevent:  {event_witness:?}\nlegacy: {legacy_witness:?}"
+        "{label}: event kernel disagrees\nevent:  {event_witness:?}\nlegacy: {legacy_witness:?}"
+    );
+    assert!(
+        batched_witness == legacy_witness,
+        "{label}: batched kernel disagrees\nbatched: {batched_witness:?}\nlegacy:  {legacy_witness:?}"
     );
     assert_eq!(event_cycles, legacy_cycles, "{label}: cycle counts differ");
+    assert_eq!(
+        batched_cycles, legacy_cycles,
+        "{label}: batched cycle count differs"
+    );
     assert_eq!(
         legacy_stats.skipped_cycles, 0,
         "{label}: the legacy kernel must never skip"
@@ -111,7 +153,13 @@ fn kernel_entry<T: PartialEq + std::fmt::Debug>(
         legacy_stats.total_cycles(),
         "{label}: kernels must account the same simulated cycles"
     );
-    let speedup = legacy_wall.as_secs_f64() / event_wall.as_secs_f64().max(1e-9);
+    assert_eq!(
+        batched_stats, event_stats,
+        "{label}: batched and event kernels must make identical skip decisions"
+    );
+    let event_speedup = legacy_wall.as_secs_f64() / event_wall.as_secs_f64().max(1e-9);
+    let batched_speedup = legacy_wall.as_secs_f64() / batched_wall.as_secs_f64().max(1e-9);
+    let cycle_speedup = kernel_speedup(&event_stats);
     let json = Json::Obj(vec![
         (
             "legacy_ms".to_owned(),
@@ -121,29 +169,51 @@ fn kernel_entry<T: PartialEq + std::fmt::Debug>(
             "event_ms".to_owned(),
             Json::from(event_wall.as_secs_f64() * 1e3),
         ),
-        ("speedup".to_owned(), Json::from(speedup)),
         (
-            "cycle_speedup".to_owned(),
-            Json::from(kernel_speedup(&event_stats)),
+            "batched_ms".to_owned(),
+            Json::from(batched_wall.as_secs_f64() * 1e3),
         ),
+        ("event_speedup".to_owned(), Json::from(event_speedup)),
+        ("batched_speedup".to_owned(), Json::from(batched_speedup)),
+        ("cycle_speedup".to_owned(), Json::from(cycle_speedup)),
         ("cycles".to_owned(), Json::from(event_cycles)),
         (
             "executed".to_owned(),
             Json::from(event_stats.executed_cycles),
         ),
         ("skipped".to_owned(), Json::from(event_stats.skipped_cycles)),
+        (
+            "legacy_cycles_per_sec".to_owned(),
+            Json::from(cycles_per_sec(legacy_cycles, legacy_wall)),
+        ),
+        (
+            "event_cycles_per_sec".to_owned(),
+            Json::from(cycles_per_sec(event_cycles, event_wall)),
+        ),
+        (
+            "batched_cycles_per_sec".to_owned(),
+            Json::from(cycles_per_sec(batched_cycles, batched_wall)),
+        ),
         ("reports_identical".to_owned(), Json::Bool(true)),
+        ("skip_decisions_identical".to_owned(), Json::Bool(true)),
     ]);
     println!(
-        "kernel/{label}: legacy {:.2} ms, event {:.2} ms ({speedup:.2}x wall, {:.2}x cycles), \
-         {}/{} cycles executed",
+        "kernel/{label}: legacy {:.2} ms, event {:.2} ms ({event_speedup:.2}x), \
+         batched {:.2} ms ({batched_speedup:.2}x wall, {cycle_speedup:.2}x cycles), \
+         {}/{} cycles executed, batched {:.1}M cycles/s",
         legacy_wall.as_secs_f64() * 1e3,
         event_wall.as_secs_f64() * 1e3,
-        kernel_speedup(&event_stats),
+        batched_wall.as_secs_f64() * 1e3,
         event_stats.executed_cycles,
         event_stats.total_cycles(),
+        cycles_per_sec(batched_cycles, batched_wall) / 1e6,
     );
-    (json, speedup)
+    KernelComparison {
+        json,
+        event_speedup,
+        batched_speedup,
+        cycle_speedup,
+    }
 }
 
 /// Sparse workload: four tasks on one shared, arbitrated bank, each
@@ -190,21 +260,51 @@ fn dense_graph(iters: u32) -> TaskGraph {
     b.finish().expect("dense graph is well-formed")
 }
 
+///// Contended dense workload — the paper's fully-loaded N-client/M-bank
+/// arbitration regime: sixteen tasks each looping a read-modify-write
+/// against segments packed into duo_small's shared banks, so every
+/// access queues behind a hot many-port arbiter and most tasks sit
+/// blocked on a grant on any given cycle. This is the regime the
+/// batched kernel's deferred-wait fast path targets: parked tasks cost
+/// one counter bump instead of a full dispatch step plus monitor tick.
+fn contended_graph(iters: u32) -> TaskGraph {
+    let mut b = TaskGraphBuilder::new("kernel_contended");
+    let segs: Vec<_> = (0..16)
+        .map(|i| b.segment(format!("C{i}"), 64, 16))
+        .collect();
+    for (i, &seg) in segs.iter().enumerate() {
+        b.task(
+            format!("T{i}"),
+            Program::build(|p| {
+                p.repeat(iters, |p| {
+                    let v = p.mem_read(seg, Expr::lit(i as u64));
+                    p.mem_write(
+                        seg,
+                        Expr::lit(i as u64),
+                        Expr::add(Expr::var(v), Expr::lit(1)),
+                    );
+                });
+            }),
+        );
+    }
+    b.finish().expect("contended graph is well-formed")
+}
+
 /// Builds a planned system for `graph` on `board` and times one run.
 fn timed_run(
     graph: &TaskGraph,
     board: &rcarb_board::board::Board,
-    legacy: bool,
+    kernel: KernelKind,
 ) -> KernelRun<rcarb_sim::engine::RunReport> {
     let binding = bind_segments(graph.segments(), board, &|_| None).expect("binds");
     let merges = ChannelMergePlan::default();
     let plan = insert_arbiters(graph, &binding, &merges, &InsertionConfig::paper());
     let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
-        .with_config(SimConfig::new().with_legacy_kernel(legacy))
+        .with_config(SimConfig::new().with_kernel(kernel))
         .try_build(board)
         .unwrap();
     let t = Instant::now();
-    let report = sys.run(10_000_000);
+    let report = sys.run(50_000_000);
     let wall = t.elapsed();
     assert!(report.completed, "workload must finish");
     let cycles = report.cycles;
@@ -311,16 +411,39 @@ fn fault_sweep(smoke: bool) -> Json {
                 FaultWindow::new(seed * 3, seed * 3 + 60),
             )
             .with_task_hang(TaskId::new(1), FaultWindow::new(10 + seed, 20 + seed));
-        let (_, event_report, event_faults) = fault_run(&graph, &duo, config, Some(&plan));
-        let (_, legacy_report, legacy_faults) =
-            fault_run(&graph, &duo, config.with_legacy_kernel(true), Some(&plan));
+        let (_, batched_report, batched_faults) = fault_run(
+            &graph,
+            &duo,
+            config.with_kernel(KernelKind::BatchedSoa),
+            Some(&plan),
+        );
+        let (_, event_report, event_faults) = fault_run(
+            &graph,
+            &duo,
+            config.with_kernel(KernelKind::Event),
+            Some(&plan),
+        );
+        let (_, legacy_report, legacy_faults) = fault_run(
+            &graph,
+            &duo,
+            config.with_kernel(KernelKind::Legacy),
+            Some(&plan),
+        );
         assert_eq!(
             event_report, legacy_report,
-            "seed {seed}: kernels disagree on the run report"
+            "seed {seed}: event kernel disagrees on the run report"
+        );
+        assert_eq!(
+            batched_report, legacy_report,
+            "seed {seed}: batched kernel disagrees on the run report"
         );
         assert_eq!(
             event_faults, legacy_faults,
-            "seed {seed}: kernels disagree on the fault report"
+            "seed {seed}: event kernel disagrees on the fault report"
+        );
+        assert_eq!(
+            batched_faults, legacy_faults,
+            "seed {seed}: batched kernel disagrees on the fault report"
         );
         assert!(
             event_report.completed,
@@ -582,26 +705,33 @@ fn main() {
     perf.add_stage("sweep/parallel-warm", warm_wall);
     assert_eq!(warm.rows(), seq.rows());
 
-    // Kernel comparison: event-driven versus legacy, three workloads.
+    // Kernel comparison: batched SoA and event-driven versus legacy,
+    // four workloads. The dense/contended runs are sized to dominate
+    // timer noise (tens of milliseconds per legacy run, hundreds of
+    // thousands of simulated cycles) so the recorded speedups are
+    // stable enough to threshold.
     let reps = if smoke { 3 } else { 5 };
     let sparse_iters = if smoke { 50 } else { 200 };
-    let dense_iters = if smoke { 1_000 } else { 5_000 };
+    let dense_iters = if smoke { 5_000 } else { 50_000 };
+    let contended_iters = if smoke { 2_000 } else { 20_000 };
 
     let t = Instant::now();
     let sparse = sparse_graph(sparse_iters);
     let duo = presets::duo_small();
-    let (sparse_json, sparse_speedup) =
-        kernel_entry("sparse", reps, |legacy| timed_run(&sparse, &duo, legacy));
+    let sparse_cmp = kernel_entry("sparse", reps, |kernel| timed_run(&sparse, &duo, kernel));
     let dense = dense_graph(dense_iters);
     let wild = presets::wildforce();
-    let (dense_json, dense_speedup) =
-        kernel_entry("dense", reps, |legacy| timed_run(&dense, &wild, legacy));
+    let dense_cmp = kernel_entry("dense", reps, |kernel| timed_run(&dense, &wild, kernel));
+    let contended = contended_graph(contended_iters);
+    let contended_cmp = kernel_entry("contended", reps, |kernel| {
+        timed_run(&contended, &duo, kernel)
+    });
     let flow = run_fft_flow().expect("fft flow plans");
     let tile: [[i64; 4]; 4] =
         std::array::from_fn(|r| std::array::from_fn(|c| (r * 4 + c + 1) as i64));
-    let (fft_json, fft_speedup) = kernel_entry("fft", reps, |legacy| {
+    let fft_cmp = kernel_entry("fft", reps, |kernel| {
         let t = Instant::now();
-        let sim = simulate_block_with(&flow, tile, SimConfig::new().with_legacy_kernel(legacy));
+        let sim = simulate_block_with(&flow, tile, SimConfig::new().with_kernel(kernel));
         let wall = t.elapsed();
         let cycles = sim.total_cycles();
         (
@@ -612,6 +742,20 @@ fn main() {
         )
     });
     perf.add_stage("kernel/comparison", t.elapsed());
+
+    // Cycle-level assertions hold on any host — they are properties of
+    // the skip accounting, not of the wall clock. The sparse workload
+    // must skip the bulk of its cycles; the dense workload never sleeps,
+    // so its skip-free accounting is the honest overhead baseline.
+    assert!(
+        sparse_cmp.cycle_speedup >= 2.0,
+        "sparse workload must skip at least half its cycles, got {:.2}x",
+        sparse_cmp.cycle_speedup
+    );
+    assert!(
+        dense_cmp.cycle_speedup >= 1.0,
+        "cycle speedup is a ratio of accounted cycles and cannot dip below 1"
+    );
 
     // Chaos harness: fault-injection overhead and seeded fault sweep.
     let t = Instant::now();
@@ -628,34 +772,52 @@ fn main() {
     let analyze_json = analyze_sweep(smoke);
     perf.add_stage("analyze/sweep", t.elapsed());
 
-    // Wall-clock speedup thresholds only mean something with real
-    // parallel hardware under the timings; a single-core host (or a
-    // heavily shared CI box pinned to one worker) exercises the kernels
-    // for determinism, not speed, so the thresholds are skipped there —
-    // and the skip is recorded in the JSON rather than silently passing.
+    // Wall-clock *thresholds* are gated on core count: a single-core
+    // host (or a heavily shared CI box pinned to one worker) timeshares
+    // the benchmark with everything else on the machine, so its ratios
+    // measure scheduler noise, not kernels. The differential checks and
+    // the cycle-level assertions above already ran unconditionally —
+    // only the timing thresholds are skipped, the timings themselves are
+    // recorded either way, and the skip is written into the JSON rather
+    // than silently passing.
     let thresholds_checked = cores > 1;
     if thresholds_checked {
         assert!(
-            sparse_speedup >= 2.0,
-            "event kernel must be at least 2x faster on the sparse workload, got {sparse_speedup:.2}x"
+            sparse_cmp.event_speedup >= 2.0,
+            "event kernel must be at least 2x faster on the sparse workload, got {:.2}x",
+            sparse_cmp.event_speedup
         );
         assert!(
-            dense_speedup >= 0.9,
-            "event kernel must not regress the dense workload by more than 10%, got {dense_speedup:.2}x"
+            dense_cmp.event_speedup >= 0.9,
+            "event kernel must not regress the dense workload by more than 10%, got {:.2}x",
+            dense_cmp.event_speedup
+        );
+        assert!(
+            dense_cmp.batched_speedup >= 1.0,
+            "batched kernel must not regress the dense workload, got {:.2}x",
+            dense_cmp.batched_speedup
+        );
+        assert!(
+            contended_cmp.batched_speedup >= 5.0,
+            "batched kernel must be at least 5x faster on the contended dense workload, got {:.2}x",
+            contended_cmp.batched_speedup
         );
     } else {
-        println!("kernel speedup thresholds skipped: single-core host");
+        println!("kernel wall-clock thresholds skipped: single-core host");
     }
     let kernel_json = Json::Obj(vec![
-        ("sparse".to_owned(), sparse_json),
-        ("dense".to_owned(), dense_json),
-        ("fft".to_owned(), fft_json),
+        ("sparse".to_owned(), sparse_cmp.json),
+        ("dense".to_owned(), dense_cmp.json),
+        ("contended".to_owned(), contended_cmp.json),
+        ("fft".to_owned(), fft_cmp.json),
         (
             "thresholds".to_owned(),
             Json::Obj(vec![
                 ("checked".to_owned(), Json::Bool(thresholds_checked)),
-                ("sparse_min".to_owned(), Json::from(2.0)),
-                ("dense_min".to_owned(), Json::from(0.9)),
+                ("sparse_event_min".to_owned(), Json::from(2.0)),
+                ("dense_event_min".to_owned(), Json::from(0.9)),
+                ("dense_batched_min".to_owned(), Json::from(1.0)),
+                ("contended_batched_min".to_owned(), Json::from(5.0)),
                 (
                     "skipped_reason".to_owned(),
                     if thresholds_checked {
@@ -668,8 +830,16 @@ fn main() {
         ),
     ]);
     println!(
-        "kernel comparison: sparse {sparse_speedup:.2}x, dense {dense_speedup:.2}x, \
-         fft {fft_speedup:.2}x wall-clock vs legacy"
+        "kernel comparison vs legacy: sparse {:.2}x event / {:.2}x batched, \
+         dense {:.2}x / {:.2}x, contended {:.2}x / {:.2}x, fft {:.2}x / {:.2}x",
+        sparse_cmp.event_speedup,
+        sparse_cmp.batched_speedup,
+        dense_cmp.event_speedup,
+        dense_cmp.batched_speedup,
+        contended_cmp.event_speedup,
+        contended_cmp.batched_speedup,
+        fft_cmp.event_speedup,
+        fft_cmp.batched_speedup,
     );
 
     let mut perf = perf.with_pool(global_pool().stats());

@@ -108,7 +108,11 @@ impl ArbiterGenerator {
     /// Generates the arbiter described by `spec`.
     pub fn generate(&self, spec: &ArbiterSpec) -> GeneratedArbiter {
         let (fsm, structural, vhdl_text) = match spec.policy {
-            PolicyKind::RoundRobin => {
+            // The parallel-prefix policy is grant-identical to the Fig. 5
+            // rotation — only the combinational resolution tree differs —
+            // so both map onto the same symbolic FSM and VHDL template;
+            // synthesis and co-simulation see one machine.
+            PolicyKind::RoundRobin | PolicyKind::PrefixRoundRobin => {
                 let fsm = rr::round_robin_fsm(spec.n);
                 let v = vhdl::round_robin_vhdl(spec.n, spec.encoding);
                 (Some(fsm), None, v)

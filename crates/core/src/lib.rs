@@ -51,6 +51,7 @@ pub mod line;
 pub mod memmap;
 pub mod policy;
 pub mod preempt;
+pub mod prefix;
 pub mod priority;
 pub mod random;
 pub mod rng;
@@ -62,4 +63,5 @@ pub use error::Error;
 pub use generator::{ArbiterGenerator, ArbiterSpec, GeneratedArbiter};
 pub use insertion::{ArbitrationPlan, InsertionConfig};
 pub use policy::{Policy, PolicyKind};
+pub use prefix::PrefixRoundRobin;
 pub use rr::RoundRobinArbiter;

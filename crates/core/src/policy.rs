@@ -27,16 +27,22 @@ pub enum PolicyKind {
     /// quantum ([`DEFAULT_PREEMPT_QUANTUM`] granted cycles), so a task
     /// that never relinquishes its request still cannot starve others.
     PreemptiveRoundRobin,
+    /// Round-robin with O(log N) parallel-prefix grant resolution
+    /// instead of the Fig. 5 linear scan — grant-identical to
+    /// [`PolicyKind::RoundRobin`] by construction (see
+    /// [`crate::prefix`]).
+    PrefixRoundRobin,
 }
 
 impl PolicyKind {
     /// All kinds, for sweeps.
-    pub const ALL: [PolicyKind; 5] = [
+    pub const ALL: [PolicyKind; 6] = [
         PolicyKind::RoundRobin,
         PolicyKind::Random,
         PolicyKind::Fifo,
         PolicyKind::StaticPriority,
         PolicyKind::PreemptiveRoundRobin,
+        PolicyKind::PrefixRoundRobin,
     ];
 }
 
@@ -48,6 +54,7 @@ impl fmt::Display for PolicyKind {
             PolicyKind::Fifo => "fifo",
             PolicyKind::StaticPriority => "static-priority",
             PolicyKind::PreemptiveRoundRobin => "preemptive-rr",
+            PolicyKind::PrefixRoundRobin => "prefix-rr",
         })
     }
 }
@@ -110,6 +117,7 @@ pub fn build(kind: PolicyKind, n: usize) -> Box<dyn Policy> {
             n,
             DEFAULT_PREEMPT_QUANTUM,
         )),
+        PolicyKind::PrefixRoundRobin => Box::new(crate::prefix::PrefixRoundRobin::new(n)),
     }
 }
 

@@ -1,0 +1,255 @@
+//! Parallel-prefix round-robin arbiter: O(log N) grant resolution.
+//!
+//! The paper's Fig. 5 FSM scans request lines one by one from the
+//! priority pointer — an O(N) combinational chain. *Reconfigurable
+//! Parallel Architecture of High Speed Round Robin Arbiter* (PAPERS.md)
+//! replaces the scan with a logarithmic network: rotate the request word
+//! so the priority task sits at bit 0, run a **prefix-OR doubling
+//! ladder** (`p |= p << 1; p |= p << 2; ...`) whose `p & !(p << 1)`
+//! isolates the first requester in O(log N) gate depth, and rotate the
+//! one-hot grant back. The *decision sequence* is bit-for-bit the Fig. 5
+//! rotation — only the resolution circuit changes — so
+//! [`PrefixRoundRobin`] is grant-identical to
+//! [`RoundRobinArbiter`](crate::rr::RoundRobinArbiter) from any shared
+//! state, which the proptests in `tests/arbiter_equivalence.rs` pin
+//! against the linear oracle. For synthesis and co-simulation the policy
+//! therefore maps onto the same symbolic
+//! [`round_robin_fsm`](crate::rr::round_robin_fsm).
+
+use crate::policy::{Policy, PolicyKind};
+
+/// Isolates the first requester scanning cyclically from `start` over an
+/// `n`-bit request word, via the parallel-prefix network rather than a
+/// linear scan. Returns the winning task index.
+///
+/// The three stages mirror the reference architecture:
+/// 1. **rotate** `requests` right by `start` (modulo `n` bits) so the
+///    scan origin lands on bit 0;
+/// 2. **prefix-OR ladder** — six doubling steps cover 64 bits, so the
+///    depth is `ceil(log2 n)` for any supported `n` — after which
+///    `p & !(p << 1)` is the one-hot first set bit;
+/// 3. **rotate back** by re-adding `start` modulo `n`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `start >= n` or `n` is outside `1..=64`.
+pub fn prefix_first_requester(requests: u64, start: usize, n: usize) -> Option<usize> {
+    debug_assert!((1..=64).contains(&n) && start < n);
+    let mask = low_mask(n);
+    let requests = requests & mask;
+    if requests == 0 {
+        return None;
+    }
+    // Stage 1: modulo-n right rotation.
+    let rot = if start == 0 {
+        requests
+    } else {
+        ((requests >> start) | (requests << (n - start))) & mask
+    };
+    // Stage 2: prefix-OR doubling ladder, then first-set isolation.
+    let mut p = rot;
+    p |= p << 1;
+    p |= p << 2;
+    p |= p << 4;
+    p |= p << 8;
+    p |= p << 16;
+    p |= p << 32;
+    let one_hot = p & !(p << 1);
+    // Stage 3: rotate the one-hot grant back to task numbering.
+    let offset = one_hot.trailing_zeros() as usize;
+    Some((offset + start) % n)
+}
+
+/// Behavioural parallel-prefix round-robin arbiter (Mealy).
+///
+/// State space and rotation discipline are exactly the Fig. 5 FSM —
+/// `Fi` (free, priority at `i`) and `Ci` (claimed by `i`) — but every
+/// "first requester from here" question is answered by
+/// [`prefix_first_requester`] instead of a cyclic scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixRoundRobin {
+    n: usize,
+    state: State,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Resource free; the index holds scan priority.
+    Free(usize),
+    /// Resource claimed by the index.
+    Claimed(usize),
+}
+
+impl PrefixRoundRobin {
+    /// Creates an arbiter for `n` tasks, starting in `F0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than 32 (same envelope as the
+    /// linear arbiter, so the two stay interchangeable under co-sim).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=32).contains(&n),
+            "parallel-prefix arbiter supports 1..=32 tasks"
+        );
+        Self {
+            n,
+            state: State::Free(0),
+        }
+    }
+
+    /// The task currently holding the resource, if any.
+    pub fn holder(&self) -> Option<usize> {
+        match self.state {
+            State::Claimed(i) => Some(i),
+            State::Free(_) => None,
+        }
+    }
+
+    /// The task with top scan priority.
+    pub fn priority(&self) -> usize {
+        match self.state {
+            State::Claimed(i) | State::Free(i) => i,
+        }
+    }
+}
+
+impl Policy for PrefixRoundRobin {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PrefixRoundRobin
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self, requests: u64) -> u64 {
+        let requests = requests & low_mask(self.n);
+        match self.state {
+            State::Free(i) => match prefix_first_requester(requests, i, self.n) {
+                None => 0,
+                Some(j) => {
+                    self.state = State::Claimed(j);
+                    1 << j
+                }
+            },
+            State::Claimed(i) => {
+                if requests == 0 {
+                    self.state = State::Free((i + 1) % self.n);
+                    0
+                } else if requests >> i & 1 != 0 {
+                    1 << i
+                } else {
+                    let j = prefix_first_requester(requests, (i + 1) % self.n, self.n)
+                        .expect("requests nonzero");
+                    self.state = State::Claimed(j);
+                    1 << j
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = State::Free(0);
+    }
+
+    fn next_grant(&self, requests: u64) -> Option<u64> {
+        let requests = requests & low_mask(self.n);
+        match self.state {
+            // Idle and staying idle: no request can claim the token.
+            State::Free(_) if requests == 0 => Some(0),
+            // The holder keeps requesting: the grant is pinned to it.
+            State::Claimed(i) if requests >> i & 1 != 0 => Some(1 << i),
+            // A claim or a rotation is about to change the FSM state.
+            _ => None,
+        }
+    }
+}
+
+fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RoundRobinArbiter;
+
+    #[test]
+    fn prefix_network_matches_linear_scan_exhaustively() {
+        for n in 1..=10usize {
+            for start in 0..n {
+                for req in 0..(1u64 << n) {
+                    let linear = (0..n).map(|k| (start + k) % n).find(|&j| req >> j & 1 != 0);
+                    assert_eq!(
+                        prefix_first_requester(req, start, n),
+                        linear,
+                        "n={n} start={start} req={req:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_network_matches_linear_scan_at_word_width_extremes() {
+        let mut x = 0x853c49e6748fea9bu64;
+        for n in [31usize, 32, 63, 64] {
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let req = x & low_mask(n);
+                let start = (x >> 40) as usize % n;
+                let linear = (0..n).map(|k| (start + k) % n).find(|&j| req >> j & 1 != 0);
+                assert_eq!(prefix_first_requester(req, start, n), linear);
+            }
+        }
+    }
+
+    #[test]
+    fn grant_identical_to_linear_round_robin_on_random_walks() {
+        for n in [1usize, 2, 3, 5, 8, 13, 32] {
+            let mut fast = PrefixRoundRobin::new(n);
+            let mut slow = RoundRobinArbiter::new(n);
+            let mut x = 0xda3e39cb94b95bdbu64 ^ n as u64;
+            for step in 0..4000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let req = x & low_mask(n);
+                assert_eq!(
+                    fast.step(req),
+                    slow.step(req),
+                    "n={n} step={step}: diverged on req {req:#b}"
+                );
+                assert_eq!(fast.next_grant(req), slow.next_grant(req));
+                assert_eq!(fast.holder(), slow.holder());
+                assert_eq!(fast.priority(), slow.priority());
+            }
+        }
+    }
+
+    #[test]
+    fn holder_keeps_resource_while_requesting() {
+        let mut a = PrefixRoundRobin::new(3);
+        assert_eq!(a.step(0b010), 0b010);
+        for _ in 0..5 {
+            assert_eq!(a.step(0b111), 0b010);
+        }
+        assert_eq!(a.holder(), Some(1));
+    }
+
+    #[test]
+    fn idle_release_advances_priority_pointer() {
+        let mut a = PrefixRoundRobin::new(4);
+        assert_eq!(a.step(0b0001), 0b0001); // C0
+        assert_eq!(a.step(0), 0); // -> F1
+        assert_eq!(a.priority(), 1);
+        assert_eq!(a.step(0b0011), 0b0010);
+    }
+}

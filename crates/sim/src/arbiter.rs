@@ -65,7 +65,9 @@ impl ArbiterSim {
         assert!(
             matches!(
                 kind,
-                PolicyKind::RoundRobin | PolicyKind::PreemptiveRoundRobin
+                PolicyKind::RoundRobin
+                    | PolicyKind::PreemptiveRoundRobin
+                    | PolicyKind::PrefixRoundRobin
             ),
             "co-simulation is wired for the FSM-based policies"
         );
@@ -157,10 +159,7 @@ impl ArbiterSim {
                 self.id
             );
         }
-        if grants != 0 {
-            self.grants_issued += 1;
-            self.port_grants[grants.trailing_zeros() as usize] += 1;
-        }
+        self.note_step(grants);
         if let Some(cosim) = &mut self.cosim {
             let bits: Vec<bool> = (0..self.ports.len()).map(|i| word >> i & 1 != 0).collect();
             let hw = cosim.netlist.step(&mut cosim.state, &bits);
@@ -173,6 +172,17 @@ impl ArbiterSim {
             }
         }
         grants
+    }
+
+    /// Applies one live step's counter accounting for the given grant
+    /// word. The batched kernel calls this directly when a lane's FSM
+    /// was stepped in the flat word-level arrays instead of through
+    /// [`step_word`](Self::step_word).
+    pub(crate) fn note_step(&mut self, grants: u64) {
+        if grants != 0 {
+            self.grants_issued += 1;
+            self.port_grants[grants.trailing_zeros() as usize] += 1;
+        }
     }
 
     /// Returns the grant for a specific task given this cycle's grant

@@ -104,6 +104,21 @@ impl ArbiterComponent {
         self.last_grant
     }
 
+    /// The request word sampled in the last executed cycle.
+    pub fn last_word(&self) -> u64 {
+        self.last_word
+    }
+
+    /// Records a cycle the batched kernel stepped in the flat FSM lanes:
+    /// counter accounting plus the request/grant memory for steadiness,
+    /// without re-running the boxed policy (whose state is stale while a
+    /// lane is active — nothing consults it).
+    pub(crate) fn note_batch_step(&mut self, word: u64, grant: u64) {
+        self.sim.note_step(grant);
+        self.last_word = word;
+        self.last_grant = grant;
+    }
+
     /// Whether the arbiter is provably inert under `word`, the request
     /// word assembled *after* this cycle's task execution (the word the
     /// arbiter would sample next cycle):

@@ -19,14 +19,17 @@
 //!   and busy counters, grant tallies, starvation ticks) that `k`
 //!   executed-but-inert cycles would have applied, and nothing else.
 //!
-//! Both kernels share the same component step code, so the legacy
-//! cycle-scanning loop and the event-driven kernel differ *only* in
-//! whether provably inert cycles are executed or skipped.
+//! All kernels share the same component step code, so the legacy
+//! cycle-scanning loop, the event-driven kernel and the batched
+//! structure-of-arrays kernel (`soa`) differ *only* in whether provably
+//! inert cycles are executed or skipped and in how the per-cycle
+//! traffic is carried (fresh `BTreeMap`s versus reused flat arenas).
 
 pub mod arbiter;
 pub mod bank;
 pub mod monitor;
 pub mod route;
+pub(crate) mod soa;
 pub mod task;
 pub mod tracer;
 
@@ -34,7 +37,7 @@ pub use arbiter::ArbiterComponent;
 pub use bank::BankComponent;
 pub use monitor::MonitorComponent;
 pub use route::RouteComponent;
-pub use task::{ExecCtx, TaskComponent, TaskStatus};
+pub use task::{CycleEnv, ExecCtx, ReadFault, TaskComponent, TaskStatus};
 pub use tracer::TracerComponent;
 
 /// A component's wake condition, re-registered after every executed

@@ -162,6 +162,15 @@ impl MonitorComponent {
         out
     }
 
+    /// Whether any per-cycle wait watchdog can fire. With the grant
+    /// timeout and every fairness bound disarmed, a waiting tick can
+    /// never produce a crossing, so the batched kernel is free to
+    /// defer blocked tasks' ticks and apply them in bulk — the
+    /// starvation tracker's totals are order-independent.
+    pub(crate) fn wait_bounds_armed(&self) -> bool {
+        self.watchdog.grant_timeout != u64::MAX || !self.fairness_bounds.is_empty()
+    }
+
     /// Starvation violations against `bound`, computed at run end.
     pub fn starvation_violations(&self, bound: u64) -> Vec<Violation> {
         self.starvation.violations(bound)

@@ -46,11 +46,123 @@ enum Block {
     AwaitingData(ChannelId),
 }
 
-/// The engine-owned environment a task borrows for one execution cycle.
+/// The environment a task borrows for one execution cycle.
 ///
 /// Tasks read this cycle's grant words and route registers, and collect
-/// their memory and channel traffic into the engine's per-cycle maps;
-/// banks and routes resolve the collected traffic in later phases.
+/// their memory and channel traffic for the bank/route resolution
+/// phases. [`TaskComponent::step_cycle`] is generic over this trait and
+/// monomorphizes once per environment — the dispatch [`ExecCtx`] (fresh
+/// per-cycle maps, legacy and event kernels) and the batched kernel's
+/// arena-backed SoA environment — so every kernel executes the *same*
+/// instruction semantics by construction.
+pub trait CycleEnv {
+    /// The executing cycle.
+    fn cycle(&self) -> u64;
+
+    /// Whether `task` holds `arbiter`'s grant this cycle.
+    fn task_granted(&self, arbiter: ArbiterId, task: TaskId) -> bool;
+
+    /// The violation/starvation monitor.
+    fn monitor(&mut self) -> &mut MonitorComponent;
+
+    /// The bank and in-bank base offset `segment` is placed at, if
+    /// bound.
+    fn placement(&self, segment: SegmentId) -> Option<(BankId, u32)>;
+
+    /// The arbiter guarding `task`'s accesses to `segment`, if any.
+    fn segment_guard(&self, task: TaskId, segment: SegmentId) -> Option<ArbiterId>;
+
+    /// The arbiter guarding `task`'s sends on `channel`, if any.
+    fn channel_guard(&self, task: TaskId, channel: ChannelId) -> Option<ArbiterId>;
+
+    /// Reads the route register visible to `channel`'s receiver.
+    fn route_read(&self, channel: ChannelId) -> Option<u64>;
+
+    /// Collects one bank access for the bank-resolution phase.
+    fn push_access(&mut self, bank: BankId, access: BankAccess);
+
+    /// Collects one read awaiting its bank's resolution: `(bank, task,
+    /// dst var, corruption mask)`. The mask is XOR'd into the delivered
+    /// word and is zero on the fault-free path.
+    fn push_pending_read(&mut self, bank: BankId, task: TaskId, dst: VarId, mask: u64);
+
+    /// Collects one channel send for the route-resolution phase
+    /// (dropped when the channel is unrouted).
+    fn push_send(&mut self, channel: ChannelId, send: RouteSend);
+
+    /// Observes a request-line edge (`was` -> `now`) on `arbiter`. The
+    /// dispatch kernels reassemble request words from the lines every
+    /// cycle and ignore this; the batched kernel maintains its request
+    /// matrix incrementally from exactly these edges.
+    fn note_request(&mut self, arbiter: ArbiterId, task: TaskId, was: bool, now: bool);
+
+    /// Whether a live hang fault freezes `task` this cycle.
+    fn task_hung(&mut self, task: TaskId) -> bool;
+
+    /// Consults the fault plan for a read of `bank` this cycle,
+    /// returning the corruption mask of a failed check.
+    fn read_fault(&mut self, bank: BankId) -> Option<u64>;
+
+    /// Replay faulted reads instead of consuming the corrupted word
+    /// ([`RecoveryPolicy::retry_reads`]).
+    ///
+    /// [`RecoveryPolicy::retry_reads`]: crate::fault::RecoveryPolicy::retry_reads
+    fn retry_reads(&self) -> bool;
+
+    /// Reports an `AccessWithoutGrant` if `task` touches a guarded
+    /// segment without holding the guard's grant.
+    fn check_segment_grant(&mut self, task: TaskId, segment: SegmentId) {
+        if let Some(arb) = self.segment_guard(task, segment) {
+            if !self.task_granted(arb, task) {
+                let cycle = self.cycle();
+                self.monitor().push(Violation::AccessWithoutGrant {
+                    cycle,
+                    task,
+                    arbiter: arb,
+                });
+            }
+        }
+    }
+
+    /// Reports an `AccessWithoutGrant` if `task` sends on a guarded
+    /// channel without holding the guard's grant.
+    fn check_channel_grant(&mut self, task: TaskId, channel: ChannelId) {
+        if let Some(arb) = self.channel_guard(task, channel) {
+            if !self.task_granted(arb, task) {
+                let cycle = self.cycle();
+                self.monitor().push(Violation::AccessWithoutGrant {
+                    cycle,
+                    task,
+                    arbiter: arb,
+                });
+            }
+        }
+    }
+
+    /// Consults the fault plan for a read of `bank` by `task` this
+    /// cycle; a failed parity check is recorded as a
+    /// [`Violation::BankReadFault`] at the injection cycle.
+    fn bank_read_fault(&mut self, bank: BankId, task: TaskId) -> ReadFault {
+        match self.read_fault(bank) {
+            Some(mask) => {
+                let cycle = self.cycle();
+                self.monitor()
+                    .push(Violation::BankReadFault { cycle, bank, task });
+                if self.retry_reads() {
+                    ReadFault::Retry
+                } else {
+                    ReadFault::Corrupt(mask)
+                }
+            }
+            None => ReadFault::None,
+        }
+    }
+}
+
+/// The engine-owned dispatch environment: per-cycle `BTreeMap` traffic
+/// and map-walk lookups, exactly as the legacy and event kernels have
+/// always worked. The batched kernel's SoA environment lives in
+/// `super::soa`.
 pub struct ExecCtx<'a> {
     /// The executing cycle.
     pub cycle: u64,
@@ -88,7 +200,8 @@ pub struct ExecCtx<'a> {
 }
 
 /// What a read of a faulted bank does this cycle.
-enum ReadFault {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
     /// Error detection passed: deliver the word untouched.
     None,
     /// Error detection failed and replay is off: deliver the word with
@@ -99,30 +212,61 @@ enum ReadFault {
     Retry,
 }
 
-impl ExecCtx<'_> {
-    /// Whether `task` holds `arbiter`'s grant this cycle.
-    pub fn task_granted(&self, arbiter: ArbiterId, task: TaskId) -> bool {
+impl CycleEnv for ExecCtx<'_> {
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn task_granted(&self, arbiter: ArbiterId, task: TaskId) -> bool {
         let word = self.grants.get(&arbiter).copied().unwrap_or(0);
         self.arbiters
             .get(arbiter.index())
             .is_some_and(|a| a.task_granted(word, task))
     }
 
-    /// Reports an `AccessWithoutGrant` if `task` touches a guarded
-    /// segment without holding the guard's grant.
-    fn check_segment_grant(&mut self, task: TaskId, segment: SegmentId) {
-        if let Some(&arb) = self.segment_guards.get(&(task, segment)) {
-            if !self.task_granted(arb, task) {
-                self.monitor.push(Violation::AccessWithoutGrant {
-                    cycle: self.cycle,
-                    task,
-                    arbiter: arb,
-                });
-            }
+    fn monitor(&mut self) -> &mut MonitorComponent {
+        self.monitor
+    }
+
+    fn placement(&self, segment: SegmentId) -> Option<(BankId, u32)> {
+        self.binding.placement(segment).map(|p| (p.bank, p.offset))
+    }
+
+    fn segment_guard(&self, task: TaskId, segment: SegmentId) -> Option<ArbiterId> {
+        self.segment_guards.get(&(task, segment)).copied()
+    }
+
+    fn channel_guard(&self, task: TaskId, channel: ChannelId) -> Option<ArbiterId> {
+        self.channel_guards.get(&(task, channel)).copied()
+    }
+
+    fn route_read(&self, channel: ChannelId) -> Option<u64> {
+        self.route_of_channel
+            .get(&channel)
+            .and_then(|&route| self.routes[route].read(channel))
+    }
+
+    fn push_access(&mut self, bank: BankId, access: BankAccess) {
+        self.bank_accesses.entry(bank).or_default().push(access);
+    }
+
+    fn push_pending_read(&mut self, bank: BankId, task: TaskId, dst: VarId, mask: u64) {
+        self.pending_reads.push((bank, task, dst, mask));
+    }
+
+    fn push_send(&mut self, channel: ChannelId, send: RouteSend) {
+        // Channel validated in `try_build`; a missing route degrades to
+        // a dropped send.
+        if let Some(&route) = self.route_of_channel.get(&channel) {
+            self.route_sends.entry(route).or_default().push(send);
         }
     }
 
-    /// Whether a live hang fault freezes `task` this cycle.
+    fn note_request(&mut self, _arbiter: ArbiterId, _task: TaskId, _was: bool, _now: bool) {
+        // Dispatch kernels reassemble request words from the task lines
+        // every cycle; edges carry no extra information for them.
+    }
+
     fn task_hung(&mut self, task: TaskId) -> bool {
         let cycle = self.cycle;
         self.faults
@@ -130,26 +274,15 @@ impl ExecCtx<'_> {
             .is_some_and(|fc| fc.task_hung(task, cycle))
     }
 
-    /// Consults the fault plan for a read of `bank` by `task` this
-    /// cycle; a failed parity check is recorded as a
-    /// [`Violation::BankReadFault`] at the injection cycle.
-    fn bank_read_fault(&mut self, bank: BankId, task: TaskId) -> ReadFault {
+    fn read_fault(&mut self, bank: BankId) -> Option<u64> {
         let cycle = self.cycle;
-        let Some(fc) = self.faults.as_mut() else {
-            return ReadFault::None;
-        };
-        match fc.read_fault(bank, cycle) {
-            Some(mask) => {
-                self.monitor
-                    .push(Violation::BankReadFault { cycle, bank, task });
-                if self.retry_reads {
-                    ReadFault::Retry
-                } else {
-                    ReadFault::Corrupt(mask)
-                }
-            }
-            None => ReadFault::None,
-        }
+        self.faults
+            .as_mut()
+            .and_then(|fc| fc.read_fault(bank, cycle))
+    }
+
+    fn retry_reads(&self) -> bool {
+        self.retry_reads
     }
 }
 
@@ -266,6 +399,25 @@ impl TaskComponent {
         }
     }
 
+    /// The arbiter this task is blocked on in a *plain* `AwaitGrant` —
+    /// no bounded-wait timer armed. Only this wait is deferrable by
+    /// the batched kernel: an armed `AwaitGrantFor` must step every
+    /// cycle because it counts `wait_left` down toward its timeout
+    /// edge.
+    pub(crate) fn plain_grant_wait(&self) -> Option<ArbiterId> {
+        match (self.status, self.block) {
+            (TaskStatus::Running, Block::AwaitingGrant(a)) if !self.wait_armed => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Credits `cycles` of deferred blocked time in one update (the
+    /// batched kernel's bulk flush; starvation ticks are applied by
+    /// the engine, which owns the monitor).
+    pub(crate) fn note_stalled(&mut self, cycles: u64) {
+        self.stall_cycles += cycles;
+    }
+
     /// The channel this task is blocked on, if it stopped its last
     /// cycle inside an empty `Recv`.
     pub fn awaiting_data(&self) -> Option<ChannelId> {
@@ -279,7 +431,7 @@ impl TaskComponent {
     /// at most one costed instruction, then any trailing bookkeeping —
     /// so a program whose last costed instruction issues this cycle
     /// also *finishes* this cycle.
-    pub fn step_cycle(&mut self, ctx: &mut ExecCtx<'_>) {
+    pub fn step_cycle<E: CycleEnv>(&mut self, ctx: &mut E) {
         if self.status == TaskStatus::Running && ctx.task_hung(self.id) {
             // A hung controller issues nothing: the freeze is pure stall
             // and the task re-evaluates every cycle until the hang
@@ -295,20 +447,24 @@ impl TaskComponent {
         // the last instruction, not a cycle later).
         if self.status == TaskStatus::Running && self.pc >= self.prog.instrs().len() {
             self.status = TaskStatus::Done;
-            self.finished_at = Some(ctx.cycle);
+            self.finished_at = Some(ctx.cycle());
         }
     }
 
-    fn exec(&mut self, ctx: &mut ExecCtx<'_>) {
+    fn exec<E: CycleEnv>(&mut self, ctx: &mut E) {
         let task_id = self.id;
         let mut issued = false;
         loop {
             if self.pc >= self.prog.instrs().len() {
                 self.status = TaskStatus::Done;
-                self.finished_at = Some(ctx.cycle);
+                self.finished_at = Some(ctx.cycle());
                 return;
             }
-            let instr = self.prog.instrs()[self.pc].clone();
+            // Borrow the instruction in place: the program is a disjoint
+            // field from every piece of state the arms mutate, so no
+            // per-instruction clone (with its boxed expression trees) is
+            // needed on this hot path.
+            let instr = &self.prog.instrs()[self.pc];
             if issued
                 && !matches!(
                     instr,
@@ -322,28 +478,30 @@ impl TaskComponent {
             }
             match instr {
                 Instr::LoopInit { slot, times } => {
-                    self.loops[slot] = times;
+                    self.loops[*slot] = *times;
                     self.pc += 1;
                 }
                 Instr::LoopBack { slot, target } => {
-                    self.loops[slot] -= 1;
-                    if self.loops[slot] > 0 {
-                        self.pc = target;
+                    self.loops[*slot] -= 1;
+                    if self.loops[*slot] > 0 {
+                        self.pc = *target;
                     } else {
                         self.pc += 1;
                     }
                 }
                 Instr::Jump { target } => {
-                    self.pc = target;
+                    self.pc = *target;
                 }
                 Instr::AwaitGrant { arbiter } => {
+                    let arbiter = *arbiter;
                     if ctx.task_granted(arbiter, task_id) {
-                        ctx.monitor.granted(task_id, arbiter);
+                        ctx.monitor().granted(task_id, arbiter);
                         self.pc += 1;
                         // Free fall-through: keep executing this cycle.
                     } else {
                         self.stall_cycles += 1;
-                        ctx.monitor.tick_waiting(task_id, arbiter, ctx.cycle);
+                        let cycle = ctx.cycle();
+                        ctx.monitor().tick_waiting(task_id, arbiter, cycle);
                         self.block = Block::AwaitingGrant(arbiter);
                         return;
                     }
@@ -353,8 +511,9 @@ impl TaskComponent {
                     cycles,
                     dst,
                 } => {
+                    let arbiter = *arbiter;
                     if ctx.task_granted(arbiter, task_id) {
-                        ctx.monitor.granted(task_id, arbiter);
+                        ctx.monitor().granted(task_id, arbiter);
                         self.vars[dst.index()] = 1;
                         self.wait_armed = false;
                         self.pc += 1;
@@ -362,7 +521,7 @@ impl TaskComponent {
                     } else {
                         if !self.wait_armed {
                             self.wait_armed = true;
-                            self.wait_left = u64::from(cycles);
+                            self.wait_left = u64::from(*cycles);
                         }
                         if self.wait_left == 0 {
                             // Timed out. The outcome register already
@@ -375,19 +534,20 @@ impl TaskComponent {
                         } else {
                             self.wait_left -= 1;
                             self.stall_cycles += 1;
-                            ctx.monitor.tick_waiting(task_id, arbiter, ctx.cycle);
+                            let cycle = ctx.cycle();
+                            ctx.monitor().tick_waiting(task_id, arbiter, cycle);
                             self.block = Block::AwaitingGrant(arbiter);
                             return;
                         }
                     }
                 }
                 Instr::Compute { cycles } => {
-                    if cycles == 0 {
+                    if *cycles == 0 {
                         self.pc += 1;
                         continue;
                     }
                     if self.compute_left == 0 {
-                        self.compute_left = cycles;
+                        self.compute_left = *cycles;
                     }
                     self.compute_left -= 1;
                     self.busy_cycles += 1;
@@ -408,33 +568,34 @@ impl TaskComponent {
                 }
                 Instr::BranchIfZero { cond, target } => {
                     let v = cond.eval(&self.vars);
-                    self.pc = if v == 0 { target } else { self.pc + 1 };
+                    self.pc = if v == 0 { *target } else { self.pc + 1 };
                     self.busy_cycles += 1;
                     issued = true;
                 }
                 Instr::MemRead { segment, addr, dst } => {
+                    let (segment, dst) = (*segment, *dst);
                     ctx.check_segment_grant(task_id, segment);
                     let a = addr.eval(&self.vars) as u32;
                     // Placement validated in `try_build`; a missing one
                     // degrades to a read delivering nothing.
-                    if let Some(place) = ctx.binding.placement(segment) {
-                        let fault = ctx.bank_read_fault(place.bank, task_id);
+                    if let Some((bank, offset)) = ctx.placement(segment) {
+                        let fault = ctx.bank_read_fault(bank, task_id);
                         // The access drives the bank's lines either way,
                         // so conflicts are detected even on a replay.
-                        ctx.bank_accesses
-                            .entry(place.bank)
-                            .or_default()
-                            .push(BankAccess {
+                        ctx.push_access(
+                            bank,
+                            BankAccess {
                                 task: task_id,
-                                addr: place.offset + a,
+                                addr: offset + a,
                                 write: None,
-                            });
+                            },
+                        );
                         match fault {
                             ReadFault::None => {
-                                ctx.pending_reads.push((place.bank, task_id, dst, 0));
+                                ctx.push_pending_read(bank, task_id, dst, 0);
                             }
                             ReadFault::Corrupt(mask) => {
-                                ctx.pending_reads.push((place.bank, task_id, dst, mask));
+                                ctx.push_pending_read(bank, task_id, dst, mask);
                             }
                             ReadFault::Retry => {
                                 // Discard the word and re-issue next
@@ -456,53 +617,43 @@ impl TaskComponent {
                     addr,
                     value,
                 } => {
+                    let segment = *segment;
                     ctx.check_segment_grant(task_id, segment);
                     let a = addr.eval(&self.vars) as u32;
                     let v = value.eval(&self.vars);
-                    if let Some(place) = ctx.binding.placement(segment) {
-                        ctx.bank_accesses
-                            .entry(place.bank)
-                            .or_default()
-                            .push(BankAccess {
+                    if let Some((bank, offset)) = ctx.placement(segment) {
+                        ctx.push_access(
+                            bank,
+                            BankAccess {
                                 task: task_id,
-                                addr: place.offset + a,
+                                addr: offset + a,
                                 write: Some(v),
-                            });
+                            },
+                        );
                     }
                     self.pc += 1;
                     self.busy_cycles += 1;
                     issued = true;
                 }
                 Instr::Send { channel, value } => {
-                    if let Some(&arb) = ctx.channel_guards.get(&(task_id, channel)) {
-                        if !ctx.task_granted(arb, task_id) {
-                            ctx.monitor.push(Violation::AccessWithoutGrant {
-                                cycle: ctx.cycle,
-                                task: task_id,
-                                arbiter: arb,
-                            });
-                        }
-                    }
+                    let channel = *channel;
+                    ctx.check_channel_grant(task_id, channel);
                     let v = value.eval(&self.vars);
-                    // Channel validated in `try_build`; a missing route
-                    // degrades to a dropped send.
-                    if let Some(&route) = ctx.route_of_channel.get(&channel) {
-                        ctx.route_sends.entry(route).or_default().push(RouteSend {
+                    ctx.push_send(
+                        channel,
+                        RouteSend {
                             task: task_id,
                             channel,
                             value: v,
-                        });
-                    }
+                        },
+                    );
                     self.pc += 1;
                     self.busy_cycles += 1;
                     issued = true;
                 }
                 Instr::Recv { channel, dst } => {
-                    let value = ctx
-                        .route_of_channel
-                        .get(&channel)
-                        .and_then(|&route| ctx.routes[route].read(channel));
-                    match value {
+                    let channel = *channel;
+                    match ctx.route_read(channel) {
                         Some(v) => {
                             self.vars[dst.index()] = v;
                             self.pc += 1;
@@ -517,13 +668,17 @@ impl TaskComponent {
                     }
                 }
                 Instr::ReqAssert { arbiter } => {
-                    self.req_lines.insert(arbiter, true);
+                    let arbiter = *arbiter;
+                    let was = self.req_lines.insert(arbiter, true).unwrap_or(false);
+                    ctx.note_request(arbiter, task_id, was, true);
                     self.pc += 1;
                     self.busy_cycles += 1;
                     issued = true;
                 }
                 Instr::ReqDeassert { arbiter } => {
-                    self.req_lines.insert(arbiter, false);
+                    let arbiter = *arbiter;
+                    let was = self.req_lines.insert(arbiter, false).unwrap_or(false);
+                    ctx.note_request(arbiter, task_id, was, false);
                     self.pc += 1;
                     self.busy_cycles += 1;
                     issued = true;

@@ -63,6 +63,27 @@ impl TracerComponent {
         }
     }
 
+    /// [`sample_cycle`](Self::sample_cycle) for the batched kernel: the
+    /// per-arbiter words arrive as flat slices indexed by arbiter
+    /// position instead of `BTreeMap`s keyed by id. Sampling order and
+    /// output are identical.
+    pub fn sample_cycle_words(
+        &mut self,
+        cycle: u64,
+        arbiters: &[ArbiterComponent],
+        request_words: &[u64],
+        grants: &[u64],
+    ) {
+        for (ai, _) in arbiters.iter().enumerate() {
+            let request_word = request_words.get(ai).copied().unwrap_or(0);
+            let grant_word = grants.get(ai).copied().unwrap_or(0);
+            for (p, &(req_sig, grant_sig)) in self.signals[ai].iter().enumerate() {
+                self.vcd.sample(cycle, req_sig, request_word >> p & 1 != 0);
+                self.vcd.sample(cycle, grant_sig, grant_word >> p & 1 != 0);
+            }
+        }
+    }
+
     /// The VCD document recorded so far, at the paper's ~6 MHz design
     /// clock (167 ns per cycle).
     pub fn vcd(&self) -> String {

@@ -94,6 +94,30 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Which simulation kernel executes the run.
+///
+/// All three kernels share one cycle semantics — phase order, component
+/// code and violation ordering are identical — and are proven
+/// report/VCD/memory-identical by `tests/kernel_equivalence.rs`. They
+/// differ only in *how* they reach the next interesting cycle:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Execute every cycle, component by component. The slowest and
+    /// simplest kernel, kept as the differential oracle the other two
+    /// are measured and verified against.
+    Legacy,
+    /// Per-component dynamic dispatch with cycle-skipping: after each
+    /// executed cycle every component re-registers its wake condition
+    /// and provably inert stretches are bulk-accounted (PR 3).
+    Event,
+    /// Cycle-skipping plus a batched structure-of-arrays dense path:
+    /// request/grant state lives in flat `u64` bitset lanes, arbiter
+    /// FSMs step as word-level operations, and per-cycle traffic is
+    /// carried in reused arenas instead of fresh `BTreeMap`s. The
+    /// default.
+    BatchedSoa,
+}
+
 /// Every knob of a simulated system, with the paper's defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -110,12 +134,11 @@ pub struct SimConfig {
     pub select_line: SharedLineKind,
     /// Any wait longer than this many cycles is flagged as starvation.
     pub starvation_bound: u64,
-    /// Run on the legacy cycle-scanning kernel instead of the
-    /// event-driven one. The legacy loop executes every cycle
-    /// unconditionally and is kept as the differential oracle for the
-    /// event kernel's cycle-skipping — flip this when diagnosing a
-    /// suspected kernel divergence, never for performance.
-    pub legacy_kernel: bool,
+    /// Which kernel runs the cycle loop. All kinds produce identical
+    /// reports; select [`KernelKind::Legacy`] or [`KernelKind::Event`]
+    /// only when diagnosing a suspected kernel divergence, never for
+    /// performance.
+    pub kernel: KernelKind,
     /// Runtime watchdog thresholds (all off by default).
     pub watchdog: WatchdogConfig,
     /// What the runtime may do about detected faults (nothing by
@@ -135,7 +158,7 @@ impl SimConfig {
             register_placement: RegisterPlacement::Receiver,
             select_line: MemoryLinePlan::sram_write_high().write_select,
             starvation_bound: u64::MAX,
-            legacy_kernel: false,
+            kernel: KernelKind::BatchedSoa,
             watchdog: WatchdogConfig::none(),
             recovery: RecoveryPolicy::none(),
         }
@@ -204,14 +227,26 @@ impl SimConfig {
         self
     }
 
-    /// Selects the legacy cycle-scanning kernel (the event-driven
-    /// kernel's differential oracle). Reports are provably identical
-    /// between the two — see `tests/kernel_equivalence.rs` — so this is
+    /// Selects the simulation kernel. Reports are provably identical
+    /// across all kinds — see `tests/kernel_equivalence.rs` — so this is
     /// a diagnostic switch, not a semantic one.
     #[must_use]
-    pub fn with_legacy_kernel(mut self, enabled: bool) -> Self {
-        self.legacy_kernel = enabled;
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
+    }
+
+    /// Back-compat spelling of the PR 3 differential switch: `true`
+    /// selects the legacy cycle-scanning oracle, `false` the
+    /// per-component event-driven kernel (**not** the batched default —
+    /// existing differential call sites expect the PR 3 pairing).
+    #[must_use]
+    pub fn with_legacy_kernel(self, enabled: bool) -> Self {
+        self.with_kernel(if enabled {
+            KernelKind::Legacy
+        } else {
+            KernelKind::Event
+        })
     }
 }
 
@@ -233,8 +268,16 @@ mod tests {
         assert!(!c.trace);
         assert_eq!(c.register_placement, RegisterPlacement::Receiver);
         assert_eq!(c.starvation_bound, u64::MAX);
-        // The event-driven kernel is the default.
-        assert!(!c.legacy_kernel);
+        // The batched SoA kernel is the default.
+        assert_eq!(c.kernel, KernelKind::BatchedSoa);
+        assert_eq!(
+            SimConfig::new().with_legacy_kernel(true).kernel,
+            KernelKind::Legacy
+        );
+        assert_eq!(
+            SimConfig::new().with_legacy_kernel(false).kernel,
+            KernelKind::Event
+        );
         // No watchdogs, no recovery: faults change nothing unless asked.
         assert!(c.watchdog.is_off());
         assert_eq!(c.recovery, RecoveryPolicy::none());

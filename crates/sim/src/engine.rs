@@ -15,32 +15,44 @@
 //! 4. Banks and shared routes resolve the cycle's accesses, detecting
 //!    simultaneous-drive conflicts.
 //!
-//! # Two kernels, one cycle
+//! # Three kernels, one cycle
 //!
 //! The heavy lifting lives in [`crate::component`]: tasks, arbiters,
-//! banks, routes, the monitor and the tracer are self-contained units,
-//! and [`System::step_cycle`](System) drives them through the phase
-//! order above. On top of that shared step, the default *event-driven*
-//! kernel consults the [`Scheduler`] after every executed cycle: when
-//! every component proves itself inert (tasks sleeping in multi-cycle
-//! computes or blocked on steady arbiters, no pending release, no
-//! floating select line), the clock jumps straight to the next wake and
-//! the gap is bulk-accounted through [`Component::skip`]. The legacy
-//! cycle-scanning loop — execute every cycle unconditionally — remains
-//! selectable via [`SimConfig::legacy_kernel`] as a differential
-//! oracle; `tests/kernel_equivalence.rs` holds the two to identical
-//! [`RunReport`]s and identical VCD output.
+//! banks, routes, the monitor and the tracer are self-contained units
+//! driven through the phase order above. Three kernels share that
+//! cycle semantics and differ only in how they reach the next
+//! interesting cycle ([`KernelKind`]):
+//!
+//! - the **legacy** cycle-scanning loop executes every cycle
+//!   unconditionally, component by component — the differential oracle;
+//! - the **event-driven** kernel consults the [`Scheduler`] after every
+//!   executed cycle: when every component proves itself inert (tasks
+//!   sleeping in multi-cycle computes or blocked on steady arbiters, no
+//!   pending release, no floating select line), the clock jumps
+//!   straight to the next wake and the gap is bulk-accounted through
+//!   [`Component::skip`];
+//! - the **batched SoA** kernel (the default) keeps the skipping and
+//!   additionally executes dense cycles through flat
+//!   structure-of-arrays state (`crate::component::soa`): request words
+//!   live in `u64` bitset lanes maintained from request-line edges,
+//!   round-robin FSMs step as word-level parallel-prefix operations,
+//!   and per-cycle traffic travels in reused arenas instead of fresh
+//!   `BTreeMap`s.
+//!
+//! `tests/kernel_equivalence.rs` holds all three to identical
+//! [`RunReport`]s, identical VCD output and identical memory.
 //!
 //! [`Component::skip`]: crate::component::Component::skip
 
 use crate::arbiter::ArbiterSim;
 use crate::channel::{RegisterPlacement, RouteOutcome, RouteSend, RouteState};
 use crate::compile::{FlatProgram, Instr};
+use crate::component::soa::{BatchedEnv, BatchedState, DenseTables};
 use crate::component::{
     ArbiterComponent, BankComponent, Component, ExecCtx, MonitorComponent, RouteComponent,
     TaskComponent, TaskStatus, TracerComponent, Wake,
 };
-use crate::config::{SimConfig, WatchdogConfig};
+use crate::config::{KernelKind, SimConfig, WatchdogConfig};
 use crate::fault::{
     self, FaultController, FaultKind, FaultPlan, FaultReport, FaultTarget, RecoveryPolicy,
 };
@@ -304,7 +316,9 @@ impl SystemBuilder {
             if self.config.cosim
                 && matches!(
                     self.config.policy,
-                    PolicyKind::RoundRobin | PolicyKind::PreemptiveRoundRobin
+                    PolicyKind::RoundRobin
+                        | PolicyKind::PreemptiveRoundRobin
+                        | PolicyKind::PrefixRoundRobin
                 )
             {
                 sim = sim.with_cosim();
@@ -459,6 +473,21 @@ impl SystemBuilder {
             banks: 0,
             routes: 0,
         });
+        let banks = BankSet::from_map(banks);
+        let soa = (self.config.kernel == KernelKind::BatchedSoa).then(|| {
+            BatchedState::new(
+                &arbiters,
+                &tasks,
+                banks.ids(),
+                routes.len(),
+                &self.binding,
+                &segment_guards,
+                &channel_guards,
+                &route_of_channel,
+                self.config.policy,
+                self.config.cosim,
+            )
+        });
         Ok(System {
             graph: self.graph,
             binding: self.binding,
@@ -471,7 +500,8 @@ impl SystemBuilder {
             channel_guards,
             starvation_bound: self.config.starvation_bound,
             select_line: self.config.select_line,
-            legacy_kernel: self.config.legacy_kernel,
+            kernel: self.config.kernel,
+            soa,
             watchdog: self.config.watchdog,
             recovery: self.config.recovery,
             cycle: 0,
@@ -489,6 +519,73 @@ impl SystemBuilder {
             obs: self.obs,
             wakes,
         })
+    }
+}
+
+/// The modelled banks as a slab: components at stable slots (the dense
+/// indices the batched kernel's arena is addressed by), plus an ordered
+/// id-to-slot index preserving the `BTreeMap` iteration order the
+/// dispatch kernels' violation sequences depend on. Quarantine appends
+/// a spare bank at a fresh slot without disturbing existing ones.
+#[derive(Debug)]
+struct BankSet {
+    comps: Vec<BankComponent>,
+    ids: Vec<BankId>,
+    index: BTreeMap<BankId, usize>,
+}
+
+impl BankSet {
+    fn from_map(map: BTreeMap<BankId, BankComponent>) -> Self {
+        let mut set = Self {
+            comps: Vec::new(),
+            ids: Vec::new(),
+            index: BTreeMap::new(),
+        };
+        for (id, comp) in map {
+            set.insert(id, comp);
+        }
+        set
+    }
+
+    fn insert(&mut self, id: BankId, comp: BankComponent) {
+        debug_assert!(!self.index.contains_key(&id), "bank {id} already modelled");
+        self.index.insert(id, self.comps.len());
+        self.ids.push(id);
+        self.comps.push(comp);
+    }
+
+    fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Slot-to-id mapping, in slot order.
+    fn ids(&self) -> &[BankId] {
+        &self.ids
+    }
+
+    fn get(&self, id: BankId) -> Option<&BankComponent> {
+        self.index.get(&id).map(|&s| &self.comps[s])
+    }
+
+    fn get_mut(&mut self, id: BankId) -> Option<&mut BankComponent> {
+        self.index.get(&id).map(|&s| &mut self.comps[s])
+    }
+
+    fn slot_mut(&mut self, slot: u32) -> &mut BankComponent {
+        &mut self.comps[slot as usize]
+    }
+
+    /// The components in id order (the dispatch kernels' map order).
+    fn values_ordered(&self) -> impl Iterator<Item = &BankComponent> {
+        self.index.values().map(|&s| &self.comps[s])
+    }
+
+    /// Visits every bank mutably in id order, with its slot and id.
+    fn for_each_ordered_mut(&mut self, mut f: impl FnMut(u32, BankId, &mut BankComponent)) {
+        let Self { comps, index, .. } = self;
+        for (&id, &slot) in index.iter() {
+            f(slot as u32, id, &mut comps[slot]);
+        }
     }
 }
 
@@ -590,7 +687,7 @@ pub struct System {
     graph: TaskGraph,
     binding: MemoryBinding,
     tasks: Vec<TaskComponent>,
-    banks: BTreeMap<BankId, BankComponent>,
+    banks: BankSet,
     routes: Vec<RouteComponent>,
     route_of_channel: BTreeMap<ChannelId, usize>,
     arbiters: Vec<ArbiterComponent>,
@@ -598,7 +695,10 @@ pub struct System {
     channel_guards: BTreeMap<(TaskId, ChannelId), ArbiterId>,
     starvation_bound: u64,
     select_line: rcarb_core::line::SharedLineKind,
-    legacy_kernel: bool,
+    kernel: KernelKind,
+    /// The batched kernel's SoA mirror; `Some` exactly when `kernel`
+    /// is [`KernelKind::BatchedSoa`].
+    soa: Option<BatchedState>,
     watchdog: WatchdogConfig,
     recovery: RecoveryPolicy,
     cycle: u64,
@@ -658,7 +758,7 @@ impl System {
             data.len() <= seg.words() as usize,
             "data overruns segment {segment}"
         );
-        let Some(bank) = self.banks.get_mut(&place.bank) else {
+        let Some(bank) = self.banks.get_mut(place.bank) else {
             return Err(rcarb_core::Error::UnknownBank {
                 bank: place.bank,
                 segment,
@@ -697,7 +797,7 @@ impl System {
             len <= seg.words() as usize,
             "range overruns segment {segment}"
         );
-        let Some(bank) = self.banks.get(&place.bank) else {
+        let Some(bank) = self.banks.get(place.bank) else {
             return Err(rcarb_core::Error::UnknownBank {
                 bank: place.bank,
                 segment,
@@ -708,16 +808,52 @@ impl System {
             .collect())
     }
 
+    /// Applies every outstanding deferred blocked-cycle count (batched
+    /// kernel only; no-op elsewhere): stall cycles, bulk starvation
+    /// ticks, and wake accounting, exactly as if each parked task had
+    /// been stepped on every cycle it sat waiting. Called before
+    /// recovery may mutate task state and before the run report reads
+    /// the stall/starvation totals.
+    fn flush_deferred_waits(&mut self) {
+        let cycle = self.cycle;
+        let Self {
+            tasks,
+            monitor,
+            wakes,
+            soa,
+            ..
+        } = self;
+        let Some(soa) = soa.as_mut() else { return };
+        for (i, n) in soa.deferred_waits.iter_mut().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let span = std::mem::take(n);
+            tasks[i].note_stalled(span);
+            if let Some(a) = tasks[i].plain_grant_wait() {
+                let vs = monitor.tick_waiting_n(tasks[i].id(), a, span, cycle - span);
+                debug_assert!(vs.is_empty(), "deferred wait crossed an armed bound");
+            }
+            if let Some(w) = wakes.as_mut() {
+                w.tasks[i] += span;
+            }
+        }
+    }
+
     /// Runs until every task completes, `max_cycles` elapse, or the
     /// no-progress watchdog halts a deadlocked run recovery cannot
     /// restart.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
         let progress_bound = self.watchdog.progress_bound;
+        let skipping = self.kernel != KernelKind::Legacy;
         while self.cycle < max_cycles && !self.all_done() {
-            // Deadlock/livelock watchdog: both kernels measure the gap
+            // Deadlock/livelock watchdog: every kernel measures the gap
             // in *simulated* cycles since the last cycle that advanced
             // any task, so they fire at the identical cycle.
             if progress_bound != u64::MAX && self.cycle - self.last_progress >= progress_bound {
+                // Recovery may scrub or re-route task state; settle all
+                // deferred wait accounting first.
+                self.flush_deferred_waits();
                 let from = self.monitor.violations().len();
                 self.monitor.push(Violation::NoProgress {
                     cycle: self.cycle,
@@ -727,14 +863,14 @@ impl System {
                     // Recovery restarted the protocol: grant a fresh
                     // progress window and keep running.
                     self.last_progress = self.cycle;
-                    if !self.legacy_kernel {
-                        self.refresh_wakes();
+                    if skipping {
+                        self.refresh();
                     }
                 } else {
                     break;
                 }
             }
-            if !self.legacy_kernel {
+            if skipping {
                 let skippable = self.clamp_skip(self.scheduler.skippable(self.cycle, max_cycles));
                 if skippable > 0 {
                     self.skip_cycles(skippable);
@@ -742,15 +878,19 @@ impl System {
                 }
             }
             let from = self.monitor.violations().len();
-            self.step_cycle();
+            match self.kernel {
+                KernelKind::BatchedSoa => self.step_batched(),
+                _ => self.step_cycle(),
+            }
             if self.faults.is_some() {
                 self.process_new_violations(from);
             }
             self.note_progress();
-            if !self.legacy_kernel {
-                self.refresh_wakes();
+            if skipping {
+                self.refresh();
             }
         }
+        self.flush_deferred_waits();
         let completed = self.all_done();
         let mut violations = self.monitor.violations().to_vec();
         violations.extend(self.monitor.starvation_violations(self.starvation_bound));
@@ -984,14 +1124,52 @@ impl System {
                 }
             }
         }
+        let mut structural = false;
         for (bank, cycle) in quarantine {
-            acted |= self.quarantine_bank(bank, cycle);
+            let moved = self.quarantine_bank(bank, cycle);
+            acted |= moved;
+            structural |= moved;
         }
         for (channel, cycle) in reroute {
             self.reroute_channel(channel, cycle);
             acted = true;
+            structural = true;
+        }
+        if structural {
+            // Quarantine moved placements (and added a bank slot);
+            // re-route grew the route set. The batched kernel's flat
+            // tables mirror both, so rebuild them.
+            self.rebuild_batched_tables();
         }
         acted
+    }
+
+    /// Rebuilds the batched kernel's flat lookup tables after a
+    /// structural recovery (quarantine or re-route) mutated the binding,
+    /// the bank set or the routing. No-op for the dispatch kernels.
+    fn rebuild_batched_tables(&mut self) {
+        let Self {
+            tasks,
+            banks,
+            routes,
+            binding,
+            segment_guards,
+            channel_guards,
+            route_of_channel,
+            soa,
+            ..
+        } = self;
+        if let Some(soa) = soa.as_mut() {
+            soa.tables = DenseTables::new(
+                tasks.len(),
+                binding,
+                segment_guards,
+                channel_guards,
+                route_of_channel,
+                banks.ids(),
+            );
+            soa.arena.ensure(banks.len(), routes.len());
+        }
     }
 
     /// Migrates a quarantined bank's role onto a spare board bank:
@@ -1000,7 +1178,7 @@ impl System {
     /// when no spare with enough capacity exists — the fault then stays
     /// unrecovered in the report.
     fn quarantine_bank(&mut self, bank: BankId, cycle: u64) -> bool {
-        let Some(old) = self.banks.get(&bank) else {
+        let Some(old) = self.banks.get(bank) else {
             return false;
         };
         let needed = old.capacity();
@@ -1015,7 +1193,7 @@ impl System {
         let mut fresh = BankComponent::new(BankModel::new(spare, words));
         let segments = self.binding.segments_in(bank);
         {
-            let old = self.banks.get_mut(&bank).expect("checked above");
+            let old = self.banks.get_mut(bank).expect("checked above");
             for &seg in &segments {
                 let place = self.binding.placement(seg).expect("segment is in bank");
                 for i in 0..self.graph.segment(seg).words() {
@@ -1177,7 +1355,7 @@ impl System {
             for (bank, accesses) in &bank_accesses {
                 // Accesses come from placements validated in try_build,
                 // so the bank is modelled; degrade gracefully otherwise.
-                let Some(b) = banks.get_mut(bank) else {
+                let Some(b) = banks.get_mut(*bank) else {
                     continue;
                 };
                 match b.resolve(accesses) {
@@ -1204,9 +1382,9 @@ impl System {
             }
             // 4b. Fig. 4 select-line discipline on every shared bank.
             let select_line = self.select_line;
-            for (bank, b) in banks.iter_mut() {
-                b.check_select(cycle, bank_accesses.get(bank), select_line, monitor);
-            }
+            banks.for_each_ordered_mut(|_slot, bank, b| {
+                b.check_select(cycle, bank_accesses.get(&bank), select_line, monitor);
+            });
         }
         // 5. Routes resolve, after any live bit-flip faults corrupt
         // words in flight (the flip is on the wire, before the latch).
@@ -1307,9 +1485,320 @@ impl System {
                 return;
             }
         }
-        for (i, b) in self.banks.values().enumerate() {
+        for (i, b) in self.banks.values_ordered().enumerate() {
             if b.wake(now) == Wake::Active {
                 self.scheduler.mark_active(CompId::Bank(i));
+                return;
+            }
+        }
+    }
+
+    /// Post-cycle wake refresh, dispatched per kernel (the legacy
+    /// kernel never refreshes — it executes every cycle).
+    fn refresh(&mut self) {
+        match self.kernel {
+            KernelKind::Legacy => {}
+            KernelKind::Event => self.refresh_wakes(),
+            KernelKind::BatchedSoa => self.refresh_batched(),
+        }
+    }
+
+    /// Executes one cycle through the batched structure-of-arrays path:
+    /// the same five phases as [`step_cycle`](Self::step_cycle), with
+    /// request words read from the incremental matrix, FSMs stepped in
+    /// the word-level lanes, and traffic carried in the reused arena.
+    fn step_batched(&mut self) {
+        let cycle = self.cycle;
+        let retry_reads = self.recovery.retry_reads;
+        let select_line = self.select_line;
+        let Self {
+            graph,
+            tasks,
+            banks,
+            routes,
+            arbiters,
+            monitor,
+            tracer,
+            faults,
+            wakes,
+            soa,
+            ..
+        } = self;
+        let soa = soa.as_mut().expect("batched kernel state");
+        let BatchedState {
+            matrix,
+            lanes,
+            arena,
+            tables,
+            wake_list,
+            deferred_waits,
+        } = soa;
+        // 1. Release newly runnable tasks. Releasing *inside* the
+        // ascending pass reproduces the dispatch kernels' index-order
+        // scan exactly: an empty-program predecessor that completes on
+        // release lets a later-indexed successor start this same cycle.
+        wake_list.drain_ready(|t| {
+            let id = tasks[t as usize].id();
+            let ready = graph
+                .predecessors(id)
+                .iter()
+                .all(|p| tasks[p.index()].status() == TaskStatus::Done);
+            if ready {
+                tasks[t as usize].release(cycle);
+            }
+            ready
+        });
+        wake_list.commit_released(|t| tasks[t as usize].status() == TaskStatus::Running);
+        // 2. Arbiters sample the request lines — straight out of the
+        // matrix, no reassembly. Fault perturbation and the multi-grant
+        // check are identical to the dispatch path.
+        arena.begin_cycle();
+        for (i, a) in arbiters.iter_mut().enumerate() {
+            let mut word = matrix.word(i);
+            if let Some(fc) = faults.as_mut() {
+                word = fc.perturb_requests(a.id(), cycle, word, |t| a.port_of(t));
+            }
+            let mut grant = match lanes.as_mut() {
+                Some(l) => {
+                    let g = l.step(i, word);
+                    a.note_batch_step(word, g);
+                    g
+                }
+                None => a.step_with_word(word),
+            };
+            if let Some(fc) = faults.as_mut() {
+                grant = fc.perturb_grant(a.id(), cycle, grant);
+            }
+            if grant.count_ones() > 1 {
+                monitor.push(Violation::MultipleGrants {
+                    cycle,
+                    arbiter: a.id(),
+                    grants: grant,
+                });
+            }
+            arena.request_words[i] = word;
+            arena.grants[i] = grant;
+        }
+        if let Some(tracer) = tracer.as_mut() {
+            tracer.sample_cycle_words(cycle, arbiters, &arena.request_words, &arena.grants);
+        }
+        // 3. Tasks execute — only the ones in the running list, through
+        // the SoA environment. With faults absent and every per-cycle
+        // wait watchdog disarmed, a task parked in a plain grant or
+        // data wait is not stepped at all: its only effects that cycle
+        // (one stall cycle, one starvation tick, one wake) go into
+        // `deferred_waits` and are bulk-applied the moment it would do
+        // anything else. The totals are order-independent sums, no
+        // crossing can fire while disarmed, and a parked task drives
+        // no request edges — so reports, VCD and memory stay
+        // byte-identical to the dispatch kernels.
+        {
+            let defer_ok = faults.is_none() && !monitor.wait_bounds_armed();
+            let mut env = BatchedEnv {
+                cycle,
+                arbiters: arbiters.as_slice(),
+                routes: routes.as_slice(),
+                monitor: &mut *monitor,
+                arena: &mut *arena,
+                matrix: &mut *matrix,
+                tables,
+                faults: &mut *faults,
+                retry_reads,
+            };
+            for &ti in wake_list.running() {
+                let i = ti as usize;
+                if defer_ok {
+                    let t = &tasks[i];
+                    let parked = if let Some(a) = t.plain_grant_wait() {
+                        env.matrix
+                            .port_of(a.index(), t.id())
+                            .is_some_and(|p| env.arena.grants[a.index()] >> p & 1 == 0)
+                    } else if let Some(ch) = t.awaiting_data() {
+                        env.tables
+                            .route_of(ch)
+                            .is_none_or(|r| env.routes[r as usize].read(ch).is_none())
+                    } else {
+                        false
+                    };
+                    if parked {
+                        deferred_waits[i] += 1;
+                        continue;
+                    }
+                }
+                let n = deferred_waits[i];
+                if n != 0 {
+                    deferred_waits[i] = 0;
+                    tasks[i].note_stalled(n);
+                    if let Some(a) = tasks[i].plain_grant_wait() {
+                        let vs = env.monitor.tick_waiting_n(tasks[i].id(), a, n, cycle - n);
+                        debug_assert!(vs.is_empty(), "deferred wait crossed an armed bound");
+                    }
+                    if let Some(w) = wakes.as_mut() {
+                        w.tasks[i] += n;
+                    }
+                }
+                tasks[i].step_cycle(&mut env);
+                if let Some(w) = wakes.as_mut() {
+                    w.tasks[i] += 1;
+                }
+            }
+        }
+        // 4. Banks resolve, in id order (the dispatch kernels' map
+        // order — quarantine can append a spare whose id is out of slot
+        // order).
+        arena.sort_touched_banks(banks.ids());
+        for &slot in arena.touched_banks() {
+            let bank = banks.ids()[slot as usize];
+            let b = banks.slot_mut(slot);
+            match b.resolve(arena.accesses(slot)) {
+                BankOutcome::Conflict { tasks: offenders } => {
+                    monitor.push(Violation::BankConflict {
+                        cycle,
+                        bank,
+                        tasks: offenders,
+                    });
+                }
+                BankOutcome::Ok {
+                    task,
+                    read_value: Some(v),
+                } => {
+                    if let Some(&(_, _, dst, mask)) = arena
+                        .pending_reads
+                        .iter()
+                        .find(|(bk, t, _, _)| *bk == bank && *t == task)
+                    {
+                        tasks[task.index()].set_var(dst, v ^ mask);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // 4b. Fig. 4 select-line discipline on every shared bank.
+        banks.for_each_ordered_mut(|slot, _bank, b| {
+            b.check_select(cycle, arena.accesses_of(slot), select_line, monitor);
+        });
+        // 5. Routes resolve, after any live bit-flip faults corrupt
+        // words in flight.
+        arena.sort_touched_routes();
+        if let Some(fc) = faults.as_mut() {
+            arena.for_each_route_mut(|r, sends| {
+                for s in sends.iter_mut() {
+                    if let Some(mask) = fc.channel_flip(s.channel, r as usize, cycle) {
+                        s.value ^= mask;
+                        monitor.push(Violation::ChannelFault {
+                            cycle,
+                            channel: s.channel,
+                            bit: mask.trailing_zeros(),
+                        });
+                    }
+                }
+            });
+        }
+        arena.for_each_route(|r, sends| {
+            let outcome = routes[r as usize].resolve(sends);
+            if let RouteOutcome::Conflict { tasks: offenders } = outcome {
+                if routes[r as usize].shared() {
+                    monitor.push(Violation::RouteConflict {
+                        cycle,
+                        route: r as usize,
+                        tasks: offenders,
+                    });
+                }
+            }
+        });
+        if let Some(w) = wakes.as_mut() {
+            w.arbiters += arbiters.len() as u64;
+            w.banks += arena.touched_banks().len() as u64;
+            w.routes += arena.touched_routes().len() as u64;
+        }
+        // Retire tasks that completed this cycle.
+        wake_list.retire(|t| tasks[t as usize].status() == TaskStatus::Running);
+        self.cycle += 1;
+        self.scheduler.record_executed();
+    }
+
+    /// The batched kernel's wake refresh: same quiescence questions as
+    /// [`refresh_wakes`](Self::refresh_wakes), asked of the dense
+    /// running/pending lists and the incremental request matrix instead
+    /// of full component scans. The skip decision (quiescent or not,
+    /// earliest timer) is order-independent, so visiting running tasks
+    /// before pending ones is outcome-identical to the event kernel's
+    /// interleaved index scan.
+    fn refresh_batched(&mut self) {
+        let now = self.cycle; // next cycle to execute
+        self.scheduler.begin_refresh();
+        let Self {
+            graph,
+            tasks,
+            banks,
+            routes,
+            arbiters,
+            scheduler,
+            soa,
+            ..
+        } = self;
+        let soa = soa.as_ref().expect("batched kernel state");
+        for &ti in soa.wake_list.running() {
+            let i = ti as usize;
+            let t = &tasks[i];
+            match t.wake(now) {
+                Wake::Active => {
+                    scheduler.mark_active(CompId::Task(i));
+                    return;
+                }
+                Wake::Timer(c) => scheduler.wake_at(c, CompId::Task(i)),
+                Wake::Idle => {
+                    // A blocked Recv wakes when data lands in its route
+                    // register. (A blocked AwaitGrant is covered by the
+                    // arbiter steadiness check below.)
+                    if let Some(ch) = t.awaiting_data() {
+                        let data_ready = soa
+                            .tables
+                            .route_of(ch)
+                            .and_then(|r| routes[r as usize].read(ch))
+                            .is_some();
+                        if data_ready {
+                            scheduler.mark_active(CompId::Task(i));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        for &ti in soa.wake_list.pending() {
+            let i = ti as usize;
+            let ready = graph
+                .predecessors(tasks[i].id())
+                .iter()
+                .all(|p| tasks[p.index()].status() == TaskStatus::Done);
+            if ready {
+                scheduler.mark_active(CompId::Task(i));
+                return;
+            }
+        }
+        // Arbiter steadiness against the post-exec matrix word — the
+        // word it will sample next cycle. In lanes mode the boxed
+        // policy is stale, so the fixed-point promise comes from the
+        // lane FSM itself.
+        for (i, a) in arbiters.iter().enumerate() {
+            let word = soa.matrix.word(i);
+            debug_assert_eq!(word, a.compute_word(tasks), "request matrix out of sync");
+            let steady = match &soa.lanes {
+                Some(l) => {
+                    word == a.last_word()
+                        && l.next_grant(i, word) == Some(a.last_grant())
+                        && a.last_grant().count_ones() <= 1
+                }
+                None => a.steady_for(word),
+            };
+            if !steady {
+                scheduler.mark_active(CompId::Arbiter(i));
+                return;
+            }
+        }
+        for (i, b) in banks.values_ordered().enumerate() {
+            if b.wake(now) == Wake::Active {
+                scheduler.mark_active(CompId::Bank(i));
                 return;
             }
         }
@@ -1498,6 +1987,38 @@ mod tests {
             sys.run(10_000)
         };
         assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn batched_kernel_matches_event_and_skips_identically() {
+        let build = |kernel: KernelKind| {
+            let mut b = TaskGraphBuilder::new("trio");
+            let first = b.task("first", Program::build(|p| p.compute(40)));
+            let second = b.task("second", Program::build(|p| p.compute(7)));
+            let third = b.task("third", Program::empty());
+            b.control_dep(first, second);
+            b.control_dep(third, second);
+            let graph = b.finish().unwrap();
+            let board = rcarb_board::presets::duo_small();
+            let mut sys = SystemBuilder::unarbitrated(
+                &graph,
+                &MemoryBinding::default(),
+                &ChannelMergePlan::default(),
+            )
+            .with_config(SimConfig::new().with_kernel(kernel))
+            .try_build(&board)
+            .unwrap();
+            (sys.run(10_000), sys.kernel_stats())
+        };
+        let (batched_report, batched_stats) = build(KernelKind::BatchedSoa);
+        let (event_report, event_stats) = build(KernelKind::Event);
+        let (legacy_report, _) = build(KernelKind::Legacy);
+        assert_eq!(batched_report, event_report);
+        assert_eq!(batched_report, legacy_report);
+        // The batched kernel must make the *same* skip decisions as the
+        // event kernel, not merely the same report.
+        assert_eq!(batched_stats, event_stats);
+        assert!(batched_stats.skipped_cycles > 0);
     }
 
     #[test]

@@ -26,13 +26,17 @@
 //!   [`RecoveryPolicy`] knobs (scrub/retry/quarantine/re-route);
 //! - [`component`] — the kernel's component layer: tasks, arbiters,
 //!   banks, routes, monitor and tracer as self-contained units with an
-//!   explicit wake/skip contract;
-//! - [`scheduler`] — the event-driven kernel's wake-list/dirty-set
+//!   explicit wake/skip contract, plus the batched kernel's
+//!   structure-of-arrays state (bitset request matrix, word-level
+//!   arbiter FSM lanes, reused traffic arenas, flat lookup tables);
+//! - [`scheduler`] — the skipping kernels' wake-list/dirty-set
 //!   scheduler and its cycle-accounting [`KernelStats`];
 //! - [`engine`] — the simulation kernel: orchestrates the components
 //!   through the shared per-cycle phase order, skipping provably inert
-//!   cycles (the legacy always-execute loop remains behind
-//!   [`SimConfig::legacy_kernel`] as a differential oracle);
+//!   cycles. [`KernelKind`] selects between the batched SoA default,
+//!   the per-component event-driven kernel, and the legacy
+//!   always-execute differential oracle — all three held to identical
+//!   reports, VCD and memory by `tests/kernel_equivalence.rs`;
 //! - [`stats`] — fairness and utilization summaries;
 //! - [`vcd`] — a small VCD waveform writer for request/grant traces.
 //!
@@ -59,7 +63,7 @@ pub mod stats;
 pub mod value;
 pub mod vcd;
 
-pub use config::{SimConfig, WatchdogConfig};
+pub use config::{KernelKind, SimConfig, WatchdogConfig};
 pub use engine::{RunReport, System, SystemBuilder};
 pub use fault::{FaultKind, FaultPlan, FaultReport, FaultTrace, FaultWindow, RecoveryPolicy};
 pub use monitor::Violation;

@@ -172,6 +172,103 @@ impl Scheduler {
     }
 }
 
+/// The batched kernel's arena-backed wake-list: the task indices that
+/// need stepping each cycle, maintained incrementally so the dense
+/// sweep touches only live tasks instead of scanning (and re-checking
+/// the status of) every task every cycle.
+///
+/// Three ascending lists partition the interesting tasks:
+///
+/// - `running` — tasks to step this cycle, in ascending index order
+///   (the order the dispatch kernels step them, so violation and
+///   traffic ordering is preserved);
+/// - `pending` — tasks not yet released, polled against the release
+///   schedule at the top of each cycle;
+/// - `released` — the cycle's scratch buffer of tasks whose release
+///   fired, merged into `running` once their programs have started.
+///
+/// All three buffers are reused across cycles; the only allocations are
+/// the initial builds and growth after a rebuild.
+#[derive(Debug, Default)]
+pub struct WakeList {
+    running: Vec<u32>,
+    pending: Vec<u32>,
+    released: Vec<u32>,
+}
+
+impl WakeList {
+    /// Rebuilds the lists from scratch by classifying all `n` tasks.
+    /// Used at construction and after any structural change.
+    pub fn rebuild(
+        &mut self,
+        n: usize,
+        is_running: impl Fn(usize) -> bool,
+        is_pending: impl Fn(usize) -> bool,
+    ) {
+        self.running.clear();
+        self.pending.clear();
+        self.released.clear();
+        for i in 0..n {
+            if is_running(i) {
+                self.running.push(i as u32);
+            } else if is_pending(i) {
+                self.pending.push(i as u32);
+            }
+        }
+    }
+
+    /// Moves every pending task approved by `ready` into the released
+    /// scratch buffer (clearing any previous cycle's leftovers).
+    pub fn drain_ready(&mut self, mut ready: impl FnMut(u32) -> bool) {
+        let Self {
+            pending, released, ..
+        } = self;
+        released.clear();
+        pending.retain(|&t| {
+            if ready(t) {
+                released.push(t);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// The tasks released this cycle (filled by
+    /// [`drain_ready`](Self::drain_ready)).
+    pub fn released(&self) -> &[u32] {
+        &self.released
+    }
+
+    /// Merges the released tasks `keep` approves into the running list,
+    /// restoring ascending order. `keep` filters out tasks that finished
+    /// during release itself (an empty program is `Done` the moment it
+    /// starts).
+    pub fn commit_released(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let Self {
+            running, released, ..
+        } = self;
+        running.extend(released.drain(..).filter(|&t| keep(t)));
+        running.sort_unstable();
+    }
+
+    /// Drops every running task `still_running` rejects (tasks that
+    /// completed this cycle). Order is preserved.
+    pub fn retire(&mut self, mut still_running: impl FnMut(u32) -> bool) {
+        self.running.retain(|&t| still_running(t));
+    }
+
+    /// The tasks to step this cycle, ascending.
+    pub fn running(&self) -> &[u32] {
+        &self.running
+    }
+
+    /// The tasks not yet released, ascending.
+    pub fn pending(&self) -> &[u32] {
+        &self.pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +318,37 @@ mod tests {
         s.begin_refresh();
         assert!(s.is_quiescent());
         assert_eq!(s.next_wake(), None);
+    }
+
+    #[test]
+    fn wake_list_partitions_and_releases_in_order() {
+        let mut w = WakeList::default();
+        // Tasks 1 and 4 run, 0 and 3 wait for release, 2 is done.
+        w.rebuild(5, |i| i == 1 || i == 4, |i| i == 0 || i == 3);
+        assert_eq!(w.running(), &[1, 4]);
+        assert_eq!(w.pending(), &[0, 3]);
+        // Release task 3 only.
+        w.drain_ready(|t| t == 3);
+        assert_eq!(w.released(), &[3]);
+        assert_eq!(w.pending(), &[0]);
+        w.commit_released(|_| true);
+        // Merged back in ascending order.
+        assert_eq!(w.running(), &[1, 3, 4]);
+        // Task 4 completes.
+        w.retire(|t| t != 4);
+        assert_eq!(w.running(), &[1, 3]);
+    }
+
+    #[test]
+    fn wake_list_commit_filters_instantly_done_tasks() {
+        let mut w = WakeList::default();
+        w.rebuild(2, |_| false, |_| true);
+        w.drain_ready(|_| true);
+        assert_eq!(w.released(), &[0, 1]);
+        // Task 0's empty program finished during release: never runs.
+        w.commit_released(|t| t != 0);
+        assert_eq!(w.running(), &[1]);
+        assert!(w.pending().is_empty());
     }
 
     #[test]

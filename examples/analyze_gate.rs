@@ -8,6 +8,13 @@
 //! there is nothing to replay, so a non-empty outcome list here means the
 //! verifier and the gate disagree — also a failure.
 //!
+//! Each preset then re-runs under a grid of round-robin arbitration
+//! policies — the linear scan and the parallel-prefix network — with
+//! the runtime fairness watchdog armed at the certified `M`: the RCA
+//! `(N-1)(M+2)` certificate must hold on the executing simulator for
+//! every policy the grant contract claims is rotation-equivalent, so a
+//! `FairnessBreach` (or any other violation) fails the gate.
+//!
 //! ```text
 //! cargo run --example analyze_gate
 //! ```
@@ -16,8 +23,15 @@ mod common;
 
 use common::{all_presets, contended_design, fft_flow};
 use rcarb::analyze::AnalyzeConfig;
+use rcarb::arb::policy::PolicyKind;
 use rcarb::prelude::AnalysisReport;
+use rcarb::sim::{SimConfig, WatchdogConfig};
 use std::process;
+
+/// The arbitration policies the fairness certificate must survive at
+/// runtime (both resolve the same round-robin rotation; the prefix
+/// network does it in O(log N) word operations).
+const POLICY_GRID: [PolicyKind; 2] = [PolicyKind::RoundRobin, PolicyKind::PrefixRoundRobin];
 
 fn verdict(name: &str, report: &AnalysisReport) -> bool {
     let ok = report.is_clean();
@@ -58,6 +72,36 @@ fn main() {
                 board.name()
             );
             ok = false;
+        }
+        // Policy grid: the certified (N-1)(M+2) bound must hold on the
+        // executing simulator under every rotation-equivalent policy,
+        // enforced by the runtime fairness watchdog.
+        for policy in POLICY_GRID {
+            let sim = SimConfig::new()
+                .with_policy(policy)
+                .with_watchdog(WatchdogConfig::none().with_fairness_m(config.max_burst));
+            let clean = match planned.simulate(sim, 100_000) {
+                Ok(run) => {
+                    if !run.clean() {
+                        println!(
+                            "  {:<24} {policy} violations: {:?}",
+                            board.name(),
+                            run.violations
+                        );
+                    }
+                    run.clean()
+                }
+                Err(e) => {
+                    println!("  {:<24} {policy} simulation error: {e}", board.name());
+                    false
+                }
+            };
+            println!(
+                "  {:<24} fairness watchdog under {policy:<10} [{}]",
+                board.name(),
+                if clean { "ok" } else { "FAIL" }
+            );
+            ok &= clean;
         }
     }
 

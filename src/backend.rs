@@ -112,6 +112,7 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, Error> {
         "fifo" => Ok(PolicyKind::Fifo),
         "static-priority" => Ok(PolicyKind::StaticPriority),
         "preemptive-rr" => Ok(PolicyKind::PreemptiveRoundRobin),
+        "prefix-rr" => Ok(PolicyKind::PrefixRoundRobin),
         other => Err(bad_request(format!("unknown policy `{other}`"))),
     }
 }
@@ -341,8 +342,13 @@ impl SimulateOptions {
     pub fn to_spec(&self) -> Result<SimulateSpec, Error> {
         let mut config = rcarb_sim::config::SimConfig::new()
             .with_policy(parse_policy(&self.policy)?)
-            .with_cosim(self.cosim)
-            .with_legacy_kernel(self.legacy_kernel);
+            .with_cosim(self.cosim);
+        // `legacy_kernel: false` means "the default kernel" over the
+        // wire (batched SoA), not the event kernel the back-compat
+        // `with_legacy_kernel(false)` shim selects.
+        if self.legacy_kernel {
+            config = config.with_kernel(rcarb_sim::KernelKind::Legacy);
+        }
         if let Some(bound) = self.starvation_bound {
             config = config.with_starvation_bound(bound);
         }

@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use rcarb::arb::policy::Policy;
+use rcarb::arb::prefix::{prefix_first_requester, PrefixRoundRobin};
 use rcarb::arb::rr::{round_robin_fsm, RoundRobinArbiter};
 use rcarb::logic::encode::EncodingStyle;
 use rcarb::logic::tools::ToolModel;
@@ -85,7 +86,7 @@ proptest! {
     fn every_policy_upholds_the_grant_contract(
         n in 1usize..=10,
         stream in proptest::collection::vec(0u64..1024, 1..300),
-        kind_idx in 0usize..5,
+        kind_idx in 0usize..rcarb::arb::policy::PolicyKind::ALL.len(),
     ) {
         let kind = rcarb::arb::policy::PolicyKind::ALL[kind_idx];
         let mut arb = rcarb::arb::policy::build(kind, n);
@@ -98,12 +99,67 @@ proptest! {
         }
     }
 
-    /// Under continuous all-ones requests with single-access holds, the
-    /// round-robin arbiter serves every task within (N-1) turnarounds of
-    /// other tasks (Sec. 4.1's bound).
+    /// The parallel-prefix round-robin arbiter is grant-identical to the
+    /// linear-scan oracle on every cycle of every request stream, *and*
+    /// its `next_grant` steadiness promise is word-for-word the same —
+    /// so the batched kernel's skip decisions cannot depend on which
+    /// resolution circuit an arbiter uses.
     #[test]
-    fn grant_wait_is_bounded_by_n_minus_one_turnarounds(n in 2usize..=10) {
-        let mut arb = RoundRobinArbiter::new(n);
+    fn prefix_round_robin_matches_linear_oracle(
+        n in 1usize..=16,
+        stream in proptest::collection::vec(0u64..65536, 1..300),
+    ) {
+        let mut fast = PrefixRoundRobin::new(n);
+        let mut slow = RoundRobinArbiter::new(n);
+        let mask = (1u64 << n) - 1;
+        for raw in stream {
+            let req = raw & mask;
+            // Steadiness must be judged against the word *before* the
+            // step, the way the refresh phase consults it.
+            prop_assert_eq!(
+                fast.next_grant(req), slow.next_grant(req),
+                "steadiness promise diverged on req {:#b}", req
+            );
+            let (f, s) = (fast.step(req), slow.step(req));
+            prop_assert_eq!(f, s, "grant diverged on req {:#b}", req);
+            // A steadiness promise, once made, must be kept.
+            if let Some(promised) = slow.next_grant(req) {
+                let mut probe = fast.clone();
+                prop_assert_eq!(probe.step(req), promised);
+            }
+        }
+    }
+
+    /// The prefix network itself is the linear first-requester scan for
+    /// every start offset, not just the ones a grant walk happens to
+    /// visit.
+    #[test]
+    fn prefix_network_is_the_cyclic_scan(
+        n in 1usize..=64,
+        req in any::<u64>(),
+        start_seed in any::<usize>(),
+    ) {
+        let start = start_seed % n;
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let req = req & mask;
+        let linear = (0..n).map(|k| (start + k) % n).find(|&j| req >> j & 1 != 0);
+        prop_assert_eq!(prefix_first_requester(req, start, n), linear);
+    }
+
+    /// Under continuous all-ones requests with single-access holds, the
+    /// round-robin arbiters serve every task within (N-1) turnarounds of
+    /// other tasks (Sec. 4.1's bound) — the O(log N) resolution circuit
+    /// inherits the linear scan's fairness bound exactly.
+    #[test]
+    fn grant_wait_is_bounded_by_n_minus_one_turnarounds(
+        n in 2usize..=10,
+        prefix in any::<bool>(),
+    ) {
+        let mut arb: Box<dyn Policy> = if prefix {
+            Box::new(PrefixRoundRobin::new(n))
+        } else {
+            Box::new(RoundRobinArbiter::new(n))
+        };
         let mask = (1u64 << n) - 1;
         let mut pending = mask;
         let mut cooldown = vec![0u8; n];

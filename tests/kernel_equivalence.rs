@@ -1,25 +1,35 @@
-//! Differential testing of the two simulation kernels.
+//! Differential testing of the three simulation kernels.
 //!
-//! The event-driven kernel skips cycles it can prove inert; the legacy
-//! cycle-scanning kernel executes every cycle unconditionally. For any
-//! design, any policy and any configuration, the two must produce an
-//! *identical* [`RunReport`], identical memory contents and — with
-//! tracing on — byte-identical VCD output. The only permitted
-//! difference is the kernel-private cycle accounting in
-//! [`System::kernel_stats`].
+//! The batched SoA kernel sweeps flat request/grant words and FSM
+//! lanes; the event-driven kernel steps components individually and
+//! skips cycles it can prove inert; the legacy cycle-scanning kernel
+//! executes every cycle unconditionally. For any design, any policy and
+//! any configuration, the three must produce an *identical*
+//! [`RunReport`], identical memory contents and — with tracing on —
+//! byte-identical VCD output. The batched and event kernels must
+//! additionally make the identical skip decisions (equal
+//! [`KernelStats`]); the legacy kernel never skips.
 
 use proptest::prelude::*;
 use rcarb::arb::channel::ChannelMergePlan;
 use rcarb::arb::insertion::{insert_arbiters, InsertionConfig};
 use rcarb::arb::memmap::bind_segments;
+use rcarb::arb::policy::PolicyKind;
 use rcarb::board::presets;
 use rcarb::sim::config::SimConfig;
 use rcarb::sim::engine::{RunReport, SystemBuilder};
-use rcarb::sim::KernelStats;
+use rcarb::sim::{FaultPlan, FaultWindow, KernelKind, KernelStats, RecoveryPolicy, WatchdogConfig};
 use rcarb::taskgraph::builder::TaskGraphBuilder;
 use rcarb::taskgraph::graph::TaskGraph;
 use rcarb::taskgraph::id::{ChannelId, TaskId};
 use rcarb::taskgraph::program::{Expr, Program};
+
+/// Every kernel, in oracle-first order.
+const KERNELS: [KernelKind; 3] = [
+    KernelKind::Legacy,
+    KernelKind::Event,
+    KernelKind::BatchedSoa,
+];
 
 /// A random design: `num_tasks` tasks, each with its own segment and a
 /// random access pattern, all colliding in duo_small's single bank.
@@ -60,9 +70,9 @@ type Observation = (RunReport, Option<String>, Vec<Vec<u64>>, KernelStats);
 fn observe(
     graph: &TaskGraph,
     arbitrated: bool,
-    kind: rcarb::arb::policy::PolicyKind,
+    kind: PolicyKind,
     m: u32,
-    legacy: bool,
+    kernel: KernelKind,
 ) -> Observation {
     let board = presets::duo_small();
     let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
@@ -70,7 +80,7 @@ fn observe(
     let config = SimConfig::new()
         .with_policy(kind)
         .with_trace(true)
-        .with_legacy_kernel(legacy);
+        .with_kernel(kernel);
     let mut sys = if arbitrated {
         let plan = insert_arbiters(
             graph,
@@ -78,9 +88,7 @@ fn observe(
             &merges,
             &InsertionConfig::paper()
                 .with_max_burst(m)
-                .with_await_each_access(
-                    kind == rcarb::arb::policy::PolicyKind::PreemptiveRoundRobin,
-                ),
+                .with_await_each_access(kind == PolicyKind::PreemptiveRoundRobin),
         );
         SystemBuilder::from_plan(&plan, &binding, &merges)
     } else {
@@ -99,25 +107,47 @@ fn observe(
     (report, vcd, memory, sys.kernel_stats())
 }
 
-/// Asserts the two kernels observed the same run, and that the event
-/// kernel's cycle accounting adds up.
-fn assert_equivalent(event: &Observation, legacy: &Observation) {
-    assert_eq!(event.0, legacy.0, "RunReports diverged");
-    assert_eq!(event.1, legacy.1, "VCD output diverged");
-    assert_eq!(event.2, legacy.2, "memory contents diverged");
+/// Asserts the three kernels observed the same run: identical report,
+/// VCD and memory everywhere; identical skip decisions between the two
+/// skipping kernels; full cycle accounting; and a legacy oracle that
+/// never skipped.
+fn assert_equivalent(legacy: &Observation, event: &Observation, batched: &Observation) {
+    for (label, obs) in [("event", event), ("batched", batched)] {
+        assert_eq!(obs.0, legacy.0, "{label} RunReport diverged from legacy");
+        assert_eq!(obs.1, legacy.1, "{label} VCD output diverged from legacy");
+        assert_eq!(obs.2, legacy.2, "{label} memory diverged from legacy");
+        assert_eq!(
+            obs.3.total_cycles(),
+            obs.0.cycles,
+            "{label} kernel accounting does not cover the run"
+        );
+    }
     assert_eq!(
-        event.3.total_cycles(),
-        event.0.cycles,
-        "event kernel accounting does not cover the run"
+        batched.3, event.3,
+        "batched and event kernels made different skip decisions"
     );
     assert_eq!(legacy.3.skipped_cycles, 0, "legacy kernel must never skip");
+}
+
+/// Runs `graph` on all three kernels and asserts full equivalence,
+/// returning the batched observation for scenario-specific checks.
+fn assert_kernels_agree(
+    graph: &TaskGraph,
+    arbitrated: bool,
+    kind: PolicyKind,
+    m: u32,
+) -> Observation {
+    let [legacy, event, batched] =
+        KERNELS.map(|kernel| observe(graph, arbitrated, kind, m, kernel));
+    assert_equivalent(&legacy, &event, &batched);
+    batched
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Arbitrated random designs: every policy, every burst bound, both
-    /// kernels — identical reports, VCD and memory.
+    /// Arbitrated random designs: every policy, every burst bound, all
+    /// three kernels — identical reports, VCD and memory.
     #[test]
     fn kernels_agree_on_arbitrated_designs(
         num_tasks in 2usize..=5,
@@ -126,16 +156,14 @@ proptest! {
             5,
         ),
         m in 1u32..=4,
-        kind_idx in 0usize..5,
+        kind_idx in 0usize..PolicyKind::ALL.len(),
     ) {
         let graph = random_design(num_tasks, &seed_patterns);
-        let kind = rcarb::arb::policy::PolicyKind::ALL[kind_idx];
-        let event = observe(&graph, true, kind, m, false);
-        let legacy = observe(&graph, true, kind, m, true);
-        assert_equivalent(&event, &legacy);
+        let kind = PolicyKind::ALL[kind_idx];
+        assert_kernels_agree(&graph, true, kind, m);
     }
 
-    /// Unarbitrated random designs (bank conflicts and all): both
+    /// Unarbitrated random designs (bank conflicts and all): the
     /// kernels must report the identical violation stream.
     #[test]
     fn kernels_agree_on_unarbitrated_designs(
@@ -146,64 +174,55 @@ proptest! {
         ),
     ) {
         let graph = random_design(num_tasks, &seed_patterns);
-        let kind = rcarb::arb::policy::PolicyKind::RoundRobin;
-        let event = observe(&graph, false, kind, 1, false);
-        let legacy = observe(&graph, false, kind, 1, true);
-        assert_equivalent(&event, &legacy);
+        assert_kernels_agree(&graph, false, PolicyKind::RoundRobin, 1);
     }
 }
 
 /// A producer/consumer pair over a channel: the consumer's blocked
-/// `Recv` spans the producer's long compute, which the event kernel
-/// skips — the wake-on-data path must land on exactly the right cycle.
+/// `Recv` spans the producer's long compute, which the skipping kernels
+/// skip — the wake-on-data path must land on exactly the right cycle.
 #[test]
 fn kernels_agree_on_channel_waits() {
-    let build = || {
-        let mut b = TaskGraphBuilder::new("chan");
-        let seg = b.segment("out", 8, 16);
-        let producer = b.task(
-            "producer",
-            Program::build(|p| {
-                for i in 0..4u64 {
-                    p.compute(37);
-                    p.send(ChannelId::new(0), Expr::lit(100 + i));
-                }
-            }),
-        );
-        let consumer = b.task(
-            "consumer",
-            Program::build(|p| {
-                for i in 0..4u64 {
-                    let v = p.recv(ChannelId::new(0));
-                    p.mem_write(seg, Expr::lit(i), Expr::var(v));
-                    p.compute(3);
-                }
-            }),
-        );
-        let _ = b.channel("c", 16, producer, consumer);
-        b.finish().expect("valid")
-    };
-    let graph = build();
-    let kind = rcarb::arb::policy::PolicyKind::RoundRobin;
-    let event = observe(&graph, false, kind, 1, false);
-    let legacy = observe(&graph, false, kind, 1, true);
-    assert_equivalent(&event, &legacy);
-    assert!(event.0.completed, "producer/consumer must finish");
-    // The consumer waits out most of the producer's computes; the event
-    // kernel must actually skip a meaningful share of them.
+    let mut b = TaskGraphBuilder::new("chan");
+    let seg = b.segment("out", 8, 16);
+    let producer = b.task(
+        "producer",
+        Program::build(|p| {
+            for i in 0..4u64 {
+                p.compute(37);
+                p.send(ChannelId::new(0), Expr::lit(100 + i));
+            }
+        }),
+    );
+    let consumer = b.task(
+        "consumer",
+        Program::build(|p| {
+            for i in 0..4u64 {
+                let v = p.recv(ChannelId::new(0));
+                p.mem_write(seg, Expr::lit(i), Expr::var(v));
+                p.compute(3);
+            }
+        }),
+    );
+    let _ = b.channel("c", 16, producer, consumer);
+    let graph = b.finish().expect("valid");
+    let batched = assert_kernels_agree(&graph, false, PolicyKind::RoundRobin, 1);
+    assert!(batched.0.completed, "producer/consumer must finish");
+    // The consumer waits out most of the producer's computes; the
+    // skipping kernels must actually skip a meaningful share of them.
     assert!(
-        event.3.skipped_cycles > 50,
+        batched.3.skipped_cycles > 50,
         "expected skips across channel waits, got {:?}",
-        event.3
+        batched.3
     );
 }
 
 /// A floating select line (the paper's Fig. 4 hazard, TriState idle
-/// drive) must be detected in the same cycle by both kernels, including
-/// when the event kernel would otherwise be skipping.
+/// drive) must be detected in the same cycle by all three kernels,
+/// including when the skipping kernels would otherwise be skipping.
 #[test]
 fn kernels_agree_on_floating_select_lines() {
-    let observe_tristate = |legacy: bool| {
+    let observe_tristate = |kernel: KernelKind| {
         let mut b = TaskGraphBuilder::new("float");
         let seg = b.segment("S", 16, 16);
         b.task(
@@ -230,34 +249,37 @@ fn kernels_agree_on_floating_select_lines() {
                 SimConfig::new()
                     .with_select_line(rcarb::arb::line::SharedLineKind::TriState)
                     .with_trace(true)
-                    .with_legacy_kernel(legacy),
+                    .with_kernel(kernel),
             )
             .try_build(&board)
             .unwrap();
         let report = sys.run(100_000);
         (report, sys.vcd(), sys.kernel_stats())
     };
-    let (event_report, event_vcd, event_stats) = observe_tristate(false);
-    let (legacy_report, legacy_vcd, _) = observe_tristate(true);
-    assert_eq!(event_report, legacy_report);
-    assert_eq!(event_vcd, legacy_vcd);
+    let [legacy, event, batched] = KERNELS.map(observe_tristate);
+    assert_eq!(event.0, legacy.0);
+    assert_eq!(batched.0, legacy.0);
+    assert_eq!(event.1, legacy.1);
+    assert_eq!(batched.1, legacy.1);
+    assert_eq!(batched.2, event.2, "skip decisions diverged");
     assert!(
-        event_report
+        batched
+            .0
             .violations
             .iter()
             .any(|v| matches!(v, rcarb::sim::monitor::Violation::FloatingSelectLine { .. })),
         "the TriState idle drive must float: {:?}",
-        event_report.violations
+        batched.0.violations
     );
-    assert_eq!(event_stats.total_cycles(), event_report.cycles);
+    assert_eq!(batched.2.total_cycles(), batched.0.cycles);
 }
 
 /// A deadlocked consumer (nobody ever sends) runs to the cycle limit;
-/// the event kernel jumps straight there and both kernels agree on the
-/// timeout report, stall accounting included.
+/// the skipping kernels jump straight there and all three kernels agree
+/// on the timeout report, stall accounting included.
 #[test]
 fn kernels_agree_on_deadlock_timeouts() {
-    let observe_deadlock = |legacy: bool| {
+    let observe_deadlock = |kernel: KernelKind| {
         let mut b = TaskGraphBuilder::new("deadlock");
         let producer = b.task("quiet", Program::build(|p| p.compute(2)));
         let consumer = b.task(
@@ -274,18 +296,19 @@ fn kernels_agree_on_deadlock_timeouts() {
             &rcarb::arb::memmap::MemoryBinding::default(),
             &ChannelMergePlan::default(),
         )
-        .with_config(SimConfig::new().with_legacy_kernel(legacy))
+        .with_config(SimConfig::new().with_kernel(kernel))
         .try_build(&board)
         .unwrap();
         let report = sys.run(5_000);
         (report, sys.kernel_stats())
     };
-    let (event_report, event_stats) = observe_deadlock(false);
-    let (legacy_report, _) = observe_deadlock(true);
-    assert_eq!(event_report, legacy_report);
-    assert!(!event_report.completed);
-    assert_eq!(event_report.cycles, 5_000);
-    let starved = event_report.task(TaskId::new(1));
+    let [legacy, event, batched] = KERNELS.map(observe_deadlock);
+    assert_eq!(event.0, legacy.0);
+    assert_eq!(batched.0, legacy.0);
+    assert_eq!(batched.1, event.1, "skip decisions diverged");
+    assert!(!batched.0.completed);
+    assert_eq!(batched.0.cycles, 5_000);
+    let starved = batched.0.task(TaskId::new(1));
     assert!(starved.finished_at.is_none());
     assert!(
         starved.stall_cycles > 4_000,
@@ -294,8 +317,9 @@ fn kernels_agree_on_deadlock_timeouts() {
     );
     // Nearly the whole timeout is one jump.
     assert!(
-        event_stats.skipped_cycles > 4_900,
-        "expected a deadlock jump, got {event_stats:?}"
+        batched.1.skipped_cycles > 4_900,
+        "expected a deadlock jump, got {:?}",
+        batched.1
     );
 }
 
@@ -303,7 +327,7 @@ fn kernels_agree_on_deadlock_timeouts() {
 /// facade's planning path as well.
 #[test]
 fn kernels_agree_under_starvation_monitoring() {
-    let observe_starved = |legacy: bool| {
+    let observe_starved = |kernel: KernelKind| {
         let mut b = TaskGraphBuilder::new("starve");
         let s0 = b.segment("A", 32, 16);
         let s1 = b.segment("B", 32, 16);
@@ -335,15 +359,153 @@ fn kernels_agree_under_starvation_monitoring() {
             .with_config(
                 SimConfig::new()
                     .with_starvation_bound(3)
-                    .with_legacy_kernel(legacy),
+                    .with_kernel(kernel),
             )
             .try_build(&board)
             .unwrap();
         let report = sys.run(100_000);
         (report, sys.kernel_stats())
     };
-    let (event_report, event_stats) = observe_starved(false);
-    let (legacy_report, _) = observe_starved(true);
-    assert_eq!(event_report, legacy_report);
-    assert_eq!(event_stats.total_cycles(), event_report.cycles);
+    let [legacy, event, batched] = KERNELS.map(observe_starved);
+    assert_eq!(event.0, legacy.0);
+    assert_eq!(batched.0, legacy.0);
+    assert_eq!(batched.1, event.1, "skip decisions diverged");
+    assert_eq!(batched.1.total_cycles(), batched.0.cycles);
+}
+
+/// A seeded fault plan (bank read errors, a grant glitch, a task hang)
+/// with full recovery enabled: the skipping kernels must clamp their
+/// skips to the fault windows so every injection, detection and
+/// recovery lands on the identical cycle in all three kernels — and the
+/// batched kernel's structural-rebuild path (bank quarantine) must
+/// leave its flat tables consistent with the remapped placement.
+#[test]
+fn kernels_agree_under_fault_plans() {
+    let mut b = TaskGraphBuilder::new("faulted");
+    let m1 = b.segment("M1", 64, 16);
+    let m2 = b.segment("M2", 64, 16);
+    b.task(
+        "T0",
+        Program::build(move |p| {
+            for i in 0..12u64 {
+                p.mem_write(m1, Expr::lit(i), Expr::lit(7 + i));
+                let _ = p.mem_read(m1, Expr::lit(i));
+            }
+        }),
+    );
+    b.task(
+        "T1",
+        Program::build(move |p| {
+            for i in 0..12u64 {
+                p.mem_write(m2, Expr::lit(i), Expr::lit(100 + i));
+            }
+        }),
+    );
+    let graph = b.finish().expect("valid");
+    let board = presets::duo_small();
+    let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+    let bank = binding.used_banks()[0];
+    let plan = FaultPlan::seeded(123)
+        .with_bank_read_error(bank, 600, FaultWindow::new(10, 600))
+        .with_grant_glitch(rcarb::taskgraph::id::ArbiterId::new(0), 1, 25)
+        .with_task_hang(TaskId::new(1), FaultWindow::new(40, 60));
+    let observe_faulted = |kernel: KernelKind| {
+        let merges = ChannelMergePlan::default();
+        let arb_plan = insert_arbiters(&graph, &binding, &merges, &InsertionConfig::paper());
+        let mut sys = SystemBuilder::from_plan(&arb_plan, &binding, &merges)
+            .with_config(
+                SimConfig::new()
+                    .with_trace(true)
+                    .with_watchdog(WatchdogConfig::none().with_grant_timeout(32))
+                    .with_recovery(RecoveryPolicy::full())
+                    .with_kernel(kernel),
+            )
+            .with_faults(plan.clone())
+            .try_build(&board)
+            .unwrap();
+        let report = sys.run(100_000);
+        let faults = sys.fault_report();
+        let vcd = sys.vcd();
+        let memory: Vec<Vec<u64>> = graph
+            .segments()
+            .iter()
+            .map(|s| sys.try_read_segment(s.id(), s.words() as usize).unwrap())
+            .collect();
+        (report, faults, vcd, memory, sys.kernel_stats())
+    };
+    let [legacy, event, batched] = KERNELS.map(observe_faulted);
+    for (label, obs) in [("event", &event), ("batched", &batched)] {
+        assert_eq!(obs.0, legacy.0, "{label} RunReport diverged under faults");
+        assert_eq!(obs.1, legacy.1, "{label} FaultReport diverged");
+        assert_eq!(obs.2, legacy.2, "{label} VCD diverged under faults");
+        assert_eq!(obs.3, legacy.3, "{label} memory diverged under faults");
+    }
+    assert_eq!(batched.4, event.4, "skip decisions diverged under faults");
+    assert!(batched.1.injected > 0, "the plan must actually fire");
+}
+
+/// Watchdogs armed (grant timeout, fairness cross-check, no-progress
+/// bound) over a contended design: the watchdog cycle bookkeeping must
+/// survive skipping identically in all three kernels.
+#[test]
+fn kernels_agree_under_watchdogs() {
+    let mut b = TaskGraphBuilder::new("watchdog");
+    let s0 = b.segment("A", 32, 16);
+    let s1 = b.segment("B", 32, 16);
+    b.task(
+        "left",
+        Program::build(|p| {
+            for i in 0..16u64 {
+                p.mem_write(s0, Expr::lit(i % 32), Expr::lit(i));
+                p.compute(2);
+            }
+        }),
+    );
+    b.task(
+        "right",
+        Program::build(|p| {
+            p.compute(30);
+            for i in 0..8u64 {
+                let _ = p.mem_read(s1, Expr::lit(i));
+            }
+        }),
+    );
+    let graph = b.finish().expect("valid");
+    let observe_watched = |kernel: KernelKind| {
+        let board = presets::duo_small();
+        let binding = bind_segments(graph.segments(), &board, &|_| None).expect("binds");
+        let merges = ChannelMergePlan::default();
+        let plan = insert_arbiters(
+            &graph,
+            &binding,
+            &merges,
+            &InsertionConfig::paper().with_max_burst(2),
+        );
+        let mut sys = SystemBuilder::from_plan(&plan, &binding, &merges)
+            .with_config(
+                SimConfig::new()
+                    .with_trace(true)
+                    .with_watchdog(
+                        WatchdogConfig::none()
+                            .with_grant_timeout(64)
+                            .with_fairness_m(2)
+                            .with_progress_bound(512),
+                    )
+                    .with_kernel(kernel),
+            )
+            .try_build(&board)
+            .unwrap();
+        let report = sys.run(100_000);
+        (report, sys.vcd(), sys.kernel_stats())
+    };
+    let [legacy, event, batched] = KERNELS.map(observe_watched);
+    assert_eq!(event.0, legacy.0);
+    assert_eq!(batched.0, legacy.0);
+    assert_eq!(event.1, legacy.1);
+    assert_eq!(batched.1, legacy.1);
+    assert_eq!(
+        batched.2, event.2,
+        "skip decisions diverged under watchdogs"
+    );
+    assert_eq!(legacy.2.skipped_cycles, 0);
 }
