@@ -9,7 +9,12 @@
 //!
 //! - request latency p50/p99 (microseconds) and sustained throughput;
 //! - the server's admission counters (max queue depth, batching);
-//! - the equivalence verdict (checked count, zero mismatches).
+//! - the equivalence verdict (checked count, zero mismatches);
+//! - a `chaos` section from a third phase that re-runs a workload
+//!   behind a mild seeded transport-fault injector through the
+//!   retrying client: matched/typed-error/io-error counts, retry and
+//!   reconnect totals, and latency under faults. Every chaos request
+//!   must be accounted for (zero lost, zero corrupt decodes).
 //!
 //! ```text
 //! cargo run -p rcarb-bench --release --bin loadgen [-- --smoke] [-- --out PATH]
@@ -20,18 +25,25 @@
 //! The process exits non-zero on any dropped request, error response,
 //! or byte mismatch, so CI can gate on it directly.
 
-use rcarb::backend::{SimulateOptions, SimulateRequest, SweepRequest, SynthesizeRequest};
+use rcarb::backend::{
+    InProcessBackend, SimulateOptions, SimulateRequest, SweepRequest, SynthesizeRequest,
+};
 use rcarb_board::presets;
+use rcarb_core::rng::mix3;
 use rcarb_json::Json;
 use rcarb_obs::ObsConfig;
-use rcarb_serve::{Client, RequestBody, ServeConfig, Server};
+use rcarb_serve::chaos::{ChaosConfig, ChaosRates};
+use rcarb_serve::{
+    dispatch, is_checksum_mismatch, Client, ErrorCode, RequestBody, ResponseBody, RetryPolicy,
+    RobustClient, ServeConfig, Server,
+};
 use rcarb_taskgraph::builder::TaskGraphBuilder;
 use rcarb_taskgraph::graph::TaskGraph;
 use rcarb_taskgraph::program::{Expr, Program};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Workload shape for one run.
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +196,24 @@ fn drive(shape: Shape, make_client: impl Fn(u64) -> Client + Sync) -> RunOutcome
     outcome
 }
 
+/// Aggregated outcome of the chaos phase: every request is classified
+/// into exactly one bucket, so `matched + typed_errors + io_errors +
+/// corrupt_decodes` must equal the request count — nothing lost.
+#[derive(Default)]
+struct ChaosTally {
+    matched: u64,
+    typed_errors: u64,
+    io_errors: u64,
+    corrupt_decodes: u64,
+    latencies_us: Vec<u64>,
+    attempts: u64,
+    retries: u64,
+    reconnects: u64,
+    goaway: u64,
+    deadline_misses: u64,
+    transport_errors: u64,
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -240,7 +270,7 @@ fn main() {
     let _ = std::fs::remove_file(&sock);
 
     // --- Phase 2: byte-identical replay over the in-memory transport. ----
-    let replay_server = Server::in_process(cfg);
+    let replay_server = Server::in_process(cfg.clone());
     let mut replay_client = Client::in_memory(&replay_server).with_tenant("replay");
     let mut checked = 0u64;
     let mut mismatches = 0u64;
@@ -255,6 +285,121 @@ fn main() {
         }
     }
     replay_server.shutdown();
+
+    // --- Phase 3: mild chaos over the Unix socket. ------------------------
+    // A fresh daemon behind a seeded transport-fault injector. Every
+    // request must either match the fault-free answer or end in a
+    // definite typed error; a silent divergence or a corrupt decode
+    // that slips past the frame CRC fails the run.
+    let chaos_seed: u64 = 0xC4A0;
+    let chaos_conns: u64 = if smoke { 4 } else { 8 };
+    let chaos_per_conn: u64 = if smoke { 16 } else { 48 };
+    let chaos_server = Server::in_process(ServeConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..cfg
+    });
+    let chaos_sock =
+        std::env::temp_dir().join(format!("rcarb-loadgen-chaos-{}.sock", std::process::id()));
+    chaos_server
+        .listen_uds(&chaos_sock)
+        .expect("bind chaos socket");
+    eprintln!(
+        "loadgen: chaos phase, {} conns x {} requests under mild seeded faults (seed {chaos_seed:#x})",
+        chaos_conns, chaos_per_conn
+    );
+    let oracle = InProcessBackend::new();
+    let chaos_started = Instant::now();
+    let tally: Arc<Mutex<ChaosTally>> = Arc::new(Mutex::new(ChaosTally::default()));
+    thread::scope(|scope| {
+        for conn in 0..chaos_conns {
+            let tally = Arc::clone(&tally);
+            let sock = chaos_sock.clone();
+            let oracle = &oracle;
+            scope.spawn(move || {
+                // Each reconnect gets fresh — but fully deterministic —
+                // weather: the connection seed folds in a per-client
+                // dial counter.
+                let mut dial = 0u64;
+                let mut client = RobustClient::new(
+                    move || {
+                        let stream = std::os::unix::net::UnixStream::connect(&sock)?;
+                        let reader = stream.try_clone()?;
+                        let conn_seed = mix3(chaos_seed, (conn << 16) | dial, 0xC0);
+                        dial += 1;
+                        let (cr, cw) =
+                            ChaosConfig::new(conn_seed, ChaosRates::mild()).wrap(reader, stream);
+                        Ok(Client::from_parts(cr, cw))
+                    },
+                    RetryPolicy::quick(mix3(chaos_seed, conn, 0xB0)),
+                )
+                .with_tenant(format!("chaos-{conn}"))
+                .with_timeout(Some(Duration::from_secs(10)))
+                .with_deadline_ms(Some(5_000));
+                let mut local = ChaosTally::default();
+                for seq in 0..chaos_per_conn {
+                    let id = request_id(conn, seq);
+                    let body = body_for(id);
+                    let expected = dispatch(oracle, &body);
+                    let t0 = Instant::now();
+                    match client.call_with_id(id, body) {
+                        Ok(ref got) if got == &expected => {
+                            local.matched += 1;
+                            local.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        }
+                        Ok(ResponseBody::Error(e))
+                            if matches!(
+                                e.code,
+                                ErrorCode::Transport
+                                    | ErrorCode::GoAway
+                                    | ErrorCode::QuotaExceeded
+                                    | ErrorCode::DeadlineExceeded
+                            ) =>
+                        {
+                            local.typed_errors += 1;
+                        }
+                        Ok(other) => {
+                            eprintln!("loadgen: chaos request {id} diverged: {other:?}");
+                            local.corrupt_decodes += 1;
+                        }
+                        Err(e) => {
+                            if e.kind() == std::io::ErrorKind::InvalidData
+                                && !is_checksum_mismatch(&e)
+                            {
+                                eprintln!("loadgen: chaos request {id} corrupt decode: {e}");
+                                local.corrupt_decodes += 1;
+                            } else {
+                                local.io_errors += 1;
+                            }
+                        }
+                    }
+                }
+                let stats = client.stats();
+                let mut tally = tally.lock().expect("tally lock");
+                tally.matched += local.matched;
+                tally.typed_errors += local.typed_errors;
+                tally.io_errors += local.io_errors;
+                tally.corrupt_decodes += local.corrupt_decodes;
+                tally.latencies_us.extend(local.latencies_us);
+                tally.attempts += stats.attempts;
+                tally.retries += stats.retries;
+                tally.reconnects += stats.reconnects;
+                tally.goaway += stats.goaway;
+                tally.deadline_misses += stats.deadline_misses;
+                tally.transport_errors += stats.transport_errors;
+            });
+        }
+    });
+    let chaos_elapsed_s = chaos_started.elapsed().as_secs_f64();
+    chaos_server.shutdown();
+    let _ = std::fs::remove_file(&chaos_sock);
+    let mut chaos = Arc::try_unwrap(tally)
+        .unwrap_or_else(|_| panic!("chaos threads joined"))
+        .into_inner()
+        .expect("tally lock");
+    chaos.latencies_us.sort_unstable();
+    let chaos_total = chaos_conns * chaos_per_conn;
+    let chaos_lost = chaos_total
+        - (chaos.matched + chaos.typed_errors + chaos.io_errors + chaos.corrupt_decodes);
 
     // --- Report. ----------------------------------------------------------
     let mut lat = uds.latencies_us.clone();
@@ -293,6 +438,32 @@ fn main() {
                 ("mismatches", Json::from(mismatches)),
             ]),
         ),
+        (
+            "chaos",
+            obj(vec![
+                ("seed", Json::from(chaos_seed)),
+                ("requests", Json::from(chaos_total)),
+                ("matched", Json::from(chaos.matched)),
+                ("typed_errors", Json::from(chaos.typed_errors)),
+                ("io_errors", Json::from(chaos.io_errors)),
+                ("corrupt_decodes", Json::from(chaos.corrupt_decodes)),
+                ("lost", Json::from(chaos_lost)),
+                ("attempts", Json::from(chaos.attempts)),
+                ("retries", Json::from(chaos.retries)),
+                ("reconnects", Json::from(chaos.reconnects)),
+                ("goaway", Json::from(chaos.goaway)),
+                ("deadline_misses", Json::from(chaos.deadline_misses)),
+                ("transport_errors", Json::from(chaos.transport_errors)),
+                (
+                    "latency_us",
+                    obj(vec![
+                        ("p50", Json::from(percentile(&chaos.latencies_us, 0.50))),
+                        ("p99", Json::from(percentile(&chaos.latencies_us, 0.99))),
+                    ]),
+                ),
+                ("elapsed_s", Json::from(chaos_elapsed_s)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, report.to_string_pretty()).expect("write report");
     eprintln!(
@@ -300,12 +471,28 @@ fn main() {
          max queue depth {}, {checked} replayed, {mismatches} mismatches -> {out_path}",
         daemon_stats.max_queue_depth
     );
+    eprintln!(
+        "loadgen: chaos {chaos_total} requests -> {} matched, {} typed errors, {} io errors, \
+         {} retries, {} reconnects, p99 {}us",
+        chaos.matched,
+        chaos.typed_errors,
+        chaos.io_errors,
+        chaos.retries,
+        chaos.reconnects,
+        percentile(&chaos.latencies_us, 0.99)
+    );
 
     let dropped = shape.total() - total;
-    if dropped > 0 || uds.errors > 0 || mismatches > 0 {
+    if dropped > 0
+        || uds.errors > 0
+        || mismatches > 0
+        || chaos_lost > 0
+        || chaos.corrupt_decodes > 0
+    {
         eprintln!(
-            "loadgen: FAILED (dropped={dropped} errors={} mismatches={mismatches})",
-            uds.errors
+            "loadgen: FAILED (dropped={dropped} errors={} mismatches={mismatches} \
+             chaos_lost={chaos_lost} corrupt_decodes={})",
+            uds.errors, chaos.corrupt_decodes
         );
         std::process::exit(1);
     }

@@ -1,0 +1,442 @@
+//! Deterministic transport-fault injection.
+//!
+//! [`ChaosConfig::wrap`] puts a seeded fault layer between a client and
+//! its transport — TCP, Unix socket, or the in-memory pipe — injecting
+//! the failure classes real networks produce: corrupted bytes, partial
+//! writes, truncated frames, mid-request disconnects, stalled reads
+//! (slow-loris from the peer's perspective) and delayed delivery.
+//!
+//! **Every decision is a pure function of `(seed, byte offset,
+//! direction)`** via [`rcarb_core::rng::mix3`] — the same stateless
+//! keyed draw the simulator's fault plans use. Keying on the byte
+//! *offset* rather than the read/write call count is what makes a seed
+//! byte-identical: the OS is free to chunk a socket read differently on
+//! every run, but byte 517 of the response stream is corrupted (or not)
+//! regardless of which `read` call delivers it. The chaos-equivalence
+//! suite leans on exactly this to assert that identical seeds reproduce
+//! identical outcome sequences.
+//!
+//! Faults come in two severities:
+//!
+//! - **Transient** (`delay`): a short nap, then normal delivery — the
+//!   request still succeeds byte-identically.
+//! - **Killing** (`corrupt`, `disconnect`, `stall`): the connection is
+//!   dead from that byte onward. Corruption is detected by the frame
+//!   CRC (never decoded), disconnects surface as
+//!   `ConnectionReset`/`BrokenPipe`, stalls as `TimedOut`. A client
+//!   must reconnect; the retry policy decides whether the request is
+//!   safe to resend.
+//!
+//! The wrapper sits at the same boundary as production side effects
+//! (the byte stream), so surviving it certifies the real client/server
+//! machinery, not a mock.
+
+use crate::transport::TimedRead;
+use rcarb_core::rng::mix3;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-byte fault rates, in parts per million, plus the nap applied to
+/// delay faults (and before a stall error returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRates {
+    /// One byte is XOR-flipped (caught by the frame CRC).
+    pub corrupt_ppm: u32,
+    /// The connection dies at this byte (`ConnectionReset` on reads,
+    /// `BrokenPipe` on writes).
+    pub disconnect_ppm: u32,
+    /// The stream stalls at this byte: a nap, then `TimedOut`, and the
+    /// connection is dead — what a hung peer looks like through a read
+    /// timeout.
+    pub stall_ppm: u32,
+    /// Delivery of this byte is delayed by one nap, then proceeds.
+    pub delay_ppm: u32,
+    /// Sleep length for delay and stall faults. Decisions are
+    /// deterministic; the nap only makes them observable as latency.
+    pub nap: Duration,
+}
+
+impl ChaosRates {
+    /// No faults at all (the wrapper becomes a transparent shim).
+    pub fn off() -> Self {
+        Self {
+            corrupt_ppm: 0,
+            disconnect_ppm: 0,
+            stall_ppm: 0,
+            delay_ppm: 0,
+            nap: Duration::ZERO,
+        }
+    }
+
+    /// Production-plausible background noise: roughly one fault per few
+    /// thousand bytes. Most requests sail through untouched.
+    pub fn mild() -> Self {
+        Self {
+            corrupt_ppm: 150,
+            disconnect_ppm: 100,
+            stall_ppm: 50,
+            delay_ppm: 300,
+            nap: Duration::from_micros(200),
+        }
+    }
+
+    /// Hostile-network weather: roughly one fault per few hundred
+    /// bytes, so nearly every seed exercises several failure classes.
+    pub fn rough() -> Self {
+        Self {
+            corrupt_ppm: 1200,
+            disconnect_ppm: 800,
+            stall_ppm: 400,
+            delay_ppm: 1500,
+            nap: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A seeded chaos layer: the seed plus the per-byte rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for every draw. Identical seeds (over identical request
+    /// sequences) produce identical byte-level behavior.
+    pub seed: u64,
+    /// Per-byte fault rates.
+    pub rates: ChaosRates,
+}
+
+impl ChaosConfig {
+    /// A seeded config with the given rates.
+    pub fn new(seed: u64, rates: ChaosRates) -> Self {
+        Self { seed, rates }
+    }
+
+    /// Wraps a transport's read/write halves in the chaos layer. The
+    /// two halves share a "dead" latch: once any killing fault fires,
+    /// both directions refuse further traffic, like a closed socket.
+    pub fn wrap<R, W>(self, reader: R, writer: W) -> (ChaosReader<R>, ChaosWriter<W>)
+    where
+        R: TimedRead,
+        W: Write,
+    {
+        let dead = Arc::new(AtomicBool::new(false));
+        (
+            ChaosReader {
+                inner: reader,
+                cfg: self,
+                offset: 0,
+                dead: Arc::clone(&dead),
+            },
+            ChaosWriter {
+                inner: writer,
+                cfg: self,
+                offset: 0,
+                dead,
+            },
+        )
+    }
+}
+
+/// What the draw at one byte offset decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Corrupt,
+    Disconnect,
+    Stall,
+    Delay,
+}
+
+impl Fault {
+    fn kills_before_delivery(self) -> bool {
+        matches!(self, Fault::Disconnect | Fault::Stall)
+    }
+}
+
+/// Direction salts keep the two byte streams' draws independent.
+const SALT_READ: u64 = 0x52;
+const SALT_WRITE: u64 = 0x57;
+/// Chunk draws use a disjoint salt space from fault draws.
+const SALT_CHUNK: u64 = 0x100;
+
+/// Largest number of bytes one chaotic read/write call moves; small so
+/// frame codecs see adversarial split points constantly.
+const CHUNK_MAX: u64 = 48;
+
+fn draw(cfg: &ChaosConfig, offset: u64, dir: u64) -> (Fault, u8) {
+    let word = mix3(cfg.seed, offset, dir);
+    let roll = (word % 1_000_000) as u32;
+    let r = &cfg.rates;
+    let mut bound = r.corrupt_ppm;
+    let fault = if roll < bound {
+        Fault::Corrupt
+    } else if roll < {
+        bound += r.disconnect_ppm;
+        bound
+    } {
+        Fault::Disconnect
+    } else if roll < {
+        bound += r.stall_ppm;
+        bound
+    } {
+        Fault::Stall
+    } else if roll < {
+        bound += r.delay_ppm;
+        bound
+    } {
+        Fault::Delay
+    } else {
+        Fault::None
+    };
+    // A guaranteed-nonzero XOR mask from independent bits of the draw.
+    let mask = ((word >> 32) as u8) | 1;
+    (fault, mask)
+}
+
+fn chunk(cfg: &ChaosConfig, offset: u64, dir: u64) -> usize {
+    (1 + mix3(cfg.seed, offset, dir + SALT_CHUNK) % CHUNK_MAX) as usize
+}
+
+/// The read half of a chaotic connection.
+#[derive(Debug)]
+pub struct ChaosReader<R> {
+    inner: R,
+    cfg: ChaosConfig,
+    offset: u64,
+    dead: Arc<AtomicBool>,
+}
+
+/// The write half of a chaotic connection.
+#[derive(Debug)]
+pub struct ChaosWriter<W> {
+    inner: W,
+    cfg: ChaosConfig,
+    offset: u64,
+    dead: Arc<AtomicBool>,
+}
+
+impl<R: TimedRead> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        if self.dead.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection already dead",
+            ));
+        }
+        // The byte about to be read decides the fate of this call.
+        let (fault, _) = draw(&self.cfg, self.offset, SALT_READ);
+        match fault {
+            Fault::Stall => {
+                self.dead.store(true, Ordering::Release);
+                std::thread::sleep(self.cfg.rates.nap);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("chaos: read stalled at byte {}", self.offset),
+                ));
+            }
+            Fault::Disconnect => {
+                self.dead.store(true, Ordering::Release);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("chaos: peer vanished at byte {}", self.offset),
+                ));
+            }
+            Fault::Delay => std::thread::sleep(self.cfg.rates.nap),
+            _ => {}
+        }
+        let cap = chunk(&self.cfg, self.offset, SALT_READ).min(buf.len());
+        let n = self.inner.read(&mut buf[..cap])?;
+        if n == 0 {
+            return Ok(0);
+        }
+        // Deliver only up to (not including) the first killing fault
+        // inside the chunk; it fires on the next call, at its offset.
+        let mut deliver = n;
+        for i in 1..n {
+            let (f, _) = draw(&self.cfg, self.offset + i as u64, SALT_READ);
+            if f.kills_before_delivery() {
+                deliver = i;
+                break;
+            }
+        }
+        let mut napped = false;
+        for (i, slot) in buf.iter_mut().enumerate().take(deliver) {
+            let (f, mask) = draw(&self.cfg, self.offset + i as u64, SALT_READ);
+            match f {
+                Fault::Corrupt => *slot ^= mask,
+                Fault::Delay if i > 0 && !napped => {
+                    std::thread::sleep(self.cfg.rates.nap);
+                    napped = true;
+                }
+                _ => {}
+            }
+        }
+        self.offset += deliver as u64;
+        Ok(deliver)
+    }
+}
+
+impl<R: TimedRead> TimedRead for ChaosReader<R> {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.dead.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: connection already dead",
+            ));
+        }
+        let (fault, _) = draw(&self.cfg, self.offset, SALT_WRITE);
+        match fault {
+            Fault::Stall => {
+                self.dead.store(true, Ordering::Release);
+                std::thread::sleep(self.cfg.rates.nap);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("chaos: write stalled at byte {}", self.offset),
+                ));
+            }
+            Fault::Disconnect => {
+                self.dead.store(true, Ordering::Release);
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("chaos: peer vanished at byte {}", self.offset),
+                ));
+            }
+            Fault::Delay => std::thread::sleep(self.cfg.rates.nap),
+            _ => {}
+        }
+        let cap = chunk(&self.cfg, self.offset, SALT_WRITE).min(buf.len());
+        let mut deliver = cap;
+        for i in 1..cap {
+            let (f, _) = draw(&self.cfg, self.offset + i as u64, SALT_WRITE);
+            if f.kills_before_delivery() {
+                deliver = i;
+                break;
+            }
+        }
+        let mut out = buf[..deliver].to_vec();
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (f, mask) = draw(&self.cfg, self.offset + i as u64, SALT_WRITE);
+            if f == Fault::Corrupt {
+                *slot ^= mask;
+            }
+        }
+        self.inner.write_all(&out)?;
+        self.offset += deliver as u64;
+        Ok(deliver)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex;
+
+    /// Feeds `total` bytes through a chaos reader with the given buffer
+    /// sizes, recording what arrives and how the stream ends.
+    fn run_reader(seed: u64, total: usize, sizes: &[usize]) -> (Vec<u8>, Option<io::ErrorKind>) {
+        let (mut tx, rx) = duplex();
+        let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        tx.write_all(&payload).unwrap();
+        drop(tx);
+        let (mut reader, _writer) =
+            ChaosConfig::new(seed, ChaosRates::rough()).wrap(rx, std::io::sink());
+        let mut seen = Vec::new();
+        let mut sizes = sizes.iter().copied().cycle();
+        loop {
+            let mut buf = vec![0u8; sizes.next().unwrap().max(1)];
+            match reader.read(&mut buf) {
+                Ok(0) => return (seen, None),
+                Ok(n) => seen.extend_from_slice(&buf[..n]),
+                Err(e) => return (seen, Some(e.kind())),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_is_chunking_invariant() {
+        // The whole design point: the delivered byte sequence and the
+        // terminal outcome depend only on the seed, not on how the
+        // caller sizes its reads.
+        for seed in 0..32 {
+            let a = run_reader(seed, 4096, &[1]);
+            let b = run_reader(seed, 4096, &[7, 64, 3]);
+            let c = run_reader(seed, 4096, &[1024]);
+            assert_eq!(a, b, "seed {seed}: 1-byte vs mixed reads diverged");
+            assert_eq!(a, c, "seed {seed}: 1-byte vs bulk reads diverged");
+        }
+    }
+
+    #[test]
+    fn zero_rates_are_a_transparent_shim() {
+        let (mut tx, rx) = duplex();
+        let payload: Vec<u8> = (0..2048).map(|i| (i % 256) as u8).collect();
+        tx.write_all(&payload).unwrap();
+        drop(tx);
+        let (mut reader, _w) = ChaosConfig::new(9, ChaosRates::off()).wrap(rx, std::io::sink());
+        let mut seen = Vec::new();
+        reader.read_to_end(&mut seen).unwrap();
+        assert_eq!(seen, payload);
+    }
+
+    #[test]
+    fn rough_rates_eventually_kill_most_streams() {
+        let mut killed = 0;
+        for seed in 0..64 {
+            let (_, end) = run_reader(seed, 8192, &[64]);
+            if end.is_some() {
+                killed += 1;
+            }
+        }
+        // ~1.2 killing faults per thousand bytes over 8 KiB: nearly
+        // every stream should die. (Exact count is seed-determined.)
+        assert!(killed > 48, "only {killed}/64 streams were killed");
+    }
+
+    // Short writes are the point here: chaos chunks every write, and
+    // the loop only cares about the eventual killing fault.
+    #[allow(clippy::unused_io_amount)]
+    #[test]
+    fn writer_faults_poison_the_shared_connection() {
+        let (client, mut server) = duplex();
+        let (rx, tx) = client.into_split();
+        let (mut reader, mut writer) = ChaosConfig::new(3, ChaosRates::rough()).wrap(rx, tx);
+        // Pump writes until a killing fault fires.
+        let blob = [0x5au8; 64];
+        let err = loop {
+            match writer.write(&blob) {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::BrokenPipe | io::ErrorKind::TimedOut
+            ),
+            "{err}"
+        );
+        // The read half shares the dead latch.
+        server.write_all(b"too late").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            reader.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+    }
+}

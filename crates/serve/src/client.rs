@@ -1,26 +1,43 @@
-//! A blocking client for the frame protocol.
+//! Blocking clients for the frame protocol.
 //!
-//! One [`Client`] owns one connection — TCP, Unix-socket, or the
-//! in-memory transport — and speaks frames. [`call`](Client::call) is
-//! the simple request/response path; [`send`](Client::send) /
-//! [`recv`](Client::recv) expose pipelining (many requests in flight on
-//! one connection, responses correlated by id, possibly out of order).
+//! [`Client`] owns one connection — TCP, Unix-socket, or the in-memory
+//! transport — and speaks frames. [`call`](Client::call) is the simple
+//! request/response path; [`send`](Client::send) / [`recv`](Client::recv)
+//! expose pipelining (many requests in flight on one connection,
+//! responses correlated by id, possibly out of order).
+//!
+//! [`RobustClient`] wraps a connector with the failure handling a real
+//! deployment needs: per-request read timeouts, reconnect on a broken
+//! connection, and a seeded exponential-backoff [`RetryPolicy`]. It
+//! auto-retries **only** failures where the request provably never
+//! reached dispatch — a connect failure, a write that errored before the
+//! frame completed, or a typed server rejection whose `retryable` hint
+//! is `true` (quota, `GoAway`, wire damage). A read failure *after* a
+//! successful write is never auto-retried: the server may already be
+//! executing that request, and blind resends are how work gets
+//! duplicated.
 
 use crate::frame::{read_frame, write_frame};
 use crate::server::Server;
-use crate::transport::InMemoryStream;
-use crate::wire::{RequestBody, RequestFrame, ResponseBody, ResponseFrame};
-use std::io::{self, Read, Write};
+use crate::transport::{InMemoryStream, TimedRead};
+use crate::wire::{ErrorCode, RequestBody, RequestFrame, ResponseBody, ResponseFrame};
+use rcarb_core::rng::mix3;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
 
 /// A connected protocol client.
 pub struct Client {
-    reader: Box<dyn Read + Send>,
+    reader: Box<dyn TimedRead + Send>,
     writer: Box<dyn Write + Send>,
     tenant: String,
+    deadline_ms: Option<u64>,
     next_id: u64,
 }
 
@@ -28,13 +45,14 @@ impl Client {
     /// Wraps an already-connected transport.
     pub fn from_parts<R, W>(reader: R, writer: W) -> Self
     where
-        R: Read + Send + 'static,
+        R: TimedRead + Send + 'static,
         W: Write + Send + 'static,
     {
         Self {
             reader: Box::new(reader),
             writer: Box::new(writer),
             tenant: "default".to_owned(),
+            deadline_ms: None,
             next_id: 1,
         }
     }
@@ -77,6 +95,30 @@ impl Client {
         self
     }
 
+    /// Sets the deadline budget (milliseconds) stamped on every
+    /// subsequent request; `None` sends no deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Changes the stamped deadline budget in place.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Bounds how long [`recv`](Self::recv) waits for a response.
+    /// Expired waits surface as [`io::ErrorKind::TimedOut`] or
+    /// [`io::ErrorKind::WouldBlock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's configuration error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.set_read_timeout(timeout)
+    }
+
     /// Sends one request without waiting; returns its correlation id.
     ///
     /// # Errors
@@ -99,6 +141,7 @@ impl Client {
         let frame = RequestFrame {
             id,
             tenant: self.tenant.clone(),
+            deadline_ms: self.deadline_ms,
             body,
         };
         let payload = rcarb_json::to_string(&frame).into_bytes();
@@ -110,7 +153,8 @@ impl Client {
     /// # Errors
     ///
     /// Returns [`io::ErrorKind::UnexpectedEof`] if the server hung up,
-    /// or [`io::ErrorKind::InvalidData`] on an unparseable response.
+    /// [`io::ErrorKind::InvalidData`] on an unparseable response, or a
+    /// timeout error if a read timeout is set and elapsed.
     pub fn recv(&mut self) -> io::Result<ResponseFrame> {
         Ok(self.recv_with_bytes()?.0)
     }
@@ -174,6 +218,7 @@ impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("tenant", &self.tenant)
+            .field("deadline_ms", &self.deadline_ms)
             .field("next_id", &self.next_id)
             .finish_non_exhaustive()
     }
@@ -184,5 +229,308 @@ impl From<InMemoryStream> for Client {
     fn from(stream: InMemoryStream) -> Self {
         let (reader, writer) = stream.into_split();
         Self::from_parts(reader, writer)
+    }
+}
+
+/// When and how [`RobustClient`] retries.
+///
+/// Backoff is exponential from `base_delay` (doubling per attempt,
+/// capped at `max_delay`) with deterministic jitter drawn from
+/// `mix3(seed, request_id, attempt)` — two clients with the same seed
+/// sleep identically, which keeps chaos runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A small, fast policy suited to tests and local daemons: four
+    /// attempts, 1 ms base, 50 ms ceiling.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            seed,
+        }
+    }
+
+    /// The jittered sleep before retry number `attempt` (1-based) of
+    /// request `id`: uniform in `[exp/2, exp)` where `exp` is the
+    /// capped exponential step.
+    fn backoff(&self, attempt: u32, id: u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay.max(self.base_delay));
+        let span = exp.as_micros().max(1) as u64;
+        let jitter = mix3(self.seed, id, u64::from(attempt)) % span;
+        Duration::from_micros(span / 2 + jitter / 2)
+    }
+}
+
+/// Counters a [`RobustClient`] keeps about its own failure handling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Send attempts, including retries.
+    pub attempts: u64,
+    /// Retries performed (attempts beyond each request's first).
+    pub retries: u64,
+    /// Reconnections after the first successful connect.
+    pub reconnects: u64,
+    /// `GoAway` rejections observed.
+    pub goaway: u64,
+    /// `DeadlineExceeded` rejections observed.
+    pub deadline_misses: u64,
+    /// Transport-level failures observed (typed `Transport` responses
+    /// plus local write errors).
+    pub transport_errors: u64,
+}
+
+rcarb_json::impl_json_struct!(ClientStats {
+    attempts,
+    retries,
+    reconnects,
+    goaway,
+    deadline_misses,
+    transport_errors,
+});
+
+/// Where a single attempt failed — determines retry eligibility.
+enum AttemptError {
+    /// Could not (re)connect: nothing was sent, retry is free.
+    Connect(io::Error),
+    /// The write errored, so the frame is incomplete on the wire; the
+    /// server can never parse it, so a resend cannot double-execute.
+    Send(io::Error),
+    /// The write succeeded but the read failed. The server may be
+    /// executing the request right now — never auto-retried.
+    Recv(io::Error),
+}
+
+/// A self-healing client: reconnects, retries, backs off.
+pub struct RobustClient {
+    connector: Box<dyn FnMut() -> io::Result<Client> + Send>,
+    conn: Option<Client>,
+    policy: RetryPolicy,
+    tenant: String,
+    timeout: Option<Duration>,
+    deadline_ms: Option<u64>,
+    ever_connected: bool,
+    next_id: u64,
+    stats: ClientStats,
+}
+
+impl RobustClient {
+    /// Wraps any connector (a closure producing fresh [`Client`]s).
+    pub fn new<F>(connector: F, policy: RetryPolicy) -> Self
+    where
+        F: FnMut() -> io::Result<Client> + Send + 'static,
+    {
+        Self {
+            connector: Box::new(connector),
+            conn: None,
+            policy,
+            tenant: "default".to_owned(),
+            timeout: Some(Duration::from_secs(10)),
+            deadline_ms: None,
+            ever_connected: false,
+            next_id: 1,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// A robust client that (re)connects over TCP.
+    pub fn tcp(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let addr = addr.into();
+        Self::new(move || Client::connect_tcp(&*addr), policy)
+    }
+
+    /// A robust client that (re)connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn uds(path: impl Into<PathBuf>, policy: RetryPolicy) -> Self {
+        let path = path.into();
+        Self::new(move || Client::connect_uds(&path), policy)
+    }
+
+    /// Sets the tenant stamped on every request.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets the per-request read timeout (default 10 s; `None` waits
+    /// forever).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the deadline budget stamped on every request.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// This client's failure-handling counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// One request with the full robustness treatment: timeout,
+    /// reconnect, typed-error-aware retry with seeded backoff.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's transport error once the policy is
+    /// exhausted, or immediately for failures that are unsafe to retry
+    /// (a read failure after a successful write).
+    pub fn call(&mut self, body: RequestBody) -> io::Result<ResponseBody> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.call_with_id(id, body)
+    }
+
+    /// [`call`](Self::call) under a caller-chosen correlation id.
+    ///
+    /// # Errors
+    ///
+    /// As in [`call`](Self::call).
+    pub fn call_with_id(&mut self, id: u64, body: RequestBody) -> io::Result<ResponseBody> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.attempts += 1;
+            match self.try_once(id, &body) {
+                Ok(response) => {
+                    if let ResponseBody::Error(e) = &response {
+                        match e.code {
+                            ErrorCode::GoAway => self.stats.goaway += 1,
+                            ErrorCode::DeadlineExceeded => self.stats.deadline_misses += 1,
+                            ErrorCode::Transport => self.stats.transport_errors += 1,
+                            _ => {}
+                        }
+                        // The server hangs up after protocol-level
+                        // rejections and during drains: start the next
+                        // attempt on a fresh connection.
+                        if matches!(e.code, ErrorCode::Transport | ErrorCode::GoAway) {
+                            self.conn = None;
+                        }
+                        if e.retryable && attempt < self.policy.max_attempts {
+                            self.stats.retries += 1;
+                            thread::sleep(self.policy.backoff(attempt, id));
+                            continue;
+                        }
+                    }
+                    return Ok(response);
+                }
+                Err(AttemptError::Connect(e)) => {
+                    if attempt < self.policy.max_attempts {
+                        self.stats.retries += 1;
+                        thread::sleep(self.policy.backoff(attempt, id));
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(AttemptError::Send(e)) => {
+                    // The frame never completed, so the server never saw
+                    // this request: resending the same id is safe.
+                    self.conn = None;
+                    self.stats.transport_errors += 1;
+                    if attempt < self.policy.max_attempts {
+                        self.stats.retries += 1;
+                        thread::sleep(self.policy.backoff(attempt, id));
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(AttemptError::Recv(e)) => {
+                    // The request may be executing server-side. Surface
+                    // the error; retrying is the caller's decision.
+                    self.conn = None;
+                    self.stats.transport_errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Liveness probe with the full robustness treatment.
+    ///
+    /// # Errors
+    ///
+    /// As in [`call`](Self::call), or [`io::ErrorKind::InvalidData`] on
+    /// a non-`Pong` answer.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.call_with_id(id, RequestBody::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Pong, got {other:?}"),
+            )),
+        }
+    }
+
+    fn try_once(&mut self, id: u64, body: &RequestBody) -> Result<ResponseBody, AttemptError> {
+        if self.conn.is_none() {
+            let mut fresh = (self.connector)()
+                .map_err(AttemptError::Connect)?
+                .with_tenant(self.tenant.clone());
+            fresh
+                .set_read_timeout(self.timeout)
+                .map_err(AttemptError::Connect)?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(fresh);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        conn.set_deadline_ms(self.deadline_ms);
+        conn.send_with_id(id, body.clone())
+            .map_err(AttemptError::Send)?;
+        loop {
+            let frame = conn.recv().map_err(AttemptError::Recv)?;
+            // id 0 is a protocol-level rejection for whatever was sent
+            // last — ours. Frames for other ids would only appear if the
+            // caller pipelined around this client; skip them.
+            if frame.id == id || frame.id == 0 {
+                return Ok(frame.body);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RobustClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobustClient")
+            .field("tenant", &self.tenant)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
     }
 }

@@ -18,6 +18,15 @@
 //! pool. The synthesis cache and the exec pool are process-wide, so
 //! every session shares warm state.
 //!
+//! The crate is chaos-hardened: frames carry CRC-32 checksums so wire
+//! damage is a typed [`ErrorCode::Transport`] answer instead of a
+//! corrupt decode, requests can carry deadlines the server sheds
+//! expired work against, [`RobustClient`] retries only failures that
+//! provably never dispatched, [`Server::shutdown`] drains gracefully
+//! (answering in-flight work, `GoAway` for the rest), and the seeded
+//! [`chaos`] transport wrapper lets tests replay exact fault schedules
+//! across every transport.
+//!
 //! ```
 //! use rcarb_serve::{Client, RequestBody, ResponseBody, ServeConfig, Server};
 //! use rcarb::backend::SynthesizeRequest;
@@ -33,16 +42,21 @@
 //! }
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::Client;
-pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
-pub use server::{ServeConfig, ServeStats, Server};
-pub use transport::{duplex, InMemoryStream};
+pub use chaos::{ChaosConfig, ChaosRates};
+pub use client::{Client, ClientStats, RetryPolicy, RobustClient};
+pub use frame::{
+    crc32, is_checksum_mismatch, read_frame, read_frame_event, write_frame, ChecksumMismatch,
+    FrameEvent, DEFAULT_READ_TIMEOUT, HEADER_LEN, MAX_FRAME_LEN,
+};
+pub use server::{DrainReport, ServeConfig, ServeStats, Server};
+pub use transport::{duplex, pipe, InMemoryStream, PipeReader, PipeWriter, TimedRead};
 pub use wire::{
     decode_request, dispatch, encode_response, ErrorCode, RequestBody, RequestFrame, ResponseBody,
     ResponseFrame, WireError,

@@ -3,14 +3,54 @@
 //! [`duplex`] returns two connected [`InMemoryStream`]s. Each implements
 //! blocking [`Read`]/[`Write`] with the same semantics as a socket —
 //! reads park until bytes arrive, closing one end makes the peer's reads
-//! return EOF and its writes fail with `BrokenPipe` — so the production
+//! return EOF and its writes fail with `BrokenPipe`, and read timeouts
+//! surface as `WouldBlock`, exactly like `TcpStream` — so the production
 //! server loop runs over it *unchanged*. This is how the equivalence
 //! tests assert that a served response is byte-identical to an
 //! in-process one: same loop, same codec, different plumbing only.
+//!
+//! [`TimedRead`] is the small capability trait that unifies the
+//! transports: anything the server or client reads frames from must be
+//! able to bound one blocking read, because every robustness property in
+//! this crate (slow-loris defense, per-request client timeouts, the
+//! bounded-time chaos suite) rests on reads that cannot park forever.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A readable transport whose blocking reads can be bounded.
+///
+/// `None` disables the timeout (reads park until bytes, EOF, or error).
+/// With a timeout set, a read that waits longer surfaces
+/// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`] — the
+/// frame layer treats the two identically.
+pub trait TimedRead: Read {
+    /// Bounds subsequent blocking reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport's configuration error (sockets can fail the
+    /// underlying `setsockopt`).
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl TimedRead for TcpStream {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl TimedRead for UnixStream {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
 
 /// One direction of the pipe: a byte queue plus a closed flag.
 #[derive(Debug, Default)]
@@ -33,10 +73,11 @@ impl Shared {
 }
 
 /// The read half of one pipe direction. Blocking; EOF after the writer
-/// closes and the queue drains.
+/// closes and the queue drains; optional read timeout like a socket.
 #[derive(Debug)]
 pub struct PipeReader {
     shared: Arc<Shared>,
+    timeout: Option<Duration>,
 }
 
 /// The write half of one pipe direction. Dropping it closes the
@@ -53,7 +94,10 @@ pub fn pipe() -> (PipeWriter, PipeReader) {
         PipeWriter {
             shared: Arc::clone(&shared),
         },
-        PipeReader { shared },
+        PipeReader {
+            shared,
+            timeout: None,
+        },
     )
 }
 
@@ -78,8 +122,31 @@ impl Read for PipeReader {
             if chan.closed {
                 return Ok(0);
             }
-            chan = self.shared.wake.wait(chan).expect("pipe lock");
+            match self.timeout {
+                None => chan = self.shared.wake.wait(chan).expect("pipe lock"),
+                Some(limit) => {
+                    let (guard, result) = self
+                        .shared
+                        .wake
+                        .wait_timeout(chan, limit)
+                        .expect("pipe lock");
+                    chan = guard;
+                    if result.timed_out() && chan.bytes.is_empty() && !chan.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "pipe read timed out",
+                        ));
+                    }
+                }
+            }
         }
+    }
+}
+
+impl TimedRead for PipeReader {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
     }
 }
 
@@ -136,6 +203,12 @@ impl Read for InMemoryStream {
     }
 }
 
+impl TimedRead for InMemoryStream {
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.set_read_timeout(timeout)
+    }
+}
+
 impl Write for InMemoryStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.writer.write(buf)
@@ -166,6 +239,7 @@ pub fn duplex() -> (InMemoryStream, InMemoryStream) {
 mod tests {
     use super::*;
     use std::thread;
+    use std::time::Instant;
 
     #[test]
     fn bytes_cross_the_duplex_both_ways() {
@@ -198,5 +272,24 @@ mod tests {
         });
         a.write_all(b"hello").unwrap();
         assert_eq!(&t.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn timed_reads_give_up_like_sockets() {
+        let (a, mut b) = duplex();
+        b.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let start = Instant::now();
+        let mut buf = [0u8; 4];
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "read never gave up"
+        );
+        // Bytes written after a timeout are still readable.
+        a.writer.shared.chan.lock().unwrap().bytes.extend(b"late");
+        a.writer.shared.wake.notify_all();
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"late");
     }
 }

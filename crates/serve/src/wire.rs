@@ -1,25 +1,32 @@
 //! The JSON envelope inside each frame.
 //!
-//! A client sends [`RequestFrame`]s — a correlation id, a tenant name
-//! and one [`RequestBody`] — and receives [`ResponseFrame`]s echoing
-//! the id. Bodies are externally tagged (`{"Simulate": {...}}`), and the
-//! payloads are exactly the `rcarb::backend` request/response structs:
-//! the wire adds correlation and error reporting, never semantics.
+//! A client sends [`RequestFrame`]s — a correlation id, a tenant name,
+//! an optional deadline budget and one [`RequestBody`] — and receives
+//! [`ResponseFrame`]s echoing the id. Bodies are externally tagged
+//! (`{"Simulate": {...}}`), and the payloads are exactly the
+//! `rcarb::backend` request/response structs: the wire adds correlation,
+//! deadlines and error reporting, never semantics.
 //!
 //! Responses are deterministic functions of their request (no
 //! timestamps, no server identity), which is what makes the transport
 //! equivalence tests possible: the same request must produce the same
 //! *bytes* in-process and over a socket.
+//!
+//! Every [`WireError`] carries a machine-readable `retryable` hint: it
+//! is `true` exactly when the server guarantees the request **never
+//! reached dispatch** (quota rejection, graceful-drain `GoAway`,
+//! wire-level damage), so a client retry can never duplicate a backend
+//! execution.
 
 use rcarb::backend::{
     AnalyzeRequest, AnalyzeResponse, Backend, PlanRequest, PlanResponse, SimulateRequest,
     SimulateResponse, SweepRequest, SweepResponse, SynthesizeRequest, SynthesizeResponse,
 };
 use rcarb_core::Error;
-use rcarb_json::{FromJson, Json, JsonError, ToJson};
+use rcarb_json::{expect_field, FromJson, Json, JsonError, ToJson};
 
 /// One client request: a correlation id (echoed on the response), the
-/// requesting tenant, and the operation.
+/// requesting tenant, an optional deadline, and the operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestFrame {
     /// Client-chosen correlation id; responses to pipelined requests may
@@ -27,6 +34,12 @@ pub struct RequestFrame {
     pub id: u64,
     /// Tenant name for quota accounting and per-tenant metrics.
     pub tenant: String,
+    /// Optional deadline budget in milliseconds, counted from the
+    /// moment the server decodes the frame. Work that would start after
+    /// the budget elapses is shed with
+    /// [`ErrorCode::DeadlineExceeded`] *before* the backend runs —
+    /// admission, the bounded queue, and worker pickup all honor it.
+    pub deadline_ms: Option<u64>,
     /// The operation to perform.
     pub body: RequestBody,
 }
@@ -88,7 +101,8 @@ pub enum ResponseBody {
     Simulate(SimulateResponse),
     /// Answer to [`RequestBody::Sweep`].
     Sweep(SweepResponse),
-    /// The request failed; the connection stays usable.
+    /// The request failed; the connection stays usable (except after
+    /// protocol-level errors, where the server hangs up).
     Error(WireError),
 }
 
@@ -99,12 +113,17 @@ impl ResponseBody {
     }
 }
 
-/// A served failure: a machine-readable code plus the underlying
-/// error's rendered message.
+/// A served failure: a machine-readable code, a retryability guarantee,
+/// plus the underlying error's rendered message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireError {
     /// Failure classification.
     pub code: ErrorCode,
+    /// `true` exactly when the server guarantees the request never
+    /// reached dispatch, so resending it cannot duplicate a backend
+    /// execution. Client retry policies must refuse to auto-retry
+    /// anything else.
+    pub retryable: bool,
     /// Human-readable detail (the backend error's `Display`).
     pub message: String,
 }
@@ -113,15 +132,28 @@ pub struct WireError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The request itself was malformed (unknown names, bad ranges,
-    /// unparseable payload).
+    /// unparseable payload). Not retryable: the same bytes will fail
+    /// the same way.
     BadRequest,
-    /// The tenant exceeded its in-flight quota; retry after completions.
+    /// The tenant exceeded its in-flight quota; the request was turned
+    /// away at admission, so it is safe to retry after completions.
     QuotaExceeded,
     /// The backend rejected a well-formed request (bind/channel/fault
     /// plan errors — the design, not the protocol, is at fault).
     Backend,
     /// The server failed internally.
     Internal,
+    /// The request's deadline elapsed before the backend ran; the work
+    /// was shed at admission or in the queue. Not retryable — the
+    /// budget is already spent.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and admitted nothing; fail
+    /// over to another instance and retry there.
+    GoAway,
+    /// The frame was damaged in transit (checksum mismatch, truncation,
+    /// a peer stall mid-frame). The request inside was never parsed,
+    /// so resending on a fresh connection is safe.
+    Transport,
 }
 
 rcarb_json::impl_json_unit_enum!(ErrorCode {
@@ -129,13 +161,48 @@ rcarb_json::impl_json_unit_enum!(ErrorCode {
     QuotaExceeded,
     Backend,
     Internal,
+    DeadlineExceeded,
+    GoAway,
+    Transport,
 });
-rcarb_json::impl_json_struct!(WireError { code, message });
-rcarb_json::impl_json_struct!(RequestFrame { id, tenant, body });
+rcarb_json::impl_json_struct!(WireError {
+    code,
+    retryable,
+    message
+});
 rcarb_json::impl_json_struct!(ResponseFrame { id, body });
 
+// RequestFrame's JSON shape is hand-rolled so `deadline_ms` can be
+// omitted or null (older clients never send it).
+impl ToJson for RequestFrame {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_owned(), self.id.to_json()),
+            ("tenant".to_owned(), self.tenant.to_json()),
+            ("deadline_ms".to_owned(), self.deadline_ms.to_json()),
+            ("body".to_owned(), self.body.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RequestFrame {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(field) => Option::<u64>::from_json(field)?,
+        };
+        Ok(Self {
+            id: FromJson::from_json(expect_field(v, "id")?)?,
+            tenant: FromJson::from_json(expect_field(v, "tenant")?)?,
+            deadline_ms,
+            body: FromJson::from_json(expect_field(v, "body")?)?,
+        })
+    }
+}
+
 impl WireError {
-    /// Classifies a backend [`Error`] onto the wire.
+    /// Classifies a backend [`Error`] onto the wire. Never retryable:
+    /// the request reached dispatch.
     pub fn from_backend(err: &Error) -> Self {
         let code = match err {
             Error::Request { .. } | Error::InvalidTaskCount { .. } | Error::InvalidBurst => {
@@ -145,15 +212,57 @@ impl WireError {
         };
         Self {
             code,
+            retryable: false,
             message: err.to_string(),
         }
     }
 
-    /// A quota rejection for `tenant`.
+    /// A quota rejection for `tenant` — turned away at admission, safe
+    /// to retry.
     pub fn quota(tenant: &str, limit: usize) -> Self {
         Self {
             code: ErrorCode::QuotaExceeded,
+            retryable: true,
             message: format!("tenant `{tenant}` is at its in-flight quota ({limit})"),
+        }
+    }
+
+    /// A graceful-drain rejection — the server admitted nothing, fail
+    /// over and retry elsewhere.
+    pub fn goaway() -> Self {
+        Self {
+            code: ErrorCode::GoAway,
+            retryable: true,
+            message: "server is draining for shutdown; no new work admitted".to_owned(),
+        }
+    }
+
+    /// A deadline shed: the budget elapsed at `stage` ("admission" or
+    /// "queue") before the backend ran.
+    pub fn deadline(stage: &str) -> Self {
+        Self {
+            code: ErrorCode::DeadlineExceeded,
+            retryable: false,
+            message: format!("deadline elapsed at {stage} before the backend ran"),
+        }
+    }
+
+    /// A wire-damage rejection: the frame never parsed, so the request
+    /// never existed server-side and a resend is safe.
+    pub fn transport(detail: impl std::fmt::Display) -> Self {
+        Self {
+            code: ErrorCode::Transport,
+            retryable: true,
+            message: detail.to_string(),
+        }
+    }
+
+    /// A malformed-payload rejection (valid frame, bad contents).
+    pub fn bad_request(detail: impl std::fmt::Display) -> Self {
+        Self {
+            code: ErrorCode::BadRequest,
+            retryable: false,
+            message: detail.to_string(),
         }
     }
 }
@@ -284,6 +393,7 @@ mod tests {
         let frame = RequestFrame {
             id: 42,
             tenant: "acme".to_owned(),
+            deadline_ms: Some(1500),
             body: RequestBody::Synthesize(SynthesizeRequest::round_robin(6)),
         };
         let text = rcarb_json::to_string(&frame);
@@ -298,6 +408,61 @@ mod tests {
         let back: ResponseFrame =
             rcarb_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn legacy_requests_without_a_deadline_still_decode() {
+        let text = r#"{"id": 7, "tenant": "old", "body": "Ping"}"#;
+        let frame: RequestFrame = rcarb_json::from_str(text).unwrap();
+        assert_eq!(frame.deadline_ms, None);
+        let null_text = r#"{"id": 7, "tenant": "old", "deadline_ms": null, "body": "Ping"}"#;
+        let frame: RequestFrame = rcarb_json::from_str(null_text).unwrap();
+        assert_eq!(frame.deadline_ms, None);
+    }
+
+    #[test]
+    fn retryable_hints_match_the_dispatch_guarantee() {
+        // Admission-stage rejections never dispatched: retryable.
+        assert!(WireError::quota("t", 4).retryable);
+        assert!(WireError::goaway().retryable);
+        assert!(WireError::transport("checksum mismatch").retryable);
+        // Dispatched or permanently doomed: not retryable.
+        assert!(!WireError::deadline("queue").retryable);
+        assert!(!WireError::bad_request("nonsense").retryable);
+        let backend_err = Error::Request {
+            detail: "bad".to_owned(),
+        };
+        assert!(!WireError::from_backend(&backend_err).retryable);
+    }
+
+    #[test]
+    fn every_error_code_round_trips_with_its_retryable_hint() {
+        for err in [
+            WireError::quota("t", 1),
+            WireError::goaway(),
+            WireError::deadline("admission"),
+            WireError::transport("stalled"),
+            WireError::bad_request("junk"),
+            WireError {
+                code: ErrorCode::Internal,
+                retryable: false,
+                message: "boom".to_owned(),
+            },
+            WireError {
+                code: ErrorCode::Backend,
+                retryable: false,
+                message: "no fit".to_owned(),
+            },
+        ] {
+            let frame = ResponseFrame {
+                id: 9,
+                body: ResponseBody::Error(err.clone()),
+            };
+            let back: ResponseFrame =
+                rcarb_json::from_str(std::str::from_utf8(&encode_response(&frame)).unwrap())
+                    .unwrap();
+            assert_eq!(back.body, ResponseBody::Error(err));
+        }
     }
 
     #[test]
@@ -316,6 +481,7 @@ mod tests {
         match body {
             ResponseBody::Error(e) => {
                 assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(!e.retryable);
                 assert!(e.message.contains("thermometer"));
             }
             other => panic!("expected an error, got {other:?}"),

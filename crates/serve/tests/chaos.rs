@@ -1,0 +1,279 @@
+//! The chaos-equivalence suite: the crown property of the serving
+//! stack.
+//!
+//! For ≥64 chaos seeds, across all three transports (in-memory pipe,
+//! TCP, Unix socket), every request driven through a seeded fault
+//! injector must end in exactly one of two ways:
+//!
+//! 1. the **byte-identical** response a fault-free run produces, or
+//! 2. a **definite typed error** — a `Transport`/`GoAway`/`Quota`/
+//!    `Deadline` wire error, or a local `io::Error` whose kind names
+//!    the failure.
+//!
+//! Never a hang, never a corrupt decode (the frame CRC turns wire
+//! damage into a typed error before JSON sees it), and never a
+//! duplicated backend execution (retries only resend requests the
+//! server provably never dispatched — checked by a counting backend).
+//! On the in-memory transport, identical seeds reproduce identical
+//! outcome *sequences*, byte for byte, run after run.
+
+use rcarb::backend::{InProcessBackend, RecordingBackend, SynthesizeRequest};
+use rcarb_core::rng::mix3;
+use rcarb_serve::chaos::{ChaosConfig, ChaosRates};
+use rcarb_serve::{
+    dispatch, is_checksum_mismatch, Client, ErrorCode, RequestBody, ResponseBody, RetryPolicy,
+    RobustClient, ServeConfig, Server,
+};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEEDS: u64 = 64;
+
+/// A small, cheap workload touching success, error, and backend-free
+/// paths. Ids are 1-based; non-ping requests are what the duplicate
+/// accounting counts.
+fn workload() -> Vec<(u64, RequestBody)> {
+    vec![
+        (1, RequestBody::Ping),
+        (
+            2,
+            RequestBody::Synthesize(SynthesizeRequest::round_robin(4)),
+        ),
+        (
+            3,
+            // A request the backend rejects — error responses must be
+            // transport-invariant too.
+            RequestBody::Synthesize(SynthesizeRequest {
+                policy: "lottery".to_owned(),
+                ..SynthesizeRequest::round_robin(3)
+            }),
+        ),
+        (
+            4,
+            RequestBody::Synthesize(SynthesizeRequest::round_robin(6)),
+        ),
+        (5, RequestBody::Ping),
+    ]
+}
+
+fn dispatchable(load: &[(u64, RequestBody)]) -> u64 {
+    load.iter()
+        .filter(|(_, b)| !matches!(b, RequestBody::Ping))
+        .count() as u64
+}
+
+/// The fault-free answer for each request.
+fn baseline(load: &[(u64, RequestBody)]) -> Vec<ResponseBody> {
+    let backend = InProcessBackend::new();
+    load.iter().map(|(_, b)| dispatch(&backend, b)).collect()
+}
+
+fn chaos_rates(seed: u64) -> ChaosRates {
+    if seed % 2 == 0 {
+        ChaosRates::mild()
+    } else {
+        ChaosRates::rough()
+    }
+}
+
+/// A server tuned for chaos runs: quick slow-loris cutoff so stalled
+/// server-side reads resolve fast, everything else stock.
+fn chaos_server_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServeConfig::default()
+    }
+}
+
+/// Drives the workload through a robust client and classifies each
+/// request's outcome into a compact, comparable tag. Panics on any
+/// outcome outside the crown contract.
+fn drive(
+    client: &mut RobustClient,
+    load: &[(u64, RequestBody)],
+    expect: &[ResponseBody],
+) -> Vec<String> {
+    let mut outcomes = Vec::with_capacity(load.len());
+    for ((id, body), expected) in load.iter().zip(expect) {
+        let tag = match client.call_with_id(*id, body.clone()) {
+            Ok(ref got) if got == expected => "ok".to_owned(),
+            Ok(ResponseBody::Error(e)) => {
+                assert!(
+                    matches!(
+                        e.code,
+                        ErrorCode::Transport
+                            | ErrorCode::GoAway
+                            | ErrorCode::QuotaExceeded
+                            | ErrorCode::DeadlineExceeded
+                    ),
+                    "request {id}: untyped failure {e:?}"
+                );
+                format!("err:{:?}", e.code)
+            }
+            Ok(other) => {
+                panic!("request {id}: response diverged from the fault-free baseline: {other:?}")
+            }
+            Err(e) => {
+                // InvalidData from the response path is only legal as a
+                // checksum rejection; a JSON parse failure here would
+                // mean corrupted bytes got past the CRC.
+                assert!(
+                    e.kind() != io::ErrorKind::InvalidData || is_checksum_mismatch(&e),
+                    "request {id}: corrupt decode leaked through: {e}"
+                );
+                format!("io:{:?}", e.kind())
+            }
+        };
+        outcomes.push(tag);
+    }
+    outcomes
+}
+
+/// Builds a robust client whose connector dials a fresh chaotic
+/// connection per attempt. The per-connection seed is derived from
+/// `(seed, connection number)`, so retries see fresh — but still fully
+/// deterministic — weather.
+fn chaotic_client<F>(seed: u64, mut raw_connect: F) -> RobustClient
+where
+    F: FnMut(u64, ChaosRates) -> io::Result<Client> + Send + 'static,
+{
+    let seq = AtomicU64::new(0);
+    RobustClient::new(
+        move || {
+            let conn = seq.fetch_add(1, Ordering::Relaxed);
+            raw_connect(mix3(seed, conn, 0xC0), chaos_rates(seed))
+        },
+        RetryPolicy::quick(seed),
+    )
+    // Generous enough that it never fires on a healthy exchange: every
+    // timeout observed below is chaos-injected, hence deterministic.
+    .with_timeout(Some(Duration::from_secs(10)))
+}
+
+#[test]
+fn chaos_equivalence_on_the_pipe_transport_with_seed_replay() {
+    let started = Instant::now();
+    let load = workload();
+    let expect = baseline(&load);
+    for seed in 0..SEEDS {
+        // Two full runs per seed, each against a fresh server, must
+        // produce the same outcome sequence — the replay guarantee.
+        let mut sequences = Vec::new();
+        for _run in 0..2 {
+            let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
+            let server = Arc::new(Server::new(Arc::clone(&recorder), chaos_server_config()));
+            let server_for_connect = Arc::clone(&server);
+            let mut client = chaotic_client(seed, move |conn_seed, rates| {
+                let (r, w) = server_for_connect.connect_in_memory().into_split();
+                let (cr, cw) = ChaosConfig::new(conn_seed, rates).wrap(r, w);
+                Ok(Client::from_parts(cr, cw))
+            });
+            sequences.push(drive(&mut client, &load, &expect));
+            assert!(
+                recorder.calls() <= dispatchable(&load),
+                "seed {seed}: {} backend executions for {} dispatchable requests — \
+                 a retry duplicated work",
+                recorder.calls(),
+                dispatchable(&load)
+            );
+            server.shutdown();
+        }
+        assert_eq!(
+            sequences[0], sequences[1],
+            "seed {seed}: identical seeds produced different outcome sequences"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "chaos suite exceeded its time bound"
+    );
+}
+
+#[test]
+fn chaos_equivalence_on_tcp() {
+    let started = Instant::now();
+    let load = workload();
+    let expect = baseline(&load);
+    let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
+    let server = Server::new(Arc::clone(&recorder), chaos_server_config());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    for seed in 0..SEEDS {
+        let mut client = chaotic_client(seed, move |conn_seed, rates| {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            let reader = stream.try_clone()?;
+            let (cr, cw) = ChaosConfig::new(conn_seed, rates).wrap(reader, stream);
+            Ok(Client::from_parts(cr, cw))
+        });
+        drive(&mut client, &load, &expect);
+    }
+    assert!(
+        recorder.calls() <= SEEDS * dispatchable(&load),
+        "{} backend executions for at most {} dispatched requests",
+        recorder.calls(),
+        SEEDS * dispatchable(&load)
+    );
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "chaos suite exceeded its time bound"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn chaos_equivalence_on_uds() {
+    let started = Instant::now();
+    let load = workload();
+    let expect = baseline(&load);
+    let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
+    let server = Server::new(Arc::clone(&recorder), chaos_server_config());
+    let path = std::env::temp_dir().join(format!("rcarb-serve-chaos-{}.sock", std::process::id()));
+    server.listen_uds(&path).unwrap();
+    for seed in 0..SEEDS {
+        let path = path.clone();
+        let mut client = chaotic_client(seed, move |conn_seed, rates| {
+            let stream = std::os::unix::net::UnixStream::connect(&path)?;
+            let reader = stream.try_clone()?;
+            let (cr, cw) = ChaosConfig::new(conn_seed, rates).wrap(reader, stream);
+            Ok(Client::from_parts(cr, cw))
+        });
+        drive(&mut client, &load, &expect);
+    }
+    assert!(
+        recorder.calls() <= SEEDS * dispatchable(&load),
+        "{} backend executions for at most {} dispatched requests",
+        recorder.calls(),
+        SEEDS * dispatchable(&load)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        started.elapsed() < Duration::from_secs(120),
+        "chaos suite exceeded its time bound"
+    );
+}
+
+/// Under zero chaos, the robust client is just a client: every request
+/// matches the baseline, no retries, no reconnects.
+#[test]
+fn zero_chaos_is_all_baseline() {
+    let load = workload();
+    let expect = baseline(&load);
+    let server = Arc::new(Server::in_process(ServeConfig::default()));
+    let server_for_connect = Arc::clone(&server);
+    let mut client = RobustClient::new(
+        move || Ok(Client::in_memory(&server_for_connect)),
+        RetryPolicy::quick(1),
+    );
+    let outcomes = drive(&mut client, &load, &expect);
+    assert!(outcomes.iter().all(|o| o == "ok"), "{outcomes:?}");
+    let stats = client.stats();
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.reconnects, 0);
+    assert_eq!(stats.transport_errors, 0);
+}

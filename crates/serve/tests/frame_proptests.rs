@@ -1,15 +1,51 @@
 //! Frame-codec robustness properties: whatever bytes arrive — valid
-//! frames, truncations, hostile length prefixes, raw garbage — the
-//! reader returns `Ok` or `Err`, never panics, and round-trips are
-//! lossless. The request decoder gets the same treatment: arbitrary
-//! payloads must fail cleanly, and real frames must survive the full
-//! encode → frame → deframe → decode path.
+//! frames, truncations, hostile length prefixes, bit flips, raw garbage,
+//! delivered whole or one byte at a time — the reader returns `Ok` or a
+//! typed `Err`, never panics, never silently decodes damage, and
+//! round-trips are lossless. The request decoder gets the same
+//! treatment: arbitrary payloads must fail cleanly, and real frames must
+//! survive the full encode → frame → deframe → decode path.
 
 use proptest::prelude::*;
 use rcarb_serve::{
-    read_frame, write_frame, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireError,
+    is_checksum_mismatch, read_frame, write_frame, RequestBody, RequestFrame, ResponseBody,
+    ResponseFrame, WireError, HEADER_LEN,
 };
-use std::io::Cursor;
+use std::io::{Cursor, Read};
+
+/// A reader that delivers its bytes in caller-chosen chunk sizes, so
+/// properties can explore every way a kernel might split a stream.
+struct Chopped {
+    bytes: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    turn: usize,
+}
+
+impl Chopped {
+    fn new(bytes: Vec<u8>, cuts: Vec<usize>) -> Self {
+        Self {
+            bytes,
+            cuts,
+            pos: 0,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for Chopped {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() {
+            return Ok(0);
+        }
+        let want = self.cuts[self.turn % self.cuts.len()].max(1);
+        self.turn += 1;
+        let n = want.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -21,6 +57,21 @@ proptest! {
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         let mut r = Cursor::new(buf);
+        let back = read_frame(&mut r).unwrap().expect("one frame");
+        prop_assert_eq!(back, payload);
+        prop_assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    /// Round-trips hold no matter how the transport splits the bytes:
+    /// one byte at a time, odd chunks, whatever.
+    #[test]
+    fn split_points_never_change_the_decode(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..13, 1..6),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Chopped::new(buf, cuts);
         let back = read_frame(&mut r).unwrap().expect("one frame");
         prop_assert_eq!(back, payload);
         prop_assert!(read_frame(&mut r).unwrap().is_none());
@@ -62,6 +113,73 @@ proptest! {
         }
     }
 
+    /// Flipping any single bit of a framed message — length prefix, CRC
+    /// word, or payload — is always detected: the reader may error (the
+    /// common case) but must never hand back an altered payload as if
+    /// it were intact.
+    #[test]
+    fn single_bit_flips_never_decode_silently(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let idx = (((buf.len() as f64) * flip_fraction) as usize).min(buf.len() - 1);
+        buf[idx] ^= 1 << bit;
+        let mut r = Cursor::new(buf);
+        // A flip in the length prefix usually reads as truncation or
+        // an oversize rejection; a payload/CRC flip must be a checksum
+        // mismatch. Either way: a typed error, no panic, no silent
+        // decode.
+        if let Ok(Some(decoded)) = read_frame(&mut r) {
+            prop_assert!(
+                false,
+                "bit {bit} of byte {idx} flipped, yet {} bytes decoded",
+                decoded.len()
+            );
+        }
+    }
+
+    /// A payload flip specifically is reported as a checksum mismatch,
+    /// the retryable-transport-damage signal.
+    #[test]
+    fn payload_flips_are_checksum_mismatches(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let idx = HEADER_LEN + (((payload.len() as f64) * flip_fraction) as usize)
+            .min(payload.len() - 1);
+        buf[idx] ^= 1 << bit;
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        prop_assert!(is_checksum_mismatch(&err), "{err}");
+    }
+
+    /// Overwriting the length prefix with an arbitrary value never
+    /// panics and never decodes: the stream either errors or (if the
+    /// fake length points exactly at another valid-looking region) the
+    /// CRC word no longer matches.
+    #[test]
+    fn flipped_length_prefixes_never_decode(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        fake_len in any::<u32>(),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        if fake_len as usize == payload.len() {
+            return Ok(()); // the one honest value
+        }
+        buf[..4].copy_from_slice(&fake_len.to_le_bytes());
+        let mut r = Cursor::new(buf);
+        if let Ok(Some(_)) = read_frame(&mut r) {
+            prop_assert!(false, "fake length {fake_len} decoded");
+        }
+    }
+
     /// Arbitrary bytes never panic the reader; and when a hostile
     /// header announces more than the cap, the reader refuses before
     /// allocating.
@@ -83,7 +201,9 @@ proptest! {
     #[test]
     fn oversized_headers_are_rejected(extra in 1u64..u64::from(u32::MAX - 64 * 1024 * 1024)) {
         let len = 64 * 1024 * 1024 + u32::try_from(extra).unwrap();
-        let mut r = Cursor::new(len.to_le_bytes().to_vec());
+        let mut header = len.to_le_bytes().to_vec();
+        header.extend_from_slice(&[0u8; 4]); // CRC word — irrelevant, length is checked first
+        let mut r = Cursor::new(header);
         let err = read_frame(&mut r).unwrap_err();
         prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
@@ -143,6 +263,7 @@ fn request_frames_round_trip() {
         let frame = RequestFrame {
             id: i as u64,
             tenant: "prop".to_owned(),
+            deadline_ms: (i % 2 == 0).then_some(1_000),
             body,
         };
         let bytes = rcarb::json::to_string(&frame).into_bytes();

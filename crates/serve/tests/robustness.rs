@@ -1,0 +1,473 @@
+//! Robustness suites for the serving stack: graceful drain, deadline
+//! shedding, slow-loris defense, and the robust client's retry and
+//! reconnect machinery.
+
+use rcarb::backend::{
+    AnalyzeRequest, AnalyzeResponse, Backend, InProcessBackend, PlanRequest, PlanResponse,
+    RecordingBackend, SimulateRequest, SimulateResponse, SweepRequest, SweepResponse,
+    SynthesizeRequest, SynthesizeResponse,
+};
+use rcarb_core::Error;
+use rcarb_serve::chaos::{ChaosConfig, ChaosRates};
+use rcarb_serve::{
+    Client, ErrorCode, RequestBody, ResponseBody, RetryPolicy, RobustClient, ServeConfig, Server,
+};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A backend whose synthesize calls take a configurable nap — how the
+/// drain and deadline tests hold work in flight deterministically.
+struct SlowBackend {
+    inner: InProcessBackend,
+    nap: Duration,
+}
+
+impl SlowBackend {
+    fn new(nap: Duration) -> Self {
+        Self {
+            inner: InProcessBackend::new(),
+            nap,
+        }
+    }
+}
+
+impl Backend for SlowBackend {
+    fn synthesize(&self, req: &SynthesizeRequest) -> Result<SynthesizeResponse, Error> {
+        std::thread::sleep(self.nap);
+        self.inner.synthesize(req)
+    }
+
+    fn plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
+        self.inner.plan(req)
+    }
+
+    fn analyze(&self, req: &AnalyzeRequest) -> Result<AnalyzeResponse, Error> {
+        self.inner.analyze(req)
+    }
+
+    fn simulate(&self, req: &SimulateRequest) -> Result<SimulateResponse, Error> {
+        self.inner.simulate(req)
+    }
+
+    fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, Error> {
+        self.inner.sweep(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------------
+
+/// The regression this PR exists for: a server with live listeners and
+/// zero traffic must shut down in bounded time. The accept loops block
+/// on the kernel; shutdown's self-connect nudge is what wakes them.
+#[test]
+fn zero_traffic_shutdown_completes_in_bounded_time() {
+    let server = Server::in_process(ServeConfig::default());
+    server.listen_tcp("127.0.0.1:0").unwrap();
+    #[cfg(unix)]
+    let path = {
+        let path = std::env::temp_dir().join(format!(
+            "rcarb-serve-idle-shutdown-{}.sock",
+            std::process::id()
+        ));
+        server.listen_uds(&path).unwrap();
+        path
+    };
+    let started = Instant::now();
+    let report = server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle shutdown took {:?} — an accept loop never woke",
+        started.elapsed()
+    );
+    assert_eq!(report.answered, 0);
+    assert_eq!(report.aborted, 0);
+    #[cfg(unix)]
+    assert!(!path.exists(), "socket file survived shutdown");
+}
+
+#[test]
+fn shutdown_is_idempotent() {
+    let server = Server::in_process(ServeConfig::default());
+    let first = server.shutdown();
+    let second = server.shutdown();
+    assert_eq!(first, second);
+}
+
+/// Drain under load: every request sent before shutdown is answered —
+/// either with its real response or with a typed `GoAway` — and none
+/// is lost.
+#[test]
+fn drain_answers_everything_in_flight() {
+    const N: u64 = 12;
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(SlowBackend::new(Duration::from_millis(50)), cfg);
+    let mut client = Client::in_memory(&server);
+    for id in 1..=N {
+        client
+            .send_with_id(
+                id,
+                RequestBody::Synthesize(SynthesizeRequest::round_robin(4)),
+            )
+            .unwrap();
+    }
+    // Let some of the burst reach the workers, then pull the plug.
+    std::thread::sleep(Duration::from_millis(30));
+    let report = server.shutdown();
+
+    let mut answered = 0u64;
+    let mut goaway = 0u64;
+    for _ in 0..N {
+        let frame = client.recv().expect("every request gets an answer");
+        match frame.body {
+            ResponseBody::Synthesize(_) => answered += 1,
+            ResponseBody::Error(e) if e.code == ErrorCode::GoAway => {
+                assert!(e.retryable, "GoAway must be retryable");
+                goaway += 1;
+            }
+            other => panic!("unexpected drain outcome: {other:?}"),
+        }
+    }
+    assert_eq!(answered + goaway, N, "a request was lost in the drain");
+    let stats = server.stats();
+    assert_eq!(stats.requests + stats.goaway, N);
+    assert_eq!(stats.goaway, goaway);
+    assert!(report.answered <= N);
+    assert_eq!(report.aborted, 0, "a healthy drain sheds nothing");
+}
+
+/// A request arriving after the drain began is turned away with
+/// `GoAway` — the connection machinery still answers, it just admits
+/// nothing.
+#[test]
+fn draining_server_goaways_new_requests() {
+    let server = Server::in_process(ServeConfig::default());
+    let mut client = Client::in_memory(&server);
+    client.ping().unwrap();
+    server.shutdown();
+    client.send(RequestBody::Ping).unwrap();
+    let frame = client.recv().unwrap();
+    match frame.body {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::GoAway);
+            assert!(e.retryable);
+        }
+        other => panic!("expected GoAway, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+// ---------------------------------------------------------------------------
+
+/// An already-expired deadline is shed at admission: typed error, zero
+/// backend executions.
+#[test]
+fn expired_deadlines_are_shed_before_the_backend_runs() {
+    let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
+    let server = Server::new(Arc::clone(&recorder), ServeConfig::default());
+    let mut client = Client::in_memory(&server).with_deadline_ms(Some(0));
+    match client
+        .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(4)))
+        .unwrap()
+    {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+            assert!(!e.retryable, "the budget is spent; a retry would be too");
+            assert!(e.message.contains("admission"), "{}", e.message);
+        }
+        other => panic!("expected a deadline shed, got {other:?}"),
+    }
+    assert_eq!(recorder.calls(), 0, "the backend ran for dead work");
+    assert_eq!(server.stats().deadline_shed, 1);
+}
+
+/// A deadline that expires while the request sits in the queue is shed
+/// at worker pickup — again before the backend runs.
+#[test]
+fn queued_work_past_its_deadline_is_shed_at_pickup() {
+    let recorder = Arc::new(RecordingBackend::new(SlowBackend::new(
+        Duration::from_millis(100),
+    )));
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(Arc::clone(&recorder), cfg);
+    let mut client = Client::in_memory(&server);
+    // Request 1: no deadline, occupies the single worker for 100 ms.
+    client
+        .send_with_id(
+            1,
+            RequestBody::Synthesize(SynthesizeRequest::round_robin(4)),
+        )
+        .unwrap();
+    // Request 2: 30 ms budget — long dead by the time the worker frees.
+    client.set_deadline_ms(Some(30));
+    client
+        .send_with_id(
+            2,
+            RequestBody::Synthesize(SynthesizeRequest::round_robin(5)),
+        )
+        .unwrap();
+    let mut outcomes = std::collections::BTreeMap::new();
+    for _ in 0..2 {
+        let frame = client.recv().unwrap();
+        outcomes.insert(frame.id, frame.body);
+    }
+    assert!(
+        matches!(outcomes.get(&1), Some(ResponseBody::Synthesize(_))),
+        "{outcomes:?}"
+    );
+    match outcomes.get(&2) {
+        Some(ResponseBody::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+            assert!(e.message.contains("queue"), "{}", e.message);
+        }
+        other => panic!("expected a queue-stage shed, got {other:?}"),
+    }
+    assert_eq!(recorder.calls(), 1, "the dead request reached the backend");
+}
+
+/// When the admission queue is full, a deadlined request waits only
+/// until its deadline, then gives up with a typed error instead of
+/// blocking forever.
+#[test]
+fn admission_wait_gives_up_at_the_deadline() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(SlowBackend::new(Duration::from_millis(100)), cfg);
+    let mut client = Client::in_memory(&server);
+    // Job 1 executes (100 ms); job 2 fills the queue; job 3's admission
+    // blocks on a full queue and must give up at its 30 ms deadline —
+    // well before the queue frees at ~100 ms.
+    for id in [1u64, 2] {
+        client
+            .send_with_id(
+                id,
+                RequestBody::Synthesize(SynthesizeRequest::round_robin(4)),
+            )
+            .unwrap();
+    }
+    client.set_deadline_ms(Some(30));
+    let sent_at = Instant::now();
+    client
+        .send_with_id(
+            3,
+            RequestBody::Synthesize(SynthesizeRequest::round_robin(6)),
+        )
+        .unwrap();
+    let mut outcomes = std::collections::BTreeMap::new();
+    for _ in 0..3 {
+        let frame = client.recv().unwrap();
+        outcomes.insert(frame.id, frame.body);
+    }
+    match outcomes.get(&3) {
+        Some(ResponseBody::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+            assert!(!e.retryable);
+        }
+        other => panic!("expected a deadline give-up, got {other:?}"),
+    }
+    assert!(
+        sent_at.elapsed() < Duration::from_secs(30),
+        "the deadlined admission never gave up"
+    );
+    assert!(matches!(
+        outcomes.get(&1),
+        Some(ResponseBody::Synthesize(_))
+    ));
+    assert!(matches!(
+        outcomes.get(&2),
+        Some(ResponseBody::Synthesize(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile peers.
+// ---------------------------------------------------------------------------
+
+/// A peer that opens a frame and stops feeding it (slow-loris) is cut
+/// off with a typed transport error once the read timeout fires.
+#[test]
+fn slow_loris_peers_get_a_typed_error_and_a_hangup() {
+    let cfg = ServeConfig {
+        read_timeout: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let server = Server::in_process(cfg);
+    let stream = server.connect_in_memory();
+    let (mut reader, mut writer) = stream.into_split();
+    // Half a frame header, then silence.
+    use std::io::Write as _;
+    writer.write_all(&[16, 0, 0]).unwrap();
+    let payload = rcarb_serve::read_frame(&mut reader).unwrap().unwrap();
+    let frame: rcarb_serve::ResponseFrame =
+        rcarb::json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert_eq!(frame.id, 0);
+    match frame.body {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Transport);
+            assert!(e.retryable, "nothing was parsed; a resend is safe");
+        }
+        other => panic!("expected a transport rejection, got {other:?}"),
+    }
+    // The server hung up: clean EOF.
+    assert!(rcarb_serve::read_frame(&mut reader).unwrap().is_none());
+}
+
+/// An idle connection is NOT a slow-loris: read timeouts between frames
+/// just poll the drain flag, and the connection keeps working.
+#[test]
+fn idle_connections_survive_the_read_timeout() {
+    let cfg = ServeConfig {
+        read_timeout: Some(Duration::from_millis(20)),
+        ..ServeConfig::default()
+    };
+    let server = Server::in_process(cfg);
+    let mut client = Client::in_memory(&server);
+    client.ping().unwrap();
+    // Several idle-timeout periods pass...
+    std::thread::sleep(Duration::from_millis(100));
+    // ...and the connection still answers.
+    client.ping().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// The robust client.
+// ---------------------------------------------------------------------------
+
+/// A connection that dies on the first write is retried on a fresh
+/// connection — same request id, exactly one backend-visible request.
+#[test]
+fn robust_client_reconnects_after_connection_loss() {
+    let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
+    let server = Arc::new(Server::new(Arc::clone(&recorder), ServeConfig::default()));
+    let server_for_connect = Arc::clone(&server);
+    let attempts = AtomicU64::new(0);
+    let lethal = ChaosRates {
+        corrupt_ppm: 0,
+        disconnect_ppm: 1_000_000,
+        stall_ppm: 0,
+        delay_ppm: 0,
+        nap: Duration::ZERO,
+    };
+    let mut client = RobustClient::new(
+        move || {
+            let n = attempts.fetch_add(1, Ordering::Relaxed);
+            let (r, w) = server_for_connect.connect_in_memory().into_split();
+            if n == 0 {
+                // First connection: every write dies at byte 0 — the
+                // frame never reaches the server.
+                let (cr, cw) = ChaosConfig::new(7, lethal).wrap(r, w);
+                Ok(Client::from_parts(cr, cw))
+            } else {
+                Ok(Client::from_parts(r, w))
+            }
+        },
+        RetryPolicy::quick(11),
+    );
+    let resp = client
+        .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(4)))
+        .unwrap();
+    assert!(matches!(resp, ResponseBody::Synthesize(_)), "{resp:?}");
+    let stats = client.stats();
+    assert_eq!(stats.attempts, 2);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.reconnects, 1);
+    assert_eq!(stats.transport_errors, 1);
+    assert_eq!(recorder.calls(), 1, "the retry duplicated the execution");
+}
+
+/// Retryable server rejections are retried up to the policy, then the
+/// typed error is returned — not an io failure.
+#[test]
+fn robust_client_exhausts_retries_on_persistent_rejection() {
+    let server = Arc::new(Server::in_process(
+        ServeConfig::default().with_tenant_quota("starved", 0),
+    ));
+    let server_for_connect = Arc::clone(&server);
+    let mut client = RobustClient::new(
+        move || Ok(Client::in_memory(&server_for_connect)),
+        RetryPolicy::quick(5),
+    )
+    .with_tenant("starved");
+    match client.call(RequestBody::Ping).unwrap() {
+        ResponseBody::Error(e) => assert_eq!(e.code, ErrorCode::QuotaExceeded),
+        other => panic!("expected the quota error back, got {other:?}"),
+    }
+    let stats = client.stats();
+    assert_eq!(stats.attempts, 4, "quick policy = 4 attempts");
+    assert_eq!(stats.retries, 3);
+    assert_eq!(server.stats().quota_rejections, 4);
+}
+
+/// Non-retryable rejections are returned immediately: one attempt.
+#[test]
+fn robust_client_never_retries_non_retryable_errors() {
+    let server = Arc::new(Server::in_process(ServeConfig::default()));
+    let server_for_connect = Arc::clone(&server);
+    let mut client = RobustClient::new(
+        move || Ok(Client::in_memory(&server_for_connect)),
+        RetryPolicy::quick(5),
+    );
+    let resp = client
+        .call(RequestBody::Synthesize(SynthesizeRequest {
+            policy: "lottery".to_owned(),
+            ..SynthesizeRequest::round_robin(4)
+        }))
+        .unwrap();
+    match resp {
+        ResponseBody::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(!e.retryable);
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    assert_eq!(client.stats().attempts, 1);
+    assert_eq!(client.stats().retries, 0);
+}
+
+/// The robust client's per-request timeout turns an unreachable reply
+/// into a bounded, typed failure instead of a hang.
+#[test]
+fn per_request_timeouts_bound_every_wait() {
+    // A server whose backend naps far longer than the client waits.
+    let server = Arc::new(Server::new(
+        SlowBackend::new(Duration::from_millis(500)),
+        ServeConfig::default(),
+    ));
+    let server_for_connect = Arc::clone(&server);
+    let mut client = RobustClient::new(
+        move || Ok(Client::in_memory(&server_for_connect)),
+        RetryPolicy::none(),
+    )
+    .with_timeout(Some(Duration::from_millis(40)));
+    let started = Instant::now();
+    let err = client
+        .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(4)))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the timeout never fired"
+    );
+    // A read failure after a successful write is not auto-retried.
+    assert_eq!(client.stats().retries, 0);
+    assert_eq!(client.stats().transport_errors, 1);
+}

@@ -8,10 +8,13 @@
 //! cargo run --example serve_demo
 //! ```
 //!
-//! The demo also shows the multi-tenant admission machinery: a tenant
+//! The demo also shows the multi-tenant admission machinery (a tenant
 //! with a zero quota is turned away with `QuotaExceeded` while other
-//! tenants keep working, and the server's counters are printed at the
-//! end.
+//! tenants keep working), the deadline path (an already-expired
+//! deadline is shed with `DeadlineExceeded` before the backend runs),
+//! and the graceful drain (`shutdown()` returns a `DrainReport` after
+//! answering everything in flight). The server's counters are printed
+//! at the end.
 
 mod common;
 
@@ -124,11 +127,40 @@ fn main() {
         other => fail(&format!("expected a quota rejection, got {other:?}")),
     }
 
+    // Deadlines: an already-expired deadline is shed before the
+    // backend ever sees the request.
+    let mut hurried = client.with_deadline_ms(Some(0));
+    match hurried
+        .call(RequestBody::Synthesize(SynthesizeRequest::round_robin(8)))
+        .expect("transport")
+    {
+        ResponseBody::Error(e) if e.code == ErrorCode::DeadlineExceeded => {
+            println!("  deadline: expired request shed ({})", e.message)
+        }
+        other => fail(&format!("expected a deadline shed, got {other:?}")),
+    }
+
     let stats = server.stats();
     println!(
-        "  stats: {} served, {} errors, {} quota rejection(s), max queue depth {}",
-        stats.requests, stats.errors, stats.quota_rejections, stats.max_queue_depth
+        "  stats: {} served, {} errors, {} quota rejection(s), {} deadline shed(s), \
+         max queue depth {}",
+        stats.requests,
+        stats.errors,
+        stats.quota_rejections,
+        stats.deadline_shed,
+        stats.max_queue_depth
     );
+
+    // Graceful drain: everything already answered, so the report is
+    // all zeros except the bookkeeping that it ran.
+    let report = server.shutdown();
+    println!(
+        "  drain: answered={} goaway={} aborted={}",
+        report.answered, report.goaway, report.aborted
+    );
+    if report.aborted != 0 {
+        fail("a quiet server must drain without aborting anything");
+    }
     println!("serve demo: PASSED");
 }
 

@@ -631,6 +631,92 @@ impl Backend for InProcessBackend {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Composition helpers: share one backend, or count its executions.
+// ---------------------------------------------------------------------------
+
+impl<B: Backend + ?Sized> Backend for std::sync::Arc<B> {
+    fn synthesize(&self, req: &SynthesizeRequest) -> Result<SynthesizeResponse, Error> {
+        (**self).synthesize(req)
+    }
+
+    fn plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
+        (**self).plan(req)
+    }
+
+    fn analyze(&self, req: &AnalyzeRequest) -> Result<AnalyzeResponse, Error> {
+        (**self).analyze(req)
+    }
+
+    fn simulate(&self, req: &SimulateRequest) -> Result<SimulateResponse, Error> {
+        (**self).simulate(req)
+    }
+
+    fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, Error> {
+        (**self).sweep(req)
+    }
+}
+
+/// A [`Backend`] decorator that counts every execution.
+///
+/// The chaos-equivalence suite serves requests through a
+/// `RecordingBackend` and asserts that the execution count never
+/// exceeds the number of distinct requests sent — proof that
+/// connection-loss retries cannot double-execute work.
+#[derive(Debug, Default)]
+pub struct RecordingBackend<B> {
+    inner: B,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl<B> RecordingBackend<B> {
+    /// Wraps `inner`, starting the count at zero.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Backend executions so far (every method counts; `Ping` never
+    /// reaches a backend, so it never counts).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record(&self) {
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl<B: Backend> Backend for RecordingBackend<B> {
+    fn synthesize(&self, req: &SynthesizeRequest) -> Result<SynthesizeResponse, Error> {
+        self.record();
+        self.inner.synthesize(req)
+    }
+
+    fn plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
+        self.record();
+        self.inner.plan(req)
+    }
+
+    fn analyze(&self, req: &AnalyzeRequest) -> Result<AnalyzeResponse, Error> {
+        self.record();
+        self.inner.analyze(req)
+    }
+
+    fn simulate(&self, req: &SimulateRequest) -> Result<SimulateResponse, Error> {
+        self.record();
+        self.inner.simulate(req)
+    }
+
+    fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, Error> {
+        self.record();
+        self.inner.sweep(req)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
