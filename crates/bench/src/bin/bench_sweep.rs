@@ -581,6 +581,53 @@ fn verifier_graph(n: usize) -> TaskGraph {
 /// N×encoding grid of contended single-bank plans. Every measured plan
 /// must verify in under a second — the gate only stays cheap while the
 /// verifier stays fast — and every grid plan must certify clean.
+/// The `fuzz` section: a bounded coverage-guided fuzz run through every
+/// differential oracle, asserting zero findings and recording the
+/// throughput and coverage the fleet can sustain.
+fn fuzz_sweep(smoke: bool) -> Json {
+    let scenarios = if smoke { 40 } else { 150 };
+    let config = rcarb_fuzz::FuzzConfig {
+        max_scenarios: Some(scenarios),
+        ..rcarb_fuzz::FuzzConfig::default()
+    };
+    let mut fuzzer = rcarb_fuzz::Fuzzer::default();
+    let stats = fuzzer.run(&config);
+    assert!(
+        fuzzer.findings.is_empty(),
+        "fuzz sweep must be finding-free; got {:?}",
+        fuzzer
+            .findings
+            .iter()
+            .map(|f| (f.kind.key(), f.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "fuzz sweep: {} scenarios, {:.1} scen/s, corpus {}, {} coverage keys, {} series",
+        stats.scenarios,
+        stats.scenarios_per_sec(),
+        fuzzer.corpus.len(),
+        stats.coverage_keys,
+        stats.series
+    );
+    Json::Obj(vec![
+        ("scenarios".to_owned(), Json::from(stats.scenarios)),
+        (
+            "scenarios_per_sec".to_owned(),
+            Json::from(stats.scenarios_per_sec()),
+        ),
+        (
+            "corpus_size".to_owned(),
+            Json::from(fuzzer.corpus.len() as u64),
+        ),
+        (
+            "coverage_keys".to_owned(),
+            Json::from(stats.coverage_keys as u64),
+        ),
+        ("series".to_owned(), Json::from(stats.series as u64)),
+        ("findings".to_owned(), Json::from(stats.findings)),
+    ])
+}
+
 fn analyze_sweep(smoke: bool) -> Json {
     let reps = if smoke { 3 } else { 5 };
     let limit_ms = 1_000.0;
@@ -772,6 +819,11 @@ fn main() {
     let analyze_json = analyze_sweep(smoke);
     perf.add_stage("analyze/sweep", t.elapsed());
 
+    // Differential-oracle fuzz throughput.
+    let t = Instant::now();
+    let fuzz_json = fuzz_sweep(smoke);
+    perf.add_stage("fuzz/sweep", t.elapsed());
+
     // Wall-clock *thresholds* are gated on core count: a single-core
     // host (or a heavily shared CI box pinned to one worker) timeshares
     // the benchmark with everything else on the machine, so its ratios
@@ -879,6 +931,7 @@ fn main() {
         ("fault".to_owned(), fault_json),
         ("obs".to_owned(), obs_json),
         ("analyze".to_owned(), analyze_json),
+        ("fuzz".to_owned(), fuzz_json),
         ("perf".to_owned(), perf.to_json()),
     ]);
     std::fs::write("BENCH_sweep.json", doc.to_string_pretty()).expect("write BENCH_sweep.json");

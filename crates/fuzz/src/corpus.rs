@@ -1,0 +1,125 @@
+//! The on-disk corpus: one `.scn` file per interesting scenario under
+//! `fuzz/corpus/`, each holding `#` comment lines (provenance, coverage
+//! notes) followed by exactly one replayable one-liner.
+//!
+//! Stored lines are canonical: loading a file and re-encoding its
+//! scenario must reproduce the stored payload byte for byte, which the
+//! corpus regression test asserts for every checked-in entry.
+
+use crate::encode::{decode, encode, DecodeError};
+use crate::scenario::Scenario;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Source file path.
+    pub path: PathBuf,
+    /// The stored one-liner, exactly as read.
+    pub line: String,
+    /// The decoded scenario.
+    pub scenario: Scenario,
+}
+
+/// Why loading a corpus entry failed.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// A file had no payload line.
+    Empty(PathBuf),
+    /// The payload failed to decode.
+    Decode(PathBuf, DecodeError),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusError::Empty(p) => write!(f, "{} has no payload line", p.display()),
+            CorpusError::Decode(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+/// Extracts the payload line (first non-empty, non-`#` line).
+pub fn payload_line(text: &str) -> Option<&str> {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Loads every `.scn` entry under `dir`, sorted by file name so replay
+/// order is stable across hosts.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let line = payload_line(&text)
+            .ok_or_else(|| CorpusError::Empty(path.clone()))?
+            .to_string();
+        let scenario = decode(&line).map_err(|e| CorpusError::Decode(path.clone(), e))?;
+        entries.push(CorpusEntry {
+            path,
+            line,
+            scenario,
+        });
+    }
+    Ok(entries)
+}
+
+/// Writes `scenario` as `<dir>/<stem>.scn` with a provenance comment.
+pub fn save_entry(dir: &Path, stem: &str, scenario: &Scenario, note: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.scn"));
+    let mut body = String::new();
+    for line in note.lines() {
+        body.push_str("# ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str(&encode(scenario));
+    body.push('\n');
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_entries_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("rcarb-fuzz-corpus-test-{}", std::process::id()));
+        let s = Scenario::generate(42);
+        save_entry(&dir, "seed-42", &s, "unit test entry\nsecond line").unwrap();
+        let entries = load_corpus(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].scenario, s);
+        assert_eq!(entries[0].line, encode(&s));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn payload_skips_comments_and_blanks() {
+        assert_eq!(payload_line("# a\n\n# b\nrcfz1:XYZ\n"), Some("rcfz1:XYZ"));
+        assert_eq!(payload_line("# only comments\n"), None);
+    }
+}

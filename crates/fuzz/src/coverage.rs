@@ -1,0 +1,140 @@
+//! The coverage signal: which corners of the system a scenario
+//! exercised, derived from the obs deterministic-metrics snapshot plus
+//! the run report.
+//!
+//! Each observation is folded into a set of stable string keys:
+//!
+//! * `s:<name>` — a metric series existed at all (new subsystem paths
+//!   light up when a scenario reaches new machinery);
+//! * `m:<name>@<log2 bucket>` — a counter/gauge magnitude bucket, so
+//!   "ten grants" and "ten thousand grants" are different coverage;
+//! * `h:<name>#<i>` — a histogram bucket with at least one observation;
+//! * `v:<violation kind>` — a runtime monitor fired;
+//! * `r:...` — report-shape keys (completion, cycle magnitude, fault
+//!   injection/detection/recovery activity).
+//!
+//! A scenario that contributes at least one unseen key earns a corpus
+//! slot; otherwise it is discarded and its seed mutated. This is the
+//! aura discipline: coverage from *observable behaviour*, not code
+//! instrumentation, so the signal is byte-stable across hosts.
+
+use crate::run::Observation;
+use rcarb_obs::MetricValue;
+use std::collections::BTreeSet;
+
+/// Magnitude bucket: `log2(v + 1)`, saturating.
+fn magnitude(v: u64) -> u32 {
+    64 - v.saturating_add(1).leading_zeros()
+}
+
+/// The keys one observation touches.
+pub fn keys_of(obs: &Observation) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for (name, value) in &obs.metrics.0 {
+        keys.insert(format!("s:{name}"));
+        match value {
+            MetricValue::Counter(v) => {
+                keys.insert(format!("m:{name}@{}", magnitude(*v)));
+            }
+            MetricValue::Gauge(v) => {
+                let level = if v.is_finite() && *v >= 0.0 {
+                    magnitude(*v as u64)
+                } else {
+                    0
+                };
+                keys.insert(format!("m:{name}@{level}"));
+            }
+            MetricValue::Histogram(h) => {
+                for (i, count) in h.counts.iter().enumerate() {
+                    if *count > 0 {
+                        keys.insert(format!("h:{name}#{i}"));
+                    }
+                }
+            }
+        }
+    }
+    for v in &obs.report.violations {
+        keys.insert(format!("v:{}", v.kind()));
+    }
+    keys.insert(format!("r:completed={}", obs.report.completed));
+    keys.insert(format!("r:cycles@{}", magnitude(obs.report.cycles)));
+    keys.insert(format!("r:arbiters={}", obs.report.arbiter_grants.len()));
+    let f = &obs.faults;
+    keys.insert(format!("r:faults.injected@{}", magnitude(f.injected)));
+    keys.insert(format!("r:faults.detected@{}", magnitude(f.detected)));
+    keys.insert(format!("r:faults.recovered@{}", magnitude(f.recovered)));
+    keys
+}
+
+/// The fuzzer's accumulated coverage.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    seen: BTreeSet<String>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds an observation in; returns how many of its keys were new.
+    pub fn merge(&mut self, obs: &Observation) -> usize {
+        let mut fresh = 0;
+        for key in keys_of(obs) {
+            if self.seen.insert(key) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Total distinct keys seen.
+    pub fn keys(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Distinct metric series seen (the `s:` subset).
+    pub fn series(&self) -> usize {
+        self.seen.iter().filter(|k| k.starts_with("s:")).count()
+    }
+
+    /// Iterates the seen keys in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.seen.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_scenario, RunConfig};
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn magnitudes_bucket_log2() {
+        assert_eq!(magnitude(0), 1);
+        assert_eq!(magnitude(1), 2);
+        assert_eq!(magnitude(6), 3);
+        assert_eq!(magnitude(7), 4);
+        assert_eq!(magnitude(u64::MAX), 64);
+    }
+
+    #[test]
+    fn coverage_is_deterministic_and_monotone() {
+        let config = RunConfig {
+            check_tool_models: false,
+            ..RunConfig::default()
+        };
+        let obs = run_scenario(&Scenario::generate(0), &config)
+            .observation
+            .expect("scenario runs");
+        assert_eq!(keys_of(&obs), keys_of(&obs));
+        let mut map = CoverageMap::new();
+        let first = map.merge(&obs);
+        assert!(first > 0, "first merge must discover keys");
+        assert_eq!(map.merge(&obs), 0, "second merge discovers nothing");
+        assert_eq!(map.keys(), first);
+        assert!(map.series() > 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The replayable one-liner: `rcfz1:` + URL-safe base64 of a compact
+//! JSON body. `encode(decode(s)) == s` byte-for-byte for every string
+//! this module emits, because the JSON writer is deterministic (fixed
+//! key order, `Json::Obj` preserves insertion order) and the base64
+//! alphabet is padding-free.
+//!
+//! Decoding is strict: hostile, truncated, or non-canonical input is
+//! rejected with a typed [`DecodeError`], never a panic — one-liners
+//! travel through bug reports, shell history, and CI logs, all of which
+//! mangle strings.
+
+use crate::scenario::{
+    policy_from_name, policy_name, BoardPreset, FaultSpec, Scenario, TaskSpec, WatchdogSpec,
+};
+use rcarb_json::{Json, Number};
+use std::fmt;
+
+/// Version prefix for the current scenario wire format.
+pub const PREFIX: &str = "rcfz1:";
+
+/// Why a one-liner failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The string does not start with a known `rcfzN:` prefix.
+    BadPrefix,
+    /// The prefix names a version this build does not speak.
+    UnsupportedVersion(String),
+    /// The payload contains bytes outside the URL-safe base64 alphabet
+    /// or has an impossible length.
+    BadBase64,
+    /// The decoded bytes are not UTF-8 JSON.
+    BadJson(String),
+    /// The JSON parsed but a field is missing, mistyped, or out of the
+    /// generator's bounds.
+    BadField(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadPrefix => write!(f, "missing `{PREFIX}`-style prefix"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported scenario version `{v}`")
+            }
+            DecodeError::BadBase64 => write!(f, "payload is not URL-safe base64"),
+            DecodeError::BadJson(e) => write!(f, "payload is not valid JSON: {e}"),
+            DecodeError::BadField(e) => write!(f, "invalid scenario field: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// URL-safe, padding-free base64 of `bytes`.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b0 = u32::from(chunk[0]);
+        let b1 = u32::from(*chunk.get(1).unwrap_or(&0));
+        let b2 = u32::from(*chunk.get(2).unwrap_or(&0));
+        let word = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64[(word >> 18) as usize & 0x3f] as char);
+        out.push(B64[(word >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(B64[(word >> 6) as usize & 0x3f] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(B64[word as usize & 0x3f] as char);
+        }
+    }
+    out
+}
+
+/// Inverse of [`base64_encode`]. Rejects non-alphabet bytes and the
+/// impossible `4k+1` length.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, DecodeError> {
+    fn val(c: u8) -> Result<u32, DecodeError> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'-' => Ok(62),
+            b'_' => Ok(63),
+            _ => Err(DecodeError::BadBase64),
+        }
+    }
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(DecodeError::BadBase64);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3 + 2);
+    for chunk in bytes.chunks(4) {
+        let mut word = 0u32;
+        for &c in chunk {
+            word = (word << 6) | val(c)?;
+        }
+        word <<= 6 * (4 - chunk.len());
+        out.push((word >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((word >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn fault_to_json(f: &FaultSpec) -> Json {
+    let obj = |kind: &str, rest: Vec<(String, Json)>| {
+        let mut fields = vec![("k".to_string(), Json::Str(kind.to_string()))];
+        fields.extend(rest);
+        Json::Obj(fields)
+    };
+    let num = |v: u64| Json::Num(Number::Uint(v));
+    match *f {
+        FaultSpec::StuckRequest {
+            port,
+            value,
+            from,
+            len,
+        } => obj(
+            "stuck_req",
+            vec![
+                ("port".into(), num(u64::from(port))),
+                ("value".into(), Json::Bool(value)),
+                ("from".into(), num(from)),
+                ("len".into(), num(len)),
+            ],
+        ),
+        FaultSpec::StuckGrant {
+            port,
+            value,
+            from,
+            len,
+        } => obj(
+            "stuck_grant",
+            vec![
+                ("port".into(), num(u64::from(port))),
+                ("value".into(), Json::Bool(value)),
+                ("from".into(), num(from)),
+                ("len".into(), num(len)),
+            ],
+        ),
+        FaultSpec::GrantGlitch { port, at } => obj(
+            "glitch",
+            vec![
+                ("port".into(), num(u64::from(port))),
+                ("at".into(), num(at)),
+            ],
+        ),
+        FaultSpec::ChannelBitFlip { from, len } => obj(
+            "chan_flip",
+            vec![("from".into(), num(from)), ("len".into(), num(len))],
+        ),
+        FaultSpec::BankReadError {
+            bank,
+            per_mille,
+            from,
+            len,
+        } => obj(
+            "bank_err",
+            vec![
+                ("bank".into(), num(u64::from(bank))),
+                ("per_mille".into(), num(u64::from(per_mille))),
+                ("from".into(), num(from)),
+                ("len".into(), num(len)),
+            ],
+        ),
+        FaultSpec::TaskHang { task, from, len } => obj(
+            "hang",
+            vec![
+                ("task".into(), num(u64::from(task))),
+                ("from".into(), num(from)),
+                ("len".into(), num(len)),
+            ],
+        ),
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], name: &str) -> Result<&'a Json, DecodeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DecodeError::BadField(format!("missing `{name}`")))
+}
+
+fn as_u64(v: &Json, name: &str) -> Result<u64, DecodeError> {
+    v.as_u64()
+        .ok_or_else(|| DecodeError::BadField(format!("`{name}` must be a non-negative integer")))
+}
+
+fn as_u32(v: &Json, name: &str) -> Result<u32, DecodeError> {
+    let n = as_u64(v, name)?;
+    u32::try_from(n).map_err(|_| DecodeError::BadField(format!("`{name}` exceeds u32")))
+}
+
+fn as_bool(v: &Json, name: &str) -> Result<bool, DecodeError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(DecodeError::BadField(format!("`{name}` must be a bool"))),
+    }
+}
+
+fn as_str<'a>(v: &'a Json, name: &str) -> Result<&'a str, DecodeError> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(DecodeError::BadField(format!("`{name}` must be a string"))),
+    }
+}
+
+fn as_obj<'a>(v: &'a Json, name: &str) -> Result<&'a [(String, Json)], DecodeError> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err(DecodeError::BadField(format!("`{name}` must be an object"))),
+    }
+}
+
+fn as_arr<'a>(v: &'a Json, name: &str) -> Result<&'a [Json], DecodeError> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        _ => Err(DecodeError::BadField(format!("`{name}` must be an array"))),
+    }
+}
+
+fn fault_from_json(v: &Json, i: usize) -> Result<FaultSpec, DecodeError> {
+    let obj = as_obj(v, &format!("faults[{i}]"))?;
+    let kind = as_str(get(obj, "k")?, "k")?;
+    let u64f = |name: &str| as_u64(get(obj, name)?, name);
+    let u32f = |name: &str| as_u32(get(obj, name)?, name);
+    match kind {
+        "stuck_req" => Ok(FaultSpec::StuckRequest {
+            port: u32f("port")?,
+            value: as_bool(get(obj, "value")?, "value")?,
+            from: u64f("from")?,
+            len: u64f("len")?,
+        }),
+        "stuck_grant" => Ok(FaultSpec::StuckGrant {
+            port: u32f("port")?,
+            value: as_bool(get(obj, "value")?, "value")?,
+            from: u64f("from")?,
+            len: u64f("len")?,
+        }),
+        "glitch" => Ok(FaultSpec::GrantGlitch {
+            port: u32f("port")?,
+            at: u64f("at")?,
+        }),
+        "chan_flip" => Ok(FaultSpec::ChannelBitFlip {
+            from: u64f("from")?,
+            len: u64f("len")?,
+        }),
+        "bank_err" => Ok(FaultSpec::BankReadError {
+            bank: u32f("bank")?,
+            per_mille: u32f("per_mille")?,
+            from: u64f("from")?,
+            len: u64f("len")?,
+        }),
+        "hang" => Ok(FaultSpec::TaskHang {
+            task: u32f("task")?,
+            from: u64f("from")?,
+            len: u64f("len")?,
+        }),
+        other => Err(DecodeError::BadField(format!(
+            "unknown fault kind `{other}`"
+        ))),
+    }
+}
+
+/// The scenario as canonical compact JSON (the one-liner's payload).
+pub fn scenario_to_json(s: &Scenario) -> Json {
+    let num = |v: u64| Json::Num(Number::Uint(v));
+    Json::Obj(vec![
+        ("seed".into(), num(s.seed)),
+        ("board".into(), Json::Str(s.board.name().to_string())),
+        (
+            "tasks".into(),
+            Json::Arr(
+                s.tasks
+                    .iter()
+                    .map(|t| {
+                        Json::Obj(vec![
+                            ("words".into(), num(u64::from(t.words))),
+                            ("ops".into(), Json::Str(base64_encode(&t.ops))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("channel_pair".into(), Json::Bool(s.channel_pair)),
+        (
+            "policy".into(),
+            Json::Str(policy_name(s.policy).to_string()),
+        ),
+        ("max_burst".into(), num(u64::from(s.max_burst))),
+        ("retry".into(), Json::Bool(s.retry)),
+        ("watchdog".into(), Json::Bool(s.watchdog.armed)),
+        ("fairness".into(), Json::Bool(s.watchdog.fairness)),
+        ("recovery".into(), Json::Bool(s.recovery)),
+        (
+            "faults".into(),
+            Json::Arr(s.faults.iter().map(fault_to_json).collect()),
+        ),
+        ("max_cycles".into(), num(s.max_cycles)),
+    ])
+}
+
+/// Rebuilds a scenario from its canonical JSON, enforcing every
+/// generator bound.
+pub fn scenario_from_json(v: &Json) -> Result<Scenario, DecodeError> {
+    let obj = as_obj(v, "scenario")?;
+    let board_name = as_str(get(obj, "board")?, "board")?;
+    let board = BoardPreset::from_name(board_name)
+        .ok_or_else(|| DecodeError::BadField(format!("unknown board `{board_name}`")))?;
+    let policy_str = as_str(get(obj, "policy")?, "policy")?;
+    let policy = policy_from_name(policy_str)
+        .ok_or_else(|| DecodeError::BadField(format!("unknown policy `{policy_str}`")))?;
+    let tasks = as_arr(get(obj, "tasks")?, "tasks")?
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let fields = as_obj(t, &format!("tasks[{i}]"))?;
+            let ops_b64 = as_str(get(fields, "ops")?, "ops")?;
+            Ok(TaskSpec {
+                words: as_u32(get(fields, "words")?, "words")?,
+                ops: base64_decode(ops_b64)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let faults = as_arr(get(obj, "faults")?, "faults")?
+        .iter()
+        .enumerate()
+        .map(|(i, f)| fault_from_json(f, i))
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let scenario = Scenario {
+        seed: as_u64(get(obj, "seed")?, "seed")?,
+        board,
+        tasks,
+        channel_pair: as_bool(get(obj, "channel_pair")?, "channel_pair")?,
+        policy,
+        max_burst: as_u32(get(obj, "max_burst")?, "max_burst")?,
+        retry: as_bool(get(obj, "retry")?, "retry")?,
+        watchdog: WatchdogSpec {
+            armed: as_bool(get(obj, "watchdog")?, "watchdog")?,
+            fairness: as_bool(get(obj, "fairness")?, "fairness")?,
+        },
+        recovery: as_bool(get(obj, "recovery")?, "recovery")?,
+        faults,
+        max_cycles: as_u64(get(obj, "max_cycles")?, "max_cycles")?,
+    };
+    scenario.validate().map_err(DecodeError::BadField)?;
+    Ok(scenario)
+}
+
+/// Encodes a scenario as its replayable one-liner.
+pub fn encode(s: &Scenario) -> String {
+    let body = scenario_to_json(s).to_string();
+    format!("{PREFIX}{}", base64_encode(body.as_bytes()))
+}
+
+/// Decodes a one-liner back into a scenario.
+///
+/// # Errors
+///
+/// Any malformed input maps to a [`DecodeError`]; this function never
+/// panics, whatever the string contains.
+pub fn decode(text: &str) -> Result<Scenario, DecodeError> {
+    let text = text.trim();
+    let Some(colon) = text.find(':') else {
+        return Err(DecodeError::BadPrefix);
+    };
+    let (version, payload) = text.split_at(colon + 1);
+    if version != PREFIX {
+        return if version.starts_with("rcfz") {
+            Err(DecodeError::UnsupportedVersion(
+                version.trim_end_matches(':').to_string(),
+            ))
+        } else {
+            Err(DecodeError::BadPrefix)
+        };
+    }
+    let bytes = base64_decode(payload)?;
+    let body = String::from_utf8(bytes)
+        .map_err(|_| DecodeError::BadJson("payload is not UTF-8".to_string()))?;
+    let json = Json::parse(&body).map_err(|e| DecodeError::BadJson(e.to_string()))?;
+    scenario_from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips_all_lengths() {
+        for len in 0..64usize {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let enc = base64_encode(&bytes);
+            assert_eq!(base64_decode(&enc).unwrap(), bytes, "len {len}");
+        }
+    }
+
+    #[test]
+    fn one_liner_round_trips_byte_identically() {
+        for seed in 0..64 {
+            let s = Scenario::generate(seed);
+            let line = encode(&s);
+            let back = decode(&line).expect("decodes");
+            assert_eq!(back, s, "seed {seed} decodes to the same scenario");
+            assert_eq!(
+                encode(&back),
+                line,
+                "seed {seed} re-encodes byte-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_are_typed_errors_not_panics() {
+        let cases: &[&str] = &[
+            "",
+            "rcfz1:",
+            "garbage",
+            "rcfz1",
+            "rcfz9:AAAA",
+            "rcfz1:!!!not-base64!!!",
+            "rcfz1:AAAA",
+            "rcfz1:eyJzZWVkIjo=",
+            "rcfz1:e30",
+        ];
+        for &c in cases {
+            assert!(decode(c).is_err(), "`{c}` must be rejected");
+        }
+        // Truncations of a valid line must error, never panic.
+        let line = encode(&Scenario::generate(3));
+        for cut in 0..line.len() {
+            let _ = decode(&line[..cut]);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The fuzzing loop: generate or mutate, run the differential oracles,
+//! keep coverage-earning scenarios, shrink findings.
+//!
+//! Everything is seeded: the scenario stream is a pure function of
+//! `seed_start` and the step counter, and mutation targets rotate
+//! deterministically through the corpus, so two fuzzer runs with the
+//! same config visit the same scenarios in the same order. Fleet mode
+//! shards disjoint seed ranges across the `rcarb-exec` work-stealing
+//! pool and merges shard results in shard order — also deterministic,
+//! whatever the thread interleaving.
+
+use crate::coverage::CoverageMap;
+use crate::run::{run_scenario, Finding, RunConfig};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+use rcarb_core::rng::SplitMix64;
+use std::time::{Duration, Instant};
+
+/// Fuzzing-loop knobs.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Stop after this much wall-clock time (`None` = unbounded).
+    pub time_budget: Option<Duration>,
+    /// Stop after this many scenarios (`None` = unbounded).
+    pub max_scenarios: Option<u64>,
+    /// First generator seed.
+    pub seed_start: u64,
+    /// Per-kernel-run oracle knobs.
+    pub run: RunConfig,
+    /// Shrink findings before recording them.
+    pub shrink_findings: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            time_budget: None,
+            max_scenarios: Some(100),
+            seed_start: 0,
+            run: RunConfig::default(),
+            shrink_findings: true,
+        }
+    }
+}
+
+/// Aggregate statistics from one fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzStats {
+    /// Scenarios executed (each under all kernels and oracles).
+    pub scenarios: u64,
+    /// Scenarios that earned a corpus slot.
+    pub kept: u64,
+    /// Findings recorded (after shrinking).
+    pub findings: u64,
+    /// Total coverage keys at the end.
+    pub coverage_keys: usize,
+    /// Distinct metric series covered.
+    pub series: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl FuzzStats {
+    /// Scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.scenarios as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The fuzzer state: coverage so far, the in-memory corpus, findings.
+#[derive(Debug, Default)]
+pub struct Fuzzer {
+    /// Accumulated coverage.
+    pub coverage: CoverageMap,
+    /// Scenarios that contributed new coverage, in discovery order.
+    pub corpus: Vec<Scenario>,
+    /// Shrunk findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Fuzzer {
+    /// A fresh fuzzer with optional pre-seeded corpus entries (their
+    /// coverage is replayed into the map first, so they only mutate —
+    /// never re-earn slots).
+    pub fn with_corpus(seeds: Vec<Scenario>, run: &RunConfig) -> Self {
+        let mut fuzzer = Self::default();
+        for s in seeds {
+            let outcome = run_scenario(&s, run);
+            if let Some(obs) = &outcome.observation {
+                fuzzer.coverage.merge(obs);
+            }
+            fuzzer.corpus.push(s);
+        }
+        fuzzer
+    }
+
+    /// Runs one scenario through the oracles, folding coverage and
+    /// findings into the fuzzer. Returns true when the scenario earned
+    /// a corpus slot.
+    pub fn step(&mut self, scenario: Scenario, config: &FuzzConfig) -> bool {
+        let outcome = run_scenario(&scenario, &config.run);
+        for finding in outcome.findings {
+            let recorded = if config.shrink_findings {
+                shrink_finding(&finding, &config.run)
+            } else {
+                finding
+            };
+            self.findings.push(recorded);
+        }
+        let mut kept = false;
+        if let Some(obs) = &outcome.observation {
+            if self.coverage.merge(obs) > 0 {
+                self.corpus.push(scenario);
+                kept = true;
+            }
+        }
+        kept
+    }
+
+    /// Runs the full loop until a budget expires.
+    pub fn run(&mut self, config: &FuzzConfig) -> FuzzStats {
+        let started = Instant::now();
+        let mut stats = FuzzStats::default();
+        let mut rng = SplitMix64::new(config.seed_start ^ 0x66757a7a);
+        let mut next_seed = config.seed_start;
+        let mut mutate_cursor = 0usize;
+        loop {
+            if let Some(budget) = config.time_budget {
+                if started.elapsed() >= budget {
+                    break;
+                }
+            }
+            if let Some(max) = config.max_scenarios {
+                if stats.scenarios >= max {
+                    break;
+                }
+            }
+            // Alternate fresh generation with corpus mutation once the
+            // corpus has anything to mutate.
+            let scenario = if self.corpus.is_empty() || stats.scenarios % 2 == 0 {
+                let s = Scenario::generate(next_seed);
+                next_seed += 1;
+                s
+            } else {
+                let base = &self.corpus[mutate_cursor % self.corpus.len()];
+                mutate_cursor += 1;
+                base.mutate(rng.next_u64())
+            };
+            if self.step(scenario, config) {
+                stats.kept += 1;
+            }
+            stats.scenarios += 1;
+        }
+        stats.findings = self.findings.len() as u64;
+        stats.coverage_keys = self.coverage.keys();
+        stats.series = self.coverage.series();
+        stats.elapsed = started.elapsed();
+        stats
+    }
+}
+
+/// Shrinks one finding, preserving its failure class.
+fn shrink_finding(finding: &Finding, run: &RunConfig) -> Finding {
+    let key = finding.kind.key();
+    let mut still_fails = |s: &Scenario| {
+        run_scenario(s, run)
+            .findings
+            .iter()
+            .any(|f| f.kind.key() == key)
+    };
+    if !still_fails(&finding.scenario) {
+        // Not reproducible under the plain runner (e.g. planted by a
+        // test hook) — record as-is.
+        return finding.clone();
+    }
+    let (min, _) = shrink(&finding.scenario, &mut still_fails);
+    let detail = finding.detail.clone();
+    let kind = finding.kind.clone();
+    Finding {
+        scenario: min,
+        kind,
+        detail,
+    }
+}
+
+/// Result of one fleet shard.
+#[derive(Debug)]
+pub struct ShardResult {
+    /// Which shard (0-based).
+    pub shard: usize,
+    /// The shard's local statistics.
+    pub stats: FuzzStats,
+    /// Coverage-earning scenarios found by this shard.
+    pub corpus: Vec<Scenario>,
+    /// Shrunk findings from this shard.
+    pub findings: Vec<Finding>,
+}
+
+/// Fleet mode: `shards` independent fuzzers over disjoint seed ranges,
+/// scheduled on the global `rcarb-exec` pool and merged in shard order.
+pub fn fuzz_fleet(
+    shards: usize,
+    seeds_per_shard: u64,
+    base: &FuzzConfig,
+) -> (Fuzzer, Vec<ShardResult>) {
+    let configs: Vec<(usize, FuzzConfig)> = (0..shards)
+        .map(|i| {
+            let mut c = base.clone();
+            c.seed_start = base.seed_start + i as u64 * seeds_per_shard;
+            c.max_scenarios = Some(seeds_per_shard);
+            c.time_budget = base.time_budget;
+            (i, c)
+        })
+        .collect();
+    let mut results: Vec<ShardResult> =
+        rcarb_exec::global_pool().parallel_map(configs, |(shard, config)| {
+            let mut fuzzer = Fuzzer::default();
+            let stats = fuzzer.run(&config);
+            ShardResult {
+                shard,
+                stats,
+                corpus: fuzzer.corpus,
+                findings: fuzzer.findings,
+            }
+        });
+    results.sort_by_key(|r| r.shard);
+    // Deterministic merge: replay each shard's corpus into one combined
+    // fuzzer in shard order; only scenarios that still add coverage
+    // globally survive.
+    let mut merged = Fuzzer::default();
+    let merge_config = FuzzConfig {
+        shrink_findings: false,
+        ..base.clone()
+    };
+    for r in &results {
+        for s in &r.corpus {
+            merged.step(s.clone(), &merge_config);
+        }
+    }
+    merged.findings = results.iter().flat_map(|r| r.findings.clone()).collect();
+    (merged, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(max: u64) -> FuzzConfig {
+        FuzzConfig {
+            max_scenarios: Some(max),
+            run: RunConfig {
+                check_tool_models: false,
+                ..RunConfig::default()
+            },
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn the_loop_is_deterministic() {
+        let config = quick_config(6);
+        let mut a = Fuzzer::default();
+        let sa = a.run(&config);
+        let mut b = Fuzzer::default();
+        let sb = b.run(&config);
+        assert_eq!(sa.scenarios, sb.scenarios);
+        assert_eq!(sa.kept, sb.kept);
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.coverage.keys(), b.coverage.keys());
+    }
+
+    #[test]
+    fn early_scenarios_earn_coverage() {
+        let mut fuzzer = Fuzzer::default();
+        let stats = fuzzer.run(&quick_config(4));
+        assert_eq!(stats.scenarios, 4);
+        assert!(stats.kept >= 1, "the first scenario always adds coverage");
+        assert!(stats.coverage_keys > 0);
+        assert!(stats.series > 0);
+    }
+
+    #[test]
+    fn fleet_mode_merges_deterministically() {
+        let base = quick_config(3);
+        let (merged_a, shards_a) = fuzz_fleet(2, 3, &base);
+        let (merged_b, _) = fuzz_fleet(2, 3, &base);
+        assert_eq!(shards_a.len(), 2);
+        assert_eq!(merged_a.corpus, merged_b.corpus);
+        assert_eq!(merged_a.coverage.keys(), merged_b.coverage.keys());
+        let total: u64 = shards_a.iter().map(|r| r.stats.scenarios).sum();
+        assert_eq!(total, 6);
+    }
+}

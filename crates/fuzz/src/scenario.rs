@@ -1,0 +1,769 @@
+//! The fuzzer's unit of work: a [`Scenario`] is one fully-described
+//! board × taskgraph × fault-plan × policy × watchdog combination,
+//! small enough to encode as a one-liner and explicit enough to mutate
+//! and shrink field by field.
+//!
+//! Everything downstream — materialization into a simulatable system,
+//! the differential run, the corpus encoding — is a *pure function* of
+//! this value, so a scenario reproduces byte-identically on any host
+//! and any kernel. All randomness used while generating or mutating
+//! scenarios comes from [`SplitMix64`] draws over the caller's seed;
+//! all randomness *inside* a run comes from the scenario's own `seed`
+//! via the fault plan's stateless `mix3` draws.
+
+use rcarb_board::board::Board;
+use rcarb_board::presets;
+use rcarb_core::channel::ChannelMergePlan;
+use rcarb_core::insertion::{insert_arbiters, ArbitrationPlan, InsertionConfig};
+use rcarb_core::memmap::{bind_segments, MemoryBinding};
+use rcarb_core::policy::PolicyKind;
+use rcarb_core::rng::SplitMix64;
+use rcarb_core::transform::RetryPolicy;
+use rcarb_sim::config::WatchdogConfig;
+use rcarb_sim::fault::RecoveryPolicy;
+use rcarb_sim::{FaultPlan, FaultWindow};
+use rcarb_taskgraph::builder::TaskGraphBuilder;
+use rcarb_taskgraph::graph::TaskGraph;
+use rcarb_taskgraph::id::ChannelId;
+use rcarb_taskgraph::program::{Expr, Program};
+
+/// Generation bounds shared by [`Scenario::generate`],
+/// [`Scenario::mutate`] and the decoder's validation: every scenario in
+/// the system respects them, so a corpus entry can never smuggle a
+/// pathological size into CI.
+pub mod bounds {
+    /// Maximum regular tasks (the channel pair adds two more).
+    pub const MAX_TASKS: usize = 6;
+    /// Maximum byte-coded ops per task program.
+    pub const MAX_OPS: usize = 48;
+    /// Maximum planned faults.
+    pub const MAX_FAULTS: usize = 6;
+    /// Segment size range in words.
+    pub const WORDS: (u32, u32) = (8, 64);
+    /// Burst bound `M` range.
+    pub const MAX_BURST: (u32, u32) = (1, 4);
+    /// Simulated-cycle budget range.
+    pub const MAX_CYCLES: (u64, u64) = (2_000, 60_000);
+}
+
+/// Which ready-made board the scenario targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardPreset {
+    /// Two PEs, one shared bank — maximal contention.
+    DuoSmall,
+    /// The paper's four-PE Wildforce (local banks, crossbar).
+    Wildforce,
+    /// Four large PEs, local plus shared banks.
+    QuadLarge,
+}
+
+impl BoardPreset {
+    /// All presets, in encoding order.
+    pub const ALL: [BoardPreset; 3] = [
+        BoardPreset::DuoSmall,
+        BoardPreset::Wildforce,
+        BoardPreset::QuadLarge,
+    ];
+
+    /// The stable name used by the one-liner encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoardPreset::DuoSmall => "duo_small",
+            BoardPreset::Wildforce => "wildforce",
+            BoardPreset::QuadLarge => "quad_large",
+        }
+    }
+
+    /// Parses an encoding name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Builds the board.
+    pub fn board(self) -> Board {
+        match self {
+            BoardPreset::DuoSmall => presets::duo_small(),
+            BoardPreset::Wildforce => presets::wildforce(),
+            BoardPreset::QuadLarge => presets::quad_large(),
+        }
+    }
+}
+
+/// One task: a private segment plus a byte-coded access pattern.
+///
+/// Each op byte decodes as in the kernel-equivalence suite: `b % 4`
+/// selects write / read / compute / variable arithmetic, so patterns
+/// shrink naturally by dropping bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Segment size in words.
+    pub words: u32,
+    /// Byte-coded op pattern (never empty).
+    pub ops: Vec<u8>,
+}
+
+/// One planned fault, in scenario-relative coordinates: task, port and
+/// bank indices resolve against the materialized design (modulo the
+/// actual resource counts), so a shrunk scenario keeps its faults
+/// meaningful without re-encoding absolute ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// A request line into the first arbiter stuck at `value`.
+    StuckRequest {
+        /// Arbiter port whose requesting task is faulted.
+        port: u32,
+        /// Stuck level.
+        value: bool,
+        /// First live cycle.
+        from: u64,
+        /// Window length in cycles.
+        len: u64,
+    },
+    /// A grant line out of the first arbiter stuck at `value`.
+    StuckGrant {
+        /// Faulted output port.
+        port: u32,
+        /// Stuck level.
+        value: bool,
+        /// First live cycle.
+        from: u64,
+        /// Window length in cycles.
+        len: u64,
+    },
+    /// A one-cycle grant-line inversion.
+    GrantGlitch {
+        /// Glitched output port.
+        port: u32,
+        /// The glitch cycle.
+        at: u64,
+    },
+    /// Seeded bit flips on the channel pair's route (dropped when the
+    /// scenario has no channel pair).
+    ChannelBitFlip {
+        /// First live cycle.
+        from: u64,
+        /// Window length in cycles.
+        len: u64,
+    },
+    /// EDC-failed reads on one in-use bank.
+    BankReadError {
+        /// Bank index into the binding's used banks.
+        bank: u32,
+        /// Failure probability in parts per thousand (1..=1000).
+        per_mille: u32,
+        /// First live cycle.
+        from: u64,
+        /// Window length in cycles.
+        len: u64,
+    },
+    /// One task's controller freezes for the window.
+    TaskHang {
+        /// Task index (modulo the task count).
+        task: u32,
+        /// First live cycle.
+        from: u64,
+        /// Window length in cycles.
+        len: u64,
+    },
+}
+
+/// Watchdog arming. Thresholds are derived, not stored: the runner
+/// computes provably-safe bounds from the scenario shape, so an armed
+/// watchdog on an analyzer-certified-clean, fault-free round-robin
+/// scenario firing at all is a genuine finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogSpec {
+    /// Arm grant-timeout and no-progress watchdogs.
+    pub armed: bool,
+    /// Additionally cross-check the paper's fairness bound at runtime.
+    pub fairness: bool,
+}
+
+/// A complete, replayable fuzz scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for all in-run randomness (fault draws).
+    pub seed: u64,
+    /// Target board.
+    pub board: BoardPreset,
+    /// Regular tasks (1..=[`bounds::MAX_TASKS`]).
+    pub tasks: Vec<TaskSpec>,
+    /// Append a producer/consumer pair communicating over a channel.
+    pub channel_pair: bool,
+    /// Arbitration policy simulated behaviourally.
+    pub policy: PolicyKind,
+    /// Burst bound `M`.
+    pub max_burst: u32,
+    /// Emit the bounded-wait retry protocol instead of blocking waits.
+    pub retry: bool,
+    /// Watchdog arming.
+    pub watchdog: WatchdogSpec,
+    /// Enable the full recovery policy (scrub/retry/quarantine/reroute).
+    pub recovery: bool,
+    /// Planned faults (resolved at materialization).
+    pub faults: Vec<FaultSpec>,
+    /// Simulated-cycle budget.
+    pub max_cycles: u64,
+}
+
+/// Everything a differential run needs, derived from one scenario.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// The taskgraph before arbiter insertion.
+    pub graph: TaskGraph,
+    /// The target board.
+    pub board: Board,
+    /// Segment-to-bank binding.
+    pub binding: MemoryBinding,
+    /// Channel-merge plan.
+    pub merges: ChannelMergePlan,
+    /// Arbiter insertion output.
+    pub plan: ArbitrationPlan,
+    /// The resolved fault plan (possibly empty).
+    pub faults: FaultPlan,
+    /// Runtime watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+    /// Fault recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// Simulated-cycle budget.
+    pub max_cycles: u64,
+}
+
+/// Stable encoding order for [`PolicyKind`] — the one-liner names.
+pub fn policy_name(kind: PolicyKind) -> &'static str {
+    match kind {
+        PolicyKind::RoundRobin => "round-robin",
+        PolicyKind::Random => "random",
+        PolicyKind::Fifo => "fifo",
+        PolicyKind::StaticPriority => "static-priority",
+        PolicyKind::PreemptiveRoundRobin => "preemptive-rr",
+        PolicyKind::PrefixRoundRobin => "prefix-rr",
+    }
+}
+
+/// Parses a [`policy_name`].
+pub fn policy_from_name(name: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|&k| policy_name(k) == name)
+}
+
+impl Scenario {
+    /// Generates the canonical scenario for `seed`. Pure: the same seed
+    /// always yields the same scenario on every host.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ GENERATE_SALT);
+        let num_tasks = 1 + rng.next_below(bounds::MAX_TASKS as u64) as usize;
+        let tasks = (0..num_tasks)
+            .map(|_| {
+                let words = bounds::WORDS.0
+                    + rng.next_below(u64::from(bounds::WORDS.1 - bounds::WORDS.0 + 1)) as u32;
+                let len = 1 + rng.next_below(bounds::MAX_OPS as u64 - 1) as usize;
+                let ops = (0..len).map(|_| rng.next_u64() as u8).collect();
+                TaskSpec { words, ops }
+            })
+            .collect();
+        let channel_pair = rng.next_below(3) == 0;
+        let policy = PolicyKind::ALL[rng.next_below(PolicyKind::ALL.len() as u64) as usize];
+        let max_burst = bounds::MAX_BURST.0 + rng.next_below(u64::from(bounds::MAX_BURST.1)) as u32;
+        let retry = rng.next_below(4) == 0;
+        let watchdog = WatchdogSpec {
+            armed: rng.next_below(2) == 0,
+            fairness: rng.next_below(2) == 0,
+        };
+        let recovery = rng.next_below(2) == 0;
+        let max_cycles =
+            bounds::MAX_CYCLES.0 + rng.next_below(bounds::MAX_CYCLES.1 - bounds::MAX_CYCLES.0 + 1);
+        let num_faults = match rng.next_below(4) {
+            0 => 0,
+            1 => 1,
+            _ => 1 + rng.next_below(bounds::MAX_FAULTS as u64 - 1),
+        } as usize;
+        let mut s = Self {
+            seed,
+            board: BoardPreset::ALL[rng.next_below(BoardPreset::ALL.len() as u64) as usize],
+            tasks,
+            channel_pair,
+            policy,
+            max_burst,
+            retry,
+            watchdog,
+            recovery,
+            faults: Vec::new(),
+            max_cycles,
+        };
+        for _ in 0..num_faults {
+            let f = random_fault(&mut rng, s.max_cycles);
+            s.faults.push(f);
+        }
+        s
+    }
+
+    /// Derives a mutated copy, applying one to three seeded mutations.
+    /// Pure in `(self, seed)`.
+    pub fn mutate(&self, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x6d75_7461_7465_u64);
+        let mut s = self.clone();
+        let count = 1 + rng.next_below(3);
+        for _ in 0..count {
+            apply_mutation(&mut s, &mut rng);
+        }
+        s.seed = self.seed ^ rng.next_u64();
+        s
+    }
+
+    /// Every scenario invariant the decoder enforces; generation and
+    /// mutation maintain them by construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tasks.is_empty() || self.tasks.len() > bounds::MAX_TASKS {
+            return Err(format!(
+                "task count {} outside 1..={}",
+                self.tasks.len(),
+                bounds::MAX_TASKS
+            ));
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.ops.is_empty() || t.ops.len() > bounds::MAX_OPS {
+                return Err(format!(
+                    "task {i} ops length {} outside 1..={}",
+                    t.ops.len(),
+                    bounds::MAX_OPS
+                ));
+            }
+            if t.words < bounds::WORDS.0 || t.words > bounds::WORDS.1 {
+                return Err(format!(
+                    "task {i} segment size {} outside {:?}",
+                    t.words,
+                    bounds::WORDS
+                ));
+            }
+        }
+        if self.max_burst < bounds::MAX_BURST.0 || self.max_burst > bounds::MAX_BURST.1 {
+            return Err(format!(
+                "burst bound {} outside {:?}",
+                self.max_burst,
+                bounds::MAX_BURST
+            ));
+        }
+        if self.max_cycles < bounds::MAX_CYCLES.0 || self.max_cycles > bounds::MAX_CYCLES.1 {
+            return Err(format!(
+                "cycle budget {} outside {:?}",
+                self.max_cycles,
+                bounds::MAX_CYCLES
+            ));
+        }
+        if self.faults.len() > bounds::MAX_FAULTS {
+            return Err(format!(
+                "{} faults exceed the {} cap",
+                self.faults.len(),
+                bounds::MAX_FAULTS
+            ));
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            let ok = match *f {
+                FaultSpec::BankReadError { per_mille, len, .. } => {
+                    (1..=1000).contains(&per_mille) && len >= 1
+                }
+                FaultSpec::StuckRequest { len, .. }
+                | FaultSpec::StuckGrant { len, .. }
+                | FaultSpec::ChannelBitFlip { len, .. }
+                | FaultSpec::TaskHang { len, .. } => len >= 1,
+                FaultSpec::GrantGlitch { .. } => true,
+            };
+            if !ok {
+                return Err(format!("fault {i} has an empty window or invalid rate"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the scenario into a simulatable design plus run
+    /// configuration. Pure: byte-identical output for equal scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns the planning error text when the generated segments do
+    /// not fit the chosen board — generation bounds make this
+    /// unreachable for generated scenarios, so the fuzzer records it as
+    /// a finding rather than skipping silently.
+    pub fn materialize(&self) -> Result<Materialized, String> {
+        let board = self.board.board();
+        let mut b = TaskGraphBuilder::new("fuzz");
+        let segs: Vec<_> = (0..self.tasks.len())
+            .map(|i| b.segment(format!("M{i}"), self.tasks[i].words, 16))
+            .collect();
+        for (i, (spec, &seg)) in self.tasks.iter().zip(&segs).enumerate() {
+            let words = u64::from(spec.words);
+            let pattern = spec.ops.clone();
+            b.task(
+                format!("T{i}"),
+                Program::build(move |p| {
+                    for (k, &op) in pattern.iter().enumerate() {
+                        match op % 4 {
+                            0 => p.mem_write(
+                                seg,
+                                Expr::lit(k as u64 % words),
+                                Expr::lit(u64::from(op)),
+                            ),
+                            1 => {
+                                let _ = p.mem_read(seg, Expr::lit(k as u64 % words));
+                            }
+                            2 => p.compute(u32::from(op % 5) + 1),
+                            _ => {
+                                let v = p.let_(Expr::lit(u64::from(op)));
+                                p.set(v, Expr::add(Expr::var(v), Expr::lit(1)));
+                            }
+                        }
+                    }
+                }),
+            );
+        }
+        if self.channel_pair {
+            let out = b.segment("chan_out", 8, 16);
+            let producer = b.task(
+                "producer",
+                Program::build(|p| {
+                    for i in 0..4u64 {
+                        p.compute(19);
+                        p.send(ChannelId::new(0), Expr::lit(0x100 + i));
+                    }
+                }),
+            );
+            let consumer = b.task(
+                "consumer",
+                Program::build(move |p| {
+                    for i in 0..4u64 {
+                        let v = p.recv(ChannelId::new(0));
+                        p.mem_write(out, Expr::lit(i), Expr::var(v));
+                        p.compute(3);
+                    }
+                }),
+            );
+            let _ = b.channel("c", 16, producer, consumer);
+        }
+        let graph = b
+            .finish()
+            .map_err(|e| format!("invalid taskgraph: {e:?}"))?;
+        let binding = bind_segments(graph.segments(), &board, &|_| None)
+            .map_err(|e| format!("binding failed: {e}"))?;
+        let merges = ChannelMergePlan::default();
+        let mut insertion = InsertionConfig::paper()
+            .with_max_burst(self.max_burst)
+            .with_await_each_access(self.policy == PolicyKind::PreemptiveRoundRobin);
+        if self.retry {
+            insertion = insertion.with_retry(RetryPolicy::new(64 + 16 * self.max_burst, 3, 32));
+        }
+        let plan = insert_arbiters(&graph, &binding, &merges, &insertion);
+        let faults = self.resolve_faults(&plan, &binding);
+        let watchdog = self.watchdog_config();
+        let recovery = if self.recovery {
+            RecoveryPolicy::full()
+        } else {
+            RecoveryPolicy::none()
+        };
+        Ok(Materialized {
+            graph,
+            board,
+            binding,
+            merges,
+            plan,
+            faults,
+            watchdog,
+            recovery,
+            max_cycles: self.max_cycles,
+        })
+    }
+
+    /// The derived watchdog thresholds: generous enough that a clean
+    /// round-robin design can never legitimately trip them (the
+    /// runtime's own bound derivation is `(N-1)(M+4)+2`; this allows
+    /// several times that plus protocol slack).
+    pub fn watchdog_config(&self) -> WatchdogConfig {
+        if !self.watchdog.armed {
+            return WatchdogConfig::none();
+        }
+        let n = (self.tasks.len() + if self.channel_pair { 2 } else { 0 }) as u64;
+        let m = u64::from(self.max_burst);
+        let mut w = WatchdogConfig::none()
+            .with_grant_timeout(64 + n * (m + 6) * 8)
+            .with_progress_bound(4096);
+        if self.watchdog.fairness
+            && matches!(
+                self.policy,
+                PolicyKind::RoundRobin | PolicyKind::PrefixRoundRobin
+            )
+        {
+            w = w.with_fairness_m(self.max_burst);
+        }
+        w
+    }
+
+    /// Resolves the relative [`FaultSpec`]s against the materialized
+    /// design. Specs whose target does not exist (no arbiter inserted,
+    /// no channel pair, no used bank) are dropped rather than rejected,
+    /// so every scenario materializes into a valid plan.
+    fn resolve_faults(&self, plan: &ArbitrationPlan, binding: &MemoryBinding) -> FaultPlan {
+        let mut out = FaultPlan::seeded(self.seed);
+        let arbiter = plan.arbiters.first();
+        let banks = binding.used_banks();
+        for f in &self.faults {
+            match *f {
+                FaultSpec::StuckRequest {
+                    port,
+                    value,
+                    from,
+                    len,
+                } => {
+                    if let Some(a) = arbiter {
+                        let p = port as usize % a.ports.len();
+                        if let Some(&task) = a.ports[p].first() {
+                            out = out.with_stuck_request(
+                                task,
+                                a.id,
+                                value,
+                                window(from, len, self.max_cycles),
+                            );
+                        }
+                    }
+                }
+                FaultSpec::StuckGrant {
+                    port,
+                    value,
+                    from,
+                    len,
+                } => {
+                    if let Some(a) = arbiter {
+                        out = out.with_stuck_grant(
+                            a.id,
+                            port as usize % a.inputs,
+                            value,
+                            window(from, len, self.max_cycles),
+                        );
+                    }
+                }
+                FaultSpec::GrantGlitch { port, at } => {
+                    if let Some(a) = arbiter {
+                        out = out.with_grant_glitch(
+                            a.id,
+                            port as usize % a.inputs,
+                            at % self.max_cycles,
+                        );
+                    }
+                }
+                FaultSpec::ChannelBitFlip { from, len } => {
+                    if self.channel_pair {
+                        out = out.with_channel_bit_flip(
+                            ChannelId::new(0),
+                            window(from, len, self.max_cycles),
+                        );
+                    }
+                }
+                FaultSpec::BankReadError {
+                    bank,
+                    per_mille,
+                    from,
+                    len,
+                } => {
+                    if !banks.is_empty() {
+                        out = out.with_bank_read_error(
+                            banks[bank as usize % banks.len()],
+                            per_mille.clamp(1, 1000),
+                            window(from, len, self.max_cycles),
+                        );
+                    }
+                }
+                FaultSpec::TaskHang { task, from, len } => {
+                    let total = plan.graph.tasks().len();
+                    if total > 0 {
+                        let id = plan.graph.tasks()[task as usize % total].id();
+                        out = out.with_task_hang(id, window(from, len, self.max_cycles));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Clamps a `(from, len)` pair into the run's cycle budget.
+fn window(from: u64, len: u64, max_cycles: u64) -> FaultWindow {
+    let from = from % max_cycles;
+    let until = from.saturating_add(len.max(1)).min(max_cycles);
+    FaultWindow::new(from, until.max(from + 1))
+}
+
+/// Draws one random fault spec.
+fn random_fault(rng: &mut SplitMix64, max_cycles: u64) -> FaultSpec {
+    let from = rng.next_below(max_cycles / 2 + 1);
+    let len = 1 + rng.next_below(max_cycles / 4 + 1);
+    match rng.next_below(6) {
+        0 => FaultSpec::StuckRequest {
+            port: rng.next_below(8) as u32,
+            value: rng.next_below(2) == 1,
+            from,
+            len,
+        },
+        1 => FaultSpec::StuckGrant {
+            port: rng.next_below(8) as u32,
+            value: rng.next_below(2) == 1,
+            from,
+            len,
+        },
+        2 => FaultSpec::GrantGlitch {
+            port: rng.next_below(8) as u32,
+            at: from,
+        },
+        3 => FaultSpec::ChannelBitFlip { from, len },
+        4 => FaultSpec::BankReadError {
+            bank: rng.next_below(8) as u32,
+            per_mille: 1 + rng.next_below(1000) as u32,
+            from,
+            len,
+        },
+        _ => FaultSpec::TaskHang {
+            task: rng.next_below(8) as u32,
+            from,
+            len,
+        },
+    }
+}
+
+/// Applies one random mutation in place, maintaining the invariants of
+/// [`Scenario::validate`].
+fn apply_mutation(s: &mut Scenario, rng: &mut SplitMix64) {
+    match rng.next_below(12) {
+        0 => {
+            // Add a task.
+            if s.tasks.len() < bounds::MAX_TASKS {
+                let words = bounds::WORDS.0
+                    + rng.next_below(u64::from(bounds::WORDS.1 - bounds::WORDS.0 + 1)) as u32;
+                let len = 1 + rng.next_below(bounds::MAX_OPS as u64 - 1) as usize;
+                let ops = (0..len).map(|_| rng.next_u64() as u8).collect();
+                s.tasks.push(TaskSpec { words, ops });
+            }
+        }
+        1 => {
+            // Drop a task.
+            if s.tasks.len() > 1 {
+                let i = rng.next_below(s.tasks.len() as u64) as usize;
+                s.tasks.remove(i);
+            }
+        }
+        2 => {
+            // Flip one op byte.
+            let i = rng.next_below(s.tasks.len() as u64) as usize;
+            let ops = &mut s.tasks[i].ops;
+            let k = rng.next_below(ops.len() as u64) as usize;
+            ops[k] = rng.next_u64() as u8;
+        }
+        3 => {
+            // Append ops.
+            let i = rng.next_below(s.tasks.len() as u64) as usize;
+            let ops = &mut s.tasks[i].ops;
+            let extra = 1 + rng.next_below(8) as usize;
+            for _ in 0..extra {
+                if ops.len() < bounds::MAX_OPS {
+                    ops.push(rng.next_u64() as u8);
+                }
+            }
+        }
+        4 => {
+            // Truncate ops.
+            let i = rng.next_below(s.tasks.len() as u64) as usize;
+            let ops = &mut s.tasks[i].ops;
+            if ops.len() > 1 {
+                let keep = 1 + rng.next_below(ops.len() as u64 - 1) as usize;
+                ops.truncate(keep);
+            }
+        }
+        5 => {
+            s.policy = PolicyKind::ALL[rng.next_below(PolicyKind::ALL.len() as u64) as usize];
+        }
+        6 => {
+            s.max_burst =
+                bounds::MAX_BURST.0 + rng.next_below(u64::from(bounds::MAX_BURST.1)) as u32;
+        }
+        7 => {
+            s.channel_pair = !s.channel_pair;
+        }
+        8 => {
+            // Add a fault.
+            if s.faults.len() < bounds::MAX_FAULTS {
+                let f = random_fault(rng, s.max_cycles);
+                s.faults.push(f);
+            }
+        }
+        9 => {
+            // Drop a fault.
+            if !s.faults.is_empty() {
+                let i = rng.next_below(s.faults.len() as u64) as usize;
+                s.faults.remove(i);
+            }
+        }
+        10 => {
+            s.board = BoardPreset::ALL[rng.next_below(BoardPreset::ALL.len() as u64) as usize];
+        }
+        _ => {
+            s.watchdog = WatchdogSpec {
+                armed: rng.next_below(2) == 0,
+                fairness: rng.next_below(2) == 0,
+            };
+            s.recovery = rng.next_below(2) == 0;
+            s.retry = rng.next_below(4) == 0;
+            s.max_cycles = bounds::MAX_CYCLES.0
+                + rng.next_below(bounds::MAX_CYCLES.1 - bounds::MAX_CYCLES.0 + 1);
+        }
+    }
+}
+
+/// Salt separating the generator stream from mutation draws.
+const GENERATE_SALT: u64 = 0x5ce0_a210_9e37_79b9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..64 {
+            let a = Scenario::generate(seed);
+            let b = Scenario::generate(seed);
+            assert_eq!(a, b, "seed {seed} must generate deterministically");
+            a.validate().expect("generated scenario is valid");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_valid() {
+        let base = Scenario::generate(7);
+        for seed in 0..64 {
+            let a = base.mutate(seed);
+            assert_eq!(a, base.mutate(seed));
+            a.validate().expect("mutated scenario is valid");
+        }
+    }
+
+    #[test]
+    fn materialization_is_pure() {
+        for seed in 0..16 {
+            let s = Scenario::generate(seed);
+            let a = s.materialize().expect("materializes");
+            let b = s.materialize().expect("materializes");
+            assert_eq!(a.plan.arbiter_sizes(), b.plan.arbiter_sizes());
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.watchdog, b.watchdog);
+        }
+    }
+
+    #[test]
+    fn fault_windows_stay_inside_the_cycle_budget() {
+        for seed in 0..32 {
+            let s = Scenario::generate(seed);
+            let m = s.materialize().expect("materializes");
+            for f in m.faults.faults() {
+                assert!(f.window.from < s.max_cycles);
+                assert!(f.window.until <= s.max_cycles);
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Delta-debugging shrinker: reduce a failing scenario to a locally
+//! minimal one-liner while preserving the *same class* of failure.
+//!
+//! The shrinker is a greedy fixpoint over ordered reduction passes —
+//! drop whole tasks, drop whole faults, strip the channel pair,
+//! truncate op patterns (halves first, then single bytes), narrow fault
+//! windows, lower the burst bound, halve cycle budgets and segment
+//! sizes, disarm watchdog/recovery/retry, and fall back to the smallest
+//! board. A candidate replaces the current scenario only when the
+//! caller's predicate says it *still fails the same way* (matching
+//! [`FindingKind::key`](crate::run::FindingKind::key)), so shrinking
+//! can never trade the original bug for a new one.
+//!
+//! Because the task-drop and fault-drop passes run to fixpoint, the
+//! result is locally minimal in the satellite-test sense: removing any
+//! single remaining task or fault makes the failure disappear.
+
+use crate::scenario::{FaultSpec, Scenario};
+
+/// How the shrinker ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate scenarios tried.
+    pub attempts: usize,
+    /// Candidates that still failed (i.e. accepted reductions).
+    pub accepted: usize,
+    /// Full passes over the reduction list.
+    pub rounds: usize,
+}
+
+/// Shrinks `scenario` with `still_fails` as the oracle. The input must
+/// itself satisfy `still_fails`; the output always does.
+pub fn shrink(
+    scenario: &Scenario,
+    still_fails: &mut dyn FnMut(&Scenario) -> bool,
+) -> (Scenario, ShrinkStats) {
+    debug_assert!(still_fails(scenario), "shrink input must fail");
+    let mut current = scenario.clone();
+    let mut stats = ShrinkStats {
+        attempts: 0,
+        accepted: 0,
+        rounds: 0,
+    };
+    loop {
+        stats.rounds += 1;
+        let before = current.clone();
+        for candidate in candidates(&current) {
+            if candidate == current || candidate.validate().is_err() {
+                continue;
+            }
+            stats.attempts += 1;
+            if still_fails(&candidate) {
+                stats.accepted += 1;
+                current = candidate;
+            }
+        }
+        if current == before {
+            break;
+        }
+    }
+    (current, stats)
+}
+
+/// One round of reduction candidates, most aggressive first. Each is
+/// derived from the *current* scenario, so accepted reductions compound
+/// within a round.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Drop each task (keeping at least one).
+    if s.tasks.len() > 1 {
+        for i in 0..s.tasks.len() {
+            let mut c = s.clone();
+            c.tasks.remove(i);
+            out.push(c);
+        }
+    }
+    // Drop each fault.
+    for i in 0..s.faults.len() {
+        let mut c = s.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+    // Strip the channel pair.
+    if s.channel_pair {
+        let mut c = s.clone();
+        c.channel_pair = false;
+        out.push(c);
+    }
+    // Truncate op patterns: halve, then shave single trailing ops.
+    for i in 0..s.tasks.len() {
+        let len = s.tasks[i].ops.len();
+        if len > 1 {
+            let mut c = s.clone();
+            c.tasks[i].ops.truncate(len / 2);
+            out.push(c);
+            let mut c = s.clone();
+            c.tasks[i].ops.truncate(len - 1);
+            out.push(c);
+        }
+    }
+    // Narrow fault windows toward [0, 1).
+    for i in 0..s.faults.len() {
+        for c in narrow_fault(s, i) {
+            out.push(c);
+        }
+    }
+    // Shrink knobs.
+    if s.max_burst > 1 {
+        let mut c = s.clone();
+        c.max_burst = 1;
+        out.push(c);
+        let mut c = s.clone();
+        c.max_burst = s.max_burst - 1;
+        out.push(c);
+    }
+    if s.max_cycles > crate::scenario::bounds::MAX_CYCLES.0 {
+        let mut c = s.clone();
+        c.max_cycles = (s.max_cycles / 2).max(crate::scenario::bounds::MAX_CYCLES.0);
+        out.push(c);
+    }
+    for i in 0..s.tasks.len() {
+        if s.tasks[i].words > crate::scenario::bounds::WORDS.0 {
+            let mut c = s.clone();
+            c.tasks[i].words = (s.tasks[i].words / 2).max(crate::scenario::bounds::WORDS.0);
+            out.push(c);
+        }
+    }
+    // Disarm optional machinery.
+    if s.retry {
+        let mut c = s.clone();
+        c.retry = false;
+        out.push(c);
+    }
+    if s.recovery {
+        let mut c = s.clone();
+        c.recovery = false;
+        out.push(c);
+    }
+    if s.watchdog.armed || s.watchdog.fairness {
+        let mut c = s.clone();
+        c.watchdog.armed = false;
+        c.watchdog.fairness = false;
+        out.push(c);
+    }
+    // Smallest board, zero seed.
+    if s.board != crate::scenario::BoardPreset::DuoSmall {
+        let mut c = s.clone();
+        c.board = crate::scenario::BoardPreset::DuoSmall;
+        out.push(c);
+    }
+    if s.seed != 0 {
+        let mut c = s.clone();
+        c.seed = 0;
+        out.push(c);
+    }
+    out
+}
+
+/// Window-narrowing candidates for fault `i`.
+fn narrow_fault(s: &Scenario, i: usize) -> Vec<Scenario> {
+    fn with_window(s: &Scenario, i: usize, f: FaultSpec) -> Scenario {
+        let mut c = s.clone();
+        c.faults[i] = f;
+        c
+    }
+    let mut out = Vec::new();
+    match s.faults[i] {
+        FaultSpec::StuckRequest {
+            port,
+            value,
+            from,
+            len,
+        } => {
+            if len > 1 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::StuckRequest {
+                        port,
+                        value,
+                        from,
+                        len: len / 2,
+                    },
+                ));
+            }
+            if from > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::StuckRequest {
+                        port,
+                        value,
+                        from: from / 2,
+                        len,
+                    },
+                ));
+            }
+        }
+        FaultSpec::StuckGrant {
+            port,
+            value,
+            from,
+            len,
+        } => {
+            if len > 1 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::StuckGrant {
+                        port,
+                        value,
+                        from,
+                        len: len / 2,
+                    },
+                ));
+            }
+            if from > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::StuckGrant {
+                        port,
+                        value,
+                        from: from / 2,
+                        len,
+                    },
+                ));
+            }
+        }
+        FaultSpec::GrantGlitch { port, at } => {
+            if at > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::GrantGlitch { port, at: at / 2 },
+                ));
+            }
+        }
+        FaultSpec::ChannelBitFlip { from, len } => {
+            if len > 1 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::ChannelBitFlip { from, len: len / 2 },
+                ));
+            }
+            if from > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::ChannelBitFlip {
+                        from: from / 2,
+                        len,
+                    },
+                ));
+            }
+        }
+        FaultSpec::BankReadError {
+            bank,
+            per_mille,
+            from,
+            len,
+        } => {
+            if len > 1 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::BankReadError {
+                        bank,
+                        per_mille,
+                        from,
+                        len: len / 2,
+                    },
+                ));
+            }
+            if from > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::BankReadError {
+                        bank,
+                        per_mille,
+                        from: from / 2,
+                        len,
+                    },
+                ));
+            }
+        }
+        FaultSpec::TaskHang { task, from, len } => {
+            if len > 1 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::TaskHang {
+                        task,
+                        from,
+                        len: len / 2,
+                    },
+                ));
+            }
+            if from > 0 {
+                out.push(with_window(
+                    s,
+                    i,
+                    FaultSpec::TaskHang {
+                        task,
+                        from: from / 2,
+                        len,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::bounds;
+
+    /// A synthetic predicate: "fails" while it still has ≥ 2 tasks OR
+    /// any fault — the shrinker must land exactly on the boundary.
+    #[test]
+    fn shrinks_to_the_failure_boundary() {
+        let base = Scenario::generate(9);
+        let mut seeded = base.clone();
+        if seeded.faults.is_empty() {
+            seeded
+                .faults
+                .push(FaultSpec::GrantGlitch { port: 0, at: 100 });
+        }
+        while seeded.tasks.len() < 3 {
+            seeded.tasks.push(seeded.tasks[0].clone());
+        }
+        let mut fails = |s: &Scenario| s.tasks.len() >= 2 && !s.faults.is_empty();
+        let (min, stats) = shrink(&seeded, &mut fails);
+        assert!(fails(&min));
+        assert_eq!(min.tasks.len(), 2, "task list is locally minimal");
+        assert_eq!(min.faults.len(), 1, "fault list is locally minimal");
+        assert!(stats.accepted > 0);
+        assert!(stats.rounds >= 2, "fixpoint needs a confirming round");
+    }
+
+    /// Local minimality: after shrinking, removing any one task or
+    /// fault flips the predicate.
+    #[test]
+    fn result_is_locally_minimal() {
+        let mut seeded = Scenario::generate(11);
+        seeded.faults = vec![
+            FaultSpec::GrantGlitch { port: 0, at: 50 },
+            FaultSpec::TaskHang {
+                task: 0,
+                from: 10,
+                len: 20,
+            },
+        ];
+        let mut fails = |s: &Scenario| !s.faults.is_empty();
+        let (min, _) = shrink(&seeded, &mut fails);
+        assert_eq!(min.faults.len(), 1, "one fault sustains the failure");
+        for i in 0..min.faults.len() {
+            let mut c = min.clone();
+            c.faults.remove(i);
+            assert!(!fails(&c), "dropping fault {i} must fix the failure");
+        }
+        assert_eq!(min.tasks.len(), 1, "tasks are irrelevant to this predicate");
+    }
+
+    #[test]
+    fn shrunk_scenarios_respect_bounds() {
+        let seeded = Scenario::generate(21);
+        let mut fails = |_: &Scenario| true;
+        let (min, _) = shrink(&seeded, &mut fails);
+        min.validate().expect("shrunk scenario is valid");
+        assert_eq!(min.tasks.len(), 1);
+        assert!(min.faults.is_empty());
+        assert_eq!(min.max_cycles, bounds::MAX_CYCLES.0);
+        assert_eq!(min.max_burst, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the `rcfz1:` one-liner codec: every scenario the
+//! generator or mutator can produce round-trips byte-identically, and
+//! arbitrary hostile strings are rejected with a typed error, never a
+//! panic.
+
+use proptest::prelude::*;
+use rcarb_fuzz::encode::{base64_decode, base64_encode, decode, encode, DecodeError, PREFIX};
+use rcarb_fuzz::Scenario;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode → re-encode is the identity on both the value
+    /// and the wire string, for generated and mutated scenarios alike.
+    #[test]
+    fn roundtrip_is_byte_identical(seed in 0u64..1_000_000, mseed in 0u64..1_000_000) {
+        let base = Scenario::generate(seed);
+        for s in [base.clone(), base.mutate(mseed)] {
+            let line = encode(&s);
+            let back = decode(&line).expect("canonical line decodes");
+            prop_assert_eq!(&back, &s);
+            prop_assert_eq!(encode(&back), line);
+        }
+    }
+
+    /// Raw base64 round-trips for arbitrary byte strings.
+    #[test]
+    fn base64_roundtrip(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        let enc = base64_encode(&bytes);
+        prop_assert!(enc.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_'));
+        prop_assert_eq!(base64_decode(&enc).expect("alphabet-only decodes"), bytes);
+    }
+
+    /// Arbitrary strings never panic the decoder; non-canonical ones
+    /// yield typed errors.
+    #[test]
+    fn hostile_strings_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..120)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = decode(&text);
+        let _ = decode(&format!("{PREFIX}{text}"));
+    }
+
+    /// Flipping any single character of a valid line either still
+    /// decodes (base64 slack) or fails with a typed error — no panics,
+    /// no silent garbage scenarios outside the generator bounds.
+    #[test]
+    fn corrupted_lines_fail_closed(seed in 0u64..10_000, pos in 0usize..4096, flip in 1u8..=255) {
+        let line = encode(&Scenario::generate(seed));
+        let mut bytes = line.into_bytes();
+        let i = pos % bytes.len();
+        bytes[i] ^= flip;
+        if let Ok(corrupt) = String::from_utf8(bytes) {
+            if let Ok(s) = decode(&corrupt) {
+                s.validate().expect("decoded scenarios always satisfy the bounds");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_line_error_cleanly() {
+    let line = encode(&Scenario::generate(99));
+    for cut in 0..line.len() {
+        let r = decode(&line[..cut]);
+        assert!(r.is_err(), "prefix of length {cut} must be rejected");
+    }
+}
+
+#[test]
+fn error_variants_are_typed() {
+    assert_eq!(decode("not a one-liner"), Err(DecodeError::BadPrefix));
+    assert!(matches!(
+        decode("rcfz9:AAAA"),
+        Err(DecodeError::UnsupportedVersion(_))
+    ));
+    assert_eq!(decode(&format!("{PREFIX}!!!")), Err(DecodeError::BadBase64));
+    assert!(matches!(
+        decode(&format!("{PREFIX}{}", base64_encode(b"{not json"))),
+        Err(DecodeError::BadJson(_))
+    ));
+    assert!(matches!(
+        decode(&format!("{PREFIX}{}", base64_encode(b"{}"))),
+        Err(DecodeError::BadField(_))
+    ));
+    // The error type implements std::error::Error + Display.
+    let e: Box<dyn std::error::Error> = Box::new(DecodeError::BadBase64);
+    assert!(!e.to_string().is_empty());
+}

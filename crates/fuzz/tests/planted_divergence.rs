@@ -1,0 +1,163 @@
+//! End-to-end validation of the finding/shrink pipeline against a
+//! *planted* cross-kernel divergence.
+//!
+//! The `plant-divergence` feature (enabled for this crate's own tests
+//! via the self dev-dependency) exposes `run_scenario_with_hook`, which
+//! lets a test perturb one kernel's observation before the oracles
+//! compare them. We plant a divergence that triggers only while the
+//! scenario keeps at least two tasks *and* at least one fault, then
+//! assert that:
+//!
+//! * the differential runner reports it as a `KernelDivergence`
+//!   finding;
+//! * the delta-debugging shrinker drives the scenario to the exact
+//!   failure boundary; and
+//! * the result is locally minimal — removing any single remaining
+//!   task or fault makes the planted failure disappear.
+
+use rcarb_fuzz::run::{run_scenario_with_hook, FindingKind, RunConfig};
+use rcarb_fuzz::scenario::{FaultSpec, Scenario};
+use rcarb_fuzz::shrink::shrink;
+use rcarb_sim::KernelKind;
+
+/// The planted bug: on the batched kernel only, misreport the cycle
+/// count while the scenario has ≥ 2 tasks and ≥ 1 fault.
+fn plant(scenario: &Scenario, kernel: KernelKind, obs: &mut rcarb_fuzz::Observation) {
+    if kernel == KernelKind::BatchedSoa && scenario.tasks.len() >= 2 && !scenario.faults.is_empty()
+    {
+        obs.report.cycles += 1;
+    }
+}
+
+/// Runs the planted runner and reports whether the planted divergence
+/// key is among the findings.
+fn planted_fails(scenario: &Scenario, config: &RunConfig) -> bool {
+    run_scenario_with_hook(scenario, config, &plant)
+        .findings
+        .iter()
+        .any(|f| {
+            f.kind
+                == FindingKind::KernelDivergence {
+                    kernel: KernelKind::BatchedSoa,
+                    field: "report",
+                }
+        })
+}
+
+/// A seeded scenario fat enough to shrink: several tasks, several
+/// faults, every optional knob armed.
+fn fat_scenario() -> Scenario {
+    let mut s = Scenario::generate(17);
+    while s.tasks.len() < 4 {
+        let clone = s.tasks[0].clone();
+        s.tasks.push(clone);
+    }
+    if s.faults.is_empty() {
+        s.faults.push(FaultSpec::GrantGlitch { port: 1, at: 200 });
+    }
+    s.faults.push(FaultSpec::TaskHang {
+        task: 1,
+        from: 50,
+        len: 40,
+    });
+    s.validate().expect("fat scenario stays within bounds");
+    s
+}
+
+#[test]
+fn planted_divergence_is_caught_by_the_kernel_oracle() {
+    let config = RunConfig {
+        check_tool_models: false,
+        ..RunConfig::default()
+    };
+    let s = fat_scenario();
+    assert!(
+        planted_fails(&s, &config),
+        "the planted divergence must surface as a KernelDivergence finding"
+    );
+
+    // The same scenario without the hook is healthy — the bug really is
+    // the plant, not the scenario.
+    let clean = rcarb_fuzz::run_scenario(&s, &config);
+    assert!(
+        clean.findings.is_empty(),
+        "unplanted run must be finding-free: {:?}",
+        clean
+            .findings
+            .iter()
+            .map(|f| f.kind.key())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn shrinker_minimizes_the_planted_finding_to_the_boundary() {
+    let config = RunConfig {
+        check_tool_models: false,
+        ..RunConfig::default()
+    };
+    let seeded = fat_scenario();
+    let mut still_fails = |s: &Scenario| planted_fails(s, &config);
+    assert!(still_fails(&seeded));
+
+    let (min, stats) = shrink(&seeded, &mut still_fails);
+
+    // Still failing, and exactly at the planted boundary.
+    assert!(still_fails(&min), "shrunk scenario must still fail");
+    assert_eq!(min.tasks.len(), 2, "shrinks to the two-task boundary");
+    assert_eq!(min.faults.len(), 1, "shrinks to the one-fault boundary");
+    assert!(stats.accepted > 0, "shrinking must make progress");
+
+    // Local minimality: removing any one task or any one fault fixes
+    // the failure.
+    for i in 0..min.tasks.len() {
+        let mut c = min.clone();
+        c.tasks.remove(i);
+        assert!(
+            !still_fails(&c),
+            "removing task {i} must make the planted failure disappear"
+        );
+    }
+    for i in 0..min.faults.len() {
+        let mut c = min.clone();
+        c.faults.remove(i);
+        assert!(
+            !still_fails(&c),
+            "removing fault {i} must make the planted failure disappear"
+        );
+    }
+
+    // The minimized scenario still replays through the encoder — the
+    // bug-report one-liner exists.
+    let line = rcarb_fuzz::encode(&min);
+    assert_eq!(rcarb_fuzz::decode(&line).expect("decodes"), min);
+}
+
+#[test]
+fn fuzzer_loop_records_and_shrinks_planted_findings() {
+    // Drive the planted runner through `shrink` the same way
+    // `Fuzzer::step` does for real findings: shrink with the finding's
+    // class key as the predicate and record the minimized scenario.
+    let config = RunConfig {
+        check_tool_models: false,
+        ..RunConfig::default()
+    };
+    let seeded = fat_scenario();
+    let outcome = run_scenario_with_hook(&seeded, &config, &plant);
+    let finding = outcome
+        .findings
+        .iter()
+        .find(|f| matches!(f.kind, FindingKind::KernelDivergence { .. }))
+        .expect("planted divergence becomes a finding");
+    let key = finding.kind.key();
+    let mut still_fails = |s: &Scenario| {
+        run_scenario_with_hook(s, &config, &plant)
+            .findings
+            .iter()
+            .any(|f| f.kind.key() == key)
+    };
+    let (min, _) = shrink(&finding.scenario, &mut still_fails);
+    assert!(min.tasks.len() <= seeded.tasks.len());
+    assert!(min.faults.len() <= seeded.faults.len());
+    assert!(still_fails(&min));
+}

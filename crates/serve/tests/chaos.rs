@@ -30,7 +30,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SEEDS: u64 = 64;
+/// Seed count for every chaos sweep: 64 by default, scaled up or down
+/// fleet-wide through the shared `RCARB_TEST_SEEDS` override.
+fn seeds() -> u64 {
+    proptest::test_runner::rcarb_test_seeds().unwrap_or(64)
+}
 
 /// A small, cheap workload touching success, error, and backend-free
 /// paths. Ids are 1-based; non-ping requests are what the duplicate
@@ -159,7 +163,7 @@ fn chaos_equivalence_on_the_pipe_transport_with_seed_replay() {
     let started = Instant::now();
     let load = workload();
     let expect = baseline(&load);
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         // Two full runs per seed, each against a fresh server, must
         // produce the same outcome sequence — the replay guarantee.
         let mut sequences = Vec::new();
@@ -201,7 +205,7 @@ fn chaos_equivalence_on_tcp() {
     let recorder = Arc::new(RecordingBackend::new(InProcessBackend::new()));
     let server = Server::new(Arc::clone(&recorder), chaos_server_config());
     let addr = server.listen_tcp("127.0.0.1:0").unwrap();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let mut client = chaotic_client(seed, move |conn_seed, rates| {
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true)?;
@@ -212,10 +216,10 @@ fn chaos_equivalence_on_tcp() {
         drive(&mut client, &load, &expect);
     }
     assert!(
-        recorder.calls() <= SEEDS * dispatchable(&load),
+        recorder.calls() <= seeds() * dispatchable(&load),
         "{} backend executions for at most {} dispatched requests",
         recorder.calls(),
-        SEEDS * dispatchable(&load)
+        seeds() * dispatchable(&load)
     );
     server.shutdown();
     assert!(
@@ -234,7 +238,7 @@ fn chaos_equivalence_on_uds() {
     let server = Server::new(Arc::clone(&recorder), chaos_server_config());
     let path = std::env::temp_dir().join(format!("rcarb-serve-chaos-{}.sock", std::process::id()));
     server.listen_uds(&path).unwrap();
-    for seed in 0..SEEDS {
+    for seed in 0..seeds() {
         let path = path.clone();
         let mut client = chaotic_client(seed, move |conn_seed, rates| {
             let stream = std::os::unix::net::UnixStream::connect(&path)?;
@@ -245,10 +249,10 @@ fn chaos_equivalence_on_uds() {
         drive(&mut client, &load, &expect);
     }
     assert!(
-        recorder.calls() <= SEEDS * dispatchable(&load),
+        recorder.calls() <= seeds() * dispatchable(&load),
         "{} backend executions for at most {} dispatched requests",
         recorder.calls(),
-        SEEDS * dispatchable(&load)
+        seeds() * dispatchable(&load)
     );
     server.shutdown();
     let _ = std::fs::remove_file(&path);

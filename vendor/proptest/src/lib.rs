@@ -54,6 +54,29 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Self { cases }
         }
+
+        /// The case count the runner actually uses: the configured
+        /// `cases`, unless the `RCARB_TEST_SEEDS` environment variable
+        /// holds a positive integer — the fleet/CI scaling knob shared
+        /// by every seeded suite in the workspace. Unset, empty, or
+        /// unparsable values leave the default unchanged.
+        pub fn resolved_cases(&self) -> u32 {
+            match rcarb_test_seeds() {
+                Some(n) => u32::try_from(n).unwrap_or(u32::MAX),
+                None => self.cases,
+            }
+        }
+    }
+
+    /// Parses the workspace-wide `RCARB_TEST_SEEDS` override: the seed
+    /// count every scaled suite (proptest cases, directed seed loops,
+    /// the chaos suite) runs with. Returns `None` when unset, empty, or
+    /// not a positive integer, so defaults stay untouched.
+    pub fn rcarb_test_seeds() -> Option<u64> {
+        std::env::var("RCARB_TEST_SEEDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
     }
 
     impl Default for ProptestConfig {
@@ -429,7 +452,7 @@ pub mod prelude {
 
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::test_runner::{rcarb_test_seeds, ProptestConfig, TestCaseError, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
@@ -454,10 +477,11 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
                 let seed = $crate::test_runner::fnv(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for case in 0..config.cases {
+                for case in 0..cases {
                     let mut rng = $crate::test_runner::TestRng::new(
                         seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     );
@@ -472,7 +496,7 @@ macro_rules! __proptest_impl {
                             "proptest {}: case {}/{} failed: {}",
                             stringify!($name),
                             case + 1,
-                            config.cases,
+                            cases,
                             e
                         );
                     }

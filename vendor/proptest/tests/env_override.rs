@@ -1,0 +1,68 @@
+//! Smoke test for the fleet-wide `RCARB_TEST_SEEDS` override: one env
+//! var scales every seeded suite (proptest case counts, the chaos
+//! suite's seed loops) up or down without touching defaults.
+//!
+//! All assertions live in a single `#[test]` because they mutate
+//! process-global environment state; splitting them across tests would
+//! race under the parallel test runner.
+
+use proptest::test_runner::{rcarb_test_seeds, ProptestConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Counts how many cases the runner actually executes; the smoke
+    /// test below invokes this directly (no `#[test]` attribute, so the
+    /// harness never runs it concurrently and races the counter).
+    fn counting_case(_x in 0u8..=255) {
+        RUNS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn rcarb_test_seeds_scales_every_seeded_suite() {
+    // Unset: defaults untouched.
+    std::env::remove_var("RCARB_TEST_SEEDS");
+    assert_eq!(rcarb_test_seeds(), None);
+    assert_eq!(ProptestConfig::with_cases(24).resolved_cases(), 24);
+    assert_eq!(ProptestConfig::default().resolved_cases(), 64);
+
+    // Garbage or non-positive values: also defaults.
+    for bad in ["", "  ", "zero", "-3", "0", "1.5"] {
+        std::env::set_var("RCARB_TEST_SEEDS", bad);
+        assert_eq!(rcarb_test_seeds(), None, "`{bad}` must not override");
+        assert_eq!(ProptestConfig::with_cases(24).resolved_cases(), 24);
+    }
+
+    // A positive integer overrides every configured count, up or down.
+    std::env::set_var("RCARB_TEST_SEEDS", "3");
+    assert_eq!(rcarb_test_seeds(), Some(3));
+    assert_eq!(ProptestConfig::with_cases(24).resolved_cases(), 3);
+    assert_eq!(ProptestConfig::default().resolved_cases(), 3);
+    std::env::set_var("RCARB_TEST_SEEDS", " 500 ");
+    assert_eq!(rcarb_test_seeds(), Some(500));
+    assert_eq!(ProptestConfig::with_cases(1).resolved_cases(), 500);
+
+    // And the proptest macro honours it end to end: re-run the counting
+    // test with an override and watch the case count change.
+    std::env::set_var("RCARB_TEST_SEEDS", "2");
+    RUNS.store(0, Ordering::Relaxed);
+    counting_case();
+    assert_eq!(
+        RUNS.load(Ordering::Relaxed),
+        2,
+        "the macro must run exactly the overridden number of cases"
+    );
+
+    std::env::remove_var("RCARB_TEST_SEEDS");
+    RUNS.store(0, Ordering::Relaxed);
+    counting_case();
+    assert_eq!(
+        RUNS.load(Ordering::Relaxed),
+        5,
+        "without the override the configured case count is unchanged"
+    );
+}
